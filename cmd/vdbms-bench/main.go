@@ -1,0 +1,50 @@
+// Command vdbms-bench runs the experiment suite that reproduces the
+// claims of "Vector Database Management Techniques and Systems"
+// (SIGMOD 2024). Each experiment prints a table plus the expected
+// qualitative shape; see EXPERIMENTS.md for the recorded results.
+//
+// Usage:
+//
+//	vdbms-bench              # run everything at scale 1
+//	vdbms-bench -exp E8      # one experiment
+//	vdbms-bench -scale 2     # double workload sizes
+//	vdbms-bench -list        # list experiment ids and claims
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"vdbms/internal/bench"
+)
+
+func main() {
+	exp := flag.String("exp", "", "experiment id to run (default: all)")
+	scale := flag.Int("scale", 1, "workload scale multiplier")
+	list := flag.Bool("list", false, "list experiments and exit")
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.All() {
+			fmt.Printf("%-5s %s\n", e.ID, e.Claim)
+		}
+		return
+	}
+	run := bench.All()
+	if *exp != "" {
+		e, ok := bench.ByID(*exp)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", *exp)
+			os.Exit(1)
+		}
+		run = []bench.Experiment{e}
+	}
+	for _, e := range run {
+		fmt.Printf("\n######## %s — %s\n", e.ID, e.Claim)
+		start := time.Now()
+		e.Run(os.Stdout, *scale)
+		fmt.Printf("[%s completed in %s]\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,42 @@
+// Command vdbms-server serves the VDBMS over HTTP/JSON.
+//
+//	vdbms-server -addr :8530
+//
+// Endpoints:
+//
+//	GET    /collections                      list collections
+//	POST   /collections                      {"name": ..., "schema": {...}}
+//	GET    /collections/{name}               collection info
+//	DELETE /collections/{name}               drop
+//	POST   /collections/{name}/vectors       {"vector": [...], "attrs": {...}}
+//	POST   /collections/{name}/index         {"kind": "hnsw", "opts": {"m": 16}}
+//	POST   /collections/{name}/search        search request JSON
+//	POST   /query                            {"query": "SELECT 10 FROM c NEAR [...]"}
+//	GET    /healthz                          liveness probe
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+	"time"
+
+	"vdbms"
+	"vdbms/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8530", "listen address")
+	flag.Parse()
+
+	db := vdbms.New()
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           server.New(db),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	log.Printf("vdbms-server listening on %s", *addr)
+	if err := srv.ListenAndServe(); err != nil {
+		log.Fatal(err)
+	}
+}

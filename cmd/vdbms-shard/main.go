@@ -1,0 +1,76 @@
+// Command vdbms-shard serves one partition of a collection over
+// net/rpc for distributed scatter-gather search (Section 2.3(2) of the
+// paper). A router process (see examples/distributed) dials any number
+// of shards and merges their top-k results.
+//
+// The shard either loads vectors from a file written by
+// storage.WriteDiskStore (-data) or generates a seeded synthetic
+// partition (-n/-dim/-seed), builds an HNSW index, and serves.
+//
+//	vdbms-shard -addr 127.0.0.1:9001 -n 10000 -dim 64 -seed 1 -offset 0
+//	vdbms-shard -addr 127.0.0.1:9002 -data part2.vdb -offset 10000
+//
+// -offset sets the first global id of this partition so results from
+// different shards never collide.
+package main
+
+import (
+	"flag"
+	"log"
+	"net"
+
+	"vdbms/internal/dataset"
+	"vdbms/internal/dist"
+	"vdbms/internal/index/hnsw"
+	"vdbms/internal/storage"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:9001", "listen address")
+	dataPath := flag.String("data", "", "vector file written by storage.WriteDiskStore")
+	n := flag.Int("n", 10000, "synthetic vector count (when -data is unset)")
+	dim := flag.Int("dim", 64, "synthetic dimensionality")
+	seed := flag.Int64("seed", 1, "synthetic data seed")
+	offset := flag.Int64("offset", 0, "first global id of this partition")
+	m := flag.Int("m", 16, "HNSW M parameter")
+	flag.Parse()
+
+	var flat []float32
+	var count, d int
+	if *dataPath != "" {
+		ds, err := storage.OpenDiskStore(*dataPath, 0)
+		if err != nil {
+			log.Fatalf("open %s: %v", *dataPath, err)
+		}
+		d = ds.Dim()
+		count = ds.Count()
+		flat = make([]float32, count*d)
+		buf := make([]float32, d)
+		for i := 0; i < count; i++ {
+			buf = ds.Vector(i, buf)
+			copy(flat[i*d:(i+1)*d], buf)
+		}
+		ds.Close()
+	} else {
+		syn := dataset.Clustered(*n, *dim, 16, 0.4, *seed)
+		flat, count, d = syn.Data, syn.Count, syn.Dim
+	}
+	log.Printf("shard: %d vectors of dim %d, building hnsw(m=%d)", count, d, *m)
+	idx, err := hnsw.Build(flat, count, d, hnsw.Config{M: *m, Seed: 1})
+	if err != nil {
+		log.Fatalf("index build: %v", err)
+	}
+	ids := make([]int64, count)
+	for i := range ids {
+		ids[i] = *offset + int64(i)
+	}
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := dist.ServeShard(l, dist.NewLocalShard(idx, ids)); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("shard serving on %s (ids %d..%d)", *addr, *offset, *offset+int64(count)-1)
+	select {} // serve until killed
+}

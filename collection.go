@@ -1,0 +1,436 @@
+package vdbms
+
+import (
+	"fmt"
+
+	"vdbms/internal/core"
+	"vdbms/internal/executor"
+	"vdbms/internal/filter"
+	"vdbms/internal/vec"
+)
+
+// Schema declares a collection's shape.
+type Schema struct {
+	// Dim is the vector dimensionality (required).
+	Dim int
+	// Metric is the similarity score: "l2" (default), "ip", "cosine",
+	// "l1", "linf", or "hamming".
+	Metric string
+	// Attributes maps column names to types: "int", "float", or
+	// "string". Attribute columns power hybrid (predicated) queries.
+	Attributes map[string]string
+	// RebuildFraction controls automatic index rebuilds: when more
+	// than this fraction of indexed rows has been mutated, the next
+	// search rebuilds the index first. Default 0.2.
+	RebuildFraction float64
+}
+
+// Collection is a named vector collection with optional attributes and
+// an optional ANN index. All methods are safe for concurrent use.
+type Collection struct {
+	inner *core.Collection
+	dim   int
+	attrs map[string]string // column -> declared type
+}
+
+func newCollection(name string, s Schema) (*Collection, error) {
+	metric := s.Metric
+	if metric == "" {
+		metric = "l2"
+	}
+	m, err := vec.ParseMetric(metric)
+	if err != nil {
+		return nil, err
+	}
+	attrs := map[string]filter.Kind{}
+	for col, typ := range s.Attributes {
+		switch typ {
+		case "int":
+			attrs[col] = filter.Int64
+		case "float":
+			attrs[col] = filter.Float64
+		case "string":
+			attrs[col] = filter.String
+		default:
+			return nil, fmt.Errorf("vdbms: column %q has unknown type %q (want int/float/string)", col, typ)
+		}
+	}
+	inner, err := core.NewCollection(name, core.Schema{
+		Dim:             s.Dim,
+		Metric:          m,
+		Attributes:      attrs,
+		RebuildFraction: s.RebuildFraction,
+	})
+	if err != nil {
+		return nil, err
+	}
+	types := map[string]string{}
+	for col, typ := range s.Attributes {
+		types[col] = typ
+	}
+	return &Collection{inner: inner, dim: s.Dim, attrs: types}, nil
+}
+
+// Name returns the collection name.
+func (c *Collection) Name() string { return c.inner.Name() }
+
+// Dim returns the vector dimensionality.
+func (c *Collection) Dim() int { return c.dim }
+
+// Len returns the number of live vectors.
+func (c *Collection) Len() int { return c.inner.Len() }
+
+// Insert appends a vector with attribute values (one per schema
+// column; use nil when the schema has no attributes) and returns the
+// assigned id.
+func (c *Collection) Insert(vector []float32, attrs map[string]any) (int64, error) {
+	converted, err := convertAttrs(attrs)
+	if err != nil {
+		return 0, err
+	}
+	return c.inner.Insert(vector, converted)
+}
+
+// UpdateVector replaces the vector stored at id.
+func (c *Collection) UpdateVector(id int64, vector []float32) error {
+	return c.inner.UpdateVector(id, vector)
+}
+
+// Delete removes id from all future query results.
+func (c *Collection) Delete(id int64) error { return c.inner.Delete(id) }
+
+// Get returns the vector and attributes stored at id.
+func (c *Collection) Get(id int64) ([]float32, map[string]any, error) {
+	v, vals, err := c.inner.Get(id)
+	if err != nil {
+		return nil, nil, err
+	}
+	out := map[string]any{}
+	for name, val := range vals {
+		switch c.attrs[name] {
+		case "int":
+			out[name] = val.I
+		case "float":
+			out[name] = val.F
+		default:
+			out[name] = val.S
+		}
+	}
+	return v, out, nil
+}
+
+// AttributeTypes returns the declared attribute columns and their
+// types ("int", "float", "string").
+func (c *Collection) AttributeTypes() map[string]string {
+	out := make(map[string]string, len(c.attrs))
+	for k, v := range c.attrs {
+		out[k] = v
+	}
+	return out
+}
+
+// CreateIndex builds an ANN index over the current rows. Kind is an
+// index family from IndexKinds; opts are family-specific integer knobs
+// (e.g. {"m": 16} for HNSW, {"nlist": 256} for IVF).
+func (c *Collection) CreateIndex(kind string, opts map[string]int) error {
+	return c.inner.CreateIndex(kind, opts)
+}
+
+// DropIndex removes the ANN index; searches fall back to exact scan.
+func (c *Collection) DropIndex() { c.inner.DropIndex() }
+
+// IndexInfo reports the index family (empty if none), how many rows
+// the build covers, and how many mutations have accrued since.
+func (c *Collection) IndexInfo() (kind string, covered, dirty int) {
+	return c.inner.IndexInfo()
+}
+
+// Filter is one predicate of a hybrid query. Op is one of
+// "=", "!=", "<", "<=", ">", ">=", "in". Value holds an int, float64,
+// or string matching the column type ("in" takes a []any).
+type Filter struct {
+	Column string
+	Op     string
+	Value  any
+	Set    []any
+}
+
+// Hit is one search result.
+type Hit struct {
+	ID   int64
+	Dist float32
+}
+
+// SearchRequest describes a vector query.
+type SearchRequest struct {
+	// Vector is the query vector for single-vector queries.
+	Vector []float32
+	// Vectors holds multiple query vectors for multi-vector queries;
+	// requires EntityColumn.
+	Vectors [][]float32
+	// K is the number of results (required).
+	K int
+	// Filters are conjunctive attribute predicates (hybrid query).
+	Filters []Filter
+	// Policy selects the plan: "" or "cost" (cost-based optimizer),
+	// "rule" (selectivity heuristic), a system profile ("vearch",
+	// "weaviate", "qdrant", "analyticdb-v", "milvus", "euclid"), or
+	// "plan:<brute_force|pre_filter|post_filter|single_stage>" to
+	// force one.
+	Policy string
+	// Ef is the index beam/leaf budget (0 = index default).
+	Ef int
+	// NProbe is the bucket probe count for IVF/LSH-style indexes.
+	NProbe int
+	// Alpha is the post-filter over-fetch multiplier (default 4).
+	Alpha int
+	// EntityColumn names an int attribute grouping rows into entities
+	// for multi-vector queries.
+	EntityColumn string
+	// Aggregator combines multi-vector scores: "min" (default),
+	// "mean", "max", or "weighted_sum" (with Weights).
+	Aggregator string
+	Weights    []float32
+}
+
+// SearchResult is the response to Search.
+type SearchResult struct {
+	Hits []Hit
+	// Plan is the executed plan name ("brute_force", "pre_filter",
+	// "post_filter", or "single_stage").
+	Plan string
+}
+
+// Search executes a k-NN, hybrid, or multi-vector query.
+func (c *Collection) Search(req SearchRequest) (SearchResult, error) {
+	preds, err := convertFilters(req.Filters)
+	if err != nil {
+		return SearchResult{}, err
+	}
+	agg := vec.AggMin
+	if req.Aggregator != "" {
+		agg, err = vec.ParseAggregator(req.Aggregator)
+		if err != nil {
+			return SearchResult{}, err
+		}
+	}
+	res, plan, err := c.inner.Search(core.Request{
+		Vector:       req.Vector,
+		Vectors:      req.Vectors,
+		K:            req.K,
+		Preds:        preds,
+		Policy:       req.Policy,
+		Ef:           req.Ef,
+		NProbe:       req.NProbe,
+		Alpha:        req.Alpha,
+		EntityColumn: req.EntityColumn,
+		Aggregator:   agg,
+		Weights:      req.Weights,
+	})
+	if err != nil {
+		return SearchResult{}, err
+	}
+	return SearchResult{Hits: convertHits(res), Plan: plan.Kind.String()}, nil
+}
+
+// SearchRange returns every live vector within the squared-distance
+// radius, optionally filtered.
+func (c *Collection) SearchRange(q []float32, radius float32, filters []Filter) ([]Hit, error) {
+	preds, err := convertFilters(filters)
+	if err != nil {
+		return nil, err
+	}
+	res, err := c.inner.SearchRange(q, radius, preds)
+	if err != nil {
+		return nil, err
+	}
+	return convertHits(res), nil
+}
+
+// SearchBatch answers a batch of queries in parallel.
+func (c *Collection) SearchBatch(qs [][]float32, k int, filters []Filter, ef int) ([][]Hit, error) {
+	preds, err := convertFilters(filters)
+	if err != nil {
+		return nil, err
+	}
+	res, err := c.inner.SearchBatch(qs, k, preds, ef)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]Hit, len(res))
+	for i, rs := range res {
+		out[i] = convertHits(rs)
+	}
+	return out, nil
+}
+
+// Iterator pages through results incrementally (Section 2.6(5)).
+type Iterator struct {
+	inner *executor.Iterator
+}
+
+// OpenIterator starts an incremental query; call Next for pages.
+func (c *Collection) OpenIterator(q []float32, filters []Filter, ef int) (*Iterator, error) {
+	preds, err := convertFilters(filters)
+	if err != nil {
+		return nil, err
+	}
+	it, err := c.inner.OpenIterator(q, preds, ef)
+	if err != nil {
+		return nil, err
+	}
+	return &Iterator{inner: it}, nil
+}
+
+// Next returns up to n further hits; empty means exhausted.
+func (it *Iterator) Next(n int) ([]Hit, error) {
+	res, err := it.inner.Next(n)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Hit, len(res))
+	for i, r := range res {
+		out[i] = Hit{ID: r.ID, Dist: r.Dist}
+	}
+	return out, nil
+}
+
+func convertHits(rs []core.Result) []Hit {
+	out := make([]Hit, len(rs))
+	for i, r := range rs {
+		out[i] = Hit{ID: r.ID, Dist: r.Dist}
+	}
+	return out
+}
+
+func convertAttrs(attrs map[string]any) (map[string]filter.Value, error) {
+	if attrs == nil {
+		return nil, nil
+	}
+	out := make(map[string]filter.Value, len(attrs))
+	for name, v := range attrs {
+		val, err := convertValue(v)
+		if err != nil {
+			return nil, fmt.Errorf("vdbms: attribute %q: %w", name, err)
+		}
+		out[name] = val
+	}
+	return out, nil
+}
+
+func convertValue(v any) (filter.Value, error) {
+	switch x := v.(type) {
+	case int:
+		return filter.IntV(int64(x)), nil
+	case int64:
+		return filter.IntV(x), nil
+	case float64:
+		return filter.FloatV(x), nil
+	case float32:
+		return filter.FloatV(float64(x)), nil
+	case string:
+		return filter.StringV(x), nil
+	default:
+		return filter.Value{}, fmt.Errorf("unsupported value type %T", v)
+	}
+}
+
+func convertFilters(fs []Filter) ([]filter.Predicate, error) {
+	if len(fs) == 0 {
+		return nil, nil
+	}
+	out := make([]filter.Predicate, 0, len(fs))
+	for _, f := range fs {
+		op, err := parseOp(f.Op)
+		if err != nil {
+			return nil, err
+		}
+		p := filter.Predicate{Column: f.Column, Op: op}
+		if op == filter.In {
+			for _, s := range f.Set {
+				val, err := convertValue(s)
+				if err != nil {
+					return nil, fmt.Errorf("vdbms: filter on %q: %w", f.Column, err)
+				}
+				p.Set = append(p.Set, val)
+			}
+		} else if f.Value != nil {
+			val, err := convertValue(f.Value)
+			if err != nil {
+				return nil, fmt.Errorf("vdbms: filter on %q: %w", f.Column, err)
+			}
+			p.Value = val
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+func parseOp(s string) (filter.Op, error) {
+	switch s {
+	case "=", "==":
+		return filter.Eq, nil
+	case "!=":
+		return filter.Ne, nil
+	case "<":
+		return filter.Lt, nil
+	case "<=":
+		return filter.Le, nil
+	case ">":
+		return filter.Gt, nil
+	case ">=":
+		return filter.Ge, nil
+	case "in":
+		return filter.In, nil
+	default:
+		return 0, fmt.Errorf("vdbms: unknown operator %q", s)
+	}
+}
+
+// IndexKinds lists the registered ANN index families available to
+// CreateIndex.
+func IndexKinds() []string {
+	return []string{
+		"annoy", "fanng", "flat", "hnsw", "ivfadc", "ivfflat",
+		"ivfsq", "kdforest", "kdtree", "knng", "lsh", "nsg", "nsw",
+		"pcatree", "pkdtree", "rptree", "spectral", "vamana",
+	}
+}
+
+// Save writes the collection (schema, vectors, attributes, deletions,
+// and the index recipe) to a single file, atomically. Indexes are
+// rebuilt on load from their recorded family and options.
+func (c *Collection) Save(path string) error { return c.inner.Save(path) }
+
+// wrapCollection adapts a restored core collection to the public type.
+func wrapCollection(inner *core.Collection) *Collection {
+	types := map[string]string{}
+	for name, kind := range inner.AttributeKinds() {
+		switch kind {
+		case filter.Int64:
+			types[name] = "int"
+		case filter.Float64:
+			types[name] = "float"
+		default:
+			types[name] = "string"
+		}
+	}
+	return &Collection{inner: inner, dim: inner.Dim(), attrs: types}
+}
+
+// RestoreCollection loads a collection previously written by
+// Collection.Save and registers it under its saved name.
+func (db *DB) RestoreCollection(path string) (*Collection, error) {
+	inner, err := core.Load(path)
+	if err != nil {
+		return nil, err
+	}
+	col := wrapCollection(inner)
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, dup := db.collections[col.Name()]; dup {
+		return nil, fmt.Errorf("vdbms: collection %q already exists", col.Name())
+	}
+	db.collections[col.Name()] = col
+	return col, nil
+}

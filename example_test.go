@@ -1,0 +1,84 @@
+package vdbms_test
+
+import (
+	"fmt"
+
+	"vdbms"
+)
+
+// The godoc examples double as executable documentation for the main
+// workflows: plain search, hybrid search, the query planner, and the
+// dynamic (LSM) collection.
+
+func ExampleDB_CreateCollection() {
+	db := vdbms.New()
+	col, err := db.CreateCollection("docs", vdbms.Schema{Dim: 2})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(col.Name(), col.Dim())
+	// Output: docs 2
+}
+
+func ExampleCollection_Search() {
+	db := vdbms.New()
+	col, _ := db.CreateCollection("points", vdbms.Schema{Dim: 2})
+	col.Insert([]float32{0, 0}, nil) // id 0
+	col.Insert([]float32{1, 1}, nil) // id 1
+	col.Insert([]float32{9, 9}, nil) // id 2
+
+	res, _ := col.Search(vdbms.SearchRequest{Vector: []float32{0.9, 0.9}, K: 2})
+	for _, h := range res.Hits {
+		fmt.Println(h.ID)
+	}
+	// Output:
+	// 1
+	// 0
+}
+
+func ExampleCollection_Search_hybrid() {
+	db := vdbms.New()
+	col, _ := db.CreateCollection("products", vdbms.Schema{
+		Dim:        2,
+		Attributes: map[string]string{"price": "float"},
+	})
+	col.Insert([]float32{0, 0}, map[string]any{"price": 5.0})  // id 0
+	col.Insert([]float32{0, 1}, map[string]any{"price": 50.0}) // id 1
+	col.Insert([]float32{1, 0}, map[string]any{"price": 7.0})  // id 2
+
+	res, _ := col.Search(vdbms.SearchRequest{
+		Vector:  []float32{0, 0},
+		K:       2,
+		Filters: []vdbms.Filter{{Column: "price", Op: "<", Value: 10.0}},
+	})
+	for _, h := range res.Hits {
+		fmt.Println(h.ID)
+	}
+	// Output:
+	// 0
+	// 2
+}
+
+func ExampleOpenDynamic() {
+	dyn, _ := vdbms.OpenDynamic(vdbms.DynamicConfig{Dim: 2, MemtableSize: 4})
+	for i := 0; i < 8; i++ {
+		dyn.Upsert(int64(i), []float32{float32(i), 0})
+	}
+	dyn.Delete(3)
+	hits, _ := dyn.Search([]float32{3.1, 0}, 1, 16)
+	fmt.Println(hits[0].ID, dyn.Len())
+	// Output: 4 7
+}
+
+func ExampleCollection_OpenIterator() {
+	db := vdbms.New()
+	col, _ := db.CreateCollection("stream", vdbms.Schema{Dim: 1})
+	for i := 0; i < 5; i++ {
+		col.Insert([]float32{float32(i)}, nil)
+	}
+	it, _ := col.OpenIterator([]float32{0}, nil, 0)
+	page1, _ := it.Next(2)
+	page2, _ := it.Next(2)
+	fmt.Println(page1[0].ID, page1[1].ID, page2[0].ID, page2[1].ID)
+	// Output: 0 1 2 3
+}

@@ -1,0 +1,85 @@
+// Distributed search: the collection is partitioned across shards
+// served over net/rpc on loopback, and a router answers queries by
+// scatter-gather (Section 2.3(2)). The example contrasts random
+// partitioning (always full fan-out) with index-guided cluster
+// partitioning, where routing to the 2 nearest shard centroids
+// preserves almost all recall.
+//
+//	go run ./examples/distributed
+package main
+
+import (
+	"fmt"
+	"log"
+	"net"
+
+	"vdbms/internal/dataset"
+	"vdbms/internal/dist"
+	"vdbms/internal/index/hnsw"
+	"vdbms/internal/topk"
+	"vdbms/internal/vec"
+)
+
+const (
+	n      = 20000
+	dim    = 64
+	shards = 4
+)
+
+func main() {
+	ds := dataset.Clustered(n, dim, 32, 0.4, 1)
+	qs := ds.Queries(50, 0.05, 2)
+	truth := dataset.GroundTruth(vec.SquaredL2, ds, qs, 10)
+
+	// Index-guided partitioning: k-means clusters map to shards.
+	part, err := dist.PartitionClustered(ds.Data, ds.Count, ds.Dim, shards, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	partData, partIDs := dist.SplitRows(ds.Data, ds.Count, ds.Dim, part)
+
+	// Launch each shard as an rpc server on loopback (stand-ins for
+	// separate shard processes; cmd/vdbms-shard runs the same service
+	// standalone).
+	var remote []dist.Shard
+	for i := 0; i < shards; i++ {
+		idx, err := hnsw.Build(partData[i], len(partIDs[i]), dim, hnsw.Config{M: 12, Seed: 1})
+		if err != nil {
+			log.Fatal(err)
+		}
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := dist.ServeShard(l, dist.NewLocalShard(idx, partIDs[i])); err != nil {
+			log.Fatal(err)
+		}
+		client, err := dist.DialShard(l.Addr().String())
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("shard %d: %d vectors at %s\n", i, client.Count(), l.Addr())
+		remote = append(remote, client)
+	}
+	router := dist.NewRouter(remote, part.Centroids)
+
+	recall := func(probes int) float64 {
+		got := make([][]topk.Result, len(qs))
+		for i, q := range qs {
+			res, err := router.RoutedSearch(q, 10, 100, probes)
+			if err != nil {
+				log.Fatal(err)
+			}
+			got[i] = res
+		}
+		return dataset.MeanRecall(got, truth)
+	}
+
+	fmt.Println("\nrouted search over rpc shards (k=10, ef=100):")
+	for _, probes := range []int{1, 2, 4} {
+		fmt.Printf("  probe %d/%d shards -> recall@10 = %.3f (fan-out %d)\n",
+			probes, shards, recall(probes), router.FanOut(probes))
+	}
+	fmt.Println("\nindex-guided partitioning lets 2 of 4 shards answer with near-full recall;")
+	fmt.Println("random partitioning would need all shards for every query.")
+}

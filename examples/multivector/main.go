@@ -1,0 +1,115 @@
+// Multi-vector search: a facial-recognition-style workload where each
+// person is represented by several embeddings (different shots), the
+// use case Section 2.1(3) and open problem 2.6(6) of the paper
+// describe. Queries supply one or more probe shots; entities are
+// ranked by aggregate score.
+//
+//	go run ./examples/multivector
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"vdbms"
+)
+
+const (
+	numPeople    = 500
+	shotsPerFace = 4
+	dim          = 32
+)
+
+func main() {
+	db := vdbms.New()
+	col, err := db.CreateCollection("faces", vdbms.Schema{
+		Dim: dim,
+		Attributes: map[string]string{
+			"person": "int", // entity column: groups shots into people
+			"camera": "string",
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Each person has a "true face" embedding; shots jitter around it.
+	rng := rand.New(rand.NewSource(99))
+	faces := make([][]float32, numPeople)
+	cams := []string{"gate-a", "gate-b", "lobby"}
+	for p := 0; p < numPeople; p++ {
+		face := make([]float32, dim)
+		for j := range face {
+			face[j] = rng.Float32() * 10
+		}
+		faces[p] = face
+		for s := 0; s < shotsPerFace; s++ {
+			shot := make([]float32, dim)
+			for j := range shot {
+				shot[j] = face[j] + float32(rng.NormFloat64())*0.3
+			}
+			if _, err := col.Insert(shot, map[string]any{
+				"person": p,
+				"camera": cams[s%len(cams)],
+			}); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	if err := col.CreateIndex("hnsw", map[string]int{"m": 12}); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("enrolled %d people x %d shots = %d vectors\n\n", numPeople, shotsPerFace, col.Len())
+
+	// Probe: two new shots of person 123.
+	target := 123
+	probes := make([][]float32, 2)
+	for i := range probes {
+		p := make([]float32, dim)
+		for j := range p {
+			p[j] = faces[target][j] + float32(rng.NormFloat64())*0.3
+		}
+		probes[i] = p
+	}
+
+	for _, agg := range []string{"min", "mean", "max"} {
+		res, err := col.Search(vdbms.SearchRequest{
+			Vectors:      probes,
+			K:            3,
+			EntityColumn: "person",
+			Aggregator:   agg,
+			Ef:           100,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("aggregator=%-5s top-3 people: ", agg)
+		for _, h := range res.Hits {
+			marker := ""
+			if h.ID == int64(target) {
+				marker = " <- target"
+			}
+			fmt.Printf("[person %d, score %.3f%s] ", h.ID, h.Dist, marker)
+		}
+		fmt.Println()
+	}
+
+	// Weighted sum: trust the first probe twice as much.
+	res, err := col.Search(vdbms.SearchRequest{
+		Vectors:      probes,
+		K:            1,
+		EntityColumn: "person",
+		Aggregator:   "weighted_sum",
+		Weights:      []float32{2, 1},
+		Ef:           100,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nweighted_sum identification: person %d (score %.3f)\n", res.Hits[0].ID, res.Hits[0].Dist)
+	if res.Hits[0].ID == int64(target) {
+		fmt.Println("identification correct")
+	} else {
+		fmt.Println("identification MISSED (unexpected at this noise level)")
+	}
+}

@@ -1,0 +1,3 @@
+module vdbms
+
+go 1.23

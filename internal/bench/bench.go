@@ -1,0 +1,137 @@
+// Package bench implements the experiment harness (deliverable d):
+// for every experiment in DESIGN.md's per-experiment index it
+// generates the workload, runs the sweep, and prints the table the
+// paper's claim predicts. cmd/vdbms-bench is the CLI front end;
+// bench_test.go wires the hot kernels into testing.B.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Table accumulates rows and renders aligned text.
+type Table struct {
+	title   string
+	headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{title: title, headers: headers}
+}
+
+// AddRow appends a row; values are formatted with %v ("%.4g" for
+// floats).
+func (t *Table) AddRow(vals ...any) {
+	row := make([]string, len(vals))
+	for i, v := range vals {
+		switch x := v.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.4g", x)
+		case float32:
+			row[i] = fmt.Sprintf("%.4g", x)
+		case time.Duration:
+			row[i] = x.Round(time.Microsecond).String()
+		default:
+			row[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// Print renders the table.
+func (t *Table) Print(w io.Writer) {
+	widths := make([]int, len(t.headers))
+	for i, h := range t.headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	fmt.Fprintf(w, "\n== %s ==\n", t.title)
+	var sb strings.Builder
+	for i, h := range t.headers {
+		fmt.Fprintf(&sb, "%-*s  ", widths[i], h)
+	}
+	fmt.Fprintln(w, strings.TrimRight(sb.String(), " "))
+	fmt.Fprintln(w, strings.Repeat("-", len(strings.TrimRight(sb.String(), " "))))
+	for _, row := range t.rows {
+		sb.Reset()
+		for i, cell := range row {
+			wd := 0
+			if i < len(widths) {
+				wd = widths[i]
+			}
+			fmt.Fprintf(&sb, "%-*s  ", wd, cell)
+		}
+		fmt.Fprintln(w, strings.TrimRight(sb.String(), " "))
+	}
+}
+
+// Timed measures fn over iters runs and returns mean latency.
+func Timed(iters int, fn func()) time.Duration {
+	if iters <= 0 {
+		iters = 1
+	}
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		fn()
+	}
+	return time.Since(start) / time.Duration(iters)
+}
+
+// QPS converts a mean per-query latency to queries/second.
+func QPS(mean time.Duration) float64 {
+	if mean <= 0 {
+		return 0
+	}
+	return float64(time.Second) / float64(mean)
+}
+
+// Experiment is one runnable experiment.
+type Experiment struct {
+	ID    string
+	Claim string
+	Run   func(w io.Writer, scale int)
+}
+
+var experiments []Experiment
+
+func register(id, claim string, run func(w io.Writer, scale int)) {
+	experiments = append(experiments, Experiment{ID: id, Claim: claim, Run: run})
+}
+
+// All returns the experiments sorted by ID.
+func All() []Experiment {
+	out := append([]Experiment(nil), experiments...)
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// ByID finds one experiment.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range experiments {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// scaled multiplies a base size by the scale factor with a floor.
+func scaled(base, scale, floor int) int {
+	n := base * scale
+	if n < floor {
+		n = floor
+	}
+	return n
+}

@@ -1,0 +1,89 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTableFormatting(t *testing.T) {
+	tab := NewTable("demo", "a", "longheader", "c")
+	tab.AddRow(1, 2.5, "x")
+	tab.AddRow("wide-cell-value", float32(0.125), time.Millisecond)
+	var buf bytes.Buffer
+	tab.Print(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "== demo ==") || !strings.Contains(out, "longheader") {
+		t.Fatalf("output:\n%s", out)
+	}
+	if !strings.Contains(out, "wide-cell-value") || !strings.Contains(out, "1ms") {
+		t.Fatalf("output:\n%s", out)
+	}
+}
+
+func TestTimedAndQPS(t *testing.T) {
+	d := Timed(0, func() { time.Sleep(time.Millisecond) })
+	if d < time.Millisecond {
+		t.Fatalf("Timed = %v", d)
+	}
+	if QPS(0) != 0 {
+		t.Fatal("QPS(0) should be 0")
+	}
+	if q := QPS(time.Millisecond); q < 999 || q > 1001 {
+		t.Fatalf("QPS = %v", q)
+	}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	// Lexicographic order, as All() sorts by ID string.
+	want := []string{"E10", "E11", "E12", "E12b", "E13", "E1a", "E1b", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9"}
+	all := All()
+	if len(all) != len(want) {
+		t.Fatalf("have %d experiments, want %d", len(all), len(want))
+	}
+	for i, e := range all {
+		if e.ID != want[i] {
+			t.Fatalf("experiment %d = %s, want %s", i, e.ID, want[i])
+		}
+		if e.Claim == "" || e.Run == nil {
+			t.Fatalf("experiment %s incomplete", e.ID)
+		}
+	}
+	if _, ok := ByID("E8"); !ok {
+		t.Fatal("ByID failed")
+	}
+	if _, ok := ByID("nope"); ok {
+		t.Fatal("ByID should miss")
+	}
+}
+
+func TestScaled(t *testing.T) {
+	if scaled(100, 2, 50) != 200 || scaled(100, 0, 500) != 500 {
+		t.Fatal("scaled wrong")
+	}
+}
+
+// Smoke-run every experiment at a tiny scale: they must complete and
+// produce their table without panicking. This is the integration test
+// of the whole stack (every index, the planner, the executor, disk
+// formats, distribution, and the LSM) in one pass.
+func TestAllExperimentsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment smoke test skipped in -short mode")
+	}
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			var buf bytes.Buffer
+			e.Run(&buf, 0) // scale 0 clamps every workload to its floor
+			out := buf.String()
+			if !strings.Contains(out, "==") {
+				t.Fatalf("%s produced no table:\n%s", e.ID, out)
+			}
+			if strings.Contains(out, "error") {
+				t.Fatalf("%s reported an error:\n%s", e.ID, out)
+			}
+		})
+	}
+}

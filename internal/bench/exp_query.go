@@ -1,0 +1,89 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"vdbms/internal/dataset"
+	"vdbms/internal/topk"
+	"vdbms/internal/vec"
+)
+
+// E1a — score design: different similarity scores return different
+// top-k sets (Section 2.1). We report the mean top-10 overlap between
+// every pair of basic scores on Gaussian-mixture data.
+func init() {
+	register("E1a", "different scores give different results; score selection matters", runE1a)
+}
+
+func runE1a(w io.Writer, scale int) {
+	n := scaled(2000, scale, 500)
+	ds := dataset.Clustered(n, 32, 8, 0.6, 1)
+	qs := ds.Queries(20, 0.1, 2)
+	cands := vec.DefaultCandidates()
+	// top-10 ids per candidate per query
+	tops := make([][]map[int64]bool, len(cands))
+	for ci, c := range cands {
+		tops[ci] = make([]map[int64]bool, len(qs))
+		truth := dataset.GroundTruth(c.Fn, ds, qs, 10)
+		for qi := range qs {
+			set := map[int64]bool{}
+			for _, r := range truth[qi] {
+				set[r.ID] = true
+			}
+			tops[ci][qi] = set
+		}
+	}
+	headers := []string{"score"}
+	for _, c := range cands {
+		headers = append(headers, c.Name)
+	}
+	t := NewTable(fmt.Sprintf("E1a score top-10 overlap (n=%d, d=32)", n), headers...)
+	for i, ci := range cands {
+		row := []any{ci.Name}
+		for j := range cands {
+			var overlap float64
+			for qi := range qs {
+				inter := 0
+				for id := range tops[i][qi] {
+					if tops[j][qi][id] {
+						inter++
+					}
+				}
+				overlap += float64(inter) / 10
+			}
+			row = append(row, overlap/float64(len(qs)))
+		}
+		t.AddRow(row...)
+	}
+	t.Print(w)
+	fmt.Fprintln(w, "expected shape: diagonal 1.0; l2/cosine close on this data; ip diverges most")
+}
+
+// E1b — curse of dimensionality: relative distance contrast
+// (Dmax-Dmin)/Dmin shrinks as dimensionality grows on i.i.d. data
+// (Beyer et al., Section 2.1).
+func init() {
+	register("E1b", "distance contrast vanishes as dimensionality grows", runE1b)
+}
+
+func runE1b(w io.Writer, scale int) {
+	n := scaled(1000, scale, 300)
+	t := NewTable(fmt.Sprintf("E1b relative contrast vs dimension (uniform, n=%d)", n),
+		"dim", "contrast(L2)", "contrast(L1)")
+	for _, d := range []int{2, 4, 8, 16, 32, 64, 128, 256, 512, 1024} {
+		ds := dataset.Uniform(n, d, int64(d))
+		q := dataset.Uniform(1, d, int64(d)+9999).Row(0)
+		c2 := vec.RelativeContrast(vec.SquaredL2, ds.Rows(), q)
+		c1 := vec.RelativeContrast(vec.ManhattanDistance, ds.Rows(), q)
+		t.AddRow(d, c2, c1)
+	}
+	t.Print(w)
+	fmt.Fprintln(w, "expected shape: both columns decay monotonically toward 0 as dim grows")
+}
+
+// sharedRecall computes mean recall@k of search results against
+// ground-truth lists.
+func sharedRecall(got [][]topk.Result, truth [][]topk.Result) float64 {
+	return dataset.MeanRecall(got, truth)
+}

@@ -1,0 +1,72 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"vdbms/internal/dataset"
+	"vdbms/internal/secure"
+	"vdbms/internal/topk"
+	"vdbms/internal/vec"
+)
+
+// E13 — secure k-NN (open problem 2.6(4)): ASPE returns the exact
+// k-NN from an untrusted server; the price is the (d+1)-dimensional
+// float64 encrypted scan plus per-query token encryption.
+func init() {
+	register("E13", "ASPE secure k-NN is exact; overhead is the encrypted-domain scan", runE13)
+}
+
+func runE13(w io.Writer, scale int) {
+	n := scaled(4000, scale, 1000)
+	t := NewTable(fmt.Sprintf("E13 secure k-NN vs plaintext exact scan (n=%d, k=10)", n),
+		"dim", "recall@10", "plain.scan", "secure.scan", "token.enc", "overhead")
+	for _, d := range []int{16, 64} {
+		ds := dataset.Clustered(n, d, 8, 0.4, 1)
+		qs := ds.Queries(15, 0.05, 2)
+		truth := dataset.GroundTruth(vec.SquaredL2, ds, qs, 10)
+
+		key, err := secure.NewKey(d, 7)
+		if err != nil {
+			fmt.Fprintf(w, "E13: %v\n", err)
+			return
+		}
+		srv := secure.NewServer(d)
+		for i := 0; i < n; i++ {
+			enc, err := key.EncryptVector(ds.Row(i))
+			if err != nil {
+				fmt.Fprintf(w, "E13: %v\n", err)
+				return
+			}
+			srv.Add(int64(i), enc) //nolint:errcheck
+		}
+		// Plaintext exact scan baseline.
+		plain := Timed(1, func() {
+			for _, q := range qs {
+				c := topk.NewCollector(10)
+				for i := 0; i < n; i++ {
+					c.Push(int64(i), vec.SquaredL2(q, ds.Row(i)))
+				}
+				c.Results()
+			}
+		}) / time.Duration(len(qs))
+		// Secure path: token + encrypted scan.
+		tokens := make([][]float64, len(qs))
+		tokenTime := Timed(1, func() {
+			for i, q := range qs {
+				tokens[i], _ = key.EncryptQuery(q)
+			}
+		}) / time.Duration(len(qs))
+		got := make([][]topk.Result, len(qs))
+		secureTime := Timed(1, func() {
+			for i, tok := range tokens {
+				got[i], _ = srv.TopK(tok, 10)
+			}
+		}) / time.Duration(len(qs))
+		t.AddRow(d, sharedRecall(got, truth), plain, secureTime, tokenTime,
+			float64(secureTime+tokenTime)/float64(plain))
+	}
+	t.Print(w)
+	fmt.Fprintln(w, "expected shape: recall exactly 1.0 at every dim; overhead a small constant (float64 + 1 extra dim)")
+}

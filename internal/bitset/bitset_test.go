@@ -1,0 +1,164 @@
+package bitset
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSetTestClear(t *testing.T) {
+	b := New(130)
+	for _, i := range []int{0, 63, 64, 65, 129} {
+		if b.Test(i) {
+			t.Fatalf("bit %d set in fresh bitset", i)
+		}
+		b.Set(i)
+		if !b.Test(i) {
+			t.Fatalf("bit %d not set after Set", i)
+		}
+	}
+	if got := b.Count(); got != 5 {
+		t.Fatalf("Count = %d, want 5", got)
+	}
+	b.Clear(64)
+	if b.Test(64) || b.Count() != 4 {
+		t.Fatalf("Clear failed: test=%v count=%d", b.Test(64), b.Count())
+	}
+}
+
+func TestOutOfRangeReadsFalse(t *testing.T) {
+	b := New(10)
+	if b.Test(-1) || b.Test(10) || b.Test(1000) {
+		t.Fatal("out-of-range Test must be false")
+	}
+}
+
+func TestSetAllNotAndTail(t *testing.T) {
+	b := New(70) // non-multiple of 64 exercises tail trimming
+	b.SetAll()
+	if b.Count() != 70 {
+		t.Fatalf("SetAll count = %d", b.Count())
+	}
+	b.Not()
+	if b.Count() != 0 {
+		t.Fatalf("Not after SetAll count = %d", b.Count())
+	}
+	b.Not()
+	if b.Count() != 70 {
+		t.Fatalf("double Not count = %d", b.Count())
+	}
+	b.ClearAll()
+	if b.Count() != 0 {
+		t.Fatal("ClearAll failed")
+	}
+}
+
+func TestBooleanOps(t *testing.T) {
+	a := New(128)
+	b := New(128)
+	a.Set(1)
+	a.Set(100)
+	b.Set(100)
+	b.Set(101)
+
+	and := a.Clone()
+	and.And(b)
+	if and.Count() != 1 || !and.Test(100) {
+		t.Fatalf("And wrong: %d", and.Count())
+	}
+	or := a.Clone()
+	or.Or(b)
+	if or.Count() != 3 {
+		t.Fatalf("Or wrong: %d", or.Count())
+	}
+	diff := a.Clone()
+	diff.AndNot(b)
+	if diff.Count() != 1 || !diff.Test(1) {
+		t.Fatalf("AndNot wrong: %d", diff.Count())
+	}
+}
+
+func TestForEachAndNextSet(t *testing.T) {
+	b := New(200)
+	want := []int{3, 64, 65, 199}
+	for _, i := range want {
+		b.Set(i)
+	}
+	var got []int
+	b.ForEach(func(i int) bool {
+		got = append(got, i)
+		return true
+	})
+	if len(got) != len(want) {
+		t.Fatalf("ForEach visited %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ForEach order: %v", got)
+		}
+	}
+	// Early stop.
+	n := 0
+	b.ForEach(func(int) bool { n++; return n < 2 })
+	if n != 2 {
+		t.Fatalf("early stop visited %d", n)
+	}
+	if b.NextSet(0) != 3 || b.NextSet(4) != 64 || b.NextSet(65) != 65 || b.NextSet(66) != 199 {
+		t.Fatal("NextSet wrong")
+	}
+	if b.NextSet(200) != -1 || b.NextSet(-5) != 3 {
+		t.Fatal("NextSet boundary wrong")
+	}
+	empty := New(64)
+	if empty.NextSet(0) != -1 {
+		t.Fatal("NextSet on empty should be -1")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := New(64)
+	a.Set(5)
+	c := a.Clone()
+	c.Set(6)
+	if a.Test(6) {
+		t.Fatal("Clone aliases storage")
+	}
+}
+
+// Property: Count equals the number of distinct set indices, and
+// De Morgan holds: ^(a | b) == ^a & ^b.
+func TestBitsetProperties(t *testing.T) {
+	f := func(seed int64, nBits uint16) bool {
+		n := int(nBits%500) + 1
+		rng := rand.New(rand.NewSource(seed))
+		a := New(n)
+		b := New(n)
+		seen := map[int]bool{}
+		for i := 0; i < n/2; i++ {
+			x := rng.Intn(n)
+			a.Set(x)
+			seen[x] = true
+			b.Set(rng.Intn(n))
+		}
+		if a.Count() != len(seen) {
+			return false
+		}
+		lhs := a.Clone()
+		lhs.Or(b)
+		lhs.Not()
+		rhs := a.Clone()
+		rhs.Not()
+		nb := b.Clone()
+		nb.Not()
+		rhs.And(nb)
+		for i := 0; i < n; i++ {
+			if lhs.Test(i) != rhs.Test(i) {
+				return false
+			}
+		}
+		return lhs.Count() == rhs.Count()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

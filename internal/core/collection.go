@@ -1,0 +1,451 @@
+// Package core is the engine behind the public vdbms API: it owns a
+// collection's vectors, attribute table, deletion mask, and ANN index,
+// wires them into an executor environment, and decides when the index
+// is stale enough to rebuild. It is the glue layer of Figure 1 between
+// the query processor and the storage manager.
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"vdbms/internal/executor"
+	"vdbms/internal/filter"
+	"vdbms/internal/index"
+	"vdbms/internal/planner"
+	"vdbms/internal/topk"
+	"vdbms/internal/vec"
+
+	// Register every index family with the registry.
+	_ "vdbms/internal/index/hnsw"
+	_ "vdbms/internal/index/ivf"
+	_ "vdbms/internal/index/kdtree"
+	_ "vdbms/internal/index/knng"
+	_ "vdbms/internal/index/lsh"
+	_ "vdbms/internal/index/nsg"
+	_ "vdbms/internal/index/nsw"
+	_ "vdbms/internal/index/rptree"
+	_ "vdbms/internal/index/spectral"
+)
+
+// Schema describes a collection at creation time.
+type Schema struct {
+	Dim    int
+	Metric vec.Metric
+	// Attributes maps column name to type.
+	Attributes map[string]filter.Kind
+	// RebuildFraction triggers an automatic index rebuild when the
+	// fraction of rows mutated since the last build exceeds it;
+	// default 0.2.
+	RebuildFraction float64
+}
+
+// Collection is a mutable vector collection with hybrid search.
+type Collection struct {
+	mu      sync.RWMutex
+	name    string
+	schema  Schema
+	fn      vec.DistanceFunc
+	data    []float32
+	n       int
+	deleted map[int64]struct{}
+	attrs   *filter.Table
+
+	annKind string
+	annOpts map[string]int
+	ann     index.Index
+	annN    int // rows covered by the current index build
+	dirty   int // mutations since the build
+}
+
+// NewCollection creates an empty collection.
+func NewCollection(name string, schema Schema) (*Collection, error) {
+	if schema.Dim <= 0 {
+		return nil, fmt.Errorf("core: dimension must be positive")
+	}
+	if schema.Metric == vec.Mahalanobis {
+		return nil, fmt.Errorf("core: Mahalanobis needs a learned matrix; use a custom executor")
+	}
+	if schema.RebuildFraction <= 0 {
+		schema.RebuildFraction = 0.2
+	}
+	attrs := filter.NewTable()
+	for name, kind := range schema.Attributes {
+		if _, err := attrs.AddColumn(name, kind); err != nil {
+			return nil, err
+		}
+	}
+	return &Collection{
+		name:    name,
+		schema:  schema,
+		fn:      vec.Distance(schema.Metric),
+		deleted: map[int64]struct{}{},
+		attrs:   attrs,
+	}, nil
+}
+
+// Name returns the collection name.
+func (c *Collection) Name() string { return c.name }
+
+// Dim returns the vector dimensionality.
+func (c *Collection) Dim() int { return c.schema.Dim }
+
+// Len returns the number of live rows.
+func (c *Collection) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.n - len(c.deleted)
+}
+
+// Rows returns the total rows ever inserted (live + deleted).
+func (c *Collection) Rows() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.n
+}
+
+// Insert appends a vector with attribute values and returns its id.
+func (c *Collection) Insert(v []float32, attrs map[string]filter.Value) (int64, error) {
+	if len(v) != c.schema.Dim {
+		return 0, fmt.Errorf("core: vector dim %d, collection dim %d", len(v), c.schema.Dim)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if attrs == nil {
+		attrs = map[string]filter.Value{}
+	}
+	if err := c.attrs.AppendRow(attrs); err != nil {
+		return 0, err
+	}
+	c.data = append(c.data, v...)
+	id := int64(c.n)
+	c.n++
+	// Growth is tracked as n - annN; dirty counts only in-place
+	// mutations, so inserts are not double counted.
+	return id, nil
+}
+
+// UpdateVector overwrites the vector stored at id in place. The ANN
+// index sees the new values immediately (distances are recomputed from
+// the shared array) but its graph/partition structure grows stale;
+// enough updates trigger a rebuild.
+func (c *Collection) UpdateVector(id int64, v []float32) error {
+	if len(v) != c.schema.Dim {
+		return fmt.Errorf("core: vector dim %d, collection dim %d", len(v), c.schema.Dim)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.validIDLocked(id); err != nil {
+		return err
+	}
+	copy(c.data[int(id)*c.schema.Dim:(int(id)+1)*c.schema.Dim], v)
+	if c.ann != nil {
+		c.dirty++
+	}
+	return nil
+}
+
+// Delete hides a row from all future queries.
+func (c *Collection) Delete(id int64) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.validIDLocked(id); err != nil {
+		return err
+	}
+	c.deleted[id] = struct{}{}
+	if c.ann != nil {
+		c.dirty++
+	}
+	return nil
+}
+
+// Get returns the vector and attributes for a live id.
+func (c *Collection) Get(id int64) ([]float32, map[string]filter.Value, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if err := c.validIDLocked(id); err != nil {
+		return nil, nil, err
+	}
+	v := make([]float32, c.schema.Dim)
+	copy(v, c.data[int(id)*c.schema.Dim:(int(id)+1)*c.schema.Dim])
+	out := map[string]filter.Value{}
+	for _, col := range c.attrs.Columns() {
+		cc, _ := c.attrs.Column(col)
+		out[col] = cc.Get(int(id))
+	}
+	return v, out, nil
+}
+
+func (c *Collection) validIDLocked(id int64) error {
+	if id < 0 || id >= int64(c.n) {
+		return fmt.Errorf("core: id %d out of range [0,%d)", id, c.n)
+	}
+	if _, dead := c.deleted[id]; dead {
+		return fmt.Errorf("core: id %d is deleted", id)
+	}
+	return nil
+}
+
+// CreateIndex builds (or replaces) the ANN index using a registered
+// family ("hnsw", "ivfflat", "lsh", ...) and its options.
+func (c *Collection) CreateIndex(kind string, opts map[string]int) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.buildIndexLocked(kind, opts)
+}
+
+func (c *Collection) buildIndexLocked(kind string, opts map[string]int) error {
+	if c.n == 0 {
+		return fmt.Errorf("core: cannot index an empty collection")
+	}
+	idx, err := index.Build(kind, c.data, c.n, c.schema.Dim, opts)
+	if err != nil {
+		return err
+	}
+	c.annKind, c.annOpts, c.ann = kind, opts, idx
+	c.annN = c.n
+	c.dirty = 0
+	return nil
+}
+
+// DropIndex removes the ANN index (queries fall back to exact scan).
+func (c *Collection) DropIndex() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ann, c.annKind, c.annOpts = nil, "", nil
+	c.annN, c.dirty = 0, 0
+}
+
+// IndexInfo reports the current index family and staleness.
+func (c *Collection) IndexInfo() (kind string, covered, dirty int) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.annKind, c.annN, c.dirty
+}
+
+// maybeRebuild rebuilds the index when the mutation fraction exceeds
+// the schema threshold. Called with the write lock held.
+func (c *Collection) maybeRebuildLocked() error {
+	if c.ann == nil || c.annN == 0 {
+		return nil
+	}
+	grown := c.n - c.annN
+	if float64(c.dirty+grown) <= c.schema.RebuildFraction*float64(c.annN) {
+		return nil
+	}
+	return c.buildIndexLocked(c.annKind, c.annOpts)
+}
+
+// env materializes the executor environment for the current snapshot.
+// Called with at least a read lock held.
+func (c *Collection) envLocked() (*executor.Env, error) {
+	return executor.NewEnv(c.data[:c.n*c.schema.Dim], c.n, c.schema.Dim, c.fn, c.liveIndexLocked(), c.attrs)
+}
+
+// liveIndexLocked returns the ANN index only if it covers every row;
+// an index built before recent inserts would silently miss them, so
+// it is bypassed until rebuilt.
+func (c *Collection) liveIndexLocked() index.Index {
+	if c.ann != nil && c.annN == c.n {
+		return c.ann
+	}
+	return nil
+}
+
+// exclude returns the deletion mask as an executor exclusion.
+func (c *Collection) exclude() func(id int64) bool {
+	if len(c.deleted) == 0 {
+		return nil
+	}
+	return func(id int64) bool {
+		_, dead := c.deleted[id]
+		return dead
+	}
+}
+
+// Request is a search request against the collection.
+type Request struct {
+	Vector  []float32
+	Vectors [][]float32 // multi-vector query (with EntityColumn)
+	K       int
+	Preds   []filter.Predicate
+	// Policy selects plan choice: "cost" (default), "rule", a
+	// planner profile name, or "plan:<kind>" to force a plan.
+	Policy string
+	Ef     int
+	NProbe int
+	Alpha  int
+	// EntityColumn names an Int64 attribute grouping rows into
+	// entities for multi-vector queries.
+	EntityColumn string
+	Aggregator   vec.Aggregator
+	Weights      []float32
+}
+
+// Result is one hit.
+type Result struct {
+	ID   int64
+	Dist float32
+}
+
+// Search executes the request and reports the plan used.
+func (c *Collection) Search(req Request) ([]Result, planner.Plan, error) {
+	c.mu.Lock()
+	if err := c.maybeRebuildLocked(); err != nil {
+		c.mu.Unlock()
+		return nil, planner.Plan{}, err
+	}
+	c.mu.Unlock()
+
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if c.n == 0 {
+		return nil, planner.Plan{}, fmt.Errorf("core: collection %q is empty", c.name)
+	}
+	env, err := c.envLocked()
+	if err != nil {
+		return nil, planner.Plan{}, err
+	}
+	opts := executor.Options{Ef: req.Ef, NProbe: req.NProbe, Exclude: c.exclude()}
+
+	if len(req.Vectors) > 0 {
+		if req.EntityColumn == "" {
+			return nil, planner.Plan{}, fmt.Errorf("core: multi-vector query needs EntityColumn")
+		}
+		res, err := c.multiVectorLocked(env, req, opts)
+		return res, planner.Plan{Kind: planner.SingleStage}, err
+	}
+
+	var res []topk.Result
+	var plan planner.Plan
+	if len(req.Policy) > 5 && req.Policy[:5] == "plan:" {
+		plan, err = parsePlan(req.Policy[5:], req.Alpha)
+		if err != nil {
+			return nil, planner.Plan{}, err
+		}
+		res, err = env.Execute(plan, req.Vector, req.K, req.Preds, opts)
+	} else {
+		res, plan, err = env.Search(req.Vector, req.K, req.Preds, opts, req.Policy)
+	}
+	if err != nil {
+		return nil, planner.Plan{}, err
+	}
+	return convert(res), plan, nil
+}
+
+func parsePlan(name string, alpha int) (planner.Plan, error) {
+	if alpha <= 0 {
+		alpha = 4
+	}
+	switch name {
+	case "brute_force":
+		return planner.Plan{Kind: planner.BruteForce}, nil
+	case "pre_filter":
+		return planner.Plan{Kind: planner.PreFilter}, nil
+	case "post_filter":
+		return planner.Plan{Kind: planner.PostFilter, Alpha: alpha}, nil
+	case "single_stage":
+		return planner.Plan{Kind: planner.SingleStage}, nil
+	}
+	return planner.Plan{}, fmt.Errorf("core: unknown plan %q", name)
+}
+
+func (c *Collection) multiVectorLocked(env *executor.Env, req Request, opts executor.Options) ([]Result, error) {
+	col, ok := c.attrs.Column(req.EntityColumn)
+	if !ok {
+		return nil, fmt.Errorf("core: unknown entity column %q", req.EntityColumn)
+	}
+	if col.Kind() != filter.Int64 {
+		return nil, fmt.Errorf("core: entity column %q must be Int64", req.EntityColumn)
+	}
+	owner := make([]int64, c.n)
+	for i := 0; i < c.n; i++ {
+		owner[i] = col.Get(i).I
+	}
+	m := executor.NewEntityMap(owner)
+	var res []topk.Result
+	var err error
+	if env.ANN != nil {
+		res, err = env.MultiVectorANN(m, req.Aggregator, req.Vectors, req.Weights, req.K, 0, opts)
+	} else {
+		res, err = env.MultiVectorExact(m, req.Aggregator, req.Vectors, req.Weights, req.K)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return convert(res), nil
+}
+
+// SearchRange returns all live rows within the squared-distance
+// radius, subject to predicates.
+func (c *Collection) SearchRange(q []float32, radius float32, preds []filter.Predicate) ([]Result, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	env, err := c.envLocked()
+	if err != nil {
+		return nil, err
+	}
+	res, err := env.SearchRange(q, radius, preds)
+	if err != nil {
+		return nil, err
+	}
+	// Apply the deletion mask (range path reads the flat scan only).
+	out := make([]Result, 0, len(res))
+	for _, r := range res {
+		if _, dead := c.deleted[r.ID]; dead {
+			continue
+		}
+		out = append(out, Result{ID: r.ID, Dist: r.Dist})
+	}
+	return out, nil
+}
+
+// SearchBatch answers many queries under one plan policy.
+func (c *Collection) SearchBatch(qs [][]float32, k int, preds []filter.Predicate, ef int) ([][]Result, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	env, err := c.envLocked()
+	if err != nil {
+		return nil, err
+	}
+	plan := planner.Plan{Kind: planner.SingleStage}
+	res, err := env.SearchBatch(plan, qs, k, preds, executor.Options{Ef: ef, Exclude: c.exclude()})
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]Result, len(res))
+	for i, rs := range res {
+		out[i] = convert(rs)
+	}
+	return out, nil
+}
+
+// OpenIterator starts incremental paging over the collection.
+func (c *Collection) OpenIterator(q []float32, preds []filter.Predicate, ef int) (*executor.Iterator, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	env, err := c.envLocked()
+	if err != nil {
+		return nil, err
+	}
+	return env.NewIterator(q, preds, executor.Options{Ef: ef, Exclude: c.exclude()})
+}
+
+func convert(rs []topk.Result) []Result {
+	out := make([]Result, len(rs))
+	for i, r := range rs {
+		out[i] = Result{ID: r.ID, Dist: r.Dist}
+	}
+	return out
+}
+
+// AttributeKinds exposes the attribute schema (used by the public API
+// when wrapping a restored collection).
+func (c *Collection) AttributeKinds() map[string]filter.Kind {
+	out := map[string]filter.Kind{}
+	for _, name := range c.attrs.Columns() {
+		col, _ := c.attrs.Column(name)
+		out[name] = col.Kind()
+	}
+	return out
+}

@@ -1,0 +1,240 @@
+package core
+
+import (
+	"testing"
+
+	"vdbms/internal/dataset"
+	"vdbms/internal/filter"
+	"vdbms/internal/planner"
+	"vdbms/internal/vec"
+)
+
+func newCol(t *testing.T, n int) (*Collection, *dataset.Dataset) {
+	t.Helper()
+	c, err := NewCollection("t", Schema{
+		Dim:    8,
+		Metric: vec.L2,
+		Attributes: map[string]filter.Kind{
+			"g": filter.Int64,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := dataset.Clustered(n, 8, 4, 0.4, 1)
+	for i := 0; i < n; i++ {
+		if _, err := c.Insert(ds.Row(i), map[string]filter.Value{"g": filter.IntV(int64(i % 10))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return c, ds
+}
+
+func TestSchemaValidation(t *testing.T) {
+	if _, err := NewCollection("x", Schema{Dim: 0}); err == nil {
+		t.Fatal("want dim error")
+	}
+	if _, err := NewCollection("x", Schema{Dim: 2, Metric: vec.Mahalanobis}); err == nil {
+		t.Fatal("want metric error")
+	}
+	if _, err := NewCollection("x", Schema{Dim: 2, Attributes: map[string]filter.Kind{"": filter.Int64}}); err != nil {
+		// empty name is allowed by filter.Table; just ensure no panic
+		t.Logf("empty column name: %v", err)
+	}
+}
+
+func TestInsertValidation(t *testing.T) {
+	c, _ := newCol(t, 10)
+	if _, err := c.Insert([]float32{1}, nil); err == nil {
+		t.Fatal("want dim error")
+	}
+	// Wrong attribute arity.
+	if _, err := c.Insert(make([]float32, 8), map[string]filter.Value{}); err == nil {
+		t.Fatal("want arity error")
+	}
+	if c.Rows() != 10 || c.Len() != 10 || c.Dim() != 8 || c.Name() != "t" {
+		t.Fatal("metadata wrong")
+	}
+}
+
+func TestGetUpdateDeleteLifecycle(t *testing.T) {
+	c, ds := newCol(t, 20)
+	v, attrs, err := c.Get(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v[0] != ds.Row(3)[0] || attrs["g"].I != 3 {
+		t.Fatal("Get wrong")
+	}
+	if err := c.UpdateVector(3, make([]float32, 8)); err != nil {
+		t.Fatal(err)
+	}
+	v, _, _ = c.Get(3)
+	if v[0] != 0 {
+		t.Fatal("update not visible")
+	}
+	if err := c.UpdateVector(3, []float32{1}); err == nil {
+		t.Fatal("want dim error")
+	}
+	if err := c.Delete(3); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Delete(3); err == nil {
+		t.Fatal("double delete should error")
+	}
+	if err := c.Delete(99); err == nil {
+		t.Fatal("out of range delete should error")
+	}
+	if _, _, err := c.Get(3); err == nil {
+		t.Fatal("deleted Get should error")
+	}
+	if c.Len() != 19 {
+		t.Fatal("live count wrong")
+	}
+}
+
+func TestCreateIndexEmptyCollection(t *testing.T) {
+	c, err := NewCollection("e", Schema{Dim: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CreateIndex("hnsw", nil); err == nil {
+		t.Fatal("want empty-collection error")
+	}
+	if _, _, err := c.Search(Request{Vector: make([]float32, 4), K: 1}); err == nil {
+		t.Fatal("want empty-collection search error")
+	}
+}
+
+func TestSearchPlansAndPolicy(t *testing.T) {
+	c, ds := newCol(t, 500)
+	if err := c.CreateIndex("hnsw", map[string]int{"m": 8}); err != nil {
+		t.Fatal(err)
+	}
+	preds := []filter.Predicate{{Column: "g", Op: filter.Lt, Value: filter.IntV(5)}}
+	for _, policy := range []string{"", "rule", "plan:pre_filter", "plan:post_filter", "plan:single_stage", "plan:brute_force"} {
+		res, plan, err := c.Search(Request{Vector: ds.Row(0), K: 5, Preds: preds, Policy: policy, Ef: 100})
+		if err != nil {
+			t.Fatalf("%q: %v", policy, err)
+		}
+		if len(res) == 0 {
+			t.Fatalf("%q (plan %v): empty", policy, plan.Kind)
+		}
+		for _, r := range res {
+			if r.ID%10 >= 5 {
+				t.Fatalf("%q violated predicate", policy)
+			}
+		}
+	}
+	if _, err := parsePlan("zz", 0); err == nil {
+		t.Fatal("want plan parse error")
+	}
+	if p, _ := parsePlan("post_filter", 0); p.Alpha != 4 {
+		t.Fatal("default alpha wrong")
+	}
+}
+
+func TestRebuildPolicy(t *testing.T) {
+	c, _ := newCol(t, 100)
+	if err := c.CreateIndex("hnsw", nil); err != nil {
+		t.Fatal(err)
+	}
+	// Below threshold: no rebuild.
+	for i := 0; i < 10; i++ {
+		c.UpdateVector(int64(i), make([]float32, 8)) //nolint:errcheck
+	}
+	if _, _, err := c.Search(Request{Vector: make([]float32, 8), K: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, dirty := c.IndexInfo(); dirty != 10 {
+		t.Fatalf("dirty = %d, rebuild should not have run", dirty)
+	}
+	// Cross threshold (default 0.2): rebuild on next search.
+	for i := 10; i < 25; i++ {
+		c.UpdateVector(int64(i), make([]float32, 8)) //nolint:errcheck
+	}
+	if _, _, err := c.Search(Request{Vector: make([]float32, 8), K: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, dirty := c.IndexInfo(); dirty != 0 {
+		t.Fatalf("dirty = %d after rebuild", dirty)
+	}
+	c.DropIndex()
+	if kind, _, _ := c.IndexInfo(); kind != "" {
+		t.Fatal("drop failed")
+	}
+}
+
+func TestMultiVectorEntityColumnValidation(t *testing.T) {
+	c, ds := newCol(t, 60)
+	// Missing entity column name.
+	if _, _, err := c.Search(Request{Vectors: [][]float32{ds.Row(0)}, K: 2}); err == nil {
+		t.Fatal("want entity-column error")
+	}
+	// Unknown column.
+	if _, _, err := c.Search(Request{Vectors: [][]float32{ds.Row(0)}, K: 2, EntityColumn: "zz"}); err == nil {
+		t.Fatal("want unknown-column error")
+	}
+	// Works with the int column.
+	res, _, err := c.Search(Request{Vectors: [][]float32{ds.Row(0)}, K: 2, EntityColumn: "g", Aggregator: vec.AggMin})
+	if err != nil || len(res) != 2 {
+		t.Fatalf("multi-vector: %v %v", res, err)
+	}
+	// Non-int entity column rejected.
+	c2, err := NewCollection("s", Schema{Dim: 4, Attributes: map[string]filter.Kind{"name": filter.String}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2.Insert(make([]float32, 4), map[string]filter.Value{"name": filter.StringV("x")}) //nolint:errcheck
+	if _, _, err := c2.Search(Request{Vectors: [][]float32{make([]float32, 4)}, K: 1, EntityColumn: "name"}); err == nil {
+		t.Fatal("want type error")
+	}
+}
+
+func TestSearchRangeRespectsDeletes(t *testing.T) {
+	c, ds := newCol(t, 50)
+	c.Delete(7) //nolint:errcheck
+	res, err := c.SearchRange(ds.Row(7), 0.01, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res {
+		if r.ID == 7 {
+			t.Fatal("deleted id in range result")
+		}
+	}
+}
+
+func TestBatchAndIterator(t *testing.T) {
+	c, ds := newCol(t, 200)
+	if err := c.CreateIndex("hnsw", nil); err != nil {
+		t.Fatal(err)
+	}
+	qs := ds.Queries(3, 0.05, 5)
+	batch, err := c.SearchBatch(qs, 4, nil, 64)
+	if err != nil || len(batch) != 3 || len(batch[0]) != 4 {
+		t.Fatalf("batch: %v %v", batch, err)
+	}
+	it, err := c.OpenIterator(ds.Row(0), nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	page, err := it.Next(5)
+	if err != nil || len(page) != 5 {
+		t.Fatalf("iterator: %v %v", page, err)
+	}
+}
+
+func TestPlanForcedBruteForceMatchesExact(t *testing.T) {
+	c, ds := newCol(t, 300)
+	if err := c.CreateIndex("ivfflat", map[string]int{"nlist": 8}); err != nil {
+		t.Fatal(err)
+	}
+	res, plan, err := c.Search(Request{Vector: ds.Row(42), K: 1, Policy: "plan:brute_force"})
+	if err != nil || plan.Kind != planner.BruteForce {
+		t.Fatalf("%v %v", plan, err)
+	}
+	if res[0].ID != 42 || res[0].Dist != 0 {
+		t.Fatalf("res = %v", res)
+	}
+}

@@ -1,0 +1,179 @@
+package core
+
+import (
+	"bufio"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+
+	"vdbms/internal/filter"
+	"vdbms/internal/vec"
+)
+
+// Persistence: a collection serializes to a single file holding the
+// schema, vectors, attribute columns, deletion set, and the index
+// *recipe* (family + options). Indexes themselves are rebuilt on load
+// — they are derived data, and each family's build is deterministic
+// given its seed, so a rebuild reproduces the same structure without
+// freezing internal layouts into the file format.
+
+// snapshot is the gob-encoded on-disk form.
+type snapshot struct {
+	FormatVersion int
+	Name          string
+	Dim           int
+	Metric        int32
+	RebuildFrac   float64
+	N             int
+	Data          []float32
+	Deleted       []int64
+	// Attribute columns by name; exactly one slice per column is
+	// non-nil, matching Kind.
+	AttrKinds  map[string]int32
+	IntColumns map[string][]int64
+	FltColumns map[string][]float64
+	StrColumns map[string][]string
+	IndexKind  string
+	IndexOpts  map[string]int
+}
+
+const snapshotVersion = 1
+
+// Save writes the collection to path atomically (write temp + rename).
+func (c *Collection) Save(path string) error {
+	c.mu.RLock()
+	snap := snapshot{
+		FormatVersion: snapshotVersion,
+		Name:          c.name,
+		Dim:           c.schema.Dim,
+		Metric:        int32(c.schema.Metric),
+		RebuildFrac:   c.schema.RebuildFraction,
+		N:             c.n,
+		Data:          append([]float32(nil), c.data[:c.n*c.schema.Dim]...),
+		AttrKinds:     map[string]int32{},
+		IntColumns:    map[string][]int64{},
+		FltColumns:    map[string][]float64{},
+		StrColumns:    map[string][]string{},
+		IndexKind:     c.annKind,
+		IndexOpts:     c.annOpts,
+	}
+	for id := range c.deleted {
+		snap.Deleted = append(snap.Deleted, id)
+	}
+	for _, name := range c.attrs.Columns() {
+		col, _ := c.attrs.Column(name)
+		snap.AttrKinds[name] = int32(col.Kind())
+		switch col.Kind() {
+		case filter.Int64:
+			vals := make([]int64, c.n)
+			for i := 0; i < c.n; i++ {
+				vals[i] = col.Get(i).I
+			}
+			snap.IntColumns[name] = vals
+		case filter.Float64:
+			vals := make([]float64, c.n)
+			for i := 0; i < c.n; i++ {
+				vals[i] = col.Get(i).F
+			}
+			snap.FltColumns[name] = vals
+		case filter.String:
+			vals := make([]string, c.n)
+			for i := 0; i < c.n; i++ {
+				vals[i] = col.Get(i).S
+			}
+			snap.StrColumns[name] = vals
+		}
+	}
+	c.mu.RUnlock()
+
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(f)
+	if err := gob.NewEncoder(w).Encode(&snap); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("core: encoding snapshot: %w", err)
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// Load reads a collection saved by Save and rebuilds its index (if
+// one was configured).
+func Load(path string) (*Collection, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return loadFrom(bufio.NewReader(f))
+}
+
+func loadFrom(r io.Reader) (*Collection, error) {
+	var snap snapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("core: decoding snapshot: %w", err)
+	}
+	if snap.FormatVersion != snapshotVersion {
+		return nil, fmt.Errorf("core: snapshot version %d, supported %d", snap.FormatVersion, snapshotVersion)
+	}
+	attrs := map[string]filter.Kind{}
+	for name, k := range snap.AttrKinds {
+		attrs[name] = filter.Kind(k)
+	}
+	c, err := NewCollection(snap.Name, Schema{
+		Dim:             snap.Dim,
+		Metric:          vec.Metric(snap.Metric),
+		Attributes:      attrs,
+		RebuildFraction: snap.RebuildFrac,
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Restore rows through the regular insert path so every invariant
+	// (column alignment, counters) is re-established.
+	row := make(map[string]filter.Value, len(attrs))
+	for i := 0; i < snap.N; i++ {
+		for name, k := range attrs {
+			switch k {
+			case filter.Int64:
+				row[name] = filter.IntV(snap.IntColumns[name][i])
+			case filter.Float64:
+				row[name] = filter.FloatV(snap.FltColumns[name][i])
+			case filter.String:
+				row[name] = filter.StringV(snap.StrColumns[name][i])
+			}
+		}
+		if _, err := c.Insert(snap.Data[i*snap.Dim:(i+1)*snap.Dim], row); err != nil {
+			return nil, fmt.Errorf("core: restoring row %d: %w", i, err)
+		}
+	}
+	for _, id := range snap.Deleted {
+		if err := c.Delete(id); err != nil {
+			return nil, fmt.Errorf("core: restoring tombstone %d: %w", id, err)
+		}
+	}
+	if snap.IndexKind != "" {
+		if err := c.CreateIndex(snap.IndexKind, snap.IndexOpts); err != nil {
+			return nil, fmt.Errorf("core: rebuilding %s index: %w", snap.IndexKind, err)
+		}
+	}
+	return c, nil
+}

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"bytes"
+	"encoding/gob"
+	"path/filepath"
+	"testing"
+
+	"vdbms/internal/filter"
+)
+
+func TestSaveLoadRoundTripCore(t *testing.T) {
+	c, ds := newCol(t, 120)
+	if err := c.CreateIndex("ivfflat", map[string]int{"nlist": 4}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Delete(3); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "c.snap")
+	if err := c.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	re, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Len() != 119 || re.Rows() != 120 || re.Name() != "t" {
+		t.Fatalf("restored: live=%d rows=%d", re.Len(), re.Rows())
+	}
+	kind, covered, _ := re.IndexInfo()
+	if kind != "ivfflat" || covered != 120 {
+		t.Fatalf("index: %s %d", kind, covered)
+	}
+	kinds := re.AttributeKinds()
+	if kinds["g"] != filter.Int64 {
+		t.Fatalf("attr kinds: %v", kinds)
+	}
+	// Same search results pre/post.
+	q := ds.Row(10)
+	before, _, err := c.Search(Request{Vector: q, K: 5, NProbe: 4, Ef: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, _, err := re.Search(Request{Vector: q, K: 5, NProbe: 4, Ef: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(before) != len(after) {
+		t.Fatalf("result sizes differ: %d vs %d", len(before), len(after))
+	}
+	for i := range before {
+		if before[i].ID != after[i].ID {
+			t.Fatalf("result %d differs: %v vs %v", i, before[i], after[i])
+		}
+	}
+}
+
+func TestLoadVersionMismatch(t *testing.T) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&snapshot{FormatVersion: 99}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadFrom(&buf); err == nil {
+		t.Fatal("want version error")
+	}
+}
+
+func TestLoadCorruptTombstone(t *testing.T) {
+	var buf bytes.Buffer
+	snap := snapshot{
+		FormatVersion: snapshotVersion,
+		Name:          "x",
+		Dim:           2,
+		N:             1,
+		Data:          []float32{1, 2},
+		Deleted:       []int64{7}, // out of range
+		AttrKinds:     map[string]int32{},
+	}
+	if err := gob.NewEncoder(&buf).Encode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadFrom(&buf); err == nil {
+		t.Fatal("want tombstone error")
+	}
+}
+
+func TestLoadBadIndexKind(t *testing.T) {
+	var buf bytes.Buffer
+	snap := snapshot{
+		FormatVersion: snapshotVersion,
+		Name:          "x",
+		Dim:           2,
+		N:             1,
+		Data:          []float32{1, 2},
+		AttrKinds:     map[string]int32{},
+		IndexKind:     "bogus",
+	}
+	if err := gob.NewEncoder(&buf).Encode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadFrom(&buf); err == nil {
+		t.Fatal("want index-kind error")
+	}
+}
+
+func TestLoadMissingFile(t *testing.T) {
+	if _, err := Load(filepath.Join(t.TempDir(), "nope")); err == nil {
+		t.Fatal("want open error")
+	}
+}
+
+func TestSaveToUnwritablePath(t *testing.T) {
+	c, _ := newCol(t, 5)
+	if err := c.Save(filepath.Join(t.TempDir(), "no", "such", "dir", "f")); err == nil {
+		t.Fatal("want create error")
+	}
+}

@@ -1,0 +1,163 @@
+// Package dataset generates the seeded synthetic workloads used by the
+// test suite and the experiment harness, along with exact ground truth
+// and recall computation.
+//
+// The paper's tutorial evaluates techniques on real embedding corpora
+// (image, text, video, audio); those are not available offline, so we
+// substitute controllable generators (see DESIGN.md "Substitutions"):
+//
+//   - Uniform: i.i.d. uniform cube — the worst case for partitioning
+//     indexes and the canonical curse-of-dimensionality setting.
+//   - Clustered: a Gaussian mixture — matches the cluster structure of
+//     real embeddings that IVF/graph indexes exploit.
+//   - LowRank: points on a low-dimensional manifold embedded in high
+//     dimension plus noise — exercises the intrinsic-dimensionality
+//     adaptivity claims of randomized trees.
+package dataset
+
+import (
+	"math/rand"
+
+	"vdbms/internal/topk"
+	"vdbms/internal/vec"
+)
+
+// Dataset is a row-major matrix of Count vectors of dimension Dim,
+// optionally with the generating cluster of each vector (for
+// cluster-guided partitioning experiments).
+type Dataset struct {
+	Dim     int
+	Count   int
+	Data    []float32 // Count x Dim
+	Cluster []int     // generating component per row; nil for Uniform
+}
+
+// Row returns vector i as a view.
+func (ds *Dataset) Row(i int) []float32 { return ds.Data[i*ds.Dim : (i+1)*ds.Dim] }
+
+// Rows materializes all vectors as slices sharing the backing array.
+func (ds *Dataset) Rows() [][]float32 {
+	out := make([][]float32, ds.Count)
+	for i := range out {
+		out[i] = ds.Row(i)
+	}
+	return out
+}
+
+// Uniform generates n i.i.d. vectors uniform in [0,1)^d.
+func Uniform(n, d int, seed int64) *Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	data := make([]float32, n*d)
+	for i := range data {
+		data[i] = rng.Float32()
+	}
+	return &Dataset{Dim: d, Count: n, Data: data}
+}
+
+// Clustered generates n vectors from a mixture of k Gaussians whose
+// centers are uniform in [0,10)^d with per-component std sigma.
+func Clustered(n, d, k int, sigma float64, seed int64) *Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	centers := make([]float32, k*d)
+	for i := range centers {
+		centers[i] = rng.Float32() * 10
+	}
+	data := make([]float32, n*d)
+	cluster := make([]int, n)
+	for i := 0; i < n; i++ {
+		c := rng.Intn(k)
+		cluster[i] = c
+		for j := 0; j < d; j++ {
+			data[i*d+j] = centers[c*d+j] + float32(rng.NormFloat64()*sigma)
+		}
+	}
+	return &Dataset{Dim: d, Count: n, Data: data, Cluster: cluster}
+}
+
+// LowRank generates n vectors lying near an r-dimensional linear
+// manifold inside d dimensions: x = B z + eps, with z ~ N(0, I_r),
+// random basis B, and isotropic noise of scale noise.
+func LowRank(n, d, r int, noise float64, seed int64) *Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	basis := make([]float64, r*d)
+	for i := range basis {
+		basis[i] = rng.NormFloat64()
+	}
+	data := make([]float32, n*d)
+	for i := 0; i < n; i++ {
+		z := make([]float64, r)
+		for j := range z {
+			z[j] = rng.NormFloat64()
+		}
+		for j := 0; j < d; j++ {
+			var s float64
+			for a := 0; a < r; a++ {
+				s += z[a] * basis[a*d+j]
+			}
+			data[i*d+j] = float32(s + rng.NormFloat64()*noise)
+		}
+	}
+	return &Dataset{Dim: d, Count: n, Data: data}
+}
+
+// Queries draws nq query vectors from the same distribution as a
+// clustered dataset by sampling base rows and perturbing them, the
+// standard way ANN benchmarks derive in-distribution queries.
+func (ds *Dataset) Queries(nq int, jitter float64, seed int64) [][]float32 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([][]float32, nq)
+	for i := range out {
+		src := ds.Row(rng.Intn(ds.Count))
+		q := make([]float32, ds.Dim)
+		for j := range q {
+			q[j] = src[j] + float32(rng.NormFloat64()*jitter)
+		}
+		out[i] = q
+	}
+	return out
+}
+
+// GroundTruth computes the exact k nearest base rows for each query
+// under fn by brute force.
+func GroundTruth(fn vec.DistanceFunc, ds *Dataset, queries [][]float32, k int) [][]topk.Result {
+	out := make([][]topk.Result, len(queries))
+	for qi, q := range queries {
+		c := topk.NewCollector(k)
+		for i := 0; i < ds.Count; i++ {
+			c.Push(int64(i), fn(q, ds.Row(i)))
+		}
+		out[qi] = c.Results()
+	}
+	return out
+}
+
+// Recall returns |got ∩ truth| / |truth| treating both as id sets, the
+// recall@k measure used by ANN-Benchmarks (Section 2.5).
+func Recall(got []topk.Result, truth []topk.Result) float64 {
+	if len(truth) == 0 {
+		return 1
+	}
+	want := make(map[int64]bool, len(truth))
+	for _, r := range truth {
+		want[r.ID] = true
+	}
+	hits := 0
+	for _, r := range got {
+		if want[r.ID] {
+			hits++
+		}
+	}
+	return float64(hits) / float64(len(truth))
+}
+
+// MeanRecall averages Recall over aligned result lists.
+func MeanRecall(got, truth [][]topk.Result) float64 {
+	if len(got) == 0 {
+		return 0
+	}
+	var s float64
+	for i := range got {
+		s += Recall(got[i], truth[i])
+	}
+	return s / float64(len(got))
+}

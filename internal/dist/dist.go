@@ -1,0 +1,170 @@
+// Package dist implements distributed search (Section 2.3(2)): the
+// collection is partitioned into shards, each with its own ANN index,
+// and queries are answered by scatter-gather with a top-k merge.
+// Partitioning is either random (uniform load) or index-guided
+// (k-means cluster per shard), and index-guided routing lets a query
+// probe only the shards whose centroids are closest, shrinking
+// fan-out. A net/rpc transport (rpc.go) runs shards as separate
+// processes.
+package dist
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"vdbms/internal/index"
+	"vdbms/internal/kmeans"
+	"vdbms/internal/topk"
+)
+
+// Shard answers top-k queries over its partition, returning global
+// vector ids.
+type Shard interface {
+	Search(q []float32, k int, ef int) ([]topk.Result, error)
+	Count() int
+}
+
+// LocalShard wraps an index plus the local-to-global id mapping.
+type LocalShard struct {
+	idx index.Index
+	ids []int64 // local row -> global id
+}
+
+// NewLocalShard builds a shard from pre-partitioned rows.
+func NewLocalShard(idx index.Index, globalIDs []int64) *LocalShard {
+	return &LocalShard{idx: idx, ids: globalIDs}
+}
+
+// Count implements Shard.
+func (s *LocalShard) Count() int { return len(s.ids) }
+
+// Search implements Shard.
+func (s *LocalShard) Search(q []float32, k int, ef int) ([]topk.Result, error) {
+	res, err := s.idx.Search(q, k, index.Params{Ef: ef, NProbe: ef})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]topk.Result, len(res))
+	for i, r := range res {
+		out[i] = topk.Result{ID: s.ids[r.ID], Dist: r.Dist}
+	}
+	return out, nil
+}
+
+// Partition assigns each of n rows to one of p parts.
+type Partition struct {
+	Assign []int // row -> part
+	Parts  int
+	// Centroids is non-nil for index-guided partitioning: row-major
+	// Parts x Dim, enabling routed search.
+	Centroids *kmeans.Result
+}
+
+// PartitionRandom spreads rows uniformly at random.
+func PartitionRandom(n, parts int, seed int64) Partition {
+	rng := rand.New(rand.NewSource(seed))
+	a := make([]int, n)
+	for i := range a {
+		a[i] = rng.Intn(parts)
+	}
+	return Partition{Assign: a, Parts: parts}
+}
+
+// PartitionClustered groups rows by k-means cluster, the index-guided
+// policy ("placing all vectors in the same bucket into the same
+// partition").
+func PartitionClustered(data []float32, n, d, parts int, seed int64) (Partition, error) {
+	res, err := kmeans.Train(data, n, d, kmeans.Config{K: parts, Seed: seed, MaxIter: 15})
+	if err != nil {
+		return Partition{}, err
+	}
+	a := make([]int, n)
+	copy(a, res.Assign)
+	return Partition{Assign: a, Parts: res.K, Centroids: res}, nil
+}
+
+// SplitRows materializes per-part row data and global id lists.
+func SplitRows(data []float32, n, d int, p Partition) (partData [][]float32, partIDs [][]int64) {
+	partData = make([][]float32, p.Parts)
+	partIDs = make([][]int64, p.Parts)
+	for row := 0; row < n; row++ {
+		part := p.Assign[row]
+		partData[part] = append(partData[part], data[row*d:(row+1)*d]...)
+		partIDs[part] = append(partIDs[part], int64(row))
+	}
+	return partData, partIDs
+}
+
+// Router scatter-gathers across shards.
+type Router struct {
+	shards    []Shard
+	centroids *kmeans.Result // optional, for routed search
+}
+
+// NewRouter wires shards; centroids may be nil (always full fan-out).
+func NewRouter(shards []Shard, centroids *kmeans.Result) *Router {
+	return &Router{shards: shards, centroids: centroids}
+}
+
+// NumShards returns the shard count.
+func (r *Router) NumShards() int { return len(r.shards) }
+
+// Search fans the query out to every shard and merges the top-k.
+func (r *Router) Search(q []float32, k, ef int) ([]topk.Result, error) {
+	return r.searchShards(q, k, ef, nil)
+}
+
+// RoutedSearch probes only the `probes` shards whose centroids are
+// closest to the query; requires index-guided partitioning. probes <=
+// 0 or missing centroids degrade to full fan-out.
+func (r *Router) RoutedSearch(q []float32, k, ef, probes int) ([]topk.Result, error) {
+	if r.centroids == nil || probes <= 0 || probes >= len(r.shards) {
+		return r.Search(q, k, ef)
+	}
+	return r.searchShards(q, k, ef, r.centroids.NearestN(q, probes))
+}
+
+func (r *Router) searchShards(q []float32, k, ef int, subset []int) ([]topk.Result, error) {
+	targets := subset
+	if targets == nil {
+		targets = make([]int, len(r.shards))
+		for i := range targets {
+			targets[i] = i
+		}
+	}
+	type shardOut struct {
+		res []topk.Result
+		err error
+	}
+	outs := make([]shardOut, len(targets))
+	var wg sync.WaitGroup
+	for i, si := range targets {
+		wg.Add(1)
+		go func(i, si int) {
+			defer wg.Done()
+			res, err := r.shards[si].Search(q, k, ef)
+			outs[i] = shardOut{res, err}
+		}(i, si)
+	}
+	wg.Wait()
+	c := topk.NewCollector(k)
+	for _, o := range outs {
+		if o.err != nil {
+			return nil, fmt.Errorf("dist: shard error: %w", o.err)
+		}
+		for _, r := range o.res {
+			c.Push(r.ID, r.Dist)
+		}
+	}
+	return c.Results(), nil
+}
+
+// FanOut reports how many shards a routed query touches (experiment
+// metric for E11).
+func (r *Router) FanOut(probes int) int {
+	if r.centroids == nil || probes <= 0 || probes >= len(r.shards) {
+		return len(r.shards)
+	}
+	return probes
+}

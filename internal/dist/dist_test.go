@@ -1,0 +1,175 @@
+package dist
+
+import (
+	"net"
+	"testing"
+
+	"vdbms/internal/dataset"
+	"vdbms/internal/index"
+	"vdbms/internal/index/hnsw"
+	"vdbms/internal/vec"
+)
+
+// buildShards partitions a dataset and builds one HNSW per shard.
+func buildShards(t *testing.T, ds *dataset.Dataset, p Partition) []Shard {
+	t.Helper()
+	partData, partIDs := SplitRows(ds.Data, ds.Count, ds.Dim, p)
+	shards := make([]Shard, p.Parts)
+	for i := range shards {
+		n := len(partIDs[i])
+		var idx index.Index
+		var err error
+		if n == 0 {
+			idx, err = index.NewFlat(nil, 0, ds.Dim, nil)
+		} else {
+			idx, err = hnsw.Build(partData[i], n, ds.Dim, hnsw.Config{M: 8, Seed: 1})
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		shards[i] = NewLocalShard(idx, partIDs[i])
+	}
+	return shards
+}
+
+func TestScatterGatherMatchesSingleIndex(t *testing.T) {
+	ds := dataset.Clustered(2000, 16, 8, 0.4, 1)
+	p := PartitionRandom(ds.Count, 4, 7)
+	router := NewRouter(buildShards(t, ds, p), nil)
+	if router.NumShards() != 4 {
+		t.Fatal("shard count wrong")
+	}
+	qs := ds.Queries(15, 0.05, 2)
+	truth := dataset.GroundTruth(vec.SquaredL2, ds, qs, 10)
+	var rec float64
+	for i, q := range qs {
+		got, err := router.Search(q, 10, 100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec += dataset.Recall(got, truth[i])
+	}
+	if mean := rec / 15; mean < 0.85 {
+		t.Fatalf("distributed recall = %v", mean)
+	}
+}
+
+func TestPartitionRandomBalance(t *testing.T) {
+	p := PartitionRandom(10000, 5, 1)
+	counts := make([]int, 5)
+	for _, a := range p.Assign {
+		counts[a]++
+	}
+	for i, c := range counts {
+		if c < 1600 || c > 2400 {
+			t.Fatalf("part %d holds %d of 10000", i, c)
+		}
+	}
+}
+
+func TestIndexGuidedRoutingReducesFanOut(t *testing.T) {
+	ds := dataset.Clustered(2000, 16, 8, 0.3, 3)
+	p, err := PartitionClustered(ds.Data, ds.Count, ds.Dim, 8, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	router := NewRouter(buildShards(t, ds, p), p.Centroids)
+	if router.FanOut(2) != 2 || router.FanOut(0) != 8 || router.FanOut(99) != 8 {
+		t.Fatal("FanOut accounting wrong")
+	}
+	qs := ds.Queries(15, 0.05, 6)
+	truth := dataset.GroundTruth(vec.SquaredL2, ds, qs, 10)
+	var routedRec float64
+	for i, q := range qs {
+		got, err := router.RoutedSearch(q, 10, 100, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		routedRec += dataset.Recall(got, truth[i])
+	}
+	// Probing 2 of 8 cluster-aligned shards must retain most recall.
+	if mean := routedRec / 15; mean < 0.75 {
+		t.Fatalf("routed recall = %v", mean)
+	}
+}
+
+func TestRoutedSearchFallsBackWithoutCentroids(t *testing.T) {
+	ds := dataset.Uniform(300, 8, 7)
+	p := PartitionRandom(ds.Count, 3, 9)
+	router := NewRouter(buildShards(t, ds, p), nil)
+	full, err := router.Search(ds.Row(0), 5, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	routed, err := router.RoutedSearch(ds.Row(0), 5, 100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full) != len(routed) {
+		t.Fatal("fallback should equal full fan-out")
+	}
+	for i := range full {
+		if full[i].ID != routed[i].ID {
+			t.Fatal("fallback results differ")
+		}
+	}
+}
+
+func TestGlobalIDsPreserved(t *testing.T) {
+	ds := dataset.Uniform(200, 4, 11)
+	p := PartitionRandom(ds.Count, 4, 13)
+	router := NewRouter(buildShards(t, ds, p), nil)
+	// Query exactly at row 123: top-1 must be global id 123.
+	got, err := router.Search(ds.Row(123), 1, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].ID != 123 {
+		t.Fatalf("got %v, want id 123", got)
+	}
+}
+
+func TestRPCShardEndToEnd(t *testing.T) {
+	ds := dataset.Clustered(600, 8, 4, 0.4, 15)
+	p := PartitionRandom(ds.Count, 2, 17)
+	local := buildShards(t, ds, p)
+
+	var addrs []string
+	for _, s := range local {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { l.Close() })
+		if err := ServeShard(l, s); err != nil {
+			t.Fatal(err)
+		}
+		addrs = append(addrs, l.Addr().String())
+	}
+	var remote []Shard
+	for _, a := range addrs {
+		rs, err := DialShard(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { rs.Close() })
+		remote = append(remote, rs)
+	}
+	if remote[0].Count()+remote[1].Count() != ds.Count {
+		t.Fatal("remote counts wrong")
+	}
+	router := NewRouter(remote, nil)
+	got, err := router.Search(ds.Row(42), 1, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].ID != 42 {
+		t.Fatalf("rpc search = %v", got)
+	}
+}
+
+func TestDialShardErrors(t *testing.T) {
+	if _, err := DialShard("127.0.0.1:1"); err == nil {
+		t.Fatal("want dial error")
+	}
+}

@@ -1,0 +1,103 @@
+package dist
+
+import (
+	"fmt"
+	"sync"
+
+	"vdbms/internal/topk"
+)
+
+// Replication (Section 2.3(2): "the vector collection is sharded and
+// replicated"): a ReplicaSet fronts several replicas of one shard and
+// fails over between them. Reads prefer the lowest-index healthy
+// replica (primary-first); a replica that errors is marked unhealthy
+// and skipped until MarkHealthy or a successful retry of the set.
+
+// ReplicaSet is a Shard backed by interchangeable replicas.
+type ReplicaSet struct {
+	mu       sync.Mutex
+	replicas []Shard
+	healthy  []bool
+}
+
+// NewReplicaSet wires replicas; at least one is required.
+func NewReplicaSet(replicas ...Shard) (*ReplicaSet, error) {
+	if len(replicas) == 0 {
+		return nil, fmt.Errorf("dist: replica set needs at least one replica")
+	}
+	h := make([]bool, len(replicas))
+	for i := range h {
+		h[i] = true
+	}
+	return &ReplicaSet{replicas: replicas, healthy: h}, nil
+}
+
+// Count implements Shard (from the first healthy replica).
+func (r *ReplicaSet) Count() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i, rep := range r.replicas {
+		if r.healthy[i] {
+			return rep.Count()
+		}
+	}
+	return 0
+}
+
+// Healthy reports how many replicas are currently serving.
+func (r *ReplicaSet) Healthy() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := 0
+	for _, h := range r.healthy {
+		if h {
+			n++
+		}
+	}
+	return n
+}
+
+// MarkHealthy re-enables a replica (e.g. after it was restarted).
+func (r *ReplicaSet) MarkHealthy(i int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if i >= 0 && i < len(r.healthy) {
+		r.healthy[i] = true
+	}
+}
+
+// Search implements Shard with failover: replicas are tried in order;
+// an erroring replica is marked unhealthy and the next one takes
+// over. Only when every replica fails does the set return an error
+// (wrapping the last failure).
+func (r *ReplicaSet) Search(q []float32, k, ef int) ([]topk.Result, error) {
+	var lastErr error
+	for i := range r.replicas {
+		r.mu.Lock()
+		ok := r.healthy[i]
+		rep := r.replicas[i]
+		r.mu.Unlock()
+		if !ok {
+			continue
+		}
+		res, err := rep.Search(q, k, ef)
+		if err == nil {
+			return res, nil
+		}
+		lastErr = err
+		r.mu.Lock()
+		r.healthy[i] = false
+		r.mu.Unlock()
+	}
+	// Desperation pass: retry everything once in case a replica
+	// recovered since being marked down.
+	for i, rep := range r.replicas {
+		res, err := rep.Search(q, k, ef)
+		if err == nil {
+			r.MarkHealthy(i)
+			return res, nil
+		}
+		lastErr = err
+	}
+	return nil, fmt.Errorf("dist: all %d replicas failed: %w", len(r.replicas), lastErr)
+}

@@ -1,0 +1,144 @@
+package dist
+
+import (
+	"errors"
+	"testing"
+
+	"vdbms/internal/dataset"
+	"vdbms/internal/index"
+	"vdbms/internal/topk"
+)
+
+// flakyShard errors for the first failN calls, then serves.
+type flakyShard struct {
+	inner Shard
+	failN int
+	calls int
+}
+
+func (f *flakyShard) Count() int { return f.inner.Count() }
+
+func (f *flakyShard) Search(q []float32, k, ef int) ([]topk.Result, error) {
+	f.calls++
+	if f.calls <= f.failN {
+		return nil, errors.New("replica down")
+	}
+	return f.inner.Search(q, k, ef)
+}
+
+func newLocal(t *testing.T, ds *dataset.Dataset) *LocalShard {
+	t.Helper()
+	idx, err := index.NewFlat(ds.Data, ds.Count, ds.Dim, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := make([]int64, ds.Count)
+	for i := range ids {
+		ids[i] = int64(i)
+	}
+	return NewLocalShard(idx, ids)
+}
+
+func TestReplicaSetFailover(t *testing.T) {
+	ds := dataset.Uniform(100, 4, 1)
+	good := newLocal(t, ds)
+	dead := &flakyShard{inner: good, failN: 1 << 30}
+	rs, err := NewReplicaSet(dead, good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := rs.Search(ds.Row(5), 1, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].ID != 5 {
+		t.Fatalf("failover result = %v", res)
+	}
+	if rs.Healthy() != 1 {
+		t.Fatalf("healthy = %d, want 1 (primary marked down)", rs.Healthy())
+	}
+	if rs.Count() != 100 {
+		t.Fatalf("Count via surviving replica = %d", rs.Count())
+	}
+	// Subsequent searches skip the dead primary without retrying it
+	// in the main pass.
+	if _, err := rs.Search(ds.Row(6), 1, 100); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReplicaSetAllDownThenRecovery(t *testing.T) {
+	ds := dataset.Uniform(50, 4, 3)
+	good := newLocal(t, ds)
+	// Fails twice (the main pass and the first desperation retry of
+	// search #1), then recovers.
+	flaky := &flakyShard{inner: good, failN: 2}
+	rs, err := NewReplicaSet(flaky)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First search: main pass fails (call 1), desperation pass fails
+	// (call 2) -> error.
+	if _, err := rs.Search(ds.Row(0), 1, 10); err == nil {
+		t.Fatal("want error while replica is down")
+	}
+	// Second search: main pass skips (unhealthy), desperation pass
+	// succeeds (call 3) and re-marks healthy.
+	res, err := rs.Search(ds.Row(0), 1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].ID != 0 || rs.Healthy() != 1 {
+		t.Fatalf("recovery failed: %v healthy=%d", res, rs.Healthy())
+	}
+}
+
+func TestReplicaSetValidationAndRouterIntegration(t *testing.T) {
+	if _, err := NewReplicaSet(); err == nil {
+		t.Fatal("want empty-set error")
+	}
+	// A router over replica sets behaves like a router over shards.
+	ds := dataset.Clustered(400, 8, 4, 0.4, 5)
+	p := PartitionRandom(ds.Count, 2, 7)
+	partData, partIDs := SplitRows(ds.Data, ds.Count, ds.Dim, p)
+	shards := make([]Shard, 2)
+	for i := range shards {
+		idx, err := index.NewFlat(partData[i], len(partIDs[i]), ds.Dim, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		primary := NewLocalShard(idx, partIDs[i])
+		rs, err := NewReplicaSet(&flakyShard{inner: primary, failN: 1 << 30}, primary)
+		if err != nil {
+			t.Fatal(err)
+		}
+		shards[i] = rs
+	}
+	router := NewRouter(shards, nil)
+	res, err := router.Search(ds.Row(42), 1, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].ID != 42 {
+		t.Fatalf("routed replica search = %v", res)
+	}
+	if rs0 := shards[0].(*ReplicaSet); rs0.Healthy() != 1 {
+		t.Fatalf("failover not recorded: %d", rs0.Healthy())
+	}
+	if shards[0].Count()+shards[1].Count() != ds.Count {
+		t.Fatal("counts wrong")
+	}
+}
+
+func TestReplicaSetMarkHealthyBounds(t *testing.T) {
+	ds := dataset.Uniform(10, 2, 9)
+	rs, err := NewReplicaSet(newLocal(t, ds))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs.MarkHealthy(-1) // no panic
+	rs.MarkHealthy(99) // no panic
+	if rs.Healthy() != 1 {
+		t.Fatal("bounds handling wrong")
+	}
+}

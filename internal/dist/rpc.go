@@ -1,0 +1,107 @@
+package dist
+
+import (
+	"fmt"
+	"net"
+	"net/rpc"
+
+	"vdbms/internal/topk"
+)
+
+// RPC transport: a shard served over net/rpc so experiments (and the
+// vdbms-shard binary) can run shards as separate processes, the
+// disaggregated deployment of Section 2.3(2).
+
+// SearchArgs is the RPC request.
+type SearchArgs struct {
+	Query []float32
+	K     int
+	Ef    int
+}
+
+// SearchReply is the RPC response.
+type SearchReply struct {
+	Results []topk.Result
+}
+
+// ShardService exposes a Shard over net/rpc.
+type ShardService struct {
+	shard Shard
+}
+
+// Search implements the RPC method.
+func (s *ShardService) Search(args *SearchArgs, reply *SearchReply) error {
+	res, err := s.shard.Search(args.Query, args.K, args.Ef)
+	if err != nil {
+		return err
+	}
+	reply.Results = res
+	return nil
+}
+
+// CountArgs is the empty request for Count.
+type CountArgs struct{}
+
+// CountReply carries the shard size.
+type CountReply struct{ N int }
+
+// Count implements the RPC method.
+func (s *ShardService) Count(_ *CountArgs, reply *CountReply) error {
+	reply.N = s.shard.Count()
+	return nil
+}
+
+// ServeShard registers the shard on a fresh rpc.Server and serves the
+// listener until it closes. It returns immediately; callers own the
+// listener lifecycle.
+func ServeShard(l net.Listener, shard Shard) error {
+	srv := rpc.NewServer()
+	if err := srv.RegisterName("Shard", &ShardService{shard: shard}); err != nil {
+		return err
+	}
+	go func() {
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				return // listener closed
+			}
+			go srv.ServeConn(conn)
+		}
+	}()
+	return nil
+}
+
+// RPCShard is a Shard client backed by a net/rpc connection.
+type RPCShard struct {
+	client *rpc.Client
+	n      int
+}
+
+// DialShard connects to a ServeShard endpoint.
+func DialShard(addr string) (*RPCShard, error) {
+	client, err := rpc.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("dist: dial %s: %w", addr, err)
+	}
+	var cr CountReply
+	if err := client.Call("Shard.Count", &CountArgs{}, &cr); err != nil {
+		client.Close()
+		return nil, fmt.Errorf("dist: count %s: %w", addr, err)
+	}
+	return &RPCShard{client: client, n: cr.N}, nil
+}
+
+// Close tears down the connection.
+func (s *RPCShard) Close() error { return s.client.Close() }
+
+// Count implements Shard.
+func (s *RPCShard) Count() int { return s.n }
+
+// Search implements Shard.
+func (s *RPCShard) Search(q []float32, k, ef int) ([]topk.Result, error) {
+	var reply SearchReply
+	if err := s.client.Call("Shard.Search", &SearchArgs{Query: q, K: k, Ef: ef}, &reply); err != nil {
+		return nil, err
+	}
+	return reply.Results, nil
+}

@@ -1,0 +1,86 @@
+// Package embed provides a built-in embedding model for *indirect*
+// data manipulation (Section 2.1(1)): users hand the VDBMS entities
+// (text), and the system owns the entity -> vector mapping. The model
+// is a feature-hashing bag-of-words/char-trigram embedder — the
+// strongest text representation available without external model
+// weights — chosen so that lexically similar texts land near each
+// other under cosine distance.
+package embed
+
+import (
+	"hash/fnv"
+	"math"
+	"strings"
+	"unicode"
+)
+
+// TextEmbedder hashes token unigrams and character trigrams into a
+// fixed-dimension vector, L2-normalized so cosine and inner product
+// agree.
+type TextEmbedder struct {
+	dim int
+	// trigrams toggles character trigram features (on by default),
+	// which give partial-match robustness for typos/morphology.
+	trigrams bool
+}
+
+// NewTextEmbedder creates an embedder producing dim-dimensional
+// vectors. dim must be positive; 128-512 works well.
+func NewTextEmbedder(dim int) *TextEmbedder {
+	if dim <= 0 {
+		panic("embed: dimension must be positive")
+	}
+	return &TextEmbedder{dim: dim, trigrams: true}
+}
+
+// Dim returns the embedding dimensionality.
+func (e *TextEmbedder) Dim() int { return e.dim }
+
+// Embed maps text to its vector. Deterministic: equal texts embed
+// identically.
+func (e *TextEmbedder) Embed(text string) []float32 {
+	v := make([]float32, e.dim)
+	tokens := Tokenize(text)
+	for _, tok := range tokens {
+		e.add(v, "w:"+tok, 1)
+		if e.trigrams {
+			padded := "^" + tok + "$"
+			for i := 0; i+3 <= len(padded); i++ {
+				e.add(v, "t:"+padded[i:i+3], 0.5)
+			}
+		}
+	}
+	// L2 normalize; empty text stays the zero vector.
+	var norm float64
+	for _, x := range v {
+		norm += float64(x) * float64(x)
+	}
+	if norm > 0 {
+		inv := float32(1 / math.Sqrt(norm))
+		for i := range v {
+			v[i] *= inv
+		}
+	}
+	return v
+}
+
+// add hashes the feature into two buckets with a sign hash (the
+// standard feature-hashing construction, reducing collision bias).
+func (e *TextEmbedder) add(v []float32, feature string, weight float32) {
+	h := fnv.New64a()
+	h.Write([]byte(feature))
+	sum := h.Sum64()
+	idx := int(sum % uint64(e.dim))
+	sign := float32(1)
+	if (sum>>63)&1 == 1 {
+		sign = -1
+	}
+	v[idx] += sign * weight
+}
+
+// Tokenize lowercases and splits on non-letter/digit runs.
+func Tokenize(text string) []string {
+	return strings.FieldsFunc(strings.ToLower(text), func(r rune) bool {
+		return !unicode.IsLetter(r) && !unicode.IsDigit(r)
+	})
+}

@@ -1,0 +1,81 @@
+package embed
+
+import (
+	"testing"
+
+	"vdbms/internal/vec"
+)
+
+func TestDeterministicAndNormalized(t *testing.T) {
+	e := NewTextEmbedder(128)
+	a := e.Embed("the quick brown fox")
+	b := e.Embed("the quick brown fox")
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("embedding not deterministic")
+		}
+	}
+	if n := vec.Norm(a); n < 0.999 || n > 1.001 {
+		t.Fatalf("norm = %v", n)
+	}
+	if e.Dim() != 128 || len(a) != 128 {
+		t.Fatal("dim wrong")
+	}
+}
+
+func TestSimilarTextsCloser(t *testing.T) {
+	e := NewTextEmbedder(256)
+	base := e.Embed("vector database management systems")
+	near := e.Embed("vector database management system")    // morphology
+	medium := e.Embed("database systems for vector search") // shared words
+	far := e.Embed("banana pancake recipe with maple syrup")
+
+	dNear := vec.CosineDistance(base, near)
+	dMedium := vec.CosineDistance(base, medium)
+	dFar := vec.CosineDistance(base, far)
+	if !(dNear < dMedium && dMedium < dFar) {
+		t.Fatalf("ordering violated: near=%v medium=%v far=%v", dNear, dMedium, dFar)
+	}
+}
+
+func TestTypoRobustnessViaTrigrams(t *testing.T) {
+	e := NewTextEmbedder(256)
+	base := e.Embed("approximate nearest neighbor")
+	typo := e.Embed("aproximate nearest neighbor")
+	unrelated := e.Embed("completely different words here")
+	if vec.CosineDistance(base, typo) >= vec.CosineDistance(base, unrelated) {
+		t.Fatal("typo should stay closer than unrelated text")
+	}
+}
+
+func TestEmptyText(t *testing.T) {
+	e := NewTextEmbedder(64)
+	v := e.Embed("")
+	for _, x := range v {
+		if x != 0 {
+			t.Fatal("empty text should embed to zero vector")
+		}
+	}
+}
+
+func TestTokenize(t *testing.T) {
+	got := Tokenize("Hello, World! 42nd-street")
+	want := []string{"hello", "world", "42nd", "street"}
+	if len(got) != len(want) {
+		t.Fatalf("tokens = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("tokens = %v", got)
+		}
+	}
+}
+
+func TestPanicsOnBadDim(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	NewTextEmbedder(0)
+}

@@ -1,0 +1,266 @@
+// Package executor implements the Query Executor of Figure 1: the
+// similarity-projection + top-k operators, the hybrid scan operators
+// (block-first via bitmap, visit-first via traversal predicate,
+// post-filter with over-fetch), batched execution, multi-vector
+// queries via aggregate scores, and the incremental (resumable) k-NN
+// iterator from the open problems of Section 2.6.
+package executor
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"vdbms/internal/filter"
+	"vdbms/internal/index"
+	"vdbms/internal/planner"
+	"vdbms/internal/topk"
+	"vdbms/internal/vec"
+)
+
+// Env is the execution environment for one collection snapshot.
+type Env struct {
+	Data  []float32 // row-major vectors
+	N     int
+	Dim   int
+	Fn    vec.DistanceFunc // nil defaults to squared L2
+	ANN   index.Index      // optional ANN index
+	Flat  *index.Flat      // exact scan fallback (required)
+	Attrs *filter.Table    // optional attribute table
+}
+
+// NewEnv wires an environment, building the Flat index.
+func NewEnv(data []float32, n, d int, fn vec.DistanceFunc, ann index.Index, attrs *filter.Table) (*Env, error) {
+	if fn == nil {
+		fn = vec.SquaredL2
+	}
+	fl, err := index.NewFlat(data, n, d, fn)
+	if err != nil {
+		return nil, err
+	}
+	return &Env{Data: data, N: n, Dim: d, Fn: fn, ANN: ann, Flat: fl, Attrs: attrs}, nil
+}
+
+// Options carries per-query execution knobs.
+type Options struct {
+	Ef     int // index beam/leaf budget
+	NProbe int // bucket probes
+	// Exclude hides rows from every plan (used by the engine for
+	// deletion masks); it composes with predicate filters.
+	Exclude func(id int64) bool
+}
+
+func (o Options) params() index.Params {
+	p := index.Params{Ef: o.Ef, NProbe: o.NProbe}
+	if o.Exclude != nil {
+		excl := o.Exclude
+		p.Filter = func(id int64) bool { return !excl(id) }
+	}
+	return p
+}
+
+// withPred layers a predicate filter on top of any exclusion filter
+// already present in params.
+func withPred(params index.Params, pred func(id int64) bool) index.Params {
+	if prev := params.Filter; prev != nil {
+		params.Filter = func(id int64) bool { return prev(id) && pred(id) }
+	} else {
+		params.Filter = pred
+	}
+	return params
+}
+
+// Execute runs a (possibly predicated) top-k query under the given
+// plan. preds may be empty, in which case every plan degenerates to a
+// plain index or flat scan.
+func (e *Env) Execute(p planner.Plan, q []float32, k int, preds []filter.Predicate, opts Options) ([]topk.Result, error) {
+	if k <= 0 {
+		return nil, index.ErrBadK
+	}
+	if len(q) != e.Dim {
+		return nil, fmt.Errorf("%w: query %d, env %d", index.ErrDim, len(q), e.Dim)
+	}
+	if len(preds) > 0 {
+		if e.Attrs == nil {
+			return nil, fmt.Errorf("executor: predicates given but no attribute table")
+		}
+		if err := e.Attrs.Validate(preds); err != nil {
+			return nil, err
+		}
+	}
+	switch p.Kind {
+	case planner.BruteForce:
+		return e.bruteForce(q, k, preds, opts)
+	case planner.PreFilter:
+		return e.preFilter(q, k, preds, opts)
+	case planner.PostFilter:
+		return e.postFilter(q, k, preds, p.Alpha, opts)
+	case planner.SingleStage:
+		return e.singleStage(q, k, preds, opts)
+	default:
+		return nil, fmt.Errorf("executor: unknown plan %v", p.Kind)
+	}
+}
+
+// bruteForce fuses the predicate into an exhaustive scan (plan A).
+func (e *Env) bruteForce(q []float32, k int, preds []filter.Predicate, opts Options) ([]topk.Result, error) {
+	params := opts.params()
+	if len(preds) > 0 {
+		params = withPred(params, e.Attrs.FilterFunc(preds))
+	}
+	return e.Flat.Search(q, k, params)
+}
+
+// preFilter builds the bitmap and hands it to the index as a
+// block-first allowlist (plan B). When the survivor set is tiny the
+// index scan is skipped for an exact scan over survivors, matching the
+// behavior AnalyticDB-V's optimizer picks in that regime.
+func (e *Env) preFilter(q []float32, k int, preds []filter.Predicate, opts Options) ([]topk.Result, error) {
+	if len(preds) == 0 {
+		return e.indexOrFlat(q, k, opts.params())
+	}
+	bm, err := e.Attrs.Bitmap(preds)
+	if err != nil {
+		return nil, err
+	}
+	survivors := bm.Count()
+	params := opts.params()
+	params.Allow = bm
+	// Small survivor sets are scanned exactly: cheaper than a blocked
+	// index scan and immune to the graph-disconnection effect of
+	// online blocking (Section 2.3(1)).
+	exactCutoff := 16 * k
+	if exactCutoff < 256 {
+		exactCutoff = 256
+	}
+	if e.ANN == nil || survivors <= exactCutoff {
+		return e.Flat.Search(q, k, params)
+	}
+	return e.ANN.Search(q, k, params)
+}
+
+// postFilter over-fetches alpha*k unfiltered candidates and applies
+// the predicate afterwards (plan C). It may return fewer than k
+// results — the documented trade-off of this plan.
+func (e *Env) postFilter(q []float32, k int, preds []filter.Predicate, alpha int, opts Options) ([]topk.Result, error) {
+	if alpha <= 0 {
+		alpha = 4
+	}
+	fetch := alpha * k
+	if fetch > e.N {
+		fetch = e.N
+	}
+	cands, err := e.indexOrFlat(q, fetch, opts.params())
+	if err != nil {
+		return nil, err
+	}
+	if len(preds) == 0 {
+		if len(cands) > k {
+			cands = cands[:k]
+		}
+		return cands, nil
+	}
+	out := make([]topk.Result, 0, k)
+	for _, r := range cands {
+		ok, err := e.Attrs.Matches(preds, int(r.ID))
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			out = append(out, r)
+			if len(out) == k {
+				break
+			}
+		}
+	}
+	return out, nil
+}
+
+// singleStage pushes the predicate into the traversal (plan D,
+// visit-first scan).
+func (e *Env) singleStage(q []float32, k int, preds []filter.Predicate, opts Options) ([]topk.Result, error) {
+	params := opts.params()
+	if len(preds) > 0 {
+		params = withPred(params, e.Attrs.FilterFunc(preds))
+	}
+	return e.indexOrFlat(q, k, params)
+}
+
+func (e *Env) indexOrFlat(q []float32, k int, params index.Params) ([]topk.Result, error) {
+	if e.ANN != nil {
+		return e.ANN.Search(q, k, params)
+	}
+	return e.Flat.Search(q, k, params)
+}
+
+// Search plans and executes in one step using the given selection
+// policy ("rule", "cost", or a planner.Profile name).
+func (e *Env) Search(q []float32, k int, preds []filter.Predicate, opts Options, policy string) ([]topk.Result, planner.Plan, error) {
+	env := planner.Env{
+		N: e.N, K: k, HasIndex: e.ANN != nil, Selectivity: 1,
+	}
+	if len(preds) > 0 && e.Attrs != nil {
+		sel, err := e.Attrs.EstimateSelectivity(preds, 256)
+		if err != nil {
+			return nil, planner.Plan{}, err
+		}
+		env.Selectivity = sel
+	}
+	var plan planner.Plan
+	switch policy {
+	case "", "cost":
+		plan = planner.CostBased(env)
+	case "rule":
+		plan = planner.RuleBased(env)
+	default:
+		p, err := planner.Profile(policy).Select(env)
+		if err != nil {
+			return nil, planner.Plan{}, err
+		}
+		plan = p
+	}
+	res, err := e.Execute(plan, q, k, preds, opts)
+	return res, plan, err
+}
+
+// SearchBatch answers a batch of queries (Section 2.1(3), batched
+// queries), fanning out across CPUs. Results align with the input
+// order.
+func (e *Env) SearchBatch(p planner.Plan, qs [][]float32, k int, preds []filter.Predicate, opts Options) ([][]topk.Result, error) {
+	out := make([][]topk.Result, len(qs))
+	errs := make([]error, len(qs))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for i := range qs {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			out[i], errs[i] = e.Execute(p, qs[i], k, preds, opts)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// SearchRange answers a range query: all (admitted) vectors within the
+// given distance threshold.
+func (e *Env) SearchRange(q []float32, radius float32, preds []filter.Predicate) ([]topk.Result, error) {
+	var params index.Params
+	if len(preds) > 0 {
+		if e.Attrs == nil {
+			return nil, fmt.Errorf("executor: predicates given but no attribute table")
+		}
+		if err := e.Attrs.Validate(preds); err != nil {
+			return nil, err
+		}
+		params = withPred(params, e.Attrs.FilterFunc(preds))
+	}
+	return e.Flat.SearchRange(q, radius, params)
+}

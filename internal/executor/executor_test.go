@@ -1,0 +1,422 @@
+package executor
+
+import (
+	"testing"
+
+	"vdbms/internal/dataset"
+	"vdbms/internal/filter"
+	"vdbms/internal/index"
+	"vdbms/internal/index/hnsw"
+	"vdbms/internal/planner"
+	"vdbms/internal/vec"
+)
+
+// buildEnv creates a clustered collection with an HNSW index and an
+// integer attribute "cat" uniform in [0, 100).
+func buildEnv(t *testing.T, n int) (*Env, *dataset.Dataset) {
+	t.Helper()
+	ds := dataset.Clustered(n, 16, 8, 0.4, 1)
+	h, err := hnsw.Build(ds.Data, ds.Count, ds.Dim, hnsw.Config{M: 8, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	attrs := filter.NewTable()
+	if _, err := attrs.AddColumn("cat", filter.Int64); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if err := attrs.AppendRow(map[string]filter.Value{"cat": filter.IntV(int64(i % 100))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	env, err := NewEnv(ds.Data, ds.Count, ds.Dim, nil, h, attrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return env, ds
+}
+
+func catLt(x int64) []filter.Predicate {
+	return []filter.Predicate{{Column: "cat", Op: filter.Lt, Value: filter.IntV(x)}}
+}
+
+func TestAllPlansRespectPredicate(t *testing.T) {
+	env, ds := buildEnv(t, 2000)
+	q := ds.Queries(1, 0.05, 2)[0]
+	preds := catLt(50) // 50% selectivity
+	for _, p := range planner.Enumerate(true, 4) {
+		got, err := env.Execute(p, q, 10, preds, Options{Ef: 100})
+		if err != nil {
+			t.Fatalf("%v: %v", p.Kind, err)
+		}
+		if len(got) == 0 {
+			t.Fatalf("%v returned nothing", p.Kind)
+		}
+		for _, r := range got {
+			if r.ID%100 >= 50 {
+				t.Fatalf("%v violated predicate: id %d", p.Kind, r.ID)
+			}
+		}
+	}
+}
+
+func TestPlansAgreeAtFullSelectivity(t *testing.T) {
+	env, ds := buildEnv(t, 1000)
+	q := ds.Queries(1, 0.05, 3)[0]
+	truthRes, err := env.Execute(planner.Plan{Kind: planner.BruteForce}, q, 5, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range planner.Enumerate(true, 4)[1:] {
+		got, err := env.Execute(p, q, 5, nil, Options{Ef: 200})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// ANN plans should find mostly the same ids at generous ef.
+		want := map[int64]bool{}
+		for _, r := range truthRes {
+			want[r.ID] = true
+		}
+		hits := 0
+		for _, r := range got {
+			if want[r.ID] {
+				hits++
+			}
+		}
+		if hits < 4 {
+			t.Fatalf("%v found %d/5 of exact results", p.Kind, hits)
+		}
+	}
+}
+
+func TestPreFilterTinySurvivorSetIsExact(t *testing.T) {
+	env, ds := buildEnv(t, 2000)
+	q := ds.Queries(1, 0.05, 4)[0]
+	preds := catLt(1) // 1% selectivity => 20 survivors
+	got, err := env.Execute(planner.Plan{Kind: planner.PreFilter}, q, 10, preds, Options{Ef: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 10 {
+		t.Fatalf("pre-filter returned %d of 10", len(got))
+	}
+	// Compare against brute force over the same predicate: identical.
+	exact, _ := env.Execute(planner.Plan{Kind: planner.BruteForce}, q, 10, preds, Options{})
+	for i := range got {
+		if got[i].ID != exact[i].ID {
+			t.Fatalf("pre-filter deviates from exact on tiny survivor set: %v vs %v", got, exact)
+		}
+	}
+}
+
+func TestPostFilterShortfall(t *testing.T) {
+	env, ds := buildEnv(t, 2000)
+	q := ds.Queries(1, 0.05, 5)[0]
+	preds := catLt(2) // 2% selectivity
+	// alpha=1: expect far fewer than k survivors.
+	got, err := env.Execute(planner.Plan{Kind: planner.PostFilter, Alpha: 1}, q, 20, preds, Options{Ef: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) >= 20 {
+		t.Fatalf("expected shortfall, got %d results", len(got))
+	}
+	// Large alpha fills the result set better.
+	more, err := env.Execute(planner.Plan{Kind: planner.PostFilter, Alpha: 50}, q, 20, preds, Options{Ef: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(more) <= len(got) {
+		t.Fatalf("alpha=50 (%d results) should beat alpha=1 (%d)", len(more), len(got))
+	}
+}
+
+func TestExecuteValidation(t *testing.T) {
+	env, ds := buildEnv(t, 200)
+	q := ds.Row(0)
+	if _, err := env.Execute(planner.Plan{}, q, 0, nil, Options{}); err != index.ErrBadK {
+		t.Fatal("want ErrBadK")
+	}
+	if _, err := env.Execute(planner.Plan{}, []float32{1}, 5, nil, Options{}); err == nil {
+		t.Fatal("want dim error")
+	}
+	if _, err := env.Execute(planner.Plan{}, q, 5, []filter.Predicate{{Column: "nope"}}, Options{}); err == nil {
+		t.Fatal("want unknown-column error")
+	}
+	if _, err := env.Execute(planner.Plan{Kind: planner.Kind(9)}, q, 5, nil, Options{}); err == nil {
+		t.Fatal("want unknown-plan error")
+	}
+	noAttrs, err := NewEnv(ds.Data, ds.Count, ds.Dim, nil, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := noAttrs.Execute(planner.Plan{}, q, 5, catLt(1), Options{}); err == nil {
+		t.Fatal("want no-attribute-table error")
+	}
+}
+
+func TestSearchPolicies(t *testing.T) {
+	env, ds := buildEnv(t, 1500)
+	q := ds.Queries(1, 0.05, 6)[0]
+	for _, policy := range []string{"", "cost", "rule", "vearch", "weaviate", "qdrant", "analyticdb-v"} {
+		res, plan, err := env.Search(q, 5, catLt(50), Options{Ef: 100}, policy)
+		if err != nil {
+			t.Fatalf("policy %q: %v", policy, err)
+		}
+		if len(res) == 0 {
+			t.Fatalf("policy %q (plan %v) returned nothing", policy, plan.Kind)
+		}
+	}
+	if _, _, err := env.Search(q, 5, nil, Options{}, "bogus"); err == nil {
+		t.Fatal("want unknown-policy error")
+	}
+}
+
+func TestSearchBatchMatchesSingles(t *testing.T) {
+	env, ds := buildEnv(t, 1000)
+	qs := ds.Queries(16, 0.05, 7)
+	plan := planner.Plan{Kind: planner.SingleStage}
+	batch, err := env.SearchBatch(plan, qs, 5, nil, Options{Ef: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, q := range qs {
+		single, err := env.Execute(plan, q, 5, nil, Options{Ef: 100})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(single) != len(batch[i]) {
+			t.Fatalf("query %d: batch %d vs single %d", i, len(batch[i]), len(single))
+		}
+		for j := range single {
+			if single[j].ID != batch[i][j].ID {
+				t.Fatalf("query %d result %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestSearchBatchPropagatesErrors(t *testing.T) {
+	env, _ := buildEnv(t, 100)
+	if _, err := env.SearchBatch(planner.Plan{}, [][]float32{{1}}, 5, nil, Options{}); err == nil {
+		t.Fatal("want dim error from batch")
+	}
+}
+
+func TestSearchRange(t *testing.T) {
+	env, ds := buildEnv(t, 500)
+	q := ds.Row(0)
+	got, err := env.SearchRange(q, 0.5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, r := range got {
+		if r.ID == 0 {
+			found = true
+		}
+		if r.Dist > 0.5 {
+			t.Fatalf("range violated: %v", r)
+		}
+	}
+	if !found {
+		t.Fatal("query point itself not in range result")
+	}
+	// With predicate.
+	got, err = env.SearchRange(q, 10, catLt(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range got {
+		if r.ID%100 >= 10 {
+			t.Fatalf("range predicate violated: %d", r.ID)
+		}
+	}
+}
+
+func TestMultiVectorExactAndANN(t *testing.T) {
+	env, ds := buildEnv(t, 900)
+	// Group rows into entities of 3 consecutive vectors.
+	owner := make([]int64, ds.Count)
+	for i := range owner {
+		owner[i] = int64(i / 3)
+	}
+	m := NewEntityMap(owner)
+	if len(m.Entities()) != 300 {
+		t.Fatalf("entities = %d", len(m.Entities()))
+	}
+	if m.Owner(5) != 1 || len(m.Members(1)) != 3 {
+		t.Fatal("entity map wrong")
+	}
+	queries := [][]float32{ds.Row(30), ds.Row(31)}
+	exact, err := env.MultiVectorExact(m, vec.AggMin, queries, nil, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exact[0].ID != 10 { // rows 30,31 belong to entity 10; min distance 0
+		t.Fatalf("exact top entity = %d", exact[0].ID)
+	}
+	approx, err := env.MultiVectorANN(m, vec.AggMin, queries, nil, 5, 20, Options{Ef: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if approx[0].ID != 10 {
+		t.Fatalf("ann top entity = %d", approx[0].ID)
+	}
+	// Overlap between exact and approx top-5 should be high.
+	want := map[int64]bool{}
+	for _, r := range exact {
+		want[r.ID] = true
+	}
+	hits := 0
+	for _, r := range approx {
+		if want[r.ID] {
+			hits++
+		}
+	}
+	if hits < 3 {
+		t.Fatalf("multi-vector ANN overlap = %d/5", hits)
+	}
+}
+
+func TestMultiVectorValidation(t *testing.T) {
+	env, ds := buildEnv(t, 90)
+	owner := make([]int64, ds.Count)
+	m := NewEntityMap(owner)
+	if _, err := env.MultiVectorExact(m, vec.AggMin, [][]float32{{1}}, nil, 5); err == nil {
+		t.Fatal("want dim error")
+	}
+	if _, err := env.MultiVectorExact(m, vec.AggMin, nil, nil, 0); err == nil {
+		t.Fatal("want bad-k error")
+	}
+	if _, err := env.MultiVectorANN(m, vec.AggMin, nil, nil, 0, 0, Options{}); err == nil {
+		t.Fatal("want bad-k error")
+	}
+}
+
+func TestIteratorPagesExact(t *testing.T) {
+	ds := dataset.Clustered(400, 8, 4, 0.4, 9)
+	env, err := NewEnv(ds.Data, ds.Count, ds.Dim, nil, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := ds.Queries(1, 0.05, 10)[0]
+	it, err := env.NewIterator(q, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var all []int64
+	prev := float32(-1)
+	for {
+		page, err := it.Next(7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(page) == 0 {
+			break
+		}
+		for _, r := range page {
+			if r.Dist < prev {
+				t.Fatalf("pages regressed: %v after %v", r.Dist, prev)
+			}
+			prev = r.Dist
+			all = append(all, r.ID)
+		}
+	}
+	if len(all) != 400 {
+		t.Fatalf("iterator returned %d of 400", len(all))
+	}
+	seen := map[int64]bool{}
+	for _, id := range all {
+		if seen[id] {
+			t.Fatalf("duplicate id %d", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestIteratorANNPagination(t *testing.T) {
+	env, ds := buildEnv(t, 1200)
+	q := ds.Queries(1, 0.05, 11)[0]
+	it, err := env.NewIterator(q, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	page1, err := it.Next(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	page2, err := it.Next(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(page1) != 10 || len(page2) != 10 {
+		t.Fatalf("pages = %d, %d", len(page1), len(page2))
+	}
+	ids := map[int64]bool{}
+	for _, r := range append(page1, page2...) {
+		if ids[r.ID] {
+			t.Fatalf("duplicate across pages: %d", r.ID)
+		}
+		ids[r.ID] = true
+	}
+	// First page should match a direct top-10 search closely.
+	direct, _ := env.Execute(planner.Plan{Kind: planner.SingleStage}, q, 10, nil, Options{Ef: 64})
+	want := map[int64]bool{}
+	for _, r := range direct {
+		want[r.ID] = true
+	}
+	hits := 0
+	for _, r := range page1 {
+		if want[r.ID] {
+			hits++
+		}
+	}
+	if hits < 7 {
+		t.Fatalf("first page overlap = %d/10", hits)
+	}
+}
+
+func TestIteratorValidation(t *testing.T) {
+	env, ds := buildEnv(t, 100)
+	if _, err := env.NewIterator([]float32{1}, nil, Options{}); err == nil {
+		t.Fatal("want dim error")
+	}
+	if _, err := env.NewIterator(ds.Row(0), []filter.Predicate{{Column: "nope"}}, Options{}); err == nil {
+		t.Fatal("want column error")
+	}
+	it, err := env.NewIterator(ds.Row(0), nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := it.Next(0); err == nil {
+		t.Fatal("want page-size error")
+	}
+}
+
+func TestIteratorWithPredicate(t *testing.T) {
+	env, ds := buildEnv(t, 600)
+	it, err := env.NewIterator(ds.Row(0), catLt(20), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for {
+		page, err := it.Next(25)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(page) == 0 {
+			break
+		}
+		for _, r := range page {
+			if r.ID%100 >= 20 {
+				t.Fatalf("predicate violated: %d", r.ID)
+			}
+		}
+		total += len(page)
+	}
+	if total == 0 {
+		t.Fatal("predicated iterator returned nothing")
+	}
+}

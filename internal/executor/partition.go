@@ -1,0 +1,128 @@
+package executor
+
+import (
+	"fmt"
+	"sort"
+
+	"vdbms/internal/filter"
+	"vdbms/internal/index"
+	"vdbms/internal/topk"
+)
+
+// Offline blocking (Section 2.3(1), [6, 79]): the collection is
+// pre-partitioned along an attribute so a query with an equality
+// predicate on that attribute searches only the matching partition's
+// index — no bitmap, no traversal-time checks, and no recall loss from
+// blocking a shared graph. The trade-off is rigidity: only equality
+// (or IN) predicates on the partition key benefit, and per-partition
+// indexes must be built up front, which is why the paper pairs it
+// with online blocking rather than replacing it.
+
+// Partitioned holds one sub-index per distinct value of an Int64
+// partition key.
+type Partitioned struct {
+	column string
+	dim    int
+	parts  map[int64]*partition
+}
+
+type partition struct {
+	idx  index.Index
+	ids  []int64 // local row -> global id
+	data []float32
+}
+
+// PartitionBuilder constructs the per-partition ANN index.
+type PartitionBuilder func(data []float32, n, d int) (index.Index, error)
+
+// BuildPartitioned splits the rows by the Int64 column and builds one
+// index per partition.
+func BuildPartitioned(data []float32, n, d int, attrs *filter.Table, column string, build PartitionBuilder) (*Partitioned, error) {
+	col, ok := attrs.Column(column)
+	if !ok {
+		return nil, fmt.Errorf("executor: unknown partition column %q", column)
+	}
+	if col.Kind() != filter.Int64 {
+		return nil, fmt.Errorf("executor: partition column %q must be Int64", column)
+	}
+	if build == nil {
+		return nil, fmt.Errorf("executor: nil partition builder")
+	}
+	groups := map[int64][]int64{}
+	for row := 0; row < n; row++ {
+		v := col.Get(row).I
+		groups[v] = append(groups[v], int64(row))
+	}
+	p := &Partitioned{column: column, dim: d, parts: map[int64]*partition{}}
+	// Deterministic build order.
+	keys := make([]int64, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for _, key := range keys {
+		ids := groups[key]
+		sub := make([]float32, 0, len(ids)*d)
+		for _, id := range ids {
+			sub = append(sub, data[int(id)*d:(int(id)+1)*d]...)
+		}
+		idx, err := build(sub, len(ids), d)
+		if err != nil {
+			return nil, fmt.Errorf("executor: partition %s=%d: %w", column, key, err)
+		}
+		p.parts[key] = &partition{idx: idx, ids: ids, data: sub}
+	}
+	return p, nil
+}
+
+// Column returns the partition key column name.
+func (p *Partitioned) Column() string { return p.column }
+
+// Partitions returns the distinct key values, sorted.
+func (p *Partitioned) Partitions() []int64 {
+	out := make([]int64, 0, len(p.parts))
+	for k := range p.parts {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// SearchEq answers a query predicated on column = value by searching
+// only that partition. Ids in the results are global row ids. A value
+// with no partition returns no results (nothing satisfies the
+// predicate).
+func (p *Partitioned) SearchEq(q []float32, k int, value int64, params index.Params) ([]topk.Result, error) {
+	if len(q) != p.dim {
+		return nil, fmt.Errorf("%w: query %d, index %d", index.ErrDim, len(q), p.dim)
+	}
+	part, ok := p.parts[value]
+	if !ok {
+		return nil, nil
+	}
+	res, err := part.idx.Search(q, k, params)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]topk.Result, len(res))
+	for i, r := range res {
+		out[i] = topk.Result{ID: part.ids[r.ID], Dist: r.Dist}
+	}
+	return out, nil
+}
+
+// SearchIn answers column IN (values...) by scatter-gathering over the
+// matching partitions.
+func (p *Partitioned) SearchIn(q []float32, k int, values []int64, params index.Params) ([]topk.Result, error) {
+	c := topk.NewCollector(k)
+	for _, v := range values {
+		res, err := p.SearchEq(q, k, v, params)
+		if err != nil {
+			return nil, err
+		}
+		for _, r := range res {
+			c.Push(r.ID, r.Dist)
+		}
+	}
+	return c.Results(), nil
+}

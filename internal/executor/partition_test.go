@@ -1,0 +1,131 @@
+package executor
+
+import (
+	"testing"
+
+	"vdbms/internal/dataset"
+	"vdbms/internal/filter"
+	"vdbms/internal/index"
+	"vdbms/internal/index/hnsw"
+	"vdbms/internal/planner"
+)
+
+func buildPartitioned(t *testing.T, n int) (*Partitioned, *Env, *dataset.Dataset) {
+	t.Helper()
+	env, ds := buildEnvHelper(t, n)
+	p, err := BuildPartitioned(ds.Data, ds.Count, ds.Dim, envAttrs(env), "cat",
+		func(data []float32, n, d int) (index.Index, error) {
+			if n == 0 {
+				return index.NewFlat(nil, 0, d, nil)
+			}
+			return hnsw.Build(data, n, d, hnsw.Config{M: 8, Seed: 1})
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, env, ds
+}
+
+// buildEnvHelper mirrors buildEnv from executor_test.go.
+func buildEnvHelper(t *testing.T, n int) (*Env, *dataset.Dataset) {
+	t.Helper()
+	ds := dataset.Clustered(n, 16, 8, 0.4, 1)
+	h, err := hnsw.Build(ds.Data, ds.Count, ds.Dim, hnsw.Config{M: 8, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	attrs := filter.NewTable()
+	if _, err := attrs.AddColumn("cat", filter.Int64); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if err := attrs.AppendRow(map[string]filter.Value{"cat": filter.IntV(int64(i % 10))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	env, err := NewEnv(ds.Data, ds.Count, ds.Dim, nil, h, attrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return env, ds
+}
+
+func envAttrs(e *Env) *filter.Table { return e.Attrs }
+
+func TestPartitionedMatchesOnlineBlocking(t *testing.T) {
+	p, env, ds := buildPartitioned(t, 1000)
+	if p.Column() != "cat" || len(p.Partitions()) != 10 {
+		t.Fatalf("partitions = %v", p.Partitions())
+	}
+	q := ds.Queries(1, 0.05, 2)[0]
+	// Exact reference among cat=3 rows.
+	preds := []filter.Predicate{{Column: "cat", Op: filter.Eq, Value: filter.IntV(3)}}
+	want, err := env.Execute(planner.Plan{Kind: planner.BruteForce}, q, 10, preds, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := p.SearchEq(q, 10, 3, index.Params{Ef: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantIDs := map[int64]bool{}
+	for _, r := range want {
+		wantIDs[r.ID] = true
+	}
+	hits := 0
+	for _, r := range got {
+		if r.ID%10 != 3 {
+			t.Fatalf("partition leak: id %d", r.ID)
+		}
+		if wantIDs[r.ID] {
+			hits++
+		}
+	}
+	if hits < 9 {
+		t.Fatalf("offline blocking recall %d/10 vs exact filtered", hits)
+	}
+}
+
+func TestPartitionedSearchIn(t *testing.T) {
+	p, _, ds := buildPartitioned(t, 600)
+	q := ds.Queries(1, 0.05, 3)[0]
+	got, err := p.SearchIn(q, 10, []int64{1, 4}, index.Params{Ef: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 10 {
+		t.Fatalf("got %d results", len(got))
+	}
+	for _, r := range got {
+		if m := r.ID % 10; m != 1 && m != 4 {
+			t.Fatalf("IN violated: id %d", r.ID)
+		}
+	}
+}
+
+func TestPartitionedMissingValue(t *testing.T) {
+	p, _, ds := buildPartitioned(t, 200)
+	got, err := p.SearchEq(ds.Row(0), 5, 999, index.Params{})
+	if err != nil || got != nil {
+		t.Fatalf("missing partition: %v %v", got, err)
+	}
+}
+
+func TestPartitionedValidation(t *testing.T) {
+	env, ds := buildEnvHelper(t, 100)
+	if _, err := BuildPartitioned(ds.Data, ds.Count, ds.Dim, env.Attrs, "nope", nil); err == nil {
+		t.Fatal("want unknown-column error")
+	}
+	if _, err := BuildPartitioned(ds.Data, ds.Count, ds.Dim, env.Attrs, "cat", nil); err == nil {
+		t.Fatal("want nil-builder error")
+	}
+	strAttrs := filter.NewTable()
+	strAttrs.AddColumn("s", filter.String) //nolint:errcheck
+	if _, err := BuildPartitioned(ds.Data, 0, ds.Dim, strAttrs, "s", func(d []float32, n, dd int) (index.Index, error) { return nil, nil }); err == nil {
+		t.Fatal("want type error")
+	}
+	p, _, _ := buildPartitioned(t, 100)
+	if _, err := p.SearchEq([]float32{1}, 5, 0, index.Params{}); err == nil {
+		t.Fatal("want dim error")
+	}
+}

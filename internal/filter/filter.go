@@ -1,0 +1,360 @@
+// Package filter implements the attribute side of hybrid queries
+// (Sections 2.1(3) and 2.3): typed attribute columns over row ids,
+// boolean predicates, selectivity estimation for the planner, and
+// bitmap construction for block-first scans.
+package filter
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"vdbms/internal/bitset"
+)
+
+// Kind is an attribute column type.
+type Kind int
+
+const (
+	// Int64 is a 64-bit integer attribute.
+	Int64 Kind = iota
+	// Float64 is a floating attribute.
+	Float64
+	// String is a string attribute.
+	String
+)
+
+// Value is a dynamically typed attribute value. Exactly one field is
+// meaningful per column Kind.
+type Value struct {
+	I int64
+	F float64
+	S string
+}
+
+// IntV, FloatV, StringV are Value constructors.
+func IntV(i int64) Value     { return Value{I: i} }
+func FloatV(f float64) Value { return Value{F: f} }
+func StringV(s string) Value { return Value{S: s} }
+
+// Column is an append-only typed attribute column aligned with vector
+// row ids.
+type Column struct {
+	mu   sync.RWMutex
+	name string
+	kind Kind
+	ints []int64
+	flts []float64
+	strs []string
+}
+
+// NewColumn creates an empty column.
+func NewColumn(name string, kind Kind) *Column {
+	return &Column{name: name, kind: kind}
+}
+
+// Name returns the column name.
+func (c *Column) Name() string { return c.name }
+
+// Kind returns the column type.
+func (c *Column) Kind() Kind { return c.kind }
+
+// Len returns the number of rows.
+func (c *Column) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.lenLocked()
+}
+
+func (c *Column) lenLocked() int {
+	switch c.kind {
+	case Int64:
+		return len(c.ints)
+	case Float64:
+		return len(c.flts)
+	default:
+		return len(c.strs)
+	}
+}
+
+// Append adds a value; row id is implicit (== previous Len).
+func (c *Column) Append(v Value) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	switch c.kind {
+	case Int64:
+		c.ints = append(c.ints, v.I)
+	case Float64:
+		c.flts = append(c.flts, v.F)
+	case String:
+		c.strs = append(c.strs, v.S)
+	}
+}
+
+// Get returns the value at row id.
+func (c *Column) Get(id int) Value {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	switch c.kind {
+	case Int64:
+		return Value{I: c.ints[id]}
+	case Float64:
+		return Value{F: c.flts[id]}
+	default:
+		return Value{S: c.strs[id]}
+	}
+}
+
+// Op is a comparison operator.
+type Op int
+
+const (
+	// Eq matches values equal to the operand.
+	Eq Op = iota
+	// Ne matches values not equal to the operand.
+	Ne
+	// Lt matches values less than the operand.
+	Lt
+	// Le matches values less than or equal to the operand.
+	Le
+	// Gt matches values greater than the operand.
+	Gt
+	// Ge matches values greater than or equal to the operand.
+	Ge
+	// In matches values contained in the operand set.
+	In
+)
+
+// String renders the operator.
+func (o Op) String() string {
+	switch o {
+	case Eq:
+		return "="
+	case Ne:
+		return "!="
+	case Lt:
+		return "<"
+	case Le:
+		return "<="
+	case Gt:
+		return ">"
+	case Ge:
+		return ">="
+	case In:
+		return "in"
+	default:
+		return fmt.Sprintf("op(%d)", int(o))
+	}
+}
+
+// Predicate is a condition over one column, optionally conjoined with
+// more predicates by the caller.
+type Predicate struct {
+	Column string
+	Op     Op
+	Value  Value
+	Set    []Value // for In
+}
+
+// Table is a named set of aligned columns supporting predicate
+// evaluation and bitmap construction.
+type Table struct {
+	mu   sync.RWMutex
+	cols map[string]*Column
+	n    int
+}
+
+// NewTable creates an empty attribute table.
+func NewTable() *Table { return &Table{cols: map[string]*Column{}} }
+
+// AddColumn registers a column; it must be added before any rows.
+func (t *Table) AddColumn(name string, kind Kind) (*Column, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.n > 0 {
+		return nil, fmt.Errorf("filter: cannot add column %q after rows exist", name)
+	}
+	if _, dup := t.cols[name]; dup {
+		return nil, fmt.Errorf("filter: duplicate column %q", name)
+	}
+	c := NewColumn(name, kind)
+	t.cols[name] = c
+	return c, nil
+}
+
+// Column retrieves a column by name.
+func (t *Table) Column(name string) (*Column, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	c, ok := t.cols[name]
+	return c, ok
+}
+
+// Columns returns the column names sorted.
+func (t *Table) Columns() []string {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]string, 0, len(t.cols))
+	for n := range t.cols {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the row count.
+func (t *Table) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.n
+}
+
+// AppendRow adds one value per column; missing columns are an error.
+func (t *Table) AppendRow(vals map[string]Value) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(vals) != len(t.cols) {
+		return fmt.Errorf("filter: row has %d values, table has %d columns", len(vals), len(t.cols))
+	}
+	for name := range vals {
+		if _, ok := t.cols[name]; !ok {
+			return fmt.Errorf("filter: unknown column %q", name)
+		}
+	}
+	for name, c := range t.cols {
+		c.Append(vals[name])
+	}
+	t.n++
+	return nil
+}
+
+// matches evaluates one predicate against row id.
+func (t *Table) matches(p Predicate, id int) (bool, error) {
+	c, ok := t.Column(p.Column)
+	if !ok {
+		return false, fmt.Errorf("filter: unknown column %q", p.Column)
+	}
+	v := c.Get(id)
+	switch c.Kind() {
+	case Int64:
+		return cmpOrdered(p.Op, v.I, p.Value.I, p.Set, func(x Value) int64 { return x.I })
+	case Float64:
+		return cmpOrdered(p.Op, v.F, p.Value.F, p.Set, func(x Value) float64 { return x.F })
+	default:
+		return cmpOrdered(p.Op, v.S, p.Value.S, p.Set, func(x Value) string { return x.S })
+	}
+}
+
+func cmpOrdered[T int64 | float64 | string](op Op, have, want T, set []Value, get func(Value) T) (bool, error) {
+	switch op {
+	case Eq:
+		return have == want, nil
+	case Ne:
+		return have != want, nil
+	case Lt:
+		return have < want, nil
+	case Le:
+		return have <= want, nil
+	case Gt:
+		return have > want, nil
+	case Ge:
+		return have >= want, nil
+	case In:
+		for _, s := range set {
+			if have == get(s) {
+				return true, nil
+			}
+		}
+		return false, nil
+	default:
+		return false, fmt.Errorf("filter: unknown op %v", op)
+	}
+}
+
+// Matches evaluates a conjunction of predicates against a row.
+func (t *Table) Matches(preds []Predicate, id int) (bool, error) {
+	for _, p := range preds {
+		ok, err := t.matches(p, id)
+		if err != nil {
+			return false, err
+		}
+		if !ok {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// Bitmap builds the allowlist bitmap of a predicate conjunction over
+// all current rows — the offline step of block-first scan.
+func (t *Table) Bitmap(preds []Predicate) (*bitset.Bitset, error) {
+	n := t.Len()
+	b := bitset.New(n)
+	for id := 0; id < n; id++ {
+		ok, err := t.Matches(preds, id)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			b.Set(id)
+		}
+	}
+	return b, nil
+}
+
+// FilterFunc adapts a predicate conjunction to the visit-first
+// index.Params.Filter signature. Evaluation errors surface as
+// non-matches; Validate first to catch schema mistakes.
+func (t *Table) FilterFunc(preds []Predicate) func(id int64) bool {
+	return func(id int64) bool {
+		ok, err := t.Matches(preds, int(id))
+		return err == nil && ok
+	}
+}
+
+// Validate checks that every predicate references an existing column.
+func (t *Table) Validate(preds []Predicate) error {
+	for _, p := range preds {
+		if _, ok := t.Column(p.Column); !ok {
+			return fmt.Errorf("filter: unknown column %q", p.Column)
+		}
+	}
+	return nil
+}
+
+// EstimateSelectivity samples up to sampleSize rows and returns the
+// fraction matching — the statistic rule-based planners (Qdrant,
+// Vespa) key their pre/post-filter decision on. Rows are drawn with a
+// deterministic LCG rather than a fixed stride so periodic attribute
+// patterns cannot alias with the sample.
+func (t *Table) EstimateSelectivity(preds []Predicate, sampleSize int) (float64, error) {
+	n := t.Len()
+	if n == 0 {
+		return 1, nil
+	}
+	if sampleSize <= 0 || sampleSize > n {
+		sampleSize = n
+	}
+	match := 0
+	state := uint64(88172645463325252)
+	for i := 0; i < sampleSize; i++ {
+		var id int
+		if sampleSize == n {
+			id = i
+		} else {
+			// xorshift64 for a cheap, seedless deterministic draw.
+			state ^= state << 13
+			state ^= state >> 7
+			state ^= state << 17
+			id = int(state % uint64(n))
+		}
+		ok, err := t.Matches(preds, id)
+		if err != nil {
+			return 0, err
+		}
+		if ok {
+			match++
+		}
+	}
+	return float64(match) / float64(sampleSize), nil
+}

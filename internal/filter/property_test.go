@@ -1,0 +1,83 @@
+package filter
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Property: for any random table and predicate, Bitmap, FilterFunc,
+// and per-row Matches agree exactly, and the bitmap count equals the
+// number of matching rows.
+func TestBitmapMatchesAgreeProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint8, threshold int16, opRaw uint8) bool {
+		n := int(nRaw%200) + 1
+		rng := rand.New(rand.NewSource(seed))
+		tbl := NewTable()
+		if _, err := tbl.AddColumn("x", Int64); err != nil {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			if err := tbl.AppendRow(map[string]Value{"x": IntV(int64(rng.Intn(100)))}); err != nil {
+				return false
+			}
+		}
+		ops := []Op{Eq, Ne, Lt, Le, Gt, Ge}
+		pred := []Predicate{{Column: "x", Op: ops[int(opRaw)%len(ops)], Value: IntV(int64(threshold % 100))}}
+		bm, err := tbl.Bitmap(pred)
+		if err != nil {
+			return false
+		}
+		fn := tbl.FilterFunc(pred)
+		count := 0
+		for id := 0; id < n; id++ {
+			m, err := tbl.Matches(pred, id)
+			if err != nil {
+				return false
+			}
+			if m != bm.Test(id) || m != fn(int64(id)) {
+				return false
+			}
+			if m {
+				count++
+			}
+		}
+		return count == bm.Count()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: selectivity estimated on the full table equals the exact
+// match fraction.
+func TestExactSelectivityProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint8, cut int16) bool {
+		n := int(nRaw%150) + 1
+		rng := rand.New(rand.NewSource(seed))
+		tbl := NewTable()
+		if _, err := tbl.AddColumn("v", Float64); err != nil {
+			return false
+		}
+		match := 0
+		c := float64(cut%50) / 10
+		for i := 0; i < n; i++ {
+			x := rng.Float64() * 10
+			if x < c {
+				match++
+			}
+			if err := tbl.AppendRow(map[string]Value{"v": FloatV(x)}); err != nil {
+				return false
+			}
+		}
+		pred := []Predicate{{Column: "v", Op: Lt, Value: FloatV(c)}}
+		sel, err := tbl.EstimateSelectivity(pred, 0) // full scan
+		if err != nil {
+			return false
+		}
+		return sel == float64(match)/float64(n)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

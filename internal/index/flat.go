@@ -1,0 +1,98 @@
+package index
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"vdbms/internal/topk"
+	"vdbms/internal/vec"
+)
+
+// Flat is the exact brute-force index: similarity projection over the
+// whole collection followed by top-k (the Table Scan operator of
+// Figure 1). It is the ground-truth baseline every ANN index is
+// measured against and the fallback plan for tiny collections or very
+// selective predicates.
+type Flat struct {
+	dim   int
+	data  []float32 // row-major, not owned
+	n     int
+	fn    vec.DistanceFunc
+	comps atomic.Int64
+}
+
+// NewFlat wraps row-major data (not copied) with the given distance.
+func NewFlat(data []float32, n, d int, fn vec.DistanceFunc) (*Flat, error) {
+	if d <= 0 || len(data) < n*d {
+		return nil, fmt.Errorf("index: flat data %d shorter than n*d %d", len(data), n*d)
+	}
+	if fn == nil {
+		fn = vec.SquaredL2
+	}
+	return &Flat{dim: d, data: data, n: n, fn: fn}, nil
+}
+
+func init() {
+	Register("flat", func(data []float32, n, d int, opts map[string]int) (Index, error) {
+		if len(opts) != 0 {
+			return nil, fmt.Errorf("index: flat takes no options, got %v", opts)
+		}
+		return NewFlat(data, n, d, nil)
+	})
+}
+
+// Name implements Index.
+func (f *Flat) Name() string { return "flat" }
+
+// Size implements Index.
+func (f *Flat) Size() int { return f.n }
+
+// DistanceComps implements Stats.
+func (f *Flat) DistanceComps() int64 { return f.comps.Load() }
+
+// ResetStats implements Stats.
+func (f *Flat) ResetStats() { f.comps.Store(0) }
+
+// Search implements Index by exhaustive scan. With a predicate it
+// degenerates to the "single-stage brute-force scan" plan the paper
+// attributes to Qdrant/Vespa rule-based selection.
+func (f *Flat) Search(q []float32, k int, p Params) ([]topk.Result, error) {
+	if k <= 0 {
+		return nil, ErrBadK
+	}
+	if len(q) != f.dim {
+		return nil, fmt.Errorf("%w: query %d, index %d", ErrDim, len(q), f.dim)
+	}
+	c := topk.NewCollector(k)
+	comps := int64(0)
+	for i := 0; i < f.n; i++ {
+		if !p.Admits(int64(i)) {
+			continue
+		}
+		d := f.fn(q, f.data[i*f.dim:(i+1)*f.dim])
+		comps++
+		c.Push(int64(i), d)
+	}
+	f.comps.Add(comps)
+	return c.Results(), nil
+}
+
+// SearchRange returns all ids within the distance threshold, the range
+// query of Section 2.1(2).
+func (f *Flat) SearchRange(q []float32, radius float32, p Params) ([]topk.Result, error) {
+	if len(q) != f.dim {
+		return nil, fmt.Errorf("%w: query %d, index %d", ErrDim, len(q), f.dim)
+	}
+	var out []topk.Result
+	for i := 0; i < f.n; i++ {
+		if !p.Admits(int64(i)) {
+			continue
+		}
+		d := f.fn(q, f.data[i*f.dim:(i+1)*f.dim])
+		f.comps.Add(1)
+		if d <= radius {
+			out = append(out, topk.Result{ID: int64(i), Dist: d})
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,173 @@
+// Package graph provides the shared machinery of the graph-based
+// indexes of Section 2.2: adjacency storage, greedy/beam best-first
+// search, and the robust-prune edge selection rule (the α-RNG rule of
+// Vamana, also used as HNSW's neighbor-selection heuristic).
+package graph
+
+import (
+	"vdbms/internal/index"
+	"vdbms/internal/topk"
+	"vdbms/internal/vec"
+)
+
+// Adjacency is a mutable out-neighbor list per node.
+type Adjacency [][]int32
+
+// Searcher bundles what beam search needs: the vectors and distance.
+type Searcher struct {
+	Data []float32
+	Dim  int
+	Fn   vec.DistanceFunc
+	// Comps counts distance computations (incremented by searches and
+	// build helpers; the caller owns reset).
+	Comps int64
+}
+
+// Row returns vector id.
+func (s *Searcher) Row(id int32) []float32 {
+	return s.Data[int(id)*s.Dim : (int(id)+1)*s.Dim]
+}
+
+// Dist computes the distance from q to node id, counting the work.
+func (s *Searcher) Dist(q []float32, id int32) float32 {
+	s.Comps++
+	return s.Fn(q, s.Row(id))
+}
+
+// BeamSearch runs best-first search from the entry points with beam
+// width ef, returning up to k admitted results. It is the canonical
+// procedure of NSW/HNSW/NSG/Vamana: maintain a candidate min-heap and
+// a bounded result set; stop when the closest unexpanded candidate is
+// worse than the worst kept result.
+//
+// Predicate handling implements visit-first scan (Section 2.3(2)):
+// blocked nodes are still *traversed* (otherwise a selective filter
+// disconnects the graph) but never enter the result set.
+func BeamSearch(s *Searcher, adj Adjacency, q []float32, entries []int32, k, ef int, p index.Params) []topk.Result {
+	if ef < k {
+		ef = k
+	}
+	visited := make(map[int32]struct{}, 4*ef)
+	var frontier topk.MinQueue
+	// results keeps the ef best admitted nodes; admitted tracks how
+	// the beam bound evolves regardless of predicate admission so a
+	// selective filter cannot stall expansion.
+	results := topk.NewCollector(ef)
+	beam := topk.NewCollector(ef)
+	for _, e := range entries {
+		if _, dup := visited[e]; dup {
+			continue
+		}
+		visited[e] = struct{}{}
+		d := s.Dist(q, e)
+		frontier.Push(int64(e), d)
+		beam.Push(int64(e), d)
+		if p.Admits(int64(e)) {
+			results.Push(int64(e), d)
+		}
+	}
+	for frontier.Len() > 0 {
+		cur := frontier.Pop()
+		if beam.Full() && cur.Dist > beam.Worst() {
+			break
+		}
+		for _, nb := range adj[cur.ID] {
+			if _, dup := visited[nb]; dup {
+				continue
+			}
+			visited[nb] = struct{}{}
+			d := s.Dist(q, nb)
+			if beam.Full() && d >= beam.Worst() && results.Full() && d >= results.Worst() {
+				continue
+			}
+			frontier.Push(int64(nb), d)
+			beam.Push(int64(nb), d)
+			if p.Admits(int64(nb)) {
+				results.Push(int64(nb), d)
+			}
+		}
+	}
+	res := results.Results()
+	if len(res) > k {
+		res = res[:k]
+	}
+	return res
+}
+
+// GreedyWalk performs pure greedy descent (beam width 1) from entry,
+// returning the local minimum reached. Used by HNSW's upper layers and
+// by monotonic-path probing during MSN construction.
+func GreedyWalk(s *Searcher, adj Adjacency, q []float32, entry int32) (int32, float32) {
+	cur := entry
+	curD := s.Dist(q, cur)
+	for {
+		improved := false
+		for _, nb := range adj[cur] {
+			if d := s.Dist(q, nb); d < curD {
+				cur, curD = nb, d
+				improved = true
+			}
+		}
+		if !improved {
+			return cur, curD
+		}
+	}
+}
+
+// RobustPrune selects up to degree out-neighbors for node p from the
+// candidate pool using the α-RNG rule (Vamana; α=1 gives the classic
+// relative-neighborhood-graph rule, α>1 keeps longer "highway" edges):
+// a candidate c is kept only if no already-kept neighbor b satisfies
+// α·dist(b,c) <= dist(p,c).
+func RobustPrune(s *Searcher, pid int32, cands []topk.Result, degree int, alpha float32) []int32 {
+	// Candidates must be in ascending distance from pid.
+	kept := make([]int32, 0, degree)
+	for _, c := range cands {
+		if int32(c.ID) == pid {
+			continue
+		}
+		ok := true
+		for _, b := range kept {
+			db := s.Dist(s.Row(b), int32(c.ID))
+			if alpha*db <= c.Dist {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			kept = append(kept, int32(c.ID))
+			if len(kept) == degree {
+				break
+			}
+		}
+	}
+	return kept
+}
+
+// TopKClosest selects the k nearest candidates without pruning — the
+// naive neighbor-selection rule ablated against RobustPrune in E6.
+func TopKClosest(cands []topk.Result, k int, skip int32) []int32 {
+	out := make([]int32, 0, k)
+	for _, c := range cands {
+		if int32(c.ID) == skip {
+			continue
+		}
+		out = append(out, int32(c.ID))
+		if len(out) == k {
+			break
+		}
+	}
+	return out
+}
+
+// AvgDegree reports the mean out-degree, an index-size proxy for E6.
+func AvgDegree(adj Adjacency) float64 {
+	if len(adj) == 0 {
+		return 0
+	}
+	total := 0
+	for _, nbrs := range adj {
+		total += len(nbrs)
+	}
+	return float64(total) / float64(len(adj))
+}

@@ -1,0 +1,140 @@
+package graph
+
+import (
+	"testing"
+
+	"vdbms/internal/bitset"
+	"vdbms/internal/index"
+	"vdbms/internal/topk"
+	"vdbms/internal/vec"
+)
+
+// lineGraph builds 1-D points 0..n-1 chained bidirectionally.
+func lineGraph(n int) (*Searcher, Adjacency) {
+	data := make([]float32, n)
+	for i := range data {
+		data[i] = float32(i)
+	}
+	adj := make(Adjacency, n)
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			adj[i] = append(adj[i], int32(i-1))
+		}
+		if i < n-1 {
+			adj[i] = append(adj[i], int32(i+1))
+		}
+	}
+	return &Searcher{Data: data, Dim: 1, Fn: vec.SquaredL2}, adj
+}
+
+func TestBeamSearchFindsNearest(t *testing.T) {
+	s, adj := lineGraph(100)
+	res := BeamSearch(s, adj, []float32{42.3}, []int32{0}, 3, 16, index.Params{})
+	if len(res) != 3 || res[0].ID != 42 {
+		t.Fatalf("res = %v", res)
+	}
+	// Next two are 43 and 41 in some order by distance.
+	if res[1].ID != 42-0 && res[1].ID != 43 {
+		t.Fatalf("res = %v", res)
+	}
+}
+
+func TestBeamSearchTraversesBlockedNodes(t *testing.T) {
+	// Block everything except the far end: visit-first search must
+	// still walk through blocked territory to reach it.
+	s, adj := lineGraph(50)
+	allow := bitset.New(50)
+	allow.Set(49)
+	res := BeamSearch(s, adj, []float32{0}, []int32{0}, 1, 64, index.Params{Allow: allow})
+	if len(res) != 1 || res[0].ID != 49 {
+		t.Fatalf("blocked traversal failed: %v", res)
+	}
+}
+
+func TestBeamSearchFilterFunc(t *testing.T) {
+	s, adj := lineGraph(30)
+	res := BeamSearch(s, adj, []float32{10}, []int32{0}, 5, 64, index.Params{
+		Filter: func(id int64) bool { return id%2 == 0 },
+	})
+	for _, r := range res {
+		if r.ID%2 != 0 {
+			t.Fatalf("filter violated: %v", res)
+		}
+	}
+	if len(res) != 5 {
+		t.Fatalf("want 5 results, got %d", len(res))
+	}
+}
+
+func TestBeamSearchDuplicateEntries(t *testing.T) {
+	s, adj := lineGraph(10)
+	res := BeamSearch(s, adj, []float32{5}, []int32{0, 0, 9}, 2, 8, index.Params{})
+	if len(res) != 2 {
+		t.Fatalf("res = %v", res)
+	}
+}
+
+func TestGreedyWalkDescends(t *testing.T) {
+	s, adj := lineGraph(100)
+	id, d := GreedyWalk(s, adj, []float32{77.2}, 0)
+	if id != 77 {
+		t.Fatalf("greedy reached %d (d=%v)", id, d)
+	}
+}
+
+func TestRobustPruneRNGRule(t *testing.T) {
+	// Points: p at 0; candidates at 1, 1.9, -5. With alpha=1 the point
+	// at 1.9 is pruned because it is closer to the kept point at 1
+	// than to p (d2(1,1.9)=0.81 <= d2(p,1.9)=3.61); the point at -5
+	// lies on the other side and survives (d2(1,-5)=36 > 25).
+	data := []float32{0, 1, 1.9, -5}
+	s := &Searcher{Data: data, Dim: 1, Fn: vec.SquaredL2}
+	cands := []topk.Result{
+		{ID: 1, Dist: 1},
+		{ID: 2, Dist: 1.9 * 1.9},
+		{ID: 3, Dist: 25},
+	}
+	kept := RobustPrune(s, 0, cands, 8, 1.0)
+	if len(kept) != 2 || kept[0] != 1 || kept[1] != 3 {
+		t.Fatalf("kept = %v", kept)
+	}
+	// Degree cap respected.
+	kept = RobustPrune(s, 0, cands, 1, 1.0)
+	if len(kept) != 1 || kept[0] != 1 {
+		t.Fatalf("capped kept = %v", kept)
+	}
+	// Larger alpha makes the prune condition alpha*d(b,c) <= d(p,c)
+	// harder to satisfy, keeping more (longer) edges: pruning id 2
+	// needs alpha*0.81 <= 3.61, so alpha=5 keeps it.
+	kept = RobustPrune(s, 0, cands, 8, 5)
+	if len(kept) != 3 {
+		t.Fatalf("alpha=5 kept = %v", kept)
+	}
+}
+
+func TestRobustPruneSkipsSelf(t *testing.T) {
+	data := []float32{0, 1}
+	s := &Searcher{Data: data, Dim: 1, Fn: vec.SquaredL2}
+	kept := RobustPrune(s, 0, []topk.Result{{ID: 0, Dist: 0}, {ID: 1, Dist: 1}}, 4, 1)
+	if len(kept) != 1 || kept[0] != 1 {
+		t.Fatalf("kept = %v", kept)
+	}
+}
+
+func TestTopKClosest(t *testing.T) {
+	cands := []topk.Result{{ID: 5, Dist: 1}, {ID: 7, Dist: 2}, {ID: 9, Dist: 3}}
+	got := TopKClosest(cands, 2, 7)
+	if len(got) != 2 || got[0] != 5 || got[1] != 9 {
+		t.Fatalf("got = %v", got)
+	}
+}
+
+func TestAvgDegree(t *testing.T) {
+	_, adj := lineGraph(3) // degrees 1,2,1
+	if d := AvgDegree(adj); d != 4.0/3.0 {
+		t.Fatalf("AvgDegree = %v", d)
+	}
+	if AvgDegree(nil) != 0 {
+		t.Fatal("empty graph degree should be 0")
+	}
+}

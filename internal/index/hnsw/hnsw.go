@@ -1,0 +1,228 @@
+// Package hnsw implements the hierarchical navigable small world graph
+// of Malkov & Yashunin (Section 2.2(3)). Each node draws a maximum
+// layer from an exponentially decaying distribution; upper layers form
+// progressively sparser graphs traversed greedily to find a good entry
+// point, and the bottom layer is beam-searched. Neighbor selection
+// uses either the paper's pruning heuristic (RobustPrune with α=1) or
+// naive k-closest, ablated in E6.
+package hnsw
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync/atomic"
+
+	"vdbms/internal/index"
+	"vdbms/internal/index/graph"
+	"vdbms/internal/topk"
+	"vdbms/internal/vec"
+)
+
+// Config controls construction.
+type Config struct {
+	M           int // max neighbors per node per layer; default 12
+	EfConstruct int // construction beam width; default 4*M
+	// NaiveSelection replaces the pruning heuristic (RobustPrune α=1)
+	// with plain k-closest selection (E6 ablation).
+	NaiveSelection bool
+	Seed           int64
+	Metric         vec.Metric
+}
+
+// HNSW is the built index.
+type HNSW struct {
+	cfg    Config
+	dim    int
+	n      int
+	s      *graph.Searcher
+	layers []graph.Adjacency // layers[l][id] = out-neighbors at layer l
+	nodeLv []int8            // top layer of each node
+	entry  int32
+	maxLv  int
+	ml     float64
+	comps  atomic.Int64
+}
+
+// Build inserts all vectors.
+func Build(data []float32, n, d int, cfg Config) (*HNSW, error) {
+	if d <= 0 || n <= 0 || len(data) < n*d {
+		return nil, fmt.Errorf("hnsw: bad data shape n=%d d=%d len=%d", n, d, len(data))
+	}
+	if cfg.M <= 0 {
+		cfg.M = 12
+	}
+	if cfg.EfConstruct <= 0 {
+		cfg.EfConstruct = 4 * cfg.M
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	fn := vec.Distance(cfg.Metric)
+	h := &HNSW{
+		cfg: cfg, dim: d, n: n,
+		s:      &graph.Searcher{Data: data, Dim: d, Fn: fn},
+		nodeLv: make([]int8, n),
+		ml:     1 / math.Log(float64(cfg.M)),
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	for id := 0; id < n; id++ {
+		h.insert(int32(id), rng)
+	}
+	return h, nil
+}
+
+func (h *HNSW) randomLevel(rng *rand.Rand) int {
+	lv := int(-math.Log(rng.Float64()+1e-12) * h.ml)
+	if lv > 30 {
+		lv = 30
+	}
+	return lv
+}
+
+func (h *HNSW) ensureLayers(lv int) {
+	for len(h.layers) <= lv {
+		h.layers = append(h.layers, make(graph.Adjacency, h.n))
+	}
+}
+
+func (h *HNSW) insert(id int32, rng *rand.Rand) {
+	lv := h.randomLevel(rng)
+	h.nodeLv[id] = int8(lv)
+	h.ensureLayers(lv)
+	if id == 0 {
+		h.entry = 0
+		h.maxLv = lv
+		return
+	}
+	q := h.s.Row(id)
+	ep := h.entry
+	// Greedy descent through layers above the node's top layer.
+	for l := h.maxLv; l > lv; l-- {
+		ep, _ = graph.GreedyWalk(h.s, h.layers[l], q, ep)
+	}
+	// Beam search and connect on each layer from min(lv, maxLv) down.
+	top := lv
+	if top > h.maxLv {
+		top = h.maxLv
+	}
+	entries := []int32{ep}
+	for l := top; l >= 0; l-- {
+		found := graph.BeamSearch(h.s, h.layers[l], q, entries, h.cfg.EfConstruct, h.cfg.EfConstruct, index.Params{})
+		m := h.cfg.M
+		if l == 0 {
+			m = 2 * h.cfg.M // standard HNSW allows 2M at the base layer
+		}
+		var nbrs []int32
+		if h.cfg.NaiveSelection {
+			nbrs = graph.TopKClosest(found, m, id)
+		} else {
+			nbrs = graph.RobustPrune(h.s, id, found, m, 1.0)
+		}
+		h.layers[l][id] = nbrs
+		for _, nb := range nbrs {
+			h.layers[l][nb] = append(h.layers[l][nb], id)
+			if len(h.layers[l][nb]) > m {
+				h.shrink(l, nb, m)
+			}
+		}
+		// Next layer starts from this layer's results.
+		entries = entries[:0]
+		for _, r := range found {
+			entries = append(entries, int32(r.ID))
+		}
+		if len(entries) == 0 {
+			entries = []int32{ep}
+		}
+	}
+	if lv > h.maxLv {
+		h.maxLv = lv
+		h.entry = id
+	}
+}
+
+// shrink re-selects neighbors for an over-full node.
+func (h *HNSW) shrink(l int, id int32, m int) {
+	nbrs := h.layers[l][id]
+	cands := make([]topk.Result, 0, len(nbrs))
+	base := h.s.Row(id)
+	for _, nb := range nbrs {
+		cands = append(cands, topk.Result{ID: int64(nb), Dist: h.s.Dist(base, nb)})
+	}
+	sortResults(cands)
+	if h.cfg.NaiveSelection {
+		h.layers[l][id] = graph.TopKClosest(cands, m, id)
+	} else {
+		h.layers[l][id] = graph.RobustPrune(h.s, id, cands, m, 1.0)
+	}
+}
+
+func sortResults(rs []topk.Result) {
+	for i := 1; i < len(rs); i++ {
+		for j := i; j > 0 && rs[j].Dist < rs[j-1].Dist; j-- {
+			rs[j], rs[j-1] = rs[j-1], rs[j]
+		}
+	}
+}
+
+// Name implements index.Index.
+func (h *HNSW) Name() string { return "hnsw" }
+
+// Size implements index.Index.
+func (h *HNSW) Size() int { return h.n }
+
+// DistanceComps implements index.Stats.
+func (h *HNSW) DistanceComps() int64 { return h.comps.Load() + h.s.Comps }
+
+// ResetStats implements index.Stats.
+func (h *HNSW) ResetStats() { h.comps.Store(0); h.s.Comps = 0 }
+
+// MaxLayer returns the top layer index.
+func (h *HNSW) MaxLayer() int { return h.maxLv }
+
+// AvgBaseDegree reports mean degree of the bottom layer.
+func (h *HNSW) AvgBaseDegree() float64 { return graph.AvgDegree(h.layers[0]) }
+
+// Search implements index.Index: greedy descent through the upper
+// layers, then beam search with width p.Ef on layer 0.
+func (h *HNSW) Search(q []float32, k int, p index.Params) ([]topk.Result, error) {
+	if k <= 0 {
+		return nil, index.ErrBadK
+	}
+	if len(q) != h.dim {
+		return nil, fmt.Errorf("%w: query %d, index %d", index.ErrDim, len(q), h.dim)
+	}
+	ef := p.Ef
+	if ef <= 0 {
+		ef = 4 * k
+		if ef < 32 {
+			ef = 32
+		}
+	}
+	ep := h.entry
+	for l := h.maxLv; l >= 1; l-- {
+		ep, _ = graph.GreedyWalk(h.s, h.layers[l], q, ep)
+	}
+	return graph.BeamSearch(h.s, h.layers[0], q, []int32{ep}, k, ef, p), nil
+}
+
+func init() {
+	index.Register("hnsw", func(data []float32, n, d int, opts map[string]int) (index.Index, error) {
+		cfg := Config{}
+		for k, v := range opts {
+			switch k {
+			case "m":
+				cfg.M = v
+			case "efc":
+				cfg.EfConstruct = v
+			case "seed":
+				cfg.Seed = int64(v)
+			case "naive":
+				cfg.NaiveSelection = v != 0
+			default:
+				return nil, fmt.Errorf("hnsw: unknown option %q", k)
+			}
+		}
+		return Build(data, n, d, cfg)
+	})
+}

@@ -1,0 +1,168 @@
+package hnsw
+
+import (
+	"testing"
+
+	"vdbms/internal/bitset"
+	"vdbms/internal/dataset"
+	"vdbms/internal/index"
+	"vdbms/internal/vec"
+)
+
+func meanRecall(t *testing.T, h *HNSW, ds *dataset.Dataset, ef, k, nq int, seed int64) float64 {
+	t.Helper()
+	qs := ds.Queries(nq, 0.05, seed)
+	truth := dataset.GroundTruth(vec.SquaredL2, ds, qs, k)
+	var s float64
+	for i, q := range qs {
+		got, err := h.Search(q, k, index.Params{Ef: ef})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s += dataset.Recall(got, truth[i])
+	}
+	return s / float64(nq)
+}
+
+func TestHNSWHighRecall(t *testing.T) {
+	ds := dataset.Clustered(2000, 16, 8, 0.4, 1)
+	h, err := Build(ds.Data, ds.Count, ds.Dim, Config{M: 12, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := meanRecall(t, h, ds, 100, 10, 20, 2); r < 0.9 {
+		t.Fatalf("hnsw recall = %v", r)
+	}
+}
+
+func TestEfSweepMonotone(t *testing.T) {
+	ds := dataset.Clustered(1500, 16, 8, 0.4, 3)
+	h, err := Build(ds.Data, ds.Count, ds.Dim, Config{M: 8, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo := meanRecall(t, h, ds, 10, 10, 20, 4)
+	hi := meanRecall(t, h, ds, 200, 10, 20, 4)
+	if hi < lo {
+		t.Fatalf("recall should grow with ef: %v -> %v", lo, hi)
+	}
+	if hi < 0.9 {
+		t.Fatalf("ef=200 recall = %v", hi)
+	}
+}
+
+func TestHierarchyExists(t *testing.T) {
+	ds := dataset.Uniform(2000, 8, 5)
+	h, err := Build(ds.Data, ds.Count, ds.Dim, Config{M: 8, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.MaxLayer() < 1 {
+		t.Fatalf("expected multiple layers, got max layer %d", h.MaxLayer())
+	}
+	// Degree cap: base layer average degree bounded by 2M (plus slack
+	// for re-pruning under-full nodes).
+	if d := h.AvgBaseDegree(); d > float64(2*8)+1 {
+		t.Fatalf("base degree %v exceeds 2M", d)
+	}
+}
+
+func TestHeuristicVsNaiveSelection(t *testing.T) {
+	// E6 ablation: heuristic selection should not lose to naive at the
+	// same ef on clustered data.
+	ds := dataset.Clustered(1500, 16, 10, 0.5, 7)
+	heur, err := Build(ds.Data, ds.Count, ds.Dim, Config{M: 8, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive, err := Build(ds.Data, ds.Count, ds.Dim, Config{M: 8, Seed: 3, NaiveSelection: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rh := meanRecall(t, heur, ds, 50, 10, 20, 8)
+	rn := meanRecall(t, naive, ds, 50, 10, 20, 8)
+	if rh < rn-0.1 {
+		t.Fatalf("heuristic recall %v far below naive %v", rh, rn)
+	}
+}
+
+func TestPredicates(t *testing.T) {
+	ds := dataset.Clustered(800, 8, 4, 0.4, 9)
+	h, err := Build(ds.Data, ds.Count, ds.Dim, Config{M: 8, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	allow := bitset.New(ds.Count)
+	for i := 0; i < ds.Count; i += 5 {
+		allow.Set(i)
+	}
+	got, err := h.Search(ds.Row(0), 10, index.Params{Ef: 100, Allow: allow})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) == 0 {
+		t.Fatal("filtered search returned nothing")
+	}
+	for _, r := range got {
+		if r.ID%5 != 0 {
+			t.Fatalf("blocked id %d returned", r.ID)
+		}
+	}
+	got, _ = h.Search(ds.Row(0), 10, index.Params{Ef: 100, Filter: func(id int64) bool { return id < 50 }})
+	for _, r := range got {
+		if r.ID >= 50 {
+			t.Fatalf("filter violated: %d", r.ID)
+		}
+	}
+}
+
+func TestMetricVariants(t *testing.T) {
+	ds := dataset.Clustered(600, 8, 4, 0.3, 11)
+	for i := 0; i < ds.Count; i++ {
+		vec.Normalize(ds.Row(i))
+	}
+	h, err := Build(ds.Data, ds.Count, ds.Dim, Config{M: 8, Seed: 1, Metric: vec.Cosine})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := ds.Queries(10, 0.02, 12)
+	truth := dataset.GroundTruth(vec.CosineDistance, ds, qs, 10)
+	var s float64
+	for i, q := range qs {
+		got, _ := h.Search(q, 10, index.Params{Ef: 80})
+		s += dataset.Recall(got, truth[i])
+	}
+	if mean := s / 10; mean < 0.8 {
+		t.Fatalf("cosine hnsw recall = %v", mean)
+	}
+}
+
+func TestValidationAndStats(t *testing.T) {
+	if _, err := Build([]float32{1}, 2, 2, Config{}); err == nil {
+		t.Fatal("want shape error")
+	}
+	ds := dataset.Uniform(60, 4, 13)
+	h, _ := Build(ds.Data, 60, 4, Config{M: 4, Seed: 1})
+	if _, err := h.Search(ds.Row(0), 0, index.Params{}); err != index.ErrBadK {
+		t.Fatal("want ErrBadK")
+	}
+	if _, err := h.Search([]float32{1}, 1, index.Params{}); err == nil {
+		t.Fatal("want dim error")
+	}
+	h.ResetStats()
+	h.Search(ds.Row(0), 3, index.Params{})
+	if h.DistanceComps() == 0 || h.Size() != 60 || h.Name() != "hnsw" {
+		t.Fatal("metadata wrong")
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	ds := dataset.Uniform(50, 4, 15)
+	idx, err := index.Build("hnsw", ds.Data, 50, 4, map[string]int{"m": 4, "efc": 16, "naive": 1})
+	if err != nil || idx.Name() != "hnsw" {
+		t.Fatalf("%v", err)
+	}
+	if _, err := index.Build("hnsw", ds.Data, 50, 4, map[string]int{"zz": 1}); err == nil {
+		t.Fatal("want unknown-option error")
+	}
+}

@@ -1,0 +1,121 @@
+// Package index defines the common contract implemented by every
+// search index in Figure 1's Storage Manager (LSH, IVF, trees, graphs,
+// disk indexes) plus the brute-force flat index, and a registry that
+// maps index names to constructors for the CLI and query language.
+package index
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"vdbms/internal/bitset"
+	"vdbms/internal/topk"
+)
+
+// Params carries per-query search knobs. Zero values select each
+// index's defaults. The two predicate fields implement the hybrid
+// operators of Section 2.3: Allow is the bitmask of a block-first
+// scan (built by attribute filtering before the index scan), while
+// Filter is consulted during traversal for visit-first scans.
+type Params struct {
+	// NProbe is how many buckets/partitions to inspect (IVF, LSH
+	// multi-probe, SPANN posting lists).
+	NProbe int
+	// Ef is the beam width for graph best-first search and the leaf
+	// budget for tree indexes.
+	Ef int
+	// Allow, when non-nil, restricts results to ids whose bit is set
+	// (block-first semantics). Indexes must never return a blocked id.
+	Allow *bitset.Bitset
+	// Filter, when non-nil, restricts results to ids it accepts
+	// (visit-first semantics; evaluated during traversal).
+	Filter func(id int64) bool
+}
+
+// Admits reports whether id passes both predicate mechanisms.
+func (p *Params) Admits(id int64) bool {
+	if p.Allow != nil && !p.Allow.Test(int(id)) {
+		return false
+	}
+	if p.Filter != nil && !p.Filter(id) {
+		return false
+	}
+	return true
+}
+
+// Constrained reports whether any predicate is attached.
+func (p *Params) Constrained() bool { return p.Allow != nil || p.Filter != nil }
+
+// Index is a built approximate (or exact) nearest-neighbor structure
+// over vectors identified by dense int64 ids.
+type Index interface {
+	// Name returns the index family name ("flat", "hnsw", ...).
+	Name() string
+	// Size returns the number of indexed vectors.
+	Size() int
+	// Search returns up to k results ordered by ascending distance.
+	Search(q []float32, k int, p Params) ([]topk.Result, error)
+}
+
+// Stats is implemented by indexes that track per-search work counters
+// used by the cost model and the experiments.
+type Stats interface {
+	// DistanceComps returns the cumulative number of full-vector
+	// distance computations performed by Search calls.
+	DistanceComps() int64
+	// ResetStats zeroes the counters.
+	ResetStats()
+}
+
+// ErrBadK is returned when a non-positive k is requested.
+var ErrBadK = errors.New("index: k must be positive")
+
+// ErrDim is returned when a query's dimensionality differs from the
+// index's.
+var ErrDim = errors.New("index: query dimension mismatch")
+
+// BuildFunc constructs an index over n row-major vectors of dimension
+// d. opts carries index-specific knobs (parsed from the CLI or query
+// language); unknown keys are an error.
+type BuildFunc func(data []float32, n, d int, opts map[string]int) (Index, error)
+
+var (
+	regMu    sync.RWMutex
+	registry = map[string]BuildFunc{}
+)
+
+// Register adds an index family to the registry. It panics on
+// duplicate names (registration happens in package init only).
+func Register(name string, fn BuildFunc) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[name]; dup {
+		panic("index: duplicate registration of " + name)
+	}
+	registry[name] = fn
+}
+
+// Build constructs a registered index by name.
+func Build(name string, data []float32, n, d int, opts map[string]int) (Index, error) {
+	regMu.RLock()
+	fn, ok := registry[name]
+	regMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("index: unknown index %q (known: %v)", name, Names())
+	}
+	return fn(data, n, d, opts)
+}
+
+// Names lists registered families in sorted order.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,264 @@
+// Package ivf implements the inverted-file family of Section 2.2:
+// vectors are bucketed by k-means ("learning to hash" style learned
+// partitioning) and queries scan the nprobe closest buckets.
+// Three storage variants mirror the paper's taxonomy:
+//
+//   - IVFFlat: buckets hold raw vectors (exact re-ranking).
+//   - IVFSQ: buckets hold 8-bit scalar-quantized codes.
+//   - IVFADC: buckets hold product-quantization codes scanned with a
+//     per-query asymmetric distance table (Jégou et al.).
+package ivf
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"vdbms/internal/index"
+	"vdbms/internal/kmeans"
+	"vdbms/internal/quant"
+	"vdbms/internal/topk"
+	"vdbms/internal/vec"
+)
+
+// Variant selects bucket storage.
+type Variant int
+
+const (
+	// Flat stores raw vectors in each bucket.
+	Flat Variant = iota
+	// SQ stores 8-bit scalar-quantized codes.
+	SQ
+	// ADC stores product-quantization codes and scans with ADC tables.
+	ADC
+)
+
+// Config controls construction.
+type Config struct {
+	NList   int     // number of buckets; default sqrt-ish heuristic
+	Variant Variant // default Flat
+	// PQ settings for the ADC variant.
+	PQM  int // subquantizers; default 8 (must divide dim)
+	PQKs int // centroids per subquantizer; default 256
+	// Residual, when true, encodes vectors relative to their bucket
+	// centroid (the IVFADC formulation); ignored for Flat.
+	Residual bool
+	Seed     int64
+	MaxIter  int
+}
+
+// IVF is the built index.
+type IVF struct {
+	cfg     Config
+	dim     int
+	n       int
+	data    []float32 // raw vectors, retained for Flat scan and re-ranking
+	cents   *kmeans.Result
+	lists   [][]int32 // bucket -> member ids
+	sq      *quant.SQ
+	sqCodes []byte // n * dim, SQ variant
+	pq      *quant.PQ
+	pqCodes []byte // n * M, ADC variant
+	comps   atomic.Int64
+}
+
+// Build trains the coarse quantizer and populates buckets.
+func Build(data []float32, n, d int, cfg Config) (*IVF, error) {
+	if d <= 0 || n <= 0 || len(data) < n*d {
+		return nil, fmt.Errorf("ivf: bad data shape n=%d d=%d len=%d", n, d, len(data))
+	}
+	if cfg.NList <= 0 {
+		cfg.NList = defaultNList(n)
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.MaxIter <= 0 {
+		cfg.MaxIter = 20
+	}
+	cents, err := kmeans.Train(data, n, d, kmeans.Config{K: cfg.NList, Seed: cfg.Seed, MaxIter: cfg.MaxIter})
+	if err != nil {
+		return nil, fmt.Errorf("ivf: coarse quantizer: %w", err)
+	}
+	iv := &IVF{cfg: cfg, dim: d, n: n, data: data, cents: cents, lists: make([][]int32, cents.K)}
+	for id, c := range cents.Assign {
+		iv.lists[c] = append(iv.lists[c], int32(id))
+	}
+	switch cfg.Variant {
+	case Flat:
+	case SQ:
+		sq, err := quant.TrainSQ(data, n, d)
+		if err != nil {
+			return nil, err
+		}
+		iv.sq = sq
+		iv.sqCodes = make([]byte, n*d)
+		for id := 0; id < n; id++ {
+			sq.Encode(data[id*d:(id+1)*d], iv.sqCodes[id*d:(id+1)*d])
+		}
+	case ADC:
+		if cfg.PQM <= 0 {
+			cfg.PQM = 8
+		}
+		if cfg.PQKs <= 0 {
+			cfg.PQKs = 256
+		}
+		iv.cfg = cfg
+		train := data
+		if cfg.Residual {
+			train = make([]float32, n*d)
+			for id := 0; id < n; id++ {
+				cent := cents.Centroid(cents.Assign[id])
+				row := data[id*d : (id+1)*d]
+				out := train[id*d : (id+1)*d]
+				for j := range out {
+					out[j] = row[j] - cent[j]
+				}
+			}
+		}
+		pq, err := quant.TrainPQ(train, n, d, quant.PQConfig{M: cfg.PQM, Ks: cfg.PQKs, Seed: cfg.Seed, MaxIter: cfg.MaxIter})
+		if err != nil {
+			return nil, err
+		}
+		iv.pq = pq
+		iv.pqCodes = make([]byte, n*pq.M)
+		for id := 0; id < n; id++ {
+			pq.Encode(train[id*d:(id+1)*d], iv.pqCodes[id*pq.M:(id+1)*pq.M])
+		}
+	default:
+		return nil, fmt.Errorf("ivf: unknown variant %d", cfg.Variant)
+	}
+	return iv, nil
+}
+
+func defaultNList(n int) int {
+	nl := 1
+	for nl*nl < n {
+		nl++
+	}
+	if nl < 4 {
+		nl = 4
+	}
+	return nl
+}
+
+// Name implements index.Index.
+func (iv *IVF) Name() string {
+	switch iv.cfg.Variant {
+	case SQ:
+		return "ivfsq"
+	case ADC:
+		return "ivfadc"
+	default:
+		return "ivfflat"
+	}
+}
+
+// Size implements index.Index.
+func (iv *IVF) Size() int { return iv.n }
+
+// NList returns the number of buckets.
+func (iv *IVF) NList() int { return iv.cents.K }
+
+// ListMembers exposes bucket membership for index-guided sharding
+// (Section 2.3(2)) and offline-blocking experiments.
+func (iv *IVF) ListMembers(list int) []int32 { return iv.lists[list] }
+
+// DistanceComps implements index.Stats.
+func (iv *IVF) DistanceComps() int64 { return iv.comps.Load() }
+
+// ResetStats implements index.Stats.
+func (iv *IVF) ResetStats() { iv.comps.Store(0) }
+
+// ScannedFraction returns the fraction of the collection scanned for
+// a given nprobe, the cost proxy E3 reports.
+func (iv *IVF) ScannedFraction(q []float32, nprobe int) float64 {
+	if nprobe <= 0 {
+		nprobe = 1
+	}
+	total := 0
+	for _, l := range iv.cents.NearestN(q, nprobe) {
+		total += len(iv.lists[l])
+	}
+	return float64(total) / float64(iv.n)
+}
+
+// Search implements index.Index. p.NProbe selects how many buckets to
+// scan (default 1).
+func (iv *IVF) Search(q []float32, k int, p index.Params) ([]topk.Result, error) {
+	if k <= 0 {
+		return nil, index.ErrBadK
+	}
+	if len(q) != iv.dim {
+		return nil, fmt.Errorf("%w: query %d, index %d", index.ErrDim, len(q), iv.dim)
+	}
+	nprobe := p.NProbe
+	if nprobe <= 0 {
+		nprobe = 1
+	}
+	c := topk.NewCollector(k)
+	comps := int64(0)
+	var adc *quant.ADCTable
+	switch iv.cfg.Variant {
+	case ADC:
+		if !iv.cfg.Residual {
+			adc = iv.pq.ADC(q)
+		}
+	}
+	resid := make([]float32, iv.dim)
+	for _, list := range iv.cents.NearestN(q, nprobe) {
+		if iv.cfg.Variant == ADC && iv.cfg.Residual {
+			cent := iv.cents.Centroid(list)
+			for j := range resid {
+				resid[j] = q[j] - cent[j]
+			}
+			adc = iv.pq.ADC(resid)
+		}
+		for _, id := range iv.lists[list] {
+			if !p.Admits(int64(id)) {
+				continue
+			}
+			var d float32
+			switch iv.cfg.Variant {
+			case Flat:
+				d = vec.SquaredL2(q, iv.data[int(id)*iv.dim:(int(id)+1)*iv.dim])
+			case SQ:
+				d = iv.sq.DistanceL2(q, iv.sqCodes[int(id)*iv.dim:(int(id)+1)*iv.dim])
+			case ADC:
+				d = adc.Distance(iv.pqCodes[int(id)*iv.pq.M : (int(id)+1)*iv.pq.M])
+			}
+			comps++
+			c.Push(int64(id), d)
+		}
+	}
+	iv.comps.Add(comps)
+	return c.Results(), nil
+}
+
+func init() {
+	index.Register("ivfflat", buildFunc(Flat))
+	index.Register("ivfsq", buildFunc(SQ))
+	index.Register("ivfadc", buildFunc(ADC))
+}
+
+func buildFunc(v Variant) index.BuildFunc {
+	return func(data []float32, n, d int, opts map[string]int) (index.Index, error) {
+		cfg := Config{Variant: v}
+		for k, val := range opts {
+			switch k {
+			case "nlist":
+				cfg.NList = val
+			case "m":
+				cfg.PQM = val
+			case "ks":
+				cfg.PQKs = val
+			case "residual":
+				cfg.Residual = val != 0
+			case "seed":
+				cfg.Seed = int64(val)
+			default:
+				return nil, fmt.Errorf("ivf: unknown option %q", k)
+			}
+		}
+		return Build(data, n, d, cfg)
+	}
+}

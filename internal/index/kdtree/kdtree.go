@@ -1,0 +1,387 @@
+// Package kdtree implements the tree-based indexes of Section 2.2:
+// the deterministic k-d tree with median splits, the principal
+// component tree (split along top PCA axes), the PKD-tree that rotates
+// through principal axes by depth, and FLANN-style randomized trees
+// that pick a random dimension among the highest-variance ones. A
+// forest of randomized trees searched with a shared best-first queue
+// is the standard recall remedy the paper describes.
+package kdtree
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync/atomic"
+
+	"vdbms/internal/index"
+	"vdbms/internal/matrix"
+	"vdbms/internal/topk"
+	"vdbms/internal/vec"
+)
+
+// Mode selects the split rule.
+type Mode int
+
+const (
+	// Median splits on the widest-spread dimension at the median
+	// (the classic deterministic k-d tree).
+	Median Mode = iota
+	// PCA splits along the top principal axis of each node's points.
+	PCA
+	// PKD rotates through the dataset's global principal axes by
+	// depth (Silpa-Anan & Hartley).
+	PKD
+	// RandomDim picks a random dimension among the top-5 variance
+	// dimensions of the node (FLANN's randomized k-d forest).
+	RandomDim
+)
+
+// Config controls construction.
+type Config struct {
+	Mode     Mode
+	Trees    int // forest size; default 1 (Median/PCA/PKD), 8 (RandomDim)
+	LeafSize int // max points per leaf; default 16
+	Seed     int64
+	// PCAAxes bounds how many global principal axes PKD rotates
+	// through; default 8.
+	PCAAxes int
+}
+
+type node struct {
+	axis        int       // split dimension (Median/RandomDim)
+	proj        []float32 // split direction (PCA/PKD); nil for axis split
+	thresh      float32
+	left, right *node
+	ids         []int32 // leaf payload
+}
+
+// Tree is a forest-of-kd-trees index.
+type Tree struct {
+	cfg   Config
+	dim   int
+	n     int
+	data  []float32
+	roots []*node
+	comps atomic.Int64
+	// global principal axes for PKD mode, row-major axes x dim
+	axes *matrix.Dense
+}
+
+// Build constructs the forest.
+func Build(data []float32, n, d int, cfg Config) (*Tree, error) {
+	if d <= 0 || n <= 0 || len(data) < n*d {
+		return nil, fmt.Errorf("kdtree: bad data shape n=%d d=%d len=%d", n, d, len(data))
+	}
+	if cfg.LeafSize <= 0 {
+		cfg.LeafSize = 16
+	}
+	if cfg.Trees <= 0 {
+		if cfg.Mode == RandomDim {
+			cfg.Trees = 8
+		} else {
+			cfg.Trees = 1
+		}
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.PCAAxes <= 0 {
+		cfg.PCAAxes = 8
+	}
+	t := &Tree{cfg: cfg, dim: d, n: n, data: data}
+	if cfg.Mode == PKD {
+		k := cfg.PCAAxes
+		if k > d {
+			k = d
+		}
+		axes, _ := matrix.PCA(data, n, d, k)
+		t.axes = axes
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	ids := make([]int32, n)
+	for i := range ids {
+		ids[i] = int32(i)
+	}
+	for ti := 0; ti < cfg.Trees; ti++ {
+		own := make([]int32, n)
+		copy(own, ids)
+		t.roots = append(t.roots, t.build(own, 0, rng))
+	}
+	return t, nil
+}
+
+// projValue computes the coordinate of vector id along a node's split
+// direction.
+func (t *Tree) value(nd *node, v []float32) float32 {
+	if nd.proj == nil {
+		return v[nd.axis]
+	}
+	return vec.Dot(v, nd.proj)
+}
+
+func (t *Tree) build(ids []int32, depth int, rng *rand.Rand) *node {
+	if len(ids) <= t.cfg.LeafSize {
+		return &node{ids: ids}
+	}
+	nd := &node{}
+	switch t.cfg.Mode {
+	case Median:
+		nd.axis = t.widestDim(ids, 0)
+	case RandomDim:
+		nd.axis = t.widestDim(ids, rng.Intn(5))
+	case PKD:
+		row := t.axes.Row(depth % t.axes.Rows)
+		p := make([]float32, t.dim)
+		for j, x := range row {
+			p[j] = float32(x)
+		}
+		nd.proj = p
+	case PCA:
+		nd.proj = t.nodePCA(ids)
+	}
+	// Split at the median projection.
+	vals := make([]float32, len(ids))
+	for i, id := range ids {
+		vals[i] = t.value(nd, t.row(id))
+	}
+	sorted := append([]float32(nil), vals...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	nd.thresh = sorted[len(sorted)/2]
+	var left, right []int32
+	for i, id := range ids {
+		if vals[i] < nd.thresh {
+			left = append(left, id)
+		} else {
+			right = append(right, id)
+		}
+	}
+	// Degenerate split (many duplicates): fall back to a leaf.
+	if len(left) == 0 || len(right) == 0 {
+		return &node{ids: ids}
+	}
+	nd.left = t.build(left, depth+1, rng)
+	nd.right = t.build(right, depth+1, rng)
+	return nd
+}
+
+func (t *Tree) row(id int32) []float32 {
+	return t.data[int(id)*t.dim : (int(id)+1)*t.dim]
+}
+
+// widestDim returns the rank-th widest-variance dimension of the
+// subset (rank 0 = widest).
+func (t *Tree) widestDim(ids []int32, rank int) int {
+	d := t.dim
+	mean := make([]float64, d)
+	for _, id := range ids {
+		row := t.row(id)
+		for j, x := range row {
+			mean[j] += float64(x)
+		}
+	}
+	for j := range mean {
+		mean[j] /= float64(len(ids))
+	}
+	vars := make([]float64, d)
+	for _, id := range ids {
+		row := t.row(id)
+		for j, x := range row {
+			dv := float64(x) - mean[j]
+			vars[j] += dv * dv
+		}
+	}
+	if rank >= d {
+		rank = d - 1
+	}
+	order := make([]int, d)
+	for j := range order {
+		order[j] = j
+	}
+	sort.Slice(order, func(a, b int) bool { return vars[order[a]] > vars[order[b]] })
+	return order[rank]
+}
+
+// nodePCA finds the dominant principal axis of a subset via a few
+// power iterations on the subset covariance (cheaper than full Jacobi
+// at every node).
+func (t *Tree) nodePCA(ids []int32) []float32 {
+	d := t.dim
+	mean := make([]float64, d)
+	for _, id := range ids {
+		for j, x := range t.row(id) {
+			mean[j] += float64(x)
+		}
+	}
+	for j := range mean {
+		mean[j] /= float64(len(ids))
+	}
+	v := make([]float64, d)
+	for j := range v {
+		v[j] = 1 / float64(d)
+	}
+	tmp := make([]float64, d)
+	for iter := 0; iter < 8; iter++ {
+		for j := range tmp {
+			tmp[j] = 0
+		}
+		// tmp = Cov * v computed as sum over points of (x-mu)((x-mu)·v)
+		for _, id := range ids {
+			row := t.row(id)
+			var dot float64
+			for j, x := range row {
+				dot += (float64(x) - mean[j]) * v[j]
+			}
+			for j, x := range row {
+				tmp[j] += (float64(x) - mean[j]) * dot
+			}
+		}
+		var norm float64
+		for _, x := range tmp {
+			norm += x * x
+		}
+		if norm == 0 {
+			break
+		}
+		inv := 1 / sqrt64(norm)
+		for j := range v {
+			v[j] = tmp[j] * inv
+		}
+	}
+	out := make([]float32, d)
+	for j, x := range v {
+		out[j] = float32(x)
+	}
+	return out
+}
+
+func sqrt64(x float64) float64 {
+	// Newton's method is fine here, but math.Sqrt is simpler; kept as
+	// a helper to avoid importing math twice in hot files.
+	if x <= 0 {
+		return 0
+	}
+	z := x
+	for i := 0; i < 20; i++ {
+		z = 0.5 * (z + x/z)
+	}
+	return z
+}
+
+// Name implements index.Index.
+func (t *Tree) Name() string {
+	switch t.cfg.Mode {
+	case PCA:
+		return "pcatree"
+	case PKD:
+		return "pkdtree"
+	case RandomDim:
+		return "kdforest"
+	default:
+		return "kdtree"
+	}
+}
+
+// Size implements index.Index.
+func (t *Tree) Size() int { return t.n }
+
+// DistanceComps implements index.Stats.
+func (t *Tree) DistanceComps() int64 { return t.comps.Load() }
+
+// ResetStats implements index.Stats.
+func (t *Tree) ResetStats() { t.comps.Store(0) }
+
+type frontierEntry struct {
+	nd    *node
+	bound float32
+}
+
+// Search implements index.Index with FLANN-style shared best-first
+// traversal over all trees: a priority queue orders unexplored
+// branches by their lower-bound distance, and search stops after
+// examining p.Ef candidate points (default max(64, 8k)).
+func (t *Tree) Search(q []float32, k int, p index.Params) ([]topk.Result, error) {
+	if k <= 0 {
+		return nil, index.ErrBadK
+	}
+	if len(q) != t.dim {
+		return nil, fmt.Errorf("%w: query %d, index %d", index.ErrDim, len(q), t.dim)
+	}
+	budget := p.Ef
+	if budget <= 0 {
+		budget = 8 * k
+		if budget < 64 {
+			budget = 64
+		}
+	}
+	var pq topk.MinQueue
+	entries := []frontierEntry{}
+	push := func(nd *node, bound float32) {
+		entries = append(entries, frontierEntry{nd, bound})
+		pq.Push(int64(len(entries)-1), bound)
+	}
+	for _, root := range t.roots {
+		push(root, 0)
+	}
+	c := topk.NewCollector(k)
+	examined := 0
+	comps := int64(0)
+	for pq.Len() > 0 && examined < budget {
+		item := pq.Pop()
+		e := entries[item.ID]
+		if c.Full() && e.bound > c.Worst() {
+			// Admissible bound exceeds current worst: with an exact
+			// bound we could stop; bounds here are per-branch so we
+			// just skip this branch.
+			continue
+		}
+		nd := e.nd
+		for nd.ids == nil {
+			val := t.value(nd, q)
+			margin := val - nd.thresh
+			var near, far *node
+			if margin < 0 {
+				near, far = nd.left, nd.right
+			} else {
+				near, far = nd.right, nd.left
+			}
+			farBound := e.bound + margin*margin
+			push(far, farBound)
+			nd = near
+		}
+		for _, id := range nd.ids {
+			if !p.Admits(int64(id)) {
+				continue
+			}
+			d := vec.SquaredL2(q, t.row(id))
+			comps++
+			examined++
+			c.Push(int64(id), d)
+		}
+	}
+	t.comps.Add(comps)
+	return c.Results(), nil
+}
+
+func init() {
+	for name, mode := range map[string]Mode{
+		"kdtree": Median, "pcatree": PCA, "pkdtree": PKD, "kdforest": RandomDim,
+	} {
+		m := mode
+		index.Register(name, func(data []float32, n, d int, opts map[string]int) (index.Index, error) {
+			cfg := Config{Mode: m}
+			for k, v := range opts {
+				switch k {
+				case "trees":
+					cfg.Trees = v
+				case "leaf":
+					cfg.LeafSize = v
+				case "seed":
+					cfg.Seed = int64(v)
+				default:
+					return nil, fmt.Errorf("kdtree: unknown option %q", k)
+				}
+			}
+			return Build(data, n, d, cfg)
+		})
+	}
+}

@@ -1,0 +1,169 @@
+package kdtree
+
+import (
+	"testing"
+
+	"vdbms/internal/bitset"
+	"vdbms/internal/dataset"
+	"vdbms/internal/index"
+	"vdbms/internal/vec"
+)
+
+func recallOf(t *testing.T, idx index.Index, ds *dataset.Dataset, ef, k, nq int) float64 {
+	t.Helper()
+	qs := ds.Queries(nq, 0.05, 2)
+	truth := dataset.GroundTruth(vec.SquaredL2, ds, qs, k)
+	var s float64
+	for i, q := range qs {
+		got, err := idx.Search(q, k, index.Params{Ef: ef})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s += dataset.Recall(got, truth[i])
+	}
+	return s / float64(nq)
+}
+
+func TestMedianTreeLowDimExact(t *testing.T) {
+	// In low dimension a deterministic k-d tree with a generous budget
+	// reaches high recall.
+	ds := dataset.Clustered(1000, 4, 5, 0.4, 1)
+	tr, err := Build(ds.Data, ds.Count, ds.Dim, Config{Mode: Median, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := recallOf(t, tr, ds, 400, 10, 15); r < 0.9 {
+		t.Fatalf("low-dim kdtree recall = %v", r)
+	}
+	if tr.Name() != "kdtree" {
+		t.Fatal("name wrong")
+	}
+}
+
+func TestBudgetImprovesRecall(t *testing.T) {
+	ds := dataset.Clustered(2000, 16, 8, 0.4, 3)
+	tr, err := Build(ds.Data, ds.Count, ds.Dim, Config{Mode: RandomDim, Trees: 8, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo := recallOf(t, tr, ds, 50, 10, 15)
+	hi := recallOf(t, tr, ds, 1000, 10, 15)
+	if hi < lo {
+		t.Fatalf("recall must grow with budget: %v -> %v", lo, hi)
+	}
+	if hi < 0.7 {
+		t.Fatalf("forest recall at big budget = %v", hi)
+	}
+}
+
+func TestForestBeatsSingleTreeHighDim(t *testing.T) {
+	ds := dataset.LowRank(2000, 32, 4, 0.05, 7)
+	single, err := Build(ds.Data, ds.Count, ds.Dim, Config{Mode: Median, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	forest, err := Build(ds.Data, ds.Count, ds.Dim, Config{Mode: RandomDim, Trees: 8, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs := recallOf(t, single, ds, 300, 10, 20)
+	rf := recallOf(t, forest, ds, 300, 10, 20)
+	if rf < rs-0.05 {
+		t.Fatalf("randomized forest (%v) should not trail single tree (%v) on low-rank data", rf, rs)
+	}
+}
+
+func TestPCAModes(t *testing.T) {
+	ds := dataset.LowRank(1500, 16, 3, 0.05, 11)
+	for _, cfg := range []Config{
+		{Mode: PCA, Seed: 1},
+		{Mode: PKD, Seed: 1, PCAAxes: 4},
+	} {
+		tr, err := Build(ds.Data, ds.Count, ds.Dim, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r := recallOf(t, tr, ds, 500, 10, 10); r < 0.5 {
+			t.Fatalf("%s recall = %v", tr.Name(), r)
+		}
+	}
+}
+
+func TestPredicatesRespected(t *testing.T) {
+	ds := dataset.Uniform(300, 8, 13)
+	tr, err := Build(ds.Data, ds.Count, ds.Dim, Config{Mode: Median, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	allow := bitset.New(300)
+	for i := 0; i < 300; i += 3 {
+		allow.Set(i)
+	}
+	got, err := tr.Search(ds.Row(0), 10, index.Params{Ef: 300, Allow: allow})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range got {
+		if r.ID%3 != 0 {
+			t.Fatalf("blocked id %d returned", r.ID)
+		}
+	}
+	got, _ = tr.Search(ds.Row(0), 10, index.Params{Ef: 300, Filter: func(id int64) bool { return id > 150 }})
+	for _, r := range got {
+		if r.ID <= 150 {
+			t.Fatalf("filtered id %d returned", r.ID)
+		}
+	}
+}
+
+func TestValidationAndStats(t *testing.T) {
+	if _, err := Build([]float32{1}, 2, 2, Config{}); err == nil {
+		t.Fatal("want shape error")
+	}
+	ds := dataset.Uniform(100, 4, 15)
+	tr, _ := Build(ds.Data, 100, 4, Config{Seed: 1})
+	if _, err := tr.Search(ds.Row(0), 0, index.Params{}); err != index.ErrBadK {
+		t.Fatal("want ErrBadK")
+	}
+	if _, err := tr.Search([]float32{1}, 1, index.Params{}); err == nil {
+		t.Fatal("want dim error")
+	}
+	tr.ResetStats()
+	tr.Search(ds.Row(0), 5, index.Params{})
+	if tr.DistanceComps() == 0 {
+		t.Fatal("comps not counted")
+	}
+	if tr.Size() != 100 {
+		t.Fatal("size wrong")
+	}
+}
+
+func TestDuplicatePointsDegenerate(t *testing.T) {
+	// All-identical points force degenerate splits; the tree must
+	// still build (single leaf) and search.
+	data := make([]float32, 100*4)
+	tr, err := Build(data, 100, 4, Config{LeafSize: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := tr.Search(make([]float32, 4), 5, index.Params{})
+	if err != nil || len(got) != 5 {
+		t.Fatalf("degenerate search: %v %v", got, err)
+	}
+}
+
+func TestRegistryNames(t *testing.T) {
+	ds := dataset.Uniform(60, 4, 17)
+	for _, name := range []string{"kdtree", "pcatree", "pkdtree", "kdforest"} {
+		idx, err := index.Build(name, ds.Data, 60, 4, map[string]int{"trees": 2, "leaf": 8})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if idx.Name() != name {
+			t.Fatalf("name = %s want %s", idx.Name(), name)
+		}
+	}
+	if _, err := index.Build("kdtree", ds.Data, 60, 4, map[string]int{"zz": 1}); err == nil {
+		t.Fatal("want unknown-option error")
+	}
+}

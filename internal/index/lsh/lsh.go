@@ -1,0 +1,231 @@
+// Package lsh implements locality sensitive hashing (Section 2.2(1)):
+// L hash tables, each keyed by a concatenation of K hash functions
+// drawn from a hash family. Two families are provided:
+//
+//   - "hyperplane": sign random projections (the random-hyperplane
+//     family of EZLSH / IndexLSH binary projections), suited to
+//     angular similarity.
+//   - "pstable": the p-stable (Gaussian) family of Datar et al. used
+//     by E2LSH for Euclidean distance, h(v) = floor((a·v + b) / w).
+//
+// Larger K sharpens each table (fewer false positives, more false
+// negatives); larger L compensates by giving more chances to collide.
+// E2 sweeps both to reproduce the recall/probe-cost trade-off.
+package lsh
+
+import (
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+
+	"vdbms/internal/index"
+	"vdbms/internal/topk"
+	"vdbms/internal/vec"
+)
+
+// Family selects the hash family.
+type Family int
+
+const (
+	// Hyperplane hashes by the sign of a random projection.
+	Hyperplane Family = iota
+	// PStable hashes by a quantized random projection.
+	PStable
+)
+
+// Config controls index construction.
+type Config struct {
+	L      int     // number of tables; default 8
+	K      int     // hash functions concatenated per table; default 8
+	Family Family  // default Hyperplane
+	W      float32 // p-stable bucket width; default 4
+	Seed   int64   // default 1
+	Metric vec.Metric
+}
+
+// LSH is the built index.
+type LSH struct {
+	cfg    Config
+	dim    int
+	n      int
+	data   []float32
+	fn     vec.DistanceFunc
+	tables []map[uint64][]int32
+	// projections: per table, K vectors of dim floats (+ offset for
+	// p-stable).
+	proj    [][]float32 // [L][K*dim]
+	offsets [][]float32 // [L][K], p-stable only
+	comps   atomic.Int64
+}
+
+// Build constructs the index over n row-major vectors.
+func Build(data []float32, n, d int, cfg Config) (*LSH, error) {
+	if cfg.L <= 0 {
+		cfg.L = 8
+	}
+	if cfg.K <= 0 {
+		cfg.K = 8
+	}
+	if cfg.W <= 0 {
+		cfg.W = 4
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if d <= 0 || len(data) < n*d {
+		return nil, fmt.Errorf("lsh: bad data shape n=%d d=%d len=%d", n, d, len(data))
+	}
+	l := &LSH{
+		cfg:     cfg,
+		dim:     d,
+		n:       n,
+		data:    data,
+		fn:      vec.Distance(metricOrL2(cfg)),
+		tables:  make([]map[uint64][]int32, cfg.L),
+		proj:    make([][]float32, cfg.L),
+		offsets: make([][]float32, cfg.L),
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	for t := 0; t < cfg.L; t++ {
+		p := make([]float32, cfg.K*d)
+		for i := range p {
+			p[i] = float32(rng.NormFloat64())
+		}
+		l.proj[t] = p
+		if cfg.Family == PStable {
+			off := make([]float32, cfg.K)
+			for i := range off {
+				off[i] = rng.Float32() * cfg.W
+			}
+			l.offsets[t] = off
+		}
+		l.tables[t] = make(map[uint64][]int32)
+	}
+	for id := 0; id < n; id++ {
+		v := data[id*d : (id+1)*d]
+		for t := 0; t < cfg.L; t++ {
+			key := l.hash(t, v)
+			l.tables[t][key] = append(l.tables[t][key], int32(id))
+		}
+	}
+	return l, nil
+}
+
+func metricOrL2(cfg Config) vec.Metric {
+	if cfg.Family == Hyperplane && cfg.Metric == vec.L2 {
+		// Hyperplane LSH approximates angular similarity; default the
+		// re-ranking metric to cosine unless the caller overrode it.
+		return vec.Cosine
+	}
+	return cfg.Metric
+}
+
+// hash computes the table key: K sub-hashes mixed FNV-style.
+func (l *LSH) hash(t int, v []float32) uint64 {
+	const (
+		fnvOffset = 14695981039346656037
+		fnvPrime  = 1099511628211
+	)
+	h := uint64(fnvOffset)
+	p := l.proj[t]
+	for k := 0; k < l.cfg.K; k++ {
+		dot := vec.Dot(v, p[k*l.dim:(k+1)*l.dim])
+		var sub uint64
+		if l.cfg.Family == Hyperplane {
+			if dot >= 0 {
+				sub = 1
+			}
+		} else {
+			sub = uint64(int64((dot + l.offsets[t][k]) / l.cfg.W))
+		}
+		h = (h ^ sub) * fnvPrime
+	}
+	return h
+}
+
+// Name implements index.Index.
+func (l *LSH) Name() string { return "lsh" }
+
+// Size implements index.Index.
+func (l *LSH) Size() int { return l.n }
+
+// DistanceComps implements index.Stats.
+func (l *LSH) DistanceComps() int64 { return l.comps.Load() }
+
+// ResetStats implements index.Stats.
+func (l *LSH) ResetStats() { l.comps.Store(0) }
+
+// CandidateCount returns how many distinct candidates the query would
+// collide with; E2 reports it as the probe cost.
+func (l *LSH) CandidateCount(q []float32, tables int) int {
+	seen := map[int32]struct{}{}
+	if tables <= 0 || tables > l.cfg.L {
+		tables = l.cfg.L
+	}
+	for t := 0; t < tables; t++ {
+		for _, id := range l.tables[t][l.hash(t, q)] {
+			seen[id] = struct{}{}
+		}
+	}
+	return len(seen)
+}
+
+// Search implements index.Index: hash the query into each table, take
+// colliding vectors as candidates, then re-rank exactly. p.NProbe caps
+// the number of tables consulted (defaults to all L).
+func (l *LSH) Search(q []float32, k int, p index.Params) ([]topk.Result, error) {
+	if k <= 0 {
+		return nil, index.ErrBadK
+	}
+	if len(q) != l.dim {
+		return nil, fmt.Errorf("%w: query %d, index %d", index.ErrDim, len(q), l.dim)
+	}
+	tables := p.NProbe
+	if tables <= 0 || tables > l.cfg.L {
+		tables = l.cfg.L
+	}
+	c := topk.NewCollector(k)
+	seen := make(map[int32]struct{}, 64)
+	comps := int64(0)
+	for t := 0; t < tables; t++ {
+		for _, id := range l.tables[t][l.hash(t, q)] {
+			if _, dup := seen[id]; dup {
+				continue
+			}
+			seen[id] = struct{}{}
+			if !p.Admits(int64(id)) {
+				continue
+			}
+			d := l.fn(q, l.data[int(id)*l.dim:(int(id)+1)*l.dim])
+			comps++
+			c.Push(int64(id), d)
+		}
+	}
+	l.comps.Add(comps)
+	return c.Results(), nil
+}
+
+func init() {
+	index.Register("lsh", func(data []float32, n, d int, opts map[string]int) (index.Index, error) {
+		cfg := Config{}
+		for k, v := range opts {
+			switch k {
+			case "l":
+				cfg.L = v
+			case "k":
+				cfg.K = v
+			case "seed":
+				cfg.Seed = int64(v)
+			case "pstable":
+				if v != 0 {
+					cfg.Family = PStable
+				}
+			case "w":
+				cfg.W = float32(v)
+			default:
+				return nil, fmt.Errorf("lsh: unknown option %q", k)
+			}
+		}
+		return Build(data, n, d, cfg)
+	})
+}

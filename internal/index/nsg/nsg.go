@@ -1,0 +1,370 @@
+// Package nsg implements monotonic-search-network construction
+// (Section 2.2(2)): both the NSG recipe of Fu et al. (initialize from
+// an approximate KNNG, designate the medoid as navigating node, run a
+// search trial per node and prune with the MRNG rule) and the Vamana
+// recipe of DiskANN (random initial graph, two α passes). The two
+// share the navigating-node trial structure; Variant selects the
+// initialization and α schedule.
+package nsg
+
+import (
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+
+	"vdbms/internal/index"
+	"vdbms/internal/index/graph"
+	"vdbms/internal/index/knng"
+	"vdbms/internal/topk"
+	"vdbms/internal/vec"
+)
+
+// Variant selects the construction recipe.
+type Variant int
+
+const (
+	// NSG initializes from an approximate KNNG and prunes with the
+	// MRNG rule (alpha = 1).
+	NSG Variant = iota
+	// Vamana initializes randomly and runs two passes, the second
+	// with alpha > 1 to keep long-range edges.
+	Vamana
+	// FANNG runs a large number of search trials over random
+	// (source, target) pairs: whenever greedy traversal stalls before
+	// reaching the target, an edge is added from the stall point and
+	// the stall point's edges are re-pruned (Harwood & Drummond).
+	FANNG
+)
+
+// Config controls construction.
+type Config struct {
+	Variant Variant
+	R       int     // max out-degree; default 16
+	L       int     // search-trial beam width; default 2*R
+	Alpha   float32 // Vamana's second-pass alpha; default 1.2
+	Seed    int64
+	// KNNGK is the neighbor count of the initial KNNG (NSG variant);
+	// default R.
+	KNNGK int
+	// Trials is the number of FANNG search trials as a multiple of n;
+	// default 8.
+	Trials int
+}
+
+// Graph is the built index.
+type Graph struct {
+	cfg    Config
+	dim    int
+	n      int
+	s      *graph.Searcher
+	adj    graph.Adjacency
+	medoid int32
+	comps  atomic.Int64
+}
+
+// Build constructs the graph.
+func Build(data []float32, n, d int, cfg Config) (*Graph, error) {
+	if d <= 0 || n <= 0 || len(data) < n*d {
+		return nil, fmt.Errorf("nsg: bad data shape n=%d d=%d len=%d", n, d, len(data))
+	}
+	if cfg.R <= 0 {
+		cfg.R = 16
+	}
+	if cfg.L <= 0 {
+		cfg.L = 2 * cfg.R
+	}
+	if cfg.Alpha <= 0 {
+		cfg.Alpha = 1.2
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.KNNGK <= 0 {
+		cfg.KNNGK = cfg.R
+	}
+	if cfg.Trials <= 0 {
+		cfg.Trials = 8
+	}
+	g := &Graph{cfg: cfg, dim: d, n: n,
+		s: &graph.Searcher{Data: data, Dim: d, Fn: vec.SquaredL2}}
+	g.medoid = g.findMedoid()
+
+	switch cfg.Variant {
+	case NSG:
+		kg, err := knng.Build(data, n, d, knng.Config{K: cfg.KNNGK, Seed: cfg.Seed, MaxIter: 8})
+		if err != nil {
+			return nil, fmt.Errorf("nsg: knng init: %w", err)
+		}
+		g.adj = cloneAdj(kg.Adjacency())
+		g.pass(1.0)
+	case Vamana:
+		g.adj = randomAdj(n, cfg.R, cfg.Seed)
+		g.pass(1.0)
+		g.pass(cfg.Alpha)
+	case FANNG:
+		g.adj = make(graph.Adjacency, n)
+		g.buildFANNG()
+	default:
+		return nil, fmt.Errorf("nsg: unknown variant %d", cfg.Variant)
+	}
+	g.connectOrphans()
+	return g, nil
+}
+
+func cloneAdj(a graph.Adjacency) graph.Adjacency {
+	out := make(graph.Adjacency, len(a))
+	for i, nbrs := range a {
+		out[i] = append([]int32(nil), nbrs...)
+	}
+	return out
+}
+
+func randomAdj(n, r int, seed int64) graph.Adjacency {
+	rng := rand.New(rand.NewSource(seed))
+	adj := make(graph.Adjacency, n)
+	for v := 0; v < n; v++ {
+		seen := map[int32]struct{}{int32(v): {}}
+		for len(adj[v]) < r && len(adj[v]) < n-1 {
+			c := int32(rng.Intn(n))
+			if _, dup := seen[c]; dup {
+				continue
+			}
+			seen[c] = struct{}{}
+			adj[v] = append(adj[v], c)
+		}
+	}
+	return adj
+}
+
+// findMedoid returns the point closest to the dataset centroid — the
+// navigating node both NSG and Vamana route every trial through.
+func (g *Graph) findMedoid() int32 {
+	d := g.dim
+	cent := make([]float32, d)
+	for i := 0; i < g.n; i++ {
+		row := g.s.Row(int32(i))
+		for j := range cent {
+			cent[j] += row[j]
+		}
+	}
+	inv := 1 / float32(g.n)
+	for j := range cent {
+		cent[j] *= inv
+	}
+	best, bestD := int32(0), float32(0)
+	for i := 0; i < g.n; i++ {
+		dd := g.s.Dist(cent, int32(i))
+		if i == 0 || dd < bestD {
+			best, bestD = int32(i), dd
+		}
+	}
+	return best
+}
+
+// pass runs one construction sweep: for every node, a search trial
+// from the medoid gathers candidates (the visited set approximates
+// nodes on the search path), then RobustPrune selects edges and
+// reverse edges are inserted with degree capping.
+func (g *Graph) pass(alpha float32) {
+	for v := 0; v < g.n; v++ {
+		q := g.s.Row(int32(v))
+		visited := graph.BeamSearch(g.s, g.adj, q, []int32{g.medoid}, g.cfg.L, g.cfg.L, index.Params{})
+		// Include current neighbors so established edges compete.
+		cands := visited
+		for _, nb := range g.adj[v] {
+			cands = append(cands, topk.Result{ID: int64(nb), Dist: g.s.Dist(q, nb)})
+		}
+		sortResults(cands)
+		cands = dedupe(cands)
+		g.adj[v] = graph.RobustPrune(g.s, int32(v), cands, g.cfg.R, alpha)
+		for _, nb := range g.adj[v] {
+			g.addReverse(nb, int32(v), alpha)
+		}
+	}
+}
+
+// addReverse inserts edge nb -> v, re-pruning if the degree cap is
+// exceeded.
+func (g *Graph) addReverse(nb, v int32, alpha float32) {
+	for _, e := range g.adj[nb] {
+		if e == v {
+			return
+		}
+	}
+	g.adj[nb] = append(g.adj[nb], v)
+	if len(g.adj[nb]) <= g.cfg.R {
+		return
+	}
+	base := g.s.Row(nb)
+	cands := make([]topk.Result, 0, len(g.adj[nb]))
+	for _, e := range g.adj[nb] {
+		cands = append(cands, topk.Result{ID: int64(e), Dist: g.s.Dist(base, e)})
+	}
+	sortResults(cands)
+	g.adj[nb] = graph.RobustPrune(g.s, nb, cands, g.cfg.R, alpha)
+}
+
+// buildFANNG grows the graph with occlusion-pruned edges discovered by
+// random search trials: pick random (source, target); greedily walk
+// from source toward target; where the walk stalls short of the
+// target, add an edge stall -> target and re-prune the stall node.
+// Early trials on an empty graph stall immediately at the source,
+// seeding first edges; later trials only patch genuine gaps, so the
+// update rate decays as the graph approaches monotonicity.
+func (g *Graph) buildFANNG() {
+	rng := rand.New(rand.NewSource(g.cfg.Seed + 101))
+	trials := g.cfg.Trials * g.n
+	for trial := 0; trial < trials; trial++ {
+		src := int32(rng.Intn(g.n))
+		tgt := int32(rng.Intn(g.n))
+		if src == tgt {
+			continue
+		}
+		q := g.s.Row(tgt)
+		stall, stallD := graph.GreedyWalk(g.s, g.adj, q, src)
+		if stallD == 0 || stall == tgt {
+			continue // reached the target (distance 0 at tgt itself)
+		}
+		g.addReverse(stall, tgt, 1.0)
+	}
+}
+
+// connectOrphans guarantees reachability from the medoid by attaching
+// any unreachable node to its nearest reachable neighbor — NSG's tree
+// spanning step, simplified.
+func (g *Graph) connectOrphans() {
+	reach := make([]bool, g.n)
+	stack := []int32{g.medoid}
+	reach[g.medoid] = true
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, nb := range g.adj[v] {
+			if !reach[nb] {
+				reach[nb] = true
+				stack = append(stack, nb)
+			}
+		}
+	}
+	for v := 0; v < g.n; v++ {
+		if reach[v] {
+			continue
+		}
+		// Attach from the closest reachable node found by beam search.
+		res := graph.BeamSearch(g.s, g.adj, g.s.Row(int32(v)), []int32{g.medoid}, 1, g.cfg.L, index.Params{})
+		if len(res) == 0 {
+			res = []topk.Result{{ID: int64(g.medoid)}}
+		}
+		src := int32(res[0].ID)
+		g.adj[src] = append(g.adj[src], int32(v))
+		// Mark the newly attached subtree reachable.
+		stack = append(stack, int32(v))
+		reach[v] = true
+		for len(stack) > 0 {
+			x := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, nb := range g.adj[x] {
+				if !reach[nb] {
+					reach[nb] = true
+					stack = append(stack, nb)
+				}
+			}
+		}
+	}
+}
+
+func sortResults(rs []topk.Result) {
+	for i := 1; i < len(rs); i++ {
+		for j := i; j > 0 && rs[j].Dist < rs[j-1].Dist; j-- {
+			rs[j], rs[j-1] = rs[j-1], rs[j]
+		}
+	}
+}
+
+func dedupe(rs []topk.Result) []topk.Result {
+	seen := make(map[int64]struct{}, len(rs))
+	out := rs[:0]
+	for _, r := range rs {
+		if _, dup := seen[r.ID]; dup {
+			continue
+		}
+		seen[r.ID] = struct{}{}
+		out = append(out, r)
+	}
+	return out
+}
+
+// Name implements index.Index.
+func (g *Graph) Name() string {
+	switch g.cfg.Variant {
+	case Vamana:
+		return "vamana"
+	case FANNG:
+		return "fanng"
+	default:
+		return "nsg"
+	}
+}
+
+// Size implements index.Index.
+func (g *Graph) Size() int { return g.n }
+
+// Medoid returns the navigating node.
+func (g *Graph) Medoid() int32 { return g.medoid }
+
+// Adjacency exposes the out-neighbor lists (the DiskANN layout writer
+// consumes them).
+func (g *Graph) Adjacency() graph.Adjacency { return g.adj }
+
+// AvgDegree reports the mean out-degree.
+func (g *Graph) AvgDegree() float64 { return graph.AvgDegree(g.adj) }
+
+// DistanceComps implements index.Stats.
+func (g *Graph) DistanceComps() int64 { return g.comps.Load() + g.s.Comps }
+
+// ResetStats implements index.Stats.
+func (g *Graph) ResetStats() { g.comps.Store(0); g.s.Comps = 0 }
+
+// Search implements index.Index: beam search from the medoid.
+func (g *Graph) Search(q []float32, k int, p index.Params) ([]topk.Result, error) {
+	if k <= 0 {
+		return nil, index.ErrBadK
+	}
+	if len(q) != g.dim {
+		return nil, fmt.Errorf("%w: query %d, index %d", index.ErrDim, len(q), g.dim)
+	}
+	ef := p.Ef
+	if ef <= 0 {
+		ef = 4 * k
+		if ef < 32 {
+			ef = 32
+		}
+	}
+	return graph.BeamSearch(g.s, g.adj, q, []int32{g.medoid}, k, ef, p), nil
+}
+
+func init() {
+	for name, v := range map[string]Variant{"nsg": NSG, "vamana": Vamana, "fanng": FANNG} {
+		variant := v
+		index.Register(name, func(data []float32, n, d int, opts map[string]int) (index.Index, error) {
+			cfg := Config{Variant: variant}
+			for k, val := range opts {
+				switch k {
+				case "r":
+					cfg.R = val
+				case "l":
+					cfg.L = val
+				case "seed":
+					cfg.Seed = int64(val)
+				case "alpha100":
+					cfg.Alpha = float32(val) / 100
+				case "trials":
+					cfg.Trials = val
+				default:
+					return nil, fmt.Errorf("nsg: unknown option %q", k)
+				}
+			}
+			return Build(data, n, d, cfg)
+		})
+	}
+}

@@ -1,0 +1,114 @@
+// Package nsw implements the navigable small world graph of Malkov et
+// al. (Section 2.2(3)): nodes are inserted one at a time and connected
+// to their k nearest neighbors among previously inserted nodes.
+// Early-inserted long-range edges make the flat graph navigable; the
+// hierarchical refinement lives in the sibling hnsw package.
+package nsw
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"vdbms/internal/index"
+	"vdbms/internal/index/graph"
+	"vdbms/internal/topk"
+	"vdbms/internal/vec"
+)
+
+// Config controls construction.
+type Config struct {
+	M           int // edges added per insertion; default 12
+	EfConstruct int // beam width during insertion; default 4*M
+	Seed        int64
+}
+
+// NSW is the built index.
+type NSW struct {
+	cfg   Config
+	dim   int
+	n     int
+	s     *graph.Searcher
+	adj   graph.Adjacency
+	comps atomic.Int64
+}
+
+// Build inserts all vectors in order.
+func Build(data []float32, n, d int, cfg Config) (*NSW, error) {
+	if d <= 0 || n <= 0 || len(data) < n*d {
+		return nil, fmt.Errorf("nsw: bad data shape n=%d d=%d len=%d", n, d, len(data))
+	}
+	if cfg.M <= 0 {
+		cfg.M = 12
+	}
+	if cfg.EfConstruct <= 0 {
+		cfg.EfConstruct = 4 * cfg.M
+	}
+	g := &NSW{cfg: cfg, dim: d, n: n,
+		s:   &graph.Searcher{Data: data, Dim: d, Fn: vec.SquaredL2},
+		adj: make(graph.Adjacency, n),
+	}
+	for id := 1; id < n; id++ {
+		q := g.s.Row(int32(id))
+		found := graph.BeamSearch(g.s, g.adj[:id], q, []int32{0}, cfg.M, cfg.EfConstruct, index.Params{})
+		for _, r := range found {
+			nb := int32(r.ID)
+			g.adj[id] = append(g.adj[id], nb)
+			g.adj[nb] = append(g.adj[nb], int32(id)) // undirected
+		}
+	}
+	return g, nil
+}
+
+// Name implements index.Index.
+func (g *NSW) Name() string { return "nsw" }
+
+// Size implements index.Index.
+func (g *NSW) Size() int { return g.n }
+
+// DistanceComps implements index.Stats.
+func (g *NSW) DistanceComps() int64 { return g.comps.Load() + g.s.Comps }
+
+// ResetStats implements index.Stats.
+func (g *NSW) ResetStats() { g.comps.Store(0); g.s.Comps = 0 }
+
+// AvgDegree reports mean degree (flat NSW exhibits the degree
+// explosion HNSW's layering avoids; E6 reports it).
+func (g *NSW) AvgDegree() float64 { return graph.AvgDegree(g.adj) }
+
+// Search implements index.Index: beam search from node 0 (the oldest
+// node, whose early long-range edges serve as the entry hub).
+func (g *NSW) Search(q []float32, k int, p index.Params) ([]topk.Result, error) {
+	if k <= 0 {
+		return nil, index.ErrBadK
+	}
+	if len(q) != g.dim {
+		return nil, fmt.Errorf("%w: query %d, index %d", index.ErrDim, len(q), g.dim)
+	}
+	ef := p.Ef
+	if ef <= 0 {
+		ef = 4 * k
+		if ef < 32 {
+			ef = 32
+		}
+	}
+	return graph.BeamSearch(g.s, g.adj, q, []int32{0}, k, ef, p), nil
+}
+
+func init() {
+	index.Register("nsw", func(data []float32, n, d int, opts map[string]int) (index.Index, error) {
+		cfg := Config{}
+		for k, v := range opts {
+			switch k {
+			case "m":
+				cfg.M = v
+			case "efc":
+				cfg.EfConstruct = v
+			case "seed":
+				cfg.Seed = int64(v)
+			default:
+				return nil, fmt.Errorf("nsw: unknown option %q", k)
+			}
+		}
+		return Build(data, n, d, cfg)
+	})
+}

@@ -1,0 +1,263 @@
+// Package rptree implements random projection trees (Section 2.2):
+// RPTree (Dasgupta & Freund) splits on random Gaussian directions at
+// a randomly perturbed median, avoiding the PCA preprocessing cost of
+// principal-axis trees while still adapting to intrinsic
+// dimensionality; the ANNOY variant (Spotify) chooses the hyperplane
+// between two random points and splits at the midpoint of projections
+// of sampled points (a randomized median). Both are used as forests,
+// mirroring LSH's multiple tables.
+package rptree
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync/atomic"
+
+	"vdbms/internal/index"
+	"vdbms/internal/topk"
+	"vdbms/internal/vec"
+)
+
+// Mode selects the split rule.
+type Mode int
+
+const (
+	// RP uses random Gaussian directions with a perturbed-median
+	// threshold (RPTree).
+	RP Mode = iota
+	// Annoy uses two-point hyperplanes with median thresholds.
+	Annoy
+)
+
+// Config controls construction.
+type Config struct {
+	Mode     Mode
+	Trees    int // forest size; default 8
+	LeafSize int // default 16
+	Seed     int64
+}
+
+type node struct {
+	proj        []float32
+	thresh      float32
+	left, right *node
+	ids         []int32
+}
+
+// Forest is the built index.
+type Forest struct {
+	cfg   Config
+	dim   int
+	n     int
+	data  []float32
+	roots []*node
+	comps atomic.Int64
+}
+
+// Build constructs the forest.
+func Build(data []float32, n, d int, cfg Config) (*Forest, error) {
+	if d <= 0 || n <= 0 || len(data) < n*d {
+		return nil, fmt.Errorf("rptree: bad data shape n=%d d=%d len=%d", n, d, len(data))
+	}
+	if cfg.Trees <= 0 {
+		cfg.Trees = 8
+	}
+	if cfg.LeafSize <= 0 {
+		cfg.LeafSize = 16
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	f := &Forest{cfg: cfg, dim: d, n: n, data: data}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	for t := 0; t < cfg.Trees; t++ {
+		ids := make([]int32, n)
+		for i := range ids {
+			ids[i] = int32(i)
+		}
+		f.roots = append(f.roots, f.build(ids, rng, 0))
+	}
+	return f, nil
+}
+
+func (f *Forest) row(id int32) []float32 {
+	return f.data[int(id)*f.dim : (int(id)+1)*f.dim]
+}
+
+func (f *Forest) build(ids []int32, rng *rand.Rand, depth int) *node {
+	if len(ids) <= f.cfg.LeafSize || depth > 48 {
+		return &node{ids: ids}
+	}
+	nd := &node{}
+	switch f.cfg.Mode {
+	case RP:
+		nd.proj = gaussianDir(f.dim, rng)
+	case Annoy:
+		// Normal between two distinct random member points.
+		a := f.row(ids[rng.Intn(len(ids))])
+		var b []float32
+		for try := 0; try < 8; try++ {
+			b = f.row(ids[rng.Intn(len(ids))])
+			if vec.SquaredL2(a, b) > 0 {
+				break
+			}
+		}
+		p := make([]float32, f.dim)
+		for j := range p {
+			p[j] = a[j] - b[j]
+		}
+		if vec.Norm(p) == 0 {
+			return &node{ids: ids}
+		}
+		vec.Normalize(p)
+		nd.proj = p
+	}
+	vals := make([]float32, len(ids))
+	for i, id := range ids {
+		vals[i] = vec.Dot(f.row(id), nd.proj)
+	}
+	sorted := append([]float32(nil), vals...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	switch f.cfg.Mode {
+	case RP:
+		// Perturbed median: a uniform quantile in [0.25, 0.75], the
+		// randomized-threshold rule that gives RPTree its guarantees.
+		qt := 0.25 + 0.5*rng.Float64()
+		nd.thresh = sorted[int(qt*float64(len(sorted)-1))]
+	case Annoy:
+		nd.thresh = sorted[len(sorted)/2]
+	}
+	var left, right []int32
+	for i, id := range ids {
+		if vals[i] < nd.thresh {
+			left = append(left, id)
+		} else {
+			right = append(right, id)
+		}
+	}
+	if len(left) == 0 || len(right) == 0 {
+		return &node{ids: ids}
+	}
+	nd.left = f.build(left, rng, depth+1)
+	nd.right = f.build(right, rng, depth+1)
+	return nd
+}
+
+func gaussianDir(d int, rng *rand.Rand) []float32 {
+	p := make([]float32, d)
+	for j := range p {
+		p[j] = float32(rng.NormFloat64())
+	}
+	vec.Normalize(p)
+	return p
+}
+
+// Name implements index.Index.
+func (f *Forest) Name() string {
+	if f.cfg.Mode == Annoy {
+		return "annoy"
+	}
+	return "rptree"
+}
+
+// Size implements index.Index.
+func (f *Forest) Size() int { return f.n }
+
+// DistanceComps implements index.Stats.
+func (f *Forest) DistanceComps() int64 { return f.comps.Load() }
+
+// ResetStats implements index.Stats.
+func (f *Forest) ResetStats() { f.comps.Store(0) }
+
+type frontierEntry struct {
+	nd    *node
+	bound float32
+}
+
+// Search implements index.Index with a shared best-first frontier over
+// the forest, examining up to p.Ef candidates (default max(64, 8k)) —
+// the same search ANNOY performs across its trees.
+func (f *Forest) Search(q []float32, k int, p index.Params) ([]topk.Result, error) {
+	if k <= 0 {
+		return nil, index.ErrBadK
+	}
+	if len(q) != f.dim {
+		return nil, fmt.Errorf("%w: query %d, index %d", index.ErrDim, len(q), f.dim)
+	}
+	budget := p.Ef
+	if budget <= 0 {
+		budget = 8 * k
+		if budget < 64 {
+			budget = 64
+		}
+	}
+	var pq topk.MinQueue
+	var entries []frontierEntry
+	push := func(nd *node, bound float32) {
+		entries = append(entries, frontierEntry{nd, bound})
+		pq.Push(int64(len(entries)-1), bound)
+	}
+	for _, root := range f.roots {
+		push(root, 0)
+	}
+	c := topk.NewCollector(k)
+	seen := make(map[int32]struct{}, budget)
+	examined := 0
+	comps := int64(0)
+	for pq.Len() > 0 && examined < budget {
+		e := entries[pq.Pop().ID]
+		if c.Full() && e.bound > c.Worst() {
+			continue
+		}
+		nd := e.nd
+		for nd.ids == nil {
+			margin := vec.Dot(q, nd.proj) - nd.thresh
+			var near, far *node
+			if margin < 0 {
+				near, far = nd.left, nd.right
+			} else {
+				near, far = nd.right, nd.left
+			}
+			push(far, e.bound+margin*margin)
+			nd = near
+		}
+		for _, id := range nd.ids {
+			if _, dup := seen[id]; dup {
+				continue
+			}
+			seen[id] = struct{}{}
+			if !p.Admits(int64(id)) {
+				continue
+			}
+			d := vec.SquaredL2(q, f.row(id))
+			comps++
+			examined++
+			c.Push(int64(id), d)
+		}
+	}
+	f.comps.Add(comps)
+	return c.Results(), nil
+}
+
+func init() {
+	for name, mode := range map[string]Mode{"rptree": RP, "annoy": Annoy} {
+		m := mode
+		index.Register(name, func(data []float32, n, d int, opts map[string]int) (index.Index, error) {
+			cfg := Config{Mode: m}
+			for k, v := range opts {
+				switch k {
+				case "trees":
+					cfg.Trees = v
+				case "leaf":
+					cfg.LeafSize = v
+				case "seed":
+					cfg.Seed = int64(v)
+				default:
+					return nil, fmt.Errorf("rptree: unknown option %q", k)
+				}
+			}
+			return Build(data, n, d, cfg)
+		})
+	}
+}

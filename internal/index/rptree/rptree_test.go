@@ -1,0 +1,125 @@
+package rptree
+
+import (
+	"testing"
+
+	"vdbms/internal/bitset"
+	"vdbms/internal/dataset"
+	"vdbms/internal/index"
+	"vdbms/internal/vec"
+)
+
+func recallOf(t *testing.T, idx index.Index, ds *dataset.Dataset, ef, k, nq int) float64 {
+	t.Helper()
+	qs := ds.Queries(nq, 0.05, 2)
+	truth := dataset.GroundTruth(vec.SquaredL2, ds, qs, k)
+	var s float64
+	for i, q := range qs {
+		got, err := idx.Search(q, k, index.Params{Ef: ef})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s += dataset.Recall(got, truth[i])
+	}
+	return s / float64(nq)
+}
+
+func TestRPForestRecall(t *testing.T) {
+	ds := dataset.Clustered(2000, 16, 8, 0.4, 1)
+	f, err := Build(ds.Data, ds.Count, ds.Dim, Config{Mode: RP, Trees: 8, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := recallOf(t, f, ds, 600, 10, 15); r < 0.7 {
+		t.Fatalf("rptree recall = %v", r)
+	}
+	if f.Name() != "rptree" {
+		t.Fatal("name wrong")
+	}
+}
+
+func TestAnnoyRecallAndName(t *testing.T) {
+	ds := dataset.Clustered(2000, 16, 8, 0.4, 3)
+	f, err := Build(ds.Data, ds.Count, ds.Dim, Config{Mode: Annoy, Trees: 8, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := recallOf(t, f, ds, 600, 10, 15); r < 0.7 {
+		t.Fatalf("annoy recall = %v", r)
+	}
+	if f.Name() != "annoy" {
+		t.Fatal("name wrong")
+	}
+}
+
+func TestMoreTreesImproveRecall(t *testing.T) {
+	ds := dataset.LowRank(1500, 32, 4, 0.05, 5)
+	small, err := Build(ds.Data, ds.Count, ds.Dim, Config{Mode: Annoy, Trees: 1, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := Build(ds.Data, ds.Count, ds.Dim, Config{Mode: Annoy, Trees: 16, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs := recallOf(t, small, ds, 300, 10, 20)
+	rb := recallOf(t, big, ds, 300, 10, 20)
+	if rb < rs-0.02 {
+		t.Fatalf("16 trees (%v) should not trail 1 tree (%v)", rb, rs)
+	}
+}
+
+func TestDegenerateData(t *testing.T) {
+	data := make([]float32, 64*4) // identical points
+	f, err := Build(data, 64, 4, Config{Trees: 2, LeafSize: 8, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := f.Search(make([]float32, 4), 3, index.Params{})
+	if err != nil || len(got) != 3 {
+		t.Fatalf("degenerate: %v %v", got, err)
+	}
+}
+
+func TestPredicatesAndValidation(t *testing.T) {
+	ds := dataset.Uniform(200, 8, 9)
+	f, err := Build(ds.Data, 200, 8, Config{Trees: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Search(ds.Row(0), 0, index.Params{}); err != index.ErrBadK {
+		t.Fatal("want ErrBadK")
+	}
+	if _, err := f.Search([]float32{1}, 1, index.Params{}); err == nil {
+		t.Fatal("want dim error")
+	}
+	if _, err := Build([]float32{1}, 2, 2, Config{}); err == nil {
+		t.Fatal("want shape error")
+	}
+	allow := bitset.New(200)
+	allow.Set(1)
+	got, _ := f.Search(ds.Row(1), 5, index.Params{Ef: 200, Allow: allow})
+	for _, r := range got {
+		if r.ID != 1 {
+			t.Fatalf("blocked id %d", r.ID)
+		}
+	}
+	f.ResetStats()
+	f.Search(ds.Row(0), 5, index.Params{})
+	if f.DistanceComps() == 0 || f.Size() != 200 {
+		t.Fatal("stats wrong")
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	ds := dataset.Uniform(60, 4, 11)
+	for _, name := range []string{"rptree", "annoy"} {
+		idx, err := index.Build(name, ds.Data, 60, 4, map[string]int{"trees": 2})
+		if err != nil || idx.Name() != name {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+	if _, err := index.Build("annoy", ds.Data, 60, 4, map[string]int{"zz": 1}); err == nil {
+		t.Fatal("want unknown-option error")
+	}
+}

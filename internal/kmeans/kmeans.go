@@ -1,0 +1,238 @@
+// Package kmeans implements Lloyd's algorithm with k-means++ seeding
+// and an optional mini-batch mode. It is the learned-partitioning
+// primitive shared by the IVF family, quantizers (PQ/OPQ codebooks),
+// and the SPANN-style disk index (Section 2.2).
+package kmeans
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"vdbms/internal/vec"
+)
+
+// Config controls training.
+type Config struct {
+	K         int   // number of clusters; required
+	MaxIter   int   // Lloyd iterations; default 25
+	Seed      int64 // RNG seed; default 1
+	MiniBatch int   // if > 0, sample this many points per iteration
+}
+
+// Result holds trained centroids and assignment metadata.
+type Result struct {
+	K         int
+	Dim       int
+	Centroids []float32 // row-major K x Dim
+	// Assign[i] is the centroid index of training point i. Populated
+	// only for full-batch training (MiniBatch == 0).
+	Assign []int
+	// Inertia is the final sum of squared distances from each training
+	// point to its centroid (full-batch only).
+	Inertia float64
+}
+
+// Centroid returns centroid c as a slice view.
+func (r *Result) Centroid(c int) []float32 {
+	return r.Centroids[c*r.Dim : (c+1)*r.Dim]
+}
+
+// Nearest returns the index of the centroid closest to v and the
+// squared distance to it.
+func (r *Result) Nearest(v []float32) (int, float32) {
+	best, bestD := 0, float32(math.Inf(1))
+	for c := 0; c < r.K; c++ {
+		d := vec.SquaredL2(v, r.Centroid(c))
+		if d < bestD {
+			best, bestD = c, d
+		}
+	}
+	return best, bestD
+}
+
+// NearestN returns the indices of the n closest centroids to v in
+// ascending distance order. Used by IVF multi-probe and SPANN closure
+// assignment.
+func (r *Result) NearestN(v []float32, n int) []int {
+	if n > r.K {
+		n = r.K
+	}
+	type cd struct {
+		c int
+		d float32
+	}
+	best := make([]cd, 0, n)
+	for c := 0; c < r.K; c++ {
+		d := vec.SquaredL2(v, r.Centroid(c))
+		if len(best) < n {
+			best = append(best, cd{c, d})
+			for j := len(best) - 1; j > 0 && best[j].d < best[j-1].d; j-- {
+				best[j], best[j-1] = best[j-1], best[j]
+			}
+			continue
+		}
+		if d >= best[n-1].d {
+			continue
+		}
+		best[n-1] = cd{c, d}
+		for j := n - 1; j > 0 && best[j].d < best[j-1].d; j-- {
+			best[j], best[j-1] = best[j-1], best[j]
+		}
+	}
+	out := make([]int, len(best))
+	for i, b := range best {
+		out[i] = b.c
+	}
+	return out
+}
+
+// Train clusters n row-major points of dimension d.
+func Train(data []float32, n, d int, cfg Config) (*Result, error) {
+	if cfg.K <= 0 {
+		return nil, fmt.Errorf("kmeans: K must be positive, got %d", cfg.K)
+	}
+	if n == 0 {
+		return nil, fmt.Errorf("kmeans: no training data")
+	}
+	if len(data) != n*d {
+		return nil, fmt.Errorf("kmeans: data length %d != n*d %d", len(data), n*d)
+	}
+	k := cfg.K
+	if k > n {
+		k = n // degenerate: every point its own cluster
+	}
+	maxIter := cfg.MaxIter
+	if maxIter <= 0 {
+		maxIter = 25
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+
+	res := &Result{K: k, Dim: d, Centroids: seedPlusPlus(data, n, d, k, rng)}
+	if cfg.MiniBatch > 0 && cfg.MiniBatch < n {
+		trainMiniBatch(res, data, n, d, maxIter, cfg.MiniBatch, rng)
+		return res, nil
+	}
+	trainLloyd(res, data, n, d, maxIter, rng)
+	return res, nil
+}
+
+// seedPlusPlus picks initial centroids with the k-means++ D^2 rule.
+func seedPlusPlus(data []float32, n, d, k int, rng *rand.Rand) []float32 {
+	cent := make([]float32, k*d)
+	first := rng.Intn(n)
+	copy(cent[:d], data[first*d:(first+1)*d])
+	dist := make([]float64, n)
+	for i := 0; i < n; i++ {
+		dist[i] = float64(vec.SquaredL2(data[i*d:(i+1)*d], cent[:d]))
+	}
+	for c := 1; c < k; c++ {
+		var total float64
+		for _, dd := range dist {
+			total += dd
+		}
+		var pick int
+		if total <= 0 {
+			pick = rng.Intn(n)
+		} else {
+			target := rng.Float64() * total
+			acc := 0.0
+			pick = n - 1
+			for i, dd := range dist {
+				acc += dd
+				if acc >= target {
+					pick = i
+					break
+				}
+			}
+		}
+		row := cent[c*d : (c+1)*d]
+		copy(row, data[pick*d:(pick+1)*d])
+		for i := 0; i < n; i++ {
+			dd := float64(vec.SquaredL2(data[i*d:(i+1)*d], row))
+			if dd < dist[i] {
+				dist[i] = dd
+			}
+		}
+	}
+	return cent
+}
+
+func trainLloyd(res *Result, data []float32, n, d, maxIter int, rng *rand.Rand) {
+	k := res.K
+	assign := make([]int, n)
+	counts := make([]int, k)
+	sums := make([]float64, k*d)
+	prevInertia := math.Inf(1)
+	for iter := 0; iter < maxIter; iter++ {
+		for i := range counts {
+			counts[i] = 0
+		}
+		for i := range sums {
+			sums[i] = 0
+		}
+		inertia := 0.0
+		for i := 0; i < n; i++ {
+			row := data[i*d : (i+1)*d]
+			c, dd := res.Nearest(row)
+			assign[i] = c
+			counts[c]++
+			inertia += float64(dd)
+			s := sums[c*d : (c+1)*d]
+			for j, x := range row {
+				s[j] += float64(x)
+			}
+		}
+		for c := 0; c < k; c++ {
+			if counts[c] == 0 {
+				// Re-seed an empty cluster at a random point, the
+				// standard remedy for dead centroids.
+				p := rng.Intn(n)
+				copy(res.Centroids[c*d:(c+1)*d], data[p*d:(p+1)*d])
+				continue
+			}
+			inv := 1 / float64(counts[c])
+			cRow := res.Centroids[c*d : (c+1)*d]
+			s := sums[c*d : (c+1)*d]
+			for j := range cRow {
+				cRow[j] = float32(s[j] * inv)
+			}
+		}
+		res.Inertia = inertia
+		if prevInertia-inertia < 1e-7*(1+inertia) {
+			break
+		}
+		prevInertia = inertia
+	}
+	// Final assignment pass against the last centroid update.
+	res.Inertia = 0
+	for i := 0; i < n; i++ {
+		c, dd := res.Nearest(data[i*d : (i+1)*d])
+		assign[i] = c
+		res.Inertia += float64(dd)
+	}
+	res.Assign = assign
+}
+
+func trainMiniBatch(res *Result, data []float32, n, d, maxIter, batch int, rng *rand.Rand) {
+	k := res.K
+	counts := make([]int, k) // per-centroid cumulative counts for decaying step size
+	for iter := 0; iter < maxIter; iter++ {
+		for b := 0; b < batch; b++ {
+			i := rng.Intn(n)
+			row := data[i*d : (i+1)*d]
+			c, _ := res.Nearest(row)
+			counts[c]++
+			eta := float32(1 / float64(counts[c]))
+			cRow := res.Centroids[c*d : (c+1)*d]
+			for j := range cRow {
+				cRow[j] += eta * (row[j] - cRow[j])
+			}
+		}
+	}
+	_ = k
+}

@@ -1,0 +1,156 @@
+package kmeans
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"vdbms/internal/vec"
+)
+
+// threeBlobs builds n points around three well-separated centers in 2D.
+func threeBlobs(n int, seed int64) ([]float32, []int) {
+	centers := [][]float32{{0, 0}, {20, 0}, {0, 20}}
+	rng := rand.New(rand.NewSource(seed))
+	data := make([]float32, n*2)
+	labels := make([]int, n)
+	for i := 0; i < n; i++ {
+		c := i % 3
+		labels[i] = c
+		data[i*2] = centers[c][0] + float32(rng.NormFloat64())*0.5
+		data[i*2+1] = centers[c][1] + float32(rng.NormFloat64())*0.5
+	}
+	return data, labels
+}
+
+func TestTrainRecoversBlobs(t *testing.T) {
+	data, labels := threeBlobs(300, 1)
+	res, err := Train(data, 300, 2, Config{K: 3, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.K != 3 || res.Dim != 2 {
+		t.Fatalf("K=%d Dim=%d", res.K, res.Dim)
+	}
+	// All points of the same blob must share an assignment, and blobs
+	// must map to distinct centroids.
+	blobToCluster := map[int]int{}
+	for i, lab := range labels {
+		c := res.Assign[i]
+		if prev, ok := blobToCluster[lab]; ok {
+			if prev != c {
+				t.Fatalf("blob %d split across clusters %d and %d", lab, prev, c)
+			}
+		} else {
+			blobToCluster[lab] = c
+		}
+	}
+	if len(blobToCluster) != 3 {
+		t.Fatalf("blobs collapsed: %v", blobToCluster)
+	}
+	// Centroids must be near the true centers.
+	for lab, c := range blobToCluster {
+		truth := [][]float32{{0, 0}, {20, 0}, {0, 20}}[lab]
+		if d := vec.SquaredL2(truth, res.Centroid(c)); d > 1 {
+			t.Fatalf("centroid for blob %d off by %v", lab, d)
+		}
+	}
+	if res.Inertia <= 0 || math.IsNaN(res.Inertia) {
+		t.Fatalf("inertia = %v", res.Inertia)
+	}
+}
+
+func TestNearestAndNearestN(t *testing.T) {
+	res := &Result{K: 3, Dim: 1, Centroids: []float32{0, 10, 20}}
+	c, d := res.Nearest([]float32{11})
+	if c != 1 || d != 1 {
+		t.Fatalf("Nearest = %d,%v", c, d)
+	}
+	order := res.NearestN([]float32{11}, 3)
+	if order[0] != 1 || order[1] != 2 || order[2] != 0 {
+		t.Fatalf("NearestN = %v", order)
+	}
+	if got := res.NearestN([]float32{11}, 99); len(got) != 3 {
+		t.Fatalf("NearestN clamps to K, got %d", len(got))
+	}
+}
+
+func TestTrainErrors(t *testing.T) {
+	if _, err := Train([]float32{1}, 1, 1, Config{K: 0}); err == nil {
+		t.Fatal("want error for K=0")
+	}
+	if _, err := Train(nil, 0, 2, Config{K: 2}); err == nil {
+		t.Fatal("want error for empty data")
+	}
+	if _, err := Train([]float32{1, 2, 3}, 2, 2, Config{K: 1}); err == nil {
+		t.Fatal("want error for bad length")
+	}
+}
+
+func TestKClampedToN(t *testing.T) {
+	data := []float32{0, 0, 10, 10}
+	res, err := Train(data, 2, 2, Config{K: 5, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.K != 2 {
+		t.Fatalf("K should clamp to n: %d", res.K)
+	}
+	if res.Inertia > 1e-9 {
+		t.Fatalf("each point should own a centroid, inertia=%v", res.Inertia)
+	}
+}
+
+func TestDeterministicWithSeed(t *testing.T) {
+	data, _ := threeBlobs(90, 2)
+	a, err := Train(data, 90, 2, Config{K: 3, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Train(data, 90, 2, Config{K: 3, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Centroids {
+		if a.Centroids[i] != b.Centroids[i] {
+			t.Fatal("same seed must give identical centroids")
+		}
+	}
+}
+
+func TestMiniBatchApproximatesBlobs(t *testing.T) {
+	data, _ := threeBlobs(600, 4)
+	res, err := Train(data, 600, 2, Config{K: 3, Seed: 9, MaxIter: 40, MiniBatch: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every true center must have some centroid within distance 2.
+	for _, truth := range [][]float32{{0, 0}, {20, 0}, {0, 20}} {
+		_, d := res.Nearest(truth)
+		if d > 4 {
+			t.Fatalf("mini-batch centroid far from %v: %v", truth, d)
+		}
+	}
+	if res.Assign != nil {
+		t.Fatal("mini-batch should not populate Assign")
+	}
+}
+
+func TestInertiaDecreasesVsRandomCentroids(t *testing.T) {
+	data, _ := threeBlobs(300, 5)
+	trained, err := Train(data, 300, 2, Config{K: 3, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Inertia of a deliberately bad clustering (all centroids at
+	// origin-ish) must exceed the trained inertia.
+	bad := &Result{K: 3, Dim: 2, Centroids: []float32{0, 0, 1, 1, 2, 2}}
+	var badInertia float64
+	for i := 0; i < 300; i++ {
+		_, d := bad.Nearest(data[i*2 : (i+1)*2])
+		badInertia += float64(d)
+	}
+	if trained.Inertia >= badInertia {
+		t.Fatalf("trained inertia %v not better than bad %v", trained.Inertia, badInertia)
+	}
+}

@@ -1,0 +1,50 @@
+package lsm
+
+import (
+	"sync"
+	"testing"
+
+	"vdbms/internal/dataset"
+)
+
+// TestConcurrentUpsertSearchDelete verifies the LSM collection under
+// parallel writers, readers, and deleters (run with -race).
+func TestConcurrentUpsertSearchDelete(t *testing.T) {
+	c, err := New(Config{Dim: 8, MemtableSize: 64, MaxSegments: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := dataset.Clustered(500, 8, 4, 0.4, 1)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 120; i++ {
+				id := int64((w*120 + i) % 300)
+				switch i % 3 {
+				case 0:
+					c.Upsert(id, ds.Row(int(id))) //nolint:errcheck
+				case 1:
+					c.Search(ds.Row(i%500), 5, 32, nil) //nolint:errcheck
+				case 2:
+					c.Delete(id)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	// Post-stress invariants: search works and returns only live ids.
+	res, err := c.Search(ds.Row(0), 10, 64, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res {
+		if _, ok := c.Get(r.ID); !ok {
+			t.Fatalf("search returned dead id %d", r.ID)
+		}
+	}
+	if err := c.Compact(); err != nil {
+		t.Fatal(err)
+	}
+}

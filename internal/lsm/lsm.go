@@ -1,0 +1,325 @@
+// Package lsm implements out-of-place updates (Section 2.3(3)): data-
+// dependent ANN indexes are expensive to update in place, so writes
+// land in an unindexed memtable that is periodically sealed into an
+// immutable indexed segment; deletes and upserts are recorded as
+// generation bumps and resolved at read time; compaction merges
+// segments and drops dead rows. Search fans out over the memtable
+// (brute force) and every segment index and merges the top-k — the
+// LSM-style structure the paper attributes to Milvus and Manu.
+package lsm
+
+import (
+	"fmt"
+	"sync"
+
+	"vdbms/internal/index"
+	"vdbms/internal/index/hnsw"
+	"vdbms/internal/topk"
+	"vdbms/internal/vec"
+)
+
+// IndexBuilder builds the per-segment ANN index when a memtable is
+// sealed.
+type IndexBuilder func(data []float32, n, d int) (index.Index, error)
+
+// Config controls the collection.
+type Config struct {
+	Dim          int
+	MemtableSize int // rows before auto-flush; default 1024
+	MaxSegments  int // segments before auto-compaction; default 8
+	Metric       vec.Metric
+	Builder      IndexBuilder // default: small HNSW
+}
+
+// row identifies one stored (id, generation) version of a vector.
+type row struct {
+	id  int64
+	gen uint64
+}
+
+// segment is an immutable, indexed run of rows.
+type segment struct {
+	data []float32
+	rows []row
+	idx  index.Index
+}
+
+// Collection is an updatable vector collection with LSM-style
+// out-of-place maintenance. All methods are safe for concurrent use.
+type Collection struct {
+	mu       sync.RWMutex
+	cfg      Config
+	fn       vec.DistanceFunc
+	memData  []float32
+	memRows  []row
+	segments []*segment
+	// latest maps id -> current generation; gen 0 means deleted or
+	// never present.
+	latest  map[int64]uint64
+	nextGen uint64
+	live    int
+	flushes int
+	// compactions counts how many compaction runs completed.
+	compactions int
+}
+
+// New creates an empty collection.
+func New(cfg Config) (*Collection, error) {
+	if cfg.Dim <= 0 {
+		return nil, fmt.Errorf("lsm: dimension must be positive")
+	}
+	if cfg.MemtableSize <= 0 {
+		cfg.MemtableSize = 1024
+	}
+	if cfg.MaxSegments <= 0 {
+		cfg.MaxSegments = 8
+	}
+	if cfg.Builder == nil {
+		cfg.Builder = func(data []float32, n, d int) (index.Index, error) {
+			return hnsw.Build(data, n, d, hnsw.Config{M: 8, Seed: 1})
+		}
+	}
+	return &Collection{
+		cfg:    cfg,
+		fn:     vec.Distance(cfg.Metric),
+		latest: map[int64]uint64{},
+	}, nil
+}
+
+// Len returns the number of live (visible) vectors.
+func (c *Collection) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.live
+}
+
+// Segments returns the sealed segment count.
+func (c *Collection) Segments() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.segments)
+}
+
+// Flushes returns how many memtable seals have happened.
+func (c *Collection) Flushes() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.flushes
+}
+
+// Compactions returns how many compaction runs completed.
+func (c *Collection) Compactions() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.compactions
+}
+
+// Upsert inserts or replaces the vector stored under id.
+func (c *Collection) Upsert(id int64, v []float32) error {
+	if len(v) != c.cfg.Dim {
+		return fmt.Errorf("lsm: vector dim %d, collection dim %d", len(v), c.cfg.Dim)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.nextGen++
+	if c.latest[id] == 0 {
+		c.live++
+	}
+	c.latest[id] = c.nextGen
+	c.memData = append(c.memData, v...)
+	c.memRows = append(c.memRows, row{id: id, gen: c.nextGen})
+	if len(c.memRows) >= c.cfg.MemtableSize {
+		if err := c.flushLocked(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Delete hides id from future searches. Deleting an absent id is a
+// no-op returning false.
+func (c *Collection) Delete(id int64) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.latest[id] == 0 {
+		return false
+	}
+	c.latest[id] = 0
+	c.live--
+	return true
+}
+
+// Get returns the current vector for id.
+func (c *Collection) Get(id int64) ([]float32, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	gen := c.latest[id]
+	if gen == 0 {
+		return nil, false
+	}
+	// Memtable first (newer), newest rows last.
+	for i := len(c.memRows) - 1; i >= 0; i-- {
+		if c.memRows[i].id == id && c.memRows[i].gen == gen {
+			out := make([]float32, c.cfg.Dim)
+			copy(out, c.memData[i*c.cfg.Dim:(i+1)*c.cfg.Dim])
+			return out, true
+		}
+	}
+	for si := len(c.segments) - 1; si >= 0; si-- {
+		seg := c.segments[si]
+		for i, r := range seg.rows {
+			if r.id == id && r.gen == gen {
+				out := make([]float32, c.cfg.Dim)
+				copy(out, seg.data[i*c.cfg.Dim:(i+1)*c.cfg.Dim])
+				return out, true
+			}
+		}
+	}
+	return nil, false
+}
+
+// Flush seals the memtable into an indexed segment.
+func (c *Collection) Flush() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.flushLocked()
+}
+
+func (c *Collection) flushLocked() error {
+	if len(c.memRows) == 0 {
+		return nil
+	}
+	data := make([]float32, len(c.memData))
+	copy(data, c.memData)
+	rows := make([]row, len(c.memRows))
+	copy(rows, c.memRows)
+	idx, err := c.cfg.Builder(data, len(rows), c.cfg.Dim)
+	if err != nil {
+		return fmt.Errorf("lsm: segment index build: %w", err)
+	}
+	c.segments = append(c.segments, &segment{data: data, rows: rows, idx: idx})
+	c.memData = c.memData[:0]
+	c.memRows = c.memRows[:0]
+	c.flushes++
+	if len(c.segments) >= c.cfg.MaxSegments {
+		return c.compactLocked()
+	}
+	return nil
+}
+
+// Compact merges all segments, dropping dead rows, and rebuilds one
+// index.
+func (c *Collection) Compact() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.compactLocked()
+}
+
+func (c *Collection) compactLocked() error {
+	if len(c.segments) == 0 {
+		return nil
+	}
+	d := c.cfg.Dim
+	var data []float32
+	var rows []row
+	for _, seg := range c.segments {
+		for i, r := range seg.rows {
+			if c.latest[r.id] != r.gen {
+				continue // dead version
+			}
+			data = append(data, seg.data[i*d:(i+1)*d]...)
+			rows = append(rows, r)
+		}
+	}
+	if len(rows) == 0 {
+		c.segments = nil
+		c.compactions++
+		return nil
+	}
+	idx, err := c.cfg.Builder(data, len(rows), d)
+	if err != nil {
+		return fmt.Errorf("lsm: compaction index build: %w", err)
+	}
+	c.segments = []*segment{{data: data, rows: rows, idx: idx}}
+	c.compactions++
+	return nil
+}
+
+// Search returns the k nearest live vectors. extra is an optional
+// additional predicate over user ids (nil for none); ef tunes segment
+// index beam width.
+func (c *Collection) Search(q []float32, k, ef int, extra func(id int64) bool) ([]topk.Result, error) {
+	if k <= 0 {
+		return nil, index.ErrBadK
+	}
+	if len(q) != c.cfg.Dim {
+		return nil, fmt.Errorf("lsm: query dim %d, collection dim %d", len(q), c.cfg.Dim)
+	}
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	d := c.cfg.Dim
+	col := topk.NewCollector(k)
+	// Memtable: brute force, newest version wins via generation check.
+	for i, r := range c.memRows {
+		if c.latest[r.id] != r.gen {
+			continue
+		}
+		if extra != nil && !extra(r.id) {
+			continue
+		}
+		col.Push(r.id, c.fn(q, c.memData[i*d:(i+1)*d]))
+	}
+	// Segments: indexed search with a visit-first validity filter.
+	for _, seg := range c.segments {
+		rows := seg.rows
+		params := index.Params{
+			Ef:     ef,
+			NProbe: ef, // bucket indexes read the same budget knob
+			Filter: func(local int64) bool {
+				r := rows[local]
+				if c.latest[r.id] != r.gen {
+					return false
+				}
+				return extra == nil || extra(r.id)
+			},
+		}
+		res, err := seg.idx.Search(q, k, params)
+		if err != nil {
+			return nil, err
+		}
+		for _, rr := range res {
+			col.Push(rows[rr.ID].id, rr.Dist)
+		}
+	}
+	return col.Results(), nil
+}
+
+// SearchExact is the fully accurate (brute force everywhere) variant,
+// used as ground truth in tests and experiments.
+func (c *Collection) SearchExact(q []float32, k int) ([]topk.Result, error) {
+	if k <= 0 {
+		return nil, index.ErrBadK
+	}
+	if len(q) != c.cfg.Dim {
+		return nil, fmt.Errorf("lsm: query dim %d, collection dim %d", len(q), c.cfg.Dim)
+	}
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	d := c.cfg.Dim
+	col := topk.NewCollector(k)
+	for i, r := range c.memRows {
+		if c.latest[r.id] != r.gen {
+			continue
+		}
+		col.Push(r.id, c.fn(q, c.memData[i*d:(i+1)*d]))
+	}
+	for _, seg := range c.segments {
+		for i, r := range seg.rows {
+			if c.latest[r.id] != r.gen {
+				continue
+			}
+			col.Push(r.id, c.fn(q, seg.data[i*d:(i+1)*d]))
+		}
+	}
+	return col.Results(), nil
+}

@@ -1,0 +1,392 @@
+// Package matrix implements the small dense linear algebra kernel the
+// indexing layer needs: matrix products, Gram-Schmidt orthonormal
+// bases, Jacobi eigendecomposition of symmetric matrices, PCA, and the
+// orthogonal Procrustes solution used by OPQ rotation learning.
+//
+// Matrices are float64 for numerical stability of the training-time
+// routines; vectors in the query path stay float32.
+package matrix
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Dense is a row-major dense matrix.
+type Dense struct {
+	Rows, Cols int
+	Data       []float64 // len Rows*Cols
+}
+
+// NewDense allocates a zero matrix.
+func NewDense(rows, cols int) *Dense {
+	return &Dense{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// Identity returns the n x n identity matrix.
+func Identity(n int) *Dense {
+	m := NewDense(n, n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, 1)
+	}
+	return m
+}
+
+// At returns element (i, j).
+func (m *Dense) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Dense) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Row returns a view of row i.
+func (m *Dense) Row(i int) []float64 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// Clone returns a deep copy.
+func (m *Dense) Clone() *Dense {
+	c := NewDense(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// T returns the transpose as a new matrix.
+func (m *Dense) T() *Dense {
+	t := NewDense(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			t.Set(j, i, m.At(i, j))
+		}
+	}
+	return t
+}
+
+// Mul returns a*b.
+func Mul(a, b *Dense) *Dense {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("matrix: Mul %dx%d by %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	c := NewDense(a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		crow := c.Row(i)
+		for k := 0; k < a.Cols; k++ {
+			aik := arow[k]
+			if aik == 0 {
+				continue
+			}
+			brow := b.Row(k)
+			for j := range crow {
+				crow[j] += aik * brow[j]
+			}
+		}
+	}
+	return c
+}
+
+// MulVec32 computes m * v for a float32 vector, returning float32.
+// Used in the query path (rotations, projections).
+func (m *Dense) MulVec32(v []float32) []float32 {
+	if len(v) != m.Cols {
+		panic(fmt.Sprintf("matrix: MulVec32 %dx%d by vec %d", m.Rows, m.Cols, len(v)))
+	}
+	out := make([]float32, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		var s float64
+		for j, x := range v {
+			s += row[j] * float64(x)
+		}
+		out[i] = float32(s)
+	}
+	return out
+}
+
+// Covariance computes the d x d covariance matrix of n row vectors
+// (float32 data, row-major) after centering; it also returns the mean.
+func Covariance(data []float32, n, d int) (*Dense, []float64) {
+	mean := make([]float64, d)
+	for i := 0; i < n; i++ {
+		row := data[i*d : (i+1)*d]
+		for j, x := range row {
+			mean[j] += float64(x)
+		}
+	}
+	if n > 0 {
+		for j := range mean {
+			mean[j] /= float64(n)
+		}
+	}
+	cov := NewDense(d, d)
+	if n < 2 {
+		return cov, mean
+	}
+	for i := 0; i < n; i++ {
+		row := data[i*d : (i+1)*d]
+		for a := 0; a < d; a++ {
+			da := float64(row[a]) - mean[a]
+			crow := cov.Row(a)
+			for b := a; b < d; b++ {
+				crow[b] += da * (float64(row[b]) - mean[b])
+			}
+		}
+	}
+	inv := 1 / float64(n-1)
+	for a := 0; a < d; a++ {
+		for b := a; b < d; b++ {
+			v := cov.At(a, b) * inv
+			cov.Set(a, b, v)
+			cov.Set(b, a, v)
+		}
+	}
+	return cov, mean
+}
+
+// JacobiEigen diagonalizes a symmetric matrix with cyclic Jacobi
+// rotations. It returns the eigenvalues in descending order and the
+// matrix whose rows are the corresponding orthonormal eigenvectors.
+func JacobiEigen(sym *Dense, maxSweeps int) ([]float64, *Dense) {
+	n := sym.Rows
+	if sym.Cols != n {
+		panic("matrix: JacobiEigen requires a square matrix")
+	}
+	a := sym.Clone()
+	v := Identity(n)
+	if maxSweeps <= 0 {
+		maxSweeps = 50
+	}
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		var off float64
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				off += a.At(i, j) * a.At(i, j)
+			}
+		}
+		if off < 1e-20 {
+			break
+		}
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := a.At(p, q)
+				if math.Abs(apq) < 1e-300 {
+					continue
+				}
+				app := a.At(p, p)
+				aqq := a.At(q, q)
+				theta := (aqq - app) / (2 * apq)
+				t := math.Copysign(1, theta) / (math.Abs(theta) + math.Sqrt(theta*theta+1))
+				c := 1 / math.Sqrt(t*t+1)
+				s := t * c
+				// Rotate rows/cols p and q of a.
+				for k := 0; k < n; k++ {
+					akp := a.At(k, p)
+					akq := a.At(k, q)
+					a.Set(k, p, c*akp-s*akq)
+					a.Set(k, q, s*akp+c*akq)
+				}
+				for k := 0; k < n; k++ {
+					apk := a.At(p, k)
+					aqk := a.At(q, k)
+					a.Set(p, k, c*apk-s*aqk)
+					a.Set(q, k, s*apk+c*aqk)
+				}
+				// Accumulate eigenvectors (rows of v).
+				for k := 0; k < n; k++ {
+					vpk := v.At(p, k)
+					vqk := v.At(q, k)
+					v.Set(p, k, c*vpk-s*vqk)
+					v.Set(q, k, s*vpk+c*vqk)
+				}
+			}
+		}
+	}
+	vals := make([]float64, n)
+	for i := 0; i < n; i++ {
+		vals[i] = a.At(i, i)
+	}
+	// Sort eigenpairs descending by eigenvalue (selection sort; n small).
+	for i := 0; i < n-1; i++ {
+		best := i
+		for j := i + 1; j < n; j++ {
+			if vals[j] > vals[best] {
+				best = j
+			}
+		}
+		if best != i {
+			vals[i], vals[best] = vals[best], vals[i]
+			for k := 0; k < n; k++ {
+				vi, vb := v.At(i, k), v.At(best, k)
+				v.Set(i, k, vb)
+				v.Set(best, k, vi)
+			}
+		}
+	}
+	return vals, v
+}
+
+// PCA computes the top-k principal axes of n row vectors. The returned
+// matrix has k rows of d columns (each row a principal axis, largest
+// variance first) plus the data mean.
+func PCA(data []float32, n, d, k int) (*Dense, []float64) {
+	cov, mean := Covariance(data, n, d)
+	_, vecs := JacobiEigen(cov, 50)
+	if k > d {
+		k = d
+	}
+	axes := NewDense(k, d)
+	copy(axes.Data, vecs.Data[:k*d])
+	return axes, mean
+}
+
+// RandomOrthonormal generates a random d x d orthonormal matrix by
+// Gram-Schmidt on Gaussian rows. Used to initialize OPQ and for the
+// rotated k-d trees of Silpa-Anan & Hartley.
+func RandomOrthonormal(d int, rng *rand.Rand) *Dense {
+	m := NewDense(d, d)
+	for i := 0; i < d; i++ {
+		row := m.Row(i)
+		for {
+			for j := range row {
+				row[j] = rng.NormFloat64()
+			}
+			// Orthogonalize against previous rows.
+			for p := 0; p < i; p++ {
+				prev := m.Row(p)
+				var dot float64
+				for j := range row {
+					dot += row[j] * prev[j]
+				}
+				for j := range row {
+					row[j] -= dot * prev[j]
+				}
+			}
+			var norm float64
+			for _, x := range row {
+				norm += x * x
+			}
+			norm = math.Sqrt(norm)
+			if norm > 1e-8 {
+				for j := range row {
+					row[j] /= norm
+				}
+				break
+			}
+			// Degenerate draw; retry this row.
+		}
+	}
+	return m
+}
+
+// Procrustes solves min_R ||A - B R^T||_F over orthogonal R given the
+// d x d correlation matrix C = B^T A (accumulated by the caller).
+// Expanding the norm, the minimizer maximizes tr(R C), which for the
+// SVD C = U S V^T is R = V U^T. The SVD of C is obtained from Jacobi
+// eigendecompositions of C^T C and C C^T.
+//
+// It is the core step of OPQ's alternating optimization: B holds the
+// quantized reconstructions, A the original (centered) vectors.
+func Procrustes(c *Dense) *Dense {
+	d := c.Rows
+	if c.Cols != d {
+		panic("matrix: Procrustes requires square input")
+	}
+	// Eigen of C^T C gives V; eigen of C C^T gives U (rows of the
+	// returned matrices are eigenvectors).
+	ctc := Mul(c.T(), c)
+	_, vRows := JacobiEigen(ctc, 60)
+	cct := Mul(c, c.T())
+	_, uRows := JacobiEigen(cct, 60)
+	// Align signs: u_i should satisfy C v_i = s_i u_i with s_i >= 0.
+	u := uRows.T() // columns are eigenvectors
+	v := vRows.T()
+	for i := 0; i < d; i++ {
+		// cv = C * v_i
+		var dot float64
+		for r := 0; r < d; r++ {
+			var cv float64
+			for k := 0; k < d; k++ {
+				cv += c.At(r, k) * v.At(k, i)
+			}
+			dot += cv * u.At(r, i)
+		}
+		if dot < 0 {
+			for r := 0; r < d; r++ {
+				u.Set(r, i, -u.At(r, i))
+			}
+		}
+	}
+	return Mul(v, u.T())
+}
+
+// Inverse computes the inverse of a square matrix by Gauss-Jordan
+// elimination with partial pivoting. It returns an error when the
+// matrix is singular (pivot below tol).
+func Inverse(m *Dense) (*Dense, error) {
+	n := m.Rows
+	if m.Cols != n {
+		return nil, fmt.Errorf("matrix: Inverse requires square input, got %dx%d", m.Rows, m.Cols)
+	}
+	a := m.Clone()
+	inv := Identity(n)
+	const tol = 1e-12
+	for col := 0; col < n; col++ {
+		// Partial pivot.
+		pivot := col
+		best := math.Abs(a.At(col, col))
+		for r := col + 1; r < n; r++ {
+			if v := math.Abs(a.At(r, col)); v > best {
+				pivot, best = r, v
+			}
+		}
+		if best < tol {
+			return nil, fmt.Errorf("matrix: singular at column %d", col)
+		}
+		if pivot != col {
+			swapRows(a, pivot, col)
+			swapRows(inv, pivot, col)
+		}
+		// Normalize the pivot row.
+		p := a.At(col, col)
+		for j := 0; j < n; j++ {
+			a.Set(col, j, a.At(col, j)/p)
+			inv.Set(col, j, inv.At(col, j)/p)
+		}
+		// Eliminate the column elsewhere.
+		for r := 0; r < n; r++ {
+			if r == col {
+				continue
+			}
+			f := a.At(r, col)
+			if f == 0 {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				a.Set(r, j, a.At(r, j)-f*a.At(col, j))
+				inv.Set(r, j, inv.At(r, j)-f*inv.At(col, j))
+			}
+		}
+	}
+	return inv, nil
+}
+
+func swapRows(m *Dense, a, b int) {
+	ra, rb := m.Row(a), m.Row(b)
+	for j := range ra {
+		ra[j], rb[j] = rb[j], ra[j]
+	}
+}
+
+// RandomInvertible draws a random matrix with entries ~N(0,1) and
+// retries until it is comfortably invertible, returning both the
+// matrix and its inverse.
+func RandomInvertible(n int, rng *rand.Rand) (*Dense, *Dense) {
+	for {
+		m := NewDense(n, n)
+		for i := range m.Data {
+			m.Data[i] = rng.NormFloat64()
+		}
+		inv, err := Inverse(m)
+		if err == nil {
+			return m, inv
+		}
+	}
+}

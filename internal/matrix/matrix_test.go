@@ -1,0 +1,288 @@
+package matrix
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMulIdentity(t *testing.T) {
+	a := NewDense(2, 3)
+	copy(a.Data, []float64{1, 2, 3, 4, 5, 6})
+	c := Mul(Identity(2), a)
+	for i, v := range a.Data {
+		if c.Data[i] != v {
+			t.Fatalf("identity mul changed data at %d: %v vs %v", i, c.Data[i], v)
+		}
+	}
+}
+
+func TestMulKnown(t *testing.T) {
+	a := NewDense(2, 2)
+	copy(a.Data, []float64{1, 2, 3, 4})
+	b := NewDense(2, 2)
+	copy(b.Data, []float64{5, 6, 7, 8})
+	c := Mul(a, b)
+	want := []float64{19, 22, 43, 50}
+	for i := range want {
+		if c.Data[i] != want[i] {
+			t.Fatalf("Mul = %v, want %v", c.Data, want)
+		}
+	}
+}
+
+func TestMulPanicsOnShapeMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Mul(NewDense(2, 3), NewDense(2, 3))
+}
+
+func TestTranspose(t *testing.T) {
+	a := NewDense(2, 3)
+	copy(a.Data, []float64{1, 2, 3, 4, 5, 6})
+	at := a.T()
+	if at.Rows != 3 || at.Cols != 2 {
+		t.Fatalf("T shape %dx%d", at.Rows, at.Cols)
+	}
+	if at.At(2, 1) != 6 || at.At(0, 1) != 4 {
+		t.Fatalf("T content wrong: %v", at.Data)
+	}
+}
+
+func TestMulVec32(t *testing.T) {
+	a := NewDense(2, 3)
+	copy(a.Data, []float64{1, 0, 2, 0, 3, 0})
+	got := a.MulVec32([]float32{1, 2, 3})
+	if got[0] != 7 || got[1] != 6 {
+		t.Fatalf("MulVec32 = %v", got)
+	}
+}
+
+func TestCovarianceDiagonal(t *testing.T) {
+	// Two independent dimensions with known variances.
+	data := []float32{
+		0, 10,
+		2, 10,
+		4, 10,
+	}
+	cov, mean := Covariance(data, 3, 2)
+	if mean[0] != 2 || mean[1] != 10 {
+		t.Fatalf("mean = %v", mean)
+	}
+	if cov.At(0, 0) != 4 { // var{0,2,4} with n-1 = 4
+		t.Fatalf("var0 = %v, want 4", cov.At(0, 0))
+	}
+	if cov.At(1, 1) != 0 || cov.At(0, 1) != 0 {
+		t.Fatalf("constant dim must have zero (co)variance: %v", cov.Data)
+	}
+}
+
+func TestJacobiEigenKnown(t *testing.T) {
+	// [[2,1],[1,2]] has eigenvalues 3 and 1.
+	a := NewDense(2, 2)
+	copy(a.Data, []float64{2, 1, 1, 2})
+	vals, vecs := JacobiEigen(a, 50)
+	if math.Abs(vals[0]-3) > 1e-10 || math.Abs(vals[1]-1) > 1e-10 {
+		t.Fatalf("eigenvalues = %v", vals)
+	}
+	// Eigenvector for 3 is (1,1)/sqrt2 up to sign.
+	v0 := vecs.Row(0)
+	if math.Abs(math.Abs(v0[0])-math.Sqrt2/2) > 1e-8 || math.Abs(v0[0]-v0[1]) > 1e-8 {
+		t.Fatalf("top eigenvector = %v", v0)
+	}
+}
+
+func TestJacobiEigenReconstructs(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	n := 6
+	// Random symmetric matrix.
+	a := NewDense(n, n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			v := rng.NormFloat64()
+			a.Set(i, j, v)
+			a.Set(j, i, v)
+		}
+	}
+	vals, vecs := JacobiEigen(a, 100)
+	// Check A v_i = lambda_i v_i.
+	for i := 0; i < n; i++ {
+		vi := vecs.Row(i)
+		for r := 0; r < n; r++ {
+			var av float64
+			for k := 0; k < n; k++ {
+				av += a.At(r, k) * vi[k]
+			}
+			if math.Abs(av-vals[i]*vi[r]) > 1e-8 {
+				t.Fatalf("eigenpair %d violated at row %d: %v vs %v", i, r, av, vals[i]*vi[r])
+			}
+		}
+	}
+	// Descending order.
+	for i := 1; i < n; i++ {
+		if vals[i] > vals[i-1]+1e-12 {
+			t.Fatalf("eigenvalues not sorted: %v", vals)
+		}
+	}
+}
+
+func TestPCAFindsDominantAxis(t *testing.T) {
+	// Points spread along (1,1) with small noise orthogonal.
+	rng := rand.New(rand.NewSource(2))
+	n := 200
+	data := make([]float32, n*2)
+	for i := 0; i < n; i++ {
+		tt := rng.NormFloat64() * 10
+		noise := rng.NormFloat64() * 0.1
+		data[i*2] = float32(tt + noise)
+		data[i*2+1] = float32(tt - noise)
+	}
+	axes, _ := PCA(data, n, 2, 1)
+	ax := axes.Row(0)
+	// Dominant axis is ±(1,1)/sqrt2.
+	if math.Abs(math.Abs(ax[0])-math.Sqrt2/2) > 0.02 || math.Abs(ax[0]-ax[1]) > 0.02 {
+		t.Fatalf("principal axis = %v", ax)
+	}
+}
+
+func TestRandomOrthonormalIsOrthonormal(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, d := range []int{1, 2, 8, 16} {
+		m := RandomOrthonormal(d, rng)
+		prod := Mul(m, m.T())
+		for i := 0; i < d; i++ {
+			for j := 0; j < d; j++ {
+				want := 0.0
+				if i == j {
+					want = 1
+				}
+				if math.Abs(prod.At(i, j)-want) > 1e-9 {
+					t.Fatalf("d=%d: M M^T[%d,%d] = %v", d, i, j, prod.At(i, j))
+				}
+			}
+		}
+	}
+}
+
+func TestProcrustesRecoversRotation(t *testing.T) {
+	// Build a known rotation R, data A, B = A R. Then C = B^T A and
+	// Procrustes(C) should recover a rotation Rhat with B Rhat ≈ A...
+	// i.e. Rhat ≈ R^T (the minimizer of ||A - B R'^T||).
+	rng := rand.New(rand.NewSource(7))
+	d, n := 5, 60
+	r := RandomOrthonormal(d, rng)
+	a := NewDense(n, d)
+	for i := range a.Data {
+		a.Data[i] = rng.NormFloat64()
+	}
+	b := Mul(a, r)
+	c := Mul(b.T(), a)
+	rhat := Procrustes(c)
+	// Check ||A - B rhat^T||_F is tiny.
+	recon := Mul(b, rhat.T())
+	var err float64
+	for i := range a.Data {
+		dlt := recon.Data[i] - a.Data[i]
+		err += dlt * dlt
+	}
+	if err > 1e-12 {
+		t.Fatalf("Procrustes reconstruction error = %v", err)
+	}
+	// And rhat is orthogonal.
+	prod := Mul(rhat, rhat.T())
+	for i := 0; i < d; i++ {
+		if math.Abs(prod.At(i, i)-1) > 1e-9 {
+			t.Fatalf("rhat not orthogonal: %v", prod.At(i, i))
+		}
+	}
+}
+
+// Property: Mul is associative for random small matrices.
+func TestMulAssociativity(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := NewDense(3, 4)
+		b := NewDense(4, 2)
+		c := NewDense(2, 5)
+		for i := range a.Data {
+			a.Data[i] = rng.NormFloat64()
+		}
+		for i := range b.Data {
+			b.Data[i] = rng.NormFloat64()
+		}
+		for i := range c.Data {
+			c.Data[i] = rng.NormFloat64()
+		}
+		left := Mul(Mul(a, b), c)
+		right := Mul(a, Mul(b, c))
+		for i := range left.Data {
+			if math.Abs(left.Data[i]-right.Data[i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInverseKnown(t *testing.T) {
+	a := NewDense(2, 2)
+	copy(a.Data, []float64{4, 7, 2, 6})
+	inv, err := Inverse(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prod := Mul(a, inv)
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if math.Abs(prod.At(i, j)-want) > 1e-12 {
+				t.Fatalf("A*inv(A)[%d,%d] = %v", i, j, prod.At(i, j))
+			}
+		}
+	}
+}
+
+func TestInverseSingular(t *testing.T) {
+	a := NewDense(2, 2)
+	copy(a.Data, []float64{1, 2, 2, 4})
+	if _, err := Inverse(a); err == nil {
+		t.Fatal("want singular error")
+	}
+	if _, err := Inverse(NewDense(2, 3)); err == nil {
+		t.Fatal("want shape error")
+	}
+}
+
+func TestRandomInvertible(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	m, inv := RandomInvertible(6, rng)
+	prod := Mul(m, inv)
+	for i := 0; i < 6; i++ {
+		if math.Abs(prod.At(i, i)-1) > 1e-9 {
+			t.Fatalf("diag %d = %v", i, prod.At(i, i))
+		}
+	}
+}
+
+func TestInverseWithPivoting(t *testing.T) {
+	// Leading zero forces a row swap.
+	a := NewDense(2, 2)
+	copy(a.Data, []float64{0, 1, 1, 0})
+	inv, err := Inverse(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inv.At(0, 1) != 1 || inv.At(1, 0) != 1 {
+		t.Fatalf("permutation inverse wrong: %v", inv.Data)
+	}
+}

@@ -1,0 +1,144 @@
+package planner
+
+import "testing"
+
+func TestEnumerate(t *testing.T) {
+	if got := Enumerate(false, 0); len(got) != 1 || got[0].Kind != BruteForce {
+		t.Fatalf("no-index plans = %v", got)
+	}
+	got := Enumerate(true, 0)
+	if len(got) != 4 {
+		t.Fatalf("full plan space = %v", got)
+	}
+	for _, p := range got {
+		if p.Kind == PostFilter && p.Alpha != 4 {
+			t.Fatalf("default alpha = %d", p.Alpha)
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k, want := range map[Kind]string{
+		BruteForce: "brute_force", PreFilter: "pre_filter",
+		PostFilter: "post_filter", SingleStage: "single_stage",
+	} {
+		if k.String() != want {
+			t.Fatalf("%v != %s", k, want)
+		}
+	}
+}
+
+func TestRuleBasedRegimes(t *testing.T) {
+	base := Env{N: 100000, K: 10, HasIndex: true, IndexComps: 2000}
+	// Very selective: pre-filter.
+	e := base
+	e.Selectivity = 0.0001 // 10 survivors
+	if p := RuleBased(e); p.Kind != PreFilter {
+		t.Fatalf("selective -> %v", p.Kind)
+	}
+	// Permissive: post-filter.
+	e.Selectivity = 0.9
+	if p := RuleBased(e); p.Kind != PostFilter {
+		t.Fatalf("permissive -> %v", p.Kind)
+	}
+	// Middle: single-stage.
+	e.Selectivity = 0.2
+	if p := RuleBased(e); p.Kind != SingleStage {
+		t.Fatalf("middle -> %v", p.Kind)
+	}
+	// No index: brute force regardless.
+	e.HasIndex = false
+	if p := RuleBased(e); p.Kind != BruteForce {
+		t.Fatalf("no index -> %v", p.Kind)
+	}
+}
+
+func TestCostOrderingBySelectivity(t *testing.T) {
+	mk := func(sel float64) Env {
+		return Env{N: 100000, K: 10, HasIndex: true, Selectivity: sel, IndexComps: 2000}
+	}
+	// At high selectivity post-filter must be the cheapest valid plan.
+	e := mk(0.9)
+	cPost := Cost(Plan{Kind: PostFilter, Alpha: 4}, e)
+	cBrute := Cost(Plan{Kind: BruteForce}, e)
+	if cPost >= cBrute {
+		t.Fatalf("post-filter %v should beat brute force %v at sel 0.9", cPost, cBrute)
+	}
+	// At tiny selectivity pre-filter (scan survivors) must beat
+	// single-stage traversal.
+	e = mk(0.0001)
+	cPre := Cost(Plan{Kind: PreFilter}, e)
+	cSingle := Cost(Plan{Kind: SingleStage}, e)
+	if cPre >= cSingle {
+		t.Fatalf("pre-filter %v should beat single-stage %v at sel 0.0001", cPre, cSingle)
+	}
+}
+
+func TestShortfallRisk(t *testing.T) {
+	if r := ShortfallRisk(4, 10, 0.5); r != 0 {
+		t.Fatalf("alpha=4 sel=0.5 risk = %v", r)
+	}
+	if r := ShortfallRisk(2, 10, 0.1); r <= 0 || r >= 1 {
+		t.Fatalf("alpha=2 sel=0.1 risk = %v", r)
+	}
+	if ShortfallRisk(1, 10, 0.05) < ShortfallRisk(8, 10, 0.05) {
+		t.Fatal("more over-fetch must not raise risk")
+	}
+}
+
+func TestCostBasedAvoidsShortfall(t *testing.T) {
+	// Selectivity so low that post-filter would return almost nothing:
+	// cost-based must not pick it.
+	e := Env{N: 100000, K: 10, HasIndex: true, Selectivity: 0.001, IndexComps: 2000, Alpha: 4}
+	if p := CostBased(e); p.Kind == PostFilter {
+		t.Fatal("cost-based picked a shortfall-prone post-filter")
+	}
+	// Permissive predicate: post-filter wins.
+	e.Selectivity = 0.9
+	if p := CostBased(e); p.Kind != PostFilter {
+		t.Fatalf("high selectivity -> %v", p.Kind)
+	}
+	// No index: brute force.
+	e.HasIndex = false
+	if p := CostBased(e); p.Kind != BruteForce {
+		t.Fatalf("no index -> %v", p.Kind)
+	}
+}
+
+func TestEnvNormalization(t *testing.T) {
+	e := Env{N: 10000, K: 5, Selectivity: 2}.normalized()
+	if e.Selectivity != 1 || e.Alpha != 4 || e.IndexComps <= 0 || e.AttrCostRatio <= 0 {
+		t.Fatalf("normalized = %+v", e)
+	}
+	e = Env{N: 10000, K: 5, Selectivity: -1}.normalized()
+	if e.Selectivity != 0 {
+		t.Fatal("negative selectivity should clamp")
+	}
+}
+
+func TestProfiles(t *testing.T) {
+	e := Env{N: 50000, K: 10, HasIndex: true, Selectivity: 0.5}
+	cases := map[Profile]Kind{
+		ProfileVearch:   PostFilter,
+		ProfileWeaviate: PreFilter,
+		ProfileEuclid:   SingleStage,
+	}
+	for prof, want := range cases {
+		p, err := prof.Select(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Kind != want {
+			t.Fatalf("%s -> %v, want %v", prof, p.Kind, want)
+		}
+	}
+	// Optimizer-backed profiles must return a valid plan.
+	for _, prof := range []Profile{ProfileADBV, ProfileMilvus, ProfileQdrant} {
+		if _, err := prof.Select(e); err != nil {
+			t.Fatalf("%s: %v", prof, err)
+		}
+	}
+	if _, err := Profile("bogus").Select(e); err == nil {
+		t.Fatal("want unknown-profile error")
+	}
+}

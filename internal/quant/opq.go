@@ -1,0 +1,121 @@
+package quant
+
+import (
+	"fmt"
+	"math/rand"
+
+	"vdbms/internal/matrix"
+)
+
+// OPQ is optimized product quantization (Ge et al.): an orthonormal
+// rotation R is learned jointly with the PQ codebooks so that the
+// rotated space distributes variance evenly across subspaces,
+// reducing quantization error versus plain PQ on correlated data.
+type OPQ struct {
+	PQ *PQ
+	R  *matrix.Dense // d x d rotation applied as y = R x
+}
+
+// OPQConfig controls TrainOPQ.
+type OPQConfig struct {
+	PQConfig
+	// Iters is the number of alternating optimization rounds
+	// (rotate -> retrain codebooks -> re-solve rotation); default 8.
+	Iters int
+}
+
+// TrainOPQ learns a rotation and codebooks via the non-parametric OPQ
+// alternation: starting from a random orthonormal R, it repeatedly
+// (1) rotates the data, (2) trains/encodes a PQ in rotated space, and
+// (3) solves the orthogonal Procrustes problem aligning the data to
+// its quantized reconstruction.
+func TrainOPQ(data []float32, n, d int, cfg OPQConfig) (*OPQ, error) {
+	if cfg.Iters <= 0 {
+		cfg.Iters = 8
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	r := matrix.RandomOrthonormal(d, rng)
+
+	rotated := make([]float32, n*d)
+	var pq *PQ
+	var err error
+	for iter := 0; iter < cfg.Iters; iter++ {
+		rotateAll(r, data, rotated, n, d)
+		pq, err = TrainPQ(rotated, n, d, cfg.PQConfig)
+		if err != nil {
+			return nil, fmt.Errorf("quant: OPQ iteration %d: %w", iter, err)
+		}
+		if iter == cfg.Iters-1 {
+			break
+		}
+		// Build C = X^T Yhat where X holds the raw data rows and Yhat
+		// the quantized reconstructions in rotated space. Procrustes(C)
+		// yields the orthogonal R minimizing ||Yhat - X R^T||_F, i.e.
+		// the rotation (applied as y = R x per vector) under which the
+		// current codebooks reconstruct the data best.
+		c := matrix.NewDense(d, d)
+		code := make([]byte, pq.M)
+		rec := make([]float32, d)
+		for i := 0; i < n; i++ {
+			row := rotated[i*d : (i+1)*d]
+			code = pq.Encode(row, code)
+			rec = pq.Decode(code, rec)
+			raw := data[i*d : (i+1)*d]
+			for a := 0; a < d; a++ {
+				ca := c.Row(a)
+				xa := float64(raw[a])
+				if xa == 0 {
+					continue
+				}
+				for b := 0; b < d; b++ {
+					ca[b] += xa * float64(rec[b])
+				}
+			}
+		}
+		r = matrix.Procrustes(c)
+	}
+	return &OPQ{PQ: pq, R: r}, nil
+}
+
+func rotateAll(r *matrix.Dense, src, dst []float32, n, d int) {
+	for i := 0; i < n; i++ {
+		out := r.MulVec32(src[i*d : (i+1)*d])
+		copy(dst[i*d:(i+1)*d], out)
+	}
+}
+
+// Rotate applies the learned rotation to a vector.
+func (o *OPQ) Rotate(v []float32) []float32 { return o.R.MulVec32(v) }
+
+// Encode rotates and product-quantizes v.
+func (o *OPQ) Encode(v []float32, code []byte) []byte {
+	return o.PQ.Encode(o.Rotate(v), code)
+}
+
+// ADC builds an asymmetric distance table for a raw (unrotated) query.
+// Distances computed against OPQ codes approximate original-space L2
+// because the rotation is orthonormal (distance preserving).
+func (o *OPQ) ADC(q []float32) *ADCTable { return o.PQ.ADC(o.Rotate(q)) }
+
+// MSE reports mean squared reconstruction error in the original space
+// (identical to rotated-space error since R is orthonormal).
+func (o *OPQ) MSE(data []float32, n int) float64 {
+	d := o.PQ.Dim
+	var s float64
+	code := make([]byte, o.PQ.M)
+	rec := make([]float32, d)
+	for i := 0; i < n; i++ {
+		rot := o.Rotate(data[i*d : (i+1)*d])
+		code = o.PQ.Encode(rot, code)
+		rec = o.PQ.Decode(code, rec)
+		for j := range rot {
+			dd := float64(rot[j] - rec[j])
+			s += dd * dd
+		}
+	}
+	return s / float64(n*d)
+}

@@ -1,0 +1,129 @@
+package quant
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Property: SQ reconstruction error never exceeds one quantization
+// step per dimension, for arbitrary in-range data.
+func TestSQErrorBoundProperty(t *testing.T) {
+	f := func(seed int64, nRaw, dRaw uint8) bool {
+		n := int(nRaw%30) + 2
+		d := int(dRaw%12) + 1
+		rng := rand.New(rand.NewSource(seed))
+		data := make([]float32, n*d)
+		for i := range data {
+			data[i] = rng.Float32()*200 - 100
+		}
+		sq, err := TrainSQ(data, n, d)
+		if err != nil {
+			return false
+		}
+		code := make([]byte, d)
+		rec := make([]float32, d)
+		for i := 0; i < n; i++ {
+			row := data[i*d : (i+1)*d]
+			code = sq.Encode(row, code)
+			rec = sq.Decode(code, rec)
+			for j := range row {
+				budget := float64(sq.Step[j]) + 1e-4
+				if math.Abs(float64(rec[j]-row[j])) > budget {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: PQ codes are always in range and ADC(code of x, query x)
+// is non-negative with Encode/Decode idempotent (re-encoding a
+// decoded vector yields the same code).
+func TestPQIdempotenceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n, d, m := 60, 8, 4
+		data := make([]float32, n*d)
+		for i := range data {
+			data[i] = rng.Float32() * 10
+		}
+		pq, err := TrainPQ(data, n, d, PQConfig{M: m, Ks: 16, Seed: seed, MaxIter: 8})
+		if err != nil {
+			return false
+		}
+		code := make([]byte, m)
+		rec := make([]float32, d)
+		code2 := make([]byte, m)
+		for i := 0; i < n; i++ {
+			row := data[i*d : (i+1)*d]
+			code = pq.Encode(row, code)
+			for _, c := range code {
+				if int(c) >= pq.Ks {
+					return false
+				}
+			}
+			rec = pq.Decode(code, rec)
+			code2 = pq.Encode(rec, code2)
+			for j := range code {
+				if code[j] != code2[j] {
+					return false
+				}
+			}
+			if tab := pq.ADC(row); tab.Distance(code) < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: pack/unpack of 4-bit codes is lossless — the fast scan on
+// a one-entry table reproduces the quantized exact scan within one
+// LSB per subquantizer.
+func TestPackRoundTripProperty(t *testing.T) {
+	f := func(codesRaw []byte, mRaw uint8) bool {
+		m := int(mRaw%8) + 1
+		if len(codesRaw) < m {
+			return true // skip tiny inputs
+		}
+		n := len(codesRaw) / m
+		codes := make([]byte, n*m)
+		for i := range codes {
+			codes[i] = codesRaw[i] & 0x0f
+		}
+		pq := &PQ{Dim: m * 2, M: m, Ks: 16, Dsub: 2}
+		packed, err := pq.PackCodes4(codes, n)
+		if err != nil {
+			return false
+		}
+		// Unpack manually and compare.
+		bytesPer := (m + 1) / 2
+		for i := 0; i < n; i++ {
+			for j := 0; j < m; j++ {
+				b := packed[i*bytesPer+j/2]
+				var nib byte
+				if j%2 == 0 {
+					nib = b & 0x0f
+				} else {
+					nib = b >> 4
+				}
+				if nib != codes[i*m+j] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

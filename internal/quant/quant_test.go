@@ -1,0 +1,455 @@
+package quant
+
+import (
+	"math"
+	"testing"
+
+	"vdbms/internal/dataset"
+	"vdbms/internal/vec"
+)
+
+func TestSQRoundTrip(t *testing.T) {
+	ds := dataset.Clustered(200, 8, 3, 0.5, 1)
+	sq, err := TrainSQ(ds.Data, ds.Count, ds.Dim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	code := sq.Encode(ds.Row(0), nil)
+	if len(code) != 8 {
+		t.Fatalf("code len %d", len(code))
+	}
+	rec := sq.Decode(code, nil)
+	for j := range rec {
+		// 8-bit quantization error is at most one step.
+		if math.Abs(float64(rec[j]-ds.Row(0)[j])) > float64(sq.Step[j])+1e-6 {
+			t.Fatalf("dim %d: rec %v orig %v step %v", j, rec[j], ds.Row(0)[j], sq.Step[j])
+		}
+	}
+	if sq.CompressionRatio() != 4 {
+		t.Fatal("SQ8 compresses 4x")
+	}
+}
+
+func TestSQClampsOutOfRange(t *testing.T) {
+	sq, err := TrainSQ([]float32{0, 0, 1, 1}, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	code := sq.Encode([]float32{-5, 9}, nil)
+	if code[0] != 0 || code[1] != 255 {
+		t.Fatalf("clamp failed: %v", code)
+	}
+}
+
+func TestSQConstantDimension(t *testing.T) {
+	sq, err := TrainSQ([]float32{3, 1, 3, 2}, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	code := sq.Encode([]float32{3, 1.5}, nil)
+	rec := sq.Decode(code, nil)
+	if rec[0] != 3 {
+		t.Fatalf("constant dim should reconstruct exactly: %v", rec[0])
+	}
+}
+
+func TestSQDistanceMatchesDecode(t *testing.T) {
+	ds := dataset.Uniform(50, 6, 2)
+	sq, _ := TrainSQ(ds.Data, 50, 6)
+	q := ds.Row(10)
+	code := sq.Encode(ds.Row(20), nil)
+	want := vec.SquaredL2(q, sq.Decode(code, nil))
+	got := sq.DistanceL2(q, code)
+	if math.Abs(float64(got-want)) > 1e-4 {
+		t.Fatalf("DistanceL2 %v vs decode %v", got, want)
+	}
+}
+
+func TestSQTrainErrors(t *testing.T) {
+	if _, err := TrainSQ(nil, 0, 2); err == nil {
+		t.Fatal("want error for empty data")
+	}
+	if _, err := TrainSQ([]float32{1, 2, 3}, 2, 2); err == nil {
+		t.Fatal("want error for bad shape")
+	}
+}
+
+func TestPQEncodeDecode(t *testing.T) {
+	ds := dataset.Clustered(400, 16, 4, 0.3, 3)
+	pq, err := TrainPQ(ds.Data, ds.Count, ds.Dim, PQConfig{M: 4, Ks: 32, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pq.Dsub != 4 || pq.CodeSize() != 4 {
+		t.Fatalf("Dsub=%d CodeSize=%d", pq.Dsub, pq.CodeSize())
+	}
+	if pq.CompressionRatio() != 16 {
+		t.Fatalf("compression = %v", pq.CompressionRatio())
+	}
+	code := pq.Encode(ds.Row(0), nil)
+	rec := pq.Decode(code, nil)
+	// Reconstruction should be closer to the original than a random
+	// other row is, for clustered data.
+	if vec.SquaredL2(rec, ds.Row(0)) >= vec.SquaredL2(ds.Row(0), ds.Row(399)) {
+		t.Fatal("PQ reconstruction no better than a random point")
+	}
+}
+
+func TestPQTrainValidation(t *testing.T) {
+	data := make([]float32, 10*8)
+	if _, err := TrainPQ(data, 10, 8, PQConfig{M: 3}); err == nil {
+		t.Fatal("M must divide d")
+	}
+	if _, err := TrainPQ(data, 10, 8, PQConfig{M: 2, Ks: 100}); err == nil {
+		t.Fatal("Ks must be a power of two")
+	}
+	if _, err := TrainPQ(data, 10, 8, PQConfig{M: 2, Ks: 512}); err == nil {
+		t.Fatal("Ks must be <= 256")
+	}
+	if _, err := TrainPQ(data[:1], 10, 8, PQConfig{M: 2}); err == nil {
+		t.Fatal("bad shape must error")
+	}
+}
+
+func TestPQSmallTrainingSetPadsCodebook(t *testing.T) {
+	// n < Ks: codebook must still have Ks rows and codes stay valid.
+	ds := dataset.Uniform(10, 4, 7)
+	pq, err := TrainPQ(ds.Data, 10, 4, PQConfig{M: 2, Ks: 16, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	code := pq.Encode(ds.Row(3), nil)
+	for _, c := range code {
+		if int(c) >= pq.Ks {
+			t.Fatalf("code %d out of range", c)
+		}
+	}
+}
+
+func TestADCApproximatesDecodedDistance(t *testing.T) {
+	ds := dataset.Clustered(500, 16, 4, 0.3, 11)
+	pq, err := TrainPQ(ds.Data, ds.Count, ds.Dim, PQConfig{M: 4, Ks: 64, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := ds.Row(42)
+	tab := pq.ADC(q)
+	for i := 0; i < 20; i++ {
+		code := pq.Encode(ds.Row(i), nil)
+		want := vec.SquaredL2(q, pq.Decode(code, nil))
+		got := tab.Distance(code)
+		if math.Abs(float64(got-want)) > 1e-3*(1+float64(want)) {
+			t.Fatalf("row %d: ADC %v decoded %v", i, got, want)
+		}
+	}
+}
+
+func TestADCDistanceBatch(t *testing.T) {
+	ds := dataset.Uniform(30, 8, 13)
+	pq, _ := TrainPQ(ds.Data, 30, 8, PQConfig{M: 4, Ks: 16, Seed: 1})
+	codes := make([]byte, 30*4)
+	for i := 0; i < 30; i++ {
+		pq.Encode(ds.Row(i), codes[i*4:(i+1)*4])
+	}
+	tab := pq.ADC(ds.Row(0))
+	out := make([]float32, 30)
+	tab.DistanceBatch(codes, out)
+	for i := 0; i < 30; i++ {
+		if out[i] != tab.Distance(codes[i*4:(i+1)*4]) {
+			t.Fatalf("batch mismatch at %d", i)
+		}
+	}
+}
+
+func TestSDCSymmetricAndConsistent(t *testing.T) {
+	ds := dataset.Clustered(300, 8, 3, 0.4, 17)
+	pq, _ := TrainPQ(ds.Data, 300, 8, PQConfig{M: 2, Ks: 16, Seed: 3})
+	sdc := pq.SDC()
+	a := pq.Encode(ds.Row(1), nil)
+	b := pq.Encode(ds.Row(2), nil)
+	if sdc.Distance(a, b) != sdc.Distance(b, a) {
+		t.Fatal("SDC must be symmetric")
+	}
+	// SDC(a,b) equals distance between decoded centroids.
+	want := vec.SquaredL2(pq.Decode(a, nil), pq.Decode(b, nil))
+	if math.Abs(float64(sdc.Distance(a, b)-want)) > 1e-4*(1+float64(want)) {
+		t.Fatalf("SDC %v decoded %v", sdc.Distance(a, b), want)
+	}
+	if sdc.Distance(a, a) != 0 {
+		t.Fatal("SDC self distance must be 0")
+	}
+}
+
+func TestQuantizationErrorOrdering(t *testing.T) {
+	// On correlated (low-rank) data: OPQ error <= PQ error, and PQ with
+	// more centroids beats fewer. SQ is included for the E4 table.
+	ds := dataset.LowRank(600, 16, 3, 0.05, 23)
+	pqSmall, err := TrainPQ(ds.Data, ds.Count, ds.Dim, PQConfig{M: 4, Ks: 8, Seed: 5, MaxIter: 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pqBig, err := TrainPQ(ds.Data, ds.Count, ds.Dim, PQConfig{M: 4, Ks: 64, Seed: 5, MaxIter: 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pqBig.MSE(ds.Data, ds.Count) >= pqSmall.MSE(ds.Data, ds.Count) {
+		t.Fatal("more centroids should reduce MSE")
+	}
+	opq, err := TrainOPQ(ds.Data, ds.Count, ds.Dim, OPQConfig{
+		PQConfig: PQConfig{M: 4, Ks: 8, Seed: 5, MaxIter: 15}, Iters: 6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pqMSE := pqSmall.MSE(ds.Data, ds.Count)
+	opqMSE := opq.MSE(ds.Data, ds.Count)
+	// Allow a small tolerance: OPQ should not be meaningfully worse.
+	if opqMSE > pqMSE*1.05 {
+		t.Fatalf("OPQ MSE %v worse than PQ MSE %v", opqMSE, pqMSE)
+	}
+}
+
+func TestOPQRotationIsOrthonormal(t *testing.T) {
+	ds := dataset.Uniform(200, 8, 29)
+	opq, err := TrainOPQ(ds.Data, 200, 8, OPQConfig{
+		PQConfig: PQConfig{M: 2, Ks: 16, Seed: 1, MaxIter: 10}, Iters: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// R R^T = I -> rotation preserves norms.
+	v := ds.Row(5)
+	rv := opq.Rotate(v)
+	n1, n2 := vec.Norm(v), vec.Norm(rv)
+	if math.Abs(float64(n1-n2)) > 1e-3 {
+		t.Fatalf("rotation changed norm: %v vs %v", n1, n2)
+	}
+}
+
+func TestOPQADCMatchesEncode(t *testing.T) {
+	ds := dataset.Clustered(300, 8, 3, 0.4, 31)
+	opq, err := TrainOPQ(ds.Data, 300, 8, OPQConfig{
+		PQConfig: PQConfig{M: 2, Ks: 16, Seed: 1, MaxIter: 10}, Iters: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := ds.Row(0)
+	tab := opq.ADC(q)
+	code := opq.Encode(ds.Row(1), nil)
+	want := vec.SquaredL2(opq.Rotate(q), opq.PQ.Decode(code, nil))
+	got := tab.Distance(code)
+	if math.Abs(float64(got-want)) > 1e-3*(1+float64(want)) {
+		t.Fatalf("OPQ ADC %v want %v", got, want)
+	}
+}
+
+func TestPackCodes4(t *testing.T) {
+	pq := &PQ{Dim: 8, M: 4, Ks: 16, Dsub: 2}
+	codes := []byte{1, 2, 3, 4, 15, 0, 7, 9}
+	packed, err := pq.PackCodes4(codes, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(packed) != 4 {
+		t.Fatalf("packed len %d", len(packed))
+	}
+	if packed[0] != 0x21 || packed[1] != 0x43 || packed[2] != 0x0f || packed[3] != 0x97 {
+		t.Fatalf("packed = %x", packed)
+	}
+	big := &PQ{Dim: 8, M: 4, Ks: 256, Dsub: 2}
+	if _, err := big.PackCodes4(codes, 2); err == nil {
+		t.Fatal("want error for Ks > 16")
+	}
+}
+
+func TestPackCodes4OddM(t *testing.T) {
+	pq := &PQ{Dim: 6, M: 3, Ks: 16, Dsub: 2}
+	packed, err := pq.PackCodes4([]byte{5, 6, 7}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(packed) != 2 || packed[0] != 0x65 || packed[1] != 0x07 {
+		t.Fatalf("odd-M packed = %x", packed)
+	}
+}
+
+func TestFastScanMatchesNaiveWithinQuantization(t *testing.T) {
+	ds := dataset.Clustered(400, 16, 4, 0.3, 37)
+	pq, err := TrainPQ(ds.Data, ds.Count, ds.Dim, PQConfig{M: 8, Ks: 16, Seed: 5, MaxIter: 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 100
+	codes := make([]byte, n*pq.M)
+	for i := 0; i < n; i++ {
+		pq.Encode(ds.Row(i), codes[i*pq.M:(i+1)*pq.M])
+	}
+	packed, err := pq.PackCodes4(codes, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := pq.ADC(ds.Row(200))
+	ft, err := tab.Quantize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact := make([]float32, n)
+	fast := make([]float32, n)
+	tab.DistanceBatch(codes, exact)
+	ft.DistanceBatch4(packed, fast)
+	// Max quantization error is M * scale (one LSB per subquantizer).
+	maxErr := float64(ft.Scale) * float64(pq.M)
+	for i := 0; i < n; i++ {
+		if math.Abs(float64(fast[i]-exact[i])) > maxErr+1e-4 {
+			t.Fatalf("row %d: fast %v exact %v (budget %v)", i, fast[i], exact[i], maxErr)
+		}
+	}
+}
+
+func TestFastScanPreservesRanking(t *testing.T) {
+	// The top-1 by fast scan should be near-top by exact ADC. Uniform
+	// data keeps the table dynamic range moderate; on widely separated
+	// clusters the 8-bit LUT loses fine ranking, which is why
+	// production fast-scan implementations re-rank with exact ADC.
+	ds := dataset.Uniform(500, 16, 41)
+	pq, err := TrainPQ(ds.Data, ds.Count, ds.Dim, PQConfig{M: 8, Ks: 16, Seed: 9, MaxIter: 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := ds.Count
+	codes := make([]byte, n*pq.M)
+	for i := 0; i < n; i++ {
+		pq.Encode(ds.Row(i), codes[i*pq.M:(i+1)*pq.M])
+	}
+	packed, _ := pq.PackCodes4(codes, n)
+	q := ds.Queries(1, 0.05, 43)[0]
+	tab := pq.ADC(q)
+	ft, _ := tab.Quantize()
+	exact := make([]float32, n)
+	fast := make([]float32, n)
+	tab.DistanceBatch(codes, exact)
+	ft.DistanceBatch4(packed, fast)
+	argmin := func(xs []float32) int {
+		best := 0
+		for i, x := range xs {
+			if x < xs[best] {
+				best = i
+			}
+		}
+		return best
+	}
+	fi := argmin(fast)
+	// fast's winner must be within the 5 best exact distances.
+	better := 0
+	for _, x := range exact {
+		if x < exact[fi] {
+			better++
+		}
+	}
+	if better > 5 {
+		t.Fatalf("fast-scan winner ranked %d by exact ADC", better)
+	}
+}
+
+func TestQuantizeRejectsWideTables(t *testing.T) {
+	tab := &ADCTable{M: 2, Ks: 256, Tab: make([]float32, 512)}
+	if _, err := tab.Quantize(); err == nil {
+		t.Fatal("want error for Ks > 16")
+	}
+}
+
+func TestQuantizeConstantTable(t *testing.T) {
+	tab := &ADCTable{M: 1, Ks: 16, Tab: make([]float32, 16)} // all zeros
+	ft, err := tab.Quantize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]float32, 1)
+	ft.DistanceBatch4([]byte{0x00}, out)
+	if out[0] != 0 {
+		t.Fatalf("constant table distance = %v", out[0])
+	}
+}
+
+func TestRQErrorDecreasesPerLevel(t *testing.T) {
+	ds := dataset.Clustered(800, 16, 6, 0.5, 51)
+	rq, err := TrainRQ(ds.Data, ds.Count, ds.Dim, RQConfig{Levels: 4, Ks: 32, Seed: 3, MaxIter: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := math.Inf(1)
+	for l := 1; l <= 4; l++ {
+		mse := rq.MSEAtLevel(ds.Data, ds.Count, l)
+		if mse > prev+1e-9 {
+			t.Fatalf("level %d MSE %v exceeds level %d MSE %v", l, mse, l-1, prev)
+		}
+		prev = mse
+	}
+	if rq.CodeSize() != 4 || rq.CompressionRatio() != 16 {
+		t.Fatalf("code size %d ratio %v", rq.CodeSize(), rq.CompressionRatio())
+	}
+}
+
+func TestRQEncodeDecodeAndDistance(t *testing.T) {
+	ds := dataset.Clustered(500, 8, 4, 0.3, 53)
+	rq, err := TrainRQ(ds.Data, ds.Count, ds.Dim, RQConfig{Levels: 3, Ks: 16, Seed: 1, MaxIter: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	code := rq.Encode(ds.Row(0), nil)
+	if len(code) != 3 {
+		t.Fatalf("code len %d", len(code))
+	}
+	rec := rq.Decode(code, nil)
+	// Reconstruction closer to the source than to a random other point.
+	if vec.SquaredL2(rec, ds.Row(0)) >= vec.SquaredL2(ds.Row(0), ds.Row(499)) {
+		t.Fatal("RQ reconstruction no better than a random point")
+	}
+	q := ds.Row(42)
+	want := vec.SquaredL2(q, rec)
+	if got := rq.DistanceL2(q, code); got != vec.SquaredL2(q, rq.Decode(code, nil)) || got < 0 {
+		t.Fatalf("DistanceL2 = %v, want %v", got, want)
+	}
+}
+
+func TestRQBeatsSingleLevelKMeans(t *testing.T) {
+	// 4 levels of 16 centroids should reconstruct better than 1 level
+	// of 16 centroids (the hierarchical refinement claim).
+	ds := dataset.Clustered(600, 16, 8, 0.5, 57)
+	deep, err := TrainRQ(ds.Data, ds.Count, ds.Dim, RQConfig{Levels: 4, Ks: 16, Seed: 5, MaxIter: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shallow, err := TrainRQ(ds.Data, ds.Count, ds.Dim, RQConfig{Levels: 1, Ks: 16, Seed: 5, MaxIter: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deep.MSE(ds.Data, ds.Count) >= shallow.MSE(ds.Data, ds.Count) {
+		t.Fatal("deeper RQ must reconstruct better")
+	}
+}
+
+func TestRQValidation(t *testing.T) {
+	if _, err := TrainRQ(nil, 0, 4, RQConfig{}); err == nil {
+		t.Fatal("want shape error")
+	}
+	data := make([]float32, 10*4)
+	if _, err := TrainRQ(data, 10, 4, RQConfig{Ks: 100}); err == nil {
+		t.Fatal("want Ks error")
+	}
+	if _, err := TrainRQ(data, 10, 4, RQConfig{Ks: 512}); err == nil {
+		t.Fatal("want Ks range error")
+	}
+	// Tiny training set pads codebooks; codes stay in range.
+	rq, err := TrainRQ(data[:5*4], 5, 4, RQConfig{Levels: 2, Ks: 16, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	code := rq.Encode(data[:4], nil)
+	for _, c := range code {
+		if int(c) >= rq.Ks {
+			t.Fatalf("code %d out of range", c)
+		}
+	}
+}

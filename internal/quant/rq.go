@@ -1,0 +1,164 @@
+package quant
+
+import (
+	"fmt"
+
+	"vdbms/internal/kmeans"
+	"vdbms/internal/vec"
+)
+
+// RQ is a residual (hierarchical) quantizer in the style the paper
+// cites for billion-scale deep descriptors (Babenko & Lempitsky,
+// Section 2.2(3)): L levels of k-means codebooks where level l
+// quantizes the residual left by levels 0..l-1. Reconstruction is the
+// sum of one centroid per level, so error decreases with every level
+// while the code grows one byte (for Ks<=256) per level.
+type RQ struct {
+	Dim    int
+	Levels int
+	Ks     int
+	// Codebooks[l] is row-major Ks x Dim.
+	Codebooks [][]float32
+}
+
+// RQConfig controls TrainRQ.
+type RQConfig struct {
+	Levels  int // codebook levels; default 4
+	Ks      int // centroids per level; default 256
+	MaxIter int
+	Seed    int64
+}
+
+// TrainRQ fits the hierarchical codebooks on n row-major vectors.
+func TrainRQ(data []float32, n, d int, cfg RQConfig) (*RQ, error) {
+	if cfg.Levels <= 0 {
+		cfg.Levels = 4
+	}
+	if cfg.Ks == 0 {
+		cfg.Ks = 256
+	}
+	if !isPow2(cfg.Ks) || cfg.Ks > 256 {
+		return nil, fmt.Errorf("quant: RQ Ks=%d must be a power of two <= 256", cfg.Ks)
+	}
+	if n == 0 || d <= 0 || len(data) != n*d {
+		return nil, fmt.Errorf("quant: bad RQ training shape n=%d d=%d len=%d", n, d, len(data))
+	}
+	if cfg.MaxIter <= 0 {
+		cfg.MaxIter = 20
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	rq := &RQ{Dim: d, Levels: cfg.Levels, Ks: cfg.Ks, Codebooks: make([][]float32, cfg.Levels)}
+	// Residuals start as the data itself and shrink level by level.
+	resid := make([]float32, len(data))
+	copy(resid, data)
+	for l := 0; l < cfg.Levels; l++ {
+		res, err := kmeans.Train(resid, n, d, kmeans.Config{
+			K: cfg.Ks, MaxIter: cfg.MaxIter, Seed: cfg.Seed + int64(l),
+		})
+		if err != nil {
+			return nil, fmt.Errorf("quant: RQ level %d: %w", l, err)
+		}
+		cb := make([]float32, cfg.Ks*d)
+		copy(cb, res.Centroids)
+		// Pad when the trainer clamped K (tiny training sets).
+		for c := res.K; c < cfg.Ks; c++ {
+			copy(cb[c*d:(c+1)*d], cb[(res.K-1)*d:res.K*d])
+		}
+		rq.Codebooks[l] = cb
+		// Subtract assigned centroids to form the next residual.
+		for i := 0; i < n; i++ {
+			cent := res.Centroid(res.Assign[i])
+			row := resid[i*d : (i+1)*d]
+			for j := range row {
+				row[j] -= cent[j]
+			}
+		}
+	}
+	return rq, nil
+}
+
+// CodeSize returns bytes per encoded vector.
+func (rq *RQ) CodeSize() int { return rq.Levels }
+
+// CompressionRatio returns the size reduction versus float32 storage.
+func (rq *RQ) CompressionRatio() float64 {
+	return float64(rq.Dim*4) / float64(rq.CodeSize())
+}
+
+// Encode greedily quantizes v level by level.
+func (rq *RQ) Encode(v []float32, code []byte) []byte {
+	if cap(code) < rq.Levels {
+		code = make([]byte, rq.Levels)
+	}
+	code = code[:rq.Levels]
+	resid := make([]float32, rq.Dim)
+	copy(resid, v)
+	for l := 0; l < rq.Levels; l++ {
+		cb := rq.Codebooks[l]
+		best, bestD := 0, float32(0)
+		for c := 0; c < rq.Ks; c++ {
+			d := vec.SquaredL2(resid, cb[c*rq.Dim:(c+1)*rq.Dim])
+			if c == 0 || d < bestD {
+				best, bestD = c, d
+			}
+		}
+		code[l] = byte(best)
+		cent := cb[best*rq.Dim : (best+1)*rq.Dim]
+		for j := range resid {
+			resid[j] -= cent[j]
+		}
+	}
+	return code
+}
+
+// Decode reconstructs the sum of the selected centroids.
+func (rq *RQ) Decode(code []byte, dst []float32) []float32 {
+	if cap(dst) < rq.Dim {
+		dst = make([]float32, rq.Dim)
+	}
+	dst = dst[:rq.Dim]
+	for j := range dst {
+		dst[j] = 0
+	}
+	for l, c := range code {
+		cent := rq.Codebooks[l][int(c)*rq.Dim : (int(c)+1)*rq.Dim]
+		for j := range dst {
+			dst[j] += cent[j]
+		}
+	}
+	return dst
+}
+
+// DistanceL2 computes squared L2 from a raw query to a code via
+// reconstruction.
+func (rq *RQ) DistanceL2(q []float32, code []byte) float32 {
+	rec := rq.Decode(code, nil)
+	return vec.SquaredL2(q, rec)
+}
+
+// MSE reports mean squared reconstruction error over n vectors, and
+// MSEAtLevel reports it using only the first l levels — the measure
+// showing hierarchical refinement.
+func (rq *RQ) MSE(data []float32, n int) float64 { return rq.MSEAtLevel(data, n, rq.Levels) }
+
+// MSEAtLevel truncates reconstruction to the first l levels.
+func (rq *RQ) MSEAtLevel(data []float32, n, l int) float64 {
+	if l > rq.Levels {
+		l = rq.Levels
+	}
+	var s float64
+	code := make([]byte, rq.Levels)
+	rec := make([]float32, rq.Dim)
+	for i := 0; i < n; i++ {
+		row := data[i*rq.Dim : (i+1)*rq.Dim]
+		code = rq.Encode(row, code)
+		rec = rq.Decode(code[:l], rec)
+		for j := range row {
+			d := float64(row[j] - rec[j])
+			s += d * d
+		}
+	}
+	return s / float64(n*rq.Dim)
+}

@@ -1,0 +1,116 @@
+// Package quant implements the vector-compression layer of Section
+// 2.2(3): scalar quantization (SQ), product quantization (PQ) with
+// asymmetric and symmetric distance computation, optimized product
+// quantization (OPQ) via alternating rotation learning, and a
+// register-blocked 4-bit PQ scan that stands in for the SIMD-shuffle
+// fast scan of Quick(er) ADC (Section 2.3(1)).
+package quant
+
+import "fmt"
+
+// SQ is a per-dimension 8-bit scalar quantizer: each float32 dimension
+// is mapped to a uint8 by min/max scaling, a 4x compression ("every
+// 64-bit dimension is reduced" idea of the paper's SQ index, applied
+// to float32 at 8 bits).
+type SQ struct {
+	Dim  int
+	Min  []float32 // per-dimension minimum
+	Step []float32 // per-dimension (max-min)/255, 0 for constant dims
+}
+
+// TrainSQ learns per-dimension ranges from n row-major vectors.
+func TrainSQ(data []float32, n, d int) (*SQ, error) {
+	if n == 0 || d == 0 || len(data) != n*d {
+		return nil, fmt.Errorf("quant: bad SQ training shape n=%d d=%d len=%d", n, d, len(data))
+	}
+	minv := make([]float32, d)
+	maxv := make([]float32, d)
+	copy(minv, data[:d])
+	copy(maxv, data[:d])
+	for i := 1; i < n; i++ {
+		row := data[i*d : (i+1)*d]
+		for j, x := range row {
+			if x < minv[j] {
+				minv[j] = x
+			}
+			if x > maxv[j] {
+				maxv[j] = x
+			}
+		}
+	}
+	step := make([]float32, d)
+	for j := range step {
+		step[j] = (maxv[j] - minv[j]) / 255
+	}
+	return &SQ{Dim: d, Min: minv, Step: step}, nil
+}
+
+// Encode quantizes v into code (allocated if nil).
+func (q *SQ) Encode(v []float32, code []byte) []byte {
+	if cap(code) < q.Dim {
+		code = make([]byte, q.Dim)
+	}
+	code = code[:q.Dim]
+	for j, x := range v {
+		if q.Step[j] == 0 {
+			code[j] = 0
+			continue
+		}
+		t := (x - q.Min[j]) / q.Step[j]
+		if t < 0 {
+			t = 0
+		} else if t > 255 {
+			t = 255
+		}
+		code[j] = byte(t + 0.5)
+	}
+	return code
+}
+
+// Decode reconstructs an approximation of the original vector.
+func (q *SQ) Decode(code []byte, dst []float32) []float32 {
+	if cap(dst) < q.Dim {
+		dst = make([]float32, q.Dim)
+	}
+	dst = dst[:q.Dim]
+	for j, c := range code {
+		dst[j] = q.Min[j] + float32(c)*q.Step[j]
+	}
+	return dst
+}
+
+// DistanceL2 computes the squared L2 distance between a raw query and
+// a code without materializing the decoded vector.
+func (q *SQ) DistanceL2(query []float32, code []byte) float32 {
+	var s float32
+	for j, c := range code {
+		d := query[j] - (q.Min[j] + float32(c)*q.Step[j])
+		s += d * d
+	}
+	return s
+}
+
+// CompressionRatio returns the size reduction versus float32 storage.
+func (q *SQ) CompressionRatio() float64 { return 4 }
+
+// MSE reports the mean squared reconstruction error over n row-major
+// vectors — the code-design quality measure quantization papers report.
+func (q *SQ) MSE(data []float32, n int) float64 {
+	var s float64
+	code := make([]byte, q.Dim)
+	rec := make([]float32, q.Dim)
+	for i := 0; i < n; i++ {
+		row := data[i*q.Dim : (i+1)*q.Dim]
+		code = q.Encode(row, code)
+		rec = q.Decode(code, rec)
+		for j := range row {
+			d := float64(row[j] - rec[j])
+			s += d * d
+		}
+	}
+	return s / float64(n*q.Dim)
+}
+
+// isPow2 reports whether k is a power of two (used to validate PQ
+// codebook sizes).
+func isPow2(k int) bool { return k > 0 && k&(k-1) == 0 }

@@ -1,0 +1,153 @@
+// Package secure implements secure k-NN search over outsourced
+// vectors, the open problem of Section 2.6(4) (citing secure k-NN
+// [88] and secure top-k inner product retrieval [93]). The scheme is
+// asymmetric scalar-product-preserving encryption (ASPE, Wong et al.):
+//
+//   - the data owner augments each vector x to x^ = (x, -||x||^2/2)
+//     and encrypts it as Ex = M^T x^ with a secret invertible matrix M;
+//   - a trusted client augments a query q to q^ = r*(q, 1) with a
+//     fresh random r > 0 and encrypts it as Eq = M^{-1} q^;
+//   - the untrusted server computes Ex . Eq = x^ . q^ =
+//     r*(q.x - ||x||^2/2), whose descending order equals the ascending
+//     order of ||x - q||^2 — so it can rank without learning either
+//     the vectors or the query (the r factor re-randomizes every
+//     query's scores).
+//
+// The server never holds M; distances *between* encrypted vectors are
+// scrambled, so it cannot run k-NN among the stored points either
+// (verified in the tests).
+package secure
+
+import (
+	"fmt"
+	"math/rand"
+
+	"vdbms/internal/matrix"
+	"vdbms/internal/topk"
+)
+
+// Key is the data owner's secret.
+type Key struct {
+	dim  int
+	m    *matrix.Dense // (dim+1) x (dim+1)
+	mInv *matrix.Dense
+	rng  *rand.Rand
+}
+
+// NewKey generates a key for vectors of the given dimensionality.
+func NewKey(dim int, seed int64) (*Key, error) {
+	if dim <= 0 {
+		return nil, fmt.Errorf("secure: dimension must be positive")
+	}
+	if seed == 0 {
+		seed = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	m, inv := matrix.RandomInvertible(dim+1, rng)
+	return &Key{dim: dim, m: m, mInv: inv, rng: rng}, nil
+}
+
+// Dim returns the plaintext dimensionality.
+func (k *Key) Dim() int { return k.dim }
+
+// EncryptVector produces the server-side representation of x. The
+// encrypted domain is float64: the random mixing matrix amplifies
+// float32 rounding enough to flip near-tied ranks, so ciphertexts
+// carry double precision.
+func (k *Key) EncryptVector(x []float32) ([]float64, error) {
+	if len(x) != k.dim {
+		return nil, fmt.Errorf("secure: vector dim %d, key dim %d", len(x), k.dim)
+	}
+	aug := make([]float64, k.dim+1)
+	var norm2 float64
+	for i, v := range x {
+		aug[i] = float64(v)
+		norm2 += float64(v) * float64(v)
+	}
+	aug[k.dim] = -norm2 / 2
+	return mulVec64(k.m.T(), aug), nil
+}
+
+// EncryptQuery produces a one-time encrypted query token. A fresh
+// random positive scale per call prevents the server from comparing
+// scores across queries.
+func (k *Key) EncryptQuery(q []float32) ([]float64, error) {
+	if len(q) != k.dim {
+		return nil, fmt.Errorf("secure: query dim %d, key dim %d", len(q), k.dim)
+	}
+	r := k.rng.Float64()*9 + 1 // r in [1, 10)
+	aug := make([]float64, k.dim+1)
+	for i, v := range q {
+		aug[i] = r * float64(v)
+	}
+	aug[k.dim] = r
+	return mulVec64(k.mInv, aug), nil
+}
+
+// mulVec64 computes m*v in float64.
+func mulVec64(m *matrix.Dense, v []float64) []float64 {
+	out := make([]float64, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		var s float64
+		for j, x := range v {
+			s += row[j] * x
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// Server stores encrypted vectors and answers encrypted queries. It
+// has no access to the key; ranking uses only dot products in the
+// encrypted space.
+type Server struct {
+	dim  int // encrypted dimensionality (plaintext dim + 1)
+	data []float64
+	ids  []int64
+}
+
+// NewServer creates an empty store for encrypted vectors of the given
+// plaintext dimensionality.
+func NewServer(plainDim int) *Server { return &Server{dim: plainDim + 1} }
+
+// Add stores an encrypted vector under id.
+func (s *Server) Add(id int64, enc []float64) error {
+	if len(enc) != s.dim {
+		return fmt.Errorf("secure: encrypted dim %d, server dim %d", len(enc), s.dim)
+	}
+	s.data = append(s.data, enc...)
+	s.ids = append(s.ids, id)
+	return nil
+}
+
+// Len returns the stored vector count.
+func (s *Server) Len() int { return len(s.ids) }
+
+// scoreScale compresses float64 scores into the float32 Dist field of
+// topk.Result without reordering (positive constant divide).
+const scoreScale = 1 << 20
+
+// TopK ranks stored vectors by descending encrypted inner product with
+// the query token — equivalently ascending true L2 distance — and
+// returns the k best. Dist fields carry the *negated, scaled encrypted
+// score*, which preserves order but is meaningless as a distance (by
+// design: the server must not learn true distances).
+func (s *Server) TopK(encQuery []float64, k int) ([]topk.Result, error) {
+	if len(encQuery) != s.dim {
+		return nil, fmt.Errorf("secure: query token dim %d, server dim %d", len(encQuery), s.dim)
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("secure: k must be positive")
+	}
+	c := topk.NewCollector(k)
+	for i, id := range s.ids {
+		var score float64
+		row := s.data[i*s.dim : (i+1)*s.dim]
+		for j, x := range encQuery {
+			score += x * row[j]
+		}
+		c.Push(id, float32(-score/scoreScale))
+	}
+	return c.Results(), nil
+}

@@ -1,0 +1,188 @@
+package secure
+
+import (
+	"math"
+	"testing"
+
+	"vdbms/internal/dataset"
+	"vdbms/internal/topk"
+	"vdbms/internal/vec"
+)
+
+func setup(t *testing.T, n, d int) (*Key, *Server, *dataset.Dataset) {
+	t.Helper()
+	key, err := NewKey(d, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(d)
+	ds := dataset.Clustered(n, d, 5, 0.4, 1)
+	for i := 0; i < n; i++ {
+		enc, err := key.EncryptVector(ds.Row(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := srv.Add(int64(i), enc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return key, srv, ds
+}
+
+func TestSecureTopKMatchesPlaintext(t *testing.T) {
+	key, srv, ds := setup(t, 500, 16)
+	truth := dataset.GroundTruth(vec.SquaredL2, ds, ds.Queries(20, 0.05, 2), 10)
+	qs := ds.Queries(20, 0.05, 2)
+	for qi, q := range qs {
+		tok, err := key.EncryptQuery(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := srv.TopK(tok, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Exact id-for-id agreement with plaintext exact k-NN.
+		for i := range got {
+			if got[i].ID != truth[qi][i].ID {
+				t.Fatalf("query %d rank %d: secure %d, plaintext %d",
+					qi, i, got[i].ID, truth[qi][i].ID)
+			}
+		}
+	}
+}
+
+func TestEncryptionHidesVectors(t *testing.T) {
+	key, _, ds := setup(t, 50, 8)
+	x := ds.Row(0)
+	enc, _ := key.EncryptVector(x)
+	if len(enc) != 9 {
+		t.Fatalf("encrypted dim = %d", len(enc))
+	}
+	// No coordinate passes through in the clear.
+	same := 0
+	for i := range x {
+		if float64(x[i]) == enc[i] {
+			same++
+		}
+	}
+	if same == len(x) {
+		t.Fatal("encryption is the identity")
+	}
+	// Pairwise distances in the encrypted space must NOT match
+	// plaintext distances (the server cannot run k-NN among stored
+	// points).
+	a, _ := key.EncryptVector(ds.Row(1))
+	b, _ := key.EncryptVector(ds.Row(2))
+	plain := float64(vec.SquaredL2(ds.Row(1), ds.Row(2)))
+	var encD float64
+	for i := range a {
+		d := a[i] - b[i]
+		encD += d * d
+	}
+	if math.Abs(plain-encD) < 1e-3 {
+		t.Fatalf("encrypted distance leaks plaintext distance: %v vs %v", encD, plain)
+	}
+}
+
+func TestQueryTokensAreRandomized(t *testing.T) {
+	key, srv, ds := setup(t, 100, 8)
+	q := ds.Queries(1, 0.05, 3)[0]
+	t1, _ := key.EncryptQuery(q)
+	t2, _ := key.EncryptQuery(q)
+	diff := false
+	for i := range t1 {
+		if t1[i] != t2[i] {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Fatal("repeated queries must produce distinct tokens")
+	}
+	// Yet both rank identically.
+	r1, _ := srv.TopK(t1, 5)
+	r2, _ := srv.TopK(t2, 5)
+	for i := range r1 {
+		if r1[i].ID != r2[i].ID {
+			t.Fatal("re-randomized token changed the ranking")
+		}
+	}
+	// Scores differ across tokens (server cannot compare queries).
+	if r1[0].Dist == r2[0].Dist {
+		t.Fatal("scores should be re-scaled per token")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := NewKey(0, 1); err == nil {
+		t.Fatal("want dim error")
+	}
+	key, err := NewKey(4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if key.Dim() != 4 {
+		t.Fatal("Dim wrong")
+	}
+	if _, err := key.EncryptVector([]float32{1}); err == nil {
+		t.Fatal("want vector dim error")
+	}
+	if _, err := key.EncryptQuery([]float32{1}); err == nil {
+		t.Fatal("want query dim error")
+	}
+	srv := NewServer(4)
+	if err := srv.Add(1, []float64{1}); err == nil {
+		t.Fatal("want enc dim error")
+	}
+	if _, err := srv.TopK([]float64{1}, 3); err == nil {
+		t.Fatal("want token dim error")
+	}
+	enc, _ := key.EncryptVector([]float32{1, 2, 3, 4})
+	srv.Add(1, enc) //nolint:errcheck
+	tok, _ := key.EncryptQuery([]float32{1, 2, 3, 4})
+	if _, err := srv.TopK(tok, 0); err == nil {
+		t.Fatal("want k error")
+	}
+	if srv.Len() != 1 {
+		t.Fatal("Len wrong")
+	}
+}
+
+func TestSecureRangeOfSizes(t *testing.T) {
+	// Property-ish sweep: exactness holds across dims and sizes.
+	for _, cfg := range []struct{ n, d int }{{50, 2}, {200, 4}, {300, 32}} {
+		key, err := NewKey(cfg.d, int64(cfg.d))
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := NewServer(cfg.d)
+		ds := dataset.Uniform(cfg.n, cfg.d, int64(cfg.n))
+		for i := 0; i < cfg.n; i++ {
+			enc, _ := key.EncryptVector(ds.Row(i))
+			srv.Add(int64(i), enc) //nolint:errcheck
+		}
+		q := ds.Queries(1, 0.05, 9)[0]
+		tok, _ := key.EncryptQuery(q)
+		got, err := srv.TopK(tok, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		truth := dataset.GroundTruth(vec.SquaredL2, ds, [][]float32{q}, 5)[0]
+		if !sameIDs(got, truth) {
+			t.Fatalf("n=%d d=%d: secure %v truth %v", cfg.n, cfg.d, got, truth)
+		}
+	}
+}
+
+func sameIDs(a, b []topk.Result) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].ID != b[i].ID {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,248 @@
+// Package server exposes the VDBMS over HTTP/JSON — the "simple API"
+// query-interface style of Section 2.1 used by native systems, plus a
+// /query endpoint accepting the full vql language (SELECT / CREATE
+// COLLECTION / CREATE INDEX / INSERT / DELETE) for the SQL-extension
+// style.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"vdbms"
+	"vdbms/internal/vql"
+)
+
+// Server wraps a DB with HTTP handlers.
+type Server struct {
+	db  *vdbms.DB
+	mux *http.ServeMux
+}
+
+// New builds the handler set around db.
+func New(db *vdbms.DB) *Server {
+	s := &Server{db: db, mux: http.NewServeMux()}
+	s.mux.HandleFunc("/collections", s.handleCollections)
+	s.mux.HandleFunc("/collections/", s.handleCollection)
+	s.mux.HandleFunc("/query", s.handleQuery)
+	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+// CreateCollectionRequest is the body of POST /collections.
+type CreateCollectionRequest struct {
+	Name   string       `json:"name"`
+	Schema vdbms.Schema `json:"schema"`
+}
+
+func (s *Server) handleCollections(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		writeJSON(w, http.StatusOK, map[string]any{"collections": s.db.Collections()})
+	case http.MethodPost:
+		var req CreateCollectionRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		if _, err := s.db.CreateCollection(req.Name, req.Schema); err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		writeJSON(w, http.StatusCreated, map[string]string{"name": req.Name})
+	default:
+		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed", r.Method))
+	}
+}
+
+// InsertRequest is the body of POST /collections/{name}/vectors.
+type InsertRequest struct {
+	Vector []float32      `json:"vector"`
+	Attrs  map[string]any `json:"attrs"`
+}
+
+// IndexRequest is the body of POST /collections/{name}/index.
+type IndexRequest struct {
+	Kind string         `json:"kind"`
+	Opts map[string]int `json:"opts"`
+}
+
+// SearchBody mirrors vdbms.SearchRequest for JSON transport.
+type SearchBody struct {
+	Vector       []float32      `json:"vector"`
+	Vectors      [][]float32    `json:"vectors,omitempty"`
+	K            int            `json:"k"`
+	Filters      []vdbms.Filter `json:"filters,omitempty"`
+	Policy       string         `json:"policy,omitempty"`
+	Ef           int            `json:"ef,omitempty"`
+	NProbe       int            `json:"nprobe,omitempty"`
+	Alpha        int            `json:"alpha,omitempty"`
+	EntityColumn string         `json:"entity_column,omitempty"`
+	Aggregator   string         `json:"aggregator,omitempty"`
+}
+
+func (s *Server) handleCollection(w http.ResponseWriter, r *http.Request) {
+	rest := strings.TrimPrefix(r.URL.Path, "/collections/")
+	parts := strings.Split(rest, "/")
+	name := parts[0]
+	if name == "" {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("missing collection name"))
+		return
+	}
+	if len(parts) == 1 {
+		switch r.Method {
+		case http.MethodDelete:
+			if err := s.db.DropCollection(name); err != nil {
+				writeErr(w, http.StatusNotFound, err)
+				return
+			}
+			writeJSON(w, http.StatusOK, map[string]string{"dropped": name})
+		case http.MethodGet:
+			col, err := s.db.Collection(name)
+			if err != nil {
+				writeErr(w, http.StatusNotFound, err)
+				return
+			}
+			kind, covered, dirty := col.IndexInfo()
+			writeJSON(w, http.StatusOK, map[string]any{
+				"name": col.Name(), "dim": col.Dim(), "len": col.Len(),
+				"index": kind, "index_covered": covered, "index_dirty": dirty,
+			})
+		default:
+			writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed", r.Method))
+		}
+		return
+	}
+	col, err := s.db.Collection(name)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed", r.Method))
+		return
+	}
+	switch parts[1] {
+	case "vectors":
+		var req InsertRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		id, err := col.Insert(req.Vector, normalizeAttrs(col, req.Attrs))
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		writeJSON(w, http.StatusCreated, map[string]int64{"id": id})
+	case "index":
+		var req IndexRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		if err := col.CreateIndex(req.Kind, req.Opts); err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		writeJSON(w, http.StatusCreated, map[string]string{"index": req.Kind})
+	case "search":
+		var req SearchBody
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		for i := range req.Filters {
+			req.Filters[i] = normalizeFilter(col, req.Filters[i])
+		}
+		res, err := col.Search(vdbms.SearchRequest{
+			Vector: req.Vector, Vectors: req.Vectors, K: req.K,
+			Filters: req.Filters, Policy: req.Policy, Ef: req.Ef,
+			NProbe: req.NProbe, Alpha: req.Alpha,
+			EntityColumn: req.EntityColumn, Aggregator: req.Aggregator,
+		})
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, res)
+	default:
+		writeErr(w, http.StatusNotFound, fmt.Errorf("unknown action %q", parts[1]))
+	}
+}
+
+// QueryRequest is the body of POST /query.
+type QueryRequest struct {
+	Query string `json:"query"`
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed", r.Method))
+		return
+	}
+	var req QueryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	res, err := vql.Run(s.db, req.Query)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+// normalizeAttrs coerces JSON numbers (always float64 after decoding)
+// to the column's declared type so "cat": 3 binds to int columns while
+// float columns keep float64 values. Unknown columns pass through and
+// fail schema validation downstream.
+func normalizeAttrs(col *vdbms.Collection, attrs map[string]any) map[string]any {
+	if attrs == nil {
+		return nil
+	}
+	types := col.AttributeTypes()
+	out := make(map[string]any, len(attrs))
+	for k, v := range attrs {
+		out[k] = coerce(types[k], v)
+	}
+	return out
+}
+
+func coerce(typ string, v any) any {
+	f, ok := v.(float64)
+	if !ok {
+		return v
+	}
+	if typ == "int" {
+		return int64(f)
+	}
+	return f
+}
+
+func normalizeFilter(col *vdbms.Collection, f vdbms.Filter) vdbms.Filter {
+	typ := col.AttributeTypes()[f.Column]
+	f.Value = coerce(typ, f.Value)
+	for i := range f.Set {
+		f.Set[i] = coerce(typ, f.Set[i])
+	}
+	return f
+}

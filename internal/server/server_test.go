@@ -1,0 +1,185 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"vdbms"
+	"vdbms/internal/dataset"
+)
+
+func doJSON(t *testing.T, h http.Handler, method, path string, body any) (*httptest.ResponseRecorder, map[string]any) {
+	t.Helper()
+	var buf bytes.Buffer
+	if body != nil {
+		if err := json.NewEncoder(&buf).Encode(body); err != nil {
+			t.Fatal(err)
+		}
+	}
+	req := httptest.NewRequest(method, path, &buf)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	out := map[string]any{}
+	if rec.Body.Len() > 0 {
+		_ = json.Unmarshal(rec.Body.Bytes(), &out)
+	}
+	return rec, out
+}
+
+func TestHTTPLifecycle(t *testing.T) {
+	srv := New(vdbms.New())
+
+	rec, _ := doJSON(t, srv, "POST", "/collections", CreateCollectionRequest{
+		Name: "docs",
+		Schema: vdbms.Schema{
+			Dim:        4,
+			Attributes: map[string]string{"cat": "int", "score": "float"},
+		},
+	})
+	if rec.Code != http.StatusCreated {
+		t.Fatalf("create: %d %s", rec.Code, rec.Body)
+	}
+	// Duplicate fails.
+	rec, _ = doJSON(t, srv, "POST", "/collections", CreateCollectionRequest{
+		Name: "docs", Schema: vdbms.Schema{Dim: 4},
+	})
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("duplicate create: %d", rec.Code)
+	}
+	// List.
+	rec, out := doJSON(t, srv, "GET", "/collections", nil)
+	if rec.Code != http.StatusOK || len(out["collections"].([]any)) != 1 {
+		t.Fatalf("list: %d %v", rec.Code, out)
+	}
+	// Insert rows.
+	ds := dataset.Clustered(100, 4, 3, 0.3, 1)
+	for i := 0; i < 100; i++ {
+		rec, out = doJSON(t, srv, "POST", "/collections/docs/vectors", InsertRequest{
+			Vector: ds.Row(i),
+			Attrs:  map[string]any{"cat": i % 5, "score": float64(i) + 0.5},
+		})
+		if rec.Code != http.StatusCreated {
+			t.Fatalf("insert %d: %d %s", i, rec.Code, rec.Body)
+		}
+	}
+	// Collection info.
+	rec, out = doJSON(t, srv, "GET", "/collections/docs", nil)
+	if rec.Code != http.StatusOK || out["len"].(float64) != 100 {
+		t.Fatalf("info: %d %v", rec.Code, out)
+	}
+	// Build index.
+	rec, _ = doJSON(t, srv, "POST", "/collections/docs/index", IndexRequest{Kind: "hnsw", Opts: map[string]int{"m": 8}})
+	if rec.Code != http.StatusCreated {
+		t.Fatalf("index: %d %s", rec.Code, rec.Body)
+	}
+	// Search with an int filter sent as a JSON number.
+	rec, out = doJSON(t, srv, "POST", "/collections/docs/search", SearchBody{
+		Vector: ds.Row(7), K: 5, Ef: 100,
+		Filters: []vdbms.Filter{{Column: "cat", Op: "=", Value: 2.0}},
+	})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("search: %d %s", rec.Code, rec.Body)
+	}
+	hits := out["Hits"].([]any)
+	if len(hits) == 0 {
+		t.Fatal("no hits")
+	}
+	for _, h := range hits {
+		id := int64(h.(map[string]any)["ID"].(float64))
+		if id%5 != 2 {
+			t.Fatalf("filter violated: %d", id)
+		}
+	}
+	// Float filter works too.
+	rec, out = doJSON(t, srv, "POST", "/collections/docs/search", SearchBody{
+		Vector: ds.Row(7), K: 5,
+		Filters: []vdbms.Filter{{Column: "score", Op: "<", Value: 50}},
+	})
+	if rec.Code != http.StatusOK || len(out["Hits"].([]any)) == 0 {
+		t.Fatalf("float filter: %d %v", rec.Code, out)
+	}
+	// VQL endpoint.
+	rec, out = doJSON(t, srv, "POST", "/query", QueryRequest{
+		Query: fmt.Sprintf("SELECT 3 FROM docs NEAR [%f, %f, %f, %f]", ds.Row(7)[0], ds.Row(7)[1], ds.Row(7)[2], ds.Row(7)[3]),
+	})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("vql: %d %s", rec.Code, rec.Body)
+	}
+	search := out["Search"].(map[string]any)
+	if hits := search["Hits"].([]any); int64(hits[0].(map[string]any)["ID"].(float64)) != 7 {
+		t.Fatalf("vql hits: %v", hits)
+	}
+	// DDL and DML through /query.
+	rec, out = doJSON(t, srv, "POST", "/query", QueryRequest{Query: "CREATE COLLECTION q2 DIM 2"})
+	if rec.Code != http.StatusOK || out["Kind"].(string) != "create_collection" {
+		t.Fatalf("vql create: %d %v", rec.Code, out)
+	}
+	rec, out = doJSON(t, srv, "POST", "/query", QueryRequest{Query: "INSERT INTO q2 VECTOR [1, 2]"})
+	if rec.Code != http.StatusOK || out["Kind"].(string) != "insert" {
+		t.Fatalf("vql insert: %d %v", rec.Code, out)
+	}
+	// Drop.
+	rec, _ = doJSON(t, srv, "DELETE", "/collections/docs", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("drop: %d", rec.Code)
+	}
+	rec, _ = doJSON(t, srv, "DELETE", "/collections/docs", nil)
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("double drop: %d", rec.Code)
+	}
+}
+
+func TestHTTPErrors(t *testing.T) {
+	srv := New(vdbms.New())
+	cases := []struct {
+		method, path string
+		body         any
+		want         int
+	}{
+		{"PUT", "/collections", nil, http.StatusMethodNotAllowed},
+		{"GET", "/collections/missing", nil, http.StatusNotFound},
+		{"POST", "/collections/missing/search", SearchBody{}, http.StatusNotFound},
+		{"POST", "/query", QueryRequest{Query: "garbage"}, http.StatusBadRequest},
+		{"GET", "/query", nil, http.StatusMethodNotAllowed},
+		{"POST", "/collections/", nil, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		rec, _ := doJSON(t, srv, tc.method, tc.path, tc.body)
+		if rec.Code != tc.want {
+			t.Fatalf("%s %s: %d, want %d", tc.method, tc.path, rec.Code, tc.want)
+		}
+	}
+	// Bad JSON body.
+	req := httptest.NewRequest("POST", "/collections", bytes.NewBufferString("{"))
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("bad json: %d", rec.Code)
+	}
+	// Health.
+	req = httptest.NewRequest("GET", "/healthz", nil)
+	rec = httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("health: %d", rec.Code)
+	}
+	// Unknown action and wrong method on subresource.
+	if _, err := vdbms.New().CreateCollection("c", vdbms.Schema{Dim: 2}); err != nil {
+		t.Fatal(err)
+	}
+	srv2db := vdbms.New()
+	srv2db.CreateCollection("c", vdbms.Schema{Dim: 2})
+	srv2 := New(srv2db)
+	rec2, _ := doJSON(t, srv2, "POST", "/collections/c/bogus", map[string]any{})
+	if rec2.Code != http.StatusNotFound {
+		t.Fatalf("unknown action: %d", rec2.Code)
+	}
+	rec2, _ = doJSON(t, srv2, "GET", "/collections/c/search", nil)
+	if rec2.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("wrong method: %d", rec2.Code)
+	}
+}

@@ -1,0 +1,66 @@
+package storage
+
+import (
+	"math/rand"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+)
+
+// Property: any random matrix written through WriteDiskStore reads
+// back bit-identical through every cache configuration.
+func TestDiskStoreRoundTripProperty(t *testing.T) {
+	dir := t.TempDir()
+	counter := 0
+	f := func(seed int64, nRaw, dRaw uint8, pageRaw uint8, cacheRaw uint8) bool {
+		counter++
+		n := int(nRaw%50) + 1
+		d := int(dRaw%16) + 1
+		rng := rand.New(rand.NewSource(seed))
+		flat := make([]float32, n*d)
+		for i := range flat {
+			flat[i] = rng.Float32()*2000 - 1000
+		}
+		mem := FromFlat(d, flat)
+		// Page must fit one vector.
+		pageSize := d*4 + int(pageRaw%64)*4
+		path := filepath.Join(dir, "p"+itoa(counter)+".vdb")
+		if err := WriteDiskStore(path, mem, pageSize); err != nil {
+			return false
+		}
+		disk, err := OpenDiskStore(path, int(cacheRaw%8))
+		if err != nil {
+			return false
+		}
+		defer disk.Close()
+		if disk.Count() != n || disk.Dim() != d {
+			return false
+		}
+		buf := make([]float32, d)
+		// Random access order.
+		for _, id := range rng.Perm(n) {
+			buf = disk.Vector(id, buf)
+			for j := 0; j < d; j++ {
+				if buf[j] != flat[id*d+j] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var b []byte
+	for i > 0 {
+		b = append([]byte{byte('0' + i%10)}, b...)
+		i /= 10
+	}
+	return string(b)
+}

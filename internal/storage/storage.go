@@ -1,0 +1,368 @@
+// Package storage implements the Vector Storage box of Figure 1: a
+// growable in-memory column of float32 vectors and a paged disk store
+// with an LRU page cache. The disk store counts page reads so the
+// disk-index experiments (E7) and the planner cost model can reason
+// about I/O, which the paper identifies as the dominant cost for
+// large vectors ("each vector may be large, possibly spanning multiple
+// disk pages").
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"os"
+	"sync"
+)
+
+// VectorStore is the read interface shared by the memory and disk
+// stores. Ids are dense row numbers in [0, Count).
+type VectorStore interface {
+	Dim() int
+	Count() int
+	// Vector materializes row id into dst (allocating when dst is nil
+	// or too small) and returns the slice.
+	Vector(id int, dst []float32) []float32
+}
+
+// MemStore is an append-only in-memory vector column.
+type MemStore struct {
+	mu   sync.RWMutex
+	dim  int
+	data []float32
+	n    int
+}
+
+// NewMemStore creates an empty store for vectors of dimension dim.
+func NewMemStore(dim int) *MemStore {
+	if dim <= 0 {
+		panic("storage: dimension must be positive")
+	}
+	return &MemStore{dim: dim}
+}
+
+// FromRows builds a MemStore holding copies of the given rows.
+func FromRows(dim int, rows [][]float32) (*MemStore, error) {
+	s := NewMemStore(dim)
+	for i, r := range rows {
+		if _, err := s.Append(r); err != nil {
+			return nil, fmt.Errorf("row %d: %w", i, err)
+		}
+	}
+	return s, nil
+}
+
+// FromFlat wraps an existing row-major matrix without copying.
+func FromFlat(dim int, flat []float32) *MemStore {
+	if dim <= 0 || len(flat)%dim != 0 {
+		panic("storage: flat data not a multiple of dim")
+	}
+	return &MemStore{dim: dim, data: flat, n: len(flat) / dim}
+}
+
+// Dim returns the vector dimensionality.
+func (s *MemStore) Dim() int { return s.dim }
+
+// Count returns the number of stored vectors.
+func (s *MemStore) Count() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.n
+}
+
+// Append copies v into the store and returns its id.
+func (s *MemStore) Append(v []float32) (int, error) {
+	if len(v) != s.dim {
+		return 0, fmt.Errorf("storage: vector dim %d, store dim %d", len(v), s.dim)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.data = append(s.data, v...)
+	s.n++
+	return s.n - 1, nil
+}
+
+// Vector implements VectorStore.
+func (s *MemStore) Vector(id int, dst []float32) []float32 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if id < 0 || id >= s.n {
+		panic(fmt.Sprintf("storage: id %d out of range [0,%d)", id, s.n))
+	}
+	if cap(dst) < s.dim {
+		dst = make([]float32, s.dim)
+	}
+	dst = dst[:s.dim]
+	copy(dst, s.data[id*s.dim:(id+1)*s.dim])
+	return dst
+}
+
+// Raw returns the backing row-major data. Callers must not mutate it
+// and must not retain it across Appends.
+func (s *MemStore) Raw() []float32 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.data[:s.n*s.dim]
+}
+
+// RowView returns a zero-copy view of a row. The view is invalidated
+// by Append; intended for bulk read-only passes (index builds).
+func (s *MemStore) RowView(id int) []float32 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.data[id*s.dim : (id+1)*s.dim]
+}
+
+// IOStats counts page-granular disk activity.
+type IOStats struct {
+	Reads     int64 // pages fetched from disk
+	CacheHits int64 // pages served from the LRU cache
+	Writes    int64 // pages written
+}
+
+// DiskStore is a page-organized read-mostly vector file:
+//
+//	header: magic, dim, count, pageSize, vectorsPerPage
+//	pages:  fixed-size pages each holding vectorsPerPage vectors
+//
+// Reads go through an LRU page cache; every miss increments
+// Stats.Reads so experiments can report I/Os per query.
+type DiskStore struct {
+	mu       sync.Mutex
+	f        *os.File
+	dim      int
+	count    int
+	pageSize int
+	perPage  int
+	cache    *pageCache
+	stats    IOStats
+}
+
+const diskMagic = uint32(0x5644424d) // "VDBM"
+
+const headerSize = 4 * 5
+
+// WriteDiskStore serializes vectors from src into path using the given
+// page size (bytes). pageSize must fit at least one vector.
+func WriteDiskStore(path string, src VectorStore, pageSize int) error {
+	dim := src.Dim()
+	vecBytes := dim * 4
+	if pageSize < vecBytes {
+		return fmt.Errorf("storage: page size %d smaller than one vector (%d bytes)", pageSize, vecBytes)
+	}
+	perPage := pageSize / vecBytes
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	hdr := make([]byte, headerSize)
+	binary.LittleEndian.PutUint32(hdr[0:], diskMagic)
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(dim))
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(src.Count()))
+	binary.LittleEndian.PutUint32(hdr[12:], uint32(pageSize))
+	binary.LittleEndian.PutUint32(hdr[16:], uint32(perPage))
+	if _, err := f.Write(hdr); err != nil {
+		return err
+	}
+	page := make([]byte, pageSize)
+	buf := make([]float32, dim)
+	inPage := 0
+	for id := 0; id < src.Count(); id++ {
+		buf = src.Vector(id, buf)
+		off := inPage * vecBytes
+		for j, x := range buf {
+			binary.LittleEndian.PutUint32(page[off+j*4:], math.Float32bits(x))
+		}
+		inPage++
+		if inPage == perPage {
+			if _, err := f.Write(page); err != nil {
+				return err
+			}
+			inPage = 0
+			for i := range page {
+				page[i] = 0
+			}
+		}
+	}
+	if inPage > 0 {
+		if _, err := f.Write(page); err != nil {
+			return err
+		}
+	}
+	return f.Sync()
+}
+
+// OpenDiskStore opens a file written by WriteDiskStore with an LRU
+// cache of cachePages pages (0 disables caching).
+func OpenDiskStore(path string, cachePages int) (*DiskStore, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	hdr := make([]byte, headerSize)
+	if _, err := f.ReadAt(hdr, 0); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("storage: reading header: %w", err)
+	}
+	if binary.LittleEndian.Uint32(hdr[0:]) != diskMagic {
+		f.Close()
+		return nil, fmt.Errorf("storage: %s is not a vdbms vector file", path)
+	}
+	ds := &DiskStore{
+		f:        f,
+		dim:      int(binary.LittleEndian.Uint32(hdr[4:])),
+		count:    int(binary.LittleEndian.Uint32(hdr[8:])),
+		pageSize: int(binary.LittleEndian.Uint32(hdr[12:])),
+		perPage:  int(binary.LittleEndian.Uint32(hdr[16:])),
+	}
+	if cachePages > 0 {
+		ds.cache = newPageCache(cachePages)
+	}
+	return ds, nil
+}
+
+// Close releases the file handle.
+func (ds *DiskStore) Close() error { return ds.f.Close() }
+
+// Dim implements VectorStore.
+func (ds *DiskStore) Dim() int { return ds.dim }
+
+// Count implements VectorStore.
+func (ds *DiskStore) Count() int { return ds.count }
+
+// Stats returns a snapshot of I/O counters.
+func (ds *DiskStore) Stats() IOStats {
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	return ds.stats
+}
+
+// ResetStats zeroes the I/O counters.
+func (ds *DiskStore) ResetStats() {
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	ds.stats = IOStats{}
+}
+
+// PageOf returns the page number holding vector id. Exposed so disk
+// indexes can co-locate graph neighborhoods with vector pages.
+func (ds *DiskStore) PageOf(id int) int { return id / ds.perPage }
+
+// Vector implements VectorStore, fetching (and caching) the page that
+// holds id.
+func (ds *DiskStore) Vector(id int, dst []float32) []float32 {
+	if id < 0 || id >= ds.count {
+		panic(fmt.Sprintf("storage: id %d out of range [0,%d)", id, ds.count))
+	}
+	page := ds.readPage(id / ds.perPage)
+	off := (id % ds.perPage) * ds.dim * 4
+	if cap(dst) < ds.dim {
+		dst = make([]float32, ds.dim)
+	}
+	dst = dst[:ds.dim]
+	for j := 0; j < ds.dim; j++ {
+		dst[j] = math.Float32frombits(binary.LittleEndian.Uint32(page[off+j*4:]))
+	}
+	return dst
+}
+
+func (ds *DiskStore) readPage(pno int) []byte {
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	if ds.cache != nil {
+		if p, ok := ds.cache.get(pno); ok {
+			ds.stats.CacheHits++
+			return p
+		}
+	}
+	buf := make([]byte, ds.pageSize)
+	off := int64(headerSize) + int64(pno)*int64(ds.pageSize)
+	if _, err := ds.f.ReadAt(buf, off); err != nil {
+		panic(fmt.Sprintf("storage: page %d read failed: %v", pno, err))
+	}
+	ds.stats.Reads++
+	if ds.cache != nil {
+		ds.cache.put(pno, buf)
+	}
+	return buf
+}
+
+// pageCache is a tiny LRU keyed by page number.
+type pageCache struct {
+	cap   int
+	m     map[int]*pageNode
+	head  *pageNode // most recent
+	tail  *pageNode // least recent
+	count int
+}
+
+type pageNode struct {
+	key        int
+	data       []byte
+	prev, next *pageNode
+}
+
+func newPageCache(capacity int) *pageCache {
+	return &pageCache{cap: capacity, m: make(map[int]*pageNode, capacity)}
+}
+
+func (c *pageCache) get(key int) ([]byte, bool) {
+	n, ok := c.m[key]
+	if !ok {
+		return nil, false
+	}
+	c.moveToFront(n)
+	return n.data, true
+}
+
+func (c *pageCache) put(key int, data []byte) {
+	if n, ok := c.m[key]; ok {
+		n.data = data
+		c.moveToFront(n)
+		return
+	}
+	n := &pageNode{key: key, data: data}
+	c.m[key] = n
+	n.next = c.head
+	if c.head != nil {
+		c.head.prev = n
+	}
+	c.head = n
+	if c.tail == nil {
+		c.tail = n
+	}
+	c.count++
+	if c.count > c.cap {
+		evict := c.tail
+		c.tail = evict.prev
+		if c.tail != nil {
+			c.tail.next = nil
+		} else {
+			c.head = nil
+		}
+		delete(c.m, evict.key)
+		c.count--
+	}
+}
+
+func (c *pageCache) moveToFront(n *pageNode) {
+	if c.head == n {
+		return
+	}
+	if n.prev != nil {
+		n.prev.next = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	}
+	if c.tail == n {
+		c.tail = n.prev
+	}
+	n.prev = nil
+	n.next = c.head
+	if c.head != nil {
+		c.head.prev = n
+	}
+	c.head = n
+}

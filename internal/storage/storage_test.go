@@ -1,0 +1,181 @@
+package storage
+
+import (
+	"path/filepath"
+	"testing"
+
+	"vdbms/internal/dataset"
+)
+
+func TestMemStoreAppendAndRead(t *testing.T) {
+	s := NewMemStore(3)
+	id, err := s.Append([]float32{1, 2, 3})
+	if err != nil || id != 0 {
+		t.Fatalf("Append: id=%d err=%v", id, err)
+	}
+	id2, _ := s.Append([]float32{4, 5, 6})
+	if id2 != 1 || s.Count() != 2 {
+		t.Fatalf("second append: id=%d count=%d", id2, s.Count())
+	}
+	v := s.Vector(1, nil)
+	if v[0] != 4 || v[2] != 6 {
+		t.Fatalf("Vector = %v", v)
+	}
+	// Reuse a dst buffer.
+	buf := make([]float32, 3)
+	got := s.Vector(0, buf)
+	if &got[0] != &buf[0] || got[1] != 2 {
+		t.Fatal("dst buffer not reused")
+	}
+}
+
+func TestMemStoreDimCheck(t *testing.T) {
+	s := NewMemStore(2)
+	if _, err := s.Append([]float32{1}); err == nil {
+		t.Fatal("want dim error")
+	}
+}
+
+func TestMemStorePanicsOutOfRange(t *testing.T) {
+	s := NewMemStore(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	s.Vector(0, nil)
+}
+
+func TestFromRowsAndFlat(t *testing.T) {
+	s, err := FromRows(2, [][]float32{{1, 2}, {3, 4}})
+	if err != nil || s.Count() != 2 {
+		t.Fatalf("FromRows: %v %d", err, s.Count())
+	}
+	if _, err := FromRows(2, [][]float32{{1}}); err == nil {
+		t.Fatal("want error for short row")
+	}
+	f := FromFlat(2, []float32{1, 2, 3, 4, 5, 6})
+	if f.Count() != 3 || f.RowView(2)[1] != 6 {
+		t.Fatal("FromFlat wrong")
+	}
+	raw := f.Raw()
+	if len(raw) != 6 {
+		t.Fatalf("Raw len %d", len(raw))
+	}
+}
+
+func TestDiskStoreRoundTrip(t *testing.T) {
+	ds := dataset.Uniform(97, 5, 3) // 97 vectors: exercises partial last page
+	mem := FromFlat(5, ds.Data)
+	path := filepath.Join(t.TempDir(), "vecs.vdb")
+	if err := WriteDiskStore(path, mem, 64); err != nil { // 64B page = 3 vectors/page
+		t.Fatal(err)
+	}
+	disk, err := OpenDiskStore(path, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer disk.Close()
+	if disk.Dim() != 5 || disk.Count() != 97 {
+		t.Fatalf("header: dim=%d count=%d", disk.Dim(), disk.Count())
+	}
+	for id := 0; id < 97; id++ {
+		got := disk.Vector(id, nil)
+		want := mem.RowView(id)
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("id %d dim %d: %v != %v", id, j, got[j], want[j])
+			}
+		}
+	}
+}
+
+func TestDiskStoreIOStats(t *testing.T) {
+	mem := FromFlat(2, dataset.Uniform(40, 2, 1).Data)
+	path := filepath.Join(t.TempDir(), "v.vdb")
+	if err := WriteDiskStore(path, mem, 16); err != nil { // 2 vectors per page
+		t.Fatal(err)
+	}
+	disk, err := OpenDiskStore(path, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer disk.Close()
+
+	disk.Vector(0, nil) // miss
+	disk.Vector(1, nil) // hit (same page)
+	disk.Vector(2, nil) // miss
+	disk.Vector(0, nil) // hit (page 0 still cached, cap 2)
+	st := disk.Stats()
+	if st.Reads != 2 || st.CacheHits != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// Evict: touch pages 2 and 3, then page 0 must miss again.
+	disk.Vector(4, nil)
+	disk.Vector(6, nil)
+	disk.Vector(0, nil)
+	if got := disk.Stats().Reads; got != 5 {
+		t.Fatalf("after eviction reads = %d, want 5", got)
+	}
+	disk.ResetStats()
+	if disk.Stats().Reads != 0 {
+		t.Fatal("ResetStats failed")
+	}
+}
+
+func TestDiskStoreNoCache(t *testing.T) {
+	mem := FromFlat(2, []float32{1, 2, 3, 4})
+	path := filepath.Join(t.TempDir(), "v.vdb")
+	if err := WriteDiskStore(path, mem, 16); err != nil {
+		t.Fatal(err)
+	}
+	disk, err := OpenDiskStore(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer disk.Close()
+	disk.Vector(0, nil)
+	disk.Vector(0, nil)
+	if st := disk.Stats(); st.Reads != 2 || st.CacheHits != 0 {
+		t.Fatalf("uncached stats = %+v", st)
+	}
+}
+
+func TestDiskStoreErrors(t *testing.T) {
+	mem := FromFlat(4, []float32{1, 2, 3, 4})
+	dir := t.TempDir()
+	if err := WriteDiskStore(filepath.Join(dir, "x"), mem, 8); err == nil {
+		t.Fatal("want error: page smaller than vector")
+	}
+	if _, err := OpenDiskStore(filepath.Join(dir, "missing"), 0); err == nil {
+		t.Fatal("want error for missing file")
+	}
+	// Corrupt magic.
+	bad := filepath.Join(dir, "bad")
+	if err := writeFile(bad, make([]byte, 64)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenDiskStore(bad, 0); err == nil {
+		t.Fatal("want error for bad magic")
+	}
+}
+
+func TestPageOf(t *testing.T) {
+	mem := FromFlat(2, dataset.Uniform(10, 2, 1).Data)
+	path := filepath.Join(t.TempDir(), "v.vdb")
+	if err := WriteDiskStore(path, mem, 24); err != nil { // 3 per page
+		t.Fatal(err)
+	}
+	disk, err := OpenDiskStore(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer disk.Close()
+	if disk.PageOf(0) != 0 || disk.PageOf(2) != 0 || disk.PageOf(3) != 1 {
+		t.Fatal("PageOf wrong")
+	}
+}
+
+func writeFile(path string, data []byte) error {
+	return osWriteFile(path, data)
+}

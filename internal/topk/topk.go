@@ -1,0 +1,192 @@
+// Package topk implements the bounded result collectors behind the
+// Sort/Top-K operator of Figure 1. A Collector keeps the k smallest
+// distances seen so far using a binary max-heap, so insertion is
+// O(log k) and scans can prune with Worst().
+package topk
+
+import "sort"
+
+// Result is one search hit: a row id and its distance to the query.
+type Result struct {
+	ID   int64
+	Dist float32
+}
+
+// Collector accumulates the k results with the smallest distances.
+// It is not safe for concurrent use.
+type Collector struct {
+	k    int
+	heap []Result // max-heap on Dist
+}
+
+// NewCollector returns a collector for the k nearest results. k must
+// be positive.
+func NewCollector(k int) *Collector {
+	if k <= 0 {
+		panic("topk: k must be positive")
+	}
+	return &Collector{k: k, heap: make([]Result, 0, k)}
+}
+
+// K returns the requested result count.
+func (c *Collector) K() int { return c.k }
+
+// Len returns how many results are currently held.
+func (c *Collector) Len() int { return len(c.heap) }
+
+// Full reports whether k results are held.
+func (c *Collector) Full() bool { return len(c.heap) == c.k }
+
+// Worst returns the largest distance currently kept. It is only
+// meaningful when Full(); callers use it as a pruning bound.
+func (c *Collector) Worst() float32 {
+	if len(c.heap) == 0 {
+		return 0
+	}
+	return c.heap[0].Dist
+}
+
+// Push offers a candidate. It returns true if the candidate was kept
+// (i.e. the heap was not full or the candidate beat the worst entry).
+func (c *Collector) Push(id int64, dist float32) bool {
+	if len(c.heap) < c.k {
+		c.heap = append(c.heap, Result{ID: id, Dist: dist})
+		c.siftUp(len(c.heap) - 1)
+		return true
+	}
+	if dist >= c.heap[0].Dist {
+		return false
+	}
+	c.heap[0] = Result{ID: id, Dist: dist}
+	c.siftDown(0)
+	return true
+}
+
+// WouldAccept reports whether a candidate at dist would be kept,
+// without inserting it.
+func (c *Collector) WouldAccept(dist float32) bool {
+	return len(c.heap) < c.k || dist < c.heap[0].Dist
+}
+
+// Results returns the collected hits sorted by ascending distance
+// (ties broken by id for determinism). The collector remains usable.
+func (c *Collector) Results() []Result {
+	out := make([]Result, len(c.heap))
+	copy(out, c.heap)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Dist != out[j].Dist {
+			return out[i].Dist < out[j].Dist
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// Reset empties the collector, keeping capacity.
+func (c *Collector) Reset() { c.heap = c.heap[:0] }
+
+func (c *Collector) siftUp(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if c.heap[p].Dist >= c.heap[i].Dist {
+			return
+		}
+		c.heap[p], c.heap[i] = c.heap[i], c.heap[p]
+		i = p
+	}
+}
+
+func (c *Collector) siftDown(i int) {
+	n := len(c.heap)
+	for {
+		l, r := 2*i+1, 2*i+2
+		largest := i
+		if l < n && c.heap[l].Dist > c.heap[largest].Dist {
+			largest = l
+		}
+		if r < n && c.heap[r].Dist > c.heap[largest].Dist {
+			largest = r
+		}
+		if largest == i {
+			return
+		}
+		c.heap[i], c.heap[largest] = c.heap[largest], c.heap[i]
+		i = largest
+	}
+}
+
+// Merge folds the other collector's results into c. Used by
+// scatter-gather to combine per-shard top-k sets.
+func (c *Collector) Merge(other *Collector) {
+	for _, r := range other.heap {
+		c.Push(r.ID, r.Dist)
+	}
+}
+
+// MergeResults merges pre-sorted or unsorted result slices into a
+// single ascending top-k slice.
+func MergeResults(k int, lists ...[]Result) []Result {
+	c := NewCollector(k)
+	for _, l := range lists {
+		for _, r := range l {
+			c.Push(r.ID, r.Dist)
+		}
+	}
+	return c.Results()
+}
+
+// MinQueue is a binary min-heap on distance used as the frontier of
+// graph best-first search (NSW/HNSW/Vamana beam search).
+type MinQueue struct {
+	items []Result
+}
+
+// Len returns the queue size.
+func (q *MinQueue) Len() int { return len(q.items) }
+
+// Push inserts a candidate.
+func (q *MinQueue) Push(id int64, dist float32) {
+	q.items = append(q.items, Result{ID: id, Dist: dist})
+	i := len(q.items) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if q.items[p].Dist <= q.items[i].Dist {
+			break
+		}
+		q.items[p], q.items[i] = q.items[i], q.items[p]
+		i = p
+	}
+}
+
+// Pop removes and returns the smallest-distance item. It panics on an
+// empty queue.
+func (q *MinQueue) Pop() Result {
+	top := q.items[0]
+	last := len(q.items) - 1
+	q.items[0] = q.items[last]
+	q.items = q.items[:last]
+	i := 0
+	n := len(q.items)
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && q.items[l].Dist < q.items[smallest].Dist {
+			smallest = l
+		}
+		if r < n && q.items[r].Dist < q.items[smallest].Dist {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		q.items[i], q.items[smallest] = q.items[smallest], q.items[i]
+		i = smallest
+	}
+	return top
+}
+
+// Peek returns the smallest item without removing it.
+func (q *MinQueue) Peek() Result { return q.items[0] }
+
+// Reset empties the queue, keeping capacity.
+func (q *MinQueue) Reset() { q.items = q.items[:0] }

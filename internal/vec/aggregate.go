@@ -1,0 +1,121 @@
+package vec
+
+import (
+	"fmt"
+	"math"
+)
+
+// Aggregate scores (Section 2.1) combine the pairwise scores of
+// multi-vector entities — e.g. several face shots per person or
+// several passages per document — into one scalar that ordinary top-k
+// machinery can order.
+
+// Aggregator reduces the cross-distance matrix between the query
+// vectors and the entity vectors to a single distance.
+type Aggregator int
+
+const (
+	// AggMin keeps the single best (smallest) pairwise distance: an
+	// entity matches if any of its vectors matches any query vector.
+	AggMin Aggregator = iota
+	// AggMean averages all pairwise distances.
+	AggMean
+	// AggMax keeps the worst pairwise distance (robust "all vectors
+	// must match" semantics).
+	AggMax
+	// AggWeightedSum applies caller-provided per-query-vector weights
+	// to the minimum distance each query vector achieves.
+	AggWeightedSum
+)
+
+// String names the aggregator for CLI/API use.
+func (a Aggregator) String() string {
+	switch a {
+	case AggMin:
+		return "min"
+	case AggMean:
+		return "mean"
+	case AggMax:
+		return "max"
+	case AggWeightedSum:
+		return "weighted_sum"
+	default:
+		return fmt.Sprintf("agg(%d)", int(a))
+	}
+}
+
+// ParseAggregator is the inverse of String.
+func ParseAggregator(s string) (Aggregator, error) {
+	switch s {
+	case "min":
+		return AggMin, nil
+	case "mean":
+		return AggMean, nil
+	case "max":
+		return AggMax, nil
+	case "weighted_sum":
+		return AggWeightedSum, nil
+	}
+	return 0, fmt.Errorf("vec: unknown aggregator %q", s)
+}
+
+// AggregateDistance computes the aggregate distance between a set of
+// query vectors and a set of entity vectors under fn. weights is used
+// only by AggWeightedSum and must then have one entry per query
+// vector; pass nil otherwise.
+func AggregateDistance(agg Aggregator, fn DistanceFunc, queries, entity [][]float32, weights []float32) float32 {
+	if len(queries) == 0 || len(entity) == 0 {
+		return float32(math.Inf(1))
+	}
+	switch agg {
+	case AggMin:
+		best := float32(math.Inf(1))
+		for _, q := range queries {
+			for _, e := range entity {
+				if d := fn(q, e); d < best {
+					best = d
+				}
+			}
+		}
+		return best
+	case AggMean:
+		var sum float32
+		for _, q := range queries {
+			for _, e := range entity {
+				sum += fn(q, e)
+			}
+		}
+		return sum / float32(len(queries)*len(entity))
+	case AggMax:
+		worst := float32(math.Inf(-1))
+		for _, q := range queries {
+			best := float32(math.Inf(1))
+			for _, e := range entity {
+				if d := fn(q, e); d < best {
+					best = d
+				}
+			}
+			if best > worst {
+				worst = best
+			}
+		}
+		return worst
+	case AggWeightedSum:
+		if len(weights) != len(queries) {
+			panic("vec: AggWeightedSum needs one weight per query vector")
+		}
+		var sum float32
+		for i, q := range queries {
+			best := float32(math.Inf(1))
+			for _, e := range entity {
+				if d := fn(q, e); d < best {
+					best = d
+				}
+			}
+			sum += weights[i] * best
+		}
+		return sum
+	default:
+		panic("vec: unknown aggregator")
+	}
+}

@@ -1,0 +1,160 @@
+package vec
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAggregateMinMeanMax(t *testing.T) {
+	q := [][]float32{{0, 0}, {10, 0}}
+	e := [][]float32{{1, 0}, {10, 1}}
+	// Pairwise squared L2:
+	//   q0-e0: 1    q0-e1: 101
+	//   q1-e0: 81   q1-e1: 1
+	if got := AggregateDistance(AggMin, SquaredL2, q, e, nil); got != 1 {
+		t.Fatalf("min = %v, want 1", got)
+	}
+	if got := AggregateDistance(AggMean, SquaredL2, q, e, nil); got != 46 {
+		t.Fatalf("mean = %v, want 46", got)
+	}
+	// AggMax: per-query best is 1 (q0) and 1 (q1); worst of those = 1.
+	if got := AggregateDistance(AggMax, SquaredL2, q, e, nil); got != 1 {
+		t.Fatalf("max = %v, want 1", got)
+	}
+}
+
+func TestAggregateWeightedSum(t *testing.T) {
+	q := [][]float32{{0, 0}, {10, 0}}
+	e := [][]float32{{1, 0}}
+	// best per query vector: 1 and 81
+	got := AggregateDistance(AggWeightedSum, SquaredL2, q, e, []float32{0.5, 0.25})
+	want := float32(0.5*1 + 0.25*81)
+	if got != want {
+		t.Fatalf("weighted = %v, want %v", got, want)
+	}
+}
+
+func TestAggregateWeightedSumPanicsOnBadWeights(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for wrong weight count")
+		}
+	}()
+	AggregateDistance(AggWeightedSum, SquaredL2, [][]float32{{0}}, [][]float32{{1}}, nil)
+}
+
+func TestAggregateEmptyIsInf(t *testing.T) {
+	got := AggregateDistance(AggMin, SquaredL2, nil, [][]float32{{1}}, nil)
+	if !math.IsInf(float64(got), 1) {
+		t.Fatalf("empty queries = %v, want +inf", got)
+	}
+}
+
+func TestAggregatorRoundTrip(t *testing.T) {
+	for _, a := range []Aggregator{AggMin, AggMean, AggMax, AggWeightedSum} {
+		got, err := ParseAggregator(a.String())
+		if err != nil || got != a {
+			t.Fatalf("round trip %v -> %v err=%v", a, got, err)
+		}
+	}
+	if _, err := ParseAggregator("nope"); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestLearnDiagonalMetricSeparates(t *testing.T) {
+	// Dimension 0 carries the signal: similar pairs agree on it,
+	// dissimilar pairs differ strongly. Dimension 1 is pure noise that
+	// differs within similar pairs too.
+	pairs := []Pair{
+		{A: []float32{0, 0}, B: []float32{0.1, 5}, Similar: true},
+		{A: []float32{1, 2}, B: []float32{0.9, -4}, Similar: true},
+		{A: []float32{0, 0}, B: []float32{10, 0.1}, Similar: false},
+		{A: []float32{1, 1}, B: []float32{-9, 1.2}, Similar: false},
+	}
+	mh, err := LearnDiagonalMetric(pairs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The learned metric must weight dim 0 far above dim 1.
+	d0 := mh.Distance([]float32{0, 0}, []float32{1, 0})
+	d1 := mh.Distance([]float32{0, 0}, []float32{0, 1})
+	if d0 <= d1 {
+		t.Fatalf("learned metric did not upweight the signal dim: d0=%v d1=%v", d0, d1)
+	}
+}
+
+func TestLearnDiagonalMetricErrors(t *testing.T) {
+	if _, err := LearnDiagonalMetric(nil, 0); err == nil {
+		t.Fatal("want error for dim=0")
+	}
+	onlySim := []Pair{{A: []float32{0}, B: []float32{1}, Similar: true}}
+	if _, err := LearnDiagonalMetric(onlySim, 1); err == nil {
+		t.Fatal("want error when a class of pairs is missing")
+	}
+	bad := []Pair{
+		{A: []float32{0}, B: []float32{1, 2}, Similar: true},
+	}
+	if _, err := LearnDiagonalMetric(bad, 1); err == nil {
+		t.Fatal("want error for dimension mismatch")
+	}
+}
+
+func TestSelectMetricPrefersMatchingScore(t *testing.T) {
+	// Base vectors on a circle: cosine and L2 agree for unit vectors,
+	// so build data where magnitude misleads L2 but direction defines
+	// the truth, making cosine the right score.
+	base := [][]float32{
+		{10, 0},   // same direction as query, large magnitude
+		{0.1, 0},  // same direction, small magnitude
+		{0, 1},    // orthogonal, close to query in L2
+		{0.6, .8}, // diagonal
+	}
+	queries := [][]float32{{0.5, 0}}
+	truth := [][]int{{0, 1}} // the two same-direction vectors
+	name, recalls := SelectMetric(DefaultCandidates(), base, queries, truth, 2)
+	if name != "cosine" {
+		t.Fatalf("SelectMetric picked %q (recalls=%v), want cosine", name, recalls)
+	}
+	if recalls["cosine"] != 1 {
+		t.Fatalf("cosine recall = %v, want 1", recalls["cosine"])
+	}
+}
+
+func TestSelectMetricDegenerate(t *testing.T) {
+	name, recalls := SelectMetric(DefaultCandidates(), nil, nil, nil, 0)
+	if name != "" || recalls != nil {
+		t.Fatalf("degenerate call: %q %v", name, recalls)
+	}
+}
+
+func TestRelativeContrastShrinksWithDimension(t *testing.T) {
+	// i.i.d. uniform data: contrast at d=2 must exceed contrast at
+	// d=256 (curse of dimensionality).
+	mk := func(d, n int, seed int64) ([][]float32, []float32) {
+		rng := newTestRNG(seed)
+		base := make([][]float32, n)
+		for i := range base {
+			v := make([]float32, d)
+			for j := range v {
+				v[j] = rng.Float32()
+			}
+			base[i] = v
+		}
+		q := make([]float32, d)
+		for j := range q {
+			q[j] = rng.Float32()
+		}
+		return base, q
+	}
+	baseLo, qLo := mk(2, 400, 1)
+	baseHi, qHi := mk(256, 400, 2)
+	lo := RelativeContrast(SquaredL2, baseLo, qLo)
+	hi := RelativeContrast(SquaredL2, baseHi, qHi)
+	if lo <= hi {
+		t.Fatalf("contrast should shrink with dimension: d=2 %v, d=256 %v", lo, hi)
+	}
+	if RelativeContrast(SquaredL2, nil, qLo) != 0 {
+		t.Fatal("empty base should give 0")
+	}
+}

@@ -1,0 +1,66 @@
+package vec
+
+// Batched kernels. Computing many distances against a single query in
+// one call keeps the query vector hot in registers/cache, which is the
+// portable analog of the SIMD batching discussed in Section 2.3 of the
+// paper (André et al., Johnson et al.).
+
+// SquaredL2Batch writes SquaredL2(q, base[i*d:...]) into out[i] for a
+// row-major base matrix of n vectors of dimension d. out must have
+// length n.
+func SquaredL2Batch(q []float32, base []float32, d int, out []float32) {
+	n := len(out)
+	for i := 0; i < n; i++ {
+		out[i] = SquaredL2(q, base[i*d:(i+1)*d])
+	}
+}
+
+// DotBatch writes Dot(q, base[i]) into out[i].
+func DotBatch(q []float32, base []float32, d int, out []float32) {
+	n := len(out)
+	for i := 0; i < n; i++ {
+		out[i] = Dot(q, base[i*d:(i+1)*d])
+	}
+}
+
+// DistanceBatch evaluates fn(q, row) over a row-major matrix.
+func DistanceBatch(fn DistanceFunc, q []float32, base []float32, d int, out []float32) {
+	n := len(out)
+	for i := 0; i < n; i++ {
+		out[i] = fn(q, base[i*d:(i+1)*d])
+	}
+}
+
+// Mean computes the centroid of the given vectors. All vectors must
+// share the same dimension; Mean returns nil for an empty input.
+func Mean(vs [][]float32) []float32 {
+	if len(vs) == 0 {
+		return nil
+	}
+	d := len(vs[0])
+	m := make([]float32, d)
+	for _, v := range vs {
+		for i, x := range v {
+			m[i] += x
+		}
+	}
+	inv := 1 / float32(len(vs))
+	for i := range m {
+		m[i] *= inv
+	}
+	return m
+}
+
+// AXPY computes y += alpha*x in place.
+func AXPY(alpha float32, x, y []float32) {
+	for i := range y {
+		y[i] += alpha * x[i]
+	}
+}
+
+// Scale multiplies v by alpha in place.
+func Scale(alpha float32, v []float32) {
+	for i := range v {
+		v[i] *= alpha
+	}
+}

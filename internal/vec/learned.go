@@ -1,0 +1,187 @@
+package vec
+
+import (
+	"fmt"
+	"math"
+)
+
+// Learned scores and score selection (Section 2.1 / open problem 1).
+//
+// LearnDiagonalMetric is a lightweight metric-learning procedure in the
+// spirit of relevance-component analysis: given pairs labeled
+// similar/dissimilar it produces a diagonal Mahalanobis matrix whose
+// per-dimension weights are the ratio of between-pair to within-pair
+// scatter. SelectMetric automates "score selection" by measuring which
+// candidate score best reproduces ground-truth neighborhoods.
+
+// Pair is a training example for metric learning.
+type Pair struct {
+	A, B    []float32
+	Similar bool
+}
+
+// LearnDiagonalMetric fits a diagonal Mahalanobis matrix from labeled
+// pairs. For each dimension it computes the mean squared difference
+// across similar pairs (within-scatter w) and dissimilar pairs
+// (between-scatter b) and assigns weight b/(w+eps), so dimensions that
+// separate dissimilar pairs while staying stable within similar pairs
+// dominate the learned distance. Weights are normalized to mean 1.
+func LearnDiagonalMetric(pairs []Pair, dim int) (*Mahalanobis2, error) {
+	if dim <= 0 {
+		return nil, fmt.Errorf("vec: LearnDiagonalMetric dim=%d", dim)
+	}
+	within := make([]float64, dim)
+	between := make([]float64, dim)
+	var nw, nb int
+	for _, p := range pairs {
+		if len(p.A) != dim || len(p.B) != dim {
+			return nil, fmt.Errorf("vec: pair dimension %d/%d, want %d", len(p.A), len(p.B), dim)
+		}
+		for i := 0; i < dim; i++ {
+			d := float64(p.A[i] - p.B[i])
+			if p.Similar {
+				within[i] += d * d
+			} else {
+				between[i] += d * d
+			}
+		}
+		if p.Similar {
+			nw++
+		} else {
+			nb++
+		}
+	}
+	if nw == 0 || nb == 0 {
+		return nil, fmt.Errorf("vec: need both similar and dissimilar pairs (got %d/%d)", nw, nb)
+	}
+	const eps = 1e-9
+	weights := make([]float64, dim)
+	var sum float64
+	for i := 0; i < dim; i++ {
+		weights[i] = (between[i]/float64(nb) + eps) / (within[i]/float64(nw) + eps)
+		sum += weights[i]
+	}
+	scale := float64(dim) / sum
+	m := make([][]float32, dim)
+	for i := range m {
+		m[i] = make([]float32, dim)
+		m[i][i] = float32(weights[i] * scale)
+	}
+	return NewMahalanobis(m)
+}
+
+// MetricCandidate pairs a name with a distance function for score
+// selection.
+type MetricCandidate struct {
+	Name string
+	Fn   DistanceFunc
+}
+
+// DefaultCandidates returns the basic scores of Section 2.1 that apply
+// to arbitrary real vectors.
+func DefaultCandidates() []MetricCandidate {
+	return []MetricCandidate{
+		{"l2", SquaredL2},
+		{"ip", NegInnerProduct},
+		{"cosine", CosineDistance},
+		{"l1", ManhattanDistance},
+		{"linf", ChebyshevDistance},
+	}
+}
+
+// SelectMetric scores each candidate by how well its top-k neighborhood
+// of every query reproduces the given ground-truth neighbor sets, and
+// returns the name of the best candidate together with per-candidate
+// mean recall. truth[i] lists the relevant base indices for queries[i].
+func SelectMetric(cands []MetricCandidate, base, queries [][]float32, truth [][]int, k int) (string, map[string]float64) {
+	if k <= 0 || len(queries) == 0 {
+		return "", nil
+	}
+	recalls := make(map[string]float64, len(cands))
+	bestName, bestRecall := "", math.Inf(-1)
+	for _, c := range cands {
+		var total float64
+		for qi, q := range queries {
+			got := bruteTopK(c.Fn, base, q, k)
+			want := make(map[int]bool, len(truth[qi]))
+			for _, id := range truth[qi] {
+				want[id] = true
+			}
+			hits := 0
+			for _, id := range got {
+				if want[id] {
+					hits++
+				}
+			}
+			denom := len(truth[qi])
+			if denom > k {
+				denom = k
+			}
+			if denom > 0 {
+				total += float64(hits) / float64(denom)
+			}
+		}
+		r := total / float64(len(queries))
+		recalls[c.Name] = r
+		if r > bestRecall {
+			bestRecall, bestName = r, c.Name
+		}
+	}
+	return bestName, recalls
+}
+
+// bruteTopK returns the indices of the k smallest distances to q,
+// using simple insertion into a bounded slice (k is small here).
+func bruteTopK(fn DistanceFunc, base [][]float32, q []float32, k int) []int {
+	type cand struct {
+		id int
+		d  float32
+	}
+	best := make([]cand, 0, k)
+	for i, v := range base {
+		d := fn(q, v)
+		if len(best) < k {
+			best = append(best, cand{i, d})
+			for j := len(best) - 1; j > 0 && best[j].d < best[j-1].d; j-- {
+				best[j], best[j-1] = best[j-1], best[j]
+			}
+			continue
+		}
+		if d >= best[k-1].d {
+			continue
+		}
+		best[k-1] = cand{i, d}
+		for j := k - 1; j > 0 && best[j].d < best[j-1].d; j-- {
+			best[j], best[j-1] = best[j-1], best[j]
+		}
+	}
+	ids := make([]int, len(best))
+	for i, c := range best {
+		ids[i] = c.id
+	}
+	return ids
+}
+
+// RelativeContrast quantifies the curse of dimensionality (Beyer et
+// al.): for a query q it returns (Dmax - Dmin) / Dmin over the base
+// set under fn. As dimensionality grows on i.i.d. data this ratio
+// approaches zero and distance-based scores lose discriminative power.
+func RelativeContrast(fn DistanceFunc, base [][]float32, q []float32) float64 {
+	if len(base) == 0 {
+		return 0
+	}
+	dmin, dmax := math.Inf(1), math.Inf(-1)
+	for _, v := range base {
+		d := float64(fn(q, v))
+		if d < dmin {
+			dmin = d
+		}
+		if d > dmax {
+			dmax = d
+		}
+	}
+	if dmin <= 0 {
+		dmin = math.SmallestNonzeroFloat64
+	}
+	return (dmax - dmin) / dmin
+}

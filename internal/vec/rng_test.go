@@ -1,0 +1,7 @@
+package vec
+
+import "math/rand"
+
+// newTestRNG centralizes seeded RNG construction for tests in this
+// package.
+func newTestRNG(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

@@ -1,0 +1,5 @@
+package vql
+
+import "strconv"
+
+func strconvFormat(x float64) string { return strconv.FormatFloat(x, 'f', 6, 64) }

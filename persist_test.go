@@ -1,0 +1,141 @@
+package vdbms
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"vdbms/internal/dataset"
+)
+
+func TestSaveRestoreRoundTrip(t *testing.T) {
+	col, ds := productCollection(t, 300)
+	if err := col.CreateIndex("hnsw", map[string]int{"m": 8}); err != nil {
+		t.Fatal(err)
+	}
+	if err := col.Delete(7); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "products.vdbms")
+	if err := col.Save(path); err != nil {
+		t.Fatal(err)
+	}
+
+	db2 := New()
+	re, err := db2.RestoreCollection(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Name() != "products" || re.Dim() != 16 || re.Len() != 299 {
+		t.Fatalf("restored metadata: %s %d %d", re.Name(), re.Dim(), re.Len())
+	}
+	// Index recipe restored and rebuilt.
+	kind, covered, dirty := re.IndexInfo()
+	if kind != "hnsw" || covered != 300 || dirty != 0 {
+		t.Fatalf("restored index: %s %d %d", kind, covered, dirty)
+	}
+	// Vector + attrs round trip.
+	v, attrs, err := re.Get(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ds.Row(5)
+	for j := range want {
+		if v[j] != want[j] {
+			t.Fatalf("vector mismatch at %d", j)
+		}
+	}
+	if attrs["brand"].(string) != "initech" || attrs["cat"].(int64) != 5 || attrs["price"].(float64) != 5 {
+		t.Fatalf("attrs = %v", attrs)
+	}
+	// Tombstone survived.
+	if _, _, err := re.Get(7); err == nil {
+		t.Fatal("deleted row visible after restore")
+	}
+	// Searches behave identically (hybrid query on restored copy).
+	res, err := re.Search(SearchRequest{
+		Vector:  ds.Row(10),
+		K:       5,
+		Filters: []Filter{{Column: "cat", Op: "<", Value: 50}},
+		Ef:      100,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Hits) != 5 || res.Hits[0].ID != 10 {
+		t.Fatalf("restored search = %v", res.Hits)
+	}
+	// Restoring again into the same DB collides.
+	if _, err := db2.RestoreCollection(path); err == nil {
+		t.Fatal("want duplicate-name error")
+	}
+}
+
+func TestSaveRestoreWithoutIndex(t *testing.T) {
+	db := New()
+	col, err := db.CreateCollection("plain", Schema{Dim: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := dataset.Uniform(20, 4, 1)
+	for i := 0; i < 20; i++ {
+		if _, err := col.Insert(ds.Row(i), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	path := filepath.Join(t.TempDir(), "plain.vdbms")
+	if err := col.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	re, err := New().RestoreCollection(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind, _, _ := re.IndexInfo(); kind != "" {
+		t.Fatal("index should not materialize from nothing")
+	}
+	res, err := re.Search(SearchRequest{Vector: ds.Row(3), K: 1})
+	if err != nil || res.Hits[0].ID != 3 {
+		t.Fatalf("restored exact search: %v %v", res.Hits, err)
+	}
+}
+
+func TestRestoreErrors(t *testing.T) {
+	db := New()
+	if _, err := db.RestoreCollection(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Fatal("want missing-file error")
+	}
+	// Corrupt file.
+	bad := filepath.Join(t.TempDir(), "bad")
+	if err := os.WriteFile(bad, []byte("not a snapshot"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.RestoreCollection(bad); err == nil {
+		t.Fatal("want decode error")
+	}
+}
+
+func TestSaveOverwritesAtomically(t *testing.T) {
+	col, _ := productCollection(t, 50)
+	path := filepath.Join(t.TempDir(), "c.vdbms")
+	if err := col.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	// Save again over the existing file.
+	if err := col.Delete(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := col.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	re, err := New().RestoreCollection(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Len() != 49 {
+		t.Fatalf("second save not picked up: %d", re.Len())
+	}
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Fatal("temp file left behind")
+	}
+}

@@ -1,0 +1,26 @@
+package vdbms
+
+import "vdbms/internal/embed"
+
+// TextEmbedder is the built-in embedding model for indirect data
+// manipulation (Section 2.1(1) of the paper): the collection owns the
+// text -> vector mapping, so callers insert and query entities rather
+// than vectors. It hashes word unigrams and character trigrams into a
+// fixed dimension and L2-normalizes, so use Metric "cosine" (or "ip")
+// on collections storing its output.
+type TextEmbedder = embed.TextEmbedder
+
+// NewTextEmbedder creates an embedder producing dim-dimensional
+// vectors (128-512 recommended).
+func NewTextEmbedder(dim int) *TextEmbedder { return embed.NewTextEmbedder(dim) }
+
+// InsertText embeds the text with e and inserts the resulting vector.
+func (c *Collection) InsertText(e *TextEmbedder, text string, attrs map[string]any) (int64, error) {
+	return c.Insert(e.Embed(text), attrs)
+}
+
+// SearchText embeds the query with e and runs a k-NN (optionally
+// hybrid) search.
+func (c *Collection) SearchText(e *TextEmbedder, query string, k int, filters []Filter) (SearchResult, error) {
+	return c.Search(SearchRequest{Vector: e.Embed(query), K: k, Filters: filters})
+}

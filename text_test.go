@@ -1,0 +1,48 @@
+package vdbms
+
+import "testing"
+
+func TestTextCollectionEndToEnd(t *testing.T) {
+	db := New()
+	e := NewTextEmbedder(256)
+	col, err := db.CreateCollection("notes", Schema{
+		Dim:        e.Dim(),
+		Metric:     "cosine",
+		Attributes: map[string]string{"lang": "string"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	docs := []string{
+		"vector database management systems",
+		"approximate nearest neighbor search",
+		"banana pancake recipe with maple syrup",
+		"hierarchical navigable small world graphs",
+		"chocolate cake baking instructions",
+	}
+	for _, d := range docs {
+		if _, err := col.InsertText(e, d, map[string]any{"lang": "en"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := col.SearchText(e, "managing a vector database system", 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Hits[0].ID != 0 {
+		t.Fatalf("text search top hit = %d, want 0 (the VDBMS doc)", res.Hits[0].ID)
+	}
+	// Cooking query lands on a cooking doc.
+	res, err = col.SearchText(e, "how to bake a cake", 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Hits[0].ID != 4 {
+		t.Fatalf("cooking query top hit = %d, want 4", res.Hits[0].ID)
+	}
+	// Hybrid text search with a filter.
+	res, err = col.SearchText(e, "nearest neighbor", 1, []Filter{{Column: "lang", Op: "=", Value: "en"}})
+	if err != nil || len(res.Hits) != 1 {
+		t.Fatalf("hybrid text search: %v %v", res.Hits, err)
+	}
+}

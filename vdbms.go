@@ -1,0 +1,95 @@
+// Package vdbms is a vector database management system in pure Go,
+// reproducing the architecture surveyed in "Vector Database Management
+// Techniques and Systems" (Pan, Wang, Li — SIGMOD 2024): a query
+// processor (similarity scores, k-NN / range / hybrid / batched /
+// multi-vector queries, rule- and cost-based plan selection, hybrid
+// scan operators) over a storage manager (ten ANN index families,
+// quantization, disk-resident indexes, out-of-place updates, and
+// distributed scatter-gather).
+//
+// The entry point is a DB holding named collections:
+//
+//	db := vdbms.New()
+//	col, _ := db.CreateCollection("products", vdbms.Schema{
+//		Dim:    128,
+//		Metric: "l2",
+//		Attributes: map[string]string{"price": "float", "brand": "string"},
+//	})
+//	id, _ := col.Insert(vec, map[string]any{"price": 9.99, "brand": "acme"})
+//	_ = col.CreateIndex("hnsw", map[string]int{"m": 16})
+//	hits, _ := col.Search(vdbms.SearchRequest{
+//		Vector:  q,
+//		K:       10,
+//		Filters: []vdbms.Filter{{Column: "price", Op: "<", Value: 20.0}},
+//	})
+//
+// For high-write-rate workloads, OpenDynamic returns an LSM-backed
+// collection with out-of-place updates (Section 2.3(3) of the paper).
+package vdbms
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// DB is a registry of named collections. The zero value is not usable;
+// construct with New.
+type DB struct {
+	mu          sync.RWMutex
+	collections map[string]*Collection
+}
+
+// New creates an empty database.
+func New() *DB {
+	return &DB{collections: map[string]*Collection{}}
+}
+
+// CreateCollection registers a new collection under name.
+func (db *DB) CreateCollection(name string, schema Schema) (*Collection, error) {
+	col, err := newCollection(name, schema)
+	if err != nil {
+		return nil, err
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, dup := db.collections[name]; dup {
+		return nil, fmt.Errorf("vdbms: collection %q already exists", name)
+	}
+	db.collections[name] = col
+	return col, nil
+}
+
+// Collection returns a collection by name.
+func (db *DB) Collection(name string) (*Collection, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	col, ok := db.collections[name]
+	if !ok {
+		return nil, fmt.Errorf("vdbms: unknown collection %q", name)
+	}
+	return col, nil
+}
+
+// DropCollection removes a collection.
+func (db *DB) DropCollection(name string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, ok := db.collections[name]; !ok {
+		return fmt.Errorf("vdbms: unknown collection %q", name)
+	}
+	delete(db.collections, name)
+	return nil
+}
+
+// Collections lists collection names in sorted order.
+func (db *DB) Collections() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make([]string, 0, len(db.collections))
+	for n := range db.collections {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,416 @@
+package vdbms
+
+import (
+	"testing"
+
+	"vdbms/internal/dataset"
+)
+
+func productCollection(t *testing.T, n int) (*Collection, *dataset.Dataset) {
+	t.Helper()
+	db := New()
+	col, err := db.CreateCollection("products", Schema{
+		Dim:    16,
+		Metric: "l2",
+		Attributes: map[string]string{
+			"price": "float",
+			"cat":   "int",
+			"brand": "string",
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := dataset.Clustered(n, 16, 8, 0.4, 1)
+	brands := []string{"acme", "globex", "initech"}
+	for i := 0; i < n; i++ {
+		_, err := col.Insert(ds.Row(i), map[string]any{
+			"price": float64(i % 500),
+			"cat":   i % 100,
+			"brand": brands[i%3],
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return col, ds
+}
+
+func TestDBCollectionLifecycle(t *testing.T) {
+	db := New()
+	if _, err := db.CreateCollection("a", Schema{Dim: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.CreateCollection("a", Schema{Dim: 4}); err == nil {
+		t.Fatal("want duplicate error")
+	}
+	if _, err := db.Collection("a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Collection("zz"); err == nil {
+		t.Fatal("want unknown error")
+	}
+	if got := db.Collections(); len(got) != 1 || got[0] != "a" {
+		t.Fatalf("Collections = %v", got)
+	}
+	if err := db.DropCollection("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.DropCollection("a"); err == nil {
+		t.Fatal("want drop error")
+	}
+}
+
+func TestSchemaValidation(t *testing.T) {
+	db := New()
+	if _, err := db.CreateCollection("x", Schema{Dim: 0}); err == nil {
+		t.Fatal("want dim error")
+	}
+	if _, err := db.CreateCollection("x", Schema{Dim: 2, Metric: "bogus"}); err == nil {
+		t.Fatal("want metric error")
+	}
+	if _, err := db.CreateCollection("x", Schema{Dim: 2, Attributes: map[string]string{"a": "blob"}}); err == nil {
+		t.Fatal("want attribute-type error")
+	}
+}
+
+func TestInsertGetDelete(t *testing.T) {
+	col, ds := productCollection(t, 50)
+	if col.Len() != 50 || col.Dim() != 16 || col.Name() != "products" {
+		t.Fatal("metadata wrong")
+	}
+	v, attrs, err := col.Get(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v[0] != ds.Row(3)[0] {
+		t.Fatal("vector mismatch")
+	}
+	if attrs["price"].(float64) != 3 || attrs["cat"].(int64) != 3 || attrs["brand"].(string) != "acme" {
+		t.Fatalf("attrs = %v", attrs)
+	}
+	if err := col.Delete(3); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := col.Get(3); err == nil {
+		t.Fatal("deleted id should error")
+	}
+	if err := col.Delete(3); err == nil {
+		t.Fatal("double delete should error")
+	}
+	if col.Len() != 49 {
+		t.Fatal("Len after delete wrong")
+	}
+	// Bad inserts.
+	if _, err := col.Insert([]float32{1}, nil); err == nil {
+		t.Fatal("want dim error")
+	}
+	if _, err := col.Insert(ds.Row(0), map[string]any{"price": struct{}{}}); err == nil {
+		t.Fatal("want type error")
+	}
+}
+
+func TestExactSearchWithoutIndex(t *testing.T) {
+	col, ds := productCollection(t, 300)
+	res, err := col.Search(SearchRequest{Vector: ds.Row(7), K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Hits) != 3 || res.Hits[0].ID != 7 || res.Hits[0].Dist != 0 {
+		t.Fatalf("hits = %v", res.Hits)
+	}
+	if res.Plan != "brute_force" {
+		t.Fatalf("plan = %s", res.Plan)
+	}
+}
+
+func TestIndexedSearchAndPlans(t *testing.T) {
+	col, ds := productCollection(t, 1500)
+	if err := col.CreateIndex("hnsw", map[string]int{"m": 8}); err != nil {
+		t.Fatal(err)
+	}
+	kind, covered, dirty := col.IndexInfo()
+	if kind != "hnsw" || covered != 1500 || dirty != 0 {
+		t.Fatalf("IndexInfo = %s %d %d", kind, covered, dirty)
+	}
+	q := ds.Queries(1, 0.05, 2)[0]
+	for _, policy := range []string{"", "rule", "qdrant", "weaviate", "vearch",
+		"plan:pre_filter", "plan:post_filter", "plan:single_stage", "plan:brute_force"} {
+		res, err := col.Search(SearchRequest{
+			Vector:  q,
+			K:       10,
+			Filters: []Filter{{Column: "cat", Op: "<", Value: 50}},
+			Policy:  policy,
+			Ef:      100,
+		})
+		if err != nil {
+			t.Fatalf("policy %q: %v", policy, err)
+		}
+		if len(res.Hits) == 0 {
+			t.Fatalf("policy %q returned nothing", policy)
+		}
+		for _, h := range res.Hits {
+			if h.ID%100 >= 50 {
+				t.Fatalf("policy %q violated filter: id %d", policy, h.ID)
+			}
+		}
+	}
+	if _, err := col.Search(SearchRequest{Vector: q, K: 5, Policy: "plan:bogus"}); err == nil {
+		t.Fatal("want unknown-plan error")
+	}
+	if _, err := col.Search(SearchRequest{Vector: q, K: 5, Policy: "bogus"}); err == nil {
+		t.Fatal("want unknown-policy error")
+	}
+}
+
+func TestAllIndexKindsBuildAndSearch(t *testing.T) {
+	col, ds := productCollection(t, 400)
+	q := ds.Queries(1, 0.05, 3)[0]
+	for _, kind := range IndexKinds() {
+		var opts map[string]int
+		switch kind {
+		case "ivfadc", "ivfsq":
+			opts = map[string]int{"nlist": 8, "m": 4, "ks": 16}
+		case "knng":
+			opts = map[string]int{"k": 8, "iters": 4}
+		}
+		if err := col.CreateIndex(kind, opts); err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		res, err := col.Search(SearchRequest{Vector: q, K: 5, Ef: 100, NProbe: 8, Policy: "plan:single_stage"})
+		if err != nil {
+			t.Fatalf("%s search: %v", kind, err)
+		}
+		if len(res.Hits) == 0 {
+			t.Fatalf("%s returned nothing", kind)
+		}
+	}
+	if err := col.CreateIndex("bogus", nil); err == nil {
+		t.Fatal("want unknown-index error")
+	}
+	col.DropIndex()
+	if kind, _, _ := col.IndexInfo(); kind != "" {
+		t.Fatal("DropIndex failed")
+	}
+}
+
+func TestFiltersConversion(t *testing.T) {
+	col, ds := productCollection(t, 200)
+	res, err := col.Search(SearchRequest{
+		Vector: ds.Row(0), K: 10,
+		Filters: []Filter{{Column: "brand", Op: "in", Set: []any{"acme", "globex"}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range res.Hits {
+		if h.ID%3 == 2 { // initech rows
+			t.Fatalf("in-filter violated: %d", h.ID)
+		}
+	}
+	if _, err := col.Search(SearchRequest{Vector: ds.Row(0), K: 1,
+		Filters: []Filter{{Column: "price", Op: "~", Value: 1.0}}}); err == nil {
+		t.Fatal("want op error")
+	}
+	if _, err := col.Search(SearchRequest{Vector: ds.Row(0), K: 1,
+		Filters: []Filter{{Column: "price", Op: "=", Value: struct{}{}}}}); err == nil {
+		t.Fatal("want value error")
+	}
+}
+
+func TestDeletedRowsInvisible(t *testing.T) {
+	col, ds := productCollection(t, 300)
+	if err := col.CreateIndex("hnsw", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := col.Delete(5); err != nil {
+		t.Fatal(err)
+	}
+	res, err := col.Search(SearchRequest{Vector: ds.Row(5), K: 10, Ef: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range res.Hits {
+		if h.ID == 5 {
+			t.Fatal("deleted id surfaced")
+		}
+	}
+}
+
+func TestUpdateTriggersRebuild(t *testing.T) {
+	col, ds := productCollection(t, 200)
+	if err := col.CreateIndex("hnsw", nil); err != nil {
+		t.Fatal(err)
+	}
+	// Mutate 30% of rows: next search must rebuild (dirty resets).
+	far := make([]float32, 16)
+	for i := range far {
+		far[i] = 99
+	}
+	for i := 0; i < 60; i++ {
+		if err := col.UpdateVector(int64(i), far); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, _, dirtyBefore := col.IndexInfo()
+	if dirtyBefore != 60 {
+		t.Fatalf("dirty = %d", dirtyBefore)
+	}
+	if _, err := col.Search(SearchRequest{Vector: ds.Row(100), K: 5}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, dirty := col.IndexInfo(); dirty != 0 {
+		t.Fatalf("rebuild did not happen: dirty=%d", dirty)
+	}
+	// Updated vectors found at the new location.
+	res, _ := col.Search(SearchRequest{Vector: far, K: 1, Ef: 100})
+	if len(res.Hits) == 0 || res.Hits[0].ID >= 60 {
+		t.Fatalf("updated vector not found: %v", res.Hits)
+	}
+}
+
+func TestInsertAfterIndexBypassesStaleIndex(t *testing.T) {
+	col, ds := productCollection(t, 100)
+	if err := col.CreateIndex("hnsw", nil); err != nil {
+		t.Fatal(err)
+	}
+	// New insert not covered by the index must still be findable.
+	probe := make([]float32, 16)
+	for i := range probe {
+		probe[i] = -50
+	}
+	id, err := col.Insert(probe, map[string]any{"price": 1.0, "cat": 1, "brand": "acme"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := col.Search(SearchRequest{Vector: probe, K: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Hits) != 1 || res.Hits[0].ID != id {
+		t.Fatalf("fresh insert not found: %v", res.Hits)
+	}
+	_ = ds
+}
+
+func TestMultiVectorSearch(t *testing.T) {
+	db := New()
+	col, err := db.CreateCollection("faces", Schema{
+		Dim:        8,
+		Attributes: map[string]string{"person": "int"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := dataset.Clustered(300, 8, 6, 0.3, 5)
+	for i := 0; i < 300; i++ {
+		if _, err := col.Insert(ds.Row(i), map[string]any{"person": i / 3}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := col.Search(SearchRequest{
+		Vectors:      [][]float32{ds.Row(30), ds.Row(31)},
+		K:            3,
+		EntityColumn: "person",
+		Aggregator:   "min",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Hits) != 3 || res.Hits[0].ID != 10 {
+		t.Fatalf("multi-vector hits = %v", res.Hits)
+	}
+	// Errors.
+	if _, err := col.Search(SearchRequest{Vectors: [][]float32{ds.Row(0)}, K: 3}); err == nil {
+		t.Fatal("want entity-column error")
+	}
+	if _, err := col.Search(SearchRequest{Vectors: [][]float32{ds.Row(0)}, K: 3, EntityColumn: "person", Aggregator: "zz"}); err == nil {
+		t.Fatal("want aggregator error")
+	}
+}
+
+func TestSearchRangeAndBatchAndIterator(t *testing.T) {
+	col, ds := productCollection(t, 400)
+	hits, err := col.SearchRange(ds.Row(0), 0.25, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, h := range hits {
+		if h.ID == 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("range search missing self")
+	}
+	qs := ds.Queries(4, 0.05, 7)
+	batch, err := col.SearchBatch(qs, 5, nil, 100)
+	if err != nil || len(batch) != 4 {
+		t.Fatalf("batch: %v %d", err, len(batch))
+	}
+	it, err := col.OpenIterator(ds.Row(0), nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	page, err := it.Next(10)
+	if err != nil || len(page) != 10 {
+		t.Fatalf("iterator page: %v %d", err, len(page))
+	}
+}
+
+func TestDynamicCollection(t *testing.T) {
+	dyn, err := OpenDynamic(DynamicConfig{Dim: 8, MemtableSize: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := dataset.Clustered(200, 8, 4, 0.4, 9)
+	for i := 0; i < 200; i++ {
+		if err := dyn.Upsert(int64(i), ds.Row(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if dyn.Len() != 200 || dyn.Segments() == 0 {
+		t.Fatalf("len=%d segs=%d", dyn.Len(), dyn.Segments())
+	}
+	hits, err := dyn.Search(ds.Row(42), 1, 100)
+	if err != nil || len(hits) != 1 || hits[0].ID != 42 {
+		t.Fatalf("dynamic search: %v %v", hits, err)
+	}
+	if !dyn.Delete(42) {
+		t.Fatal("delete failed")
+	}
+	if _, ok := dyn.Get(42); ok {
+		t.Fatal("deleted id visible")
+	}
+	if err := dyn.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := dyn.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if dyn.Segments() != 1 {
+		t.Fatalf("segments after compact = %d", dyn.Segments())
+	}
+	// Config validation.
+	if _, err := OpenDynamic(DynamicConfig{Dim: 0}); err == nil {
+		t.Fatal("want dim error")
+	}
+	if _, err := OpenDynamic(DynamicConfig{Dim: 4, Metric: "zz"}); err == nil {
+		t.Fatal("want metric error")
+	}
+	if _, err := OpenDynamic(DynamicConfig{Dim: 4, SegmentIndex: "zz"}); err == nil {
+		t.Fatal("want segment-index error")
+	}
+	// ivfflat segments.
+	dyn2, err := OpenDynamic(DynamicConfig{Dim: 8, MemtableSize: 64, SegmentIndex: "ivfflat"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 128; i++ {
+		dyn2.Upsert(int64(i), ds.Row(i))
+	}
+	if hits, err := dyn2.Search(ds.Row(3), 1, 64); err != nil || hits[0].ID != 3 {
+		t.Fatalf("ivf dynamic search: %v %v", hits, err)
+	}
+}
