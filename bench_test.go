@@ -5,6 +5,7 @@
 package vdbms
 
 import (
+	"context"
 	"fmt"
 	"path/filepath"
 	"sync"
@@ -288,7 +289,7 @@ func BenchmarkE11Dist(b *testing.B) {
 	router := dist.NewRouter(shards, nil)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		router.Search(qs[i%len(qs)], 10, 64) //nolint:errcheck
+		router.Search(context.Background(), qs[i%len(qs)], 10, 64) //nolint:errcheck
 	}
 }
 

@@ -1,6 +1,6 @@
 // Command vdbms-server serves the VDBMS over HTTP/JSON.
 //
-//	vdbms-server -addr :8530
+//	vdbms-server -addr :8530 -query-timeout 2s
 //
 // Endpoints:
 //
@@ -13,12 +13,22 @@
 //	POST   /collections/{name}/search        search request JSON
 //	POST   /query                            {"query": "SELECT 10 FROM c NEAR [...]"}
 //	GET    /healthz                          liveness probe
+//
+// Searches run under a per-query deadline (-query-timeout; 0
+// disables) and a timed-out query returns 504. On SIGINT/SIGTERM the
+// server stops accepting, drains in-flight requests with a bounded
+// context (-drain-timeout), and exits 0.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"log"
 	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"vdbms"
@@ -27,16 +37,36 @@ import (
 
 func main() {
 	addr := flag.String("addr", ":8530", "listen address")
+	queryTimeout := flag.Duration("query-timeout", 0, "per-search deadline (0 = none)")
+	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "max wait for in-flight requests on shutdown")
 	flag.Parse()
 
 	db := vdbms.New()
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           server.New(db),
+		Handler:           server.New(db, server.WithQueryTimeout(*queryTimeout)),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
-	log.Printf("vdbms-server listening on %s", *addr)
-	if err := srv.ListenAndServe(); err != nil {
+
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("vdbms-server listening on %s", *addr)
+		errCh <- srv.ListenAndServe()
+	}()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
 		log.Fatal(err)
+	case s := <-sig:
+		log.Printf("received %v, draining (up to %v)", s, *drainTimeout)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Printf("drain incomplete: %v (closing anyway)", err)
+			srv.Close()
+		}
+		log.Print("server stopped")
 	}
 }

@@ -12,15 +12,31 @@
 //
 // -offset sets the first global id of this partition so results from
 // different shards never collide.
+//
+// Chaos mode injects faults for failover drills against a live
+// router: -chaos-error-rate fails searches, -chaos-hang-rate makes
+// them hang until the query deadline, -chaos-latency/-chaos-jitter
+// add delay. All draws come from -chaos-seed, so a drill replays:
+//
+//	vdbms-shard -addr 127.0.0.1:9003 -chaos-error-rate 0.2 -chaos-latency 20ms
+//
+// On SIGINT/SIGTERM the shard stops accepting, drains in-flight
+// queries (bounded by -drain-timeout), and exits 0.
 package main
 
 import (
+	"context"
 	"flag"
 	"log"
 	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"vdbms/internal/dataset"
 	"vdbms/internal/dist"
+	"vdbms/internal/fault"
 	"vdbms/internal/index/hnsw"
 	"vdbms/internal/storage"
 )
@@ -33,6 +49,12 @@ func main() {
 	seed := flag.Int64("seed", 1, "synthetic data seed")
 	offset := flag.Int64("offset", 0, "first global id of this partition")
 	m := flag.Int("m", 16, "HNSW M parameter")
+	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "max wait for in-flight queries on shutdown")
+	chaosErr := flag.Float64("chaos-error-rate", 0, "chaos: probability a search fails")
+	chaosHang := flag.Float64("chaos-hang-rate", 0, "chaos: probability a search hangs until its deadline")
+	chaosLatency := flag.Duration("chaos-latency", 0, "chaos: latency added to every search")
+	chaosJitter := flag.Duration("chaos-jitter", 0, "chaos: extra uniform latency on top of -chaos-latency")
+	chaosSeed := flag.Int64("chaos-seed", 1, "chaos: fault schedule seed")
 	flag.Parse()
 
 	var flat []float32
@@ -64,13 +86,41 @@ func main() {
 	for i := range ids {
 		ids[i] = *offset + int64(i)
 	}
+
+	var shard dist.Shard = dist.NewLocalShard(idx, ids)
+	if *chaosErr > 0 || *chaosHang > 0 || *chaosLatency > 0 || *chaosJitter > 0 {
+		shard = fault.NewChaosShard(shard, fault.ChaosConfig{
+			ErrorRate:     *chaosErr,
+			HangRate:      *chaosHang,
+			Latency:       *chaosLatency,
+			LatencyJitter: *chaosJitter,
+			Seed:          *chaosSeed,
+		})
+		log.Printf("CHAOS MODE: error-rate=%.2f hang-rate=%.2f latency=%v jitter=%v seed=%d",
+			*chaosErr, *chaosHang, *chaosLatency, *chaosJitter, *chaosSeed)
+	}
+
+	srv, err := dist.NewShardServer(shard)
+	if err != nil {
+		log.Fatal(err)
+	}
 	l, err := net.Listen("tcp", *addr)
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := dist.ServeShard(l, dist.NewLocalShard(idx, ids)); err != nil {
-		log.Fatal(err)
-	}
+	srv.Serve(l)
 	log.Printf("shard serving on %s (ids %d..%d)", *addr, *offset, *offset+int64(count)-1)
-	select {} // serve until killed
+
+	// Graceful shutdown: stop accepting, drain in-flight queries with
+	// a bounded context, exit 0.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	s := <-sig
+	log.Printf("received %v, draining (up to %v)", s, *drainTimeout)
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Printf("drain incomplete: %v (closing anyway)", err)
+	}
+	log.Print("shard stopped")
 }

@@ -1,6 +1,7 @@
 package vdbms
 
 import (
+	"context"
 	"fmt"
 
 	"vdbms/internal/core"
@@ -231,6 +232,33 @@ func (c *Collection) Search(req SearchRequest) (SearchResult, error) {
 		return SearchResult{}, err
 	}
 	return SearchResult{Hits: convertHits(res), Plan: plan.Kind.String()}, nil
+}
+
+// SearchContext executes Search under ctx: a query whose context is
+// cancelled or past its deadline returns ctx's error instead of
+// running to completion. The underlying index probe is CPU-bound and
+// cannot be interrupted mid-flight, so on early return it finishes in
+// the background and its result is discarded; the caller gets its
+// answer (or error) no later than the deadline either way.
+func (c *Collection) SearchContext(ctx context.Context, req SearchRequest) (SearchResult, error) {
+	if err := ctx.Err(); err != nil {
+		return SearchResult{}, err
+	}
+	type out struct {
+		res SearchResult
+		err error
+	}
+	ch := make(chan out, 1)
+	go func() {
+		res, err := c.Search(req)
+		ch <- out{res, err}
+	}()
+	select {
+	case o := <-ch:
+		return o.res, o.err
+	case <-ctx.Done():
+		return SearchResult{}, ctx.Err()
+	}
 }
 
 // SearchRange returns every live vector within the squared-distance

@@ -3,18 +3,25 @@
 // scatter-gather (Section 2.3(2)). The example contrasts random
 // partitioning (always full fan-out) with index-guided cluster
 // partitioning, where routing to the 2 nearest shard centroids
-// preserves almost all recall.
+// preserves almost all recall — then demonstrates the fault-tolerance
+// layer: a shard at 100% injected error rate degrades queries to
+// partial results instead of failing them, a hung shard is bounded by
+// the query deadline, and a replica set's circuit breaker trips on a
+// failing primary and heals automatically once it recovers.
 //
 //	go run ./examples/distributed
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"net"
+	"time"
 
 	"vdbms/internal/dataset"
 	"vdbms/internal/dist"
+	"vdbms/internal/fault"
 	"vdbms/internal/index/hnsw"
 	"vdbms/internal/topk"
 	"vdbms/internal/vec"
@@ -30,6 +37,7 @@ func main() {
 	ds := dataset.Clustered(n, dim, 32, 0.4, 1)
 	qs := ds.Queries(50, 0.05, 2)
 	truth := dataset.GroundTruth(vec.SquaredL2, ds, qs, 10)
+	ctx := context.Background()
 
 	// Index-guided partitioning: k-means clusters map to shards.
 	part, err := dist.PartitionClustered(ds.Data, ds.Count, ds.Dim, shards, 5)
@@ -66,7 +74,7 @@ func main() {
 	recall := func(probes int) float64 {
 		got := make([][]topk.Result, len(qs))
 		for i, q := range qs {
-			res, err := router.RoutedSearch(q, 10, 100, probes)
+			res, _, err := router.RoutedSearch(ctx, q, 10, 100, probes)
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -82,4 +90,61 @@ func main() {
 	}
 	fmt.Println("\nindex-guided partitioning lets 2 of 4 shards answer with near-full recall;")
 	fmt.Println("random partitioning would need all shards for every query.")
+
+	// ------------------------------------------------------------------
+	// Fault tolerance: kill one shard (100% injected errors) and keep
+	// answering from the remaining three.
+	chaos := fault.NewChaosShard(remote[3], fault.ChaosConfig{ErrorRate: 1, Seed: 7})
+	faulty := dist.NewRouter([]dist.Shard{remote[0], remote[1], remote[2], chaos}, nil,
+		dist.WithShardTimeout(500*time.Millisecond))
+	got := make([][]topk.Result, len(qs))
+	var lastPartial dist.Partial
+	for i, q := range qs {
+		res, p, err := faulty.Search(ctx, q, 10, 100)
+		if err != nil {
+			log.Fatal(err)
+		}
+		got[i], lastPartial = res, p
+	}
+	fmt.Printf("\nwith shard 3 at 100%% error rate, queries degrade instead of failing:\n")
+	fmt.Printf("  partial report: answered %v, failed shards %v (targeted %d)\n",
+		lastPartial.Answered, lastPartial.FailedShards(), lastPartial.Targeted)
+	fmt.Printf("  recall@10 over surviving shards = %.3f\n", dataset.MeanRecall(got, truth))
+
+	// A hung shard (never answers) is bounded by the query deadline.
+	hung := fault.NewChaosShard(remote[3], fault.ChaosConfig{HangRate: 1, Seed: 9})
+	bounded := dist.NewRouter([]dist.Shard{remote[0], remote[1], remote[2], hung}, nil)
+	dctx, cancel := context.WithTimeout(ctx, 200*time.Millisecond)
+	start := time.Now()
+	_, p, err := bounded.Search(dctx, qs[0], 10, 100)
+	cancel()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\na hung shard cannot stall the query past its deadline:\n")
+	fmt.Printf("  answered %v in %v, hung shard charged to partial report %v\n",
+		p.Answered, time.Since(start).Round(time.Millisecond), p.FailedShards())
+
+	// ------------------------------------------------------------------
+	// Replica failover with automatic healing: the primary errors, its
+	// breaker trips, traffic fails over; once the primary recovers a
+	// half-open probe closes the breaker and traffic returns.
+	primary := fault.NewChaosShard(remote[0], fault.ChaosConfig{ErrorRate: 1, Seed: 3})
+	rs, err := dist.NewReplicaSetWithBreaker(
+		fault.BreakerConfig{FailureThreshold: 1, SuccessThreshold: 1, Cooldown: 50 * time.Millisecond},
+		primary, remote[0])
+	if err != nil {
+		log.Fatal(err)
+	}
+	q0 := ds.Row(int(partIDs[0][0]))
+	if _, err := rs.Search(ctx, q0, 1, 100); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nreplica set: primary erroring -> breaker %v, served by secondary\n", rs.State(0))
+	primary.SetErrorRate(0) // the primary comes back
+	time.Sleep(60 * time.Millisecond)
+	if _, err := rs.Search(ctx, q0, 1, 100); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("primary recovered -> probe admitted after cooldown, breaker %v, traffic back on primary\n", rs.State(0))
 }

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -156,7 +157,7 @@ func runE11(w io.Writer, scale int) {
 		got := make([][]topk.Result, len(qs))
 		mean := Timed(1, func() {
 			for i, q := range qs {
-				got[i], _ = router.Search(q, 10, 64)
+				got[i], _, _ = router.Search(context.Background(), q, 10, 64)
 			}
 		}) / time.Duration(len(qs))
 		t.AddRow("random", parts, parts, sharedRecall(got, truth), mean)
@@ -171,7 +172,7 @@ func runE11(w io.Writer, scale int) {
 		got := make([][]topk.Result, len(qs))
 		mean := Timed(1, func() {
 			for i, q := range qs {
-				got[i], _ = router.RoutedSearch(q, 10, 64, probes)
+				got[i], _, _ = router.RoutedSearch(context.Background(), q, 10, 64, probes)
 			}
 		}) / time.Duration(len(qs))
 		t.AddRow("cluster-guided", 8, probes, sharedRecall(got, truth), mean)

@@ -1,0 +1,291 @@
+package dist
+
+import (
+	"context"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"vdbms/internal/dataset"
+	"vdbms/internal/fault"
+	"vdbms/internal/topk"
+)
+
+// Seeded chaos-injection tests for the fault-tolerant read path:
+// partial results under shard loss, breaker lifecycle on a failing
+// primary, and deadline enforcement against hung shards.
+
+// countingShard counts how many searches reach the wrapped shard.
+type countingShard struct {
+	inner Shard
+	mu    sync.Mutex
+	calls int
+}
+
+func (c *countingShard) Count() int { return c.inner.Count() }
+
+func (c *countingShard) Search(ctx context.Context, q []float32, k, ef int) ([]topk.Result, error) {
+	c.mu.Lock()
+	c.calls++
+	c.mu.Unlock()
+	return c.inner.Search(ctx, q, k, ef)
+}
+
+func (c *countingShard) callCount() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.calls
+}
+
+// fakeClock drives breaker cooldowns without real sleeps.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (f *fakeClock) now() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.t
+}
+
+func (f *fakeClock) advance(d time.Duration) {
+	f.mu.Lock()
+	f.t = f.t.Add(d)
+	f.mu.Unlock()
+}
+
+// Acceptance scenario 1: with 4 shards and one at 100% error rate,
+// the router still returns the correct top-k over the remaining 3
+// shards, with a Partial report naming the failed shard.
+func TestChaosPartialTopKUnderShardOutage(t *testing.T) {
+	ds := dataset.Clustered(2000, 16, 8, 0.4, 1)
+	p := PartitionRandom(ds.Count, 4, 7)
+	good := buildShards(t, ds, p)
+
+	const downShard = 2
+	wired := make([]Shard, 4)
+	copy(wired, good)
+	wired[downShard] = fault.NewChaosShard(good[downShard], fault.ChaosConfig{ErrorRate: 1, Seed: 11})
+	router := NewRouter(wired, nil)
+
+	// Reference: the merge over only the three healthy shards.
+	reference := NewRouter([]Shard{good[0], good[1], good[3]}, nil)
+
+	for qi, q := range ds.Queries(10, 0.05, 2) {
+		got, part, err := router.Search(context.Background(), q, 10, 100)
+		if err != nil {
+			t.Fatalf("query %d: partial degradation must not error: %v", qi, err)
+		}
+		want, refPart, err := reference.Search(context.Background(), q, 10, 100)
+		if err != nil || !refPart.Complete() {
+			t.Fatalf("reference: %v %+v", err, refPart)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("query %d: partial top-k diverges from healthy-shard merge:\n got %v\nwant %v", qi, got, want)
+		}
+		if part.Complete() || part.Targeted != 4 {
+			t.Fatalf("query %d: partial report = %+v", qi, part)
+		}
+		if !reflect.DeepEqual(part.Answered, []int{0, 1, 3}) {
+			t.Fatalf("query %d: answered = %v", qi, part.Answered)
+		}
+		if !reflect.DeepEqual(part.FailedShards(), []int{downShard}) {
+			t.Fatalf("query %d: failed = %+v", qi, part.Failed)
+		}
+		if part.Failed[0].Err != fault.ErrInjected.Error() {
+			t.Fatalf("query %d: failure message = %q", qi, part.Failed[0].Err)
+		}
+	}
+}
+
+// Acceptance scenario 2: a replica set of 3 where the primary errors
+// then recovers — the breaker walks closed → open → half-open →
+// closed and traffic returns to the primary.
+func TestChaosBreakerLifecycleOnReplicaPrimary(t *testing.T) {
+	ds := dataset.Uniform(200, 8, 3)
+	backend := newLocal(t, ds)
+	primary := fault.NewChaosShard(backend, fault.ChaosConfig{ErrorRate: 1, Seed: 5})
+	secondary := &countingShard{inner: backend}
+	tertiary := &countingShard{inner: backend}
+
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	rs, err := NewReplicaSetWithBreaker(fault.BreakerConfig{
+		FailureThreshold: 1,
+		SuccessThreshold: 2, // keeps half-open observable for one extra query
+		Cooldown:         time.Minute,
+		Now:              clk.now,
+	}, primary, secondary, tertiary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	search := func() {
+		t.Helper()
+		res, err := rs.Search(context.Background(), ds.Row(7), 1, 50)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res[0].ID != 7 {
+			t.Fatalf("result = %v", res)
+		}
+	}
+
+	if rs.State(0) != fault.Closed {
+		t.Fatal("primary must start closed")
+	}
+	search() // primary errors -> breaker opens -> secondary serves
+	if rs.State(0) != fault.Open {
+		t.Fatalf("after primary failure: %v, want open", rs.State(0))
+	}
+	if secondary.callCount() != 1 {
+		t.Fatalf("secondary calls = %d", secondary.callCount())
+	}
+
+	primary.SetErrorRate(0) // the primary heals
+	search()                // cooldown not elapsed: still failed over
+	if rs.State(0) != fault.Open || secondary.callCount() != 2 {
+		t.Fatalf("within cooldown: state=%v secondary=%d", rs.State(0), secondary.callCount())
+	}
+
+	clk.advance(time.Minute)
+	search() // half-open probe hits the recovered primary and succeeds
+	if rs.State(0) != fault.HalfOpen {
+		t.Fatalf("after first probe: %v, want half-open", rs.State(0))
+	}
+	search() // second probe success closes the breaker
+	if rs.State(0) != fault.Closed {
+		t.Fatalf("after second probe: %v, want closed", rs.State(0))
+	}
+
+	before := secondary.callCount()
+	search() // traffic is back on the primary
+	if secondary.callCount() != before {
+		t.Fatal("closed primary must take traffic back from the secondary")
+	}
+	if tertiary.callCount() != 0 {
+		t.Fatal("tertiary should never have been needed")
+	}
+}
+
+// Acceptance scenario 3: a hung shard cannot delay a query past its
+// context deadline; the hung shard is charged to the Partial report.
+func TestChaosDeadlineBoundsHungShard(t *testing.T) {
+	ds := dataset.Clustered(800, 8, 4, 0.4, 9)
+	p := PartitionRandom(ds.Count, 4, 13)
+	good := buildShards(t, ds, p)
+
+	const hungShard = 1
+	wired := make([]Shard, 4)
+	copy(wired, good)
+	wired[hungShard] = fault.NewChaosShard(good[hungShard], fault.ChaosConfig{HangRate: 1, Seed: 2})
+	router := NewRouter(wired, nil)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 150*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	got, part, err := router.Search(ctx, ds.Row(3), 5, 100)
+	elapsed := time.Since(start)
+	if err != nil {
+		t.Fatalf("three healthy shards answered; want partial success, got %v", err)
+	}
+	if elapsed > 2*time.Second {
+		t.Fatalf("query took %v, deadline was 150ms", elapsed)
+	}
+	if len(got) != 5 {
+		t.Fatalf("got %d results", len(got))
+	}
+	if !reflect.DeepEqual(part.FailedShards(), []int{hungShard}) {
+		t.Fatalf("partial = %+v", part)
+	}
+	if part.Failed[0].Err != context.DeadlineExceeded.Error() {
+		t.Fatalf("hung shard charged with %q", part.Failed[0].Err)
+	}
+
+	// Every shard hung: the query errors at the deadline instead of
+	// blocking forever.
+	allHung := make([]Shard, 4)
+	for i := range allHung {
+		allHung[i] = fault.NewChaosShard(good[i], fault.ChaosConfig{HangRate: 1, Seed: int64(i + 1)})
+	}
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel2()
+	start = time.Now()
+	_, part2, err := NewRouter(allHung, nil).Search(ctx2, ds.Row(3), 5, 100)
+	if err == nil || time.Since(start) > 2*time.Second {
+		t.Fatalf("all-hung query: err=%v elapsed=%v", err, time.Since(start))
+	}
+	if len(part2.Failed) != 4 {
+		t.Fatalf("all four shards must be charged: %+v", part2)
+	}
+}
+
+// A per-shard sub-deadline bounds a slow shard even when the caller
+// set no deadline of its own.
+func TestShardTimeoutWithoutCallerDeadline(t *testing.T) {
+	ds := dataset.Uniform(300, 8, 5)
+	p := PartitionRandom(ds.Count, 3, 3)
+	good := buildShards(t, ds, p)
+
+	wired := make([]Shard, 3)
+	copy(wired, good)
+	wired[2] = fault.NewChaosShard(good[2], fault.ChaosConfig{HangRate: 1, Seed: 4})
+	router := NewRouter(wired, nil, WithShardTimeout(50*time.Millisecond))
+
+	start := time.Now()
+	got, part, err := router.Search(context.Background(), ds.Row(0), 3, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Fatalf("sub-deadline did not bound the hung shard: %v", time.Since(start))
+	}
+	if len(got) == 0 || !reflect.DeepEqual(part.FailedShards(), []int{2}) {
+		t.Fatalf("got=%v partial=%+v", got, part)
+	}
+}
+
+// Retries inside the per-shard budget recover transient failures with
+// no partial degradation at all.
+func TestRetrierMasksTransientShardFailure(t *testing.T) {
+	ds := dataset.Uniform(300, 8, 7)
+	p := PartitionRandom(ds.Count, 3, 5)
+	good := buildShards(t, ds, p)
+
+	wired := make([]Shard, 3)
+	copy(wired, good)
+	wired[1] = fault.NewChaosShard(good[1], fault.ChaosConfig{FailFirst: 2, Seed: 6})
+	rt := fault.NewRetrier(fault.RetryConfig{MaxAttempts: 3, BaseDelay: time.Millisecond, Seed: 1})
+	router := NewRouter(wired, nil, WithRetrier(rt))
+
+	got, part, err := router.Search(context.Background(), ds.Row(0), 1, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !part.Complete() {
+		t.Fatalf("retries should mask a 2-failure transient: %+v", part)
+	}
+	if got[0].ID != 0 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+// WithMinAnswered restores all-or-nothing semantics when a workload
+// cannot tolerate partial answers.
+func TestMinAnsweredFloor(t *testing.T) {
+	ds := dataset.Uniform(300, 8, 9)
+	p := PartitionRandom(ds.Count, 3, 7)
+	good := buildShards(t, ds, p)
+
+	wired := make([]Shard, 3)
+	copy(wired, good)
+	wired[0] = fault.NewChaosShard(good[0], fault.ChaosConfig{ErrorRate: 1, Seed: 8})
+	strict := NewRouter(wired, nil, WithMinAnswered(3))
+	if _, _, err := strict.Search(context.Background(), ds.Row(0), 1, 100); err == nil {
+		t.Fatal("strict router must fail when a shard is down")
+	}
+	lenient := NewRouter(wired, nil)
+	if _, part, err := lenient.Search(context.Background(), ds.Row(0), 1, 100); err != nil || len(part.Answered) != 2 {
+		t.Fatalf("lenient router: err=%v partial=%+v", err, part)
+	}
+}

@@ -6,22 +6,33 @@
 // probe only the shards whose centroids are closest, shrinking
 // fan-out. A net/rpc transport (rpc.go) runs shards as separate
 // processes.
+//
+// The read path is fault-tolerant: every search carries a
+// context.Context deadline, each shard call can get a sub-deadline
+// and retries (internal/fault), and a scatter-gather that loses some
+// shards degrades to a partial result — the merged top-k over the
+// shards that answered plus a Partial report naming the ones that did
+// not — instead of failing the whole query.
 package dist
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
-	"sync"
+	"sort"
+	"time"
 
+	"vdbms/internal/fault"
 	"vdbms/internal/index"
 	"vdbms/internal/kmeans"
 	"vdbms/internal/topk"
 )
 
 // Shard answers top-k queries over its partition, returning global
-// vector ids.
+// vector ids. Implementations must honor ctx cancellation: a shard
+// that cannot answer before the deadline returns ctx.Err().
 type Shard interface {
-	Search(q []float32, k int, ef int) ([]topk.Result, error)
+	Search(ctx context.Context, q []float32, k int, ef int) ([]topk.Result, error)
 	Count() int
 }
 
@@ -39,10 +50,18 @@ func NewLocalShard(idx index.Index, globalIDs []int64) *LocalShard {
 // Count implements Shard.
 func (s *LocalShard) Count() int { return len(s.ids) }
 
-// Search implements Shard.
-func (s *LocalShard) Search(q []float32, k int, ef int) ([]topk.Result, error) {
+// Search implements Shard. The index probe itself is CPU-bound and
+// uninterruptible, so cancellation is checked at entry and before the
+// results are returned.
+func (s *LocalShard) Search(ctx context.Context, q []float32, k int, ef int) ([]topk.Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	res, err := s.idx.Search(q, k, index.Params{Ef: ef, NProbe: ef})
 	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	out := make([]topk.Result, len(res))
@@ -96,36 +115,130 @@ func SplitRows(data []float32, n, d int, p Partition) (partData [][]float32, par
 	return partData, partIDs
 }
 
+// ShardError records one shard that failed to answer a scatter-gather
+// query. Err carries the message (string, not error, so a Partial
+// report serializes cleanly over JSON).
+type ShardError struct {
+	Shard int    `json:"shard"`
+	Err   string `json:"error"`
+}
+
+// Partial reports how completely a scatter-gather query covered its
+// target shards. Failed is empty for a complete answer.
+type Partial struct {
+	// Targeted is how many shards the query was fanned out to.
+	Targeted int `json:"targeted"`
+	// Answered lists the shard indices (ascending) that contributed
+	// results to the merge.
+	Answered []int `json:"answered"`
+	// Failed lists the shards (ascending) that errored, timed out, or
+	// were still pending when the query deadline hit.
+	Failed []ShardError `json:"failed,omitempty"`
+}
+
+// Complete reports whether every targeted shard answered.
+func (p Partial) Complete() bool { return len(p.Failed) == 0 }
+
+// FailedShards returns the failed shard indices.
+func (p Partial) FailedShards() []int {
+	out := make([]int, len(p.Failed))
+	for i, f := range p.Failed {
+		out[i] = f.Shard
+	}
+	return out
+}
+
 // Router scatter-gathers across shards.
 type Router struct {
-	shards    []Shard
-	centroids *kmeans.Result // optional, for routed search
+	shards       []Shard
+	centroids    *kmeans.Result // optional, for routed search
+	shardTimeout time.Duration
+	retrier      *fault.Retrier
+	minAnswered  int
+}
+
+// RouterOption configures fault-tolerance knobs on a Router.
+type RouterOption func(*Router)
+
+// WithShardTimeout bounds each per-shard call with a sub-deadline (in
+// addition to the query's own context deadline). Retries share the
+// same per-shard budget, so one slow replica cannot consume the whole
+// query deadline.
+func WithShardTimeout(d time.Duration) RouterOption {
+	return func(r *Router) { r.shardTimeout = d }
+}
+
+// WithRetrier retries failed shard calls with rt's backoff policy.
+func WithRetrier(rt *fault.Retrier) RouterOption {
+	return func(r *Router) { r.retrier = rt }
+}
+
+// WithMinAnswered sets how many shards must answer before a
+// scatter-gather is considered a (possibly partial) success; below
+// the floor the query errors. Default 1. Set to the shard count to
+// restore fail-stop all-or-nothing behavior.
+func WithMinAnswered(n int) RouterOption {
+	return func(r *Router) { r.minAnswered = n }
 }
 
 // NewRouter wires shards; centroids may be nil (always full fan-out).
-func NewRouter(shards []Shard, centroids *kmeans.Result) *Router {
-	return &Router{shards: shards, centroids: centroids}
+func NewRouter(shards []Shard, centroids *kmeans.Result, opts ...RouterOption) *Router {
+	r := &Router{shards: shards, centroids: centroids, minAnswered: 1}
+	for _, o := range opts {
+		o(r)
+	}
+	if r.minAnswered < 1 {
+		r.minAnswered = 1
+	}
+	return r
 }
 
 // NumShards returns the shard count.
 func (r *Router) NumShards() int { return len(r.shards) }
 
-// Search fans the query out to every shard and merges the top-k.
-func (r *Router) Search(q []float32, k, ef int) ([]topk.Result, error) {
-	return r.searchShards(q, k, ef, nil)
+// Search fans the query out to every shard and merges the top-k. When
+// some shards fail or time out it degrades gracefully: the merged
+// top-k over the shards that answered is returned together with a
+// Partial report naming the failures. An error is returned only when
+// fewer than the configured minimum of shards answered.
+func (r *Router) Search(ctx context.Context, q []float32, k, ef int) ([]topk.Result, Partial, error) {
+	return r.searchShards(ctx, q, k, ef, nil)
 }
 
 // RoutedSearch probes only the `probes` shards whose centroids are
 // closest to the query; requires index-guided partitioning. probes <=
-// 0 or missing centroids degrade to full fan-out.
-func (r *Router) RoutedSearch(q []float32, k, ef, probes int) ([]topk.Result, error) {
+// 0 or missing centroids degrade to full fan-out. Partial-result
+// semantics match Search.
+func (r *Router) RoutedSearch(ctx context.Context, q []float32, k, ef, probes int) ([]topk.Result, Partial, error) {
 	if r.centroids == nil || probes <= 0 || probes >= len(r.shards) {
-		return r.Search(q, k, ef)
+		return r.Search(ctx, q, k, ef)
 	}
-	return r.searchShards(q, k, ef, r.centroids.NearestN(q, probes))
+	return r.searchShards(ctx, q, k, ef, r.centroids.NearestN(q, probes))
 }
 
-func (r *Router) searchShards(q []float32, k, ef int, subset []int) ([]topk.Result, error) {
+// searchOne runs a single shard call under the per-shard sub-deadline
+// and retry policy.
+func (r *Router) searchOne(ctx context.Context, si int, q []float32, k, ef int) ([]topk.Result, error) {
+	if r.shardTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, r.shardTimeout)
+		defer cancel()
+	}
+	if r.retrier == nil {
+		return r.shards[si].Search(ctx, q, k, ef)
+	}
+	var res []topk.Result
+	err := r.retrier.Do(ctx, func(c context.Context) error {
+		rr, e := r.shards[si].Search(c, q, k, ef)
+		if e == nil {
+			res = rr
+		}
+		return e
+	})
+	return res, err
+}
+
+func (r *Router) searchShards(ctx context.Context, q []float32, k, ef int, subset []int) ([]topk.Result, Partial, error) {
 	targets := subset
 	if targets == nil {
 		targets = make([]int, len(r.shards))
@@ -134,30 +247,56 @@ func (r *Router) searchShards(q []float32, k, ef int, subset []int) ([]topk.Resu
 		}
 	}
 	type shardOut struct {
+		pos int
 		res []topk.Result
 		err error
 	}
-	outs := make([]shardOut, len(targets))
-	var wg sync.WaitGroup
+	ch := make(chan shardOut, len(targets))
 	for i, si := range targets {
-		wg.Add(1)
-		go func(i, si int) {
-			defer wg.Done()
-			res, err := r.shards[si].Search(q, k, ef)
-			outs[i] = shardOut{res, err}
+		go func(pos, si int) {
+			res, err := r.searchOne(ctx, si, q, k, ef)
+			ch <- shardOut{pos, res, err}
 		}(i, si)
 	}
-	wg.Wait()
+
 	c := topk.NewCollector(k)
-	for _, o := range outs {
-		if o.err != nil {
-			return nil, fmt.Errorf("dist: shard error: %w", o.err)
-		}
-		for _, r := range o.res {
-			c.Push(r.ID, r.Dist)
+	p := Partial{Targeted: len(targets)}
+	pending := make(map[int]bool, len(targets))
+	for i := range targets {
+		pending[i] = true
+	}
+	var lastErr error
+	// Gather until every shard reports or the query deadline hits.
+	// Shards still pending at the deadline are charged to the Partial
+	// report; their goroutines drain into the buffered channel.
+	for len(pending) > 0 {
+		select {
+		case o := <-ch:
+			delete(pending, o.pos)
+			if o.err != nil {
+				lastErr = o.err
+				p.Failed = append(p.Failed, ShardError{Shard: targets[o.pos], Err: o.err.Error()})
+				continue
+			}
+			p.Answered = append(p.Answered, targets[o.pos])
+			for _, res := range o.res {
+				c.Push(res.ID, res.Dist)
+			}
+		case <-ctx.Done():
+			lastErr = ctx.Err()
+			for pos := range pending {
+				p.Failed = append(p.Failed, ShardError{Shard: targets[pos], Err: ctx.Err().Error()})
+			}
+			pending = nil
 		}
 	}
-	return c.Results(), nil
+	sort.Ints(p.Answered)
+	sort.Slice(p.Failed, func(i, j int) bool { return p.Failed[i].Shard < p.Failed[j].Shard })
+	if len(p.Answered) < r.minAnswered {
+		return nil, p, fmt.Errorf("dist: %d/%d shards answered (need %d): %w",
+			len(p.Answered), p.Targeted, r.minAnswered, lastErr)
+	}
+	return c.Results(), p, nil
 }
 
 // FanOut reports how many shards a routed query touches (experiment

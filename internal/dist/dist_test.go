@@ -1,6 +1,7 @@
 package dist
 
 import (
+	"context"
 	"net"
 	"testing"
 
@@ -43,7 +44,7 @@ func TestScatterGatherMatchesSingleIndex(t *testing.T) {
 	truth := dataset.GroundTruth(vec.SquaredL2, ds, qs, 10)
 	var rec float64
 	for i, q := range qs {
-		got, err := router.Search(q, 10, 100)
+		got, _, err := router.Search(context.Background(), q, 10, 100)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -81,7 +82,7 @@ func TestIndexGuidedRoutingReducesFanOut(t *testing.T) {
 	truth := dataset.GroundTruth(vec.SquaredL2, ds, qs, 10)
 	var routedRec float64
 	for i, q := range qs {
-		got, err := router.RoutedSearch(q, 10, 100, 2)
+		got, _, err := router.RoutedSearch(context.Background(), q, 10, 100, 2)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -97,11 +98,11 @@ func TestRoutedSearchFallsBackWithoutCentroids(t *testing.T) {
 	ds := dataset.Uniform(300, 8, 7)
 	p := PartitionRandom(ds.Count, 3, 9)
 	router := NewRouter(buildShards(t, ds, p), nil)
-	full, err := router.Search(ds.Row(0), 5, 100)
+	full, _, err := router.Search(context.Background(), ds.Row(0), 5, 100)
 	if err != nil {
 		t.Fatal(err)
 	}
-	routed, err := router.RoutedSearch(ds.Row(0), 5, 100, 1)
+	routed, _, err := router.RoutedSearch(context.Background(), ds.Row(0), 5, 100, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -120,7 +121,7 @@ func TestGlobalIDsPreserved(t *testing.T) {
 	p := PartitionRandom(ds.Count, 4, 13)
 	router := NewRouter(buildShards(t, ds, p), nil)
 	// Query exactly at row 123: top-1 must be global id 123.
-	got, err := router.Search(ds.Row(123), 1, 100)
+	got, _, err := router.Search(context.Background(), ds.Row(123), 1, 100)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -159,12 +160,15 @@ func TestRPCShardEndToEnd(t *testing.T) {
 		t.Fatal("remote counts wrong")
 	}
 	router := NewRouter(remote, nil)
-	got, err := router.Search(ds.Row(42), 1, 100)
+	got, part, err := router.Search(context.Background(), ds.Row(42), 1, 100)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(got) != 1 || got[0].ID != 42 {
 		t.Fatalf("rpc search = %v", got)
+	}
+	if !part.Complete() || part.Targeted != 2 || len(part.Answered) != 2 {
+		t.Fatalf("partial report for a clean query = %+v", part)
 	}
 }
 

@@ -1,0 +1,172 @@
+package fault
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// State is a circuit breaker position.
+type State int
+
+const (
+	// Closed admits every call (normal operation).
+	Closed State = iota
+	// Open rejects calls until the cooldown elapses.
+	Open
+	// HalfOpen admits probe calls to test recovery.
+	HalfOpen
+)
+
+// String implements fmt.Stringer.
+func (s State) String() string {
+	switch s {
+	case Closed:
+		return "closed"
+	case Open:
+		return "open"
+	case HalfOpen:
+		return "half-open"
+	default:
+		return "unknown"
+	}
+}
+
+// BreakerConfig tunes a Breaker. The zero value is usable: trip after
+// one failure, probe immediately, close after one success.
+type BreakerConfig struct {
+	// FailureThreshold is how many consecutive failures trip the
+	// breaker open. Values < 1 mean 1.
+	FailureThreshold int
+	// SuccessThreshold is how many half-open probe successes close the
+	// breaker again. Values < 1 mean 1.
+	SuccessThreshold int
+	// Cooldown is how long an open breaker rejects calls before
+	// admitting a half-open probe. 0 probes on the next call.
+	Cooldown time.Duration
+	// Now is the clock, injectable for tests. Nil means time.Now.
+	Now func() time.Time
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.FailureThreshold < 1 {
+		c.FailureThreshold = 1
+	}
+	if c.SuccessThreshold < 1 {
+		c.SuccessThreshold = 1
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	return c
+}
+
+// Breaker is a closed → open → half-open circuit breaker. Unlike a
+// one-way "healthy" flag, an open breaker re-admits probe traffic
+// after its cooldown, so a replica that comes back heals without
+// operator intervention. All methods are safe for concurrent use.
+type Breaker struct {
+	mu        sync.Mutex
+	cfg       BreakerConfig
+	state     State
+	failures  int
+	successes int
+	openedAt  time.Time
+}
+
+// NewBreaker builds a breaker in the Closed state.
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	return &Breaker{cfg: cfg.withDefaults()}
+}
+
+// State reports the current position without advancing it.
+func (b *Breaker) State() State {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Allow reports whether a call may proceed now. An open breaker whose
+// cooldown has elapsed transitions to half-open and admits the call
+// as a probe.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case Closed, HalfOpen:
+		return true
+	default: // Open
+		if b.cfg.Now().Sub(b.openedAt) >= b.cfg.Cooldown {
+			b.state = HalfOpen
+			b.successes = 0
+			return true
+		}
+		return false
+	}
+}
+
+// OnSuccess records a successful call.
+func (b *Breaker) OnSuccess() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case Closed:
+		b.failures = 0
+	case HalfOpen:
+		b.successes++
+		if b.successes >= b.cfg.SuccessThreshold {
+			b.state = Closed
+			b.failures = 0
+		}
+	}
+	// A success observed while Open (e.g. an abandoned call that
+	// eventually returned) is ignored; the probe path decides recovery.
+}
+
+// OnFailure records a failed call.
+func (b *Breaker) OnFailure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case Closed:
+		b.failures++
+		if b.failures >= b.cfg.FailureThreshold {
+			b.state = Open
+			b.openedAt = b.cfg.Now()
+		}
+	case HalfOpen:
+		// Failed probe: back to open, restart the cooldown.
+		b.state = Open
+		b.openedAt = b.cfg.Now()
+	}
+}
+
+// Reset forces the breaker closed (e.g. an operator marked the
+// backend healthy).
+func (b *Breaker) Reset() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.state = Closed
+	b.failures = 0
+	b.successes = 0
+}
+
+// Do runs fn under the breaker: ErrOpen without calling fn when the
+// breaker rejects, otherwise fn's error recorded as success/failure.
+// Context cancellation is not charged to the backend.
+func (b *Breaker) Do(ctx context.Context, fn func(context.Context) error) error {
+	if !b.Allow() {
+		return ErrOpen
+	}
+	err := fn(ctx)
+	if err == nil {
+		b.OnSuccess()
+		return nil
+	}
+	if ctx.Err() != nil {
+		// The caller gave up; that says nothing about backend health.
+		return err
+	}
+	b.OnFailure()
+	return err
+}

@@ -1,0 +1,128 @@
+package fault
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// RetryConfig tunes a Retrier. The zero value means 3 attempts,
+// 5ms base delay doubling to a 250ms cap, 20% jitter, seed 1.
+type RetryConfig struct {
+	// MaxAttempts is the total number of tries including the first.
+	// Values < 1 mean 3.
+	MaxAttempts int
+	// BaseDelay is the backoff before the first retry. 0 means 5ms.
+	BaseDelay time.Duration
+	// MaxDelay caps the exponential growth. 0 means 250ms.
+	MaxDelay time.Duration
+	// Multiplier grows the delay between retries. Values <= 1 mean 2.
+	Multiplier float64
+	// Jitter is the fraction of each delay that is randomized
+	// (0 <= Jitter <= 1): delay*(1-Jitter) + U[0, delay*Jitter).
+	// Negative means 0.2; 0 keeps 0.2 too — use NoJitter for none.
+	Jitter float64
+	// NoJitter disables jitter entirely (fully deterministic delays).
+	NoJitter bool
+	// Seed makes the jitter sequence deterministic. 0 means 1.
+	Seed int64
+	// Sleep is injectable for tests; nil means the ctx-aware Sleep.
+	Sleep func(context.Context, time.Duration) error
+}
+
+func (c RetryConfig) withDefaults() RetryConfig {
+	if c.MaxAttempts < 1 {
+		c.MaxAttempts = 3
+	}
+	if c.BaseDelay == 0 {
+		c.BaseDelay = 5 * time.Millisecond
+	}
+	if c.MaxDelay == 0 {
+		c.MaxDelay = 250 * time.Millisecond
+	}
+	if c.Multiplier <= 1 {
+		c.Multiplier = 2
+	}
+	if c.Jitter <= 0 {
+		c.Jitter = 0.2
+	}
+	if c.Jitter > 1 {
+		c.Jitter = 1
+	}
+	if c.NoJitter {
+		c.Jitter = 0
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Sleep == nil {
+		c.Sleep = Sleep
+	}
+	return c
+}
+
+// Retrier re-runs failing calls with capped exponential backoff and
+// deterministic-seedable jitter. Safe for concurrent use.
+type Retrier struct {
+	cfg RetryConfig
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// NewRetrier builds a retrier from cfg.
+func NewRetrier(cfg RetryConfig) *Retrier {
+	cfg = cfg.withDefaults()
+	return &Retrier{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+// Backoff returns the delay before retry number attempt (attempt 1 is
+// the first retry). Jitter draws from the seeded rng, so a fixed seed
+// yields a reproducible delay sequence.
+func (r *Retrier) Backoff(attempt int) time.Duration {
+	if attempt < 1 {
+		attempt = 1
+	}
+	d := float64(r.cfg.BaseDelay)
+	for i := 1; i < attempt; i++ {
+		d *= r.cfg.Multiplier
+		if d >= float64(r.cfg.MaxDelay) {
+			d = float64(r.cfg.MaxDelay)
+			break
+		}
+	}
+	if r.cfg.Jitter > 0 {
+		r.mu.Lock()
+		u := r.rng.Float64()
+		r.mu.Unlock()
+		d = d*(1-r.cfg.Jitter) + d*r.cfg.Jitter*u
+	}
+	return time.Duration(d)
+}
+
+// Do runs fn until it succeeds, MaxAttempts is exhausted, or ctx is
+// done. Context errors are returned immediately without further
+// retries — a caller-abandoned query must not keep hammering a shard.
+func (r *Retrier) Do(ctx context.Context, fn func(context.Context) error) error {
+	var lastErr error
+	for attempt := 1; ; attempt++ {
+		if err := ctx.Err(); err != nil {
+			if lastErr != nil {
+				return fmt.Errorf("%w (after %d attempts: %v)", err, attempt-1, lastErr)
+			}
+			return err
+		}
+		lastErr = fn(ctx)
+		if lastErr == nil {
+			return nil
+		}
+		if ctx.Err() != nil || attempt >= r.cfg.MaxAttempts {
+			break
+		}
+		if err := r.cfg.Sleep(ctx, r.Backoff(attempt)); err != nil {
+			break
+		}
+	}
+	return lastErr
+}

@@ -1,0 +1,146 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"vdbms/internal/dist"
+	"vdbms/internal/topk"
+)
+
+// HTTP front for the distributed read path (Section 2.3(2)): a
+// DistServer fronts a dist.Router and degrades gracefully — when some
+// shards fail or time out the response is still a 200 carrying the
+// merged top-k from the shards that answered, with the Partial report
+// as a body field and the PartialHeader set, instead of a 500.
+
+// PartialHeader is "true" when the response body carries results from
+// only a subset of the targeted shards, "false" on full coverage.
+// Clients that cannot tolerate partial answers check this (or the
+// "partial" body field) without parsing the hit list.
+const PartialHeader = "X-Vdbms-Partial"
+
+// DistServer serves scatter-gather searches over a dist.Router.
+type DistServer struct {
+	router         *dist.Router
+	mux            *http.ServeMux
+	defaultTimeout time.Duration
+}
+
+// DistOption configures a DistServer.
+type DistOption func(*DistServer)
+
+// WithDistQueryTimeout sets the per-query deadline applied when a
+// request does not carry its own timeout_ms. 0 means no default
+// deadline.
+func WithDistQueryTimeout(d time.Duration) DistOption {
+	return func(s *DistServer) { s.defaultTimeout = d }
+}
+
+// NewDist builds the handler set around router:
+//
+//	POST /search   {"vector": [...], "k": 10, "ef": 100, "probes": 2, "timeout_ms": 50}
+//	GET  /healthz  shard count liveness
+func NewDist(router *dist.Router, opts ...DistOption) *DistServer {
+	s := &DistServer{router: router, mux: http.NewServeMux()}
+	for _, o := range opts {
+		o(s)
+	}
+	s.mux.HandleFunc("/search", s.handleSearch)
+	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"shards": router.NumShards()})
+	})
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *DistServer) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// DistSearchRequest is the body of POST /search.
+type DistSearchRequest struct {
+	Vector []float32 `json:"vector"`
+	K      int       `json:"k"`
+	Ef     int       `json:"ef,omitempty"`
+	// Probes routes to the N nearest shard centroids (0 = full
+	// fan-out; ignored without index-guided partitioning).
+	Probes int `json:"probes,omitempty"`
+	// TimeoutMillis is the query deadline; overrides the server
+	// default. 0 keeps the default.
+	TimeoutMillis int64 `json:"timeout_ms,omitempty"`
+}
+
+// DistHit is one result row of a distributed search.
+type DistHit struct {
+	ID   int64   `json:"id"`
+	Dist float32 `json:"dist"`
+}
+
+// DistSearchResponse is the body of a successful POST /search. On
+// partial coverage Partial is set and the X-Vdbms-Partial header is
+// "true"; Hits then covers only the shards that answered.
+type DistSearchResponse struct {
+	Hits    []DistHit     `json:"hits"`
+	Partial *dist.Partial `json:"partial,omitempty"`
+}
+
+func (s *DistServer) handleSearch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed", r.Method))
+		return
+	}
+	var req DistSearchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.K <= 0 {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("k must be positive"))
+		return
+	}
+	ef := req.Ef
+	if ef <= 0 {
+		ef = 100
+	}
+	ctx := r.Context()
+	timeout := s.defaultTimeout
+	if req.TimeoutMillis > 0 {
+		timeout = time.Duration(req.TimeoutMillis) * time.Millisecond
+	}
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	res, partial, err := s.router.RoutedSearch(ctx, req.Vector, req.K, ef, req.Probes)
+	if err != nil {
+		// Nothing (or too little) answered: 504 when the deadline was
+		// the cause, 502 when the shards themselves failed. The
+		// Partial report still names the casualties.
+		status := http.StatusBadGateway
+		if errors.Is(err, context.DeadlineExceeded) {
+			status = http.StatusGatewayTimeout
+		}
+		w.Header().Set(PartialHeader, "true")
+		writeJSON(w, status, map[string]any{"error": err.Error(), "partial": partial})
+		return
+	}
+	w.Header().Set(PartialHeader, strconv.FormatBool(!partial.Complete()))
+	resp := DistSearchResponse{Hits: toDistHits(res)}
+	if !partial.Complete() {
+		resp.Partial = &partial
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func toDistHits(res []topk.Result) []DistHit {
+	out := make([]DistHit, len(res))
+	for i, r := range res {
+		out[i] = DistHit{ID: r.ID, Dist: r.Dist}
+	}
+	return out
+}

@@ -1,0 +1,125 @@
+package server
+
+import (
+	"net/http"
+	"testing"
+	"time"
+
+	"vdbms/internal/dataset"
+	"vdbms/internal/dist"
+	"vdbms/internal/fault"
+	"vdbms/internal/index"
+)
+
+// buildShards splits ds into parts local shards over flat indexes.
+func buildShards(t *testing.T, ds *dataset.Dataset, parts int) []dist.Shard {
+	t.Helper()
+	p := dist.PartitionRandom(ds.Count, parts, 7)
+	partData, partIDs := dist.SplitRows(ds.Data, ds.Count, ds.Dim, p)
+	shards := make([]dist.Shard, parts)
+	for i := range shards {
+		idx, err := index.NewFlat(partData[i], len(partIDs[i]), ds.Dim, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		shards[i] = dist.NewLocalShard(idx, partIDs[i])
+	}
+	return shards
+}
+
+func TestDistSearchComplete(t *testing.T) {
+	ds := dataset.Uniform(400, 8, 1)
+	srv := NewDist(dist.NewRouter(buildShards(t, ds, 4), nil))
+
+	rec, out := doJSON(t, srv, "GET", "/healthz", nil)
+	if rec.Code != http.StatusOK || out["shards"].(float64) != 4 {
+		t.Fatalf("healthz: %d %v", rec.Code, out)
+	}
+
+	rec, out = doJSON(t, srv, "POST", "/search", DistSearchRequest{Vector: ds.Row(17), K: 3})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("search: %d %s", rec.Code, rec.Body)
+	}
+	if got := rec.Header().Get(PartialHeader); got != "false" {
+		t.Fatalf("%s = %q on a complete answer", PartialHeader, got)
+	}
+	if _, present := out["partial"]; present {
+		t.Fatal("complete answer must omit the partial field")
+	}
+	hits := out["hits"].([]any)
+	if len(hits) != 3 || hits[0].(map[string]any)["id"].(float64) != 17 {
+		t.Fatalf("hits = %v", hits)
+	}
+}
+
+func TestDistSearchPartialDegradation(t *testing.T) {
+	ds := dataset.Uniform(400, 8, 3)
+	shards := buildShards(t, ds, 4)
+	shards[2] = fault.NewChaosShard(shards[2], fault.ChaosConfig{ErrorRate: 1, Seed: 5})
+	srv := NewDist(dist.NewRouter(shards, nil))
+
+	rec, out := doJSON(t, srv, "POST", "/search", DistSearchRequest{Vector: ds.Row(0), K: 5})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("partial loss must stay a 200: %d %s", rec.Code, rec.Body)
+	}
+	if got := rec.Header().Get(PartialHeader); got != "true" {
+		t.Fatalf("%s = %q, want true", PartialHeader, got)
+	}
+	partial := out["partial"].(map[string]any)
+	failed := partial["failed"].([]any)
+	if len(failed) != 1 || failed[0].(map[string]any)["shard"].(float64) != 2 {
+		t.Fatalf("partial report = %v", partial)
+	}
+	if len(out["hits"].([]any)) != 5 {
+		t.Fatalf("hits = %v", out["hits"])
+	}
+}
+
+func TestDistSearchAllShardsDown(t *testing.T) {
+	ds := dataset.Uniform(100, 8, 5)
+	shards := buildShards(t, ds, 2)
+	for i := range shards {
+		shards[i] = fault.NewChaosShard(shards[i], fault.ChaosConfig{ErrorRate: 1, Seed: int64(i + 1)})
+	}
+	srv := NewDist(dist.NewRouter(shards, nil))
+
+	rec, out := doJSON(t, srv, "POST", "/search", DistSearchRequest{Vector: ds.Row(0), K: 5})
+	if rec.Code != http.StatusBadGateway {
+		t.Fatalf("total loss: %d, want 502", rec.Code)
+	}
+	if len(out["partial"].(map[string]any)["failed"].([]any)) != 2 {
+		t.Fatalf("partial = %v", out["partial"])
+	}
+}
+
+func TestDistSearchDeadlineBoundsHungShard(t *testing.T) {
+	ds := dataset.Uniform(400, 8, 7)
+	shards := buildShards(t, ds, 4)
+	shards[1] = fault.NewChaosShard(shards[1], fault.ChaosConfig{HangRate: 1, Seed: 9})
+	srv := NewDist(dist.NewRouter(shards, nil), WithDistQueryTimeout(10*time.Second))
+
+	start := time.Now()
+	rec, out := doJSON(t, srv, "POST", "/search",
+		DistSearchRequest{Vector: ds.Row(0), K: 5, TimeoutMillis: 100})
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("hung shard stalled the request for %v past a 100ms budget", elapsed)
+	}
+	if rec.Code != http.StatusOK || rec.Header().Get(PartialHeader) != "true" {
+		t.Fatalf("hung-shard search: %d %s", rec.Code, rec.Body)
+	}
+	failed := out["partial"].(map[string]any)["failed"].([]any)
+	if len(failed) != 1 || failed[0].(map[string]any)["shard"].(float64) != 1 {
+		t.Fatalf("partial = %v", out["partial"])
+	}
+}
+
+func TestDistSearchValidation(t *testing.T) {
+	ds := dataset.Uniform(50, 8, 9)
+	srv := NewDist(dist.NewRouter(buildShards(t, ds, 2), nil))
+	if rec, _ := doJSON(t, srv, "POST", "/search", DistSearchRequest{Vector: ds.Row(0)}); rec.Code != http.StatusBadRequest {
+		t.Fatalf("k=0: %d", rec.Code)
+	}
+	if rec, _ := doJSON(t, srv, "GET", "/search", nil); rec.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("GET: %d", rec.Code)
+	}
+}

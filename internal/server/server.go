@@ -6,10 +6,13 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strings"
+	"time"
 
 	"vdbms"
 	"vdbms/internal/vql"
@@ -17,13 +20,27 @@ import (
 
 // Server wraps a DB with HTTP handlers.
 type Server struct {
-	db  *vdbms.DB
-	mux *http.ServeMux
+	db           *vdbms.DB
+	mux          *http.ServeMux
+	queryTimeout time.Duration
+}
+
+// Option configures a Server.
+type Option func(*Server)
+
+// WithQueryTimeout bounds every search with a server-side deadline on
+// top of the request context (0 = requests run until the client
+// disconnects).
+func WithQueryTimeout(d time.Duration) Option {
+	return func(s *Server) { s.queryTimeout = d }
 }
 
 // New builds the handler set around db.
-func New(db *vdbms.DB) *Server {
+func New(db *vdbms.DB, opts ...Option) *Server {
 	s := &Server{db: db, mux: http.NewServeMux()}
+	for _, o := range opts {
+		o(s)
+	}
 	s.mux.HandleFunc("/collections", s.handleCollections)
 	s.mux.HandleFunc("/collections/", s.handleCollection)
 	s.mux.HandleFunc("/query", s.handleQuery)
@@ -44,6 +61,25 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 
 func writeErr(w http.ResponseWriter, status int, err error) {
 	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+// searchCtx derives the per-query context: the request context (which
+// ends when the client disconnects) bounded by the server's query
+// timeout.
+func (s *Server) searchCtx(r *http.Request) (context.Context, context.CancelFunc) {
+	if s.queryTimeout > 0 {
+		return context.WithTimeout(r.Context(), s.queryTimeout)
+	}
+	return context.WithCancel(r.Context())
+}
+
+// searchErrStatus maps a failed search to an HTTP status: deadline
+// overruns are 504s, everything else a 400 (malformed request).
+func searchErrStatus(err error) int {
+	if errors.Is(err, context.DeadlineExceeded) {
+		return http.StatusGatewayTimeout
+	}
+	return http.StatusBadRequest
 }
 
 // CreateCollectionRequest is the body of POST /collections.
@@ -172,14 +208,16 @@ func (s *Server) handleCollection(w http.ResponseWriter, r *http.Request) {
 		for i := range req.Filters {
 			req.Filters[i] = normalizeFilter(col, req.Filters[i])
 		}
-		res, err := col.Search(vdbms.SearchRequest{
+		ctx, cancel := s.searchCtx(r)
+		defer cancel()
+		res, err := col.SearchContext(ctx, vdbms.SearchRequest{
 			Vector: req.Vector, Vectors: req.Vectors, K: req.K,
 			Filters: req.Filters, Policy: req.Policy, Ef: req.Ef,
 			NProbe: req.NProbe, Alpha: req.Alpha,
 			EntityColumn: req.EntityColumn, Aggregator: req.Aggregator,
 		})
 		if err != nil {
-			writeErr(w, http.StatusBadRequest, err)
+			writeErr(w, searchErrStatus(err), err)
 			return
 		}
 		writeJSON(w, http.StatusOK, res)

@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"testing"
+	"time"
 
 	"vdbms"
 	"vdbms/internal/dataset"
@@ -181,5 +182,31 @@ func TestHTTPErrors(t *testing.T) {
 	rec2, _ = doJSON(t, srv2, "GET", "/collections/c/search", nil)
 	if rec2.Code != http.StatusMethodNotAllowed {
 		t.Fatalf("wrong method: %d", rec2.Code)
+	}
+}
+
+func TestSearchQueryTimeout(t *testing.T) {
+	db := vdbms.New()
+	if _, err := db.CreateCollection("c", vdbms.Schema{Dim: 4}); err != nil {
+		t.Fatal(err)
+	}
+	col, _ := db.Collection("c")
+	ds := dataset.Uniform(50, 4, 1)
+	for i := 0; i < 50; i++ {
+		if _, err := col.Insert(ds.Row(i), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// An already-exhausted budget must surface as a 504, not a 400/500.
+	srv := New(db, WithQueryTimeout(time.Nanosecond))
+	rec, out := doJSON(t, srv, "POST", "/collections/c/search", SearchBody{Vector: ds.Row(0), K: 3})
+	if rec.Code != http.StatusGatewayTimeout {
+		t.Fatalf("timed-out search: %d %v", rec.Code, out)
+	}
+	// A generous budget behaves normally.
+	srv = New(db, WithQueryTimeout(time.Minute))
+	rec, out = doJSON(t, srv, "POST", "/collections/c/search", SearchBody{Vector: ds.Row(0), K: 3})
+	if rec.Code != http.StatusOK || len(out["Hits"].([]any)) != 3 {
+		t.Fatalf("search under budget: %d %v", rec.Code, out)
 	}
 }

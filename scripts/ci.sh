@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# Tier-1 CI gate: vet, build, and the full test suite under the race
+# detector. The fault-tolerance path (internal/dist, internal/fault)
+# is heavily concurrent — scatter-gather goroutines, breaker state,
+# RPC drain — so -race is mandatory here, not optional.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+go vet ./...
+go build ./...
+go test -race ./...

@@ -1,6 +1,8 @@
 package vdbms
 
 import (
+	"context"
+	"errors"
 	"testing"
 
 	"vdbms/internal/dataset"
@@ -412,5 +414,23 @@ func TestDynamicCollection(t *testing.T) {
 	}
 	if hits, err := dyn2.Search(ds.Row(3), 1, 64); err != nil || hits[0].ID != 3 {
 		t.Fatalf("ivf dynamic search: %v %v", hits, err)
+	}
+}
+
+func TestSearchContext(t *testing.T) {
+	col, ds := productCollection(t, 200)
+	// A live context behaves exactly like Search.
+	res, err := col.SearchContext(context.Background(), SearchRequest{Vector: ds.Row(3), K: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Hits) != 5 || res.Hits[0].ID != 3 {
+		t.Fatalf("hits = %v", res.Hits)
+	}
+	// A dead context aborts before any work happens.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := col.SearchContext(ctx, SearchRequest{Vector: ds.Row(3), K: 5}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled search = %v", err)
 	}
 }
