@@ -13,11 +13,17 @@
 //	POST   /collections/{name}/search        search request JSON
 //	POST   /query                            {"query": "SELECT 10 FROM c NEAR [...]"}
 //	GET    /healthz                          liveness probe
+//	GET    /metrics                          Prometheus text exposition
+//	GET    /debug/stats                      metrics + runtime snapshot as JSON
 //
 // Searches run under a per-query deadline (-query-timeout; 0
-// disables) and a timed-out query returns 504. On SIGINT/SIGTERM the
-// server stops accepting, drains in-flight requests with a bounded
-// context (-drain-timeout), and exits 0.
+// disables) and a timed-out query returns 504. Sending a search with
+// the "X-Vdbms-Trace: 1" header returns the query's span tree;
+// -slow-query logs the span tree of any slower search server-side.
+// -pprof-addr serves net/http/pprof on a second listener (off by
+// default so profiling endpoints never ride the public port). On
+// SIGINT/SIGTERM the server stops accepting, drains in-flight requests
+// with a bounded context (-drain-timeout), and exits 0.
 package main
 
 import (
@@ -26,6 +32,7 @@ import (
 	"flag"
 	"log"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on DefaultServeMux, served only on -pprof-addr
 	"os"
 	"os/signal"
 	"syscall"
@@ -39,12 +46,23 @@ func main() {
 	addr := flag.String("addr", ":8530", "listen address")
 	queryTimeout := flag.Duration("query-timeout", 0, "per-search deadline (0 = none)")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "max wait for in-flight requests on shutdown")
+	slowQuery := flag.Duration("slow-query", 0, "log searches slower than this with their span tree (0 = off)")
+	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty = off)")
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		go func() {
+			log.Printf("pprof listening on %s", *pprofAddr)
+			log.Print(http.ListenAndServe(*pprofAddr, nil))
+		}()
+	}
 
 	db := vdbms.New()
 	srv := &http.Server{
-		Addr:              *addr,
-		Handler:           server.New(db, server.WithQueryTimeout(*queryTimeout)),
+		Addr: *addr,
+		Handler: server.New(db,
+			server.WithQueryTimeout(*queryTimeout),
+			server.WithSlowQueryLog(*slowQuery)),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 

@@ -20,6 +20,11 @@
 //
 //	vdbms-shard -addr 127.0.0.1:9003 -chaos-error-rate 0.2 -chaos-latency 20ms
 //
+// -metrics-addr serves /metrics (Prometheus text), /debug/stats
+// (JSON), and /healthz on a separate HTTP listener, so the shard's
+// probe counters are scrapable even though queries arrive over
+// net/rpc; -pprof-addr adds net/http/pprof the same way.
+//
 // On SIGINT/SIGTERM the shard stops accepting, drains in-flight
 // queries (bounded by -drain-timeout), and exits 0.
 package main
@@ -27,8 +32,11 @@ package main
 import (
 	"context"
 	"flag"
+	"fmt"
 	"log"
 	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on DefaultServeMux, served only on -pprof-addr
 	"os"
 	"os/signal"
 	"syscall"
@@ -38,6 +46,7 @@ import (
 	"vdbms/internal/dist"
 	"vdbms/internal/fault"
 	"vdbms/internal/index/hnsw"
+	"vdbms/internal/obs"
 	"vdbms/internal/storage"
 )
 
@@ -55,7 +64,29 @@ func main() {
 	chaosLatency := flag.Duration("chaos-latency", 0, "chaos: latency added to every search")
 	chaosJitter := flag.Duration("chaos-jitter", 0, "chaos: extra uniform latency on top of -chaos-latency")
 	chaosSeed := flag.Int64("chaos-seed", 1, "chaos: fault schedule seed")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /debug/stats, /healthz on this address (empty = off)")
+	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty = off)")
 	flag.Parse()
+
+	if *metricsAddr != "" {
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", obs.MetricsHandler(obs.Default()))
+		mux.Handle("/debug/stats", obs.StatsHandler(obs.Default()))
+		mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			fmt.Fprintln(w, "ok")
+		})
+		go func() {
+			log.Printf("metrics listening on %s", *metricsAddr)
+			log.Print(http.ListenAndServe(*metricsAddr, mux))
+		}()
+	}
+	if *pprofAddr != "" {
+		go func() {
+			log.Printf("pprof listening on %s", *pprofAddr)
+			log.Print(http.ListenAndServe(*pprofAddr, nil))
+		}()
+	}
 
 	var flat []float32
 	var count, d int

@@ -7,6 +7,7 @@ import (
 	"vdbms/internal/core"
 	"vdbms/internal/executor"
 	"vdbms/internal/filter"
+	"vdbms/internal/obs"
 	"vdbms/internal/vec"
 )
 
@@ -192,6 +193,34 @@ type SearchRequest struct {
 	// "mean", "max", or "weighted_sum" (with Weights).
 	Aggregator string
 	Weights    []float32
+	// Trace, when true, records a span tree of the query pipeline
+	// (plan, filter, index probe, ...) and returns it in
+	// SearchResult.Trace. Adds a few microseconds per query.
+	Trace bool
+}
+
+// TraceSpan is one timed stage of a query's execution. Children are
+// sub-stages; Annotations carry integer counters (distance
+// computations, nodes visited, survivors of a filter, ...).
+type TraceSpan struct {
+	Stage         string            `json:"stage"`
+	DurationNanos int64             `json:"duration_ns"`
+	Annotations   map[string]int64  `json:"annotations,omitempty"`
+	Tags          map[string]string `json:"tags,omitempty"`
+	Children      []TraceSpan       `json:"children,omitempty"`
+}
+
+func convertSpan(r obs.SpanReport) TraceSpan {
+	out := TraceSpan{
+		Stage:         r.Stage,
+		DurationNanos: r.DurationNanos,
+		Annotations:   r.Annotations,
+		Tags:          r.Tags,
+	}
+	for _, c := range r.Children {
+		out.Children = append(out.Children, convertSpan(c))
+	}
+	return out
 }
 
 // SearchResult is the response to Search.
@@ -200,6 +229,9 @@ type SearchResult struct {
 	// Plan is the executed plan name ("brute_force", "pre_filter",
 	// "post_filter", or "single_stage").
 	Plan string
+	// Trace is the span tree of this query, present only when
+	// SearchRequest.Trace was set.
+	Trace *TraceSpan `json:"Trace,omitempty"`
 }
 
 // Search executes a k-NN, hybrid, or multi-vector query.
@@ -215,6 +247,10 @@ func (c *Collection) Search(req SearchRequest) (SearchResult, error) {
 			return SearchResult{}, err
 		}
 	}
+	var tr *obs.Trace
+	if req.Trace {
+		tr = obs.NewTrace("search")
+	}
 	res, plan, err := c.inner.Search(core.Request{
 		Vector:       req.Vector,
 		Vectors:      req.Vectors,
@@ -227,11 +263,17 @@ func (c *Collection) Search(req SearchRequest) (SearchResult, error) {
 		EntityColumn: req.EntityColumn,
 		Aggregator:   agg,
 		Weights:      req.Weights,
+		Trace:        tr,
 	})
 	if err != nil {
 		return SearchResult{}, err
 	}
-	return SearchResult{Hits: convertHits(res), Plan: plan.Kind.String()}, nil
+	out := SearchResult{Hits: convertHits(res), Plan: plan.Kind.String()}
+	if rep := tr.Finish(); rep != nil {
+		span := convertSpan(*rep)
+		out.Trace = &span
+	}
+	return out, nil
 }
 
 // SearchContext executes Search under ctx: a query whose context is

@@ -8,10 +8,12 @@ package core
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"vdbms/internal/executor"
 	"vdbms/internal/filter"
 	"vdbms/internal/index"
+	"vdbms/internal/obs"
 	"vdbms/internal/planner"
 	"vdbms/internal/topk"
 	"vdbms/internal/vec"
@@ -280,6 +282,10 @@ type Request struct {
 	EntityColumn string
 	Aggregator   vec.Aggregator
 	Weights      []float32
+	// Trace, when non-nil, receives the query's span tree: the caller
+	// allocates it with obs.NewTrace, passes it here, and reads the
+	// report with Trace.Finish() after Search returns.
+	Trace *obs.Trace
 }
 
 // Result is one hit.
@@ -288,14 +294,34 @@ type Result struct {
 	Dist float32
 }
 
-// Search executes the request and reports the plan used.
+// Search executes the request and reports the plan used. Every call
+// is counted and timed in the obs registry; when req.Trace is set the
+// pipeline stages (rebuild_check, plan, filter, index_probe, ...)
+// additionally record spans under its root.
 func (c *Collection) Search(req Request) ([]Result, planner.Plan, error) {
+	start := time.Now()
+	res, plan, err := c.search(req)
+	obs.SearchTotal.Inc()
+	obs.SearchLatency.Observe(time.Since(start).Seconds())
+	if err != nil {
+		obs.SearchErrors.Inc()
+	} else {
+		obs.SearchPlans.With(plan.Kind.String()).Inc()
+	}
+	return res, plan, err
+}
+
+func (c *Collection) search(req Request) ([]Result, planner.Plan, error) {
+	root := req.Trace.Root()
+	rsp := root.Start("rebuild_check")
 	c.mu.Lock()
 	if err := c.maybeRebuildLocked(); err != nil {
 		c.mu.Unlock()
+		rsp.End()
 		return nil, planner.Plan{}, err
 	}
 	c.mu.Unlock()
+	rsp.End()
 
 	c.mu.RLock()
 	defer c.mu.RUnlock()
@@ -306,13 +332,18 @@ func (c *Collection) Search(req Request) ([]Result, planner.Plan, error) {
 	if err != nil {
 		return nil, planner.Plan{}, err
 	}
-	opts := executor.Options{Ef: req.Ef, NProbe: req.NProbe, Exclude: c.exclude()}
+	opts := executor.Options{Ef: req.Ef, NProbe: req.NProbe, Exclude: c.exclude(), Span: root}
 
 	if len(req.Vectors) > 0 {
 		if req.EntityColumn == "" {
 			return nil, planner.Plan{}, fmt.Errorf("core: multi-vector query needs EntityColumn")
 		}
-		res, err := c.multiVectorLocked(env, req, opts)
+		msp := root.Start("multi_vector")
+		msp.Annotate("query_vectors", int64(len(req.Vectors)))
+		mvOpts := opts
+		mvOpts.Span = msp
+		res, err := c.multiVectorLocked(env, req, mvOpts)
+		msp.End()
 		return res, planner.Plan{Kind: planner.SingleStage}, err
 	}
 

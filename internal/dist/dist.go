@@ -20,11 +20,13 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"strconv"
 	"time"
 
 	"vdbms/internal/fault"
 	"vdbms/internal/index"
 	"vdbms/internal/kmeans"
+	"vdbms/internal/obs"
 	"vdbms/internal/topk"
 )
 
@@ -52,12 +54,28 @@ func (s *LocalShard) Count() int { return len(s.ids) }
 
 // Search implements Shard. The index probe itself is CPU-bound and
 // uninterruptible, so cancellation is checked at entry and before the
-// results are returned.
+// results are returned. Probe work feeds the per-index obs counters
+// (so a vdbms-shard process exposes them on its /metrics) and, when
+// the context carries a trace span, annotates it.
 func (s *LocalShard) Search(ctx context.Context, q []float32, k int, ef int) ([]topk.Result, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	res, err := s.idx.Search(q, k, index.Params{Ef: ef, NProbe: ef})
+	var st index.SearchStats
+	res, err := s.idx.Search(q, k, index.Params{Ef: ef, NProbe: ef, Stats: &st})
+	name := s.idx.Name()
+	obs.IndexProbes.With(name).Inc()
+	obs.IndexDistanceComps.With(name).Add(st.DistanceComps)
+	obs.IndexNodesVisited.With(name).Add(st.NodesVisited)
+	obs.IndexBucketsProbed.With(name).Add(st.BucketsProbed)
+	obs.IndexIOReads.With(name).Add(st.IOReads)
+	if sp := obs.SpanFrom(ctx); sp != nil {
+		sp.Tag("index", name)
+		sp.Annotate("distance_comps", st.DistanceComps)
+		if st.NodesVisited > 0 {
+			sp.Annotate("nodes_visited", st.NodesVisited)
+		}
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -155,6 +173,8 @@ type Router struct {
 	shardTimeout time.Duration
 	retrier      *fault.Retrier
 	minAnswered  int
+	breakerCfg   *fault.BreakerConfig
+	breakers     []*fault.Breaker // per shard, nil without WithShardBreakers
 }
 
 // RouterOption configures fault-tolerance knobs on a Router.
@@ -181,6 +201,15 @@ func WithMinAnswered(n int) RouterOption {
 	return func(r *Router) { r.minAnswered = n }
 }
 
+// WithShardBreakers guards each shard with its own circuit breaker:
+// a shard whose calls keep failing (after retries) is skipped —
+// charged to the Partial report as circuit-open — until the cooldown
+// admits a half-open probe. Transitions feed the obs breaker counters
+// and the per-shard breaker-state gauge.
+func WithShardBreakers(cfg fault.BreakerConfig) RouterOption {
+	return func(r *Router) { r.breakerCfg = &cfg }
+}
+
 // NewRouter wires shards; centroids may be nil (always full fan-out).
 func NewRouter(shards []Shard, centroids *kmeans.Result, opts ...RouterOption) *Router {
 	r := &Router{shards: shards, centroids: centroids, minAnswered: 1}
@@ -190,11 +219,68 @@ func NewRouter(shards []Shard, centroids *kmeans.Result, opts ...RouterOption) *
 	if r.minAnswered < 1 {
 		r.minAnswered = 1
 	}
+	if r.breakerCfg != nil {
+		r.breakers = make([]*fault.Breaker, len(shards))
+		for i := range r.breakers {
+			cfg := *r.breakerCfg
+			gauge := obs.ShardBreakerState.With(strconv.Itoa(i))
+			gauge.Set(float64(fault.Closed))
+			prev := cfg.OnStateChange
+			cfg.OnStateChange = func(from, to fault.State) {
+				gauge.Set(float64(to))
+				obs.BreakerTransitions.With(to.String()).Inc()
+				if prev != nil {
+					prev(from, to)
+				}
+			}
+			r.breakers[i] = fault.NewBreaker(cfg)
+		}
+	}
 	return r
 }
 
 // NumShards returns the shard count.
 func (r *Router) NumShards() int { return len(r.shards) }
+
+// BreakerStates is implemented by shards that front their own
+// breakers (ReplicaSet), letting the router and the health endpoint
+// see through to replica-level state.
+type BreakerStates interface {
+	BreakerStates() []fault.State
+}
+
+// ShardStates reports one breaker position per shard for the health
+// endpoint: the router-level breaker when WithShardBreakers is
+// configured; otherwise, for shards that are themselves replica sets,
+// "open" only when every replica's breaker is open; "closed" for
+// shards with no breaker at all.
+func (r *Router) ShardStates() []string {
+	out := make([]string, len(r.shards))
+	for i, s := range r.shards {
+		switch {
+		case r.breakers != nil:
+			out[i] = r.breakers[i].State().String()
+		default:
+			if bs, ok := s.(BreakerStates); ok {
+				allOpen := true
+				for _, st := range bs.BreakerStates() {
+					if st != fault.Open {
+						allOpen = false
+						break
+					}
+				}
+				if allOpen {
+					out[i] = fault.Open.String()
+				} else {
+					out[i] = fault.Closed.String()
+				}
+				continue
+			}
+			out[i] = fault.Closed.String()
+		}
+	}
+	return out
+}
 
 // Search fans the query out to every shard and merges the top-k. When
 // some shards fail or time out it degrades gracefully: the merged
@@ -216,9 +302,36 @@ func (r *Router) RoutedSearch(ctx context.Context, q []float32, k, ef, probes in
 	return r.searchShards(ctx, q, k, ef, r.centroids.NearestN(q, probes))
 }
 
-// searchOne runs a single shard call under the per-shard sub-deadline
-// and retry policy.
+// searchOne runs a single shard call under the per-shard sub-deadline,
+// retry policy, and (when configured) circuit breaker. The full call
+// — retries included — is timed into the per-shard latency histogram;
+// retry attempts beyond the first feed the retry counter.
 func (r *Router) searchOne(ctx context.Context, si int, q []float32, k, ef int) ([]topk.Result, error) {
+	var b *fault.Breaker
+	if r.breakers != nil {
+		b = r.breakers[si]
+		if !b.Allow() {
+			return nil, fault.ErrOpen
+		}
+	}
+	start := time.Now()
+	res, err := r.searchOneInner(ctx, si, q, k, ef)
+	obs.DistShardLatency.With(strconv.Itoa(si)).Observe(time.Since(start).Seconds())
+	if b != nil {
+		switch {
+		case err == nil:
+			b.OnSuccess()
+		case ctx.Err() != nil:
+			// The query deadline hit; that says nothing about shard
+			// health, so the breaker is not charged.
+		default:
+			b.OnFailure()
+		}
+	}
+	return res, err
+}
+
+func (r *Router) searchOneInner(ctx context.Context, si int, q []float32, k, ef int) ([]topk.Result, error) {
 	if r.shardTimeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, r.shardTimeout)
@@ -228,17 +341,24 @@ func (r *Router) searchOne(ctx context.Context, si int, q []float32, k, ef int) 
 		return r.shards[si].Search(ctx, q, k, ef)
 	}
 	var res []topk.Result
+	attempts := 0
 	err := r.retrier.Do(ctx, func(c context.Context) error {
+		attempts++
 		rr, e := r.shards[si].Search(c, q, k, ef)
 		if e == nil {
 			res = rr
 		}
 		return e
 	})
+	if attempts > 1 {
+		obs.DistRetries.Add(int64(attempts - 1))
+		obs.SpanFrom(ctx).Annotate("retries", int64(attempts-1))
+	}
 	return res, err
 }
 
 func (r *Router) searchShards(ctx context.Context, q []float32, k, ef int, subset []int) ([]topk.Result, Partial, error) {
+	obs.DistSearches.Inc()
 	targets := subset
 	if targets == nil {
 		targets = make([]int, len(r.shards))
@@ -246,6 +366,14 @@ func (r *Router) searchShards(ctx context.Context, q []float32, k, ef int, subse
 			targets[i] = i
 		}
 	}
+	// When the context carries a trace span, each shard call gets its
+	// own child span (the Span type is concurrency-safe, so parallel
+	// fan-out can append children); the goroutine re-wraps its ctx so
+	// shard-side annotations land on the right child.
+	parent := obs.SpanFrom(ctx)
+	fsp := parent.Start("shard_fanout")
+	fsp.Annotate("targeted", int64(len(targets)))
+	spans := make([]*obs.Span, len(targets))
 	type shardOut struct {
 		pos int
 		res []topk.Result
@@ -253,10 +381,18 @@ func (r *Router) searchShards(ctx context.Context, q []float32, k, ef int, subse
 	}
 	ch := make(chan shardOut, len(targets))
 	for i, si := range targets {
-		go func(pos, si int) {
-			res, err := r.searchOne(ctx, si, q, k, ef)
+		spans[i] = fsp.Start("shard_" + strconv.Itoa(si))
+		go func(pos, si int, sp *obs.Span) {
+			res, err := r.searchOne(obs.WithSpan(ctx, sp), si, q, k, ef)
+			sp.End()
+			if err != nil {
+				sp.Tag("status", "error")
+			} else {
+				sp.Tag("status", "ok")
+				sp.Annotate("results", int64(len(res)))
+			}
 			ch <- shardOut{pos, res, err}
-		}(i, si)
+		}(i, si, spans[i])
 	}
 
 	c := topk.NewCollector(k)
@@ -275,6 +411,7 @@ func (r *Router) searchShards(ctx context.Context, q []float32, k, ef int, subse
 			delete(pending, o.pos)
 			if o.err != nil {
 				lastErr = o.err
+				obs.DistShardFailures.With(strconv.Itoa(targets[o.pos])).Inc()
 				p.Failed = append(p.Failed, ShardError{Shard: targets[o.pos], Err: o.err.Error()})
 				continue
 			}
@@ -285,18 +422,32 @@ func (r *Router) searchShards(ctx context.Context, q []float32, k, ef int, subse
 		case <-ctx.Done():
 			lastErr = ctx.Err()
 			for pos := range pending {
+				obs.DistShardFailures.With(strconv.Itoa(targets[pos])).Inc()
+				spans[pos].Tag("status", "deadline")
 				p.Failed = append(p.Failed, ShardError{Shard: targets[pos], Err: ctx.Err().Error()})
 			}
 			pending = nil
 		}
 	}
+	fsp.Annotate("answered", int64(len(p.Answered)))
+	fsp.Annotate("failed", int64(len(p.Failed)))
+	fsp.End()
+	msp := parent.Start("topk_merge")
+	msp.Annotate("candidates", int64(c.Pushes()))
 	sort.Ints(p.Answered)
 	sort.Slice(p.Failed, func(i, j int) bool { return p.Failed[i].Shard < p.Failed[j].Shard })
+	if !p.Complete() {
+		obs.DistPartial.Inc()
+	}
 	if len(p.Answered) < r.minAnswered {
+		msp.End()
 		return nil, p, fmt.Errorf("dist: %d/%d shards answered (need %d): %w",
 			len(p.Answered), p.Targeted, r.minAnswered, lastErr)
 	}
-	return c.Results(), p, nil
+	res := c.Results()
+	msp.Annotate("merged", int64(len(res)))
+	msp.End()
+	return res, p, nil
 }
 
 // FanOut reports how many shards a routed query touches (experiment

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"vdbms/internal/fault"
+	"vdbms/internal/obs"
 	"vdbms/internal/topk"
 )
 
@@ -47,9 +48,16 @@ func NewReplicaSet(replicas ...Shard) (*ReplicaSet, error) {
 
 // NewReplicaSetWithBreaker wires replicas with an explicit breaker
 // policy (per-replica breakers are independent instances of cfg).
+// Unless the caller installs its own OnStateChange hook, transitions
+// feed the obs breaker-transition counter.
 func NewReplicaSetWithBreaker(cfg fault.BreakerConfig, replicas ...Shard) (*ReplicaSet, error) {
 	if len(replicas) == 0 {
 		return nil, fmt.Errorf("dist: replica set needs at least one replica")
+	}
+	if cfg.OnStateChange == nil {
+		cfg.OnStateChange = func(from, to fault.State) {
+			obs.BreakerTransitions.With(to.String()).Inc()
+		}
 	}
 	breakers := make([]*fault.Breaker, len(replicas))
 	for i := range breakers {
@@ -104,6 +112,17 @@ func (r *ReplicaSet) State(i int) fault.State {
 	return r.breakers[i].State()
 }
 
+// BreakerStates implements the BreakerStates interface: one breaker
+// position per replica, letting the router's health endpoint see
+// through the set.
+func (r *ReplicaSet) BreakerStates() []fault.State {
+	out := make([]fault.State, len(r.breakers))
+	for i, b := range r.breakers {
+		out[i] = b.State()
+	}
+	return out
+}
+
 // MarkHealthy force-closes a replica's breaker (e.g. an operator
 // restarted it and wants traffic back immediately instead of waiting
 // out the cooldown).
@@ -136,6 +155,12 @@ func (r *ReplicaSet) Search(ctx context.Context, q []float32, k, ef int) ([]topk
 		res, err := r.replicas[i].Search(ctx, q, k, ef)
 		if err == nil {
 			b.OnSuccess()
+			if tried > 1 {
+				// The primary (or an earlier replica) failed and a later
+				// one answered: count the failover.
+				obs.ReplicaFailovers.Add(int64(tried - 1))
+				obs.SpanFrom(ctx).Annotate("replica_failovers", int64(tried-1))
+			}
 			return res, nil
 		}
 		if ctx.Err() != nil {

@@ -13,6 +13,7 @@ import (
 
 	"vdbms/internal/filter"
 	"vdbms/internal/index"
+	"vdbms/internal/obs"
 	"vdbms/internal/planner"
 	"vdbms/internal/topk"
 	"vdbms/internal/vec"
@@ -48,6 +49,12 @@ type Options struct {
 	// Exclude hides rows from every plan (used by the engine for
 	// deletion masks); it composes with predicate filters.
 	Exclude func(id int64) bool
+	// Span, when non-nil, is the parent under which execution stages
+	// (filter, index_probe, post_filter) record trace spans. Nil costs
+	// only a pointer check per stage. SearchBatch shares one Options
+	// across goroutines, so batch callers should leave Span nil and
+	// trace the batch as a whole.
+	Span *obs.Span
 }
 
 func (o Options) params() index.Params {
@@ -102,13 +109,52 @@ func (e *Env) Execute(p planner.Plan, q []float32, k int, preds []filter.Predica
 	}
 }
 
+// probe runs one index scan with per-query stats collection: the
+// backend fills an index.SearchStats, which feeds both the per-index
+// obs counters (always on) and the query's trace span (when opts.Span
+// is set). Every plan funnels its index/flat scans through here so
+// /metrics attributes work to the index family that actually served
+// the query.
+func (e *Env) probe(idx index.Index, q []float32, k int, params index.Params, span *obs.Span) ([]topk.Result, error) {
+	var st index.SearchStats
+	params.Stats = &st
+	sp := span.Start("index_probe")
+	res, err := idx.Search(q, k, params)
+	sp.End()
+	name := idx.Name()
+	sp.Tag("index", name)
+	sp.Annotate("k", int64(k))
+	sp.Annotate("distance_comps", st.DistanceComps)
+	if st.NodesVisited > 0 {
+		sp.Annotate("nodes_visited", st.NodesVisited)
+	}
+	if st.GreedyHops > 0 {
+		sp.Annotate("greedy_hops", st.GreedyHops)
+	}
+	if st.BucketsProbed > 0 {
+		sp.Annotate("buckets_probed", st.BucketsProbed)
+	}
+	if st.IOReads > 0 {
+		sp.Annotate("io_reads", st.IOReads)
+	}
+	if st.CacheHits > 0 {
+		sp.Annotate("cache_hits", st.CacheHits)
+	}
+	obs.IndexProbes.With(name).Inc()
+	obs.IndexDistanceComps.With(name).Add(st.DistanceComps)
+	obs.IndexNodesVisited.With(name).Add(st.NodesVisited)
+	obs.IndexBucketsProbed.With(name).Add(st.BucketsProbed)
+	obs.IndexIOReads.With(name).Add(st.IOReads)
+	return res, err
+}
+
 // bruteForce fuses the predicate into an exhaustive scan (plan A).
 func (e *Env) bruteForce(q []float32, k int, preds []filter.Predicate, opts Options) ([]topk.Result, error) {
 	params := opts.params()
 	if len(preds) > 0 {
 		params = withPred(params, e.Attrs.FilterFunc(preds))
 	}
-	return e.Flat.Search(q, k, params)
+	return e.probe(e.Flat, q, k, params, opts.Span)
 }
 
 // preFilter builds the bitmap and hands it to the index as a
@@ -117,13 +163,17 @@ func (e *Env) bruteForce(q []float32, k int, preds []filter.Predicate, opts Opti
 // behavior AnalyticDB-V's optimizer picks in that regime.
 func (e *Env) preFilter(q []float32, k int, preds []filter.Predicate, opts Options) ([]topk.Result, error) {
 	if len(preds) == 0 {
-		return e.indexOrFlat(q, k, opts.params())
+		return e.indexOrFlat(q, k, opts)
 	}
+	fsp := opts.Span.Start("filter")
 	bm, err := e.Attrs.Bitmap(preds)
 	if err != nil {
+		fsp.End()
 		return nil, err
 	}
 	survivors := bm.Count()
+	fsp.Annotate("survivors", int64(survivors))
+	fsp.End()
 	params := opts.params()
 	params.Allow = bm
 	// Small survivor sets are scanned exactly: cheaper than a blocked
@@ -134,9 +184,9 @@ func (e *Env) preFilter(q []float32, k int, preds []filter.Predicate, opts Optio
 		exactCutoff = 256
 	}
 	if e.ANN == nil || survivors <= exactCutoff {
-		return e.Flat.Search(q, k, params)
+		return e.probe(e.Flat, q, k, params, opts.Span)
 	}
-	return e.ANN.Search(q, k, params)
+	return e.probe(e.ANN, q, k, params, opts.Span)
 }
 
 // postFilter over-fetches alpha*k unfiltered candidates and applies
@@ -150,7 +200,7 @@ func (e *Env) postFilter(q []float32, k int, preds []filter.Predicate, alpha int
 	if fetch > e.N {
 		fetch = e.N
 	}
-	cands, err := e.indexOrFlat(q, fetch, opts.params())
+	cands, err := e.indexOrFlat(q, fetch, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -160,10 +210,13 @@ func (e *Env) postFilter(q []float32, k int, preds []filter.Predicate, alpha int
 		}
 		return cands, nil
 	}
+	psp := opts.Span.Start("post_filter")
+	psp.Annotate("fetched", int64(len(cands)))
 	out := make([]topk.Result, 0, k)
 	for _, r := range cands {
 		ok, err := e.Attrs.Matches(preds, int(r.ID))
 		if err != nil {
+			psp.End()
 			return nil, err
 		}
 		if ok {
@@ -173,6 +226,8 @@ func (e *Env) postFilter(q []float32, k int, preds []filter.Predicate, alpha int
 			}
 		}
 	}
+	psp.Annotate("kept", int64(len(out)))
+	psp.End()
 	return out, nil
 }
 
@@ -183,28 +238,34 @@ func (e *Env) singleStage(q []float32, k int, preds []filter.Predicate, opts Opt
 	if len(preds) > 0 {
 		params = withPred(params, e.Attrs.FilterFunc(preds))
 	}
-	return e.indexOrFlat(q, k, params)
+	if e.ANN != nil {
+		return e.probe(e.ANN, q, k, params, opts.Span)
+	}
+	return e.probe(e.Flat, q, k, params, opts.Span)
 }
 
-func (e *Env) indexOrFlat(q []float32, k int, params index.Params) ([]topk.Result, error) {
+func (e *Env) indexOrFlat(q []float32, k int, opts Options) ([]topk.Result, error) {
 	if e.ANN != nil {
-		return e.ANN.Search(q, k, params)
+		return e.probe(e.ANN, q, k, opts.params(), opts.Span)
 	}
-	return e.Flat.Search(q, k, params)
+	return e.probe(e.Flat, q, k, opts.params(), opts.Span)
 }
 
 // Search plans and executes in one step using the given selection
 // policy ("rule", "cost", or a planner.Profile name).
 func (e *Env) Search(q []float32, k int, preds []filter.Predicate, opts Options, policy string) ([]topk.Result, planner.Plan, error) {
+	psp := opts.Span.Start("plan")
 	env := planner.Env{
 		N: e.N, K: k, HasIndex: e.ANN != nil, Selectivity: 1,
 	}
 	if len(preds) > 0 && e.Attrs != nil {
 		sel, err := e.Attrs.EstimateSelectivity(preds, 256)
 		if err != nil {
+			psp.End()
 			return nil, planner.Plan{}, err
 		}
 		env.Selectivity = sel
+		psp.Annotate("selectivity_ppm", int64(sel*1e6))
 	}
 	var plan planner.Plan
 	switch policy {
@@ -215,10 +276,13 @@ func (e *Env) Search(q []float32, k int, preds []filter.Predicate, opts Options,
 	default:
 		p, err := planner.Profile(policy).Select(env)
 		if err != nil {
+			psp.End()
 			return nil, planner.Plan{}, err
 		}
 		plan = p
 	}
+	psp.Tag("plan", plan.Kind.String())
+	psp.End()
 	res, err := e.Execute(plan, q, k, preds, opts)
 	return res, plan, err
 }
@@ -262,5 +326,10 @@ func (e *Env) SearchRange(q []float32, radius float32, preds []filter.Predicate)
 		}
 		params = withPred(params, e.Attrs.FilterFunc(preds))
 	}
-	return e.Flat.SearchRange(q, radius, params)
+	var st index.SearchStats
+	params.Stats = &st
+	res, err := e.Flat.SearchRange(q, radius, params)
+	obs.IndexProbes.With("flat").Inc()
+	obs.IndexDistanceComps.With("flat").Add(st.DistanceComps)
+	return res, err
 }

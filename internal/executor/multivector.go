@@ -85,7 +85,7 @@ func (e *Env) MultiVectorANN(m *EntityMap, agg vec.Aggregator, queries [][]float
 	}
 	cands := map[int64]struct{}{}
 	for _, q := range queries {
-		res, err := e.indexOrFlat(q, fanout, opts.params())
+		res, err := e.indexOrFlat(q, fanout, opts)
 		if err != nil {
 			return nil, err
 		}

@@ -46,6 +46,10 @@ type BreakerConfig struct {
 	Cooldown time.Duration
 	// Now is the clock, injectable for tests. Nil means time.Now.
 	Now func() time.Time
+	// OnStateChange, when non-nil, observes every transition (e.g. to
+	// feed a metrics counter). It is invoked with the breaker's lock
+	// held and must not call back into the breaker.
+	OnStateChange func(from, to State)
 }
 
 func (c BreakerConfig) withDefaults() BreakerConfig {
@@ -79,6 +83,19 @@ func NewBreaker(cfg BreakerConfig) *Breaker {
 	return &Breaker{cfg: cfg.withDefaults()}
 }
 
+// setState transitions to the new state, firing the OnStateChange
+// hook. Called with b.mu held.
+func (b *Breaker) setState(to State) {
+	from := b.state
+	if from == to {
+		return
+	}
+	b.state = to
+	if b.cfg.OnStateChange != nil {
+		b.cfg.OnStateChange(from, to)
+	}
+}
+
 // State reports the current position without advancing it.
 func (b *Breaker) State() State {
 	b.mu.Lock()
@@ -97,7 +114,7 @@ func (b *Breaker) Allow() bool {
 		return true
 	default: // Open
 		if b.cfg.Now().Sub(b.openedAt) >= b.cfg.Cooldown {
-			b.state = HalfOpen
+			b.setState(HalfOpen)
 			b.successes = 0
 			return true
 		}
@@ -115,7 +132,7 @@ func (b *Breaker) OnSuccess() {
 	case HalfOpen:
 		b.successes++
 		if b.successes >= b.cfg.SuccessThreshold {
-			b.state = Closed
+			b.setState(Closed)
 			b.failures = 0
 		}
 	}
@@ -131,12 +148,12 @@ func (b *Breaker) OnFailure() {
 	case Closed:
 		b.failures++
 		if b.failures >= b.cfg.FailureThreshold {
-			b.state = Open
+			b.setState(Open)
 			b.openedAt = b.cfg.Now()
 		}
 	case HalfOpen:
 		// Failed probe: back to open, restart the cooldown.
-		b.state = Open
+		b.setState(Open)
 		b.openedAt = b.cfg.Now()
 	}
 }
@@ -146,7 +163,7 @@ func (b *Breaker) OnFailure() {
 func (b *Breaker) Reset() {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	b.state = Closed
+	b.setState(Closed)
 	b.failures = 0
 	b.successes = 0
 }

@@ -323,6 +323,11 @@ func (da *DiskANN) Search(q []float32, k int, p index.Params) ([]topk.Result, er
 			return tab.Distance(da.codes[int(id)*da.pq.M : (int(id)+1)*da.pq.M])
 		}
 	}
+	// Per-query stats: comps are counted locally; IO/cache deltas come
+	// from the cumulative counters, so they are approximate when
+	// searches run concurrently.
+	iosBefore, hitsBefore := da.ios.Load(), da.hits.Load()
+	compsBefore := da.comps.Load()
 	visited := map[int32]struct{}{da.medoid: {}}
 	var frontier topk.MinQueue
 	frontier.Push(int64(da.medoid), approx(da.medoid))
@@ -361,6 +366,12 @@ func (da *DiskANN) Search(q []float32, k int, p index.Params) ([]topk.Result, er
 		if stop {
 			break
 		}
+	}
+	if p.Stats != nil {
+		p.Stats.NodesVisited += int64(len(visited))
+		p.Stats.DistanceComps += da.comps.Load() - compsBefore
+		p.Stats.IOReads += da.ios.Load() - iosBefore
+		p.Stats.CacheHits += da.hits.Load() - hitsBefore
 	}
 	res := exact.Results()
 	if len(res) > k {

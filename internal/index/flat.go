@@ -74,6 +74,9 @@ func (f *Flat) Search(q []float32, k int, p Params) ([]topk.Result, error) {
 		c.Push(int64(i), d)
 	}
 	f.comps.Add(comps)
+	if p.Stats != nil {
+		p.Stats.DistanceComps += comps
+	}
 	return c.Results(), nil
 }
 
@@ -84,15 +87,20 @@ func (f *Flat) SearchRange(q []float32, radius float32, p Params) ([]topk.Result
 		return nil, fmt.Errorf("%w: query %d, index %d", ErrDim, len(q), f.dim)
 	}
 	var out []topk.Result
+	comps := int64(0)
 	for i := 0; i < f.n; i++ {
 		if !p.Admits(int64(i)) {
 			continue
 		}
 		d := f.fn(q, f.data[i*f.dim:(i+1)*f.dim])
-		f.comps.Add(1)
+		comps++
 		if d <= radius {
 			out = append(out, topk.Result{ID: int64(i), Dist: d})
 		}
+	}
+	f.comps.Add(comps)
+	if p.Stats != nil {
+		p.Stats.DistanceComps += comps
 	}
 	return out, nil
 }

@@ -87,6 +87,11 @@ func BeamSearch(s *Searcher, adj Adjacency, q []float32, entries []int32, k, ef 
 			}
 		}
 	}
+	if p.Stats != nil {
+		// Every visited node cost exactly one distance computation.
+		p.Stats.NodesVisited += int64(len(visited))
+		p.Stats.DistanceComps += int64(len(visited))
+	}
 	res := results.Results()
 	if len(res) > k {
 		res = res[:k]

@@ -202,6 +202,9 @@ func (h *HNSW) Search(q []float32, k int, p index.Params) ([]topk.Result, error)
 	ep := h.entry
 	for l := h.maxLv; l >= 1; l-- {
 		ep, _ = graph.GreedyWalk(h.s, h.layers[l], q, ep)
+		if p.Stats != nil {
+			p.Stats.GreedyHops++
+		}
 	}
 	return graph.BeamSearch(h.s, h.layers[0], q, []int32{ep}, k, ef, p), nil
 }

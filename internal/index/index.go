@@ -32,6 +32,31 @@ type Params struct {
 	// Filter, when non-nil, restricts results to ids it accepts
 	// (visit-first semantics; evaluated during traversal).
 	Filter func(id int64) bool
+	// Stats, when non-nil, receives per-query work counters from the
+	// backend. Unlike the cumulative Stats interface this attributes
+	// work to one query, so the executor can annotate trace spans and
+	// per-index metrics without cross-query races. Each query must
+	// pass its own struct.
+	Stats *SearchStats
+}
+
+// SearchStats collects the work one Search call performed. Backends
+// fill only the fields that apply to them (e.g. BucketsProbed for
+// IVF/LSH, NodesVisited for graphs, IOReads for disk indexes).
+type SearchStats struct {
+	// DistanceComps counts full-vector (or ADC-table) distance
+	// computations.
+	DistanceComps int64
+	// NodesVisited counts graph nodes expanded or visited.
+	NodesVisited int64
+	// GreedyHops counts upper-layer greedy descents (HNSW).
+	GreedyHops int64
+	// BucketsProbed counts inverted lists / hash buckets scanned.
+	BucketsProbed int64
+	// IOReads counts disk record reads (DiskANN).
+	IOReads int64
+	// CacheHits counts record reads served from cache (DiskANN).
+	CacheHits int64
 }
 
 // Admits reports whether id passes both predicate mechanisms.

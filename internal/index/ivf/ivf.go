@@ -205,7 +205,9 @@ func (iv *IVF) Search(q []float32, k int, p index.Params) ([]topk.Result, error)
 		}
 	}
 	resid := make([]float32, iv.dim)
+	probed := int64(0)
 	for _, list := range iv.cents.NearestN(q, nprobe) {
+		probed++
 		if iv.cfg.Variant == ADC && iv.cfg.Residual {
 			cent := iv.cents.Centroid(list)
 			for j := range resid {
@@ -231,6 +233,10 @@ func (iv *IVF) Search(q []float32, k int, p index.Params) ([]topk.Result, error)
 		}
 	}
 	iv.comps.Add(comps)
+	if p.Stats != nil {
+		p.Stats.DistanceComps += comps
+		p.Stats.BucketsProbed += probed
+	}
 	return c.Results(), nil
 }
 

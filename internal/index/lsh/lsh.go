@@ -202,6 +202,10 @@ func (l *LSH) Search(q []float32, k int, p index.Params) ([]topk.Result, error) 
 		}
 	}
 	l.comps.Add(comps)
+	if p.Stats != nil {
+		p.Stats.DistanceComps += comps
+		p.Stats.BucketsProbed += int64(tables)
+	}
 	return c.Results(), nil
 }
 

@@ -1,0 +1,40 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"runtime"
+	"time"
+)
+
+var processStart = time.Now()
+
+// MetricsHandler serves reg in the Prometheus text exposition format
+// (GET /metrics).
+func MetricsHandler(reg *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.WritePrometheus(w)
+	})
+}
+
+// StatsHandler serves a JSON snapshot of reg plus process runtime
+// stats (GET /debug/stats).
+func StatsHandler(reg *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		var mem runtime.MemStats
+		runtime.ReadMemStats(&mem)
+		body := reg.Snapshot()
+		body["runtime"] = map[string]any{
+			"goroutines":     runtime.NumGoroutine(),
+			"heap_alloc":     mem.HeapAlloc,
+			"total_alloc":    mem.TotalAlloc,
+			"num_gc":         mem.NumGC,
+			"uptime_seconds": time.Since(processStart).Seconds(),
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(body)
+	})
+}

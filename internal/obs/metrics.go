@@ -1,0 +1,46 @@
+package obs
+
+// Shared metric handles. Every metric name the engine emits is
+// declared here, in one place, against the Default registry;
+// subsystems import the handle rather than re-registering by name.
+var (
+	// Search path (internal/core via the public Collection API).
+	SearchTotal   = Default().NewCounter("vdbms_search_total", "Completed Collection.Search calls.")
+	SearchErrors  = Default().NewCounter("vdbms_search_errors_total", "Collection.Search calls that returned an error.")
+	SearchLatency = Default().NewHistogram("vdbms_search_latency_seconds", "End-to-end Collection.Search latency.", nil)
+	SearchPlans   = Default().NewCounterVec("vdbms_search_plan_total", "Searches by executed plan.", "plan")
+
+	// Index probes (internal/executor and dist.LocalShard).
+	IndexProbes        = Default().NewCounterVec("vdbms_index_probe_total", "Index probe calls by index family.", "index")
+	IndexDistanceComps = Default().NewCounterVec("vdbms_index_distance_comps_total", "Full-vector distance computations by index family.", "index")
+	IndexNodesVisited  = Default().NewCounterVec("vdbms_index_nodes_visited_total", "Graph nodes visited during probes by index family.", "index")
+	IndexBucketsProbed = Default().NewCounterVec("vdbms_index_buckets_probed_total", "IVF/LSH buckets scanned by index family.", "index")
+	IndexIOReads       = Default().NewCounterVec("vdbms_index_io_reads_total", "Disk record reads by index family.", "index")
+
+	// Distributed read path (internal/dist).
+	DistSearches      = Default().NewCounter("vdbms_dist_search_total", "Scatter-gather searches started.")
+	DistPartial       = Default().NewCounter("vdbms_dist_partial_total", "Scatter-gather searches that returned partial coverage.")
+	DistShardFailures = Default().NewCounterVec("vdbms_dist_shard_failures_total", "Per-shard call failures (after retries).", "shard")
+	DistShardLatency  = Default().NewHistogramVec("vdbms_dist_shard_latency_seconds", "Per-shard call latency including retries.", "shard", nil)
+	DistRetries       = Default().NewCounter("vdbms_dist_retry_total", "Shard call retry attempts beyond the first.")
+	ReplicaFailovers  = Default().NewCounter("vdbms_replica_failover_total", "Replica calls that failed and fell through to the next replica.")
+
+	// Fault layer (internal/fault breakers, wired by internal/dist).
+	BreakerTransitions = Default().NewCounterVec("vdbms_breaker_transitions_total", "Circuit breaker state transitions by destination state.", "to")
+	ShardBreakerState  = Default().NewGaugeVec("vdbms_shard_breaker_state", "Router shard breaker position (0=closed 1=open 2=half-open).", "shard")
+
+	// HTTP layer (internal/server).
+	HTTPRequests     = Default().NewCounterVec("vdbms_http_requests_total", "HTTP requests by endpoint.", "path")
+	HTTPEncodeErrors = Default().NewCounter("vdbms_http_encode_errors_total", "Response bodies that failed to JSON-encode mid-write.")
+	PartialResponses = Default().NewCounter("vdbms_http_partial_responses_total", "HTTP search responses served with partial shard coverage.")
+	SlowQueries      = Default().NewCounter("vdbms_slow_query_total", "Queries exceeding the slow-query log threshold.")
+)
+
+func init() {
+	// Vec series materialize on first With(); pre-seed the breaker
+	// transition counters so every /metrics scrape shows the family at
+	// zero instead of the series appearing only after the first trip.
+	for _, to := range []string{"closed", "open", "half-open"} {
+		BreakerTransitions.With(to)
+	}
+}

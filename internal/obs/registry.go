@@ -1,0 +1,482 @@
+// Package obs is the observability layer of the reproduction: a
+// dependency-free metrics registry (atomic counters, gauges, and
+// fixed-bucket latency histograms cheap enough for the search hot
+// path) plus a lightweight per-query span tree (trace.go) and the
+// HTTP exposition handlers (http.go). Every subsystem — executor,
+// index probes, the distributed router, the fault layer, and both
+// server binaries — reports into the process-wide Default registry,
+// which is exported as Prometheus text on /metrics and as JSON on
+// /debug/stats.
+//
+// Design constraints, in order: (1) hot-path updates are a handful of
+// atomic adds with no allocation and no lock contention (vec lookups
+// take a read lock only); (2) no third-party dependencies; (3) the
+// exposition format is parseable by a real Prometheus scraper.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing value. Negative increments
+// are dropped so exposition never violates counter semantics.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (ignored when negative).
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a value that can go up and down.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set replaces the value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add shifts the value by delta.
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		nv := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, nv) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// LatencyBuckets are the default histogram bounds (seconds), spanning
+// 100µs in-memory probes to 10s disk/RPC worst cases.
+var LatencyBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+	0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// Histogram is a fixed-bucket histogram: each Observe is one atomic
+// bucket increment plus a CAS on the running sum. Bounds are upper
+// bucket edges (inclusive, Prometheus `le` semantics); observations
+// above the last bound land in the implicit +Inf bucket.
+type Histogram struct {
+	bounds  []float64
+	counts  []atomic.Int64 // len(bounds)+1; last is +Inf
+	count   atomic.Int64
+	sumBits atomic.Uint64
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	bs := make([]float64, len(bounds))
+	copy(bs, bounds)
+	sort.Float64s(bs)
+	return &Histogram{bounds: bs, counts: make([]atomic.Int64, len(bs)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		nv := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, nv) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// Buckets returns (bounds, per-bucket raw counts); the final count is
+// the +Inf bucket.
+func (h *Histogram) Buckets() ([]float64, []int64) {
+	out := make([]int64, len(h.counts))
+	for i := range h.counts {
+		out[i] = h.counts[i].Load()
+	}
+	return h.bounds, out
+}
+
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+// entry is one registered time series (family name + label pairs).
+type entry struct {
+	family string
+	pairs  [][2]string
+	kind   metricKind
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+}
+
+func (e *entry) key() string { return e.family + renderLabels(e.pairs) }
+
+// Registry owns a set of metrics. Get-or-create registration is
+// idempotent: asking twice for the same name (and kind) returns the
+// same metric, so package-level handles and tests cannot collide.
+type Registry struct {
+	mu      sync.Mutex
+	entries map[string]*entry
+	help    map[string]string
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{entries: map[string]*entry{}, help: map[string]string{}}
+}
+
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-wide registry every subsystem reports
+// into.
+func Default() *Registry { return defaultRegistry }
+
+func (r *Registry) lookup(family string, pairs [][2]string, kind metricKind, mk func() *entry) *entry {
+	e := &entry{family: family, pairs: pairs, kind: kind}
+	key := e.key()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if prev, ok := r.entries[key]; ok {
+		if prev.kind != kind {
+			panic(fmt.Sprintf("obs: metric %s re-registered with a different kind", key))
+		}
+		return prev
+	}
+	e = mk()
+	r.entries[key] = e
+	return e
+}
+
+func (r *Registry) setHelp(family, help string) {
+	if help == "" {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.help[family]; !ok {
+		r.help[family] = help
+	}
+}
+
+// NewCounter registers (or returns) an unlabeled counter.
+func (r *Registry) NewCounter(name, help string) *Counter {
+	r.setHelp(name, help)
+	e := r.lookup(name, nil, kindCounter, func() *entry {
+		return &entry{family: name, kind: kindCounter, c: &Counter{}}
+	})
+	return e.c
+}
+
+// NewGauge registers (or returns) an unlabeled gauge.
+func (r *Registry) NewGauge(name, help string) *Gauge {
+	r.setHelp(name, help)
+	e := r.lookup(name, nil, kindGauge, func() *entry {
+		return &entry{family: name, kind: kindGauge, g: &Gauge{}}
+	})
+	return e.g
+}
+
+// NewHistogram registers (or returns) an unlabeled histogram with the
+// given bucket bounds (LatencyBuckets when nil).
+func (r *Registry) NewHistogram(name, help string, bounds []float64) *Histogram {
+	if bounds == nil {
+		bounds = LatencyBuckets
+	}
+	r.setHelp(name, help)
+	e := r.lookup(name, nil, kindHistogram, func() *entry {
+		return &entry{family: name, kind: kindHistogram, h: newHistogram(bounds)}
+	})
+	return e.h
+}
+
+// CounterVec is a family of counters split by one label. With is a
+// read-locked map hit after the first call for a given value, cheap
+// enough for per-query use.
+type CounterVec struct {
+	r     *Registry
+	name  string
+	label string
+	mu    sync.RWMutex
+	m     map[string]*Counter
+}
+
+// NewCounterVec registers a counter family keyed by label.
+func (r *Registry) NewCounterVec(name, help, label string) *CounterVec {
+	r.setHelp(name, help)
+	return &CounterVec{r: r, name: name, label: label, m: map[string]*Counter{}}
+}
+
+// With returns the counter for the given label value.
+func (v *CounterVec) With(value string) *Counter {
+	v.mu.RLock()
+	c := v.m[value]
+	v.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	pairs := [][2]string{{v.label, value}}
+	e := v.r.lookup(v.name, pairs, kindCounter, func() *entry {
+		return &entry{family: v.name, pairs: pairs, kind: kindCounter, c: &Counter{}}
+	})
+	v.mu.Lock()
+	v.m[value] = e.c
+	v.mu.Unlock()
+	return e.c
+}
+
+// GaugeVec is a family of gauges split by one label.
+type GaugeVec struct {
+	r     *Registry
+	name  string
+	label string
+	mu    sync.RWMutex
+	m     map[string]*Gauge
+}
+
+// NewGaugeVec registers a gauge family keyed by label.
+func (r *Registry) NewGaugeVec(name, help, label string) *GaugeVec {
+	r.setHelp(name, help)
+	return &GaugeVec{r: r, name: name, label: label, m: map[string]*Gauge{}}
+}
+
+// With returns the gauge for the given label value.
+func (v *GaugeVec) With(value string) *Gauge {
+	v.mu.RLock()
+	g := v.m[value]
+	v.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	pairs := [][2]string{{v.label, value}}
+	e := v.r.lookup(v.name, pairs, kindGauge, func() *entry {
+		return &entry{family: v.name, pairs: pairs, kind: kindGauge, g: &Gauge{}}
+	})
+	v.mu.Lock()
+	v.m[value] = e.g
+	v.mu.Unlock()
+	return e.g
+}
+
+// HistogramVec is a family of histograms split by one label.
+type HistogramVec struct {
+	r      *Registry
+	name   string
+	label  string
+	bounds []float64
+	mu     sync.RWMutex
+	m      map[string]*Histogram
+}
+
+// NewHistogramVec registers a histogram family keyed by label.
+func (r *Registry) NewHistogramVec(name, help, label string, bounds []float64) *HistogramVec {
+	if bounds == nil {
+		bounds = LatencyBuckets
+	}
+	r.setHelp(name, help)
+	return &HistogramVec{r: r, name: name, label: label, bounds: bounds, m: map[string]*Histogram{}}
+}
+
+// With returns the histogram for the given label value.
+func (v *HistogramVec) With(value string) *Histogram {
+	v.mu.RLock()
+	h := v.m[value]
+	v.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	pairs := [][2]string{{v.label, value}}
+	e := v.r.lookup(v.name, pairs, kindHistogram, func() *entry {
+		return &entry{family: v.name, pairs: pairs, kind: kindHistogram, h: newHistogram(v.bounds)}
+	})
+	v.mu.Lock()
+	v.m[value] = e.h
+	v.mu.Unlock()
+	return e.h
+}
+
+func renderLabels(pairs [][2]string) string {
+	if len(pairs) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, p := range pairs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", p[0], escapeLabel(p[1]))
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// renderLabelsWith appends one extra pair (used for histogram `le`).
+func renderLabelsWith(pairs [][2]string, k, v string) string {
+	all := make([][2]string, 0, len(pairs)+1)
+	all = append(all, pairs...)
+	all = append(all, [2]string{k, v})
+	return renderLabels(all)
+}
+
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	return s
+}
+
+// formatFloat renders values the way Prometheus clients do.
+func formatFloat(f float64) string {
+	switch {
+	case math.IsInf(f, 1):
+		return "+Inf"
+	case math.IsInf(f, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(f, 'g', -1, 64)
+}
+
+// snapshot returns the registered entries sorted by family then
+// labels, for deterministic exposition.
+func (r *Registry) snapshot() ([]*entry, map[string]string) {
+	r.mu.Lock()
+	out := make([]*entry, 0, len(r.entries))
+	for _, e := range r.entries {
+		out = append(out, e)
+	}
+	help := make(map[string]string, len(r.help))
+	for k, v := range r.help {
+		help[k] = v
+	}
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].family != out[j].family {
+			return out[i].family < out[j].family
+		}
+		return renderLabels(out[i].pairs) < renderLabels(out[j].pairs)
+	})
+	return out, help
+}
+
+// WritePrometheus writes the registry in the Prometheus text
+// exposition format (version 0.0.4).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	entries, help := r.snapshot()
+	lastFamily := ""
+	for _, e := range entries {
+		if e.family != lastFamily {
+			lastFamily = e.family
+			if h := help[e.family]; h != "" {
+				if _, err := fmt.Fprintf(w, "# HELP %s %s\n", e.family, h); err != nil {
+					return err
+				}
+			}
+			typ := "counter"
+			switch e.kind {
+			case kindGauge:
+				typ = "gauge"
+			case kindHistogram:
+				typ = "histogram"
+			}
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", e.family, typ); err != nil {
+				return err
+			}
+		}
+		switch e.kind {
+		case kindCounter:
+			if _, err := fmt.Fprintf(w, "%s%s %d\n", e.family, renderLabels(e.pairs), e.c.Value()); err != nil {
+				return err
+			}
+		case kindGauge:
+			if _, err := fmt.Fprintf(w, "%s%s %s\n", e.family, renderLabels(e.pairs), formatFloat(e.g.Value())); err != nil {
+				return err
+			}
+		case kindHistogram:
+			bounds, counts := e.h.Buckets()
+			cum := int64(0)
+			for i, b := range bounds {
+				cum += counts[i]
+				if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+					e.family, renderLabelsWith(e.pairs, "le", formatFloat(b)), cum); err != nil {
+					return err
+				}
+			}
+			cum += counts[len(bounds)]
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+				e.family, renderLabelsWith(e.pairs, "le", "+Inf"), cum); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s_sum%s %s\n",
+				e.family, renderLabels(e.pairs), formatFloat(e.h.Sum())); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s_count%s %d\n",
+				e.family, renderLabels(e.pairs), e.h.Count()); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Snapshot returns a JSON-friendly view of every registered metric,
+// used by the /debug/stats endpoint.
+func (r *Registry) Snapshot() map[string]any {
+	entries, _ := r.snapshot()
+	counters := map[string]int64{}
+	gauges := map[string]float64{}
+	hists := map[string]map[string]any{}
+	for _, e := range entries {
+		key := e.key()
+		switch e.kind {
+		case kindCounter:
+			counters[key] = e.c.Value()
+		case kindGauge:
+			gauges[key] = e.g.Value()
+		case kindHistogram:
+			bounds, counts := e.h.Buckets()
+			buckets := map[string]int64{}
+			cum := int64(0)
+			for i, b := range bounds {
+				cum += counts[i]
+				buckets[formatFloat(b)] = cum
+			}
+			buckets["+Inf"] = cum + counts[len(bounds)]
+			hists[key] = map[string]any{
+				"count":   e.h.Count(),
+				"sum":     e.h.Sum(),
+				"buckets": buckets,
+			}
+		}
+	}
+	return map[string]any{
+		"counters":   counters,
+		"gauges":     gauges,
+		"histograms": hists,
+	}
+}

@@ -1,0 +1,241 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterMonotonic(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	c.Add(-7) // dropped: counters never go down
+	if got := c.Value(); got != 5 {
+		t.Fatalf("Value() = %d, want 5", got)
+	}
+}
+
+func TestGauge(t *testing.T) {
+	var g Gauge
+	g.Set(2.5)
+	g.Add(-1)
+	if got := g.Value(); got != 1.5 {
+		t.Fatalf("Value() = %v, want 1.5", got)
+	}
+}
+
+func TestHistogramBucketSums(t *testing.T) {
+	h := newHistogram([]float64{0.01, 0.1, 1})
+	obsd := []float64{0.005, 0.05, 0.05, 0.5, 5}
+	for _, v := range obsd {
+		h.Observe(v)
+	}
+	if got := h.Count(); got != int64(len(obsd)) {
+		t.Fatalf("Count() = %d, want %d", got, len(obsd))
+	}
+	wantSum := 0.0
+	for _, v := range obsd {
+		wantSum += v
+	}
+	if got := h.Sum(); math.Abs(got-wantSum) > 1e-12 {
+		t.Fatalf("Sum() = %v, want %v", got, wantSum)
+	}
+	_, counts := h.Buckets()
+	if want := []int64{1, 2, 1, 1}; len(counts) != len(want) {
+		t.Fatalf("bucket count = %d, want %d", len(counts), len(want))
+	} else {
+		total := int64(0)
+		for i, c := range counts {
+			if c != want[i] {
+				t.Fatalf("bucket[%d] = %d, want %d", i, c, want[i])
+			}
+			total += c
+		}
+		// Invariant: raw bucket counts sum to the observation count.
+		if total != h.Count() {
+			t.Fatalf("bucket sum %d != count %d", total, h.Count())
+		}
+	}
+}
+
+func TestRegistryIdempotent(t *testing.T) {
+	r := NewRegistry()
+	a := r.NewCounter("x_total", "")
+	b := r.NewCounter("x_total", "")
+	if a != b {
+		t.Fatal("re-registering the same counter returned a new instance")
+	}
+	v := r.NewCounterVec("y_total", "", "kind")
+	if v.With("a") != v.With("a") {
+		t.Fatal("vec With returned distinct counters for one label value")
+	}
+	if v.With("a") == v.With("b") {
+		t.Fatal("vec With shared a counter across label values")
+	}
+}
+
+func TestRegistryKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("clash", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on kind mismatch")
+		}
+	}()
+	r.NewGauge("clash", "")
+}
+
+// promMetric is one parsed exposition sample.
+type promMetric struct {
+	name   string // family + rendered labels
+	value  float64
+	isInt  bool
+	intVal int64
+}
+
+// parsePrometheus is a minimal text-format 0.0.4 parser: it validates
+// comment structure and returns every sample line.
+func parsePrometheus(t *testing.T, text string) (samples map[string]promMetric, types map[string]string) {
+	t.Helper()
+	samples = map[string]promMetric{}
+	types = map[string]string{}
+	sc := bufio.NewScanner(strings.NewReader(text))
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.Fields(line)
+			if len(parts) != 4 {
+				t.Fatalf("malformed TYPE line: %q", line)
+			}
+			if _, dup := types[parts[2]]; dup {
+				t.Fatalf("TYPE emitted twice for family %s", parts[2])
+			}
+			types[parts[2]] = parts[3]
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			t.Fatalf("unknown comment line: %q", line)
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("malformed sample line: %q", line)
+		}
+		name, val := line[:sp], line[sp+1:]
+		m := promMetric{name: name}
+		if iv, err := strconv.ParseInt(val, 10, 64); err == nil {
+			m.isInt = true
+			m.intVal = iv
+			m.value = float64(iv)
+		} else {
+			fv, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				t.Fatalf("unparseable value in %q: %v", line, err)
+			}
+			m.value = fv
+		}
+		if _, dup := samples[name]; dup {
+			t.Fatalf("sample %s emitted twice", name)
+		}
+		samples[name] = m
+	}
+	return samples, types
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("test_ops_total", "operations")
+	c.Add(7)
+	g := r.NewGauge("test_depth", "queue depth")
+	g.Set(3.5)
+	v := r.NewCounterVec("test_probe_total", "probes", "index")
+	v.With("hnsw").Add(2)
+	v.With("ivf").Inc()
+	h := r.NewHistogram("test_latency_seconds", "latency", []float64{0.01, 0.1, 1})
+	for _, x := range []float64{0.005, 0.05, 0.5, 2} {
+		h.Observe(x)
+	}
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	samples, types := parsePrometheus(t, b.String())
+
+	for family, want := range map[string]string{
+		"test_ops_total":       "counter",
+		"test_depth":           "gauge",
+		"test_probe_total":     "counter",
+		"test_latency_seconds": "histogram",
+	} {
+		if types[family] != want {
+			t.Errorf("TYPE %s = %q, want %q", family, types[family], want)
+		}
+	}
+	if got := samples["test_ops_total"]; got.intVal != 7 {
+		t.Errorf("test_ops_total = %d, want 7", got.intVal)
+	}
+	if got := samples["test_depth"]; got.value != 3.5 {
+		t.Errorf("test_depth = %v, want 3.5", got.value)
+	}
+	if got := samples[`test_probe_total{index="hnsw"}`]; got.intVal != 2 {
+		t.Errorf("hnsw probes = %d, want 2", got.intVal)
+	}
+	if got := samples[`test_probe_total{index="ivf"}`]; got.intVal != 1 {
+		t.Errorf("ivf probes = %d, want 1", got.intVal)
+	}
+
+	// Histogram: cumulative buckets are non-decreasing, the +Inf bucket
+	// equals _count, and _sum matches the observations.
+	cum := []int64{
+		samples[`test_latency_seconds_bucket{le="0.01"}`].intVal,
+		samples[`test_latency_seconds_bucket{le="0.1"}`].intVal,
+		samples[`test_latency_seconds_bucket{le="1"}`].intVal,
+		samples[`test_latency_seconds_bucket{le="+Inf"}`].intVal,
+	}
+	for i := 1; i < len(cum); i++ {
+		if cum[i] < cum[i-1] {
+			t.Fatalf("bucket counts not cumulative: %v", cum)
+		}
+	}
+	if want := []int64{1, 2, 3, 4}; fmt.Sprint(cum) != fmt.Sprint(want) {
+		t.Errorf("cumulative buckets = %v, want %v", cum, want)
+	}
+	if got := samples["test_latency_seconds_count"]; got.intVal != 4 {
+		t.Errorf("_count = %d, want 4", got.intVal)
+	}
+	if cum[len(cum)-1] != samples["test_latency_seconds_count"].intVal {
+		t.Error("+Inf bucket != _count")
+	}
+	if got := samples["test_latency_seconds_sum"]; math.Abs(got.value-2.555) > 1e-9 {
+		t.Errorf("_sum = %v, want 2.555", got.value)
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != 8000 {
+		t.Fatalf("Value() = %d, want 8000", got)
+	}
+}

@@ -1,0 +1,103 @@
+package obs
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilTraceIsFree(t *testing.T) {
+	var tr *Trace
+	if tr.Root() != nil {
+		t.Fatal("nil trace Root() should be nil")
+	}
+	if tr.Finish() != nil {
+		t.Fatal("nil trace Finish() should be nil")
+	}
+	var s *Span
+	// Every span method must no-op on nil so instrumentation points pay
+	// only a nil check when tracing is off.
+	if s.Start("x") != nil {
+		t.Fatal("nil span Start() should return nil")
+	}
+	s.End()
+	s.Annotate("k", 1)
+	s.Tag("k", "v")
+	if s.Duration() != 0 {
+		t.Fatal("nil span Duration() should be 0")
+	}
+}
+
+func TestSpanTree(t *testing.T) {
+	tr := NewTrace("search")
+	root := tr.Root()
+	a := root.Start("plan")
+	a.Tag("plan", "pre_filter")
+	a.End()
+	b := root.Start("index_probe")
+	b.Annotate("distance_comps", 40)
+	b.Annotate("distance_comps", 2) // accumulates
+	time.Sleep(time.Millisecond)
+	b.End()
+	b.End() // idempotent
+
+	rep := tr.Finish()
+	if rep == nil {
+		t.Fatal("Finish() returned nil on a live trace")
+	}
+	if rep.Stage != "search" || len(rep.Children) != 2 {
+		t.Fatalf("unexpected tree: %+v", rep)
+	}
+	if rep.Children[0].Tags["plan"] != "pre_filter" {
+		t.Errorf("tag lost: %+v", rep.Children[0])
+	}
+	if rep.Children[1].Annotations["distance_comps"] != 42 {
+		t.Errorf("annotation = %d, want 42", rep.Children[1].Annotations["distance_comps"])
+	}
+	if rep.Children[1].DurationNanos <= 0 {
+		t.Error("child span has no duration")
+	}
+	// Stage durations nest: every child fits inside the root.
+	for _, c := range rep.Children {
+		if c.DurationNanos > rep.DurationNanos {
+			t.Errorf("child %s (%dns) longer than root (%dns)",
+				c.Stage, c.DurationNanos, rep.DurationNanos)
+		}
+	}
+}
+
+func TestSpanConcurrentChildren(t *testing.T) {
+	// The distributed fan-out opens per-shard children from separate
+	// goroutines; run under -race this verifies the locking.
+	root := NewTrace("fanout").Root()
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sp := root.Start("shard")
+			sp.Annotate("results", 3)
+			sp.End()
+		}()
+	}
+	wg.Wait()
+	if rep := root.Report(); len(rep.Children) != 16 {
+		t.Fatalf("children = %d, want 16", len(rep.Children))
+	}
+}
+
+func TestSpanContext(t *testing.T) {
+	if SpanFrom(context.Background()) != nil {
+		t.Fatal("SpanFrom on a bare context should be nil")
+	}
+	s := NewTrace("x").Root()
+	ctx := WithSpan(context.Background(), s)
+	if SpanFrom(ctx) != s {
+		t.Fatal("WithSpan/SpanFrom did not round-trip")
+	}
+	// Attaching nil leaves the context untouched.
+	if got := WithSpan(ctx, nil); SpanFrom(got) != s {
+		t.Fatal("WithSpan(nil) should not clobber the attached span")
+	}
+}

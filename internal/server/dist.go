@@ -5,11 +5,14 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
 	"net/http"
 	"strconv"
 	"time"
 
 	"vdbms/internal/dist"
+	"vdbms/internal/fault"
+	"vdbms/internal/obs"
 	"vdbms/internal/topk"
 )
 
@@ -30,6 +33,8 @@ type DistServer struct {
 	router         *dist.Router
 	mux            *http.ServeMux
 	defaultTimeout time.Duration
+	slowQuery      time.Duration
+	logf           func(format string, args ...any)
 }
 
 // DistOption configures a DistServer.
@@ -42,24 +47,64 @@ func WithDistQueryTimeout(d time.Duration) DistOption {
 	return func(s *DistServer) { s.defaultTimeout = d }
 }
 
+// WithDistSlowQueryLog logs any scatter-gather slower than d with its
+// span tree and counts it in vdbms_slow_query_total. 0 disables.
+func WithDistSlowQueryLog(d time.Duration) DistOption {
+	return func(s *DistServer) { s.slowQuery = d }
+}
+
+// WithDistLogf redirects the server's log output (used by tests).
+func WithDistLogf(f func(format string, args ...any)) DistOption {
+	return func(s *DistServer) { s.logf = f }
+}
+
 // NewDist builds the handler set around router:
 //
-//	POST /search   {"vector": [...], "k": 10, "ef": 100, "probes": 2, "timeout_ms": 50}
-//	GET  /healthz  shard count liveness
+//	POST /search       {"vector": [...], "k": 10, "ef": 100, "probes": 2, "timeout_ms": 50}
+//	GET  /healthz      shard count + per-shard breaker state (503 when all open)
+//	GET  /metrics      Prometheus text exposition
+//	GET  /debug/stats  metrics + runtime snapshot as JSON
 func NewDist(router *dist.Router, opts ...DistOption) *DistServer {
-	s := &DistServer{router: router, mux: http.NewServeMux()}
+	s := &DistServer{router: router, mux: http.NewServeMux(), logf: log.Printf}
 	for _, o := range opts {
 		o(s)
 	}
 	s.mux.HandleFunc("/search", s.handleSearch)
-	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]any{"shards": router.NumShards()})
-	})
+	s.mux.Handle("/metrics", obs.MetricsHandler(obs.Default()))
+	s.mux.Handle("/debug/stats", obs.StatsHandler(obs.Default()))
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	return s
 }
 
+// handleHealthz reports shard count and per-shard breaker state. The
+// server is unhealthy (503) only when every shard's breaker is open —
+// no search can produce results in that state; any admitting shard
+// keeps it 200 because partial answers are still served.
+func (s *DistServer) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	states := s.router.ShardStates()
+	allOpen := len(states) > 0
+	for _, st := range states {
+		if st != fault.Open.String() {
+			allOpen = false
+			break
+		}
+	}
+	status := http.StatusOK
+	if allOpen {
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, map[string]any{
+		"shards":   s.router.NumShards(),
+		"breakers": states,
+		"healthy":  !allOpen,
+	})
+}
+
 // ServeHTTP implements http.Handler.
-func (s *DistServer) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+func (s *DistServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	obs.HTTPRequests.With(routeLabel(r.URL.Path)).Inc()
+	s.mux.ServeHTTP(w, r)
+}
 
 // DistSearchRequest is the body of POST /search.
 type DistSearchRequest struct {
@@ -82,10 +127,12 @@ type DistHit struct {
 
 // DistSearchResponse is the body of a successful POST /search. On
 // partial coverage Partial is set and the X-Vdbms-Partial header is
-// "true"; Hits then covers only the shards that answered.
+// "true"; Hits then covers only the shards that answered. Trace is
+// present only when the request carried "X-Vdbms-Trace: 1".
 type DistSearchResponse struct {
-	Hits    []DistHit     `json:"hits"`
-	Partial *dist.Partial `json:"partial,omitempty"`
+	Hits    []DistHit       `json:"hits"`
+	Partial *dist.Partial   `json:"partial,omitempty"`
+	Trace   *obs.SpanReport `json:"trace,omitempty"`
 }
 
 func (s *DistServer) handleSearch(w http.ResponseWriter, r *http.Request) {
@@ -116,7 +163,21 @@ func (s *DistServer) handleSearch(w http.ResponseWriter, r *http.Request) {
 		ctx, cancel = context.WithTimeout(ctx, timeout)
 		defer cancel()
 	}
+	wantTrace := r.Header.Get(TraceHeader) == "1"
+	var tr *obs.Trace
+	if wantTrace || s.slowQuery > 0 {
+		tr = obs.NewTrace("dist_search")
+		ctx = obs.WithSpan(ctx, tr.Root())
+	}
+	start := time.Now()
 	res, partial, err := s.router.RoutedSearch(ctx, req.Vector, req.K, ef, req.Probes)
+	elapsed := time.Since(start)
+	rep := tr.Finish()
+	if s.slowQuery > 0 && elapsed >= s.slowQuery {
+		obs.SlowQueries.Inc()
+		tree, _ := json.Marshal(rep)
+		s.logf("slow query: dist k=%d elapsed=%s trace=%s", req.K, elapsed, tree)
+	}
 	if err != nil {
 		// Nothing (or too little) answered: 504 when the deadline was
 		// the cause, 502 when the shards themselves failed. The
@@ -129,10 +190,18 @@ func (s *DistServer) handleSearch(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, status, map[string]any{"error": err.Error(), "partial": partial})
 		return
 	}
+	if !partial.Complete() {
+		obs.PartialResponses.Inc()
+	}
+	// The partial header must be final before writeJSON emits the
+	// status line; headers set after that are silently dropped.
 	w.Header().Set(PartialHeader, strconv.FormatBool(!partial.Complete()))
 	resp := DistSearchResponse{Hits: toDistHits(res)}
 	if !partial.Complete() {
 		resp.Partial = &partial
+	}
+	if wantTrace {
+		resp.Trace = rep
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

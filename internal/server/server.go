@@ -10,19 +10,27 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
 	"net/http"
 	"strings"
 	"time"
 
 	"vdbms"
+	"vdbms/internal/obs"
 	"vdbms/internal/vql"
 )
+
+// TraceHeader, when set to "1" on a search request, asks the server to
+// return the query's span tree in the response Trace field.
+const TraceHeader = "X-Vdbms-Trace"
 
 // Server wraps a DB with HTTP handlers.
 type Server struct {
 	db           *vdbms.DB
 	mux          *http.ServeMux
 	queryTimeout time.Duration
+	slowQuery    time.Duration
+	logf         func(format string, args ...any)
 }
 
 // Option configures a Server.
@@ -35,28 +43,61 @@ func WithQueryTimeout(d time.Duration) Option {
 	return func(s *Server) { s.queryTimeout = d }
 }
 
+// WithSlowQueryLog logs any search slower than d, with its span tree,
+// and counts it in vdbms_slow_query_total. Tracing is forced on for
+// every search so the offending stages are in the log; the trace is
+// still stripped from responses that did not ask for it. 0 disables.
+func WithSlowQueryLog(d time.Duration) Option {
+	return func(s *Server) { s.slowQuery = d }
+}
+
+// WithLogf redirects the server's log output (used by tests).
+func WithLogf(f func(format string, args ...any)) Option {
+	return func(s *Server) { s.logf = f }
+}
+
 // New builds the handler set around db.
 func New(db *vdbms.DB, opts ...Option) *Server {
-	s := &Server{db: db, mux: http.NewServeMux()}
+	s := &Server{db: db, mux: http.NewServeMux(), logf: log.Printf}
 	for _, o := range opts {
 		o(s)
 	}
 	s.mux.HandleFunc("/collections", s.handleCollections)
 	s.mux.HandleFunc("/collections/", s.handleCollection)
 	s.mux.HandleFunc("/query", s.handleQuery)
+	s.mux.Handle("/metrics", obs.MetricsHandler(obs.Default()))
+	s.mux.Handle("/debug/stats", obs.StatsHandler(obs.Default()))
 	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
 	})
 	return s
 }
 
 // ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	obs.HTTPRequests.With(routeLabel(r.URL.Path)).Inc()
+	s.mux.ServeHTTP(w, r)
+}
+
+// routeLabel collapses request paths onto their route pattern so the
+// per-path request counter keeps a bounded label set (collection names
+// must not mint metric series).
+func routeLabel(path string) string {
+	if strings.HasPrefix(path, "/collections/") {
+		return "/collections/*"
+	}
+	return path
+}
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(v)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// The status line is already out, so the client sees a truncated
+		// body; count it instead of losing the failure silently.
+		obs.HTTPEncodeErrors.Inc()
+	}
 }
 
 func writeErr(w http.ResponseWriter, status int, err error) {
@@ -210,15 +251,30 @@ func (s *Server) handleCollection(w http.ResponseWriter, r *http.Request) {
 		}
 		ctx, cancel := s.searchCtx(r)
 		defer cancel()
+		// Tracing is on when the client asks (X-Vdbms-Trace: 1) or the
+		// slow-query log needs span trees to be useful.
+		wantTrace := r.Header.Get(TraceHeader) == "1"
+		start := time.Now()
 		res, err := col.SearchContext(ctx, vdbms.SearchRequest{
 			Vector: req.Vector, Vectors: req.Vectors, K: req.K,
 			Filters: req.Filters, Policy: req.Policy, Ef: req.Ef,
 			NProbe: req.NProbe, Alpha: req.Alpha,
 			EntityColumn: req.EntityColumn, Aggregator: req.Aggregator,
+			Trace: wantTrace || s.slowQuery > 0,
 		})
+		elapsed := time.Since(start)
 		if err != nil {
 			writeErr(w, searchErrStatus(err), err)
 			return
+		}
+		if s.slowQuery > 0 && elapsed >= s.slowQuery {
+			obs.SlowQueries.Inc()
+			tree, _ := json.Marshal(res.Trace)
+			s.logf("slow query: collection=%s k=%d elapsed=%s trace=%s",
+				name, req.K, elapsed, tree)
+		}
+		if !wantTrace {
+			res.Trace = nil
 		}
 		writeJSON(w, http.StatusOK, res)
 	default:

@@ -15,8 +15,9 @@ type Result struct {
 // Collector accumulates the k results with the smallest distances.
 // It is not safe for concurrent use.
 type Collector struct {
-	k    int
-	heap []Result // max-heap on Dist
+	k      int
+	heap   []Result // max-heap on Dist
+	pushes int64    // candidates offered, kept or not
 }
 
 // NewCollector returns a collector for the k nearest results. k must
@@ -46,9 +47,16 @@ func (c *Collector) Worst() float32 {
 	return c.heap[0].Dist
 }
 
+// Pushes returns how many candidates have been offered via Push since
+// construction (or the last Reset), whether or not they were kept.
+// Merge traces use it to report how many per-shard candidates fed the
+// final top-k.
+func (c *Collector) Pushes() int64 { return c.pushes }
+
 // Push offers a candidate. It returns true if the candidate was kept
 // (i.e. the heap was not full or the candidate beat the worst entry).
 func (c *Collector) Push(id int64, dist float32) bool {
+	c.pushes++
 	if len(c.heap) < c.k {
 		c.heap = append(c.heap, Result{ID: id, Dist: dist})
 		c.siftUp(len(c.heap) - 1)
@@ -83,7 +91,10 @@ func (c *Collector) Results() []Result {
 }
 
 // Reset empties the collector, keeping capacity.
-func (c *Collector) Reset() { c.heap = c.heap[:0] }
+func (c *Collector) Reset() {
+	c.heap = c.heap[:0]
+	c.pushes = 0
+}
 
 func (c *Collector) siftUp(i int) {
 	for i > 0 {

@@ -1,11 +1,22 @@
 #!/usr/bin/env bash
-# Tier-1 CI gate: vet, build, and the full test suite under the race
-# detector. The fault-tolerance path (internal/dist, internal/fault)
-# is heavily concurrent — scatter-gather goroutines, breaker state,
-# RPC drain — so -race is mandatory here, not optional.
+# Tier-1 CI gate: formatting, vet, build, and the full test suite
+# under the race detector. The fault-tolerance path (internal/dist,
+# internal/fault) is heavily concurrent — scatter-gather goroutines,
+# breaker state, RPC drain — so -race is mandatory here, not optional.
+# The final step smoke-runs the observability overhead benchmarks
+# (one iteration each) so a compile error or panic in the bench
+# harness cannot land unnoticed.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
 
 go vet ./...
 go build ./...
 go test -race ./...
+go test -run '^$' -bench BenchmarkSearch -benchtime 1x ./internal/obs/
