@@ -48,6 +48,7 @@ func main() {
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "max wait for in-flight requests on shutdown")
 	slowQuery := flag.Duration("slow-query", 0, "log searches slower than this with their span tree (0 = off)")
 	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty = off)")
+	parallelism := flag.Int("parallelism", 0, "default intra-query workers for partitioned scans (0 = GOMAXPROCS, 1 = serial)")
 	flag.Parse()
 
 	if *pprofAddr != "" {
@@ -62,7 +63,8 @@ func main() {
 		Addr: *addr,
 		Handler: server.New(db,
 			server.WithQueryTimeout(*queryTimeout),
-			server.WithSlowQueryLog(*slowQuery)),
+			server.WithSlowQueryLog(*slowQuery),
+			server.WithParallelism(*parallelism)),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 

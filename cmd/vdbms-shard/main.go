@@ -58,6 +58,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "synthetic data seed")
 	offset := flag.Int64("offset", 0, "first global id of this partition")
 	m := flag.Int("m", 16, "HNSW M parameter")
+	parallelism := flag.Int("parallelism", 0, "intra-query workers for partitioned scans (0 = GOMAXPROCS, 1 = serial)")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "max wait for in-flight queries on shutdown")
 	chaosErr := flag.Float64("chaos-error-rate", 0, "chaos: probability a search fails")
 	chaosHang := flag.Float64("chaos-hang-rate", 0, "chaos: probability a search hangs until its deadline")
@@ -118,7 +119,9 @@ func main() {
 		ids[i] = *offset + int64(i)
 	}
 
-	var shard dist.Shard = dist.NewLocalShard(idx, ids)
+	local := dist.NewLocalShard(idx, ids)
+	local.Parallelism = *parallelism
+	var shard dist.Shard = local
 	if *chaosErr > 0 || *chaosHang > 0 || *chaosLatency > 0 || *chaosJitter > 0 {
 		shard = fault.NewChaosShard(shard, fault.ChaosConfig{
 			ErrorRate:     *chaosErr,

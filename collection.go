@@ -186,6 +186,12 @@ type SearchRequest struct {
 	NProbe int
 	// Alpha is the post-filter over-fetch multiplier (default 4).
 	Alpha int
+	// Parallelism is the intra-query worker count: exhaustive and
+	// bucket scans partition their work across this many workers,
+	// drawn from a shared process-wide pool. 0 uses every CPU
+	// (GOMAXPROCS); 1 scans serially. Results are identical at every
+	// setting — partitions merge through an id-deterministic top-k.
+	Parallelism int
 	// EntityColumn names an int attribute grouping rows into entities
 	// for multi-vector queries.
 	EntityColumn string
@@ -260,6 +266,7 @@ func (c *Collection) Search(req SearchRequest) (SearchResult, error) {
 		Ef:           req.Ef,
 		NProbe:       req.NProbe,
 		Alpha:        req.Alpha,
+		Parallelism:  req.Parallelism,
 		EntityColumn: req.EntityColumn,
 		Aggregator:   agg,
 		Weights:      req.Weights,
@@ -317,21 +324,25 @@ func (c *Collection) SearchRange(q []float32, radius float32, filters []Filter) 
 	return convertHits(res), nil
 }
 
-// SearchBatch answers a batch of queries in parallel.
+// SearchBatch answers a batch of queries in parallel. A query that
+// fails does not discard the rest of the batch: its slot is nil and
+// the returned error wraps each failing query's index (errors.Join),
+// so callers keep the successful answers — the same partial-results
+// philosophy as the distributed read path.
 func (c *Collection) SearchBatch(qs [][]float32, k int, filters []Filter, ef int) ([][]Hit, error) {
 	preds, err := convertFilters(filters)
 	if err != nil {
 		return nil, err
 	}
-	res, err := c.inner.SearchBatch(qs, k, preds, ef)
-	if err != nil {
-		return nil, err
-	}
+	res, batchErr := c.inner.SearchBatch(qs, k, preds, ef)
 	out := make([][]Hit, len(res))
 	for i, rs := range res {
+		if rs == nil {
+			continue
+		}
 		out[i] = convertHits(rs)
 	}
-	return out, nil
+	return out, batchErr
 }
 
 // Iterator pages through results incrementally (Section 2.6(5)).

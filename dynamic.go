@@ -25,6 +25,11 @@ type DynamicConfig struct {
 	// SegmentIndex selects the per-segment index family: "hnsw"
 	// (default) or "ivfflat".
 	SegmentIndex string
+	// Parallelism is the intra-query worker count: searches fan out
+	// over the memtable and sealed segments concurrently. 0 uses every
+	// CPU (GOMAXPROCS), 1 searches serially. Results are identical at
+	// every setting.
+	Parallelism int
 }
 
 // Dynamic is an updatable collection: upserts and deletes are cheap
@@ -63,6 +68,7 @@ func OpenDynamic(cfg DynamicConfig) (*Dynamic, error) {
 		MaxSegments:  cfg.MaxSegments,
 		Metric:       m,
 		Builder:      builder,
+		Parallelism:  cfg.Parallelism,
 	})
 	if err != nil {
 		return nil, err

@@ -1,0 +1,106 @@
+package vdbms
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"vdbms/internal/dataset"
+)
+
+// TestDynamicConcurrentStress hammers one Dynamic collection with
+// concurrent upserts, deletes, flushes, compactions, and parallel
+// searches. It asserts nothing about result contents — its job is to
+// run under `go test -race` (scripts/ci.sh does) and prove the
+// LSM search fan-out introduces no data race with mutating traffic.
+func TestDynamicConcurrentStress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	dyn, err := OpenDynamic(DynamicConfig{Dim: 8, MemtableSize: 32, MaxSegments: 8, Parallelism: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := dataset.Clustered(512, 8, 4, 0.4, 3)
+	// Preload so searches have something to chew on from the start.
+	for i := 0; i < 128; i++ {
+		if err := dyn.Upsert(int64(i), ds.Row(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	const (
+		writers   = 3
+		searchers = 3
+		opsPerG   = 300
+	)
+	var wg sync.WaitGroup
+	var failures atomic.Int64
+	fail := func(format string, args ...any) {
+		failures.Add(1)
+		t.Errorf(format, args...)
+	}
+
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < opsPerG; i++ {
+				id := int64(rng.Intn(512))
+				switch rng.Intn(10) {
+				case 0:
+					dyn.Delete(id)
+				case 1:
+					if err := dyn.Flush(); err != nil {
+						fail("flush: %v", err)
+						return
+					}
+				case 2:
+					if err := dyn.Compact(); err != nil {
+						fail("compact: %v", err)
+						return
+					}
+				default:
+					if err := dyn.Upsert(id, ds.Row(int(id))); err != nil {
+						fail("upsert %d: %v", id, err)
+						return
+					}
+				}
+			}
+		}(int64(g + 1))
+	}
+	for g := 0; g < searchers; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < opsPerG; i++ {
+				q := ds.Row(rng.Intn(512))
+				hits, err := dyn.Search(q, 5, 64)
+				if err != nil {
+					fail("search: %v", err)
+					return
+				}
+				for j := 1; j < len(hits); j++ {
+					if hits[j].Dist < hits[j-1].Dist {
+						fail("unsorted results at %d", j)
+						return
+					}
+				}
+				if _, ok := dyn.Get(int64(rng.Intn(512))); ok {
+					_ = ok
+				}
+			}
+		}(int64(100 + g))
+	}
+	wg.Wait()
+	if failures.Load() > 0 {
+		t.Fatalf("%d failures under concurrency", failures.Load())
+	}
+	// The collection must still be coherent after the storm.
+	if _, err := dyn.Search(ds.Row(0), 5, 64); err != nil {
+		t.Fatal(err)
+	}
+}

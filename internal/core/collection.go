@@ -277,6 +277,10 @@ type Request struct {
 	Ef     int
 	NProbe int
 	Alpha  int
+	// Parallelism is the intra-query worker count for partitioned
+	// scans; 0 uses every CPU, 1 scans serially. Results are identical
+	// at every setting.
+	Parallelism int
 	// EntityColumn names an Int64 attribute grouping rows into
 	// entities for multi-vector queries.
 	EntityColumn string
@@ -332,7 +336,7 @@ func (c *Collection) search(req Request) ([]Result, planner.Plan, error) {
 	if err != nil {
 		return nil, planner.Plan{}, err
 	}
-	opts := executor.Options{Ef: req.Ef, NProbe: req.NProbe, Exclude: c.exclude(), Span: root}
+	opts := executor.Options{Ef: req.Ef, NProbe: req.NProbe, Parallelism: req.Parallelism, Exclude: c.exclude(), Span: root}
 
 	if len(req.Vectors) > 0 {
 		if req.EntityColumn == "" {
@@ -431,7 +435,10 @@ func (c *Collection) SearchRange(q []float32, radius float32, preds []filter.Pre
 	return out, nil
 }
 
-// SearchBatch answers many queries under one plan policy.
+// SearchBatch answers many queries under one plan policy. Per-query
+// failures are partial, not fatal: successful slots are returned
+// alongside an error naming each failing query's index (a failed
+// slot is nil).
 func (c *Collection) SearchBatch(qs [][]float32, k int, preds []filter.Predicate, ef int) ([][]Result, error) {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
@@ -441,14 +448,14 @@ func (c *Collection) SearchBatch(qs [][]float32, k int, preds []filter.Predicate
 	}
 	plan := planner.Plan{Kind: planner.SingleStage}
 	res, err := env.SearchBatch(plan, qs, k, preds, executor.Options{Ef: ef, Exclude: c.exclude()})
-	if err != nil {
-		return nil, err
-	}
 	out := make([][]Result, len(res))
 	for i, rs := range res {
+		if rs == nil {
+			continue
+		}
 		out[i] = convert(rs)
 	}
-	return out, nil
+	return out, err
 }
 
 // OpenIterator starts incremental paging over the collection.

@@ -42,6 +42,10 @@ type Shard interface {
 type LocalShard struct {
 	idx index.Index
 	ids []int64 // local row -> global id
+	// Parallelism is the intra-query worker count handed to the
+	// wrapped index for partitioned scans (0 = GOMAXPROCS, 1 =
+	// serial). Set it before serving; it is read concurrently.
+	Parallelism int
 }
 
 // NewLocalShard builds a shard from pre-partitioned rows.
@@ -62,13 +66,14 @@ func (s *LocalShard) Search(ctx context.Context, q []float32, k int, ef int) ([]
 		return nil, err
 	}
 	var st index.SearchStats
-	res, err := s.idx.Search(q, k, index.Params{Ef: ef, NProbe: ef, Stats: &st})
+	res, err := s.idx.Search(q, k, index.Params{Ef: ef, NProbe: ef, Parallelism: s.Parallelism, Stats: &st})
 	name := s.idx.Name()
 	obs.IndexProbes.With(name).Inc()
 	obs.IndexDistanceComps.With(name).Add(st.DistanceComps)
 	obs.IndexNodesVisited.With(name).Add(st.NodesVisited)
 	obs.IndexBucketsProbed.With(name).Add(st.BucketsProbed)
 	obs.IndexIOReads.With(name).Add(st.IOReads)
+	obs.IndexPartitions.With(name).Add(st.Partitions)
 	if sp := obs.SpanFrom(ctx); sp != nil {
 		sp.Tag("index", name)
 		sp.Annotate("distance_comps", st.DistanceComps)

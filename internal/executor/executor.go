@@ -7,14 +7,14 @@
 package executor
 
 import (
+	"errors"
 	"fmt"
-	"runtime"
-	"sync"
 
 	"vdbms/internal/filter"
 	"vdbms/internal/index"
 	"vdbms/internal/obs"
 	"vdbms/internal/planner"
+	"vdbms/internal/pool"
 	"vdbms/internal/topk"
 	"vdbms/internal/vec"
 )
@@ -49,6 +49,11 @@ type Options struct {
 	// Exclude hides rows from every plan (used by the engine for
 	// deletion masks); it composes with predicate filters.
 	Exclude func(id int64) bool
+	// Parallelism is the intra-query worker count for partitioned
+	// scans (flat ranges, IVF inverted lists). 0 uses the shared pool
+	// width (GOMAXPROCS), 1 forces serial scans. Results are identical
+	// at every setting.
+	Parallelism int
 	// Span, when non-nil, is the parent under which execution stages
 	// (filter, index_probe, post_filter) record trace spans. Nil costs
 	// only a pointer check per stage. SearchBatch shares one Options
@@ -58,7 +63,7 @@ type Options struct {
 }
 
 func (o Options) params() index.Params {
-	p := index.Params{Ef: o.Ef, NProbe: o.NProbe}
+	p := index.Params{Ef: o.Ef, NProbe: o.NProbe, Parallelism: o.Parallelism}
 	if o.Exclude != nil {
 		excl := o.Exclude
 		p.Filter = func(id int64) bool { return !excl(id) }
@@ -140,11 +145,15 @@ func (e *Env) probe(idx index.Index, q []float32, k int, params index.Params, sp
 	if st.CacheHits > 0 {
 		sp.Annotate("cache_hits", st.CacheHits)
 	}
+	if st.Partitions > 0 {
+		sp.Annotate("partitions", st.Partitions)
+	}
 	obs.IndexProbes.With(name).Inc()
 	obs.IndexDistanceComps.With(name).Add(st.DistanceComps)
 	obs.IndexNodesVisited.With(name).Add(st.NodesVisited)
 	obs.IndexBucketsProbed.With(name).Add(st.BucketsProbed)
 	obs.IndexIOReads.With(name).Add(st.IOReads)
+	obs.IndexPartitions.With(name).Add(st.Partitions)
 	return res, err
 }
 
@@ -288,29 +297,30 @@ func (e *Env) Search(q []float32, k int, preds []filter.Predicate, opts Options,
 }
 
 // SearchBatch answers a batch of queries (Section 2.1(3), batched
-// queries), fanning out across CPUs. Results align with the input
-// order.
+// queries), fanning out over the shared worker pool — the same pool
+// intra-query partitioned scans draw from, so batch × intra-query
+// nesting cannot oversubscribe the machine. Results align with the
+// input order.
+//
+// A failing query does not discard the others: its slot is nil and the
+// returned error (joined across failures) wraps each failing query's
+// index, mirroring the partial-results philosophy of the distributed
+// read path. Callers that need all-or-nothing can treat any non-nil
+// error as fatal.
 func (e *Env) SearchBatch(p planner.Plan, qs [][]float32, k int, preds []filter.Predicate, opts Options) ([][]topk.Result, error) {
 	out := make([][]topk.Result, len(qs))
 	errs := make([]error, len(qs))
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-	for i := range qs {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(i int) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			out[i], errs[i] = e.Execute(p, qs[i], k, preds, opts)
-		}(i)
-	}
-	wg.Wait()
-	for _, err := range errs {
+	pool.Default().Run(len(qs), func(i int) {
+		out[i], errs[i] = e.Execute(p, qs[i], k, preds, opts)
+	})
+	var failed []error
+	for i, err := range errs {
 		if err != nil {
-			return nil, err
+			out[i] = nil
+			failed = append(failed, fmt.Errorf("query %d: %w", i, err))
 		}
 	}
-	return out, nil
+	return out, errors.Join(failed...)
 }
 
 // SearchRange answers a range query: all (admitted) vectors within the

@@ -1,6 +1,7 @@
 package executor
 
 import (
+	"strings"
 	"testing"
 
 	"vdbms/internal/dataset"
@@ -418,5 +419,42 @@ func TestIteratorWithPredicate(t *testing.T) {
 	}
 	if total == 0 {
 		t.Fatal("predicated iterator returned nothing")
+	}
+}
+
+// TestSearchBatchPartialResults: one bad query must not discard the
+// whole batch. Failures come back as nil slots plus an error naming
+// the failing index; the other queries' results survive.
+func TestSearchBatchPartialResults(t *testing.T) {
+	env, ds := buildEnv(t, 500)
+	qs := ds.Queries(4, 0.05, 3)
+	qs[2] = []float32{1} // wrong dimensionality
+	plan := planner.Plan{Kind: planner.SingleStage}
+	batch, err := env.SearchBatch(plan, qs, 5, nil, Options{Ef: 100})
+	if err == nil {
+		t.Fatal("want an error for the bad query")
+	}
+	if !strings.Contains(err.Error(), "query 2") {
+		t.Fatalf("error should name the failing index: %v", err)
+	}
+	if len(batch) != len(qs) {
+		t.Fatalf("batch length %d, want %d", len(batch), len(qs))
+	}
+	if batch[2] != nil {
+		t.Fatal("failed query should have a nil slot")
+	}
+	for _, i := range []int{0, 1, 3} {
+		if len(batch[i]) == 0 {
+			t.Fatalf("query %d lost its results", i)
+		}
+		single, err := env.Execute(plan, qs[i], 5, nil, Options{Ef: 100})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range single {
+			if single[j].ID != batch[i][j].ID {
+				t.Fatalf("query %d result %d differs from single execution", i, j)
+			}
+		}
 	}
 }

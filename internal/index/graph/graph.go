@@ -5,6 +5,8 @@
 package graph
 
 import (
+	"sync/atomic"
+
 	"vdbms/internal/index"
 	"vdbms/internal/topk"
 	"vdbms/internal/vec"
@@ -19,8 +21,9 @@ type Searcher struct {
 	Dim  int
 	Fn   vec.DistanceFunc
 	// Comps counts distance computations (incremented by searches and
-	// build helpers; the caller owns reset).
-	Comps int64
+	// build helpers; the caller owns reset). Atomic because concurrent
+	// searches share one Searcher per index.
+	Comps atomic.Int64
 }
 
 // Row returns vector id.
@@ -30,7 +33,7 @@ func (s *Searcher) Row(id int32) []float32 {
 
 // Dist computes the distance from q to node id, counting the work.
 func (s *Searcher) Dist(q []float32, id int32) float32 {
-	s.Comps++
+	s.Comps.Add(1)
 	return s.Fn(q, s.Row(id))
 }
 

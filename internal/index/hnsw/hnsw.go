@@ -172,10 +172,10 @@ func (h *HNSW) Name() string { return "hnsw" }
 func (h *HNSW) Size() int { return h.n }
 
 // DistanceComps implements index.Stats.
-func (h *HNSW) DistanceComps() int64 { return h.comps.Load() + h.s.Comps }
+func (h *HNSW) DistanceComps() int64 { return h.comps.Load() + h.s.Comps.Load() }
 
 // ResetStats implements index.Stats.
-func (h *HNSW) ResetStats() { h.comps.Store(0); h.s.Comps = 0 }
+func (h *HNSW) ResetStats() { h.comps.Store(0); h.s.Comps.Store(0) }
 
 // MaxLayer returns the top layer index.
 func (h *HNSW) MaxLayer() int { return h.maxLv }

@@ -38,6 +38,12 @@ type Params struct {
 	// per-index metrics without cross-query races. Each query must
 	// pass its own struct.
 	Stats *SearchStats
+	// Parallelism is the intra-query worker count for indexes that
+	// partition their scan (flat ranges, IVF inverted lists). 0 selects
+	// the shared pool's width (GOMAXPROCS), 1 forces a serial scan.
+	// Results are identical at every setting: partitions merge through
+	// the id-deterministic top-k collector.
+	Parallelism int
 }
 
 // SearchStats collects the work one Search call performed. Backends
@@ -57,6 +63,9 @@ type SearchStats struct {
 	IOReads int64
 	// CacheHits counts record reads served from cache (DiskANN).
 	CacheHits int64
+	// Partitions counts the parallel scan partitions this query was
+	// split into (1 for a serial scan).
+	Partitions int64
 }
 
 // Admits reports whether id passes both predicate mechanisms.

@@ -15,6 +15,8 @@ import (
 
 	"vdbms/internal/index"
 	"vdbms/internal/kmeans"
+	"vdbms/internal/obs"
+	"vdbms/internal/pool"
 	"vdbms/internal/quant"
 	"vdbms/internal/topk"
 	"vdbms/internal/vec"
@@ -184,6 +186,12 @@ func (iv *IVF) ScannedFraction(q []float32, nprobe int) float64 {
 
 // Search implements index.Index. p.NProbe selects how many buckets to
 // scan (default 1).
+//
+// The selected inverted lists are partitioned into p.Parallelism
+// contiguous groups scanned concurrently, each into its own collector,
+// merged at the end. Per-list work (including the per-list residual
+// ADC table) is computed identically in every schedule, so results are
+// byte-identical at every worker count.
 func (iv *IVF) Search(q []float32, k int, p index.Params) ([]topk.Result, error) {
 	if k <= 0 {
 		return nil, index.ErrBadK
@@ -195,19 +203,61 @@ func (iv *IVF) Search(q []float32, k int, p index.Params) ([]topk.Result, error)
 	if nprobe <= 0 {
 		nprobe = 1
 	}
-	c := topk.NewCollector(k)
-	comps := int64(0)
-	var adc *quant.ADCTable
-	switch iv.cfg.Variant {
-	case ADC:
-		if !iv.cfg.Residual {
-			adc = iv.pq.ADC(q)
-		}
+	var sharedADC *quant.ADCTable
+	if iv.cfg.Variant == ADC && !iv.cfg.Residual {
+		// One query-relative table serves every list; workers only read it.
+		sharedADC = iv.pq.ADC(q)
 	}
-	resid := make([]float32, iv.dim)
-	probed := int64(0)
-	for _, list := range iv.cents.NearestN(q, nprobe) {
-		probed++
+	lists := iv.cents.NearestN(q, nprobe)
+	w := pool.Default().Effective(p.Parallelism, len(lists))
+	if w <= 1 {
+		c := topk.NewCollector(k)
+		comps := iv.scanLists(q, c, lists, &p, sharedADC)
+		iv.comps.Add(comps)
+		if p.Stats != nil {
+			p.Stats.DistanceComps += comps
+			p.Stats.BucketsProbed += int64(len(lists))
+			p.Stats.Partitions++
+		}
+		return c.Results(), nil
+	}
+	obs.ParallelSearches.With(iv.Name()).Inc()
+	offs := pool.Split(len(lists), w)
+	collectors := make([]*topk.Collector, w)
+	compsBy := make([]int64, w)
+	pool.Default().Run(w, func(i int) {
+		c := topk.NewCollector(k)
+		compsBy[i] = iv.scanLists(q, c, lists[offs[i]:offs[i+1]], &p, sharedADC)
+		collectors[i] = c
+	})
+	merged := collectors[0]
+	comps := compsBy[0]
+	for i := 1; i < w; i++ {
+		merged.Merge(collectors[i])
+		comps += compsBy[i]
+	}
+	iv.comps.Add(comps)
+	if p.Stats != nil {
+		p.Stats.DistanceComps += comps
+		p.Stats.BucketsProbed += int64(len(lists))
+		p.Stats.Partitions += int64(w)
+	}
+	return merged.Results(), nil
+}
+
+// scanLists scores every admitted member of the given inverted lists
+// into c and returns the distance computations performed. sharedADC is
+// the query-relative table for the non-residual ADC variant (nil
+// otherwise); the residual variant builds a per-list table locally so
+// concurrent workers never share mutable state.
+func (iv *IVF) scanLists(q []float32, c *topk.Collector, lists []int, p *index.Params, sharedADC *quant.ADCTable) int64 {
+	comps := int64(0)
+	adc := sharedADC
+	var resid []float32
+	if iv.cfg.Variant == ADC && iv.cfg.Residual {
+		resid = make([]float32, iv.dim)
+	}
+	for _, list := range lists {
 		if iv.cfg.Variant == ADC && iv.cfg.Residual {
 			cent := iv.cents.Centroid(list)
 			for j := range resid {
@@ -232,12 +282,7 @@ func (iv *IVF) Search(q []float32, k int, p index.Params) ([]topk.Result, error)
 			c.Push(int64(id), d)
 		}
 	}
-	iv.comps.Add(comps)
-	if p.Stats != nil {
-		p.Stats.DistanceComps += comps
-		p.Stats.BucketsProbed += probed
-	}
-	return c.Results(), nil
+	return comps
 }
 
 func init() {

@@ -1,0 +1,86 @@
+package ivf
+
+import (
+	"math"
+	"runtime"
+	"testing"
+
+	"vdbms/internal/dataset"
+	"vdbms/internal/index"
+	"vdbms/internal/topk"
+)
+
+func sameResults(t *testing.T, label string, want, got []topk.Result) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%s: length %d vs serial %d", label, len(got), len(want))
+	}
+	for i := range want {
+		if want[i].ID != got[i].ID ||
+			math.Float32bits(want[i].Dist) != math.Float32bits(got[i].Dist) {
+			t.Fatalf("%s: result %d = %+v, serial %+v", label, i, got[i], want[i])
+		}
+	}
+}
+
+// TestIVFParallelDeterminism: scanning the selected inverted lists
+// concurrently must return byte-identical results to the serial scan
+// at every worker count, for all three storage variants (the residual
+// ADC variant exercises the per-worker ADC table path).
+func TestIVFParallelDeterminism(t *testing.T) {
+	ds := dataset.Clustered(3000, 16, 8, 0.3, 5)
+	variants := []struct {
+		name string
+		cfg  Config
+	}{
+		{"flat", Config{NList: 24}},
+		{"sq", Config{NList: 24, Variant: SQ}},
+		{"adc", Config{NList: 24, Variant: ADC, PQM: 4}},
+		{"adc-residual", Config{NList: 24, Variant: ADC, PQM: 4, Residual: true}},
+	}
+	qs := ds.Queries(5, 0.1, 9)
+	counts := []int{1, 2, runtime.NumCPU(), runtime.NumCPU() + 3}
+	for _, v := range variants {
+		iv, err := Build(ds.Data, ds.Count, ds.Dim, v.cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", v.name, err)
+		}
+		for _, q := range qs {
+			serial, err := iv.Search(q, 10, index.Params{NProbe: 8, Parallelism: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, w := range counts {
+				got, err := iv.Search(q, 10, index.Params{NProbe: 8, Parallelism: w})
+				if err != nil {
+					t.Fatal(err)
+				}
+				sameResults(t, v.name, serial, got)
+			}
+		}
+	}
+}
+
+// TestIVFParallelStats: work counters must not depend on the worker
+// count.
+func TestIVFParallelStats(t *testing.T) {
+	ds := dataset.Clustered(2000, 8, 6, 0.3, 6)
+	iv, err := Build(ds.Data, ds.Count, ds.Dim, Config{NList: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := ds.Row(0)
+	var serial, par index.SearchStats
+	if _, err := iv.Search(q, 5, index.Params{NProbe: 6, Parallelism: 1, Stats: &serial}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := iv.Search(q, 5, index.Params{NProbe: 6, Parallelism: 3, Stats: &par}); err != nil {
+		t.Fatal(err)
+	}
+	if par.DistanceComps != serial.DistanceComps || par.BucketsProbed != serial.BucketsProbed {
+		t.Fatalf("parallel stats %+v != serial %+v", par, serial)
+	}
+	if serial.Partitions != 1 || par.Partitions != 3 {
+		t.Fatalf("partitions serial=%d par=%d, want 1 and 3", serial.Partitions, par.Partitions)
+	}
+}

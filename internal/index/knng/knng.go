@@ -262,10 +262,10 @@ func (g *Graph) Name() string { return "knng" }
 func (g *Graph) Size() int { return g.n }
 
 // DistanceComps implements index.Stats.
-func (g *Graph) DistanceComps() int64 { return g.comps.Load() + g.s.Comps }
+func (g *Graph) DistanceComps() int64 { return g.comps.Load() + g.s.Comps.Load() }
 
 // ResetStats implements index.Stats.
-func (g *Graph) ResetStats() { g.comps.Store(0); g.s.Comps = 0 }
+func (g *Graph) ResetStats() { g.comps.Store(0); g.s.Comps.Store(0) }
 
 // Search implements index.Index via beam search from NumEntry random
 // (but deterministic) entry points; a KNNG has no navigating node, so

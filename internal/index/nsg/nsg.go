@@ -320,10 +320,10 @@ func (g *Graph) Adjacency() graph.Adjacency { return g.adj }
 func (g *Graph) AvgDegree() float64 { return graph.AvgDegree(g.adj) }
 
 // DistanceComps implements index.Stats.
-func (g *Graph) DistanceComps() int64 { return g.comps.Load() + g.s.Comps }
+func (g *Graph) DistanceComps() int64 { return g.comps.Load() + g.s.Comps.Load() }
 
 // ResetStats implements index.Stats.
-func (g *Graph) ResetStats() { g.comps.Store(0); g.s.Comps = 0 }
+func (g *Graph) ResetStats() { g.comps.Store(0); g.s.Comps.Store(0) }
 
 // Search implements index.Index: beam search from the medoid.
 func (g *Graph) Search(q []float32, k int, p index.Params) ([]topk.Result, error) {

@@ -66,10 +66,10 @@ func (g *NSW) Name() string { return "nsw" }
 func (g *NSW) Size() int { return g.n }
 
 // DistanceComps implements index.Stats.
-func (g *NSW) DistanceComps() int64 { return g.comps.Load() + g.s.Comps }
+func (g *NSW) DistanceComps() int64 { return g.comps.Load() + g.s.Comps.Load() }
 
 // ResetStats implements index.Stats.
-func (g *NSW) ResetStats() { g.comps.Store(0); g.s.Comps = 0 }
+func (g *NSW) ResetStats() { g.comps.Store(0); g.s.Comps.Store(0) }
 
 // AvgDegree reports mean degree (flat NSW exhibits the degree
 // explosion HNSW's layering avoids; E6 reports it).

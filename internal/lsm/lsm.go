@@ -14,6 +14,8 @@ import (
 
 	"vdbms/internal/index"
 	"vdbms/internal/index/hnsw"
+	"vdbms/internal/obs"
+	"vdbms/internal/pool"
 	"vdbms/internal/topk"
 	"vdbms/internal/vec"
 )
@@ -29,6 +31,12 @@ type Config struct {
 	MaxSegments  int // segments before auto-compaction; default 8
 	Metric       vec.Metric
 	Builder      IndexBuilder // default: small HNSW
+	// Parallelism is the intra-query worker count for Search: the
+	// memtable scan and each sealed segment probe are independent tasks
+	// fanned over the shared pool. 0 selects the pool width
+	// (GOMAXPROCS), 1 forces the serial visit order. Results are
+	// identical at every setting.
+	Parallelism int
 }
 
 // row identifies one stored (id, generation) version of a vector.
@@ -248,6 +256,12 @@ func (c *Collection) compactLocked() error {
 // Search returns the k nearest live vectors. extra is an optional
 // additional predicate over user ids (nil for none); ef tunes segment
 // index beam width.
+//
+// The memtable scan and each sealed segment probe are independent
+// read-only tasks over the locked snapshot; cfg.Parallelism > 1 fans
+// them over the shared worker pool. Each task fills its own collector
+// and the caller merges them, so results are identical to the serial
+// visit order at every worker count.
 func (c *Collection) Search(q []float32, k, ef int, extra func(id int64) bool) ([]topk.Result, error) {
 	if k <= 0 {
 		return nil, index.ErrBadK
@@ -257,9 +271,50 @@ func (c *Collection) Search(q []float32, k, ef int, extra func(id int64) bool) (
 	}
 	c.mu.RLock()
 	defer c.mu.RUnlock()
+	tasks := 1 + len(c.segments)
+	w := pool.Default().Effective(c.cfg.Parallelism, tasks)
+	if w <= 1 {
+		col := topk.NewCollector(k)
+		c.searchMemtableLocked(q, col, extra)
+		for _, seg := range c.segments {
+			if err := c.searchSegmentLocked(q, k, ef, seg, col, extra); err != nil {
+				return nil, err
+			}
+		}
+		return col.Results(), nil
+	}
+	obs.ParallelSearches.With("lsm").Inc()
+	// Task 0 is the memtable; task i is segment i-1. Workers only read
+	// the snapshot (the RLock held here blocks writers), so per-task
+	// collectors are the only mutable state.
+	collectors := make([]*topk.Collector, tasks)
+	errs := make([]error, tasks)
+	pool.Default().Run(tasks, func(i int) {
+		col := topk.NewCollector(k)
+		if i == 0 {
+			c.searchMemtableLocked(q, col, extra)
+		} else {
+			errs[i] = c.searchSegmentLocked(q, k, ef, c.segments[i-1], col, extra)
+		}
+		collectors[i] = col
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	merged := collectors[0]
+	for _, col := range collectors[1:] {
+		merged.Merge(col)
+	}
+	return merged.Results(), nil
+}
+
+// searchMemtableLocked brute-force scans the memtable into col,
+// newest version winning via the generation check. Caller holds at
+// least a read lock.
+func (c *Collection) searchMemtableLocked(q []float32, col *topk.Collector, extra func(id int64) bool) {
 	d := c.cfg.Dim
-	col := topk.NewCollector(k)
-	// Memtable: brute force, newest version wins via generation check.
 	for i, r := range c.memRows {
 		if c.latest[r.id] != r.gen {
 			continue
@@ -269,29 +324,35 @@ func (c *Collection) Search(q []float32, k, ef int, extra func(id int64) bool) (
 		}
 		col.Push(r.id, c.fn(q, c.memData[i*d:(i+1)*d]))
 	}
-	// Segments: indexed search with a visit-first validity filter.
-	for _, seg := range c.segments {
-		rows := seg.rows
-		params := index.Params{
-			Ef:     ef,
-			NProbe: ef, // bucket indexes read the same budget knob
-			Filter: func(local int64) bool {
-				r := rows[local]
-				if c.latest[r.id] != r.gen {
-					return false
-				}
-				return extra == nil || extra(r.id)
-			},
-		}
-		res, err := seg.idx.Search(q, k, params)
-		if err != nil {
-			return nil, err
-		}
-		for _, rr := range res {
-			col.Push(rows[rr.ID].id, rr.Dist)
-		}
+}
+
+// searchSegmentLocked probes one sealed segment's index with a
+// visit-first validity filter and pushes global-id results into col.
+// Caller holds at least a read lock. The segment probe runs serial
+// (Parallelism 1): the fan-out across segments is this collection's
+// parallelism, and nesting another level only adds scheduling churn.
+func (c *Collection) searchSegmentLocked(q []float32, k, ef int, seg *segment, col *topk.Collector, extra func(id int64) bool) error {
+	rows := seg.rows
+	params := index.Params{
+		Ef:          ef,
+		NProbe:      ef, // bucket indexes read the same budget knob
+		Parallelism: 1,
+		Filter: func(local int64) bool {
+			r := rows[local]
+			if c.latest[r.id] != r.gen {
+				return false
+			}
+			return extra == nil || extra(r.id)
+		},
 	}
-	return col.Results(), nil
+	res, err := seg.idx.Search(q, k, params)
+	if err != nil {
+		return err
+	}
+	for _, rr := range res {
+		col.Push(rows[rr.ID].id, rr.Dist)
+	}
+	return nil
 }
 
 // SearchExact is the fully accurate (brute force everywhere) variant,

@@ -1,0 +1,83 @@
+package lsm
+
+import (
+	"math"
+	"runtime"
+	"testing"
+
+	"vdbms/internal/dataset"
+	"vdbms/internal/topk"
+)
+
+// buildAt creates a collection with the given parallelism and replays
+// a deterministic upsert/delete/flush workload so every instance holds
+// the same memtable + segment state.
+func buildAt(t *testing.T, parallelism int) *Collection {
+	t.Helper()
+	c, err := New(Config{Dim: 8, MemtableSize: 64, MaxSegments: 16, Parallelism: parallelism})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := dataset.Clustered(400, 8, 4, 0.3, 2)
+	for i := 0; i < 400; i++ {
+		if err := c.Upsert(int64(i%300), ds.Row(i)); err != nil {
+			t.Fatal(err)
+		}
+		if i%7 == 0 {
+			c.Delete(int64((i * 3) % 300))
+		}
+	}
+	// Leave a non-empty memtable so both the brute-force and the
+	// segment paths participate.
+	if c.Segments() == 0 {
+		t.Fatal("workload built no segments")
+	}
+	return c
+}
+
+// TestLSMParallelDeterminism: fanning the search over memtable +
+// segments must return byte-identical results to the serial visit
+// order at every worker count.
+func TestLSMParallelDeterminism(t *testing.T) {
+	serial := buildAt(t, 1)
+	ds := dataset.Clustered(400, 8, 4, 0.3, 2)
+	qs := ds.Queries(10, 0.1, 4)
+	for _, w := range []int{2, runtime.NumCPU(), runtime.NumCPU() + 3} {
+		par := buildAt(t, w)
+		for _, q := range qs {
+			want, err := serial.Search(q, 7, 64, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := par.Search(q, 7, 64, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			compare(t, w, want, got)
+			// With an extra predicate too.
+			pred := func(id int64) bool { return id%2 == 0 }
+			want, err = serial.Search(q, 7, 64, pred)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err = par.Search(q, 7, 64, pred)
+			if err != nil {
+				t.Fatal(err)
+			}
+			compare(t, w, want, got)
+		}
+	}
+}
+
+func compare(t *testing.T, w int, want, got []topk.Result) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("parallelism %d: %d results vs serial %d", w, len(got), len(want))
+	}
+	for i := range want {
+		if want[i].ID != got[i].ID ||
+			math.Float32bits(want[i].Dist) != math.Float32bits(got[i].Dist) {
+			t.Fatalf("parallelism %d: result %d = %+v, serial %+v", w, i, got[i], want[i])
+		}
+	}
+}

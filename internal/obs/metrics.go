@@ -10,12 +10,22 @@ var (
 	SearchLatency = Default().NewHistogram("vdbms_search_latency_seconds", "End-to-end Collection.Search latency.", nil)
 	SearchPlans   = Default().NewCounterVec("vdbms_search_plan_total", "Searches by executed plan.", "plan")
 
+	// Intra-query parallelism (internal/pool and the partitioned scans
+	// in flat/IVF/LSM). PoolInline counts tasks that ran on the
+	// submitting goroutine because the pool was saturated — the
+	// parallel-efficiency signal: inline/tasks near 1 means fan-out is
+	// oversubscribed and queries are effectively serial.
+	PoolTasks        = Default().NewCounter("vdbms_pool_tasks_total", "Tasks submitted to the shared worker pool.")
+	PoolInline       = Default().NewCounter("vdbms_pool_inline_total", "Pool tasks run inline on the caller because all workers were busy.")
+	ParallelSearches = Default().NewCounterVec("vdbms_parallel_search_total", "Searches that partitioned work across >1 worker, by site.", "site")
+
 	// Index probes (internal/executor and dist.LocalShard).
 	IndexProbes        = Default().NewCounterVec("vdbms_index_probe_total", "Index probe calls by index family.", "index")
 	IndexDistanceComps = Default().NewCounterVec("vdbms_index_distance_comps_total", "Full-vector distance computations by index family.", "index")
 	IndexNodesVisited  = Default().NewCounterVec("vdbms_index_nodes_visited_total", "Graph nodes visited during probes by index family.", "index")
 	IndexBucketsProbed = Default().NewCounterVec("vdbms_index_buckets_probed_total", "IVF/LSH buckets scanned by index family.", "index")
 	IndexIOReads       = Default().NewCounterVec("vdbms_index_io_reads_total", "Disk record reads by index family.", "index")
+	IndexPartitions    = Default().NewCounterVec("vdbms_index_partitions_total", "Parallel scan partitions executed by index family.", "index")
 
 	// Distributed read path (internal/dist).
 	DistSearches      = Default().NewCounter("vdbms_dist_search_total", "Scatter-gather searches started.")

@@ -30,6 +30,7 @@ type Server struct {
 	mux          *http.ServeMux
 	queryTimeout time.Duration
 	slowQuery    time.Duration
+	parallelism  int
 	logf         func(format string, args ...any)
 }
 
@@ -49,6 +50,13 @@ func WithQueryTimeout(d time.Duration) Option {
 // still stripped from responses that did not ask for it. 0 disables.
 func WithSlowQueryLog(d time.Duration) Option {
 	return func(s *Server) { s.slowQuery = d }
+}
+
+// WithParallelism sets the default intra-query worker count applied
+// to searches whose body does not carry its own "parallelism" field
+// (0 = every CPU, 1 = serial). Per-request values always win.
+func WithParallelism(n int) Option {
+	return func(s *Server) { s.parallelism = n }
 }
 
 // WithLogf redirects the server's log output (used by tests).
@@ -171,6 +179,7 @@ type SearchBody struct {
 	Ef           int            `json:"ef,omitempty"`
 	NProbe       int            `json:"nprobe,omitempty"`
 	Alpha        int            `json:"alpha,omitempty"`
+	Parallelism  int            `json:"parallelism,omitempty"`
 	EntityColumn string         `json:"entity_column,omitempty"`
 	Aggregator   string         `json:"aggregator,omitempty"`
 }
@@ -254,11 +263,15 @@ func (s *Server) handleCollection(w http.ResponseWriter, r *http.Request) {
 		// Tracing is on when the client asks (X-Vdbms-Trace: 1) or the
 		// slow-query log needs span trees to be useful.
 		wantTrace := r.Header.Get(TraceHeader) == "1"
+		par := req.Parallelism
+		if par == 0 {
+			par = s.parallelism
+		}
 		start := time.Now()
 		res, err := col.SearchContext(ctx, vdbms.SearchRequest{
 			Vector: req.Vector, Vectors: req.Vectors, K: req.K,
 			Filters: req.Filters, Policy: req.Policy, Ef: req.Ef,
-			NProbe: req.NProbe, Alpha: req.Alpha,
+			NProbe: req.NProbe, Alpha: req.Alpha, Parallelism: par,
 			EntityColumn: req.EntityColumn, Aggregator: req.Aggregator,
 			Trace: wantTrace || s.slowQuery > 0,
 		})

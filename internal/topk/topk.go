@@ -2,9 +2,19 @@
 // Sort/Top-K operator of Figure 1. A Collector keeps the k smallest
 // distances seen so far using a binary max-heap, so insertion is
 // O(log k) and scans can prune with Worst().
+//
+// The heap is ordered by the total order (Dist, ID): among
+// equal-distance candidates the smaller id wins. This makes the kept
+// set a pure function of the candidate multiset — independent of
+// arrival order — which is what lets parallel scans partition a stream
+// across per-worker collectors and Merge them with results identical
+// to a single serial collector at any worker count.
 package topk
 
-import "sort"
+import (
+	"math"
+	"sort"
+)
 
 // Result is one search hit: a row id and its distance to the query.
 type Result struct {
@@ -38,11 +48,14 @@ func (c *Collector) Len() int { return len(c.heap) }
 // Full reports whether k results are held.
 func (c *Collector) Full() bool { return len(c.heap) == c.k }
 
-// Worst returns the largest distance currently kept. It is only
-// meaningful when Full(); callers use it as a pruning bound.
+// Worst returns the pruning bound: the largest kept distance when
+// Full(), +Inf otherwise. A collector with room left cannot prune
+// anything, so the historical empty-heap sentinel of 0 — which
+// silently discarded every candidate in callers that skipped the
+// Full() guard — is gone.
 func (c *Collector) Worst() float32 {
-	if len(c.heap) == 0 {
-		return 0
+	if len(c.heap) < c.k {
+		return float32(math.Inf(1))
 	}
 	return c.heap[0].Dist
 }
@@ -53,8 +66,18 @@ func (c *Collector) Worst() float32 {
 // final top-k.
 func (c *Collector) Pushes() int64 { return c.pushes }
 
+// worse reports whether a ranks after b in the (Dist, ID) total
+// order — i.e. a is the one to evict first.
+func worse(a, b Result) bool {
+	if a.Dist != b.Dist {
+		return a.Dist > b.Dist
+	}
+	return a.ID > b.ID
+}
+
 // Push offers a candidate. It returns true if the candidate was kept
-// (i.e. the heap was not full or the candidate beat the worst entry).
+// (i.e. the heap was not full or the candidate beat the worst entry
+// under the (Dist, ID) order).
 func (c *Collector) Push(id int64, dist float32) bool {
 	c.pushes++
 	if len(c.heap) < c.k {
@@ -62,7 +85,7 @@ func (c *Collector) Push(id int64, dist float32) bool {
 		c.siftUp(len(c.heap) - 1)
 		return true
 	}
-	if dist >= c.heap[0].Dist {
+	if !worse(c.heap[0], Result{ID: id, Dist: dist}) {
 		return false
 	}
 	c.heap[0] = Result{ID: id, Dist: dist}
@@ -70,8 +93,10 @@ func (c *Collector) Push(id int64, dist float32) bool {
 	return true
 }
 
-// WouldAccept reports whether a candidate at dist would be kept,
-// without inserting it.
+// WouldAccept reports whether a candidate at dist would certainly be
+// kept, without inserting it. A candidate tying the worst distance is
+// reported as rejected even though Push may keep it when its id wins
+// the tie; callers use this only as a conservative skip test.
 func (c *Collector) WouldAccept(dist float32) bool {
 	return len(c.heap) < c.k || dist < c.heap[0].Dist
 }
@@ -99,7 +124,7 @@ func (c *Collector) Reset() {
 func (c *Collector) siftUp(i int) {
 	for i > 0 {
 		p := (i - 1) / 2
-		if c.heap[p].Dist >= c.heap[i].Dist {
+		if !worse(c.heap[i], c.heap[p]) {
 			return
 		}
 		c.heap[p], c.heap[i] = c.heap[i], c.heap[p]
@@ -112,10 +137,10 @@ func (c *Collector) siftDown(i int) {
 	for {
 		l, r := 2*i+1, 2*i+2
 		largest := i
-		if l < n && c.heap[l].Dist > c.heap[largest].Dist {
+		if l < n && worse(c.heap[l], c.heap[largest]) {
 			largest = l
 		}
-		if r < n && c.heap[r].Dist > c.heap[largest].Dist {
+		if r < n && worse(c.heap[r], c.heap[largest]) {
 			largest = r
 		}
 		if largest == i {

@@ -1,6 +1,7 @@
 package topk
 
 import (
+	"math"
 	"math/rand"
 	"sort"
 	"testing"
@@ -70,10 +71,40 @@ func TestCollectorPanicsOnBadK(t *testing.T) {
 	NewCollector(0)
 }
 
-func TestWorstOnEmpty(t *testing.T) {
-	c := NewCollector(1)
-	if c.Worst() != 0 {
-		t.Fatal("Worst on empty should be 0")
+// Regression: Worst() used to return 0 on an empty heap, a sentinel
+// that silently pruned every candidate in callers comparing
+// "dist > Worst()" without a Full() guard. Until the collector is
+// full nothing can be pruned, so the bound must be +Inf.
+func TestWorstNotFullIsInf(t *testing.T) {
+	c := NewCollector(2)
+	if !math.IsInf(float64(c.Worst()), 1) {
+		t.Fatalf("Worst on empty = %v, want +Inf", c.Worst())
+	}
+	c.Push(1, 7)
+	if !math.IsInf(float64(c.Worst()), 1) {
+		t.Fatalf("Worst on partially full = %v, want +Inf", c.Worst())
+	}
+	c.Push(2, 9)
+	if c.Worst() != 9 {
+		t.Fatalf("Worst on full = %v, want 9", c.Worst())
+	}
+}
+
+// The kept set must be a pure function of the candidate multiset:
+// equal-distance candidates at the k boundary are resolved by id, not
+// by arrival order. This is the property parallel partition+merge
+// relies on.
+func TestPushTiesSelectedByID(t *testing.T) {
+	perms := [][]int64{{3, 1, 2}, {1, 2, 3}, {2, 3, 1}, {3, 2, 1}}
+	for _, ids := range perms {
+		c := NewCollector(2)
+		for _, id := range ids {
+			c.Push(id, 1)
+		}
+		res := c.Results()
+		if len(res) != 2 || res[0].ID != 1 || res[1].ID != 2 {
+			t.Fatalf("push order %v kept %v, want ids 1,2", ids, res)
+		}
 	}
 }
 

@@ -19,4 +19,11 @@ fi
 go vet ./...
 go build ./...
 go test -race ./...
+# Intra-query parallelism must degrade to serial cleanly: the whole
+# suite also runs single-threaded, where the worker pool has width 1
+# and every fan-out takes the inline path.
+GOMAXPROCS=1 go test ./...
+# Fuzz smoke for the top-k split/merge metamorphic oracle (split across
+# N collectors + Merge == one collector), so the corpus keeps growing.
+go test -run '^$' -fuzz FuzzMergeEquivalence -fuzztime 5s ./internal/topk/
 go test -run '^$' -bench BenchmarkSearch -benchtime 1x ./internal/obs/

@@ -3,6 +3,7 @@ package vdbms
 import (
 	"context"
 	"errors"
+	"strings"
 	"testing"
 
 	"vdbms/internal/dataset"
@@ -432,5 +433,27 @@ func TestSearchContext(t *testing.T) {
 	cancel()
 	if _, err := col.SearchContext(ctx, SearchRequest{Vector: ds.Row(3), K: 5}); !errors.Is(err, context.Canceled) {
 		t.Fatalf("cancelled search = %v", err)
+	}
+}
+
+func TestSearchBatchPartialFailure(t *testing.T) {
+	col, ds := productCollection(t, 300)
+	qs := ds.Queries(3, 0.05, 5)
+	qs[1] = []float32{1, 2} // wrong dimensionality
+	batch, err := col.SearchBatch(qs, 5, nil, 100)
+	if err == nil {
+		t.Fatal("want an error for the malformed query")
+	}
+	if !strings.Contains(err.Error(), "query 1") {
+		t.Fatalf("error should name the failing query: %v", err)
+	}
+	if len(batch) != 3 {
+		t.Fatalf("batch length %d, want 3", len(batch))
+	}
+	if batch[1] != nil {
+		t.Fatal("failed query should be a nil slot")
+	}
+	if len(batch[0]) == 0 || len(batch[2]) == 0 {
+		t.Fatal("healthy queries lost their results")
 	}
 }
