@@ -98,12 +98,7 @@ func main() {
 		}
 		d = ds.Dim()
 		count = ds.Count()
-		flat = make([]float32, count*d)
-		buf := make([]float32, d)
-		for i := 0; i < count; i++ {
-			buf = ds.Vector(i, buf)
-			copy(flat[i*d:(i+1)*d], buf)
-		}
+		flat = ds.ReadBlock(0, count, nil)
 		ds.Close()
 	} else {
 		syn := dataset.Clustered(*n, *dim, 16, 0.4, *seed)

@@ -44,10 +44,15 @@ type Schema struct {
 
 // Collection is a mutable vector collection with hybrid search.
 type Collection struct {
-	mu      sync.RWMutex
-	name    string
-	schema  Schema
-	fn      vec.DistanceFunc
+	mu     sync.RWMutex
+	name   string
+	schema Schema
+	fn     vec.DistanceFunc
+	// scorer block-scores exact scans with cached per-row state; it is
+	// kept alive across searches (envLocked rebuilds the Env per query)
+	// and maintained incrementally: Extend on insert, Refresh on
+	// in-place update.
+	scorer  *vec.Scorer
 	data    []float32
 	n       int
 	deleted map[int64]struct{}
@@ -77,10 +82,15 @@ func NewCollection(name string, schema Schema) (*Collection, error) {
 			return nil, err
 		}
 	}
+	scorer, err := vec.NewScorer(schema.Metric, nil, 0, schema.Dim)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
 	return &Collection{
 		name:    name,
 		schema:  schema,
 		fn:      vec.Distance(schema.Metric),
+		scorer:  scorer,
 		deleted: map[int64]struct{}{},
 		attrs:   attrs,
 	}, nil
@@ -122,6 +132,7 @@ func (c *Collection) Insert(v []float32, attrs map[string]filter.Value) (int64, 
 	c.data = append(c.data, v...)
 	id := int64(c.n)
 	c.n++
+	c.scorer.Extend(c.data, c.n)
 	// Growth is tracked as n - annN; dirty counts only in-place
 	// mutations, so inserts are not double counted.
 	return id, nil
@@ -141,6 +152,7 @@ func (c *Collection) UpdateVector(id int64, v []float32) error {
 		return err
 	}
 	copy(c.data[int(id)*c.schema.Dim:(int(id)+1)*c.schema.Dim], v)
+	c.scorer.Refresh(int(id))
 	if c.ann != nil {
 		c.dirty++
 	}
@@ -239,9 +251,11 @@ func (c *Collection) maybeRebuildLocked() error {
 }
 
 // env materializes the executor environment for the current snapshot.
-// Called with at least a read lock held.
+// Called with at least a read lock held. The persistent scorer is
+// shared into each Env so its cached per-row state survives across
+// searches instead of being recomputed per query.
 func (c *Collection) envLocked() (*executor.Env, error) {
-	return executor.NewEnv(c.data[:c.n*c.schema.Dim], c.n, c.schema.Dim, c.fn, c.liveIndexLocked(), c.attrs)
+	return executor.NewEnvScorer(c.scorer, c.fn, c.liveIndexLocked(), c.attrs)
 }
 
 // liveIndexLocked returns the ANN index only if it covers every row;

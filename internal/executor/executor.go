@@ -30,7 +30,9 @@ type Env struct {
 	Attrs *filter.Table    // optional attribute table
 }
 
-// NewEnv wires an environment, building the Flat index.
+// NewEnv wires an environment, building the Flat index. Canonical vec
+// distance functions get the metric-specialized block kernels; opaque
+// functions scan row-at-a-time.
 func NewEnv(data []float32, n, d int, fn vec.DistanceFunc, ann index.Index, attrs *filter.Table) (*Env, error) {
 	if fn == nil {
 		fn = vec.SquaredL2
@@ -40,6 +42,23 @@ func NewEnv(data []float32, n, d int, fn vec.DistanceFunc, ann index.Index, attr
 		return nil, err
 	}
 	return &Env{Data: data, N: n, Dim: d, Fn: fn, ANN: ann, Flat: fl, Attrs: attrs}, nil
+}
+
+// NewEnvScorer wires an environment around a prebuilt scorer, sharing
+// its cached per-row state (cosine norms, Mahalanobis pre-transform)
+// with the caller — collections that rebuild their Env per search keep
+// one scorer alive across searches and extend it on insert instead of
+// recomputing state per query. fn is the scalar distance used by
+// aggregate (multi-vector) scoring; nil defaults to squared L2.
+func NewEnvScorer(sc *vec.Scorer, fn vec.DistanceFunc, ann index.Index, attrs *filter.Table) (*Env, error) {
+	if fn == nil {
+		fn = vec.SquaredL2
+	}
+	fl, err := index.NewFlatScorer(sc)
+	if err != nil {
+		return nil, err
+	}
+	return &Env{Data: sc.Data(), N: sc.Rows(), Dim: sc.Dim(), Fn: fn, ANN: ann, Flat: fl, Attrs: attrs}, nil
 }
 
 // Options carries per-query execution knobs.

@@ -1,0 +1,190 @@
+package index
+
+import (
+	"math"
+	"testing"
+
+	"vdbms/internal/dataset"
+	"vdbms/internal/topk"
+	"vdbms/internal/vec"
+)
+
+// blockSizes is the sweep the acceptance criteria name: a degenerate
+// one-row block, a prime that misaligns every boundary, the typical
+// cache-sized block, and one larger than most partitions.
+var blockSizes = []int{1, 7, 64, 1024}
+
+func setScanBlock(t *testing.T, bs int) {
+	t.Helper()
+	old := scanBlock
+	scanBlock = bs
+	t.Cleanup(func() { scanBlock = old })
+}
+
+// TestFlatBlockSweep: for metrics whose kernels reproduce the scalar
+// accumulation order (L2, inner product, Hamming), the block-scored
+// flat scan must return byte-identical results to a per-row scalar
+// baseline at every block size and worker count, with and without a
+// predicate. The baseline wraps the canonical function in a closure so
+// MetricOf cannot recognize it and Flat falls back to row-at-a-time
+// scoring.
+func TestFlatBlockSweep(t *testing.T) {
+	ds := dataset.Clustered(3000, 16, 5, 0.05, 3)
+	metrics := []struct {
+		name string
+		fn   vec.DistanceFunc
+	}{
+		{"l2", vec.SquaredL2},
+		{"ip", vec.NegInnerProduct},
+		{"hamming", vec.HammingDistance},
+	}
+	qs := ds.Queries(4, 0.05, 7)
+	pred := func(id int64) bool { return id%3 != 0 }
+	for _, m := range metrics {
+		m := m
+		t.Run(m.name, func(t *testing.T) {
+			scalar := m.fn
+			baseline, err := NewFlat(ds.Data, ds.Count, ds.Dim,
+				func(a, b []float32) float32 { return scalar(a, b) })
+			if err != nil {
+				t.Fatal(err)
+			}
+			fast, err := NewFlat(ds.Data, ds.Count, ds.Dim, m.fn)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, q := range qs {
+				want, err := baseline.Search(q, 10, Params{Parallelism: 1})
+				if err != nil {
+					t.Fatal(err)
+				}
+				wantPred, err := baseline.Search(q, 10, Params{Parallelism: 1, Filter: pred})
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, bs := range blockSizes {
+					setScanBlock(t, bs)
+					for _, w := range []int{1, 4} {
+						got, err := fast.Search(q, 10, Params{Parallelism: w})
+						if err != nil {
+							t.Fatal(err)
+						}
+						sameResults(t, m.name, want, got)
+						got, err = fast.Search(q, 10, Params{Parallelism: w, Filter: pred})
+						if err != nil {
+							t.Fatal(err)
+						}
+						sameResults(t, m.name+"/pred", wantPred, got)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestFlatCosineBlockSweep: cosine scores through cached inverse norms,
+// a reformulation of the scalar 1 - dot/(na*nb), so the contract is
+// 1e-5 relative agreement with the scalar baseline — but across block
+// sizes and worker counts the scorer path must agree with itself
+// byte-for-byte.
+func TestFlatCosineBlockSweep(t *testing.T) {
+	ds := dataset.Clustered(3000, 16, 5, 0.3, 5)
+	baseline, err := NewFlat(ds.Data, ds.Count, ds.Dim,
+		func(a, b []float32) float32 { return vec.CosineDistance(a, b) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := NewFlat(ds.Data, ds.Count, ds.Dim, vec.CosineDistance)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range ds.Queries(4, 0.05, 9) {
+		// All rows returned, so near-tie rank swaps cannot change the
+		// result set; distances are compared by id.
+		want, err := baseline.Search(q, ds.Count, Params{Parallelism: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		byID := make(map[int64]float32, len(want))
+		for _, r := range want {
+			byID[r.ID] = r.Dist
+		}
+		var ref []topk.Result
+		for _, bs := range blockSizes {
+			setScanBlock(t, bs)
+			for _, w := range []int{1, 4} {
+				got, err := fast.Search(q, ds.Count, Params{Parallelism: w})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if ref == nil {
+					ref = got
+					if len(got) != len(want) {
+						t.Fatalf("cosine: %d results, scalar %d", len(got), len(want))
+					}
+					for _, r := range got {
+						wd := float64(byID[r.ID])
+						gd := float64(r.Dist)
+						tol := 1e-5 * math.Max(1, math.Max(math.Abs(wd), math.Abs(gd)))
+						if math.Abs(wd-gd) > tol {
+							t.Fatalf("cosine id %d: scorer %v scalar %v", r.ID, gd, wd)
+						}
+					}
+					continue
+				}
+				sameResults(t, "cosine/self", ref, got)
+			}
+		}
+	}
+}
+
+// TestFlatSearchRangeParallel: the partitioned range scan must return
+// the same hits as the serial scan, in ascending id order, at every
+// worker count and block size.
+func TestFlatSearchRangeParallel(t *testing.T) {
+	ds := dataset.Clustered(5000, 12, 4, 0.2, 11)
+	f, err := NewFlat(ds.Data, ds.Count, ds.Dim, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred := func(id int64) bool { return id%2 == 0 }
+	for _, q := range ds.Queries(4, 0.1, 13) {
+		// Pick a radius that admits a few percent of rows.
+		probe, err := f.Search(q, 50, Params{Parallelism: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		radius := probe[len(probe)-1].Dist
+		serial, err := f.SearchRange(q, radius, Params{Parallelism: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		serialPred, err := f.SearchRange(q, radius, Params{Parallelism: 1, Filter: pred})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(serial) == 0 {
+			t.Fatal("radius admitted no rows; bad test setup")
+		}
+		for i := 1; i < len(serial); i++ {
+			if serial[i].ID <= serial[i-1].ID {
+				t.Fatalf("serial range results not ascending at %d", i)
+			}
+		}
+		for _, bs := range blockSizes {
+			setScanBlock(t, bs)
+			for _, w := range workerCounts() {
+				got, err := f.SearchRange(q, radius, Params{Parallelism: w})
+				if err != nil {
+					t.Fatal(err)
+				}
+				sameResults(t, "range", serial, got)
+				got, err = f.SearchRange(q, radius, Params{Parallelism: w, Filter: pred})
+				if err != nil {
+					t.Fatal(err)
+				}
+				sameResults(t, "range/pred", serialPred, got)
+			}
+		}
+	}
+}

@@ -309,13 +309,16 @@ func (da *DiskANN) Search(q []float32, k int, p index.Params) ([]topk.Result, er
 			ef = 32
 		}
 	}
+	// Exact re-ranking scores streamed record vectors through the
+	// query-bound kernel (bit-identical to the scalar L2).
+	kern := vec.BindQuery(vec.L2, q)
 	var approx func(id int32) float32
 	if da.cfg.NoPQ {
 		// Ablation: approximate distance requires reading the record.
 		approx = func(id int32) float32 {
 			v, _ := da.readRecord(id)
 			da.comps.Add(1)
-			return vec.SquaredL2(q, v)
+			return kern.Score(v)
 		}
 	} else {
 		tab := da.pq.ADC(q)
@@ -348,7 +351,7 @@ func (da *DiskANN) Search(q []float32, k int, p index.Params) ([]topk.Result, er
 			}
 			stop = false
 			v, nbrs := da.readRecord(int32(cand.ID))
-			d := vec.SquaredL2(q, v)
+			d := kern.Score(v)
 			da.comps.Add(1)
 			beamBound.Push(cand.ID, cand.Dist)
 			if p.Admits(cand.ID) {

@@ -15,15 +15,26 @@ import (
 // Figure 1). It is the ground-truth baseline every ANN index is
 // measured against and the fallback plan for tiny collections or very
 // selective predicates.
+//
+// Scanning goes through a vec.Scorer in blocks of scanBlock rows:
+// per-row state (cosine norms, the Mahalanobis pre-transform) is
+// cached at construction and the inner loop is one block kernel call
+// instead of scanBlock indirect function calls.
 type Flat struct {
 	dim   int
-	data  []float32 // row-major, not owned
 	n     int
-	fn    vec.DistanceFunc
+	sc    *vec.Scorer
 	comps atomic.Int64
 }
 
+// scanBlock is the rows scored per kernel call: large enough to
+// amortize dispatch, small enough that the distance buffer stays in
+// L1. A package variable so tests can sweep it.
+var scanBlock = 256
+
 // NewFlat wraps row-major data (not copied) with the given distance.
+// Canonical vec distance functions are recognized and served by the
+// metric-specialized kernels; anything else scores row-at-a-time.
 func NewFlat(data []float32, n, d int, fn vec.DistanceFunc) (*Flat, error) {
 	if d <= 0 || len(data) < n*d {
 		return nil, fmt.Errorf("index: flat data %d shorter than n*d %d", len(data), n*d)
@@ -31,7 +42,17 @@ func NewFlat(data []float32, n, d int, fn vec.DistanceFunc) (*Flat, error) {
 	if fn == nil {
 		fn = vec.SquaredL2
 	}
-	return &Flat{dim: d, data: data, n: n, fn: fn}, nil
+	return &Flat{dim: d, n: n, sc: vec.ScorerFor(fn, data, n, d)}, nil
+}
+
+// NewFlatScorer wraps a prebuilt scorer, sharing its cached per-row
+// state with the caller (the executor and LSM paths maintain one
+// scorer per dataset across searches).
+func NewFlatScorer(sc *vec.Scorer) (*Flat, error) {
+	if sc == nil {
+		return nil, fmt.Errorf("index: nil scorer")
+	}
+	return &Flat{dim: sc.Dim(), n: sc.Rows(), sc: sc}, nil
 }
 
 func init() {
@@ -59,14 +80,29 @@ func (f *Flat) ResetStats() { f.comps.Store(0) }
 // per worker the goroutine hand-off costs more than the scan itself.
 const minRowsPerPartition = 1024
 
+// workers picks the partition count for an n-row scan, backing off
+// defaulted parallelism when partitions would be tiny.
+func (f *Flat) workers(requested int) int {
+	w := pool.Default().Effective(requested, f.n)
+	if requested <= 0 && w > 1 {
+		// Defaulted parallelism backs off when partitions would be tiny;
+		// an explicit knob is honored as given.
+		if byWork := (f.n + minRowsPerPartition - 1) / minRowsPerPartition; byWork < w {
+			w = byWork
+		}
+	}
+	return w
+}
+
 // Search implements Index by exhaustive scan. With a predicate it
 // degenerates to the "single-stage brute-force scan" plan the paper
 // attributes to Qdrant/Vespa rule-based selection.
 //
 // The scan is partitioned into p.Parallelism contiguous row ranges,
 // each feeding its own collector, merged at the end. Because both the
-// per-range collectors and the merge resolve ties by (dist, id), the
-// result is byte-identical at every worker count.
+// per-range collectors and the merge resolve ties by (dist, id), and
+// the block kernels preserve the scalar accumulation order, the result
+// is byte-identical at every worker count and block size.
 func (f *Flat) Search(q []float32, k int, p Params) ([]topk.Result, error) {
 	if k <= 0 {
 		return nil, ErrBadK
@@ -74,14 +110,7 @@ func (f *Flat) Search(q []float32, k int, p Params) ([]topk.Result, error) {
 	if len(q) != f.dim {
 		return nil, fmt.Errorf("%w: query %d, index %d", ErrDim, len(q), f.dim)
 	}
-	w := pool.Default().Effective(p.Parallelism, f.n)
-	if p.Parallelism <= 0 && w > 1 {
-		// Defaulted parallelism backs off when partitions would be tiny;
-		// an explicit knob is honored as given.
-		if byWork := (f.n + minRowsPerPartition - 1) / minRowsPerPartition; byWork < w {
-			w = byWork
-		}
-	}
+	w := f.workers(p.Parallelism)
 	if w <= 1 {
 		c := topk.NewCollector(k)
 		comps := f.scanRange(q, c, 0, f.n, &p)
@@ -117,41 +146,133 @@ func (f *Flat) Search(q []float32, k int, p Params) ([]topk.Result, error) {
 
 // scanRange scores rows [lo, hi) into c and returns the distance
 // computations performed. It reads only shared immutable state, so
-// disjoint ranges run concurrently.
+// disjoint ranges run concurrently. Unconstrained scans score whole
+// contiguous blocks; predicated scans gather admitted ids and flush
+// them through the same kernels, so only admitted rows are scored (and
+// counted) — identical accounting to the per-row path.
 func (f *Flat) scanRange(q []float32, c *topk.Collector, lo, hi int, p *Params) int64 {
+	b := f.sc.Bind(q)
+	dist := make([]float32, scanBlock)
 	comps := int64(0)
+	if !p.Constrained() {
+		for blo := lo; blo < hi; blo += scanBlock {
+			bhi := blo + scanBlock
+			if bhi > hi {
+				bhi = hi
+			}
+			b.ScoreBlock(blo, bhi, dist)
+			for i := blo; i < bhi; i++ {
+				c.Push(int64(i), dist[i-blo])
+			}
+			comps += int64(bhi - blo)
+		}
+		return comps
+	}
+	ids := make([]int32, 0, scanBlock)
+	flush := func() {
+		b.ScoreIDs(ids, dist)
+		for o, id := range ids {
+			c.Push(int64(id), dist[o])
+		}
+		comps += int64(len(ids))
+		ids = ids[:0]
+	}
 	for i := lo; i < hi; i++ {
 		if !p.Admits(int64(i)) {
 			continue
 		}
-		d := f.fn(q, f.data[i*f.dim:(i+1)*f.dim])
-		comps++
-		c.Push(int64(i), d)
+		ids = append(ids, int32(i))
+		if len(ids) == scanBlock {
+			flush()
+		}
 	}
+	flush()
 	return comps
 }
 
 // SearchRange returns all ids within the distance threshold, the range
-// query of Section 2.1(2).
+// query of Section 2.1(2). Like Search it partitions the scan across
+// the worker pool; per-partition hit lists are concatenated in
+// partition order, so the output stays sorted by ascending id at every
+// worker count.
 func (f *Flat) SearchRange(q []float32, radius float32, p Params) ([]topk.Result, error) {
 	if len(q) != f.dim {
 		return nil, fmt.Errorf("%w: query %d, index %d", ErrDim, len(q), f.dim)
 	}
+	w := f.workers(p.Parallelism)
+	if w <= 1 {
+		out, comps := f.rangeScan(q, radius, 0, f.n, &p)
+		f.comps.Add(comps)
+		if p.Stats != nil {
+			p.Stats.DistanceComps += comps
+			p.Stats.Partitions++
+		}
+		return out, nil
+	}
+	obs.ParallelSearches.With("flat").Inc()
+	offs := pool.Split(f.n, w)
+	hitsBy := make([][]topk.Result, w)
+	compsBy := make([]int64, w)
+	pool.Default().Run(w, func(i int) {
+		hitsBy[i], compsBy[i] = f.rangeScan(q, radius, offs[i], offs[i+1], &p)
+	})
 	var out []topk.Result
 	comps := int64(0)
-	for i := 0; i < f.n; i++ {
-		if !p.Admits(int64(i)) {
-			continue
-		}
-		d := f.fn(q, f.data[i*f.dim:(i+1)*f.dim])
-		comps++
-		if d <= radius {
-			out = append(out, topk.Result{ID: int64(i), Dist: d})
-		}
+	for i := 0; i < w; i++ {
+		out = append(out, hitsBy[i]...)
+		comps += compsBy[i]
 	}
 	f.comps.Add(comps)
 	if p.Stats != nil {
 		p.Stats.DistanceComps += comps
+		p.Stats.Partitions += int64(w)
 	}
 	return out, nil
+}
+
+// rangeScan is the per-partition body of SearchRange: block-score
+// [lo, hi) and keep rows within the radius, in ascending id order.
+func (f *Flat) rangeScan(q []float32, radius float32, lo, hi int, p *Params) ([]topk.Result, int64) {
+	b := f.sc.Bind(q)
+	dist := make([]float32, scanBlock)
+	var out []topk.Result
+	comps := int64(0)
+	if !p.Constrained() {
+		for blo := lo; blo < hi; blo += scanBlock {
+			bhi := blo + scanBlock
+			if bhi > hi {
+				bhi = hi
+			}
+			b.ScoreBlock(blo, bhi, dist)
+			for i := blo; i < bhi; i++ {
+				if d := dist[i-blo]; d <= radius {
+					out = append(out, topk.Result{ID: int64(i), Dist: d})
+				}
+			}
+			comps += int64(bhi - blo)
+		}
+		return out, comps
+	}
+	ids := make([]int32, 0, scanBlock)
+	flush := func() {
+		b.ScoreIDs(ids, dist)
+		for o, id := range ids {
+			if d := dist[o]; d <= radius {
+				out = append(out, topk.Result{ID: int64(id), Dist: d})
+			}
+		}
+		comps += int64(len(ids))
+		ids = ids[:0]
+	}
+	for i := lo; i < hi; i++ {
+		if !p.Admits(int64(i)) {
+			continue
+		}
+		ids = append(ids, int32(i))
+		if len(ids) == scanBlock {
+			flush()
+		}
+	}
+	flush()
+	return out, comps
 }

@@ -20,6 +20,12 @@ type Searcher struct {
 	Data []float32
 	Dim  int
 	Fn   vec.DistanceFunc
+	// Scorer, when set, serves all distance computations with cached
+	// per-row state (inverse norms for cosine, the Mahalanobis
+	// pre-transform); Fn is the fallback for callers that only have a
+	// bare function. Traversals bind the query once per search, so the
+	// query-side state is also resolved once instead of per edge.
+	Scorer *vec.Scorer
 	// Comps counts distance computations (incremented by searches and
 	// build helpers; the caller owns reset). Atomic because concurrent
 	// searches share one Searcher per index.
@@ -32,9 +38,51 @@ func (s *Searcher) Row(id int32) []float32 {
 }
 
 // Dist computes the distance from q to node id, counting the work.
+// One-shot; traversal loops should Bind the query instead.
 func (s *Searcher) Dist(q []float32, id int32) float32 {
 	s.Comps.Add(1)
+	if s.Scorer != nil {
+		return s.Scorer.ScoreAt(q, int(id))
+	}
 	return s.Fn(q, s.Row(id))
+}
+
+// DistRows computes the distance between two stored rows, using cached
+// state on both sides when a Scorer is present (edge pruning compares
+// node pairs, so cosine norms would otherwise be recomputed per edge).
+func (s *Searcher) DistRows(i, j int32) float32 {
+	s.Comps.Add(1)
+	if s.Scorer != nil {
+		return s.Scorer.ScoreRows(int(i), int(j))
+	}
+	return s.Fn(s.Row(i), s.Row(j))
+}
+
+// Query is a query bound to a Searcher: per-query scoring state is
+// resolved once and every Dist is one kernel call plus the Comps
+// increment. It is a value; copying is cheap.
+type Query struct {
+	s  *Searcher
+	b  vec.Bound
+	fn vec.DistanceFunc // set when no Scorer: scalar fallback
+	q  []float32
+}
+
+// Bind prepares per-query scoring state for q.
+func (s *Searcher) Bind(q []float32) Query {
+	if s.Scorer != nil {
+		return Query{s: s, b: s.Scorer.Bind(q)}
+	}
+	return Query{s: s, fn: s.Fn, q: q}
+}
+
+// Dist returns the distance from the bound query to node id.
+func (bq Query) Dist(id int32) float32 {
+	bq.s.Comps.Add(1)
+	if bq.fn != nil {
+		return bq.fn(bq.q, bq.s.Row(id))
+	}
+	return bq.b.ScoreAt(int(id))
 }
 
 // BeamSearch runs best-first search from the entry points with beam
@@ -50,6 +98,7 @@ func BeamSearch(s *Searcher, adj Adjacency, q []float32, entries []int32, k, ef 
 	if ef < k {
 		ef = k
 	}
+	bq := s.Bind(q)
 	visited := make(map[int32]struct{}, 4*ef)
 	var frontier topk.MinQueue
 	// results keeps the ef best admitted nodes; admitted tracks how
@@ -62,7 +111,7 @@ func BeamSearch(s *Searcher, adj Adjacency, q []float32, entries []int32, k, ef 
 			continue
 		}
 		visited[e] = struct{}{}
-		d := s.Dist(q, e)
+		d := bq.Dist(e)
 		frontier.Push(int64(e), d)
 		beam.Push(int64(e), d)
 		if p.Admits(int64(e)) {
@@ -79,7 +128,7 @@ func BeamSearch(s *Searcher, adj Adjacency, q []float32, entries []int32, k, ef 
 				continue
 			}
 			visited[nb] = struct{}{}
-			d := s.Dist(q, nb)
+			d := bq.Dist(nb)
 			if beam.Full() && d >= beam.Worst() && results.Full() && d >= results.Worst() {
 				continue
 			}
@@ -106,12 +155,13 @@ func BeamSearch(s *Searcher, adj Adjacency, q []float32, entries []int32, k, ef 
 // returning the local minimum reached. Used by HNSW's upper layers and
 // by monotonic-path probing during MSN construction.
 func GreedyWalk(s *Searcher, adj Adjacency, q []float32, entry int32) (int32, float32) {
+	bq := s.Bind(q)
 	cur := entry
-	curD := s.Dist(q, cur)
+	curD := bq.Dist(cur)
 	for {
 		improved := false
 		for _, nb := range adj[cur] {
-			if d := s.Dist(q, nb); d < curD {
+			if d := bq.Dist(nb); d < curD {
 				cur, curD = nb, d
 				improved = true
 			}
@@ -136,7 +186,7 @@ func RobustPrune(s *Searcher, pid int32, cands []topk.Result, degree int, alpha 
 		}
 		ok := true
 		for _, b := range kept {
-			db := s.Dist(s.Row(b), int32(c.ID))
+			db := s.DistRows(b, int32(c.ID))
 			if alpha*db <= c.Dist {
 				ok = false
 				break

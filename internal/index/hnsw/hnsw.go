@@ -58,10 +58,13 @@ func Build(data []float32, n, d int, cfg Config) (*HNSW, error) {
 	if cfg.Seed == 0 {
 		cfg.Seed = 1
 	}
-	fn := vec.Distance(cfg.Metric)
+	sc, err := vec.NewScorer(cfg.Metric, data, n, d)
+	if err != nil {
+		return nil, fmt.Errorf("hnsw: %w", err)
+	}
 	h := &HNSW{
 		cfg: cfg, dim: d, n: n,
-		s:      &graph.Searcher{Data: data, Dim: d, Fn: fn},
+		s:      &graph.Searcher{Data: data, Dim: d, Fn: vec.Distance(cfg.Metric), Scorer: sc},
 		nodeLv: make([]int8, n),
 		ml:     1 / math.Log(float64(cfg.M)),
 	}
@@ -145,9 +148,8 @@ func (h *HNSW) insert(id int32, rng *rand.Rand) {
 func (h *HNSW) shrink(l int, id int32, m int) {
 	nbrs := h.layers[l][id]
 	cands := make([]topk.Result, 0, len(nbrs))
-	base := h.s.Row(id)
 	for _, nb := range nbrs {
-		cands = append(cands, topk.Result{ID: int64(nb), Dist: h.s.Dist(base, nb)})
+		cands = append(cands, topk.Result{ID: int64(nb), Dist: h.s.DistRows(id, nb)})
 	}
 	sortResults(cands)
 	if h.cfg.NaiveSelection {

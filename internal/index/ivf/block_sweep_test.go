@@ -1,0 +1,75 @@
+package ivf
+
+import (
+	"math"
+	"testing"
+
+	"vdbms/internal/dataset"
+	"vdbms/internal/index"
+	"vdbms/internal/topk"
+)
+
+func setListScanBlock(t *testing.T, bs int) {
+	t.Helper()
+	old := listScanBlock
+	listScanBlock = bs
+	t.Cleanup(func() { listScanBlock = old })
+}
+
+func identicalResults(t *testing.T, label string, want, got []topk.Result) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%s: length %d vs reference %d", label, len(got), len(want))
+	}
+	for i := range want {
+		if want[i].ID != got[i].ID ||
+			math.Float32bits(want[i].Dist) != math.Float32bits(got[i].Dist) {
+			t.Fatalf("%s: result %d = %+v, reference %+v", label, i, got[i], want[i])
+		}
+	}
+}
+
+// TestIVFFlatBlockSweep: the Flat-variant list scan gathers admitted
+// ids into blocks; results must be byte-identical at every gather-block
+// size and worker count, with and without a predicate. Probing all
+// lists makes the scan exhaustive, so the reference is the brute-force
+// flat index — same L2 kernels, so the match is exact.
+func TestIVFFlatBlockSweep(t *testing.T) {
+	ds := dataset.Clustered(3000, 16, 8, 0.2, 3)
+	iv, err := Build(ds.Data, ds.Count, ds.Dim, Config{NList: 16, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := index.NewFlat(ds.Data, ds.Count, ds.Dim, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred := func(id int64) bool { return id%3 != 0 }
+	for _, q := range ds.Queries(4, 0.05, 7) {
+		want, err := exact.Search(q, 10, index.Params{Parallelism: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantPred, err := exact.Search(q, 10, index.Params{Parallelism: 1, Filter: pred})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, bs := range []int{1, 7, 64, 1024} {
+			setListScanBlock(t, bs)
+			for _, w := range []int{1, 4} {
+				p := index.Params{NProbe: iv.NList(), Parallelism: w}
+				got, err := iv.Search(q, 10, p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				identicalResults(t, "ivf-flat", want, got)
+				p.Filter = pred
+				got, err = iv.Search(q, 10, p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				identicalResults(t, "ivf-flat/pred", wantPred, got)
+			}
+		}
+	}
+}

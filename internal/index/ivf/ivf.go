@@ -53,7 +53,8 @@ type IVF struct {
 	cfg     Config
 	dim     int
 	n       int
-	data    []float32 // raw vectors, retained for Flat scan and re-ranking
+	data    []float32   // raw vectors, retained for Flat scan and re-ranking
+	sc      *vec.Scorer // block-scores the raw vectors (Flat variant scan)
 	cents   *kmeans.Result
 	lists   [][]int32 // bucket -> member ids
 	sq      *quant.SQ
@@ -81,7 +82,11 @@ func Build(data []float32, n, d int, cfg Config) (*IVF, error) {
 	if err != nil {
 		return nil, fmt.Errorf("ivf: coarse quantizer: %w", err)
 	}
-	iv := &IVF{cfg: cfg, dim: d, n: n, data: data, cents: cents, lists: make([][]int32, cents.K)}
+	sc, err := vec.NewScorer(vec.L2, data, n, d)
+	if err != nil {
+		return nil, fmt.Errorf("ivf: %w", err)
+	}
+	iv := &IVF{cfg: cfg, dim: d, n: n, data: data, sc: sc, cents: cents, lists: make([][]int32, cents.K)}
 	for id, c := range cents.Assign {
 		iv.lists[c] = append(iv.lists[c], int32(id))
 	}
@@ -245,12 +250,21 @@ func (iv *IVF) Search(q []float32, k int, p index.Params) ([]topk.Result, error)
 	return merged.Results(), nil
 }
 
+// listScanBlock is the gather-buffer size for Flat-variant list
+// scanning: admitted member ids accumulate until a block is full, then
+// one kernel call scores them all. A package variable so tests can
+// sweep it.
+var listScanBlock = 256
+
 // scanLists scores every admitted member of the given inverted lists
 // into c and returns the distance computations performed. sharedADC is
 // the query-relative table for the non-residual ADC variant (nil
 // otherwise); the residual variant builds a per-list table locally so
 // concurrent workers never share mutable state.
 func (iv *IVF) scanLists(q []float32, c *topk.Collector, lists []int, p *index.Params, sharedADC *quant.ADCTable) int64 {
+	if iv.cfg.Variant == Flat {
+		return iv.scanListsFlat(q, c, lists, p)
+	}
 	comps := int64(0)
 	adc := sharedADC
 	var resid []float32
@@ -271,8 +285,6 @@ func (iv *IVF) scanLists(q []float32, c *topk.Collector, lists []int, p *index.P
 			}
 			var d float32
 			switch iv.cfg.Variant {
-			case Flat:
-				d = vec.SquaredL2(q, iv.data[int(id)*iv.dim:(int(id)+1)*iv.dim])
 			case SQ:
 				d = iv.sq.DistanceL2(q, iv.sqCodes[int(id)*iv.dim:(int(id)+1)*iv.dim])
 			case ADC:
@@ -282,6 +294,37 @@ func (iv *IVF) scanLists(q []float32, c *topk.Collector, lists []int, p *index.P
 			c.Push(int64(id), d)
 		}
 	}
+	return comps
+}
+
+// scanListsFlat gathers admitted member ids across the lists and
+// scores them in blocks through the raw-vector scorer. Only admitted
+// rows are scored (and counted), exactly like the per-row path.
+func (iv *IVF) scanListsFlat(q []float32, c *topk.Collector, lists []int, p *index.Params) int64 {
+	b := iv.sc.Bind(q)
+	ids := make([]int32, 0, listScanBlock)
+	dist := make([]float32, listScanBlock)
+	comps := int64(0)
+	flush := func() {
+		b.ScoreIDs(ids, dist)
+		for o, id := range ids {
+			c.Push(int64(id), dist[o])
+		}
+		comps += int64(len(ids))
+		ids = ids[:0]
+	}
+	for _, list := range lists {
+		for _, id := range iv.lists[list] {
+			if !p.Admits(int64(id)) {
+				continue
+			}
+			ids = append(ids, id)
+			if len(ids) == listScanBlock {
+				flush()
+			}
+		}
+	}
+	flush()
 	return comps
 }
 

@@ -87,8 +87,12 @@ func Build(data []float32, n, d int, cfg Config) (*Graph, error) {
 	if cfg.NumEntry <= 0 {
 		cfg.NumEntry = 8
 	}
+	sc, err := vec.NewScorer(vec.L2, data, n, d)
+	if err != nil {
+		return nil, fmt.Errorf("knng: %w", err)
+	}
 	g := &Graph{cfg: cfg, dim: d, n: n,
-		s: &graph.Searcher{Data: data, Dim: d, Fn: vec.SquaredL2}}
+		s: &graph.Searcher{Data: data, Dim: d, Fn: vec.SquaredL2, Scorer: sc}}
 	switch cfg.Init {
 	case Exact:
 		g.buildExact()
@@ -102,12 +106,11 @@ func (g *Graph) buildExact() {
 	g.adj = make(graph.Adjacency, g.n)
 	for i := 0; i < g.n; i++ {
 		c := topk.NewCollector(g.cfg.K)
-		qi := g.s.Row(int32(i))
 		for j := 0; j < g.n; j++ {
 			if j == i {
 				continue
 			}
-			c.Push(int64(j), g.s.Dist(qi, int32(j)))
+			c.Push(int64(j), g.s.DistRows(int32(i), int32(j)))
 		}
 		res := c.Results()
 		nbrs := make([]int32, len(res))
@@ -167,7 +170,7 @@ func (g *Graph) buildDescent() {
 				if cand == int32(v) {
 					continue
 				}
-				insert(int32(v), cand, g.s.Dist(g.s.Row(int32(v)), cand))
+				insert(int32(v), cand, g.s.DistRows(int32(v), cand))
 			}
 		}
 	}
@@ -195,7 +198,7 @@ func (g *Graph) buildDescent() {
 			if a == b {
 				return
 			}
-			d := g.s.Dist(g.s.Row(a), b)
+			d := g.s.DistRows(a, b)
 			if insert(a, b, d) {
 				updates++
 			}

@@ -49,7 +49,7 @@ type LSH struct {
 	dim    int
 	n      int
 	data   []float32
-	fn     vec.DistanceFunc
+	sc     *vec.Scorer // re-ranks colliding candidates with cached row state
 	tables []map[uint64][]int32
 	// projections: per table, K vectors of dim floats (+ offset for
 	// p-stable).
@@ -75,12 +75,17 @@ func Build(data []float32, n, d int, cfg Config) (*LSH, error) {
 	if d <= 0 || len(data) < n*d {
 		return nil, fmt.Errorf("lsh: bad data shape n=%d d=%d len=%d", n, d, len(data))
 	}
+	metric := metricOrL2(cfg)
+	sc, err := vec.NewScorer(metric, data, n, d)
+	if err != nil {
+		return nil, fmt.Errorf("lsh: %w", err)
+	}
 	l := &LSH{
 		cfg:     cfg,
 		dim:     d,
 		n:       n,
 		data:    data,
-		fn:      vec.Distance(metricOrL2(cfg)),
+		sc:      sc,
 		tables:  make([]map[uint64][]int32, cfg.L),
 		proj:    make([][]float32, cfg.L),
 		offsets: make([][]float32, cfg.L),
@@ -187,6 +192,7 @@ func (l *LSH) Search(q []float32, k int, p index.Params) ([]topk.Result, error) 
 	c := topk.NewCollector(k)
 	seen := make(map[int32]struct{}, 64)
 	comps := int64(0)
+	b := l.sc.Bind(q)
 	for t := 0; t < tables; t++ {
 		for _, id := range l.tables[t][l.hash(t, q)] {
 			if _, dup := seen[id]; dup {
@@ -196,7 +202,7 @@ func (l *LSH) Search(q []float32, k int, p index.Params) ([]topk.Result, error) 
 			if !p.Admits(int64(id)) {
 				continue
 			}
-			d := l.fn(q, l.data[int(id)*l.dim:(int(id)+1)*l.dim])
+			d := b.ScoreAt(int(id))
 			comps++
 			c.Push(int64(id), d)
 		}

@@ -85,8 +85,12 @@ func Build(data []float32, n, d int, cfg Config) (*Graph, error) {
 	if cfg.Trials <= 0 {
 		cfg.Trials = 8
 	}
+	sc, err := vec.NewScorer(vec.L2, data, n, d)
+	if err != nil {
+		return nil, fmt.Errorf("nsg: %w", err)
+	}
 	g := &Graph{cfg: cfg, dim: d, n: n,
-		s: &graph.Searcher{Data: data, Dim: d, Fn: vec.SquaredL2}}
+		s: &graph.Searcher{Data: data, Dim: d, Fn: vec.SquaredL2, Scorer: sc}}
 	g.medoid = g.findMedoid()
 
 	switch cfg.Variant {
@@ -151,9 +155,10 @@ func (g *Graph) findMedoid() int32 {
 	for j := range cent {
 		cent[j] *= inv
 	}
+	bq := g.s.Bind(cent)
 	best, bestD := int32(0), float32(0)
 	for i := 0; i < g.n; i++ {
-		dd := g.s.Dist(cent, int32(i))
+		dd := bq.Dist(int32(i))
 		if i == 0 || dd < bestD {
 			best, bestD = int32(i), dd
 		}
@@ -172,7 +177,7 @@ func (g *Graph) pass(alpha float32) {
 		// Include current neighbors so established edges compete.
 		cands := visited
 		for _, nb := range g.adj[v] {
-			cands = append(cands, topk.Result{ID: int64(nb), Dist: g.s.Dist(q, nb)})
+			cands = append(cands, topk.Result{ID: int64(nb), Dist: g.s.DistRows(int32(v), nb)})
 		}
 		sortResults(cands)
 		cands = dedupe(cands)
@@ -195,10 +200,9 @@ func (g *Graph) addReverse(nb, v int32, alpha float32) {
 	if len(g.adj[nb]) <= g.cfg.R {
 		return
 	}
-	base := g.s.Row(nb)
 	cands := make([]topk.Result, 0, len(g.adj[nb]))
 	for _, e := range g.adj[nb] {
-		cands = append(cands, topk.Result{ID: int64(e), Dist: g.s.Dist(base, e)})
+		cands = append(cands, topk.Result{ID: int64(e), Dist: g.s.DistRows(nb, e)})
 	}
 	sortResults(cands)
 	g.adj[nb] = graph.RobustPrune(g.s, nb, cands, g.cfg.R, alpha)

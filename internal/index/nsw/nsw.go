@@ -43,8 +43,12 @@ func Build(data []float32, n, d int, cfg Config) (*NSW, error) {
 	if cfg.EfConstruct <= 0 {
 		cfg.EfConstruct = 4 * cfg.M
 	}
+	sc, err := vec.NewScorer(vec.L2, data, n, d)
+	if err != nil {
+		return nil, fmt.Errorf("nsw: %w", err)
+	}
 	g := &NSW{cfg: cfg, dim: d, n: n,
-		s:   &graph.Searcher{Data: data, Dim: d, Fn: vec.SquaredL2},
+		s:   &graph.Searcher{Data: data, Dim: d, Fn: vec.SquaredL2, Scorer: sc},
 		adj: make(graph.Adjacency, n),
 	}
 	for id := 1; id < n; id++ {

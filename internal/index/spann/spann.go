@@ -278,6 +278,9 @@ func (sp *SPANN) Search(q []float32, k int, p index.Params) ([]topk.Result, erro
 	c := topk.NewCollector(k)
 	seen := map[int32]struct{}{}
 	comps := int64(0)
+	// Posting entries stream from disk, so they are scored through the
+	// query-bound kernel (bit-identical to the scalar L2).
+	kern := vec.BindQuery(vec.L2, q)
 	for _, li := range sp.cents.NearestN(q, nprobe) {
 		for _, e := range sp.readList(li) {
 			if _, dup := seen[e.id]; dup {
@@ -288,7 +291,7 @@ func (sp *SPANN) Search(q []float32, k int, p index.Params) ([]topk.Result, erro
 				continue
 			}
 			comps++
-			c.Push(int64(e.id), vec.SquaredL2(q, e.vec))
+			c.Push(int64(e.id), kern.Score(e.vec))
 		}
 	}
 	sp.comps.Add(comps)

@@ -1,0 +1,125 @@
+package lsm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"vdbms/internal/topk"
+	"vdbms/internal/vec"
+)
+
+func setMemScanBlock(t *testing.T, bs int) {
+	t.Helper()
+	old := memScanBlock
+	memScanBlock = bs
+	t.Cleanup(func() { memScanBlock = old })
+}
+
+func resultsIdentical(t *testing.T, label string, want, got []topk.Result) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%s: length %d vs reference %d", label, len(got), len(want))
+	}
+	for i := range want {
+		if want[i].ID != got[i].ID ||
+			math.Float32bits(want[i].Dist) != math.Float32bits(got[i].Dist) {
+			t.Fatalf("%s: result %d = %+v, reference %+v", label, i, got[i], want[i])
+		}
+	}
+}
+
+// TestLSMCosineBlockSweep exercises the gather-block memtable scan on a
+// cosine collection with overwrites and deletes (so stale generations
+// interleave with live rows): results must be byte-identical at every
+// block size, and each returned distance must agree with the scalar
+// CosineDistance on the live vector within 1e-5 relative.
+func TestLSMCosineBlockSweep(t *testing.T) {
+	const dim = 12
+	c, err := New(Config{Dim: dim, Metric: vec.Cosine, MemtableSize: 1 << 20, Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	mk := func() []float32 {
+		v := make([]float32, dim)
+		for i := range v {
+			v[i] = float32(rng.NormFloat64())
+		}
+		return v
+	}
+	live := map[int64][]float32{}
+	for id := int64(0); id < 400; id++ {
+		v := mk()
+		if err := c.Upsert(id, v); err != nil {
+			t.Fatal(err)
+		}
+		live[id] = v
+	}
+	// Overwrites and deletes leave stale generations in the memtable.
+	for id := int64(0); id < 400; id += 5 {
+		v := mk()
+		if err := c.Upsert(id, v); err != nil {
+			t.Fatal(err)
+		}
+		live[id] = v
+	}
+	for id := int64(3); id < 400; id += 7 {
+		c.Delete(id)
+		delete(live, id)
+	}
+
+	q := mk()
+	k := len(live) // all live rows returned: rank swaps cannot change the set
+	var ref []topk.Result
+	for _, bs := range []int{1, 7, 64, 1024} {
+		setMemScanBlock(t, bs)
+		got, err := c.Search(q, k, 0, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref == nil {
+			ref = got
+			if len(got) != len(live) {
+				t.Fatalf("got %d results, want %d live rows", len(got), len(live))
+			}
+			for _, r := range got {
+				v, ok := live[r.ID]
+				if !ok {
+					t.Fatalf("result id %d is deleted or unknown", r.ID)
+				}
+				want := float64(vec.CosineDistance(q, v))
+				gd := float64(r.Dist)
+				tol := 1e-5 * math.Max(1, math.Max(math.Abs(want), math.Abs(gd)))
+				if math.Abs(want-gd) > tol {
+					t.Fatalf("id %d: scorer %v scalar %v", r.ID, gd, want)
+				}
+			}
+			continue
+		}
+		resultsIdentical(t, "memtable", ref, got)
+	}
+
+	// Seal the memtable: SearchExact now block-scans the segment scorer
+	// (plus the empty memtable) and must stay byte-identical across
+	// block sizes too.
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	ref = nil
+	for _, bs := range []int{1, 7, 64, 1024} {
+		setMemScanBlock(t, bs)
+		got, err := c.SearchExact(q, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref == nil {
+			ref = got
+			if len(got) != len(live) {
+				t.Fatalf("exact: got %d results, want %d", len(got), len(live))
+			}
+			continue
+		}
+		resultsIdentical(t, "segment", ref, got)
+	}
+}

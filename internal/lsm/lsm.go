@@ -50,14 +50,18 @@ type segment struct {
 	data []float32
 	rows []row
 	idx  index.Index
+	sc   *vec.Scorer // block-scores the sealed rows (exact scans)
 }
 
 // Collection is an updatable vector collection with LSM-style
 // out-of-place maintenance. All methods are safe for concurrent use.
 type Collection struct {
-	mu       sync.RWMutex
-	cfg      Config
-	fn       vec.DistanceFunc
+	mu  sync.RWMutex
+	cfg Config
+	// memSc block-scores the memtable; its cached per-row state (cosine
+	// norms) is extended incrementally on every Upsert and reset when
+	// the memtable is sealed, so no search pays a norm recompute.
+	memSc    *vec.Scorer
 	memData  []float32
 	memRows  []row
 	segments []*segment
@@ -83,13 +87,20 @@ func New(cfg Config) (*Collection, error) {
 		cfg.MaxSegments = 8
 	}
 	if cfg.Builder == nil {
+		// The default segment index searches under the collection's own
+		// metric, matching the memtable scan.
+		metric := cfg.Metric
 		cfg.Builder = func(data []float32, n, d int) (index.Index, error) {
-			return hnsw.Build(data, n, d, hnsw.Config{M: 8, Seed: 1})
+			return hnsw.Build(data, n, d, hnsw.Config{M: 8, Seed: 1, Metric: metric})
 		}
+	}
+	memSc, err := vec.NewScorer(cfg.Metric, nil, 0, cfg.Dim)
+	if err != nil {
+		return nil, fmt.Errorf("lsm: %w", err)
 	}
 	return &Collection{
 		cfg:    cfg,
-		fn:     vec.Distance(cfg.Metric),
+		memSc:  memSc,
 		latest: map[int64]uint64{},
 	}, nil
 }
@@ -136,6 +147,7 @@ func (c *Collection) Upsert(id int64, v []float32) error {
 	c.latest[id] = c.nextGen
 	c.memData = append(c.memData, v...)
 	c.memRows = append(c.memRows, row{id: id, gen: c.nextGen})
+	c.memSc.Extend(c.memData, len(c.memRows))
 	if len(c.memRows) >= c.cfg.MemtableSize {
 		if err := c.flushLocked(); err != nil {
 			return err
@@ -205,9 +217,14 @@ func (c *Collection) flushLocked() error {
 	if err != nil {
 		return fmt.Errorf("lsm: segment index build: %w", err)
 	}
-	c.segments = append(c.segments, &segment{data: data, rows: rows, idx: idx})
+	segSc, err := vec.NewScorer(c.cfg.Metric, data, len(rows), c.cfg.Dim)
+	if err != nil {
+		return fmt.Errorf("lsm: segment scorer: %w", err)
+	}
+	c.segments = append(c.segments, &segment{data: data, rows: rows, idx: idx, sc: segSc})
 	c.memData = c.memData[:0]
 	c.memRows = c.memRows[:0]
+	c.memSc.Reset()
 	c.flushes++
 	if len(c.segments) >= c.cfg.MaxSegments {
 		return c.compactLocked()
@@ -248,7 +265,11 @@ func (c *Collection) compactLocked() error {
 	if err != nil {
 		return fmt.Errorf("lsm: compaction index build: %w", err)
 	}
-	c.segments = []*segment{{data: data, rows: rows, idx: idx}}
+	segSc, err := vec.NewScorer(c.cfg.Metric, data, len(rows), d)
+	if err != nil {
+		return fmt.Errorf("lsm: compaction scorer: %w", err)
+	}
+	c.segments = []*segment{{data: data, rows: rows, idx: idx, sc: segSc}}
 	c.compactions++
 	return nil
 }
@@ -310,20 +331,45 @@ func (c *Collection) Search(q []float32, k, ef int, extra func(id int64) bool) (
 	return merged.Results(), nil
 }
 
-// searchMemtableLocked brute-force scans the memtable into col,
-// newest version winning via the generation check. Caller holds at
-// least a read lock.
-func (c *Collection) searchMemtableLocked(q []float32, col *topk.Collector, extra func(id int64) bool) {
-	d := c.cfg.Dim
-	for i, r := range c.memRows {
+// memScanBlock is the gather-buffer size for exact memtable/segment
+// scans: surviving row indexes accumulate until a block is full, then
+// one kernel call scores them all. A package variable so tests can
+// sweep it.
+var memScanBlock = 256
+
+// scanRows gathers the local row indexes surviving the generation and
+// predicate checks and block-scores them into col under their user
+// ids. Shared by the memtable scan and the exact segment scan.
+func (c *Collection) scanRows(b vec.Bound, rows []row, col *topk.Collector, extra func(id int64) bool) {
+	ids := make([]int32, 0, memScanBlock)
+	dist := make([]float32, memScanBlock)
+	flush := func() {
+		b.ScoreIDs(ids, dist)
+		for o, li := range ids {
+			col.Push(rows[li].id, dist[o])
+		}
+		ids = ids[:0]
+	}
+	for i, r := range rows {
 		if c.latest[r.id] != r.gen {
 			continue
 		}
 		if extra != nil && !extra(r.id) {
 			continue
 		}
-		col.Push(r.id, c.fn(q, c.memData[i*d:(i+1)*d]))
+		ids = append(ids, int32(i))
+		if len(ids) == memScanBlock {
+			flush()
+		}
 	}
+	flush()
+}
+
+// searchMemtableLocked brute-force scans the memtable into col,
+// newest version winning via the generation check. Caller holds at
+// least a read lock.
+func (c *Collection) searchMemtableLocked(q []float32, col *topk.Collector, extra func(id int64) bool) {
+	c.scanRows(c.memSc.Bind(q), c.memRows, col, extra)
 }
 
 // searchSegmentLocked probes one sealed segment's index with a
@@ -366,21 +412,10 @@ func (c *Collection) SearchExact(q []float32, k int) ([]topk.Result, error) {
 	}
 	c.mu.RLock()
 	defer c.mu.RUnlock()
-	d := c.cfg.Dim
 	col := topk.NewCollector(k)
-	for i, r := range c.memRows {
-		if c.latest[r.id] != r.gen {
-			continue
-		}
-		col.Push(r.id, c.fn(q, c.memData[i*d:(i+1)*d]))
-	}
+	c.scanRows(c.memSc.Bind(q), c.memRows, col, nil)
 	for _, seg := range c.segments {
-		for i, r := range seg.rows {
-			if c.latest[r.id] != r.gen {
-				continue
-			}
-			col.Push(r.id, c.fn(q, seg.data[i*d:(i+1)*d]))
-		}
+		c.scanRows(seg.sc.Bind(q), seg.rows, col, nil)
 	}
 	return col.Results(), nil
 }

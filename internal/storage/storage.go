@@ -267,6 +267,39 @@ func (ds *DiskStore) Vector(id int, dst []float32) []float32 {
 	return dst
 }
 
+// ReadBlock materializes the contiguous rows [lo, hi) into dst
+// (row-major, allocating when dst is too small) and returns the slice.
+// Each page is fetched once and decoded for every row it holds, so
+// bulk materialization (scan staging, shard loading) pays one page
+// read per page instead of one per vector.
+func (ds *DiskStore) ReadBlock(lo, hi int, dst []float32) []float32 {
+	if lo < 0 || hi > ds.count || lo > hi {
+		panic(fmt.Sprintf("storage: block [%d,%d) out of range [0,%d)", lo, hi, ds.count))
+	}
+	need := (hi - lo) * ds.dim
+	if cap(dst) < need {
+		dst = make([]float32, need)
+	}
+	dst = dst[:need]
+	for id := lo; id < hi; {
+		pno := id / ds.perPage
+		page := ds.readPage(pno)
+		// Decode every requested row resident on this page.
+		last := (pno + 1) * ds.perPage
+		if last > hi {
+			last = hi
+		}
+		for ; id < last; id++ {
+			off := (id % ds.perPage) * ds.dim * 4
+			out := dst[(id-lo)*ds.dim : (id-lo+1)*ds.dim]
+			for j := 0; j < ds.dim; j++ {
+				out[j] = math.Float32frombits(binary.LittleEndian.Uint32(page[off+j*4:]))
+			}
+		}
+	}
+	return dst
+}
+
 func (ds *DiskStore) readPage(pno int) []byte {
 	ds.mu.Lock()
 	defer ds.mu.Unlock()

@@ -1,0 +1,637 @@
+package vec
+
+// The batched scoring engine. Every hot scan in the system used to pay
+// an indirect DistanceFunc call per candidate, and metrics with
+// per-vector state (the norms of cosine, the L-transform of
+// Mahalanobis) recomputed that state on every comparison. A Scorer is
+// built once per (metric, dataset): it precomputes per-row state —
+// inverse norms for cosine, the Cholesky pre-transform for Mahalanobis
+// — and scores candidates through metric-specialized block kernels
+// that process two rows per pass, sharing the query loads (the
+// portable analog of the SIMD distance kernels of Section 2.3).
+//
+// Numeric contract: for L2, inner product, L1, Linf, and Hamming every
+// Scorer path reproduces the scalar DistanceFunc bit for bit (the
+// kernels keep each row's accumulation order identical to the scalar
+// functions). Cosine and Mahalanobis use cached per-row state, so
+// their scores agree with the scalar functions only to ~1e-7 relative
+// error; callers that mix paths must tolerate that (the property tests
+// pin 1e-5).
+//
+// Zero-vector contract (cosine): a zero row or zero query caches an
+// inverse norm of 0, so every score against it is exactly 1 —
+// matching CosineDistance, which defines zero vectors as maximally
+// dissimilar instead of producing NaN.
+
+import (
+	"fmt"
+	"math"
+	"reflect"
+)
+
+// Scorer scores queries against the rows of a row-major dataset with
+// per-row state precomputed at construction. Methods that score are
+// safe for concurrent use; Extend, Refresh, and Reset require the same
+// external synchronization as writes to the underlying data.
+type Scorer struct {
+	metric Metric
+	dim    int
+	n      int
+	data   []float32
+
+	// invNorm caches 1/||row|| for cosine (0 for zero rows).
+	invNorm []float32
+
+	// Mahalanobis state: mh is the scalar fallback; when the matrix
+	// admits a Cholesky factorization M = L·Lᵀ, chol holds T = Lᵀ
+	// (upper triangular, row-major) and trows the transformed rows, so
+	// scoring reduces to SquaredL2 in the transformed space.
+	mh    *Mahalanobis2
+	chol  []float32
+	trows []float32
+
+	// fn, when set, makes this an opaque per-row scorer (metric is -1).
+	fn DistanceFunc
+}
+
+// NewScorer builds a scorer for a basic metric over n row-major
+// vectors of dimension d. n may be 0 (grow later via Extend).
+// Mahalanobis carries state and must use NewMahalanobisScorer.
+func NewScorer(m Metric, data []float32, n, d int) (*Scorer, error) {
+	if d <= 0 {
+		return nil, fmt.Errorf("vec: scorer dimension must be positive")
+	}
+	if n < 0 || len(data) < n*d {
+		return nil, fmt.Errorf("vec: scorer data %d shorter than n*d %d", len(data), n*d)
+	}
+	switch m {
+	case L2, InnerProduct, Cosine, L1, Linf, Hamming:
+	case Mahalanobis:
+		return nil, fmt.Errorf("vec: Mahalanobis scorer requires NewMahalanobisScorer")
+	default:
+		return nil, fmt.Errorf("vec: unknown metric %v", m)
+	}
+	s := &Scorer{metric: m, dim: d, data: data}
+	s.extendState(data, n)
+	return s, nil
+}
+
+// NewMahalanobisScorer builds a scorer for a learned quadratic-form
+// distance. When M is positive definite the rows are pre-transformed
+// by the Cholesky factor (so each score is one SquaredL2 instead of a
+// d×d quadratic form); otherwise scoring falls back to the exact
+// scalar form per row.
+func NewMahalanobisScorer(mh *Mahalanobis2, data []float32, n, d int) (*Scorer, error) {
+	if mh == nil {
+		return nil, fmt.Errorf("vec: nil Mahalanobis matrix")
+	}
+	if d != mh.Dim() {
+		return nil, fmt.Errorf("vec: scorer dim %d, matrix dim %d", d, mh.Dim())
+	}
+	if n < 0 || len(data) < n*d {
+		return nil, fmt.Errorf("vec: scorer data %d shorter than n*d %d", len(data), n*d)
+	}
+	s := &Scorer{metric: Mahalanobis, dim: d, data: data, mh: mh, chol: cholUpper(mh.m, d)}
+	s.extendState(data, n)
+	return s, nil
+}
+
+// NewFuncScorer wraps an opaque DistanceFunc: no per-row state, every
+// score is one scalar call. It exists so callers can route every scan
+// through the Scorer API and still accept user-supplied distances;
+// results are bit-identical to calling fn per row.
+func NewFuncScorer(fn DistanceFunc, data []float32, n, d int) *Scorer {
+	return &Scorer{metric: Metric(-1), dim: d, n: n, data: data, fn: fn}
+}
+
+// ScorerFor resolves fn to a metric-specialized scorer when fn is one
+// of this package's canonical distance functions, and falls back to an
+// opaque per-row scorer otherwise. It is the bridge for APIs that
+// historically accepted a bare DistanceFunc.
+func ScorerFor(fn DistanceFunc, data []float32, n, d int) *Scorer {
+	if m, ok := MetricOf(fn); ok {
+		s, err := NewScorer(m, data, n, d)
+		if err == nil {
+			return s
+		}
+	}
+	return NewFuncScorer(fn, data, n, d)
+}
+
+// MetricOf reports which basic metric fn implements, matching against
+// this package's canonical functions by identity. Wrapped or
+// user-supplied functions are not recognized.
+func MetricOf(fn DistanceFunc) (Metric, bool) {
+	if fn == nil {
+		return 0, false
+	}
+	switch reflect.ValueOf(fn).Pointer() {
+	case reflect.ValueOf(SquaredL2).Pointer():
+		return L2, true
+	case reflect.ValueOf(NegInnerProduct).Pointer():
+		return InnerProduct, true
+	case reflect.ValueOf(CosineDistance).Pointer():
+		return Cosine, true
+	case reflect.ValueOf(ManhattanDistance).Pointer():
+		return L1, true
+	case reflect.ValueOf(ChebyshevDistance).Pointer():
+		return Linf, true
+	case reflect.ValueOf(HammingDistance).Pointer():
+		return Hamming, true
+	}
+	return 0, false
+}
+
+// Metric returns the metric this scorer specializes (-1 for opaque
+// func scorers).
+func (s *Scorer) Metric() Metric { return s.metric }
+
+// Dim returns the vector dimensionality.
+func (s *Scorer) Dim() int { return s.dim }
+
+// Rows returns the number of scoreable rows.
+func (s *Scorer) Rows() int { return s.n }
+
+// Data returns the backing row-major matrix (first Rows()*Dim()
+// entries are valid). Callers must not mutate it without Refresh.
+func (s *Scorer) Data() []float32 { return s.data }
+
+// Extend re-points the scorer at the (possibly reallocated) backing
+// array and computes per-row state for rows [Rows(), n) — the
+// incremental maintenance hook for append-style inserts. n < Rows()
+// truncates.
+func (s *Scorer) Extend(data []float32, n int) {
+	if len(data) < n*s.dim {
+		panic(fmt.Sprintf("vec: Extend data %d shorter than n*d %d", len(data), n*s.dim))
+	}
+	s.extendState(data, n)
+}
+
+func (s *Scorer) extendState(data []float32, n int) {
+	old := s.n
+	s.data = data
+	s.n = n
+	d := s.dim
+	switch {
+	case s.fn != nil:
+	case s.metric == Cosine:
+		if n <= old {
+			s.invNorm = s.invNorm[:n]
+			break
+		}
+		for len(s.invNorm) < n {
+			i := len(s.invNorm)
+			s.invNorm = append(s.invNorm, invNormOf(data[i*d:(i+1)*d]))
+		}
+	case s.metric == Mahalanobis && s.chol != nil:
+		if n <= old {
+			s.trows = s.trows[:n*d]
+			break
+		}
+		if cap(s.trows) < n*d {
+			grown := make([]float32, old*d, n*d)
+			copy(grown, s.trows)
+			s.trows = grown
+		}
+		s.trows = s.trows[:n*d]
+		for i := old; i < n; i++ {
+			s.transform(data[i*d:(i+1)*d], s.trows[i*d:(i+1)*d])
+		}
+	}
+}
+
+// Refresh recomputes row id's cached state after an in-place
+// overwrite of the underlying vector.
+func (s *Scorer) Refresh(id int) {
+	if id < 0 || id >= s.n {
+		panic(fmt.Sprintf("vec: Refresh id %d out of range [0,%d)", id, s.n))
+	}
+	d := s.dim
+	switch {
+	case s.metric == Cosine:
+		s.invNorm[id] = invNormOf(s.data[id*d : (id+1)*d])
+	case s.metric == Mahalanobis && s.chol != nil:
+		s.transform(s.data[id*d:(id+1)*d], s.trows[id*d:(id+1)*d])
+	}
+}
+
+// Reset drops all rows (caches keep their capacity), so a memtable can
+// be sealed and refilled without reallocating the scorer.
+func (s *Scorer) Reset() { s.extendState(s.data[:0], 0) }
+
+// invNormOf returns 1/||v|| (0 for the zero vector), the cached
+// cosine row state.
+func invNormOf(v []float32) float32 {
+	nn := Dot(v, v)
+	if nn == 0 {
+		return 0
+	}
+	return float32(1 / math.Sqrt(float64(nn)))
+}
+
+// ScoreAt scores row id against q. One-shot convenience; loops should
+// Bind once and use the bound scorer.
+func (s *Scorer) ScoreAt(q []float32, id int) float32 { return s.Bind(q).ScoreAt(id) }
+
+// ScoreBlock scores the contiguous rows [lo, hi) against q into
+// out[:hi-lo]. One-shot convenience over Bind.
+func (s *Scorer) ScoreBlock(q []float32, lo, hi int, out []float32) {
+	s.Bind(q).ScoreBlock(lo, hi, out)
+}
+
+// ScoreRows scores two stored rows against each other using cached
+// state on both sides (graph edge pruning: robust-prune compares
+// candidate pairs, not query-row pairs).
+func (s *Scorer) ScoreRows(i, j int) float32 {
+	d := s.dim
+	ri := s.data[i*d : (i+1)*d]
+	rj := s.data[j*d : (j+1)*d]
+	switch {
+	case s.fn != nil:
+		return s.fn(ri, rj)
+	case s.metric == L2:
+		return SquaredL2(ri, rj)
+	case s.metric == InnerProduct:
+		return -Dot(ri, rj)
+	case s.metric == Cosine:
+		return 1 - Dot(ri, rj)*s.invNorm[i]*s.invNorm[j]
+	case s.metric == L1:
+		return ManhattanDistance(ri, rj)
+	case s.metric == Linf:
+		return ChebyshevDistance(ri, rj)
+	case s.metric == Hamming:
+		return HammingDistance(ri, rj)
+	case s.chol != nil:
+		return SquaredL2(s.trows[i*d:(i+1)*d], s.trows[j*d:(j+1)*d])
+	default:
+		return s.mh.Distance(ri, rj)
+	}
+}
+
+// Bound is a scorer with per-query state resolved once (the query's
+// inverse norm for cosine, its pre-transform for Mahalanobis), so
+// gather-style ScoreAt calls from graph traversals pay no per-call
+// setup. A Bound is a value; copying it is cheap and safe.
+type Bound struct {
+	s    *Scorer
+	q    []float32
+	qInv float32   // cosine: 1/||q||, 0 for a zero query
+	tq   []float32 // Mahalanobis: Lᵀq
+}
+
+// Bind precomputes the per-query scoring state for q.
+func (s *Scorer) Bind(q []float32) Bound {
+	b := Bound{s: s, q: q}
+	switch {
+	case s.fn != nil:
+	case s.metric == Cosine:
+		b.qInv = invNormOf(q)
+	case s.metric == Mahalanobis && s.chol != nil:
+		b.tq = make([]float32, s.dim)
+		s.transform(q, b.tq)
+	}
+	return b
+}
+
+// ScoreAt returns the distance from the bound query to row id.
+func (b Bound) ScoreAt(id int) float32 {
+	s := b.s
+	d := s.dim
+	row := s.data[id*d : (id+1)*d]
+	switch {
+	case s.fn != nil:
+		return s.fn(b.q, row)
+	case s.metric == L2:
+		return SquaredL2(b.q, row)
+	case s.metric == InnerProduct:
+		return -Dot(b.q, row)
+	case s.metric == Cosine:
+		return 1 - Dot(b.q, row)*s.invNorm[id]*b.qInv
+	case s.metric == L1:
+		return ManhattanDistance(b.q, row)
+	case s.metric == Linf:
+		return ChebyshevDistance(b.q, row)
+	case s.metric == Hamming:
+		return HammingDistance(b.q, row)
+	case s.chol != nil:
+		return SquaredL2(b.tq, s.trows[id*d:(id+1)*d])
+	default:
+		return s.mh.Distance(b.q, row)
+	}
+}
+
+// ScoreBlock scores the contiguous rows [lo, hi) into out[:hi-lo].
+// The per-row accumulation order matches the scalar kernels, so
+// results are independent of how a scan is chunked into blocks.
+func (b Bound) ScoreBlock(lo, hi int, out []float32) {
+	s := b.s
+	d := s.dim
+	data := s.data
+	switch {
+	case s.metric == L2 && s.fn == nil:
+		o := 0
+		i := lo
+		for ; i+2 <= hi; i, o = i+2, o+2 {
+			out[o], out[o+1] = l2Pair(b.q, data[i*d:(i+1)*d], data[(i+1)*d:(i+2)*d])
+		}
+		if i < hi {
+			out[o] = SquaredL2(b.q, data[i*d:(i+1)*d])
+		}
+	case s.metric == InnerProduct && s.fn == nil:
+		o := 0
+		i := lo
+		for ; i+2 <= hi; i, o = i+2, o+2 {
+			dp0, dp1 := dotPair(b.q, data[i*d:(i+1)*d], data[(i+1)*d:(i+2)*d])
+			out[o], out[o+1] = -dp0, -dp1
+		}
+		if i < hi {
+			out[o] = -Dot(b.q, data[i*d:(i+1)*d])
+		}
+	case s.metric == Cosine && s.fn == nil:
+		o := 0
+		i := lo
+		for ; i+2 <= hi; i, o = i+2, o+2 {
+			dp0, dp1 := dotPair(b.q, data[i*d:(i+1)*d], data[(i+1)*d:(i+2)*d])
+			out[o] = 1 - dp0*s.invNorm[i]*b.qInv
+			out[o+1] = 1 - dp1*s.invNorm[i+1]*b.qInv
+		}
+		if i < hi {
+			out[o] = 1 - Dot(b.q, data[i*d:(i+1)*d])*s.invNorm[i]*b.qInv
+		}
+	case s.metric == Mahalanobis && s.chol != nil:
+		trows := s.trows
+		o := 0
+		i := lo
+		for ; i+2 <= hi; i, o = i+2, o+2 {
+			out[o], out[o+1] = l2Pair(b.tq, trows[i*d:(i+1)*d], trows[(i+1)*d:(i+2)*d])
+		}
+		if i < hi {
+			out[o] = SquaredL2(b.tq, trows[i*d:(i+1)*d])
+		}
+	default:
+		// L1/Linf/Hamming have no per-row state and opaque funcs cannot
+		// be fused; the block still amortizes dispatch to one direct
+		// call per row.
+		for i, o := lo, 0; i < hi; i, o = i+1, o+1 {
+			out[o] = b.ScoreAt(i)
+		}
+	}
+}
+
+// ScoreIDs scores a gather list: out[i] = dist(q, row ids[i]). Used by
+// scans whose candidates are not contiguous (inverted lists, filtered
+// scans, memtable rows surviving generation checks).
+func (b Bound) ScoreIDs(ids []int32, out []float32) {
+	s := b.s
+	d := s.dim
+	data := s.data
+	row := func(o int) []float32 {
+		i := int(ids[o])
+		return data[i*d : (i+1)*d]
+	}
+	switch {
+	case s.metric == L2 && s.fn == nil:
+		o := 0
+		for ; o+2 <= len(ids); o += 2 {
+			out[o], out[o+1] = l2Pair(b.q, row(o), row(o+1))
+		}
+		if o < len(ids) {
+			out[o] = SquaredL2(b.q, row(o))
+		}
+	case s.metric == InnerProduct && s.fn == nil:
+		o := 0
+		for ; o+2 <= len(ids); o += 2 {
+			dp0, dp1 := dotPair(b.q, row(o), row(o+1))
+			out[o], out[o+1] = -dp0, -dp1
+		}
+		if o < len(ids) {
+			out[o] = -Dot(b.q, row(o))
+		}
+	case s.metric == Cosine && s.fn == nil:
+		inv := func(o int) float32 { return s.invNorm[int(ids[o])] }
+		o := 0
+		for ; o+2 <= len(ids); o += 2 {
+			dp0, dp1 := dotPair(b.q, row(o), row(o+1))
+			out[o] = 1 - dp0*inv(o)*b.qInv
+			out[o+1] = 1 - dp1*inv(o+1)*b.qInv
+		}
+		if o < len(ids) {
+			out[o] = 1 - Dot(b.q, row(o))*inv(o)*b.qInv
+		}
+	default:
+		for o, id := range ids {
+			out[o] = b.ScoreAt(int(id))
+		}
+	}
+}
+
+// dotPair computes Dot(q, r0) and Dot(q, r1) in one pass, sharing the
+// query loads. Each row keeps Dot's exact accumulation order (four
+// stride-4 accumulators, tail into the first): the 8-wide main loop
+// feeds each accumulator the same element sequence as the scalar code,
+// just with less loop overhead, so the results are bit-identical to
+// two scalar calls.
+func dotPair(q, r0, r1 []float32) (float32, float32) {
+	n := len(q)
+	r0 = r0[:n]
+	r1 = r1[:n]
+	var a0, a1, a2, a3 float32
+	var b0, b1, b2, b3 float32
+	i := 0
+	for ; i+8 <= n; i += 8 {
+		a0 += q[i] * r0[i]
+		a1 += q[i+1] * r0[i+1]
+		a2 += q[i+2] * r0[i+2]
+		a3 += q[i+3] * r0[i+3]
+		a0 += q[i+4] * r0[i+4]
+		a1 += q[i+5] * r0[i+5]
+		a2 += q[i+6] * r0[i+6]
+		a3 += q[i+7] * r0[i+7]
+		b0 += q[i] * r1[i]
+		b1 += q[i+1] * r1[i+1]
+		b2 += q[i+2] * r1[i+2]
+		b3 += q[i+3] * r1[i+3]
+		b0 += q[i+4] * r1[i+4]
+		b1 += q[i+5] * r1[i+5]
+		b2 += q[i+6] * r1[i+6]
+		b3 += q[i+7] * r1[i+7]
+	}
+	for ; i+4 <= n; i += 4 {
+		q0, q1, q2, q3 := q[i], q[i+1], q[i+2], q[i+3]
+		a0 += q0 * r0[i]
+		a1 += q1 * r0[i+1]
+		a2 += q2 * r0[i+2]
+		a3 += q3 * r0[i+3]
+		b0 += q0 * r1[i]
+		b1 += q1 * r1[i+1]
+		b2 += q2 * r1[i+2]
+		b3 += q3 * r1[i+3]
+	}
+	for ; i < n; i++ {
+		a0 += q[i] * r0[i]
+		b0 += q[i] * r1[i]
+	}
+	return a0 + a1 + a2 + a3, b0 + b1 + b2 + b3
+}
+
+// l2Pair computes SquaredL2(q, r0) and SquaredL2(q, r1) in one pass,
+// bit-identical to two scalar calls (same per-accumulator order; see
+// dotPair for the 8-wide unrolling argument).
+func l2Pair(q, r0, r1 []float32) (float32, float32) {
+	n := len(q)
+	r0 = r0[:n]
+	r1 = r1[:n]
+	var a0, a1, a2, a3 float32
+	var b0, b1, b2, b3 float32
+	i := 0
+	for ; i+8 <= n; i += 8 {
+		e0 := q[i] - r0[i]
+		e1 := q[i+1] - r0[i+1]
+		e2 := q[i+2] - r0[i+2]
+		e3 := q[i+3] - r0[i+3]
+		a0 += e0 * e0
+		a1 += e1 * e1
+		a2 += e2 * e2
+		a3 += e3 * e3
+		e0 = q[i+4] - r0[i+4]
+		e1 = q[i+5] - r0[i+5]
+		e2 = q[i+6] - r0[i+6]
+		e3 = q[i+7] - r0[i+7]
+		a0 += e0 * e0
+		a1 += e1 * e1
+		a2 += e2 * e2
+		a3 += e3 * e3
+		f0 := q[i] - r1[i]
+		f1 := q[i+1] - r1[i+1]
+		f2 := q[i+2] - r1[i+2]
+		f3 := q[i+3] - r1[i+3]
+		b0 += f0 * f0
+		b1 += f1 * f1
+		b2 += f2 * f2
+		b3 += f3 * f3
+		f0 = q[i+4] - r1[i+4]
+		f1 = q[i+5] - r1[i+5]
+		f2 = q[i+6] - r1[i+6]
+		f3 = q[i+7] - r1[i+7]
+		b0 += f0 * f0
+		b1 += f1 * f1
+		b2 += f2 * f2
+		b3 += f3 * f3
+	}
+	for ; i+4 <= n; i += 4 {
+		q0, q1, q2, q3 := q[i], q[i+1], q[i+2], q[i+3]
+		e0 := q0 - r0[i]
+		e1 := q1 - r0[i+1]
+		e2 := q2 - r0[i+2]
+		e3 := q3 - r0[i+3]
+		a0 += e0 * e0
+		a1 += e1 * e1
+		a2 += e2 * e2
+		a3 += e3 * e3
+		f0 := q0 - r1[i]
+		f1 := q1 - r1[i+1]
+		f2 := q2 - r1[i+2]
+		f3 := q3 - r1[i+3]
+		b0 += f0 * f0
+		b1 += f1 * f1
+		b2 += f2 * f2
+		b3 += f3 * f3
+	}
+	for ; i < n; i++ {
+		e := q[i] - r0[i]
+		a0 += e * e
+		f := q[i] - r1[i]
+		b0 += f * f
+	}
+	return a0 + a1 + a2 + a3, b0 + b1 + b2 + b3
+}
+
+// transform computes dst = Lᵀ·v (the Cholesky pre-transform), with
+// float64 accumulation so transformed-space distances stay within
+// ~1e-6 relative of the exact quadratic form.
+func (s *Scorer) transform(v, dst []float32) {
+	d := s.dim
+	for r := 0; r < d; r++ {
+		row := s.chol[r*d : (r+1)*d]
+		var acc float64
+		for j := r; j < d; j++ {
+			acc += float64(row[j]) * float64(v[j])
+		}
+		dst[r] = float32(acc)
+	}
+}
+
+// cholUpper factors M = L·Lᵀ and returns T = Lᵀ (upper triangular,
+// row-major), or nil when M is not positive definite — the caller
+// then falls back to the exact quadratic form per row.
+func cholUpper(m [][]float32, d int) []float32 {
+	l := make([]float64, d*d)
+	for i := 0; i < d; i++ {
+		for j := 0; j <= i; j++ {
+			sum := float64(m[i][j])
+			for k := 0; k < j; k++ {
+				sum -= l[i*d+k] * l[j*d+k]
+			}
+			if i == j {
+				if sum <= 0 {
+					return nil
+				}
+				l[i*d+i] = math.Sqrt(sum)
+			} else {
+				l[i*d+j] = sum / l[j*d+j]
+			}
+		}
+	}
+	t := make([]float32, d*d)
+	for r := 0; r < d; r++ {
+		for j := r; j < d; j++ {
+			t[r*d+j] = float32(l[j*d+r])
+		}
+	}
+	return t
+}
+
+// QueryKernel scores streamed vectors (disk records, posting entries)
+// against a fixed query with the query-side state resolved once. It is
+// the Bound analog for paths whose vectors are not resident rows.
+type QueryKernel struct {
+	m    Metric
+	q    []float32
+	qInv float32
+}
+
+// BindQuery prepares a kernel for a basic metric. Like Distance it
+// panics for Mahalanobis, which carries matrix state.
+func BindQuery(m Metric, q []float32) QueryKernel {
+	k := QueryKernel{m: m, q: q}
+	switch m {
+	case Cosine:
+		k.qInv = invNormOf(q)
+	case Mahalanobis:
+		panic("vec: Mahalanobis requires a Scorer")
+	}
+	return k
+}
+
+// Score returns the distance from the bound query to v. L2, inner
+// product, L1, Linf, and Hamming are bit-identical to the scalar
+// functions; cosine reuses the cached query norm (the row norm is
+// still computed per call — streamed vectors have no cache to hit).
+func (k QueryKernel) Score(v []float32) float32 {
+	switch k.m {
+	case L2:
+		return SquaredL2(k.q, v)
+	case InnerProduct:
+		return -Dot(k.q, v)
+	case Cosine:
+		return 1 - Dot(k.q, v)*invNormOf(v)*k.qInv
+	case L1:
+		return ManhattanDistance(k.q, v)
+	case Linf:
+		return ChebyshevDistance(k.q, v)
+	case Hamming:
+		return HammingDistance(k.q, v)
+	default:
+		panic("vec: unknown metric " + k.m.String())
+	}
+}

@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Scan/search benchmark runner: runs the scoring-engine benchmarks
+# (BenchmarkFlatScan in internal/index, BenchmarkScoreBlock in
+# internal/vec) and emits a JSON array of {op, ns_per_op, rows_per_s}
+# for the acceptance record in BENCH_scan.json.
+#
+#   scripts/bench.sh [output.json]
+#
+# BENCHTIME overrides the per-benchmark iteration budget (default 20x;
+# ci.sh smoke-runs with 1x so a broken harness cannot land unnoticed).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_scan.json}"
+benchtime="${BENCHTIME:-20x}"
+
+tmp=$(mktemp)
+trap 'rm -f "$tmp"' EXIT
+
+go test -run '^$' -bench BenchmarkFlatScan -benchtime "$benchtime" ./internal/index/ | tee -a "$tmp"
+go test -run '^$' -bench BenchmarkScoreBlock -benchtime "$benchtime" ./internal/vec/ | tee -a "$tmp"
+
+# Benchmark lines look like:
+#   BenchmarkFlatScan/l2/scorer-8  20  7083267 ns/op  7228.30 MB/s  14118004 rows/s
+awk '
+/^Benchmark/ {
+    op = $1
+    sub(/-[0-9]+$/, "", op)
+    ns = ""; rows = ""
+    for (i = 2; i < NF; i++) {
+        if ($(i+1) == "ns/op") ns = $i
+        if ($(i+1) == "rows/s") rows = $i
+    }
+    if (ns == "") next
+    if (n++) printf ",\n"
+    printf "  {\"op\": \"%s\", \"ns_per_op\": %s, \"rows_per_s\": %s}", op, ns, (rows == "" ? "null" : rows)
+}
+BEGIN { printf "[\n" }
+END   { printf "\n]\n" }
+' "$tmp" > "$out"
+
+echo "wrote $out"
