@@ -11,6 +11,7 @@
 //	POST   /collections/{name}/vectors       {"vector": [...], "attrs": {...}}
 //	POST   /collections/{name}/index         {"kind": "hnsw", "opts": {"m": 16}}
 //	POST   /collections/{name}/search        search request JSON
+//	POST   /collections/{name}/batch         {"vectors": [[...], ...]} + shared search knobs
 //	POST   /query                            {"query": "SELECT 10 FROM c NEAR [...]"}
 //	GET    /healthz                          liveness probe
 //	GET    /metrics                          Prometheus text exposition

@@ -22,13 +22,18 @@ type Schema struct {
 	// "string". Attribute columns power hybrid (predicated) queries.
 	Attributes map[string]string
 	// RebuildFraction controls automatic index rebuilds: when more
-	// than this fraction of indexed rows has been mutated, the next
-	// search rebuilds the index first. Default 0.2.
+	// than this fraction of indexed rows has been mutated, a rebuild
+	// starts on a background goroutine and installs atomically when
+	// done. Queries never wait for it (see WaitForIndex). Default 0.2.
 	RebuildFraction float64
 }
 
 // Collection is a named vector collection with optional attributes and
 // an optional ANN index. All methods are safe for concurrent use.
+// Reads are snapshot-isolated: each query runs against the immutable
+// epoch current when it started and never blocks on writers or on
+// background index rebuilds (DESIGN.md §9 has the exact visibility
+// contract).
 type Collection struct {
 	inner *core.Collection
 	dim   int
@@ -133,7 +138,9 @@ func (c *Collection) AttributeTypes() map[string]string {
 
 // CreateIndex builds an ANN index over the current rows. Kind is an
 // index family from IndexKinds; opts are family-specific integer knobs
-// (e.g. {"m": 16} for HNSW, {"nlist": 256} for IVF).
+// (e.g. {"m": 16} for HNSW, {"nlist": 256} for IVF). The build runs
+// without blocking concurrent reads or writes and installs atomically
+// on return.
 func (c *Collection) CreateIndex(kind string, opts map[string]int) error {
 	return c.inner.CreateIndex(kind, opts)
 }
@@ -146,6 +153,18 @@ func (c *Collection) DropIndex() { c.inner.DropIndex() }
 func (c *Collection) IndexInfo() (kind string, covered, dirty int) {
 	return c.inner.IndexInfo()
 }
+
+// IndexStatus is IndexInfo plus whether a background rebuild is
+// currently running.
+func (c *Collection) IndexStatus() (kind string, covered, dirty int, building bool) {
+	return c.inner.IndexStatus()
+}
+
+// WaitForIndex blocks until no background index rebuild is in flight.
+// Queries never need it — a search during a rebuild just uses the
+// previous index — but tests and freshness-sensitive callers can use
+// it as a barrier after a burst of writes.
+func (c *Collection) WaitForIndex() { c.inner.WaitForIndex() }
 
 // Filter is one predicate of a hybrid query. Op is one of
 // "=", "!=", "<", "<=", ">", ">=", "in". Value holds an int, float64,
@@ -324,17 +343,29 @@ func (c *Collection) SearchRange(q []float32, radius float32, filters []Filter) 
 	return convertHits(res), nil
 }
 
-// SearchBatch answers a batch of queries in parallel. A query that
-// fails does not discard the rest of the batch: its slot is nil and
-// the returned error wraps each failing query's index (errors.Join),
-// so callers keep the successful answers — the same partial-results
-// philosophy as the distributed read path.
-func (c *Collection) SearchBatch(qs [][]float32, k int, filters []Filter, ef int) ([][]Hit, error) {
-	preds, err := convertFilters(filters)
+// SearchBatch answers a batch of queries in parallel, all against one
+// snapshot. req carries the shared execution knobs — K, Filters,
+// Policy (including "plan:<kind>" forcing), Ef, NProbe, Alpha,
+// Parallelism — and one plan is chosen and reused for the whole batch;
+// the per-query fields (Vector, Vectors, EntityColumn, Trace) are
+// ignored. A query that fails does not discard the rest of the batch:
+// its slot is nil and the returned error wraps each failing query's
+// index (errors.Join), so callers keep the successful answers — the
+// same partial-results philosophy as the distributed read path.
+func (c *Collection) SearchBatch(qs [][]float32, req SearchRequest) ([][]Hit, error) {
+	preds, err := convertFilters(req.Filters)
 	if err != nil {
 		return nil, err
 	}
-	res, batchErr := c.inner.SearchBatch(qs, k, preds, ef)
+	res, batchErr := c.inner.SearchBatch(qs, core.Request{
+		K:           req.K,
+		Preds:       preds,
+		Policy:      req.Policy,
+		Ef:          req.Ef,
+		NProbe:      req.NProbe,
+		Alpha:       req.Alpha,
+		Parallelism: req.Parallelism,
+	})
 	out := make([][]Hit, len(res))
 	for i, rs := range res {
 		if rs == nil {

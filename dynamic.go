@@ -35,6 +35,13 @@ type DynamicConfig struct {
 // Dynamic is an updatable collection: upserts and deletes are cheap
 // and never rebuild existing segment indexes; searches merge the
 // memtable with every sealed segment.
+//
+// Segment index builds (flush and compaction) run off the data lock:
+// searches and concurrent writers proceed while a build is in flight,
+// with freshly sealed rows served by exact scan until their index
+// installs. Maintenance itself is single-flight — concurrent Flush or
+// Compact calls serialize, and only the writer whose Upsert filled the
+// memtable waits for the seal it triggered.
 type Dynamic struct {
 	inner *lsm.Collection
 }
@@ -91,7 +98,9 @@ func (d *Dynamic) Len() int { return d.inner.Len() }
 // Segments returns the sealed segment count.
 func (d *Dynamic) Segments() int { return d.inner.Segments() }
 
-// Flush seals the memtable into an indexed segment immediately.
+// Flush seals the memtable into a segment immediately. The segment's
+// index is built without blocking reads or writes; its rows stay
+// searchable (by exact scan) throughout.
 func (d *Dynamic) Flush() error { return d.inner.Flush() }
 
 // Compact merges segments and drops deleted rows.

@@ -1,0 +1,111 @@
+package core
+
+import (
+	"time"
+
+	"vdbms/internal/index"
+	"vdbms/internal/obs"
+)
+
+// Background index maintenance. The engine used to rebuild a stale
+// index inline on the next search, stalling that query — and, under
+// the old collection-wide lock, every other one — for the full build.
+// Builds now run on a single-flight background goroutine per
+// collection: a write that pushes staleness over the schema threshold
+// starts the builder, the builder pins the current data prefix (safe
+// off-lock: inserts append and updates copy-on-write), builds without
+// holding any lock, and installs the result atomically. An install is
+// discarded when CreateIndex or DropIndex changed the recipe mid-build
+// (the epoch check below); writes that landed during the build keep
+// their staleness, so the builder immediately re-evaluates the
+// threshold and chains a catch-up build when needed. Nothing on the
+// query path ever waits: a search that arrives mid-build simply uses
+// the snapshot's previous index (or an exact scan).
+
+// buildTimed runs one index build with duration metrics.
+func buildTimed(kind string, data []float32, n, dim int, opts map[string]int) (index.Index, error) {
+	start := time.Now()
+	idx, err := index.Build(kind, data, n, dim, opts)
+	secs := time.Since(start).Seconds()
+	obs.IndexBuildSeconds.Observe(secs)
+	obs.IndexBuildLastSecs.Set(secs)
+	return idx, err
+}
+
+// maybeTriggerBuildLocked starts a background rebuild when the
+// mutation fraction exceeds the schema threshold. Called with mu held
+// from every write path and from build completion (catch-up).
+// Single-flight: at most one builder goroutine per collection.
+func (c *Collection) maybeTriggerBuildLocked() {
+	if c.annKind == "" || c.annN == 0 || c.building {
+		return
+	}
+	grown := c.n - c.annN
+	if float64(c.dirty+grown) <= c.schema.RebuildFraction*float64(c.annN) {
+		return
+	}
+	c.building = true
+	c.buildDone = make(chan struct{})
+	obs.IndexBuildState.With(c.name).Set(1)
+	go c.runBuild(c.buildEpoch, c.annKind, c.annOpts, c.data[:c.n*c.schema.Dim], c.n, c.dirty)
+}
+
+// runBuild is the builder goroutine body. Its inputs were pinned under
+// mu by maybeTriggerBuildLocked; the data prefix stays immutable while
+// the build runs because inserts only append past it and updates
+// replace the array instead of writing through it.
+func (c *Collection) runBuild(epoch uint64, kind string, opts map[string]int, data []float32, n, dirty int) {
+	idx, err := buildTimed(kind, data, n, c.schema.Dim, opts)
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.building = false
+	close(c.buildDone)
+	obs.IndexBuildState.With(c.name).Set(0)
+	switch {
+	case err != nil:
+		// Leave the old index standing. Deliberately not re-triggered
+		// here — a deterministic failure would spin hot; the next write
+		// re-evaluates the threshold and retries instead.
+		obs.IndexBuildsTotal.With("failed").Inc()
+	case epoch != c.buildEpoch:
+		// CreateIndex/DropIndex changed the recipe mid-build; discard
+		// the result but re-check staleness against the new recipe.
+		obs.IndexBuildsTotal.With("stale").Inc()
+		c.maybeTriggerBuildLocked()
+	default:
+		c.installLocked(idx, n, dirty)
+		obs.IndexBuildsTotal.With("installed").Inc()
+		c.publishLocked()
+		// Writes that landed during the build may already exceed the
+		// threshold again; chain the next build without waiting for
+		// another write.
+		c.maybeTriggerBuildLocked()
+	}
+}
+
+// WaitForIndex blocks until no background index build is in flight,
+// including catch-up builds chained by the builder itself. It is a
+// convenience for tests, benchmarks, and shutdown paths; queries never
+// need it.
+func (c *Collection) WaitForIndex() {
+	for {
+		c.mu.Lock()
+		if !c.building {
+			c.mu.Unlock()
+			return
+		}
+		done := c.buildDone
+		c.mu.Unlock()
+		<-done
+	}
+}
+
+// IndexStatus reports the index family, coverage, staleness, and
+// whether a background build is currently running — IndexInfo plus the
+// builder state, for operational surfaces (/debug/stats, healthz).
+func (c *Collection) IndexStatus() (kind string, covered, dirty int, building bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.annKind, c.annN, c.dirty, c.building
+}

@@ -3,13 +3,23 @@
 // wires them into an executor environment, and decides when the index
 // is stale enough to rebuild. It is the glue layer of Figure 1 between
 // the query processor and the storage manager.
+//
+// Concurrency follows a single-node version of the multi-version
+// designs surveyed in Section 2.4: every mutation publishes a fresh
+// immutable snapshot through one atomic pointer, queries run entirely
+// against the snapshot they load (no locks, no torn state), and ANN
+// index rebuilds happen on a background goroutine over a pinned
+// snapshot so they never appear on the query's critical path. The
+// reader-visible contract is written down in DESIGN.md §9.
 package core
 
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"vdbms/internal/bitset"
 	"vdbms/internal/executor"
 	"vdbms/internal/filter"
 	"vdbms/internal/index"
@@ -36,33 +46,100 @@ type Schema struct {
 	Metric vec.Metric
 	// Attributes maps column name to type.
 	Attributes map[string]filter.Kind
-	// RebuildFraction triggers an automatic index rebuild when the
-	// fraction of rows mutated since the last build exceeds it;
-	// default 0.2.
+	// RebuildFraction triggers an automatic background index rebuild
+	// when the fraction of rows mutated since the last build exceeds
+	// it; default 0.2. Rebuilds never run on the query path — see
+	// builder.go.
 	RebuildFraction float64
 }
 
+// snapshot is one immutable epoch of the collection. Writers build a
+// new snapshot under the writer mutex after every mutation and publish
+// it with a single atomic pointer store; readers load the pointer once
+// and run their whole query against that epoch without taking any
+// lock. Nothing reachable from a published snapshot is ever mutated:
+//
+//   - env wraps a scorer view pinned at rows (the data prefix is
+//     immutable because inserts only append and in-place updates copy
+//     the array first) and an attribute-table view pinned at the same
+//     row count (columns are append-only).
+//   - del is a copy-on-write deletion mask; Delete clones the bitset
+//     before setting a bit, so a reader's mask never changes mid-scan.
+//   - ann/annN describe the installed ANN index and the rows it was
+//     built over. env.ANN is non-nil only when annN == rows: an index
+//     that misses recent inserts is bypassed for exact scans, while an
+//     index stale only through in-place updates stays live (DESIGN.md
+//     §9 spells out the visibility contract).
+type snapshot struct {
+	rows int // total rows in this epoch (live + deleted)
+	nDel int // deleted rows
+	env  *executor.Env
+	del  *bitset.Bitset // nil until the first delete
+	ann  index.Index    // installed index; may trail rows
+	annN int            // rows covered by ann
+}
+
+// exclude adapts the epoch's deletion mask to the executor's exclusion
+// callback. Bitset.Test reads out-of-range bits as false, so a mask
+// frozen at an older epoch is still correct if consulted against ids
+// appended later.
+func (s *snapshot) exclude() func(id int64) bool {
+	if s.del == nil || s.nDel == 0 {
+		return nil
+	}
+	del := s.del
+	return func(id int64) bool { return del.Test(int(id)) }
+}
+
 // Collection is a mutable vector collection with hybrid search.
+//
+// The query path is lock-free: Search, SearchRange, SearchBatch, Get,
+// and OpenIterator load the current snapshot with one atomic pointer
+// read and never contend with writers or index builds. Writers
+// (Insert, UpdateVector, Delete) serialize on a short mutex covering
+// only the mutation plus publication of the next snapshot; CreateIndex
+// and the automatic rebuilds run their builds off-lock and install
+// atomically, so no query or write ever waits for an index build.
 type Collection struct {
-	mu     sync.RWMutex
 	name   string
 	schema Schema
 	fn     vec.DistanceFunc
-	// scorer block-scores exact scans with cached per-row state; it is
-	// kept alive across searches (envLocked rebuilds the Env per query)
-	// and maintained incrementally: Extend on insert, Refresh on
-	// in-place update.
-	scorer  *vec.Scorer
-	data    []float32
-	n       int
-	deleted map[int64]struct{}
-	attrs   *filter.Table
+
+	// snap is the published epoch every query reads.
+	snap atomic.Pointer[snapshot]
+
+	// mu serializes writers. It is held for the mutation itself plus
+	// snapshot publication — never across an index build.
+	mu sync.Mutex
+	// scorer block-scores exact scans with cached per-row state. It is
+	// extended in place on insert (published views pin their own row
+	// count, so appends are invisible to them) and replaced wholesale
+	// on in-place update (copy-on-write keeps old epochs intact).
+	scorer *vec.Scorer
+	data   []float32
+	n      int
+	del    *bitset.Bitset
+	nDel   int
+	attrs  *filter.Table
 
 	annKind string
 	annOpts map[string]int
 	ann     index.Index
 	annN    int // rows covered by the current index build
-	dirty   int // mutations since the build
+	dirty   int // in-place mutations since that build
+
+	// Background builder state (builder.go). buildEpoch invalidates
+	// in-flight builds when CreateIndex/DropIndex changes the recipe.
+	building   bool
+	buildDone  chan struct{}
+	buildEpoch uint64
+
+	// Entity-map cache for multi-vector queries, keyed by column and
+	// validated against the snapshot row count (columns are append-only
+	// and rows never change owner, so the row count is the attribute
+	// version).
+	entMu    sync.Mutex
+	entCache map[string]entityEntry
 }
 
 // NewCollection creates an empty collection.
@@ -86,14 +163,39 @@ func NewCollection(name string, schema Schema) (*Collection, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
-	return &Collection{
-		name:    name,
-		schema:  schema,
-		fn:      vec.Distance(schema.Metric),
-		scorer:  scorer,
-		deleted: map[int64]struct{}{},
-		attrs:   attrs,
-	}, nil
+	c := &Collection{
+		name:     name,
+		schema:   schema,
+		fn:       vec.Distance(schema.Metric),
+		scorer:   scorer,
+		attrs:    attrs,
+		entCache: map[string]entityEntry{},
+	}
+	c.publishLocked() // no concurrency before the constructor returns
+	return c, nil
+}
+
+// publishLocked freezes the current writer state into a fresh epoch
+// and stores it for readers. Called with mu held after every mutation.
+func (c *Collection) publishLocked() {
+	var live index.Index
+	if c.ann != nil && c.annN == c.n {
+		live = c.ann
+	}
+	env, err := executor.NewEnvScorer(c.scorer.View(), c.fn, live, c.attrs.View(c.n))
+	if err != nil {
+		// Unreachable (the scorer is never nil); keep serving the
+		// previous epoch rather than poisoning the pointer.
+		return
+	}
+	c.snap.Store(&snapshot{
+		rows: c.n,
+		nDel: c.nDel,
+		env:  env,
+		del:  c.del,
+		ann:  c.ann,
+		annN: c.annN,
+	})
 }
 
 // Name returns the collection name.
@@ -104,17 +206,12 @@ func (c *Collection) Dim() int { return c.schema.Dim }
 
 // Len returns the number of live rows.
 func (c *Collection) Len() int {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return c.n - len(c.deleted)
+	s := c.snap.Load()
+	return s.rows - s.nDel
 }
 
 // Rows returns the total rows ever inserted (live + deleted).
-func (c *Collection) Rows() int {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return c.n
-}
+func (c *Collection) Rows() int { return c.snap.Load().rows }
 
 // Insert appends a vector with attribute values and returns its id.
 func (c *Collection) Insert(v []float32, attrs map[string]filter.Value) (int64, error) {
@@ -129,19 +226,24 @@ func (c *Collection) Insert(v []float32, attrs map[string]filter.Value) (int64, 
 	if err := c.attrs.AppendRow(attrs); err != nil {
 		return 0, err
 	}
+	// Appending is snapshot-safe without copying: published views pin
+	// their row count, so they never read past the old prefix, and a
+	// reallocating append leaves their backing array untouched.
 	c.data = append(c.data, v...)
 	id := int64(c.n)
 	c.n++
 	c.scorer.Extend(c.data, c.n)
 	// Growth is tracked as n - annN; dirty counts only in-place
 	// mutations, so inserts are not double counted.
+	c.publishLocked()
+	c.maybeTriggerBuildLocked()
 	return id, nil
 }
 
-// UpdateVector overwrites the vector stored at id in place. The ANN
-// index sees the new values immediately (distances are recomputed from
-// the shared array) but its graph/partition structure grows stale;
-// enough updates trigger a rebuild.
+// UpdateVector overwrites the vector stored at id. The flat scan path
+// sees the new values on the very next snapshot; an installed ANN
+// index keeps scoring the array it was built over until the staleness
+// threshold triggers a background rebuild (DESIGN.md §9).
 func (c *Collection) UpdateVector(id int64, v []float32) error {
 	if len(v) != c.schema.Dim {
 		return fmt.Errorf("core: vector dim %d, collection dim %d", len(v), c.schema.Dim)
@@ -151,40 +253,71 @@ func (c *Collection) UpdateVector(id int64, v []float32) error {
 	if err := c.validIDLocked(id); err != nil {
 		return err
 	}
-	copy(c.data[int(id)*c.schema.Dim:(int(id)+1)*c.schema.Dim], v)
-	c.scorer.Refresh(int(id))
+	// Copy-on-write: published snapshots score the current array
+	// lock-free, so an in-place write would tear a concurrent scan.
+	// Copy the prefix, patch the row, and stand up a fresh scorer.
+	d := c.schema.Dim
+	data := make([]float32, c.n*d, c.n*d)
+	copy(data, c.data[:c.n*d])
+	copy(data[int(id)*d:(int(id)+1)*d], v)
+	sc, err := vec.NewScorer(c.schema.Metric, data, c.n, d)
+	if err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	c.data, c.scorer = data, sc
 	if c.ann != nil {
 		c.dirty++
 	}
+	c.publishLocked()
+	c.maybeTriggerBuildLocked()
 	return nil
 }
 
-// Delete hides a row from all future queries.
+// Delete hides a row from all future queries. Snapshots already loaded
+// by in-flight searches keep their own mask and may still return the
+// row — the documented read-committed behavior.
 func (c *Collection) Delete(id int64) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if err := c.validIDLocked(id); err != nil {
 		return err
 	}
-	c.deleted[id] = struct{}{}
+	// Copy-on-write mask, regrown to the current row count so the new
+	// epoch's bitset covers every id it can be asked about.
+	del := bitset.New(c.n)
+	if c.del != nil {
+		c.del.ForEach(func(i int) bool {
+			del.Set(i)
+			return true
+		})
+	}
+	del.Set(int(id))
+	c.del = del
+	c.nDel++
 	if c.ann != nil {
 		c.dirty++
 	}
+	c.publishLocked()
+	c.maybeTriggerBuildLocked()
 	return nil
 }
 
-// Get returns the vector and attributes for a live id.
+// Get returns the vector and attributes for a live id, read from the
+// current snapshot without locking.
 func (c *Collection) Get(id int64) ([]float32, map[string]filter.Value, error) {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	if err := c.validIDLocked(id); err != nil {
-		return nil, nil, err
+	s := c.snap.Load()
+	if id < 0 || id >= int64(s.rows) {
+		return nil, nil, fmt.Errorf("core: id %d out of range [0,%d)", id, s.rows)
 	}
-	v := make([]float32, c.schema.Dim)
-	copy(v, c.data[int(id)*c.schema.Dim:(int(id)+1)*c.schema.Dim])
+	if s.del != nil && s.del.Test(int(id)) {
+		return nil, nil, fmt.Errorf("core: id %d is deleted", id)
+	}
+	d := c.schema.Dim
+	v := make([]float32, d)
+	copy(v, s.env.Data[int(id)*d:(int(id)+1)*d])
 	out := map[string]filter.Value{}
-	for _, col := range c.attrs.Columns() {
-		cc, _ := c.attrs.Column(col)
+	for _, col := range s.env.Attrs.Columns() {
+		cc, _ := s.env.Attrs.Column(col)
 		out[col] = cc.Get(int(id))
 	}
 	return v, out, nil
@@ -194,89 +327,85 @@ func (c *Collection) validIDLocked(id int64) error {
 	if id < 0 || id >= int64(c.n) {
 		return fmt.Errorf("core: id %d out of range [0,%d)", id, c.n)
 	}
-	if _, dead := c.deleted[id]; dead {
+	if c.del != nil && c.del.Test(int(id)) {
 		return fmt.Errorf("core: id %d is deleted", id)
 	}
 	return nil
 }
 
 // CreateIndex builds (or replaces) the ANN index using a registered
-// family ("hnsw", "ivfflat", "lsh", ...) and its options.
+// family ("hnsw", "ivfflat", "lsh", ...) and its options. The build
+// runs without holding the writer lock — inserts, updates, deletes,
+// and searches all proceed while it runs — and the finished index
+// installs atomically. Writes that land during the build leave it
+// trailing (inserts) or stale (updates/deletes); the background
+// builder observes the gap and schedules a catch-up rebuild.
 func (c *Collection) CreateIndex(kind string, opts map[string]int) error {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.buildIndexLocked(kind, opts)
-}
-
-func (c *Collection) buildIndexLocked(kind string, opts map[string]int) error {
 	if c.n == 0 {
+		c.mu.Unlock()
 		return fmt.Errorf("core: cannot index an empty collection")
 	}
-	idx, err := index.Build(kind, c.data, c.n, c.schema.Dim, opts)
+	// Bumping the epoch invalidates any in-flight background build of
+	// the old recipe; recording the new recipe first means rebuilds
+	// triggered mid-build already target it.
+	c.buildEpoch++
+	epoch := c.buildEpoch
+	prevKind, prevOpts := c.annKind, c.annOpts
+	c.annKind, c.annOpts = kind, opts
+	data, n, dirty := c.data[:c.n*c.schema.Dim], c.n, c.dirty
+	c.mu.Unlock()
+
+	idx, err := buildTimed(kind, data, n, c.schema.Dim, opts)
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if err != nil {
+		obs.IndexBuildsTotal.With("failed").Inc()
+		if c.buildEpoch == epoch {
+			c.annKind, c.annOpts = prevKind, prevOpts
+		}
 		return err
 	}
-	c.annKind, c.annOpts, c.ann = kind, opts, idx
-	c.annN = c.n
-	c.dirty = 0
+	if c.buildEpoch != epoch {
+		// A concurrent CreateIndex/DropIndex superseded this build.
+		obs.IndexBuildsTotal.With("stale").Inc()
+		return nil
+	}
+	c.installLocked(idx, n, dirty)
+	obs.IndexBuildsTotal.With("installed").Inc()
+	c.publishLocked()
+	c.maybeTriggerBuildLocked()
 	return nil
 }
 
+// installLocked adopts a finished build. dirtyAtStart is the dirty
+// counter captured when the build's input was pinned: mutations that
+// landed during the build stay counted against the new index.
+func (c *Collection) installLocked(idx index.Index, covered, dirtyAtStart int) {
+	c.ann, c.annN = idx, covered
+	c.dirty -= dirtyAtStart
+	if c.dirty < 0 {
+		c.dirty = 0
+	}
+}
+
 // DropIndex removes the ANN index (queries fall back to exact scan).
+// Any in-flight build is invalidated and will be discarded.
 func (c *Collection) DropIndex() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.buildEpoch++
 	c.ann, c.annKind, c.annOpts = nil, "", nil
 	c.annN, c.dirty = 0, 0
+	c.publishLocked()
 }
 
 // IndexInfo reports the current index family and staleness.
 func (c *Collection) IndexInfo() (kind string, covered, dirty int) {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	return c.annKind, c.annN, c.dirty
-}
-
-// maybeRebuild rebuilds the index when the mutation fraction exceeds
-// the schema threshold. Called with the write lock held.
-func (c *Collection) maybeRebuildLocked() error {
-	if c.ann == nil || c.annN == 0 {
-		return nil
-	}
-	grown := c.n - c.annN
-	if float64(c.dirty+grown) <= c.schema.RebuildFraction*float64(c.annN) {
-		return nil
-	}
-	return c.buildIndexLocked(c.annKind, c.annOpts)
-}
-
-// env materializes the executor environment for the current snapshot.
-// Called with at least a read lock held. The persistent scorer is
-// shared into each Env so its cached per-row state survives across
-// searches instead of being recomputed per query.
-func (c *Collection) envLocked() (*executor.Env, error) {
-	return executor.NewEnvScorer(c.scorer, c.fn, c.liveIndexLocked(), c.attrs)
-}
-
-// liveIndexLocked returns the ANN index only if it covers every row;
-// an index built before recent inserts would silently miss them, so
-// it is bypassed until rebuilt.
-func (c *Collection) liveIndexLocked() index.Index {
-	if c.ann != nil && c.annN == c.n {
-		return c.ann
-	}
-	return nil
-}
-
-// exclude returns the deletion mask as an executor exclusion.
-func (c *Collection) exclude() func(id int64) bool {
-	if len(c.deleted) == 0 {
-		return nil
-	}
-	return func(id int64) bool {
-		_, dead := c.deleted[id]
-		return dead
-	}
 }
 
 // Request is a search request against the collection.
@@ -312,10 +441,11 @@ type Result struct {
 	Dist float32
 }
 
-// Search executes the request and reports the plan used. Every call
-// is counted and timed in the obs registry; when req.Trace is set the
-// pipeline stages (rebuild_check, plan, filter, index_probe, ...)
-// additionally record spans under its root.
+// Search executes the request and reports the plan used. The whole
+// query runs against one snapshot loaded at entry — it never blocks on
+// writers or index builds. Every call is counted and timed in the obs
+// registry; when req.Trace is set the pipeline stages (plan, filter,
+// index_probe, ...) additionally record spans under its root.
 func (c *Collection) Search(req Request) ([]Result, planner.Plan, error) {
 	start := time.Now()
 	res, plan, err := c.search(req)
@@ -331,26 +461,12 @@ func (c *Collection) Search(req Request) ([]Result, planner.Plan, error) {
 
 func (c *Collection) search(req Request) ([]Result, planner.Plan, error) {
 	root := req.Trace.Root()
-	rsp := root.Start("rebuild_check")
-	c.mu.Lock()
-	if err := c.maybeRebuildLocked(); err != nil {
-		c.mu.Unlock()
-		rsp.End()
-		return nil, planner.Plan{}, err
-	}
-	c.mu.Unlock()
-	rsp.End()
-
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	if c.n == 0 {
+	s := c.snap.Load()
+	if s.rows == 0 {
 		return nil, planner.Plan{}, fmt.Errorf("core: collection %q is empty", c.name)
 	}
-	env, err := c.envLocked()
-	if err != nil {
-		return nil, planner.Plan{}, err
-	}
-	opts := executor.Options{Ef: req.Ef, NProbe: req.NProbe, Parallelism: req.Parallelism, Exclude: c.exclude(), Span: root}
+	env := s.env
+	opts := executor.Options{Ef: req.Ef, NProbe: req.NProbe, Parallelism: req.Parallelism, Exclude: s.exclude(), Span: root}
 
 	if len(req.Vectors) > 0 {
 		if req.EntityColumn == "" {
@@ -360,13 +476,14 @@ func (c *Collection) search(req Request) ([]Result, planner.Plan, error) {
 		msp.Annotate("query_vectors", int64(len(req.Vectors)))
 		mvOpts := opts
 		mvOpts.Span = msp
-		res, err := c.multiVectorLocked(env, req, mvOpts)
+		res, err := c.multiVector(s, req, mvOpts)
 		msp.End()
 		return res, planner.Plan{Kind: planner.SingleStage}, err
 	}
 
 	var res []topk.Result
 	var plan planner.Plan
+	var err error
 	if len(req.Policy) > 5 && req.Policy[:5] == "plan:" {
 		plan, err = parsePlan(req.Policy[5:], req.Alpha)
 		if err != nil {
@@ -399,19 +516,48 @@ func parsePlan(name string, alpha int) (planner.Plan, error) {
 	return planner.Plan{}, fmt.Errorf("core: unknown plan %q", name)
 }
 
-func (c *Collection) multiVectorLocked(env *executor.Env, req Request, opts executor.Options) ([]Result, error) {
-	col, ok := c.attrs.Column(req.EntityColumn)
+// entityEntry is one cached row→entity grouping.
+type entityEntry struct {
+	rows int
+	m    *executor.EntityMap
+}
+
+// entityMap returns the entity grouping for the snapshot, cached per
+// column. Columns are append-only and rows never change owner, so a
+// map built at row count R is exact for every snapshot with R rows;
+// an entry is replaced only when the collection has grown past it.
+// Updates and deletes leave ownership intact and need no invalidation
+// (deleted rows are masked by the executor, not the map).
+func (c *Collection) entityMap(s *snapshot, name string, col *filter.Column) *executor.EntityMap {
+	c.entMu.Lock()
+	if e, ok := c.entCache[name]; ok && e.rows == s.rows {
+		c.entMu.Unlock()
+		return e.m
+	}
+	c.entMu.Unlock()
+	owner := make([]int64, s.rows)
+	for i := range owner {
+		owner[i] = col.Get(i).I
+	}
+	m := executor.NewEntityMap(owner)
+	c.entMu.Lock()
+	if e, ok := c.entCache[name]; !ok || e.rows < s.rows {
+		c.entCache[name] = entityEntry{rows: s.rows, m: m}
+	}
+	c.entMu.Unlock()
+	return m
+}
+
+func (c *Collection) multiVector(s *snapshot, req Request, opts executor.Options) ([]Result, error) {
+	env := s.env
+	col, ok := env.Attrs.Column(req.EntityColumn)
 	if !ok {
 		return nil, fmt.Errorf("core: unknown entity column %q", req.EntityColumn)
 	}
 	if col.Kind() != filter.Int64 {
 		return nil, fmt.Errorf("core: entity column %q must be Int64", req.EntityColumn)
 	}
-	owner := make([]int64, c.n)
-	for i := 0; i < c.n; i++ {
-		owner[i] = col.Get(i).I
-	}
-	m := executor.NewEntityMap(owner)
+	m := c.entityMap(s, req.EntityColumn, col)
 	var res []topk.Result
 	var err error
 	if env.ANN != nil {
@@ -426,42 +572,53 @@ func (c *Collection) multiVectorLocked(env *executor.Env, req Request, opts exec
 }
 
 // SearchRange returns all live rows within the squared-distance
-// radius, subject to predicates.
+// radius, subject to predicates. Like Search it runs lock-free on one
+// snapshot and is counted and timed in the obs registry; the deletion
+// mask is pushed into the scan as an exclusion filter, so dead rows
+// are skipped before scoring instead of being filtered afterwards.
 func (c *Collection) SearchRange(q []float32, radius float32, preds []filter.Predicate) ([]Result, error) {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	env, err := c.envLocked()
+	start := time.Now()
+	res, err := c.searchRange(q, radius, preds)
+	obs.SearchTotal.Inc()
+	obs.SearchLatency.Observe(time.Since(start).Seconds())
 	if err != nil {
-		return nil, err
+		obs.SearchErrors.Inc()
 	}
-	res, err := env.SearchRange(q, radius, preds)
-	if err != nil {
-		return nil, err
-	}
-	// Apply the deletion mask (range path reads the flat scan only).
-	out := make([]Result, 0, len(res))
-	for _, r := range res {
-		if _, dead := c.deleted[r.ID]; dead {
-			continue
-		}
-		out = append(out, Result{ID: r.ID, Dist: r.Dist})
-	}
-	return out, nil
+	return res, err
 }
 
-// SearchBatch answers many queries under one plan policy. Per-query
-// failures are partial, not fatal: successful slots are returned
-// alongside an error naming each failing query's index (a failed
-// slot is nil).
-func (c *Collection) SearchBatch(qs [][]float32, k int, preds []filter.Predicate, ef int) ([][]Result, error) {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	env, err := c.envLocked()
+func (c *Collection) searchRange(q []float32, radius float32, preds []filter.Predicate) ([]Result, error) {
+	s := c.snap.Load()
+	res, err := s.env.SearchRange(q, radius, preds, executor.Options{Exclude: s.exclude()})
 	if err != nil {
 		return nil, err
 	}
-	plan := planner.Plan{Kind: planner.SingleStage}
-	res, err := env.SearchBatch(plan, qs, k, preds, executor.Options{Ef: ef, Exclude: c.exclude()})
+	return convert(res), nil
+}
+
+// SearchBatch answers many queries under one shared plan. The request
+// supplies the same execution knobs as Search — Policy (including
+// "plan:<kind>" forcing), K, Preds, Ef, NProbe, Alpha, Parallelism —
+// but the plan is chosen once and reused for the whole batch, so the
+// per-query fields (Vector, Vectors, EntityColumn, Trace) are ignored.
+// Per-query failures are partial, not fatal: successful slots are
+// returned alongside an error naming each failing query's index (a
+// failed slot is nil).
+func (c *Collection) SearchBatch(qs [][]float32, req Request) ([][]Result, error) {
+	s := c.snap.Load()
+	env := s.env
+	var plan planner.Plan
+	var err error
+	if len(req.Policy) > 5 && req.Policy[:5] == "plan:" {
+		plan, err = parsePlan(req.Policy[5:], req.Alpha)
+	} else {
+		plan, err = env.Plan(req.K, req.Preds, req.Policy, nil)
+	}
+	if err != nil {
+		return nil, err
+	}
+	opts := executor.Options{Ef: req.Ef, NProbe: req.NProbe, Parallelism: req.Parallelism, Exclude: s.exclude()}
+	res, err := env.SearchBatch(plan, qs, req.K, req.Preds, opts)
 	out := make([][]Result, len(res))
 	for i, rs := range res {
 		if rs == nil {
@@ -472,15 +629,12 @@ func (c *Collection) SearchBatch(qs [][]float32, k int, preds []filter.Predicate
 	return out, err
 }
 
-// OpenIterator starts incremental paging over the collection.
+// OpenIterator starts incremental paging over the collection. The
+// iterator is pinned to the snapshot current at open time: rows
+// inserted, updated, or deleted afterwards do not affect its pages.
 func (c *Collection) OpenIterator(q []float32, preds []filter.Predicate, ef int) (*executor.Iterator, error) {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	env, err := c.envLocked()
-	if err != nil {
-		return nil, err
-	}
-	return env.NewIterator(q, preds, executor.Options{Ef: ef, Exclude: c.exclude()})
+	s := c.snap.Load()
+	return s.env.NewIterator(q, preds, executor.Options{Ef: ef, Exclude: s.exclude()})
 }
 
 func convert(rs []topk.Result) []Result {
@@ -492,7 +646,8 @@ func convert(rs []topk.Result) []Result {
 }
 
 // AttributeKinds exposes the attribute schema (used by the public API
-// when wrapping a restored collection).
+// when wrapping a restored collection). The column set is fixed at
+// creation, so no snapshot is needed.
 func (c *Collection) AttributeKinds() map[string]filter.Kind {
 	out := map[string]filter.Kind{}
 	for _, name := range c.attrs.Columns() {

@@ -139,25 +139,34 @@ func TestRebuildPolicy(t *testing.T) {
 	if err := c.CreateIndex("hnsw", nil); err != nil {
 		t.Fatal(err)
 	}
-	// Below threshold: no rebuild.
+	// Below threshold: no background rebuild starts.
 	for i := 0; i < 10; i++ {
 		c.UpdateVector(int64(i), make([]float32, 8)) //nolint:errcheck
 	}
-	if _, _, err := c.Search(Request{Vector: make([]float32, 8), K: 1}); err != nil {
-		t.Fatal(err)
-	}
+	c.WaitForIndex()
 	if _, _, dirty := c.IndexInfo(); dirty != 10 {
 		t.Fatalf("dirty = %d, rebuild should not have run", dirty)
 	}
-	// Cross threshold (default 0.2): rebuild on next search.
+	// Cross threshold (default 0.2 of 100 rows): the write that makes
+	// dirty exceed 20 triggers a background rebuild. Updates issued
+	// while the build runs stay dirty against the new index, so after
+	// quiescing, dirty is the (small) post-trigger tail, not 25.
 	for i := 10; i < 25; i++ {
 		c.UpdateVector(int64(i), make([]float32, 8)) //nolint:errcheck
 	}
 	if _, _, err := c.Search(Request{Vector: make([]float32, 8), K: 1}); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, dirty := c.IndexInfo(); dirty != 0 {
-		t.Fatalf("dirty = %d after rebuild", dirty)
+	c.WaitForIndex()
+	kind, covered, dirty, building := c.IndexStatus()
+	if building || kind != "hnsw" {
+		t.Fatalf("status after wait: kind=%q building=%v", kind, building)
+	}
+	if covered != c.Rows() {
+		t.Fatalf("covered = %d, rows = %d", covered, c.Rows())
+	}
+	if dirty > 4 {
+		t.Fatalf("dirty = %d after background rebuild (trigger fired at 21, tail is at most 4)", dirty)
 	}
 	c.DropIndex()
 	if kind, _, _ := c.IndexInfo(); kind != "" {
@@ -211,7 +220,7 @@ func TestBatchAndIterator(t *testing.T) {
 		t.Fatal(err)
 	}
 	qs := ds.Queries(3, 0.05, 5)
-	batch, err := c.SearchBatch(qs, 4, nil, 64)
+	batch, err := c.SearchBatch(qs, Request{K: 4, Ef: 64})
 	if err != nil || len(batch) != 3 || len(batch[0]) != 4 {
 		t.Fatalf("batch: %v %v", batch, err)
 	}

@@ -18,8 +18,9 @@ import (
 // given its seed, so a rebuild reproduces the same structure without
 // freezing internal layouts into the file format.
 
-// snapshot is the gob-encoded on-disk form.
-type snapshot struct {
+// fileSnapshot is the gob-encoded on-disk form (distinct from the
+// in-memory epoch snapshot in collection.go).
+type fileSnapshot struct {
 	FormatVersion int
 	Name          string
 	Dim           int
@@ -42,8 +43,8 @@ const snapshotVersion = 1
 
 // Save writes the collection to path atomically (write temp + rename).
 func (c *Collection) Save(path string) error {
-	c.mu.RLock()
-	snap := snapshot{
+	c.mu.Lock()
+	snap := fileSnapshot{
 		FormatVersion: snapshotVersion,
 		Name:          c.name,
 		Dim:           c.schema.Dim,
@@ -58,8 +59,11 @@ func (c *Collection) Save(path string) error {
 		IndexKind:     c.annKind,
 		IndexOpts:     c.annOpts,
 	}
-	for id := range c.deleted {
-		snap.Deleted = append(snap.Deleted, id)
+	if c.del != nil {
+		c.del.ForEach(func(i int) bool {
+			snap.Deleted = append(snap.Deleted, int64(i))
+			return true
+		})
 	}
 	for _, name := range c.attrs.Columns() {
 		col, _ := c.attrs.Column(name)
@@ -85,7 +89,7 @@ func (c *Collection) Save(path string) error {
 			snap.StrColumns[name] = vals
 		}
 	}
-	c.mu.RUnlock()
+	c.mu.Unlock()
 
 	tmp := path + ".tmp"
 	f, err := os.Create(tmp)
@@ -127,7 +131,7 @@ func Load(path string) (*Collection, error) {
 }
 
 func loadFrom(r io.Reader) (*Collection, error) {
-	var snap snapshot
+	var snap fileSnapshot
 	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
 		return nil, fmt.Errorf("core: decoding snapshot: %w", err)
 	}

@@ -58,7 +58,7 @@ func TestSaveLoadRoundTripCore(t *testing.T) {
 
 func TestLoadVersionMismatch(t *testing.T) {
 	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(&snapshot{FormatVersion: 99}); err != nil {
+	if err := gob.NewEncoder(&buf).Encode(&fileSnapshot{FormatVersion: 99}); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := loadFrom(&buf); err == nil {
@@ -68,7 +68,7 @@ func TestLoadVersionMismatch(t *testing.T) {
 
 func TestLoadCorruptTombstone(t *testing.T) {
 	var buf bytes.Buffer
-	snap := snapshot{
+	snap := fileSnapshot{
 		FormatVersion: snapshotVersion,
 		Name:          "x",
 		Dim:           2,
@@ -87,7 +87,7 @@ func TestLoadCorruptTombstone(t *testing.T) {
 
 func TestLoadBadIndexKind(t *testing.T) {
 	var buf bytes.Buffer
-	snap := snapshot{
+	snap := fileSnapshot{
 		FormatVersion: snapshotVersion,
 		Name:          "x",
 		Dim:           2,

@@ -19,7 +19,11 @@ import (
 	"vdbms/internal/vec"
 )
 
-// Env is the execution environment for one collection snapshot.
+// Env is the execution environment for one collection snapshot. An
+// Env is immutable once constructed and safe for any number of
+// concurrent queries: core builds one per published epoch and every
+// search that loads that epoch shares it, so nothing here may be
+// mutated after NewEnv/NewEnvScorer returns.
 type Env struct {
 	Data  []float32 // row-major vectors
 	N     int
@@ -279,10 +283,13 @@ func (e *Env) indexOrFlat(q []float32, k int, opts Options) ([]topk.Result, erro
 	return e.probe(e.Flat, q, k, opts.params(), opts.Span)
 }
 
-// Search plans and executes in one step using the given selection
-// policy ("rule", "cost", or a planner.Profile name).
-func (e *Env) Search(q []float32, k int, preds []filter.Predicate, opts Options, policy string) ([]topk.Result, planner.Plan, error) {
-	psp := opts.Span.Start("plan")
+// Plan chooses an execution plan for a (k, preds) query shape under
+// the given selection policy ("", "cost", "rule", or a planner.Profile
+// name) without executing anything. Search composes Plan and Execute;
+// batch callers plan once here and reuse the plan for every query in
+// the batch. span, when non-nil, receives the "plan" stage span.
+func (e *Env) Plan(k int, preds []filter.Predicate, policy string, span *obs.Span) (planner.Plan, error) {
+	psp := span.Start("plan")
 	env := planner.Env{
 		N: e.N, K: k, HasIndex: e.ANN != nil, Selectivity: 1,
 	}
@@ -290,7 +297,7 @@ func (e *Env) Search(q []float32, k int, preds []filter.Predicate, opts Options,
 		sel, err := e.Attrs.EstimateSelectivity(preds, 256)
 		if err != nil {
 			psp.End()
-			return nil, planner.Plan{}, err
+			return planner.Plan{}, err
 		}
 		env.Selectivity = sel
 		psp.Annotate("selectivity_ppm", int64(sel*1e6))
@@ -305,12 +312,22 @@ func (e *Env) Search(q []float32, k int, preds []filter.Predicate, opts Options,
 		p, err := planner.Profile(policy).Select(env)
 		if err != nil {
 			psp.End()
-			return nil, planner.Plan{}, err
+			return planner.Plan{}, err
 		}
 		plan = p
 	}
 	psp.Tag("plan", plan.Kind.String())
 	psp.End()
+	return plan, nil
+}
+
+// Search plans and executes in one step using the given selection
+// policy ("rule", "cost", or a planner.Profile name).
+func (e *Env) Search(q []float32, k int, preds []filter.Predicate, opts Options, policy string) ([]topk.Result, planner.Plan, error) {
+	plan, err := e.Plan(k, preds, policy, opts.Span)
+	if err != nil {
+		return nil, planner.Plan{}, err
+	}
 	res, err := e.Execute(plan, q, k, preds, opts)
 	return res, plan, err
 }
@@ -343,9 +360,12 @@ func (e *Env) SearchBatch(p planner.Plan, qs [][]float32, k int, preds []filter.
 }
 
 // SearchRange answers a range query: all (admitted) vectors within the
-// given distance threshold.
-func (e *Env) SearchRange(q []float32, radius float32, preds []filter.Predicate) ([]topk.Result, error) {
-	var params index.Params
+// given distance threshold. The exclusion mask and parallelism knobs
+// in opts apply exactly as in Execute — excluded rows are skipped
+// before scoring — and the scan records a "range_scan" span under
+// opts.Span and counts against the flat index family.
+func (e *Env) SearchRange(q []float32, radius float32, preds []filter.Predicate, opts Options) ([]topk.Result, error) {
+	params := opts.params()
 	if len(preds) > 0 {
 		if e.Attrs == nil {
 			return nil, fmt.Errorf("executor: predicates given but no attribute table")
@@ -357,7 +377,11 @@ func (e *Env) SearchRange(q []float32, radius float32, preds []filter.Predicate)
 	}
 	var st index.SearchStats
 	params.Stats = &st
+	sp := opts.Span.Start("range_scan")
 	res, err := e.Flat.SearchRange(q, radius, params)
+	sp.Annotate("distance_comps", st.DistanceComps)
+	sp.Annotate("hits", int64(len(res)))
+	sp.End()
 	obs.IndexProbes.With("flat").Inc()
 	obs.IndexDistanceComps.With("flat").Add(st.DistanceComps)
 	return res, err

@@ -207,7 +207,7 @@ func TestSearchBatchPropagatesErrors(t *testing.T) {
 func TestSearchRange(t *testing.T) {
 	env, ds := buildEnv(t, 500)
 	q := ds.Row(0)
-	got, err := env.SearchRange(q, 0.5, nil)
+	got, err := env.SearchRange(q, 0.5, nil, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -224,7 +224,7 @@ func TestSearchRange(t *testing.T) {
 		t.Fatal("query point itself not in range result")
 	}
 	// With predicate.
-	got, err = env.SearchRange(q, 10, catLt(10))
+	got, err = env.SearchRange(q, 10, catLt(10), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

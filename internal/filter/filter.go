@@ -209,6 +209,21 @@ func (t *Table) Len() int {
 	return t.n
 }
 
+// View returns a snapshot of the table pinned at n rows. The view
+// shares the underlying columns (values are append-only, so the first
+// n rows are immutable) but reports Len() == n, so bitmaps,
+// selectivity samples, and scans sized off the view never observe rows
+// appended after the snapshot was taken. Appending to a view is not
+// supported; keep writing through the original table.
+func (t *Table) View(n int) *Table {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if n > t.n {
+		n = t.n
+	}
+	return &Table{cols: t.cols, n: n}
+}
+
 // AppendRow adds one value per column; missing columns are an error.
 func (t *Table) AppendRow(vals map[string]Value) error {
 	t.mu.Lock()

@@ -45,7 +45,9 @@ type row struct {
 	gen uint64
 }
 
-// segment is an immutable, indexed run of rows.
+// segment is an immutable run of sealed rows. idx is nil between the
+// seal and the completion of its off-lock index build; searches serve
+// such segments by exact scan (seg.sc) until the index installs.
 type segment struct {
 	data []float32
 	rows []row
@@ -55,7 +57,22 @@ type segment struct {
 
 // Collection is an updatable vector collection with LSM-style
 // out-of-place maintenance. All methods are safe for concurrent use.
+//
+// Locking: mu protects the row data and is held only for short
+// operations — appends, map updates, the read-side of searches, and
+// the O(rows) seal/merge copies. Segment index builds, the expensive
+// part of maintenance, run under maint alone: maint serializes flush
+// and compaction (single-flight) and is always acquired before mu,
+// never while holding it, so builds block neither searches nor
+// writes. A writer whose Upsert fills the memtable does wait for the
+// seal-and-build it triggered (keeping flush accounting deterministic
+// for callers); everyone else proceeds.
 type Collection struct {
+	// maint serializes maintenance (flush, compaction). Lock order:
+	// maint before mu; writers that trigger maintenance release mu
+	// first.
+	maint sync.Mutex
+
 	mu  sync.RWMutex
 	cfg Config
 	// memSc block-scores the memtable; its cached per-row state (cosine
@@ -139,7 +156,6 @@ func (c *Collection) Upsert(id int64, v []float32) error {
 		return fmt.Errorf("lsm: vector dim %d, collection dim %d", len(v), c.cfg.Dim)
 	}
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	c.nextGen++
 	if c.latest[id] == 0 {
 		c.live++
@@ -148,10 +164,12 @@ func (c *Collection) Upsert(id int64, v []float32) error {
 	c.memData = append(c.memData, v...)
 	c.memRows = append(c.memRows, row{id: id, gen: c.nextGen})
 	c.memSc.Extend(c.memData, len(c.memRows))
-	if len(c.memRows) >= c.cfg.MemtableSize {
-		if err := c.flushLocked(); err != nil {
-			return err
-		}
+	full := len(c.memRows) >= c.cfg.MemtableSize
+	c.mu.Unlock()
+	if full {
+		// Seal outside mu so the index build never runs under the data
+		// lock (lock order: maint then mu).
+		return c.Flush()
 	}
 	return nil
 }
@@ -198,36 +216,56 @@ func (c *Collection) Get(id int64) ([]float32, bool) {
 	return nil, false
 }
 
-// Flush seals the memtable into an indexed segment.
+// Flush seals the memtable into a segment. The segment's index is
+// built without holding the data lock: the sealed rows stay searchable
+// by exact scan in the meantime and switch to the index when it
+// installs, so searches and concurrent writers never wait on a build.
 func (c *Collection) Flush() error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.flushLocked()
+	c.maint.Lock()
+	defer c.maint.Unlock()
+	return c.flushMaint()
 }
 
-func (c *Collection) flushLocked() error {
+// flushMaint is Flush's body; the caller holds maint.
+func (c *Collection) flushMaint() error {
+	// Seal under the data lock: move the memtable into an unindexed
+	// segment (exact scans serve it until the build lands).
+	c.mu.Lock()
 	if len(c.memRows) == 0 {
+		c.mu.Unlock()
 		return nil
 	}
 	data := make([]float32, len(c.memData))
 	copy(data, c.memData)
 	rows := make([]row, len(c.memRows))
 	copy(rows, c.memRows)
-	idx, err := c.cfg.Builder(data, len(rows), c.cfg.Dim)
-	if err != nil {
-		return fmt.Errorf("lsm: segment index build: %w", err)
-	}
 	segSc, err := vec.NewScorer(c.cfg.Metric, data, len(rows), c.cfg.Dim)
 	if err != nil {
+		c.mu.Unlock()
 		return fmt.Errorf("lsm: segment scorer: %w", err)
 	}
-	c.segments = append(c.segments, &segment{data: data, rows: rows, idx: idx, sc: segSc})
+	seg := &segment{data: data, rows: rows, sc: segSc}
+	c.segments = append(c.segments, seg)
 	c.memData = c.memData[:0]
 	c.memRows = c.memRows[:0]
 	c.memSc.Reset()
 	c.flushes++
-	if len(c.segments) >= c.cfg.MaxSegments {
-		return c.compactLocked()
+	segCount := len(c.segments)
+	c.mu.Unlock()
+
+	// Build off-lock. On failure the segment stays exact-scan only:
+	// its rows remain fully searchable, just without index speedup.
+	idx, err := c.cfg.Builder(data, len(rows), c.cfg.Dim)
+	if err != nil {
+		return fmt.Errorf("lsm: segment index build: %w", err)
+	}
+	c.mu.Lock()
+	// Safe to assign directly: every reader of seg.idx holds mu, and
+	// maint guarantees no concurrent compaction replaced the slice.
+	seg.idx = idx
+	c.mu.Unlock()
+	if segCount >= c.cfg.MaxSegments {
+		return c.compactMaint()
 	}
 	return nil
 }
@@ -235,18 +273,26 @@ func (c *Collection) flushLocked() error {
 // Compact merges all segments, dropping dead rows, and rebuilds one
 // index.
 func (c *Collection) Compact() error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.compactLocked()
+	c.maint.Lock()
+	defer c.maint.Unlock()
+	return c.compactMaint()
 }
 
-func (c *Collection) compactLocked() error {
-	if len(c.segments) == 0 {
-		return nil
-	}
+// compactMaint is Compact's body; the caller holds maint (so the
+// segment list cannot change underneath) and must not hold mu. The
+// live-row merge snapshots under the read lock, the index build runs
+// off-lock, and the merged segment installs atomically. Rows that die
+// during the build are filtered at read time by the generation check,
+// so the swap is always safe.
+func (c *Collection) compactMaint() error {
 	d := c.cfg.Dim
 	var data []float32
 	var rows []row
+	c.mu.RLock()
+	if len(c.segments) == 0 {
+		c.mu.RUnlock()
+		return nil
+	}
 	for _, seg := range c.segments {
 		for i, r := range seg.rows {
 			if c.latest[r.id] != r.gen {
@@ -256,9 +302,12 @@ func (c *Collection) compactLocked() error {
 			rows = append(rows, r)
 		}
 	}
+	c.mu.RUnlock()
 	if len(rows) == 0 {
+		c.mu.Lock()
 		c.segments = nil
 		c.compactions++
+		c.mu.Unlock()
 		return nil
 	}
 	idx, err := c.cfg.Builder(data, len(rows), d)
@@ -269,8 +318,10 @@ func (c *Collection) compactLocked() error {
 	if err != nil {
 		return fmt.Errorf("lsm: compaction scorer: %w", err)
 	}
+	c.mu.Lock()
 	c.segments = []*segment{{data: data, rows: rows, idx: idx, sc: segSc}}
 	c.compactions++
+	c.mu.Unlock()
 	return nil
 }
 
@@ -378,6 +429,12 @@ func (c *Collection) searchMemtableLocked(q []float32, col *topk.Collector, extr
 // (Parallelism 1): the fan-out across segments is this collection's
 // parallelism, and nesting another level only adds scheduling churn.
 func (c *Collection) searchSegmentLocked(q []float32, k, ef int, seg *segment, col *topk.Collector, extra func(id int64) bool) error {
+	if seg.idx == nil {
+		// Sealed but not yet indexed (its build is still in flight):
+		// exact-scan the segment. Same results, more distance comps.
+		c.scanRows(seg.sc.Bind(q), seg.rows, col, extra)
+		return nil
+	}
 	rows := seg.rows
 	params := index.Params{
 		Ef:          ef,

@@ -10,6 +10,16 @@ var (
 	SearchLatency = Default().NewHistogram("vdbms_search_latency_seconds", "End-to-end Collection.Search latency.", nil)
 	SearchPlans   = Default().NewCounterVec("vdbms_search_plan_total", "Searches by executed plan.", "plan")
 
+	// Background index builds (internal/core). The state gauge is 1
+	// while a collection's builder goroutine is running, 0 otherwise;
+	// scraping it against search latency shows whether queries ride
+	// through builds untouched (they must — builds never run on the
+	// query path).
+	IndexBuildState    = Default().NewGaugeVec("vdbms_index_build_state", "1 while a background index build is running for the collection, else 0.", "collection")
+	IndexBuildsTotal   = Default().NewCounterVec("vdbms_index_build_total", "Completed background index builds by outcome (installed, stale, failed).", "outcome")
+	IndexBuildSeconds  = Default().NewHistogram("vdbms_index_build_seconds", "Wall-clock duration of ANN index builds (background and CreateIndex).", BuildBuckets)
+	IndexBuildLastSecs = Default().NewGauge("vdbms_index_build_last_seconds", "Duration of the most recent completed index build.")
+
 	// Intra-query parallelism (internal/pool and the partitioned scans
 	// in flat/IVF/LSM). PoolInline counts tasks that ran on the
 	// submitting goroutine because the pool was saturated — the

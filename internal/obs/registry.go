@@ -69,6 +69,13 @@ var LatencyBuckets = []float64{
 	0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
 }
 
+// BuildBuckets are histogram bounds (seconds) for index builds, which
+// run milliseconds to minutes rather than the microseconds of probes.
+var BuildBuckets = []float64{
+	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+	0.25, 0.5, 1, 2.5, 5, 10, 30, 60, 120,
+}
+
 // Histogram is a fixed-bucket histogram: each Observe is one atomic
 // bucket increment plus a CAS on the running sum. Bounds are upper
 // bucket edges (inclusive, Prometheus `le` semantics); observations

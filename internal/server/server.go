@@ -75,11 +75,27 @@ func New(db *vdbms.DB, opts ...Option) *Server {
 	s.mux.HandleFunc("/query", s.handleQuery)
 	s.mux.Handle("/metrics", obs.MetricsHandler(obs.Default()))
 	s.mux.Handle("/debug/stats", obs.StatsHandler(obs.Default()))
-	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		fmt.Fprintln(w, "ok")
-	})
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	return s
+}
+
+// handleHealthz reports liveness plus index build state: one line per
+// collection with a background build in flight. A building index is
+// healthy (queries ride on the previous build), so the status stays
+// 200 — the lines exist so operators and probes can see maintenance
+// pressure without scraping /metrics.
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+	for _, name := range s.db.Collections() {
+		col, err := s.db.Collection(name)
+		if err != nil {
+			continue
+		}
+		if kind, _, dirty, building := col.IndexStatus(); building {
+			fmt.Fprintf(w, "index_build collection=%s kind=%s dirty=%d\n", name, kind, dirty)
+		}
+	}
 }
 
 // ServeHTTP implements http.Handler.
@@ -206,10 +222,11 @@ func (s *Server) handleCollection(w http.ResponseWriter, r *http.Request) {
 				writeErr(w, http.StatusNotFound, err)
 				return
 			}
-			kind, covered, dirty := col.IndexInfo()
+			kind, covered, dirty, building := col.IndexStatus()
 			writeJSON(w, http.StatusOK, map[string]any{
 				"name": col.Name(), "dim": col.Dim(), "len": col.Len(),
 				"index": kind, "index_covered": covered, "index_dirty": dirty,
+				"index_building": building,
 			})
 		default:
 			writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed", r.Method))
@@ -290,6 +307,44 @@ func (s *Server) handleCollection(w http.ResponseWriter, r *http.Request) {
 			res.Trace = nil
 		}
 		writeJSON(w, http.StatusOK, res)
+	case "batch":
+		// POST /collections/{name}/batch answers many queries in one
+		// round trip. Vectors carries the batch; the remaining fields
+		// are the shared execution knobs (k, filters, policy, ef,
+		// nprobe, alpha, parallelism). Partial failures follow the
+		// library contract: failed slots are null and "error" names
+		// each failing query, alongside HTTP 200 for the successes.
+		var req SearchBody
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		if len(req.Vectors) == 0 {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("batch search needs vectors"))
+			return
+		}
+		for i := range req.Filters {
+			req.Filters[i] = normalizeFilter(col, req.Filters[i])
+		}
+		par := req.Parallelism
+		if par == 0 {
+			par = s.parallelism
+		}
+		hits, err := col.SearchBatch(req.Vectors, vdbms.SearchRequest{
+			K: req.K, Filters: req.Filters, Policy: req.Policy,
+			Ef: req.Ef, NProbe: req.NProbe, Alpha: req.Alpha,
+			Parallelism: par,
+		})
+		if err != nil && hits == nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		body := map[string]any{"results": hits}
+		if err != nil {
+			body["error"] = err.Error()
+			obs.PartialResponses.Inc()
+		}
+		writeJSON(w, http.StatusOK, body)
 	default:
 		writeErr(w, http.StatusNotFound, fmt.Errorf("unknown action %q", parts[1]))
 	}

@@ -185,6 +185,82 @@ func TestHTTPErrors(t *testing.T) {
 	}
 }
 
+func TestBatchSearchEndpoint(t *testing.T) {
+	srv := New(vdbms.New())
+	rec, _ := doJSON(t, srv, "POST", "/collections", CreateCollectionRequest{
+		Name:   "docs",
+		Schema: vdbms.Schema{Dim: 4, Attributes: map[string]string{"cat": "int"}},
+	})
+	if rec.Code != http.StatusCreated {
+		t.Fatalf("create: %d %s", rec.Code, rec.Body)
+	}
+	ds := dataset.Clustered(60, 4, 3, 0.3, 2)
+	for i := 0; i < 60; i++ {
+		rec, _ = doJSON(t, srv, "POST", "/collections/docs/vectors", InsertRequest{
+			Vector: ds.Row(i), Attrs: map[string]any{"cat": i % 5},
+		})
+		if rec.Code != http.StatusCreated {
+			t.Fatalf("insert %d: %d %s", i, rec.Code, rec.Body)
+		}
+	}
+	rec, _ = doJSON(t, srv, "POST", "/collections/docs/index", IndexRequest{Kind: "hnsw", Opts: map[string]int{"m": 8}})
+	if rec.Code != http.StatusCreated {
+		t.Fatalf("index: %d %s", rec.Code, rec.Body)
+	}
+
+	// One round trip answers three queries; the knobs (k, filter, ef)
+	// are shared by every slot.
+	rec, out := doJSON(t, srv, "POST", "/collections/docs/batch", SearchBody{
+		Vectors: [][]float32{ds.Row(3), ds.Row(9), ds.Row(21)},
+		K:       4, Ef: 64,
+		Filters: []vdbms.Filter{{Column: "cat", Op: "=", Value: 2.0}},
+	})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("batch: %d %s", rec.Code, rec.Body)
+	}
+	results := out["results"].([]any)
+	if len(results) != 3 {
+		t.Fatalf("results: %v", out)
+	}
+	for q, slot := range results {
+		hits := slot.([]any)
+		if len(hits) == 0 {
+			t.Fatalf("query %d: no hits", q)
+		}
+		prev := -1.0
+		for _, h := range hits {
+			m := h.(map[string]any)
+			if id := int64(m["ID"].(float64)); id%5 != 2 {
+				t.Fatalf("query %d: filter violated by id %d", q, id)
+			}
+			if d := m["Dist"].(float64); d < prev {
+				t.Fatalf("query %d: unsorted hits", q)
+			} else {
+				prev = d
+			}
+		}
+	}
+
+	// An empty batch is a client error, as is a missing collection.
+	rec, _ = doJSON(t, srv, "POST", "/collections/docs/batch", SearchBody{K: 2})
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("empty batch: %d", rec.Code)
+	}
+	rec, _ = doJSON(t, srv, "POST", "/collections/nope/batch", SearchBody{Vectors: [][]float32{ds.Row(0)}, K: 2})
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("missing collection: %d", rec.Code)
+	}
+
+	// Collection info now reports background build state.
+	rec, out = doJSON(t, srv, "GET", "/collections/docs", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("info: %d", rec.Code)
+	}
+	if _, ok := out["index_building"].(bool); !ok {
+		t.Fatalf("info missing index_building: %v", out)
+	}
+}
+
 func TestSearchQueryTimeout(t *testing.T) {
 	db := vdbms.New()
 	if _, err := db.CreateCollection("c", vdbms.Schema{Dim: 4}); err != nil {

@@ -200,6 +200,19 @@ func (s *Scorer) extendState(data []float32, n int) {
 	}
 }
 
+// View returns an immutable snapshot of the scorer pinned at the
+// current row count: a shallow copy whose slice headers keep pointing
+// at today's backing arrays. Appending to the original via Extend
+// never changes what the view scores (appends land past the pinned
+// prefix, or reallocate and leave the old arrays behind), so a view
+// can be scored against lock-free while the original keeps growing.
+// In-place mutation (Refresh) is NOT isolated — callers that update
+// rows in place must copy the data and build a fresh scorer instead.
+func (s *Scorer) View() *Scorer {
+	v := *s
+	return &v
+}
+
 // Refresh recomputes row id's cached state after an in-place
 // overwrite of the underlying vector.
 func (s *Scorer) Refresh(id int) {

@@ -2,9 +2,13 @@
 # Scan/search benchmark runner: runs the scoring-engine benchmarks
 # (BenchmarkFlatScan in internal/index, BenchmarkScoreBlock in
 # internal/vec) and emits a JSON array of {op, ns_per_op, rows_per_s}
-# for the acceptance record in BENCH_scan.json.
+# for the acceptance record in BENCH_scan.json. Also runs the mixed
+# read/write benchmark (BenchmarkMixedReadWrite in internal/core —
+# searches racing inserts/updates/deletes) and emits {op, ns_per_op,
+# queries_per_s} to BENCH_concurrent.json, the acceptance record for
+# the snapshot engine: search throughput under write load.
 #
-#   scripts/bench.sh [output.json]
+#   scripts/bench.sh [scan-output.json] [concurrent-output.json]
 #
 # BENCHTIME overrides the per-benchmark iteration budget (default 20x;
 # ci.sh smoke-runs with 1x so a broken harness cannot land unnoticed).
@@ -12,13 +16,16 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 out="${1:-BENCH_scan.json}"
+out_concurrent="${2:-BENCH_concurrent.json}"
 benchtime="${BENCHTIME:-20x}"
 
 tmp=$(mktemp)
-trap 'rm -f "$tmp"' EXIT
+tmp2=$(mktemp)
+trap 'rm -f "$tmp" "$tmp2"' EXIT
 
 go test -run '^$' -bench BenchmarkFlatScan -benchtime "$benchtime" ./internal/index/ | tee -a "$tmp"
 go test -run '^$' -bench BenchmarkScoreBlock -benchtime "$benchtime" ./internal/vec/ | tee -a "$tmp"
+go test -run '^$' -bench BenchmarkMixedReadWrite -benchtime "$benchtime" ./internal/core/ | tee -a "$tmp2"
 
 # Benchmark lines look like:
 #   BenchmarkFlatScan/l2/scorer-8  20  7083267 ns/op  7228.30 MB/s  14118004 rows/s
@@ -39,4 +46,23 @@ BEGIN { printf "[\n" }
 END   { printf "\n]\n" }
 ' "$tmp" > "$out"
 
-echo "wrote $out"
+# Mixed read/write lines carry a queries/s custom metric:
+#   BenchmarkMixedReadWrite-8  100  727767 ns/op  1374 queries/s
+awk '
+/^Benchmark/ {
+    op = $1
+    sub(/-[0-9]+$/, "", op)
+    ns = ""; qps = ""
+    for (i = 2; i < NF; i++) {
+        if ($(i+1) == "ns/op") ns = $i
+        if ($(i+1) == "queries/s") qps = $i
+    }
+    if (ns == "") next
+    if (n++) printf ",\n"
+    printf "  {\"op\": \"%s\", \"ns_per_op\": %s, \"queries_per_s\": %s}", op, ns, (qps == "" ? "null" : qps)
+}
+BEGIN { printf "[\n" }
+END   { printf "\n]\n" }
+' "$tmp2" > "$out_concurrent"
+
+echo "wrote $out $out_concurrent"

@@ -27,5 +27,6 @@ GOMAXPROCS=1 go test ./...
 # N collectors + Merge == one collector), so the corpus keeps growing.
 go test -run '^$' -fuzz FuzzMergeEquivalence -fuzztime 5s ./internal/topk/
 go test -run '^$' -bench BenchmarkSearch -benchtime 1x ./internal/obs/
-# Smoke the scan benchmark harness and its JSON emitter the same way.
-BENCHTIME=1x scripts/bench.sh "$(mktemp)"
+# Smoke the scan + mixed read/write benchmark harnesses and their
+# JSON emitters the same way.
+BENCHTIME=1x scripts/bench.sh "$(mktemp)" "$(mktemp)"

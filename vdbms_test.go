@@ -245,7 +245,9 @@ func TestUpdateTriggersRebuild(t *testing.T) {
 	if err := col.CreateIndex("hnsw", nil); err != nil {
 		t.Fatal(err)
 	}
-	// Mutate 30% of rows: next search must rebuild (dirty resets).
+	// Mutate 30% of rows: the write crossing the 20% threshold (update
+	// #41 of 200 rows) starts a background rebuild. Searches proceed
+	// against the old index while it runs.
 	far := make([]float32, 16)
 	for i := range far {
 		far[i] = 99
@@ -255,14 +257,17 @@ func TestUpdateTriggersRebuild(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	_, _, dirtyBefore := col.IndexInfo()
-	if dirtyBefore != 60 {
-		t.Fatalf("dirty = %d", dirtyBefore)
-	}
 	if _, err := col.Search(SearchRequest{Vector: ds.Row(100), K: 5}); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, dirty := col.IndexInfo(); dirty != 0 {
+	col.WaitForIndex()
+	_, covered, dirty, building := col.IndexStatus()
+	if building || covered != 200 {
+		t.Fatalf("status after wait: covered=%d building=%v", covered, building)
+	}
+	// Updates issued after the trigger stay dirty against the new
+	// build: at most 60-41 = 19 of them.
+	if dirty > 19 {
 		t.Fatalf("rebuild did not happen: dirty=%d", dirty)
 	}
 	// Updated vectors found at the new location.
@@ -348,7 +353,7 @@ func TestSearchRangeAndBatchAndIterator(t *testing.T) {
 		t.Fatal("range search missing self")
 	}
 	qs := ds.Queries(4, 0.05, 7)
-	batch, err := col.SearchBatch(qs, 5, nil, 100)
+	batch, err := col.SearchBatch(qs, SearchRequest{K: 5, Ef: 100})
 	if err != nil || len(batch) != 4 {
 		t.Fatalf("batch: %v %d", err, len(batch))
 	}
@@ -440,7 +445,7 @@ func TestSearchBatchPartialFailure(t *testing.T) {
 	col, ds := productCollection(t, 300)
 	qs := ds.Queries(3, 0.05, 5)
 	qs[1] = []float32{1, 2} // wrong dimensionality
-	batch, err := col.SearchBatch(qs, 5, nil, 100)
+	batch, err := col.SearchBatch(qs, SearchRequest{K: 5, Ef: 100})
 	if err == nil {
 		t.Fatal("want an error for the malformed query")
 	}
