@@ -40,16 +40,19 @@ type Collection struct {
 	attrs map[string]string // column -> declared type
 }
 
-func newCollection(name string, s Schema) (*Collection, error) {
+// parseSchema converts the public schema into the core one, returning
+// the declared column types alongside.
+func parseSchema(s Schema) (core.Schema, map[string]string, error) {
 	metric := s.Metric
 	if metric == "" {
 		metric = "l2"
 	}
 	m, err := vec.ParseMetric(metric)
 	if err != nil {
-		return nil, err
+		return core.Schema{}, nil, err
 	}
 	attrs := map[string]filter.Kind{}
+	types := map[string]string{}
 	for col, typ := range s.Attributes {
 		switch typ {
 		case "int":
@@ -59,21 +62,26 @@ func newCollection(name string, s Schema) (*Collection, error) {
 		case "string":
 			attrs[col] = filter.String
 		default:
-			return nil, fmt.Errorf("vdbms: column %q has unknown type %q (want int/float/string)", col, typ)
+			return core.Schema{}, nil, fmt.Errorf("vdbms: column %q has unknown type %q (want int/float/string)", col, typ)
 		}
+		types[col] = typ
 	}
-	inner, err := core.NewCollection(name, core.Schema{
+	return core.Schema{
 		Dim:             s.Dim,
 		Metric:          m,
 		Attributes:      attrs,
 		RebuildFraction: s.RebuildFraction,
-	})
+	}, types, nil
+}
+
+func newCollection(name string, s Schema) (*Collection, error) {
+	cs, types, err := parseSchema(s)
 	if err != nil {
 		return nil, err
 	}
-	types := map[string]string{}
-	for col, typ := range s.Attributes {
-		types[col] = typ
+	inner, err := core.NewCollection(name, cs)
+	if err != nil {
+		return nil, err
 	}
 	return &Collection{inner: inner, dim: s.Dim, attrs: types}, nil
 }

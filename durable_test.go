@@ -1,0 +1,122 @@
+package vdbms
+
+import (
+	"testing"
+
+	"vdbms/internal/dataset"
+)
+
+func TestOpenCloseReopenRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir, Durability{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	col, err := db.CreateCollection("products", Schema{
+		Dim:        16,
+		Metric:     "l2",
+		Attributes: map[string]string{"price": "float", "cat": "int"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := dataset.Clustered(80, 16, 4, 0.4, 1)
+	for i := 0; i < 80; i++ {
+		if _, err := col.Insert(ds.Row(i), map[string]any{"price": float64(i), "cat": i % 5}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := col.CreateIndex("ivfflat", map[string]int{"nlist": 4}); err != nil {
+		t.Fatal(err)
+	}
+	if err := col.Delete(7); err != nil {
+		t.Fatal(err)
+	}
+	durable, lastLSN, _ := col.Durability()
+	if !durable || lastLSN == 0 {
+		t.Fatalf("durability status: %v %d", durable, lastLSN)
+	}
+	want, err := col.Search(SearchRequest{Vector: ds.Row(3), K: 5, Policy: "plan:brute_force"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen: the collection comes back by itself.
+	db2, err := Open(dir, Durability{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	col2, err := db2.Collection("products")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if col2.Len() != 79 || col2.Dim() != 16 {
+		t.Fatalf("recovered: live=%d dim=%d", col2.Len(), col2.Dim())
+	}
+	if kind, _, _ := col2.IndexInfo(); kind != "ivfflat" {
+		t.Fatalf("recovered index: %q", kind)
+	}
+	if types := col2.AttributeTypes(); types["price"] != "float" || types["cat"] != "int" {
+		t.Fatalf("recovered attribute types: %v", types)
+	}
+	got, err := col2.Search(SearchRequest{Vector: ds.Row(3), K: 5, Policy: "plan:brute_force"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Hits) != len(want.Hits) {
+		t.Fatalf("hits: %d vs %d", len(got.Hits), len(want.Hits))
+	}
+	for i := range want.Hits {
+		if got.Hits[i] != want.Hits[i] {
+			t.Fatalf("hit %d: %+v vs %+v", i, got.Hits[i], want.Hits[i])
+		}
+	}
+	// New writes on the recovered collection are durable too.
+	if _, err := col2.Insert(ds.Row(0), map[string]any{"price": 1.0, "cat": 1}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOpenRejectsBadNames(t *testing.T) {
+	db, err := Open(t.TempDir(), Durability{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	for _, name := range []string{"", ".", "..", "a/b", `a\b`, ".hidden"} {
+		if _, err := db.CreateCollection(name, Schema{Dim: 4}); err == nil {
+			t.Fatalf("name %q should be rejected on a durable DB", name)
+		}
+	}
+}
+
+func TestDropCollectionRemovesDurableState(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir, Durability{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.CreateCollection("gone", Schema{Dim: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.DropCollection("gone"); err != nil {
+		t.Fatal(err)
+	}
+	// Dropping removed the files: the name is immediately reusable.
+	if _, err := db.CreateCollection("gone", Schema{Dim: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOpenBadFsyncPolicy(t *testing.T) {
+	if _, err := Open(t.TempDir(), Durability{Fsync: "sometimes"}); err == nil {
+		t.Fatal("want policy parse error")
+	}
+}

@@ -37,7 +37,10 @@ func buildTimed(kind string, data []float32, n, dim int, opts map[string]int) (i
 // from every write path and from build completion (catch-up).
 // Single-flight: at most one builder goroutine per collection.
 func (c *Collection) maybeTriggerBuildLocked() {
-	if c.annKind == "" || c.annN == 0 || c.building {
+	// During WAL replay the index is built once at the end of
+	// recovery; kicking builders per replayed record would race the
+	// replay loop for no benefit.
+	if c.replaying || c.annKind == "" || c.annN == 0 || c.building {
 		return
 	}
 	grown := c.n - c.annN

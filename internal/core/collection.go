@@ -27,6 +27,7 @@ import (
 	"vdbms/internal/planner"
 	"vdbms/internal/topk"
 	"vdbms/internal/vec"
+	"vdbms/internal/wal"
 
 	// Register every index family with the registry.
 	_ "vdbms/internal/index/hnsw"
@@ -77,6 +78,14 @@ type snapshot struct {
 	del  *bitset.Bitset // nil until the first delete
 	ann  index.Index    // installed index; may trail rows
 	annN int            // rows covered by ann
+	// annKind/annOpts record the index recipe at this epoch so saves
+	// and checkpoints can serialize it from the pinned snapshot alone.
+	annKind string
+	annOpts map[string]int
+	// lsn is the WAL sequence number of the last mutation in this
+	// epoch (0 for non-durable collections): a checkpoint of this
+	// snapshot covers exactly the log prefix ≤ lsn.
+	lsn uint64
 }
 
 // exclude adapts the epoch's deletion mask to the executor's exclusion
@@ -140,6 +149,23 @@ type Collection struct {
 	// version).
 	entMu    sync.Mutex
 	entCache map[string]entityEntry
+
+	// Durable write path (durable.go). wal is nil for in-memory
+	// collections; when set, every mutation is logged (and assigned
+	// walLSN) under mu before it is applied, and acknowledged to the
+	// caller only after its group commit. replaying suppresses
+	// logging, per-record publication, and build triggers while
+	// Recover re-applies history.
+	wal       *walBinding
+	walLSN    uint64
+	replaying bool
+	closed    bool
+
+	// Checkpoint state (single-flight under ckptMu).
+	ckptMu   sync.Mutex
+	ckptLSN  uint64 // LSN covered by the latest checkpoint
+	ckptStop chan struct{}
+	ckptDone chan struct{}
 }
 
 // NewCollection creates an empty collection.
@@ -177,7 +203,13 @@ func NewCollection(name string, schema Schema) (*Collection, error) {
 
 // publishLocked freezes the current writer state into a fresh epoch
 // and stores it for readers. Called with mu held after every mutation.
+// During WAL replay publication is deferred to the end of recovery —
+// building an executor env per replayed record would make recovery
+// quadratic for no reader's benefit.
 func (c *Collection) publishLocked() {
+	if c.replaying {
+		return
+	}
 	var live index.Index
 	if c.ann != nil && c.annN == c.n {
 		live = c.ann
@@ -189,13 +221,33 @@ func (c *Collection) publishLocked() {
 		return
 	}
 	c.snap.Store(&snapshot{
-		rows: c.n,
-		nDel: c.nDel,
-		env:  env,
-		del:  c.del,
-		ann:  c.ann,
-		annN: c.annN,
+		rows:    c.n,
+		nDel:    c.nDel,
+		env:     env,
+		del:     c.del,
+		ann:     c.ann,
+		annN:    c.annN,
+		annKind: c.annKind,
+		annOpts: c.annOpts,
+		lsn:     c.walLSN,
 	})
+}
+
+// logLocked appends one mutation record to the WAL, assigning its LSN.
+// Called with mu held so log order always matches apply order; the
+// returned commit is waited on after mu is released. encode runs only
+// when a WAL is attached, keeping the non-durable write path free of
+// serialization cost. A zero Commit waits as a no-op.
+func (c *Collection) logLocked(encode func() []byte) (wal.Commit, error) {
+	if c.wal == nil || c.replaying {
+		return wal.Commit{}, nil
+	}
+	lsn, commit, err := c.wal.log.Append(encode())
+	if err != nil {
+		return wal.Commit{}, fmt.Errorf("core: wal append: %w", err)
+	}
+	c.walLSN = lsn
+	return commit, nil
 }
 
 // Name returns the collection name.
@@ -214,15 +266,39 @@ func (c *Collection) Len() int {
 func (c *Collection) Rows() int { return c.snap.Load().rows }
 
 // Insert appends a vector with attribute values and returns its id.
+// On a durable collection the row is logged before it is applied and
+// the call returns only after its WAL record is committed per the sync
+// policy — a nil error is the durability acknowledgment.
 func (c *Collection) Insert(v []float32, attrs map[string]filter.Value) (int64, error) {
 	if len(v) != c.schema.Dim {
 		return 0, fmt.Errorf("core: vector dim %d, collection dim %d", len(v), c.schema.Dim)
 	}
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if attrs == nil {
 		attrs = map[string]filter.Value{}
 	}
+	// Validate fully before logging: a record in the log must always
+	// be applicable on replay.
+	if err := c.attrs.ValidateRow(attrs); err != nil {
+		c.mu.Unlock()
+		return 0, err
+	}
+	commit, err := c.logLocked(func() []byte { return encodeInsert(v, attrs, c.schema.Attributes) })
+	if err != nil {
+		c.mu.Unlock()
+		return 0, err
+	}
+	id, err := c.applyInsertLocked(v, attrs)
+	c.mu.Unlock()
+	if err != nil {
+		return 0, err
+	}
+	return id, commit.Wait()
+}
+
+// applyInsertLocked is the memory-state half of Insert, shared with
+// WAL replay. Caller holds mu and has validated the row.
+func (c *Collection) applyInsertLocked(v []float32, attrs map[string]filter.Value) (int64, error) {
 	if err := c.attrs.AppendRow(attrs); err != nil {
 		return 0, err
 	}
@@ -249,10 +325,26 @@ func (c *Collection) UpdateVector(id int64, v []float32) error {
 		return fmt.Errorf("core: vector dim %d, collection dim %d", len(v), c.schema.Dim)
 	}
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if err := c.validIDLocked(id); err != nil {
+		c.mu.Unlock()
 		return err
 	}
+	commit, err := c.logLocked(func() []byte { return encodeUpdate(id, v) })
+	if err != nil {
+		c.mu.Unlock()
+		return err
+	}
+	err = c.applyUpdateLocked(id, v)
+	c.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return commit.Wait()
+}
+
+// applyUpdateLocked is the memory-state half of UpdateVector, shared
+// with WAL replay. Caller holds mu and has validated id.
+func (c *Collection) applyUpdateLocked(id int64, v []float32) error {
 	// Copy-on-write: published snapshots score the current array
 	// lock-free, so an in-place write would tear a concurrent scan.
 	// Copy the prefix, patch the row, and stand up a fresh scorer.
@@ -278,10 +370,23 @@ func (c *Collection) UpdateVector(id int64, v []float32) error {
 // row — the documented read-committed behavior.
 func (c *Collection) Delete(id int64) error {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if err := c.validIDLocked(id); err != nil {
+		c.mu.Unlock()
 		return err
 	}
+	commit, err := c.logLocked(func() []byte { return encodeDelete(id) })
+	if err != nil {
+		c.mu.Unlock()
+		return err
+	}
+	c.applyDeleteLocked(id)
+	c.mu.Unlock()
+	return commit.Wait()
+}
+
+// applyDeleteLocked is the memory-state half of Delete, shared with
+// WAL replay. Caller holds mu and has validated id.
+func (c *Collection) applyDeleteLocked(id int64) {
 	// Copy-on-write mask, regrown to the current row count so the new
 	// epoch's bitset covers every id it can be asked about.
 	del := bitset.New(c.n)
@@ -299,7 +404,6 @@ func (c *Collection) Delete(id int64) error {
 	}
 	c.publishLocked()
 	c.maybeTriggerBuildLocked()
-	return nil
 }
 
 // Get returns the vector and attributes for a live id, read from the
@@ -359,24 +463,32 @@ func (c *Collection) CreateIndex(kind string, opts map[string]int) error {
 	idx, err := buildTimed(kind, data, n, c.schema.Dim, opts)
 
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if err != nil {
 		obs.IndexBuildsTotal.With("failed").Inc()
 		if c.buildEpoch == epoch {
 			c.annKind, c.annOpts = prevKind, prevOpts
 		}
+		c.mu.Unlock()
 		return err
 	}
 	if c.buildEpoch != epoch {
 		// A concurrent CreateIndex/DropIndex superseded this build.
 		obs.IndexBuildsTotal.With("stale").Inc()
+		c.mu.Unlock()
 		return nil
 	}
 	c.installLocked(idx, n, dirty)
 	obs.IndexBuildsTotal.With("installed").Inc()
+	// The recipe is logged only after the build succeeded, so replay
+	// never re-runs a build that failed the first time.
+	commit, lerr := c.logLocked(func() []byte { return encodeCreateIndex(kind, opts) })
 	c.publishLocked()
 	c.maybeTriggerBuildLocked()
-	return nil
+	c.mu.Unlock()
+	if lerr != nil {
+		return lerr
+	}
+	return commit.Wait()
 }
 
 // installLocked adopts a finished build. dirtyAtStart is the dirty
@@ -394,11 +506,15 @@ func (c *Collection) installLocked(idx index.Index, covered, dirtyAtStart int) {
 // Any in-flight build is invalidated and will be discarded.
 func (c *Collection) DropIndex() {
 	c.mu.Lock()
-	defer c.mu.Unlock()
+	commit, _ := c.logLocked(func() []byte { return encodeDropIndex() })
 	c.buildEpoch++
 	c.ann, c.annKind, c.annOpts = nil, "", nil
 	c.annN, c.dirty = 0, 0
 	c.publishLocked()
+	c.mu.Unlock()
+	// A drop that fails to commit costs at most a spurious rebuild on
+	// recovery; the sticky WAL error surfaces on the next mutation.
+	commit.Wait()
 }
 
 // IndexInfo reports the current index family and staleness.

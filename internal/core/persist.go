@@ -6,9 +6,13 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 
+	"vdbms/internal/bitset"
 	"vdbms/internal/filter"
+	"vdbms/internal/index"
 	"vdbms/internal/vec"
+	"vdbms/internal/wal"
 )
 
 // Persistence: a collection serializes to a single file holding the
@@ -17,6 +21,16 @@ import (
 // — they are derived data, and each family's build is deterministic
 // given its seed, so a rebuild reproduces the same structure without
 // freezing internal layouts into the file format.
+//
+// The same serialization is the checkpoint format of the durable
+// write path (durable.go): a checkpoint is a fileSnapshot stamped with
+// the WAL position (AppliedLSN) it covers, and recovery is load +
+// replay of newer log records.
+//
+// Serialization reads a pinned epoch snapshot, never the writer state:
+// Save and checkpoints take no locks, cannot observe torn state, and
+// never block writers — the PR 5 snapshot design makes consistent
+// backups free by construction.
 
 // fileSnapshot is the gob-encoded on-disk form (distinct from the
 // in-memory epoch snapshot in collection.go).
@@ -37,70 +51,93 @@ type fileSnapshot struct {
 	StrColumns map[string][]string
 	IndexKind  string
 	IndexOpts  map[string]int
+	// AppliedLSN is the WAL position this snapshot covers (version ≥ 2;
+	// 0 for plain Save files and pre-WAL snapshots).
+	AppliedLSN uint64
 }
 
-const snapshotVersion = 1
+const snapshotVersion = 2
 
-// Save writes the collection to path atomically (write temp + rename).
-func (c *Collection) Save(path string) error {
-	c.mu.Lock()
-	snap := fileSnapshot{
+// fileSnapshotAt serializes one pinned epoch snapshot. Everything it
+// reads is immutable: the data prefix (inserts append, updates copy),
+// the deletion mask (copy-on-write), and the attribute view (append-
+// only columns behind a pinned row count).
+func (c *Collection) fileSnapshotAt(s *snapshot) *fileSnapshot {
+	d := c.schema.Dim
+	snap := &fileSnapshot{
 		FormatVersion: snapshotVersion,
 		Name:          c.name,
-		Dim:           c.schema.Dim,
+		Dim:           d,
 		Metric:        int32(c.schema.Metric),
 		RebuildFrac:   c.schema.RebuildFraction,
-		N:             c.n,
-		Data:          append([]float32(nil), c.data[:c.n*c.schema.Dim]...),
+		N:             s.rows,
+		Data:          append([]float32(nil), s.env.Data[:s.rows*d]...),
 		AttrKinds:     map[string]int32{},
 		IntColumns:    map[string][]int64{},
 		FltColumns:    map[string][]float64{},
 		StrColumns:    map[string][]string{},
-		IndexKind:     c.annKind,
-		IndexOpts:     c.annOpts,
+		IndexKind:     s.annKind,
+		IndexOpts:     s.annOpts,
+		AppliedLSN:    s.lsn,
 	}
-	if c.del != nil {
-		c.del.ForEach(func(i int) bool {
+	if s.del != nil {
+		s.del.ForEach(func(i int) bool {
 			snap.Deleted = append(snap.Deleted, int64(i))
 			return true
 		})
 	}
-	for _, name := range c.attrs.Columns() {
-		col, _ := c.attrs.Column(name)
+	for _, name := range s.env.Attrs.Columns() {
+		col, _ := s.env.Attrs.Column(name)
 		snap.AttrKinds[name] = int32(col.Kind())
 		switch col.Kind() {
 		case filter.Int64:
-			vals := make([]int64, c.n)
-			for i := 0; i < c.n; i++ {
-				vals[i] = col.Get(i).I
-			}
-			snap.IntColumns[name] = vals
+			snap.IntColumns[name] = col.Int64s(s.rows)
 		case filter.Float64:
-			vals := make([]float64, c.n)
-			for i := 0; i < c.n; i++ {
-				vals[i] = col.Get(i).F
-			}
-			snap.FltColumns[name] = vals
+			snap.FltColumns[name] = col.Float64s(s.rows)
 		case filter.String:
-			vals := make([]string, c.n)
-			for i := 0; i < c.n; i++ {
-				vals[i] = col.Get(i).S
-			}
-			snap.StrColumns[name] = vals
+			snap.StrColumns[name] = col.Strings(s.rows)
 		}
 	}
-	c.mu.Unlock()
+	return snap
+}
 
+// Save writes the collection to path atomically. It serializes the
+// current epoch snapshot, so it never blocks writers and cannot
+// observe a torn state; rows inserted after the call starts are simply
+// not in the file.
+func (c *Collection) Save(path string) error {
+	snap := c.fileSnapshotAt(c.snap.Load())
+	return writeSnapshotFile(path, snap)
+}
+
+// writeSnapshotFile is the shared atomic write-rename-sync sequence
+// for Save files and checkpoints.
+func writeSnapshotFile(path string, snap *fileSnapshot) error {
+	return atomicWriteFile(path, func(w io.Writer) error {
+		if err := gob.NewEncoder(w).Encode(snap); err != nil {
+			return fmt.Errorf("core: encoding snapshot: %w", err)
+		}
+		return nil
+	})
+}
+
+// atomicWriteFile writes path so a crash at any point leaves either
+// the old file or the new one, never a mix: write a temp file, fsync
+// it, rename over the target, then fsync the parent directory — the
+// last step is what makes the rename itself durable; without it a
+// power failure can resurface the old file (or nothing) even though
+// the rename "succeeded".
+func atomicWriteFile(path string, write func(w io.Writer) error) error {
 	tmp := path + ".tmp"
 	f, err := os.Create(tmp)
 	if err != nil {
 		return err
 	}
 	w := bufio.NewWriter(f)
-	if err := gob.NewEncoder(w).Encode(&snap); err != nil {
+	if err := write(w); err != nil {
 		f.Close()
 		os.Remove(tmp)
-		return fmt.Errorf("core: encoding snapshot: %w", err)
+		return err
 	}
 	if err := w.Flush(); err != nil {
 		f.Close()
@@ -116,7 +153,11 @@ func (c *Collection) Save(path string) error {
 		os.Remove(tmp)
 		return err
 	}
-	return os.Rename(tmp, path)
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return wal.SyncDir(filepath.Dir(path))
 }
 
 // Load reads a collection saved by Save and rebuilds its index (if
@@ -127,16 +168,47 @@ func Load(path string) (*Collection, error) {
 		return nil, err
 	}
 	defer f.Close()
-	return loadFrom(bufio.NewReader(f))
+	c, err := loadFrom(bufio.NewReader(f))
+	if err != nil {
+		return nil, err
+	}
+	if err := c.buildRecordedIndex(); err != nil {
+		return nil, err
+	}
+	return c, nil
 }
 
 func loadFrom(r io.Reader) (*Collection, error) {
+	snap, err := decodeSnapshot(r)
+	if err != nil {
+		return nil, err
+	}
+	return collectionFromSnapshot(snap)
+}
+
+// decodeSnapshot reads and version-checks one serialized snapshot.
+func decodeSnapshot(r io.Reader) (*fileSnapshot, error) {
 	var snap fileSnapshot
-	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+	if err := gob.NewDecoder(bufio.NewReader(r)).Decode(&snap); err != nil {
 		return nil, fmt.Errorf("core: decoding snapshot: %w", err)
 	}
-	if snap.FormatVersion != snapshotVersion {
-		return nil, fmt.Errorf("core: snapshot version %d, supported %d", snap.FormatVersion, snapshotVersion)
+	if snap.FormatVersion < 1 || snap.FormatVersion > snapshotVersion {
+		return nil, fmt.Errorf("core: snapshot version %d, supported ≤ %d", snap.FormatVersion, snapshotVersion)
+	}
+	return &snap, nil
+}
+
+// collectionFromSnapshot restores a collection in bulk: columns are
+// adopted wholesale after length validation instead of replaying one
+// Insert (and one map allocation) per row, vectors get a single scorer
+// build over the full array, and the deletion set is validated and
+// installed as one bitset. Invariants the per-row path re-established
+// incrementally are checked once up front. The recorded index recipe
+// is installed but NOT built — callers decide when (Load builds
+// immediately; Recover defers until after WAL replay).
+func collectionFromSnapshot(snap *fileSnapshot) (*Collection, error) {
+	if snap.N < 0 || len(snap.Data) != snap.N*snap.Dim {
+		return nil, fmt.Errorf("core: snapshot has %d vector floats, want %d rows × %d dim", len(snap.Data), snap.N, snap.Dim)
 	}
 	attrs := map[string]filter.Kind{}
 	for name, k := range snap.AttrKinds {
@@ -151,33 +223,49 @@ func loadFrom(r io.Reader) (*Collection, error) {
 	if err != nil {
 		return nil, err
 	}
-	// Restore rows through the regular insert path so every invariant
-	// (column alignment, counters) is re-established.
-	row := make(map[string]filter.Value, len(attrs))
-	for i := 0; i < snap.N; i++ {
-		for name, k := range attrs {
-			switch k {
-			case filter.Int64:
-				row[name] = filter.IntV(snap.IntColumns[name][i])
-			case filter.Float64:
-				row[name] = filter.FloatV(snap.FltColumns[name][i])
-			case filter.String:
-				row[name] = filter.StringV(snap.StrColumns[name][i])
+	if err := c.attrs.BulkRestore(snap.N, snap.IntColumns, snap.FltColumns, snap.StrColumns); err != nil {
+		return nil, fmt.Errorf("core: restoring attributes: %w", err)
+	}
+	sc, err := vec.NewScorer(c.schema.Metric, snap.Data, snap.N, snap.Dim)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	c.data, c.n, c.scorer = snap.Data, snap.N, sc
+	if len(snap.Deleted) > 0 {
+		del := bitset.New(c.n)
+		for _, id := range snap.Deleted {
+			if id < 0 || id >= int64(c.n) {
+				return nil, fmt.Errorf("core: restoring tombstone %d: id out of range [0,%d)", id, c.n)
 			}
+			if del.Test(int(id)) {
+				return nil, fmt.Errorf("core: restoring tombstone %d: duplicate", id)
+			}
+			del.Set(int(id))
+			c.nDel++
 		}
-		if _, err := c.Insert(snap.Data[i*snap.Dim:(i+1)*snap.Dim], row); err != nil {
-			return nil, fmt.Errorf("core: restoring row %d: %w", i, err)
-		}
+		c.del = del
 	}
-	for _, id := range snap.Deleted {
-		if err := c.Delete(id); err != nil {
-			return nil, fmt.Errorf("core: restoring tombstone %d: %w", id, err)
-		}
+	if snap.IndexKind != "" && !index.Registered(snap.IndexKind) {
+		return nil, fmt.Errorf("core: snapshot records unknown index %q (known: %v)", snap.IndexKind, index.Names())
 	}
-	if snap.IndexKind != "" {
-		if err := c.CreateIndex(snap.IndexKind, snap.IndexOpts); err != nil {
-			return nil, fmt.Errorf("core: rebuilding %s index: %w", snap.IndexKind, err)
-		}
-	}
+	c.annKind, c.annOpts = snap.IndexKind, snap.IndexOpts
+	c.walLSN = snap.AppliedLSN
+	c.publishLocked() // no concurrency before the restorer returns
 	return c, nil
+}
+
+// buildRecordedIndex builds and installs the index recipe recorded by
+// collectionFromSnapshot (a no-op without one). Split from restore so
+// recovery replays the whole log before paying for a single build.
+func (c *Collection) buildRecordedIndex() error {
+	c.mu.Lock()
+	kind, opts := c.annKind, c.annOpts
+	c.mu.Unlock()
+	if kind == "" {
+		return nil
+	}
+	if err := c.CreateIndex(kind, opts); err != nil {
+		return fmt.Errorf("core: rebuilding %s index: %w", kind, err)
+	}
+	return nil
 }

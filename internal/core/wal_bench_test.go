@@ -1,0 +1,67 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"vdbms/internal/dataset"
+	"vdbms/internal/filter"
+	"vdbms/internal/vec"
+	"vdbms/internal/wal"
+)
+
+// BenchmarkWALInsert measures insert throughput across durability
+// configurations — the cost of the write-ahead log at each sync
+// policy against the in-memory baseline. Group commit is what keeps
+// fsync=always viable: SetParallelism puts several appenders in
+// flight so each fsync amortizes over a batch.
+func BenchmarkWALInsert(b *testing.B) {
+	ds := dataset.Clustered(256, 32, 4, 0.4, 1)
+	schema := Schema{
+		Dim:        32,
+		Metric:     vec.L2,
+		Attributes: map[string]filter.Kind{"g": filter.Int64},
+	}
+	bench := func(b *testing.B, mk func(b *testing.B) *Collection) {
+		c := mk(b)
+		b.SetParallelism(32)
+		b.ResetTimer()
+		start := time.Now()
+		b.RunParallel(func(pb *testing.PB) {
+			i := 0
+			for pb.Next() {
+				attrs := map[string]filter.Value{"g": filter.IntV(int64(i % 10))}
+				if _, err := c.Insert(ds.Row(i%ds.Count), attrs); err != nil {
+					b.Fatal(err)
+				}
+				i++
+			}
+		})
+		b.StopTimer()
+		if secs := time.Since(start).Seconds(); secs > 0 {
+			b.ReportMetric(float64(b.N)/secs, "inserts/s")
+		}
+		c.Close()
+	}
+
+	b.Run("nowal", func(b *testing.B) {
+		bench(b, func(b *testing.B) *Collection {
+			c, err := NewCollection("bench", schema)
+			if err != nil {
+				b.Fatal(err)
+			}
+			return c
+		})
+	})
+	for _, pol := range []wal.SyncPolicy{wal.SyncAlways, wal.SyncInterval, wal.SyncNever} {
+		b.Run(pol.String(), func(b *testing.B) {
+			bench(b, func(b *testing.B) *Collection {
+				c, err := CreateDurable(b.TempDir(), "bench", schema, DurabilityOptions{Fsync: pol})
+				if err != nil {
+					b.Fatal(err)
+				}
+				return c
+			})
+		})
+	}
+}

@@ -1,0 +1,73 @@
+package fault
+
+import (
+	"io"
+	"math/rand"
+	"sync"
+)
+
+// TornWriter simulates a power cut on the storage path: after a byte
+// budget passes through, the write in flight is torn — only a prefix
+// reaches the underlying writer — and every later write is dropped.
+// Crucially it keeps REPORTING success, because that is what a real
+// power failure looks like from the application: write(2) returned,
+// the page cache accepted the bytes, and the platters never saw them.
+// Recovery code exercised through a TornWriter must therefore treat
+// the missing tail as expected loss (truncate and continue), never as
+// an error — the wal package's torn-tail contract.
+//
+// The cut point within the torn write is drawn from the seeded source,
+// so a fixed seed replays an identical tear. Safe for concurrent use.
+type TornWriter struct {
+	w io.Writer
+
+	mu     sync.Mutex
+	budget int
+	rng    *rand.Rand
+	torn   bool
+}
+
+// NewTornWriter wraps w, passing through budget bytes before tearing.
+// Seed 0 means 1, matching ChaosConfig.
+func NewTornWriter(w io.Writer, budget int, seed int64) *TornWriter {
+	if seed == 0 {
+		seed = 1
+	}
+	return &TornWriter{w: w, budget: budget, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Write implements io.Writer per the contract above: full success is
+// always reported, but once the budget is spent only a random prefix
+// of the crossing write lands and everything after is dropped.
+func (t *TornWriter) Write(p []byte) (int, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.torn {
+		return len(p), nil
+	}
+	if len(p) <= t.budget {
+		t.budget -= len(p)
+		return t.w.Write(p)
+	}
+	// This write crosses the budget: tear it somewhere in [budget,
+	// len(p)) so the tail of the last frame — possibly mid-record,
+	// possibly mid-header — never lands.
+	t.torn = true
+	cut := t.budget
+	if room := len(p) - t.budget; room > 0 {
+		cut += t.rng.Intn(room)
+	}
+	if cut > 0 {
+		if _, err := t.w.Write(p[:cut]); err != nil {
+			return len(p), nil // the cover story holds even if the disk complains
+		}
+	}
+	return len(p), nil
+}
+
+// Torn reports whether the tear has happened yet.
+func (t *TornWriter) Torn() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.torn
+}

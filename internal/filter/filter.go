@@ -91,6 +91,37 @@ func (c *Column) Append(v Value) {
 	}
 }
 
+// Int64s returns a copy of the first n values of an Int64 column —
+// the bulk read used by snapshot serialization, one lock acquisition
+// instead of one per row.
+func (c *Column) Int64s(n int) []int64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return append([]int64(nil), c.ints[:n]...)
+}
+
+// Float64s returns a copy of the first n values of a Float64 column.
+func (c *Column) Float64s(n int) []float64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return append([]float64(nil), c.flts[:n]...)
+}
+
+// Strings returns a copy of the first n values of a String column.
+func (c *Column) Strings(n int) []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return append([]string(nil), c.strs[:n]...)
+}
+
+// restore replaces the column's data wholesale (bulk restore of an
+// empty table; the caller has validated kind and length).
+func (c *Column) restore(ints []int64, flts []float64, strs []string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ints, c.flts, c.strs = ints, flts, strs
+}
+
 // Get returns the value at row id.
 func (c *Column) Get(id int) Value {
 	c.mu.RLock()
@@ -228,6 +259,27 @@ func (t *Table) View(n int) *Table {
 func (t *Table) AppendRow(vals map[string]Value) error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	if err := t.validateRowLocked(vals); err != nil {
+		return err
+	}
+	for name, c := range t.cols {
+		c.Append(vals[name])
+	}
+	t.n++
+	return nil
+}
+
+// ValidateRow checks that vals covers exactly the table's columns
+// without appending anything — write paths that must log a row before
+// applying it (the WAL) use this to guarantee the logged record is
+// always applicable on replay.
+func (t *Table) ValidateRow(vals map[string]Value) error {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.validateRowLocked(vals)
+}
+
+func (t *Table) validateRowLocked(vals map[string]Value) error {
 	if len(vals) != len(t.cols) {
 		return fmt.Errorf("filter: row has %d values, table has %d columns", len(vals), len(t.cols))
 	}
@@ -236,10 +288,48 @@ func (t *Table) AppendRow(vals map[string]Value) error {
 			return fmt.Errorf("filter: unknown column %q", name)
 		}
 	}
-	for name, c := range t.cols {
-		c.Append(vals[name])
+	return nil
+}
+
+// BulkRestore fills an empty table column-wise with n rows: each
+// registered column must appear in exactly the map matching its kind,
+// with exactly n values. It is the bulk path snapshot loading uses
+// instead of n AppendRow calls (one map build and one lock pass per
+// row); lengths are validated once up front so every table invariant
+// (aligned columns, row count) holds by construction afterwards.
+func (t *Table) BulkRestore(n int, ints map[string][]int64, flts map[string][]float64, strs map[string][]string) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.n > 0 {
+		return fmt.Errorf("filter: BulkRestore into a table with %d rows", t.n)
 	}
-	t.n++
+	for name, c := range t.cols {
+		switch c.Kind() {
+		case Int64:
+			if vals, ok := ints[name]; !ok || len(vals) != n {
+				return fmt.Errorf("filter: column %q needs %d int64 values, have %d", name, n, len(ints[name]))
+			}
+		case Float64:
+			if vals, ok := flts[name]; !ok || len(vals) != n {
+				return fmt.Errorf("filter: column %q needs %d float64 values, have %d", name, n, len(flts[name]))
+			}
+		case String:
+			if vals, ok := strs[name]; !ok || len(vals) != n {
+				return fmt.Errorf("filter: column %q needs %d string values, have %d", name, n, len(strs[name]))
+			}
+		}
+	}
+	for name, c := range t.cols {
+		switch c.Kind() {
+		case Int64:
+			c.restore(ints[name], nil, nil)
+		case Float64:
+			c.restore(nil, flts[name], nil)
+		case String:
+			c.restore(nil, nil, strs[name])
+		}
+	}
+	t.n = n
 	return nil
 }
 

@@ -142,6 +142,15 @@ func Build(name string, data []float32, n, d int, opts map[string]int) (Index, e
 	return fn(data, n, d, opts)
 }
 
+// Registered reports whether an index family is known, letting
+// restore paths reject a recorded recipe before paying for anything.
+func Registered(name string) bool {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	_, ok := registry[name]
+	return ok
+}
+
 // Names lists registered families in sorted order.
 func Names() []string {
 	regMu.RLock()

@@ -49,6 +49,28 @@ var (
 	BreakerTransitions = Default().NewCounterVec("vdbms_breaker_transitions_total", "Circuit breaker state transitions by destination state.", "to")
 	ShardBreakerState  = Default().NewGaugeVec("vdbms_shard_breaker_state", "Router shard breaker position (0=closed 1=open 2=half-open).", "shard")
 
+	// Durable write path (internal/wal + internal/core). Batch size is
+	// the group-commit health signal: mean records per batch near 1
+	// under concurrent writers means commits are not being amortized.
+	WALAppends         = Default().NewCounter("vdbms_wal_appends_total", "Records appended to the write-ahead log.")
+	WALAppendBytes     = Default().NewCounter("vdbms_wal_append_bytes_total", "Framed bytes appended to the write-ahead log.")
+	WALFsyncs          = Default().NewCounter("vdbms_wal_fsync_total", "fsync calls issued by the WAL committer.")
+	WALFsyncSeconds    = Default().NewHistogram("vdbms_wal_fsync_seconds", "Duration of WAL fsync calls.", nil)
+	WALBatchRecords    = Default().NewHistogram("vdbms_wal_batch_records", "Records per group-commit batch.", BatchBuckets)
+	WALRotations       = Default().NewCounter("vdbms_wal_rotations_total", "WAL segment rotations.")
+	WALSegmentsRemoved = Default().NewCounter("vdbms_wal_segments_removed_total", "Obsolete WAL segments deleted after checkpoints.")
+	WALReplayedRecords = Default().NewCounter("vdbms_wal_replayed_records_total", "WAL records replayed during recovery.")
+	WALTornTails       = Default().NewCounter("vdbms_wal_torn_tails_total", "Recoveries that truncated a torn tail off the log.")
+	WALRecoveries      = Default().NewCounterVec("vdbms_wal_recovery_total", "Crash recoveries by outcome (ok, failed).", "outcome")
+
+	// Incremental checkpoints (internal/core). A checkpoint serializes
+	// a pinned epoch snapshot off the write path, then truncates the
+	// WAL segments it covers.
+	CheckpointsTotal  = Default().NewCounterVec("vdbms_checkpoint_total", "Checkpoint attempts by outcome (written, skipped, failed).", "outcome")
+	CheckpointSeconds = Default().NewHistogram("vdbms_checkpoint_seconds", "Wall-clock duration of checkpoint writes.", BuildBuckets)
+	CheckpointLastLSN = Default().NewGauge("vdbms_checkpoint_last_lsn", "LSN covered by the most recent checkpoint.")
+	CheckpointBytes   = Default().NewGauge("vdbms_checkpoint_last_bytes", "Size of the most recent checkpoint file.")
+
 	// HTTP layer (internal/server).
 	HTTPRequests     = Default().NewCounterVec("vdbms_http_requests_total", "HTTP requests by endpoint.", "path")
 	HTTPEncodeErrors = Default().NewCounter("vdbms_http_encode_errors_total", "Response bodies that failed to JSON-encode mid-write.")

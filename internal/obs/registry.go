@@ -69,6 +69,10 @@ var LatencyBuckets = []float64{
 	0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
 }
 
+// BatchBuckets are histogram bounds for batch-size distributions
+// (records per WAL group commit), powers of two up to 4096.
+var BatchBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096}
+
 // BuildBuckets are histogram bounds (seconds) for index builds, which
 // run milliseconds to minutes rather than the microseconds of probes.
 var BuildBuckets = []float64{

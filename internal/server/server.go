@@ -223,10 +223,12 @@ func (s *Server) handleCollection(w http.ResponseWriter, r *http.Request) {
 				return
 			}
 			kind, covered, dirty, building := col.IndexStatus()
+			durable, lastLSN, ckptLSN := col.Durability()
 			writeJSON(w, http.StatusOK, map[string]any{
 				"name": col.Name(), "dim": col.Dim(), "len": col.Len(),
 				"index": kind, "index_covered": covered, "index_dirty": dirty,
 				"index_building": building,
+				"durable":        durable, "wal_lsn": lastLSN, "checkpoint_lsn": ckptLSN,
 			})
 		default:
 			writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed", r.Method))

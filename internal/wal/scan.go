@@ -1,0 +1,178 @@
+package wal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+
+	"vdbms/internal/obs"
+)
+
+// ScanResult reports what a Scan found.
+type ScanResult struct {
+	// LastLSN is the LSN of the last valid record in the log (0 when
+	// the log is empty).
+	LastLSN uint64
+	// Replayed counts the records delivered to the callback.
+	Replayed int
+	// TornTail is true when the final segment ended in a bad frame and
+	// was truncated back to its last valid record — the expected
+	// signature of a crash mid-write, not an error.
+	TornTail bool
+}
+
+// Scan replays every record in dir's WAL in LSN order, delivering
+// payloads with LSN > from to fn. The torn-tail contract:
+//
+//   - A bad frame (short header, short payload, or CRC mismatch) in
+//     the FINAL segment is a torn tail: the file is truncated at the
+//     first bad frame, the scan stops cleanly, and TornTail is set.
+//     Records past the tear were never acknowledged under SyncAlways.
+//   - A bad frame in any earlier segment — or a gap in the LSN
+//     sequence between segments — is corruption mid-log: the log was
+//     damaged after it was written, replay would silently lose
+//     acknowledged writes, so Scan refuses with an error.
+//
+// An error from fn aborts the scan.
+func Scan(dir string, from uint64, fn func(lsn uint64, payload []byte) error) (ScanResult, error) {
+	var res ScanResult
+	segs, err := listSegments(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return res, nil
+		}
+		return res, err
+	}
+	for i, s := range segs {
+		final := i == len(segs)-1
+		path := filepath.Join(dir, s.name)
+		last, err := scanSegment(path, s.firstLSN, final, from, fn, &res)
+		if err != nil {
+			return res, err
+		}
+		if !final && last != segs[i+1].firstLSN-1 {
+			return res, fmt.Errorf("wal: segment %s ends at LSN %d but %s starts at %d: missing records mid-log",
+				s.name, last, segs[i+1].name, segs[i+1].firstLSN)
+		}
+		res.LastLSN = last
+	}
+	if res.TornTail {
+		obs.WALTornTails.Inc()
+	}
+	return res, nil
+}
+
+// scanSegment replays one segment file; final selects the torn-tail
+// rule. It returns the LSN of the last valid record (firstLSN-1 when
+// the segment holds none).
+func scanSegment(path string, firstLSN uint64, final bool, from uint64, fn func(uint64, []byte) error, res *ScanResult) (uint64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	info, err := f.Stat()
+	if err != nil {
+		return 0, err
+	}
+	size := info.Size()
+
+	bad := func(offset int64, why string) (uint64, error) {
+		return 0, fmt.Errorf("wal: %s at %s+%d: corruption mid-log", why, filepath.Base(path), offset)
+	}
+
+	var hdr [segHeaderSize]byte
+	if _, err := io.ReadFull(f, hdr[:]); err != nil {
+		if final {
+			// A crash between segment create and header sync; the
+			// segment never held an acknowledged record.
+			return firstLSN - 1, truncateAt(f, path, 0, res)
+		}
+		return bad(0, "short segment header")
+	}
+	if binary.LittleEndian.Uint32(hdr[0:]) != segMagic {
+		if final {
+			return firstLSN - 1, truncateAt(f, path, 0, res)
+		}
+		return bad(0, "bad segment magic")
+	}
+	if v := binary.LittleEndian.Uint32(hdr[4:]); v != segVersion {
+		return 0, fmt.Errorf("wal: segment %s has version %d, supported %d", filepath.Base(path), v, segVersion)
+	}
+	if got := binary.LittleEndian.Uint64(hdr[8:]); got != firstLSN {
+		return 0, fmt.Errorf("wal: segment %s header LSN %d does not match its name", filepath.Base(path), got)
+	}
+
+	r := bufio.NewReaderSize(f, 1<<20)
+	lsn := firstLSN - 1
+	offset := int64(segHeaderSize)
+	for offset < size {
+		var fh [frameHeaderSize]byte
+		if _, err := io.ReadFull(r, fh[:]); err != nil {
+			if final {
+				return lsn, truncateAt(f, path, offset, res)
+			}
+			return bad(offset, "short frame header")
+		}
+		n := int64(binary.LittleEndian.Uint32(fh[0:]))
+		want := binary.LittleEndian.Uint32(fh[4:])
+		if offset+frameHeaderSize+n > size {
+			if final {
+				return lsn, truncateAt(f, path, offset, res)
+			}
+			return bad(offset, "frame overruns segment")
+		}
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			if final {
+				return lsn, truncateAt(f, path, offset, res)
+			}
+			return bad(offset, "short frame payload")
+		}
+		if crc32.Checksum(payload, crcTable) != want {
+			if final {
+				return lsn, truncateAt(f, path, offset, res)
+			}
+			return bad(offset, "frame CRC mismatch")
+		}
+		lsn++
+		offset += frameHeaderSize + n
+		if lsn > from {
+			if err := fn(lsn, payload); err != nil {
+				return 0, fmt.Errorf("wal: replaying LSN %d: %w", lsn, err)
+			}
+			res.Replayed++
+			obs.WALReplayedRecords.Inc()
+		}
+	}
+	return lsn, nil
+}
+
+// truncateAt cuts the torn tail off the final segment so later scans
+// (and the next recovery) see a clean log, and records the tear.
+// Truncating at offset 0 removes the segment entirely — its header
+// never made it to disk intact.
+func truncateAt(f *os.File, path string, offset int64, res *ScanResult) error {
+	f.Close()
+	res.TornTail = true
+	if offset == 0 {
+		if err := os.Remove(path); err != nil {
+			return err
+		}
+		return syncDir(filepath.Dir(path))
+	}
+	if err := os.Truncate(path, offset); err != nil {
+		return err
+	}
+	// Make the truncation itself durable before replay proceeds.
+	t, err := os.OpenFile(path, os.O_WRONLY, 0)
+	if err != nil {
+		return err
+	}
+	defer t.Close()
+	return t.Sync()
+}

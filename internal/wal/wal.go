@@ -1,0 +1,560 @@
+// Package wal is a write-ahead log for the durable write path: the
+// classic "log before you apply" discipline (ARIES-style, minus undo —
+// the engine's epoch snapshots make every applied state consistent, so
+// recovery is pure redo). Callers append opaque payloads; the log
+// frames each one with a length and CRC32, hands the bytes to a single
+// committer goroutine that batches every appender waiting at that
+// moment into one write (+fsync under SyncAlways) — group commit — and
+// releases all of them together. Records get dense sequence numbers
+// (LSNs); segments rotate at a size threshold and carry their first
+// LSN in a header, so a checkpoint at LSN k can drop every segment
+// whose records are all ≤ k without rewriting anything.
+//
+// Crash behavior is asymmetric by design (see Scan): a torn tail in
+// the final segment is the expected signature of a crash mid-write and
+// is truncated silently; a bad frame anywhere else means the log was
+// damaged after it was written, and recovery refuses to guess.
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"vdbms/internal/obs"
+)
+
+// SyncPolicy controls when appended records become durable.
+type SyncPolicy int
+
+const (
+	// SyncAlways fsyncs every commit batch before acknowledging the
+	// appenders in it: an acknowledged write survives power loss. Group
+	// commit amortizes the fsync across every appender in the batch.
+	SyncAlways SyncPolicy = iota
+	// SyncInterval acknowledges after the write reaches the OS and
+	// fsyncs on a timer: an acknowledged write survives a process
+	// crash, and at most one interval of writes is exposed to power
+	// loss.
+	SyncInterval
+	// SyncNever acknowledges after the write reaches the OS and never
+	// fsyncs: an acknowledged write survives a process crash only.
+	SyncNever
+)
+
+// ParseSyncPolicy maps the -fsync flag values onto policies.
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	switch s {
+	case "always":
+		return SyncAlways, nil
+	case "interval":
+		return SyncInterval, nil
+	case "never":
+		return SyncNever, nil
+	}
+	return 0, fmt.Errorf("wal: unknown sync policy %q (want always/interval/never)", s)
+}
+
+// String renders the policy as its flag value.
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncInterval:
+		return "interval"
+	case SyncNever:
+		return "never"
+	default:
+		return "always"
+	}
+}
+
+// Options configures a Log.
+type Options struct {
+	// Policy is the sync policy (default SyncAlways).
+	Policy SyncPolicy
+	// Interval is the fsync period under SyncInterval (default 50ms).
+	Interval time.Duration
+	// SegmentBytes rotates to a new segment file once the active one
+	// exceeds this size (default 64 MiB).
+	SegmentBytes int64
+	// WrapWriter, when non-nil, interposes on the active segment's
+	// writer — the fault-injection hook the crash tests use to tear or
+	// drop the tail of the log (fault.TornWriter). Sync still goes to
+	// the real file.
+	WrapWriter func(w io.Writer) io.Writer
+}
+
+func (o Options) withDefaults() Options {
+	if o.Interval <= 0 {
+		o.Interval = 50 * time.Millisecond
+	}
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 64 << 20
+	}
+	return o
+}
+
+const (
+	segMagic   = uint32(0x5657414c) // "VWAL"
+	segVersion = uint32(1)
+	// segHeaderSize is magic + version + firstLSN.
+	segHeaderSize = 4 + 4 + 8
+	// frameHeaderSize is payload length + CRC32 (payload only).
+	frameHeaderSize = 4 + 4
+	segPrefix       = "wal-"
+	segSuffix       = ".log"
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+func segmentName(firstLSN uint64) string {
+	return fmt.Sprintf("%s%016x%s", segPrefix, firstLSN, segSuffix)
+}
+
+// parseSegmentName extracts the first LSN from a segment filename.
+func parseSegmentName(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, segPrefix) || !strings.HasSuffix(name, segSuffix) {
+		return 0, false
+	}
+	hex := strings.TrimSuffix(strings.TrimPrefix(name, segPrefix), segSuffix)
+	if len(hex) != 16 {
+		return 0, false
+	}
+	v, err := strconv.ParseUint(hex, 16, 64)
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}
+
+// batch is one group commit: every appender buffered between two
+// committer wake-ups shares a done channel and an error.
+type batch struct {
+	done chan struct{}
+	err  error
+	n    int
+}
+
+// Commit is an appender's handle on its group commit.
+type Commit struct{ b *batch }
+
+// Wait blocks until the record's batch is durable per the log's sync
+// policy and returns the batch outcome. A zero Commit (no WAL) returns
+// nil immediately.
+func (c Commit) Wait() error {
+	if c.b == nil {
+		return nil
+	}
+	<-c.b.done
+	return c.b.err
+}
+
+// Log is an append-only write-ahead log over segment files in one
+// directory. Append is safe for concurrent use; the committer
+// goroutine owns all file writes.
+type Log struct {
+	dir  string
+	opts Options
+
+	// ioMu serializes all file I/O: the committer's writes, interval
+	// syncs, and rotations triggered from the checkpointer via Rotate.
+	// Lock order is always ioMu before mu.
+	ioMu sync.Mutex
+
+	mu      sync.Mutex
+	f       *os.File  // active segment
+	w       io.Writer // f, possibly wrapped by opts.WrapWriter
+	size    int64     // bytes written to the active segment
+	lsn     uint64    // last assigned LSN
+	written uint64    // last LSN flushed to the active segment
+	pending []byte    // framed records awaiting the committer
+	cur     *batch    // batch collecting current appenders
+	err     error     // sticky failure: the log is dead once set
+	closed  bool
+
+	kick chan struct{}
+	quit chan struct{}
+	done chan struct{}
+}
+
+// Open creates (or reuses) dir and starts a log whose next record gets
+// LSN lastLSN+1. It always begins a fresh segment — after recovery the
+// previous segment may have been truncated mid-frame, and appending to
+// it would put the new records' durability at the mercy of old bytes.
+func Open(dir string, lastLSN uint64, opts Options) (*Log, error) {
+	opts = opts.withDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	l := &Log{
+		dir:     dir,
+		opts:    opts,
+		lsn:     lastLSN,
+		written: lastLSN,
+		kick:    make(chan struct{}, 1),
+		quit:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	if err := l.openSegmentLocked(lastLSN + 1); err != nil {
+		return nil, err
+	}
+	go l.commitLoop()
+	return l, nil
+}
+
+// openSegmentLocked starts the segment whose first record will be
+// firstLSN. The header is written and synced eagerly (with the
+// directory) so a crash right after rotation cannot leave a segment
+// whose very existence is in doubt.
+func (l *Log) openSegmentLocked(firstLSN uint64) error {
+	path := filepath.Join(l.dir, segmentName(firstLSN))
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if os.IsExist(err) {
+		// A previous life rotated to this segment and wrote nothing (a
+		// clean shutdown's final rotation leaves exactly this): if the
+		// file holds no records it is safe to replace. A bigger file
+		// here means records past the LSN the caller recovered to —
+		// refuse rather than overwrite them.
+		if info, serr := os.Stat(path); serr == nil && info.Size() <= segHeaderSize {
+			if rerr := os.Remove(path); rerr != nil {
+				return rerr
+			}
+			f, err = os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+		}
+	}
+	if err != nil {
+		return err
+	}
+	var hdr [segHeaderSize]byte
+	binary.LittleEndian.PutUint32(hdr[0:], segMagic)
+	binary.LittleEndian.PutUint32(hdr[4:], segVersion)
+	binary.LittleEndian.PutUint64(hdr[8:], firstLSN)
+	if _, err := f.Write(hdr[:]); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := syncDir(l.dir); err != nil {
+		f.Close()
+		return err
+	}
+	l.f = f
+	l.w = io.Writer(f)
+	if l.opts.WrapWriter != nil {
+		l.w = l.opts.WrapWriter(f)
+	}
+	l.size = segHeaderSize
+	return nil
+}
+
+// Append frames payload, assigns it the next LSN, and enqueues it for
+// the committer. It returns immediately; call Commit.Wait for the
+// durability acknowledgment. Appends are durable in LSN order: if LSN
+// k is acknowledged, every record ≤ k is too.
+func (l *Log) Append(payload []byte) (uint64, Commit, error) {
+	l.mu.Lock()
+	if l.err != nil {
+		err := l.err
+		l.mu.Unlock()
+		return 0, Commit{}, err
+	}
+	if l.closed {
+		l.mu.Unlock()
+		return 0, Commit{}, fmt.Errorf("wal: log is closed")
+	}
+	l.lsn++
+	lsn := l.lsn
+	var hdr [frameHeaderSize]byte
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:], crc32.Checksum(payload, crcTable))
+	l.pending = append(l.pending, hdr[:]...)
+	l.pending = append(l.pending, payload...)
+	if l.cur == nil {
+		l.cur = &batch{done: make(chan struct{})}
+	}
+	l.cur.n++
+	c := Commit{b: l.cur}
+	l.mu.Unlock()
+
+	obs.WALAppends.Inc()
+	obs.WALAppendBytes.Add(int64(frameHeaderSize + len(payload)))
+	select {
+	case l.kick <- struct{}{}:
+	default:
+	}
+	return lsn, c, nil
+}
+
+// LastLSN returns the most recently assigned LSN.
+func (l *Log) LastLSN() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.lsn
+}
+
+// commitLoop is the committer goroutine: it drains the pending buffer
+// into one write per wake-up, applies the sync policy, and releases
+// that batch's appenders together.
+func (l *Log) commitLoop() {
+	defer close(l.done)
+	var tick *time.Ticker
+	var tickC <-chan time.Time
+	if l.opts.Policy == SyncInterval {
+		tick = time.NewTicker(l.opts.Interval)
+		tickC = tick.C
+		defer tick.Stop()
+	}
+	for {
+		select {
+		case <-l.kick:
+			l.flushOnce()
+		case <-tickC:
+			l.syncActive()
+		case <-l.quit:
+			// Drain whatever arrived before Close flipped closed.
+			l.flushOnce()
+			return
+		}
+	}
+}
+
+// flushOnce swaps out the pending buffer and batch, writes the bytes,
+// syncs under SyncAlways, and releases the batch. Callers must not
+// hold ioMu or mu.
+func (l *Log) flushOnce() {
+	l.ioMu.Lock()
+	l.mu.Lock()
+	buf, b := l.pending, l.cur
+	l.pending, l.cur = nil, nil
+	last := l.lsn
+	needRotate := l.size >= l.opts.SegmentBytes
+	l.mu.Unlock()
+	if b == nil {
+		l.ioMu.Unlock()
+		return
+	}
+
+	var err error
+	if needRotate {
+		err = l.rotate()
+	}
+	if err == nil {
+		err = l.writeAndSync(buf)
+	}
+
+	l.mu.Lock()
+	if err == nil {
+		l.written = last
+		l.size += int64(len(buf))
+	} else if l.err == nil {
+		l.err = err
+	}
+	l.mu.Unlock()
+	l.ioMu.Unlock()
+
+	obs.WALBatchRecords.Observe(float64(b.n))
+	b.err = err
+	close(b.done)
+}
+
+// writeAndSync writes one commit batch and applies the sync policy.
+func (l *Log) writeAndSync(buf []byte) error {
+	if _, err := l.w.Write(buf); err != nil {
+		return err
+	}
+	if l.opts.Policy != SyncAlways {
+		return nil
+	}
+	return l.syncFile()
+}
+
+func (l *Log) syncFile() error {
+	start := time.Now()
+	err := l.f.Sync()
+	obs.WALFsyncs.Inc()
+	obs.WALFsyncSeconds.Observe(time.Since(start).Seconds())
+	return err
+}
+
+// syncActive is the SyncInterval timer body.
+func (l *Log) syncActive() {
+	l.ioMu.Lock()
+	defer l.ioMu.Unlock()
+	l.mu.Lock()
+	dead := l.err != nil
+	l.mu.Unlock()
+	if dead {
+		return
+	}
+	if err := l.syncFile(); err != nil {
+		l.mu.Lock()
+		if l.err == nil {
+			l.err = err
+		}
+		l.mu.Unlock()
+	}
+}
+
+// rotate seals the active segment (sync + close) and opens the next
+// one, first record = written+1. Caller holds ioMu.
+func (l *Log) rotate() error {
+	if err := l.f.Sync(); err != nil {
+		return err
+	}
+	if err := l.f.Close(); err != nil {
+		return err
+	}
+	l.mu.Lock()
+	next := l.written + 1
+	err := l.openSegmentLocked(next)
+	l.mu.Unlock()
+	if err == nil {
+		obs.WALRotations.Inc()
+	}
+	return err
+}
+
+// Rotate seals the active segment and starts a new one, so a
+// checkpoint can later remove every segment at or below its LSN. It
+// flushes pending appends first (running the committer's path inline
+// is safe: flushOnce owns the buffer it swapped out, and all file I/O
+// serializes on ioMu).
+func (l *Log) Rotate() error {
+	l.flushOnce()
+	l.ioMu.Lock()
+	defer l.ioMu.Unlock()
+	l.mu.Lock()
+	if l.err != nil {
+		err := l.err
+		l.mu.Unlock()
+		return err
+	}
+	onlyHeader := l.size == segHeaderSize
+	l.mu.Unlock()
+	if onlyHeader {
+		return nil // nothing in the active segment; rotation is a no-op
+	}
+	err := l.rotate()
+	if err != nil {
+		l.mu.Lock()
+		if l.err == nil {
+			l.err = err
+		}
+		l.mu.Unlock()
+	}
+	return err
+}
+
+// RemoveObsolete deletes sealed segments every record of which has LSN
+// ≤ upTo — the WAL truncation step after a checkpoint at upTo. The
+// active segment is never removed.
+func (l *Log) RemoveObsolete(upTo uint64) (removed int, err error) {
+	l.mu.Lock()
+	active := l.f.Name()
+	l.mu.Unlock()
+
+	segs, err := listSegments(l.dir)
+	if err != nil {
+		return 0, err
+	}
+	for i, s := range segs {
+		if filepath.Join(l.dir, s.name) == active {
+			continue
+		}
+		// A sealed segment's records end where the next segment begins.
+		if i+1 >= len(segs) {
+			continue
+		}
+		if lastLSN := segs[i+1].firstLSN - 1; lastLSN > upTo {
+			continue
+		}
+		if err := os.Remove(filepath.Join(l.dir, s.name)); err != nil {
+			return removed, err
+		}
+		removed++
+	}
+	if removed > 0 {
+		obs.WALSegmentsRemoved.Add(int64(removed))
+		if err := syncDir(l.dir); err != nil {
+			return removed, err
+		}
+	}
+	return removed, nil
+}
+
+// Close flushes pending appends, syncs, and closes the active segment.
+// Further appends fail.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		<-l.done
+		return l.err
+	}
+	l.closed = true
+	l.mu.Unlock()
+
+	close(l.quit)
+	<-l.done
+
+	l.ioMu.Lock()
+	defer l.ioMu.Unlock()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.f.Sync(); err != nil && l.err == nil {
+		l.err = err
+	}
+	if err := l.f.Close(); err != nil && l.err == nil {
+		l.err = err
+	}
+	return l.err
+}
+
+// syncDir fsyncs a directory so renames and creates within it are
+// durable — without it a power failure can forget the rename itself.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// SyncDir is syncDir for callers outside the package (the checkpoint
+// writer shares the atomic write-rename-sync sequence).
+func SyncDir(dir string) error { return syncDir(dir) }
+
+type segmentInfo struct {
+	name     string
+	firstLSN uint64
+}
+
+// listSegments returns dir's WAL segments sorted by first LSN.
+func listSegments(dir string) ([]segmentInfo, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var segs []segmentInfo
+	for _, e := range ents {
+		if e.IsDir() {
+			continue
+		}
+		if first, ok := parseSegmentName(e.Name()); ok {
+			segs = append(segs, segmentInfo{name: e.Name(), firstLSN: first})
+		}
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].firstLSN < segs[j].firstLSN })
+	return segs, nil
+}

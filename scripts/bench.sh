@@ -6,9 +6,14 @@
 # read/write benchmark (BenchmarkMixedReadWrite in internal/core —
 # searches racing inserts/updates/deletes) and emits {op, ns_per_op,
 # queries_per_s} to BENCH_concurrent.json, the acceptance record for
-# the snapshot engine: search throughput under write load.
+# the snapshot engine: search throughput under write load. Finally it
+# runs the durable write path benchmark (BenchmarkWALInsert — insert
+# throughput at fsync=always/interval/never vs the no-WAL baseline)
+# and emits {op, ns_per_op, inserts_per_s} to BENCH_wal.json, the
+# acceptance record for the WAL: group commit must keep fsync=always
+# within roughly an order of magnitude of the in-memory path.
 #
-#   scripts/bench.sh [scan-output.json] [concurrent-output.json]
+#   scripts/bench.sh [scan-output.json] [concurrent-output.json] [wal-output.json]
 #
 # BENCHTIME overrides the per-benchmark iteration budget (default 20x;
 # ci.sh smoke-runs with 1x so a broken harness cannot land unnoticed).
@@ -17,15 +22,18 @@ cd "$(dirname "$0")/.."
 
 out="${1:-BENCH_scan.json}"
 out_concurrent="${2:-BENCH_concurrent.json}"
+out_wal="${3:-BENCH_wal.json}"
 benchtime="${BENCHTIME:-20x}"
 
 tmp=$(mktemp)
 tmp2=$(mktemp)
-trap 'rm -f "$tmp" "$tmp2"' EXIT
+tmp3=$(mktemp)
+trap 'rm -f "$tmp" "$tmp2" "$tmp3"' EXIT
 
 go test -run '^$' -bench BenchmarkFlatScan -benchtime "$benchtime" ./internal/index/ | tee -a "$tmp"
 go test -run '^$' -bench BenchmarkScoreBlock -benchtime "$benchtime" ./internal/vec/ | tee -a "$tmp"
 go test -run '^$' -bench BenchmarkMixedReadWrite -benchtime "$benchtime" ./internal/core/ | tee -a "$tmp2"
+go test -run '^$' -bench BenchmarkWALInsert -benchtime "$benchtime" ./internal/core/ | tee -a "$tmp3"
 
 # Benchmark lines look like:
 #   BenchmarkFlatScan/l2/scorer-8  20  7083267 ns/op  7228.30 MB/s  14118004 rows/s
@@ -65,4 +73,23 @@ BEGIN { printf "[\n" }
 END   { printf "\n]\n" }
 ' "$tmp2" > "$out_concurrent"
 
-echo "wrote $out $out_concurrent"
+# WAL insert lines carry an inserts/s custom metric:
+#   BenchmarkWALInsert/always-8  3088  102483 ns/op  9756 inserts/s
+awk '
+/^Benchmark/ {
+    op = $1
+    sub(/-[0-9]+$/, "", op)
+    ns = ""; ips = ""
+    for (i = 2; i < NF; i++) {
+        if ($(i+1) == "ns/op") ns = $i
+        if ($(i+1) == "inserts/s") ips = $i
+    }
+    if (ns == "") next
+    if (n++) printf ",\n"
+    printf "  {\"op\": \"%s\", \"ns_per_op\": %s, \"inserts_per_s\": %s}", op, ns, (ips == "" ? "null" : ips)
+}
+BEGIN { printf "[\n" }
+END   { printf "\n]\n" }
+' "$tmp3" > "$out_wal"
+
+echo "wrote $out $out_concurrent $out_wal"

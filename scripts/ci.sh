@@ -23,10 +23,17 @@ go test -race ./...
 # suite also runs single-threaded, where the worker pool has width 1
 # and every fan-out takes the inline path.
 GOMAXPROCS=1 go test ./...
+# Crash-recovery smoke under the race detector: the kill -9 harness
+# (subprocess inserting with fsync=always, SIGKILLed mid-stream, then
+# recovered) plus the torn-tail and checkpoint/recover equivalence
+# tests — the durable write path's acceptance gate. These already ran
+# inside the full suite above; running them again under -race with a
+# dedicated -count=1 keeps the gate explicit and cache-proof.
+go test -race -count=1 -run 'TestCrashRecoveryKill9|TestRecoverTornTail|TestPropertyCheckpointRecoverEquivalence' ./internal/core/
 # Fuzz smoke for the top-k split/merge metamorphic oracle (split across
 # N collectors + Merge == one collector), so the corpus keeps growing.
 go test -run '^$' -fuzz FuzzMergeEquivalence -fuzztime 5s ./internal/topk/
 go test -run '^$' -bench BenchmarkSearch -benchtime 1x ./internal/obs/
 # Smoke the scan + mixed read/write benchmark harnesses and their
 # JSON emitters the same way.
-BENCHTIME=1x scripts/bench.sh "$(mktemp)" "$(mktemp)"
+BENCHTIME=1x scripts/bench.sh "$(mktemp)" "$(mktemp)" "$(mktemp)"

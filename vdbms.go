@@ -29,31 +29,61 @@ package vdbms
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
 	"sort"
 	"sync"
+
+	"vdbms/internal/core"
 )
 
 // DB is a registry of named collections. The zero value is not usable;
-// construct with New.
+// construct with New (in-memory) or Open (durable, backed by a data
+// directory).
 type DB struct {
 	mu          sync.RWMutex
 	collections map[string]*Collection
+
+	// dir is the data directory of a durable DB ("" for in-memory);
+	// each collection owns the subdirectory dir/<name>.
+	dir string
+	dur core.DurabilityOptions
 }
 
-// New creates an empty database.
+// New creates an empty in-memory database: fast, but nothing survives
+// the process. Use Open for a durable one.
 func New() *DB {
 	return &DB{collections: map[string]*Collection{}}
 }
 
-// CreateCollection registers a new collection under name.
+// CreateCollection registers a new collection under name. On a durable
+// DB the collection gets its own write-ahead log under the data
+// directory, and the name must be usable as a directory name.
 func (db *DB) CreateCollection(name string, schema Schema) (*Collection, error) {
-	col, err := newCollection(name, schema)
-	if err != nil {
-		return nil, err
+	var col *Collection
+	if db.dir == "" {
+		var err error
+		if col, err = newCollection(name, schema); err != nil {
+			return nil, err
+		}
+	} else {
+		if err := validCollectionDirName(name); err != nil {
+			return nil, err
+		}
+		cs, types, err := parseSchema(schema)
+		if err != nil {
+			return nil, err
+		}
+		inner, err := core.CreateDurable(filepath.Join(db.dir, name), name, cs, db.dur)
+		if err != nil {
+			return nil, err
+		}
+		col = &Collection{inner: inner, dim: schema.Dim, attrs: types}
 	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if _, dup := db.collections[name]; dup {
+		col.inner.Close()
 		return nil, fmt.Errorf("vdbms: collection %q already exists", name)
 	}
 	db.collections[name] = col
@@ -71,15 +101,24 @@ func (db *DB) Collection(name string) (*Collection, error) {
 	return col, nil
 }
 
-// DropCollection removes a collection.
+// DropCollection removes a collection. On a durable DB its WAL and
+// checkpoints are deleted too — a drop is permanent.
 func (db *DB) DropCollection(name string) error {
 	db.mu.Lock()
-	defer db.mu.Unlock()
-	if _, ok := db.collections[name]; !ok {
+	col, ok := db.collections[name]
+	if !ok {
+		db.mu.Unlock()
 		return fmt.Errorf("vdbms: unknown collection %q", name)
 	}
 	delete(db.collections, name)
-	return nil
+	db.mu.Unlock()
+	if db.dir == "" {
+		return nil
+	}
+	if err := col.inner.Close(); err != nil {
+		return err
+	}
+	return os.RemoveAll(filepath.Join(db.dir, name))
 }
 
 // Collections lists collection names in sorted order.
