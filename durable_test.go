@@ -1,6 +1,10 @@
 package vdbms
 
 import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
 	"testing"
 
 	"vdbms/internal/dataset"
@@ -118,5 +122,104 @@ func TestDropCollectionRemovesDurableState(t *testing.T) {
 func TestOpenBadFsyncPolicy(t *testing.T) {
 	if _, err := Open(t.TempDir(), Durability{Fsync: "sometimes"}); err == nil {
 		t.Fatal("want policy parse error")
+	}
+}
+
+func TestConcurrentCreateSameNameIsSerialized(t *testing.T) {
+	// Review regression: two creators racing on the same name used to
+	// both run core.CreateDurable before db.mu arbitrated, and could
+	// unlink each other's freshly-headered WAL segment inside
+	// dir/<name>. The registry now reserves the name first, so exactly
+	// one creator touches the directory.
+	dir := t.TempDir()
+	db, err := Open(dir, Durability{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 8
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = db.CreateCollection("c", Schema{Dim: 4})
+		}(i)
+	}
+	wg.Wait()
+	ok := 0
+	for _, e := range errs {
+		if e == nil {
+			ok++
+		}
+	}
+	if ok != 1 {
+		t.Fatalf("%d creators succeeded, want exactly 1 (errs: %v)", ok, errs)
+	}
+	col, err := db.Collection("c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The winner's WAL is the one the registry tracks: an acknowledged
+	// write lands in a linked file and survives close + reopen.
+	if _, err := col.Insert(make([]float32, 4), map[string]any{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := Open(dir, Durability{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	col2, err := db2.Collection("c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if col2.Len() != 1 {
+		t.Fatalf("recovered %d rows, want 1", col2.Len())
+	}
+}
+
+func TestDropCollectionDespiteCloseError(t *testing.T) {
+	// Review regression: DropCollection returned before os.RemoveAll
+	// when Close failed, leaving the files to resurrect the
+	// "permanently dropped" collection on the next Open.
+	dir := t.TempDir()
+	db, err := Open(dir, Durability{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	col, err := db.CreateCollection("doomed", Schema{Dim: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := col.Insert(make([]float32, 4), map[string]any{}); err != nil {
+		t.Fatal(err)
+	}
+	// Sabotage the final checkpoint: a directory squats on the path the
+	// close-time checkpoint will rename onto, so Close must fail.
+	_, lastLSN, _ := col.Durability()
+	decoy := filepath.Join(dir, "doomed", fmt.Sprintf("checkpoint-%016x.ckpt", lastLSN))
+	if err := os.Mkdir(decoy, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.DropCollection("doomed"); err == nil {
+		t.Fatal("want the close error surfaced")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "doomed")); !os.IsNotExist(err) {
+		t.Fatalf("collection directory still present after drop: %v", err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := Open(dir, Durability{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if _, err := db2.Collection("doomed"); err == nil {
+		t.Fatal("dropped collection resurrected on reopen")
 	}
 }

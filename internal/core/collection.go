@@ -269,6 +269,13 @@ func (c *Collection) Rows() int { return c.snap.Load().rows }
 // On a durable collection the row is logged before it is applied and
 // the call returns only after its WAL record is committed per the sync
 // policy — a nil error is the durability acknowledgment.
+//
+// The row is applied and published to readers before the group commit
+// completes, so a commit error means "durability not achieved", not
+// "rolled back": the row stays visible until restart (and a checkpoint
+// pinning that snapshot can persist it). The WAL error is sticky, so
+// every later mutation fails too — restart to recover exactly what
+// reached the log (DESIGN.md §10, apply-before-ack visibility).
 func (c *Collection) Insert(v []float32, attrs map[string]filter.Value) (int64, error) {
 	if len(v) != c.schema.Dim {
 		return 0, fmt.Errorf("core: vector dim %d, collection dim %d", len(v), c.schema.Dim)
@@ -319,7 +326,9 @@ func (c *Collection) applyInsertLocked(v []float32, attrs map[string]filter.Valu
 // UpdateVector overwrites the vector stored at id. The flat scan path
 // sees the new values on the very next snapshot; an installed ANN
 // index keeps scoring the array it was built over until the staleness
-// threshold triggers a background rebuild (DESIGN.md §9).
+// threshold triggers a background rebuild (DESIGN.md §9). On a durable
+// collection a commit error does not roll the update back — see
+// Insert's apply-before-ack note.
 func (c *Collection) UpdateVector(id int64, v []float32) error {
 	if len(v) != c.schema.Dim {
 		return fmt.Errorf("core: vector dim %d, collection dim %d", len(v), c.schema.Dim)
@@ -367,7 +376,9 @@ func (c *Collection) applyUpdateLocked(id int64, v []float32) error {
 
 // Delete hides a row from all future queries. Snapshots already loaded
 // by in-flight searches keep their own mask and may still return the
-// row — the documented read-committed behavior.
+// row — the documented read-committed behavior. On a durable
+// collection a commit error does not undo the delete — see Insert's
+// apply-before-ack note.
 func (c *Collection) Delete(id int64) error {
 	c.mu.Lock()
 	if err := c.validIDLocked(id); err != nil {

@@ -407,3 +407,64 @@ func TestSaveDoesNotBlockWriters(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestRecoverTwiceAfterTearBelowCheckpoint(t *testing.T) {
+	// Review regression: a checkpoint can cover LSNs whose WAL frames
+	// never reached disk (rows are applied and published before their
+	// group commit fsyncs, and the checkpointer pins the published
+	// snapshot). If a crash then tears the log below the checkpoint
+	// LSN, the first recovery truncates the tear and reopens the log at
+	// the checkpoint LSN — and every later recovery must tolerate the
+	// resulting inter-segment gap instead of failing forever with
+	// "missing records mid-log".
+	dir := t.TempDir()
+	c, ds := newDurable(t, dir, 40, DurabilityOptions{})
+	// Hand-write a checkpoint at the current LSN without rotating or
+	// retiring the log: exactly the on-disk state a pinned-snapshot
+	// checkpoint leaves while the tail frames it covers are still in
+	// the page cache.
+	s := c.snap.Load()
+	if err := writeSnapshotFile(filepath.Join(dir, checkpointName(s.lsn)), c.fileSnapshotAt(s)); err != nil {
+		t.Fatal(err)
+	}
+	c.wal.log.Close()
+	// Power loss: the segment loses its final frame, so the log now
+	// ends below the checkpoint LSN.
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var seg string
+	for _, e := range ents {
+		if strings.HasSuffix(e.Name(), ".log") {
+			seg = filepath.Join(dir, e.Name())
+		}
+	}
+	info, err := os.Stat(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(seg, info.Size()-1); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := Recover(dir, DurabilityOptions{})
+	if err != nil {
+		t.Fatalf("first recovery: %v", err)
+	}
+	requireSameAnswers(t, c, re, ds, 5)
+	if err := re.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re2, err := Recover(dir, DurabilityOptions{})
+	if err != nil {
+		t.Fatalf("second recovery after covered tear: %v", err)
+	}
+	defer re2.Close()
+	requireSameAnswers(t, c, re2, ds, 5)
+	// The twice-recovered collection still takes durable writes.
+	if _, err := re2.Insert(ds.Row(0), durableRowAttrs(0)); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -35,7 +35,12 @@ type ScanResult struct {
 //   - A bad frame in any earlier segment — or a gap in the LSN
 //     sequence between segments — is corruption mid-log: the log was
 //     damaged after it was written, replay would silently lose
-//     acknowledged writes, so Scan refuses with an error.
+//     acknowledged writes, so Scan refuses with an error. The one
+//     exception is a gap whose missing LSNs all lie at or below from:
+//     that is the footprint of a previous recovery that truncated a
+//     torn tail below the checkpoint LSN and reopened the log past it
+//     (the "missing" records are inside the checkpoint, not lost), so
+//     Scan tolerates it.
 //
 // An error from fn aborts the scan.
 func Scan(dir string, from uint64, fn func(lsn uint64, payload []byte) error) (ScanResult, error) {
@@ -55,8 +60,19 @@ func Scan(dir string, from uint64, fn func(lsn uint64, payload []byte) error) (S
 			return res, err
 		}
 		if !final && last != segs[i+1].firstLSN-1 {
-			return res, fmt.Errorf("wal: segment %s ends at LSN %d but %s starts at %d: missing records mid-log",
-				s.name, last, segs[i+1].name, segs[i+1].firstLSN)
+			// A gap is tolerable only when every missing LSN is ≤ from:
+			// a crash can tear the tail of a segment below the
+			// checkpoint LSN (records are applied and published before
+			// their group commit fsyncs), and the recovery that
+			// truncated the tear reopened the log at the checkpoint
+			// LSN, leaving this hole behind. Those records live in the
+			// checkpoint; nothing acknowledged is lost. Any other
+			// discontinuity (overlap, or missing LSNs above from) is
+			// real corruption.
+			if last > segs[i+1].firstLSN-1 || segs[i+1].firstLSN-1 > from {
+				return res, fmt.Errorf("wal: segment %s ends at LSN %d but %s starts at %d: missing records mid-log",
+					s.name, last, segs[i+1].name, segs[i+1].firstLSN)
+			}
 		}
 		res.LastLSN = last
 	}

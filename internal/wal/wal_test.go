@@ -352,3 +352,51 @@ func TestEmptyDirScan(t *testing.T) {
 		t.Fatalf("missing dir: %v %+v", got, res)
 	}
 }
+
+func TestScanToleratesGapCoveredByCheckpoint(t *testing.T) {
+	// A tear can truncate the final segment below a checkpoint's LSN
+	// (records publish before their group commit fsyncs); the recovery
+	// that truncated it reopens the log at the checkpoint LSN, leaving
+	// an inter-segment gap behind. Later scans must accept the gap when
+	// every missing LSN is ≤ from — those records live in the
+	// checkpoint — and keep rejecting it otherwise.
+	dir := t.TempDir()
+	l := openT(t, dir, 0, Options{})
+	for i := 0; i < 5; i++ {
+		appendWait(t, l, []byte(fmt.Sprintf("r%d", i)))
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Power loss: the last frame (LSN 5) loses its final byte.
+	seg := filepath.Join(dir, segmentName(1))
+	info, err := os.Stat(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(seg, info.Size()-1); err != nil {
+		t.Fatal(err)
+	}
+	// Recovery with a checkpoint at LSN 5: the scan truncates the tear
+	// back to LSN 4, then the log reopens past the checkpoint.
+	got, res := scanAll(t, dir, 5)
+	if len(got) != 0 || res.LastLSN != 4 || !res.TornTail {
+		t.Fatalf("scan after tear: %v %+v", got, res)
+	}
+	l = openT(t, dir, 5, Options{})
+	appendWait(t, l, []byte("r5"))
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The gap {5} sits inside the checkpoint: tolerated, on every scan.
+	for i := 0; i < 2; i++ {
+		got, res = scanAll(t, dir, 5)
+		if len(got) != 1 || got[0] != "6:r5" || res.LastLSN != 6 || res.TornTail {
+			t.Fatalf("scan %d over covered gap: %v %+v", i, got, res)
+		}
+	}
+	// A gap above from is still missing acknowledged records.
+	if _, err := Scan(dir, 4, func(uint64, []byte) error { return nil }); err == nil {
+		t.Fatal("gap above from must stay an error")
+	}
+}

@@ -28,6 +28,7 @@
 package vdbms
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -43,6 +44,9 @@ import (
 type DB struct {
 	mu          sync.RWMutex
 	collections map[string]*Collection
+	// creating reserves names whose collection is still being built, so
+	// two concurrent creators never both touch dir/<name> on disk.
+	creating map[string]struct{}
 
 	// dir is the data directory of a durable DB ("" for in-memory);
 	// each collection owns the subdirectory dir/<name>.
@@ -53,41 +57,59 @@ type DB struct {
 // New creates an empty in-memory database: fast, but nothing survives
 // the process. Use Open for a durable one.
 func New() *DB {
-	return &DB{collections: map[string]*Collection{}}
+	return &DB{
+		collections: map[string]*Collection{},
+		creating:    map[string]struct{}{},
+	}
 }
 
 // CreateCollection registers a new collection under name. On a durable
 // DB the collection gets its own write-ahead log under the data
 // directory, and the name must be usable as a directory name.
 func (db *DB) CreateCollection(name string, schema Schema) (*Collection, error) {
-	var col *Collection
-	if db.dir == "" {
-		var err error
-		if col, err = newCollection(name, schema); err != nil {
-			return nil, err
-		}
-	} else {
+	if db.dir != "" {
 		if err := validCollectionDirName(name); err != nil {
 			return nil, err
 		}
-		cs, types, err := parseSchema(schema)
-		if err != nil {
-			return nil, err
-		}
-		inner, err := core.CreateDurable(filepath.Join(db.dir, name), name, cs, db.dur)
-		if err != nil {
-			return nil, err
-		}
-		col = &Collection{inner: inner, dim: schema.Dim, attrs: types}
 	}
+	// Reserve the name before any filesystem work: durable creation
+	// writes WAL segments under dir/<name>, and two creators racing in
+	// that directory could unlink each other's freshly-headered active
+	// segment — the registry must arbitrate first, not after.
 	db.mu.Lock()
-	defer db.mu.Unlock()
-	if _, dup := db.collections[name]; dup {
-		col.inner.Close()
+	_, dup := db.collections[name]
+	_, busy := db.creating[name]
+	if dup || busy {
+		db.mu.Unlock()
 		return nil, fmt.Errorf("vdbms: collection %q already exists", name)
 	}
-	db.collections[name] = col
-	return col, nil
+	db.creating[name] = struct{}{}
+	db.mu.Unlock()
+
+	var col *Collection
+	var err error
+	if db.dir == "" {
+		col, err = newCollection(name, schema)
+	} else {
+		cs, types, perr := parseSchema(schema)
+		if perr != nil {
+			err = perr
+		} else {
+			var inner *core.Collection
+			inner, err = core.CreateDurable(filepath.Join(db.dir, name), name, cs, db.dur)
+			if err == nil {
+				col = &Collection{inner: inner, dim: schema.Dim, attrs: types}
+			}
+		}
+	}
+
+	db.mu.Lock()
+	delete(db.creating, name)
+	if err == nil {
+		db.collections[name] = col
+	}
+	db.mu.Unlock()
+	return col, err
 }
 
 // Collection returns a collection by name.
@@ -115,10 +137,13 @@ func (db *DB) DropCollection(name string) error {
 	if db.dir == "" {
 		return nil
 	}
-	if err := col.inner.Close(); err != nil {
-		return err
-	}
-	return os.RemoveAll(filepath.Join(db.dir, name))
+	// Remove the directory even when Close fails (e.g. a final
+	// checkpoint write error): the files are being deleted anyway, and
+	// returning early would leave them behind to resurrect the
+	// "permanently dropped" collection on the next Open.
+	cerr := col.inner.Close()
+	rerr := os.RemoveAll(filepath.Join(db.dir, name))
+	return errors.Join(cerr, rerr)
 }
 
 // Collections lists collection names in sorted order.
