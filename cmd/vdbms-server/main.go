@@ -15,7 +15,8 @@
 //	POST   /query                            {"query": "SELECT 10 FROM c NEAR [...]"}
 //	GET    /healthz                          liveness probe
 //	GET    /metrics                          Prometheus text exposition
-//	GET    /debug/stats                      metrics + runtime snapshot as JSON
+//	GET    /debug/stats                      metrics + runtime + per-collection stats as JSON
+//	GET    /debug/slowlog                    span trees of the slowest traced queries
 //
 // With -data-dir the server runs the durable write path: every
 // mutation is written ahead to a per-collection log and acknowledged
@@ -28,6 +29,11 @@
 // disables) and a timed-out query returns 504. Sending a search with
 // the "X-Vdbms-Trace: 1" header returns the query's span tree;
 // -slow-query logs the span tree of any slower search server-side.
+// -audit-interval enables online recall auditing on every collection:
+// a reservoir of live queries is replayed against an exact scan each
+// interval and the observed recall@k exported as vdbms_recall_observed
+// (with -recall-floor, passes below the floor are logged as
+// regressions).
 // -pprof-addr serves net/http/pprof on a second listener (off by
 // default so profiling endpoints never ride the public port). On
 // SIGINT/SIGTERM the server stops accepting, drains in-flight requests
@@ -60,6 +66,8 @@ func main() {
 	dataDir := flag.String("data-dir", "", "data directory for the durable write path (empty = in-memory, nothing survives restart)")
 	fsync := flag.String("fsync", "always", "WAL sync policy: always (acked writes survive power loss), interval, or never")
 	checkpointInterval := flag.Duration("checkpoint-interval", 30*time.Second, "background checkpoint period (0 = only checkpoint on shutdown)")
+	auditInterval := flag.Duration("audit-interval", 0, "online recall audit period for every collection (0 = off)")
+	recallFloor := flag.Float64("recall-floor", 0, "log a regression when an audit observes recall below this (0 = never)")
 	flag.Parse()
 
 	if *pprofAddr != "" {
@@ -88,6 +96,13 @@ func main() {
 		}
 		log.Printf("recovered %d collection(s) from %s in %v (fsync=%s)",
 			len(db.Collections()), *dataDir, time.Since(start).Round(time.Millisecond), *fsync)
+	}
+	if *auditInterval > 0 {
+		db.EnableRecallAudit(vdbms.AuditOptions{
+			Interval:    *auditInterval,
+			RecallFloor: *recallFloor,
+		})
+		log.Printf("recall auditing every %v (floor %.3f)", *auditInterval, *recallFloor)
 	}
 	srv := &http.Server{
 		Addr: *addr,

@@ -547,10 +547,15 @@ func (db *DB) RestoreCollection(path string) (*Collection, error) {
 	}
 	col := wrapCollection(inner)
 	db.mu.Lock()
-	defer db.mu.Unlock()
 	if _, dup := db.collections[col.Name()]; dup {
+		db.mu.Unlock()
 		return nil, fmt.Errorf("vdbms: collection %q already exists", col.Name())
 	}
 	db.collections[col.Name()] = col
+	audit := db.audit
+	db.mu.Unlock()
+	if audit != nil {
+		col.EnableRecallAudit(*audit)
+	}
 	return col, nil
 }

@@ -1,0 +1,197 @@
+// Online recall auditing: the operational answer to "what recall is
+// this collection actually serving". The serving path feeds a uniform
+// reservoir of live queries (vector, predicates, k, and the ids it
+// returned); a background auditor periodically replays the reservoir
+// against an exact flat scan on a pinned epoch snapshot and compares.
+// The replay runs entirely off the query path — it loads the snapshot
+// pointer like any reader and never takes the writer lock — so audits
+// cost CPU, not latency. Observed recall@k is exported per collection
+// as vdbms_recall_observed; passes count into vdbms_recall_audit_total
+// by outcome, and a pass below the configured floor logs a regression.
+//
+// Accuracy caveat (documented in DESIGN.md §11): samples are replayed
+// against the snapshot current at audit time, not the one they were
+// served from. Rows deleted or updated in between would bias recall
+// down through no fault of the index, so samples whose served ids are
+// no longer live are skipped as stale; the reservoir continuously
+// refreshes, so churn costs sample count, not correctness.
+package core
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"vdbms/internal/obs"
+	"vdbms/internal/stats"
+)
+
+// AuditConfig configures a collection's recall auditor.
+type AuditConfig struct {
+	// Interval is the cadence of background audit passes; zero or
+	// negative runs no background loop (AuditNow still works).
+	Interval time.Duration
+	// ReservoirSize caps the query reservoir; 0 keeps the current size
+	// (default 256).
+	ReservoirSize int
+	// RecallFloor, when positive, marks a pass whose observed recall
+	// falls below it as a regression and logs it.
+	RecallFloor float64
+	// MinSamples is the minimum replayable samples for a pass to
+	// produce a recall figure; below it the pass is recorded as
+	// "empty". Default 8.
+	MinSamples int
+	// Logf receives regression log lines; log.Printf when nil.
+	Logf func(format string, args ...any)
+}
+
+// AuditReport is the result of one audit pass.
+type AuditReport struct {
+	Collection string        `json:"collection"`
+	Outcome    string        `json:"outcome"` // ok, regression, empty
+	Samples    int           `json:"samples"` // replayed (non-stale) samples
+	Stale      int           `json:"stale"`   // skipped: served rows no longer live
+	Recall     float64       `json:"recall"`  // mean recall@k; meaningful when Outcome != "empty"
+	Floor      float64       `json:"floor"`
+	Elapsed    time.Duration `json:"elapsed_ns"`
+}
+
+// EnableAudit turns on query sampling and (when cfg.Interval > 0) the
+// background audit loop. Calling it again reconfigures: the old loop
+// is stopped before the new one starts. Safe while searches run.
+func (c *Collection) EnableAudit(cfg AuditConfig) {
+	if cfg.MinSamples <= 0 {
+		cfg.MinSamples = 8
+	}
+	c.auditMu.Lock()
+	defer c.auditMu.Unlock()
+	if cfg.ReservoirSize > 0 && cfg.ReservoirSize != c.sampler.Load().Cap() {
+		c.sampler.Store(stats.NewReservoir(cfg.ReservoirSize))
+	}
+	c.auditCfg = cfg
+	c.stopAuditLoopLocked()
+	c.sampling.Store(true)
+	if cfg.Interval > 0 {
+		stop, done := make(chan struct{}), make(chan struct{})
+		c.auditStop, c.auditDone = stop, done
+		go c.auditLoop(cfg.Interval, stop, done)
+	}
+}
+
+// DisableAudit stops the background loop and query sampling. The
+// reservoir keeps its contents so AuditNow can still replay them.
+func (c *Collection) DisableAudit() {
+	c.auditMu.Lock()
+	defer c.auditMu.Unlock()
+	c.sampling.Store(false)
+	c.stopAuditLoopLocked()
+}
+
+func (c *Collection) stopAuditLoopLocked() {
+	if c.auditStop != nil {
+		close(c.auditStop)
+		<-c.auditDone
+		c.auditStop, c.auditDone = nil, nil
+	}
+}
+
+func (c *Collection) auditLoop(interval time.Duration, stop, done chan struct{}) {
+	defer close(done)
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-tick.C:
+			c.AuditNow() // outcome lands in metrics; next tick retries
+		case <-stop:
+			return
+		}
+	}
+}
+
+// AuditNow runs one audit pass synchronously with the current
+// configuration and returns its report. It never blocks writers or
+// searches: the replay runs on a snapshot pinned at entry.
+func (c *Collection) AuditNow() (AuditReport, error) {
+	c.auditMu.Lock()
+	cfg := c.auditCfg
+	c.auditMu.Unlock()
+	if cfg.MinSamples <= 0 {
+		cfg.MinSamples = 8
+	}
+	return c.audit(cfg)
+}
+
+func (c *Collection) audit(cfg AuditConfig) (AuditReport, error) {
+	start := time.Now()
+	rep := AuditReport{Collection: c.name, Floor: cfg.RecallFloor}
+	samples := c.sampler.Load().Snapshot()
+	s := c.snap.Load()
+	exclude := s.exclude()
+
+	var sum float64
+	for _, sm := range samples {
+		if sm.K <= 0 || len(sm.Vector) == 0 {
+			continue
+		}
+		stale := false
+		for _, id := range sm.Served {
+			if id < 0 || id >= int64(s.rows) || (exclude != nil && exclude(id)) {
+				stale = true
+				break
+			}
+		}
+		if stale {
+			rep.Stale++
+			continue
+		}
+		truth, err := s.env.ExactGroundTruth(sm.Vector, sm.K, sm.Preds, exclude)
+		if err != nil {
+			return rep, fmt.Errorf("core: audit replay: %w", err)
+		}
+		if len(truth) == 0 {
+			continue // predicate admits nothing now; recall undefined
+		}
+		truthSet := make(map[int64]struct{}, len(truth))
+		for _, r := range truth {
+			truthSet[r.ID] = struct{}{}
+		}
+		hits := 0
+		for _, id := range sm.Served {
+			if _, ok := truthSet[id]; ok {
+				hits++
+			}
+		}
+		denom := sm.K
+		if len(truth) < denom {
+			denom = len(truth) // fewer than k rows satisfy the query
+		}
+		sum += float64(hits) / float64(denom)
+		rep.Samples++
+	}
+
+	rep.Elapsed = time.Since(start)
+	obs.RecallAuditSeconds.Observe(rep.Elapsed.Seconds())
+	obs.RecallAuditSamples.Add(int64(rep.Samples))
+	if rep.Samples < cfg.MinSamples {
+		rep.Outcome = "empty"
+		obs.RecallAudits.With("empty").Inc()
+		return rep, nil
+	}
+	rep.Recall = sum / float64(rep.Samples)
+	obs.RecallObserved.With(c.name).Set(rep.Recall)
+	if cfg.RecallFloor > 0 && rep.Recall < cfg.RecallFloor {
+		rep.Outcome = "regression"
+		obs.RecallAudits.With("regression").Inc()
+		logf := cfg.Logf
+		if logf == nil {
+			logf = log.Printf
+		}
+		logf("vdbms: recall regression on %q: observed recall@k %.4f below floor %.4f (%d samples)",
+			c.name, rep.Recall, cfg.RecallFloor, rep.Samples)
+		return rep, nil
+	}
+	rep.Outcome = "ok"
+	obs.RecallAudits.With("ok").Inc()
+	return rep, nil
+}

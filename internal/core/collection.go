@@ -25,6 +25,7 @@ import (
 	"vdbms/internal/index"
 	"vdbms/internal/obs"
 	"vdbms/internal/planner"
+	"vdbms/internal/stats"
 	"vdbms/internal/topk"
 	"vdbms/internal/vec"
 	"vdbms/internal/wal"
@@ -88,6 +89,11 @@ type snapshot struct {
 	lsn uint64
 }
 
+// stageWALWait is the pre-bound wal_commit_wait stage handle: commit
+// waits are on every durable mutation, so the labeled lookup is paid
+// once at init, not per write.
+var stageWALWait = obs.SearchStageSeconds.With("wal_commit_wait")
+
 // exclude adapts the epoch's deletion mask to the executor's exclusion
 // callback. Bitset.Test reads out-of-range bits as false, so a mask
 // frozen at an older epoch is still correct if consulted against ids
@@ -113,6 +119,28 @@ type Collection struct {
 	name   string
 	schema Schema
 	fn     vec.DistanceFunc
+
+	// stats is the collection's online statistics tracker (row churn,
+	// query shapes, selectivity histograms, probe cost); sampler is
+	// the query reservoir the recall auditor replays (an atomic pointer
+	// so EnableAudit can resize it while searches run). Both are
+	// concurrency-safe and shared across epochs. latency is the
+	// per-collection handle into vdbms_search_latency_seconds, bound
+	// once so the hot path never does a labeled lookup.
+	stats   *stats.Collection
+	sampler atomic.Pointer[stats.Reservoir]
+	latency *obs.Histogram
+
+	// sampling gates reservoir admission: queries are offered to the
+	// sampler only while a recall auditor wants them, so collections
+	// without an auditor never pay the sample-copy cost.
+	sampling atomic.Bool
+
+	// Recall auditor state (audit.go), guarded by auditMu.
+	auditMu   sync.Mutex
+	auditStop chan struct{}
+	auditDone chan struct{}
+	auditCfg  AuditConfig
 
 	// snap is the published epoch every query reads.
 	snap atomic.Pointer[snapshot]
@@ -193,10 +221,13 @@ func NewCollection(name string, schema Schema) (*Collection, error) {
 		name:     name,
 		schema:   schema,
 		fn:       vec.Distance(schema.Metric),
+		stats:    stats.New(name),
+		latency:  obs.SearchLatency.With(name),
 		scorer:   scorer,
 		attrs:    attrs,
 		entCache: map[string]entityEntry{},
 	}
+	c.sampler.Store(stats.NewReservoir(0))
 	c.publishLocked() // no concurrency before the constructor returns
 	return c, nil
 }
@@ -220,6 +251,9 @@ func (c *Collection) publishLocked() {
 		// previous epoch rather than poisoning the pointer.
 		return
 	}
+	// Hand the executor the shared stats tracker before the env becomes
+	// visible to readers — after the Store it is immutable by contract.
+	env.Stats = c.stats
 	c.snap.Store(&snapshot{
 		rows:    c.n,
 		nDel:    c.nDel,
@@ -300,7 +334,22 @@ func (c *Collection) Insert(v []float32, attrs map[string]filter.Value) (int64, 
 	if err != nil {
 		return 0, err
 	}
-	return id, commit.Wait()
+	c.stats.RecordInsert(1)
+	return id, c.waitCommit(commit)
+}
+
+// waitCommit waits for a mutation's group commit, timing the wait into
+// the wal_commit_wait stage. In-memory collections (zero Commit,
+// returns immediately) skip the observation so the stage histogram
+// reflects real WAL waits only.
+func (c *Collection) waitCommit(commit wal.Commit) error {
+	if c.wal == nil {
+		return commit.Wait()
+	}
+	start := time.Now()
+	err := commit.Wait()
+	stageWALWait.Observe(time.Since(start).Seconds())
+	return err
 }
 
 // applyInsertLocked is the memory-state half of Insert, shared with
@@ -348,7 +397,8 @@ func (c *Collection) UpdateVector(id int64, v []float32) error {
 	if err != nil {
 		return err
 	}
-	return commit.Wait()
+	c.stats.RecordUpdate()
+	return c.waitCommit(commit)
 }
 
 // applyUpdateLocked is the memory-state half of UpdateVector, shared
@@ -392,7 +442,8 @@ func (c *Collection) Delete(id int64) error {
 	}
 	c.applyDeleteLocked(id)
 	c.mu.Unlock()
-	return commit.Wait()
+	c.stats.RecordDelete()
+	return c.waitCommit(commit)
 }
 
 // applyDeleteLocked is the memory-state half of Delete, shared with
@@ -577,13 +628,38 @@ func (c *Collection) Search(req Request) ([]Result, planner.Plan, error) {
 	start := time.Now()
 	res, plan, err := c.search(req)
 	obs.SearchTotal.Inc()
-	obs.SearchLatency.Observe(time.Since(start).Seconds())
+	c.latency.Observe(time.Since(start).Seconds())
 	if err != nil {
 		obs.SearchErrors.Inc()
-	} else {
-		obs.SearchPlans.With(plan.Kind.String()).Inc()
+		return res, plan, err
+	}
+	obs.SearchPlans.With(plan.Kind.String()).Inc()
+	c.stats.RecordQuery(req.K, req.Ef, req.NProbe, len(req.Preds) > 0)
+	if len(req.Vectors) == 0 && len(req.Vector) > 0 && c.sampling.Load() {
+		// Offer the served query to the audit reservoir. The sample copy
+		// (vector, predicates, result ids) is built only on admission,
+		// which Algorithm R makes vanishingly rare at volume.
+		c.sampler.Load().MaybeOffer(func() stats.Sample { return makeSample(req, res) })
 	}
 	return res, plan, err
+}
+
+// makeSample deep-copies the parts of a served query the recall
+// auditor needs to replay it: the vector, predicates, k, and the ids
+// the serving path returned.
+func makeSample(req Request, res []Result) stats.Sample {
+	v := make([]float32, len(req.Vector))
+	copy(v, req.Vector)
+	var preds []filter.Predicate
+	if len(req.Preds) > 0 {
+		preds = make([]filter.Predicate, len(req.Preds))
+		copy(preds, req.Preds)
+	}
+	served := make([]int64, len(res))
+	for i, r := range res {
+		served[i] = r.ID
+	}
+	return stats.Sample{Vector: v, K: req.K, Preds: preds, Served: served}
 }
 
 func (c *Collection) search(req Request) ([]Result, planner.Plan, error) {
@@ -707,7 +783,7 @@ func (c *Collection) SearchRange(q []float32, radius float32, preds []filter.Pre
 	start := time.Now()
 	res, err := c.searchRange(q, radius, preds)
 	obs.SearchTotal.Inc()
-	obs.SearchLatency.Observe(time.Since(start).Seconds())
+	c.latency.Observe(time.Since(start).Seconds())
 	if err != nil {
 		obs.SearchErrors.Inc()
 	}
@@ -771,6 +847,19 @@ func convert(rs []topk.Result) []Result {
 	}
 	return out
 }
+
+// Stats returns a point-in-time snapshot of the collection's online
+// statistics joined with the current epoch's row counts.
+func (c *Collection) Stats() stats.Snapshot {
+	s := c.snap.Load()
+	return c.stats.Snapshot(s.rows, s.rows-s.nDel, c.schema.Dim)
+}
+
+// SetStatsEnabled toggles query-shape observation and selectivity/
+// probe recording (the switch the observability overhead benchmark
+// flips). Mutation counters stay on regardless; reservoir sampling is
+// governed separately by EnableAudit.
+func (c *Collection) SetStatsEnabled(on bool) { c.stats.SetEnabled(on) }
 
 // AttributeKinds exposes the attribute schema (used by the public API
 // when wrapping a restored collection). The column set is fixed at

@@ -440,6 +440,7 @@ func (c *Collection) startCheckpointer() {
 // the next recovery replays nothing), and close the log. Idempotent;
 // a nil-WAL (in-memory) collection closes as a no-op.
 func (c *Collection) Close() error {
+	c.DisableAudit() // in-memory collections need this too; idempotent
 	c.mu.Lock()
 	if c.wal == nil || c.closed {
 		c.mu.Unlock()

@@ -30,6 +30,13 @@ import (
 	"vdbms/internal/topk"
 )
 
+// Stage-latency handles for the scatter-gather stages, bound once
+// (see the matching set in internal/executor).
+var (
+	stageFanout = obs.SearchStageSeconds.With("shard_fanout")
+	stageMerge  = obs.SearchStageSeconds.With("topk_merge")
+)
+
 // Shard answers top-k queries over its partition, returning global
 // vector ids. Implementations must honor ctx cancellation: a shard
 // that cannot answer before the deadline returns ctx.Err().
@@ -377,6 +384,7 @@ func (r *Router) searchShards(ctx context.Context, q []float32, k, ef int, subse
 	// shard-side annotations land on the right child.
 	parent := obs.SpanFrom(ctx)
 	fsp := parent.Start("shard_fanout")
+	fanoutStart := time.Now()
 	fsp.Annotate("targeted", int64(len(targets)))
 	spans := make([]*obs.Span, len(targets))
 	type shardOut struct {
@@ -437,7 +445,10 @@ func (r *Router) searchShards(ctx context.Context, q []float32, k, ef int, subse
 	fsp.Annotate("answered", int64(len(p.Answered)))
 	fsp.Annotate("failed", int64(len(p.Failed)))
 	fsp.End()
+	stageFanout.Observe(time.Since(fanoutStart).Seconds())
 	msp := parent.Start("topk_merge")
+	mergeStart := time.Now()
+	defer func() { stageMerge.Observe(time.Since(mergeStart).Seconds()) }()
 	msp.Annotate("candidates", int64(c.Pushes()))
 	sort.Ints(p.Answered)
 	sort.Slice(p.Failed, func(i, j int) bool { return p.Failed[i].Shard < p.Failed[j].Shard })

@@ -9,14 +9,28 @@ package executor
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"vdbms/internal/filter"
 	"vdbms/internal/index"
 	"vdbms/internal/obs"
 	"vdbms/internal/planner"
 	"vdbms/internal/pool"
+	"vdbms/internal/stats"
 	"vdbms/internal/topk"
 	"vdbms/internal/vec"
+)
+
+// Stage-latency handles, bound once so the hot path pays two
+// time.Now calls and one histogram observe per stage — never a map
+// lookup. Together these decompose vdbms_search_latency_seconds into
+// where the time actually goes.
+var (
+	stagePlan       = obs.SearchStageSeconds.With("plan")
+	stageFilter     = obs.SearchStageSeconds.With("filter")
+	stageProbe      = obs.SearchStageSeconds.With("index_probe")
+	stagePostFilter = obs.SearchStageSeconds.With("post_filter")
+	stageRange      = obs.SearchStageSeconds.With("range_scan")
 )
 
 // Env is the execution environment for one collection snapshot. An
@@ -32,6 +46,12 @@ type Env struct {
 	ANN   index.Index      // optional ANN index
 	Flat  *index.Flat      // exact scan fallback (required)
 	Attrs *filter.Table    // optional attribute table
+	// Stats, when non-nil, receives query observations (probe cost,
+	// sampled predicate selectivities) for the owning collection's
+	// online statistics. The owner sets it before publishing the Env;
+	// the stats.Collection itself is concurrency-safe and shared
+	// across epochs. Nil costs one pointer check per site.
+	Stats *stats.Collection
 }
 
 // NewEnv wires an environment, building the Flat index. Canonical vec
@@ -147,9 +167,16 @@ func (e *Env) probe(idx index.Index, q []float32, k int, params index.Params, sp
 	var st index.SearchStats
 	params.Stats = &st
 	sp := span.Start("index_probe")
+	start := time.Now()
 	res, err := idx.Search(q, k, params)
+	stageProbe.Observe(time.Since(start).Seconds())
 	sp.End()
 	name := idx.Name()
+	if e.Stats != nil && idx == e.ANN {
+		// Observed probe cost feeds the adaptive cost model; exact
+		// scans are excluded — their cost is already exactly N.
+		e.Stats.RecordProbe(st.DistanceComps)
+	}
 	sp.Tag("index", name)
 	sp.Annotate("k", int64(k))
 	sp.Annotate("distance_comps", st.DistanceComps)
@@ -198,7 +225,9 @@ func (e *Env) preFilter(q []float32, k int, preds []filter.Predicate, opts Optio
 		return e.indexOrFlat(q, k, opts)
 	}
 	fsp := opts.Span.Start("filter")
+	fstart := time.Now()
 	bm, err := e.Attrs.Bitmap(preds)
+	stageFilter.Observe(time.Since(fstart).Seconds())
 	if err != nil {
 		fsp.End()
 		return nil, err
@@ -243,6 +272,7 @@ func (e *Env) postFilter(q []float32, k int, preds []filter.Predicate, alpha int
 		return cands, nil
 	}
 	psp := opts.Span.Start("post_filter")
+	pstart := time.Now()
 	psp.Annotate("fetched", int64(len(cands)))
 	out := make([]topk.Result, 0, k)
 	for _, r := range cands {
@@ -259,6 +289,7 @@ func (e *Env) postFilter(q []float32, k int, preds []filter.Predicate, alpha int
 		}
 	}
 	psp.Annotate("kept", int64(len(out)))
+	stagePostFilter.Observe(time.Since(pstart).Seconds())
 	psp.End()
 	return out, nil
 }
@@ -284,12 +315,21 @@ func (e *Env) indexOrFlat(q []float32, k int, opts Options) ([]topk.Result, erro
 }
 
 // Plan chooses an execution plan for a (k, preds) query shape under
-// the given selection policy ("", "cost", "rule", or a planner.Profile
-// name) without executing anything. Search composes Plan and Execute;
-// batch callers plan once here and reuse the plan for every query in
-// the batch. span, when non-nil, receives the "plan" stage span.
+// the given selection policy ("", "cost", "rule", "adaptive", or a
+// planner.Profile name) without executing anything. Search composes
+// Plan and Execute; batch callers plan once here and reuse the plan
+// for every query in the batch. span, when non-nil, receives the
+// "plan" stage span.
+//
+// The "adaptive" policy is cost-based selection over an environment
+// refined with the collection's online statistics (observed ANN probe
+// cost, per-column selectivity priors — planner.AdaptiveEnv); with no
+// Stats attached it degrades to plain cost-based selection. Sampled
+// selectivities are recorded into Stats under every referenced column
+// regardless of policy, so the histograms fill from live traffic.
 func (e *Env) Plan(k int, preds []filter.Predicate, policy string, span *obs.Span) (planner.Plan, error) {
 	psp := span.Start("plan")
+	start := time.Now()
 	env := planner.Env{
 		N: e.N, K: k, HasIndex: e.ANN != nil, Selectivity: 1,
 	}
@@ -301,6 +341,11 @@ func (e *Env) Plan(k int, preds []filter.Predicate, policy string, span *obs.Spa
 		}
 		env.Selectivity = sel
 		psp.Annotate("selectivity_ppm", int64(sel*1e6))
+		if e.Stats != nil {
+			for _, p := range preds {
+				e.Stats.RecordSelectivity(p.Column, sel)
+			}
+		}
 	}
 	var plan planner.Plan
 	switch policy {
@@ -308,6 +353,8 @@ func (e *Env) Plan(k int, preds []filter.Predicate, policy string, span *obs.Spa
 		plan = planner.CostBased(env)
 	case "rule":
 		plan = planner.RuleBased(env)
+	case "adaptive":
+		plan = planner.CostBased(planner.AdaptiveEnv(env, e.observed(preds)))
 	default:
 		p, err := planner.Profile(policy).Select(env)
 		if err != nil {
@@ -317,8 +364,30 @@ func (e *Env) Plan(k int, preds []filter.Predicate, policy string, span *obs.Spa
 		plan = p
 	}
 	psp.Tag("plan", plan.Kind.String())
+	stagePlan.Observe(time.Since(start).Seconds())
 	psp.End()
 	return plan, nil
+}
+
+// observed assembles the planner's measured statistics from the
+// collection's stats tracker (zero-valued when none is attached —
+// AdaptiveEnv then changes nothing).
+func (e *Env) observed(preds []filter.Predicate) planner.Observed {
+	if e.Stats == nil {
+		return planner.Observed{}
+	}
+	var o planner.Observed
+	o.MeanProbeComps, o.ProbeCount = e.Stats.MeanProbeComps()
+	if len(preds) > 0 {
+		cols := make([]string, len(preds))
+		for i, p := range preds {
+			cols[i] = p.Column
+		}
+		if mean, n, ok := e.Stats.SelectivityPrior(cols); ok {
+			o.MeanSelectivity, o.SelObservations = mean, n
+		}
+	}
+	return o
 }
 
 // Search plans and executes in one step using the given selection
@@ -378,11 +447,33 @@ func (e *Env) SearchRange(q []float32, radius float32, preds []filter.Predicate,
 	var st index.SearchStats
 	params.Stats = &st
 	sp := opts.Span.Start("range_scan")
+	start := time.Now()
 	res, err := e.Flat.SearchRange(q, radius, params)
+	stageRange.Observe(time.Since(start).Seconds())
 	sp.Annotate("distance_comps", st.DistanceComps)
 	sp.Annotate("hits", int64(len(res)))
 	sp.End()
 	obs.IndexProbes.With("flat").Inc()
 	obs.IndexDistanceComps.With("flat").Add(st.DistanceComps)
 	return res, err
+}
+
+// ExactGroundTruth answers a (k, preds) query with the exhaustive
+// exact scan, bypassing plan selection AND the serving-path metrics:
+// no probe counters, no stage histograms, no stats observations. The
+// recall auditor uses it to compute ground truth on a pinned snapshot
+// without the audit inflating the very serving statistics it is
+// meant to validate. exclude mirrors Options.Exclude (deletion mask).
+func (e *Env) ExactGroundTruth(q []float32, k int, preds []filter.Predicate, exclude func(id int64) bool) ([]topk.Result, error) {
+	params := Options{Exclude: exclude}.params()
+	if len(preds) > 0 {
+		if e.Attrs == nil {
+			return nil, fmt.Errorf("executor: predicates given but no attribute table")
+		}
+		if err := e.Attrs.Validate(preds); err != nil {
+			return nil, err
+		}
+		params = withPred(params, e.Attrs.FilterFunc(preds))
+	}
+	return e.Flat.Search(q, k, params)
 }

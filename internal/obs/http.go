@@ -21,10 +21,23 @@ func MetricsHandler(reg *Registry) http.Handler {
 // StatsHandler serves a JSON snapshot of reg plus process runtime
 // stats (GET /debug/stats).
 func StatsHandler(reg *Registry) http.Handler {
+	return StatsHandlerExtras(reg, nil)
+}
+
+// StatsHandlerExtras is StatsHandler with caller-supplied sections
+// merged into the body at request time — the server uses it to fold
+// per-collection online statistics into /debug/stats without obs
+// knowing about collections.
+func StatsHandlerExtras(reg *Registry, extras func() map[string]any) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
 		var mem runtime.MemStats
 		runtime.ReadMemStats(&mem)
 		body := reg.Snapshot()
+		if extras != nil {
+			for k, v := range extras() {
+				body[k] = v
+			}
+		}
 		body["runtime"] = map[string]any{
 			"goroutines":     runtime.NumGoroutine(),
 			"heap_alloc":     mem.HeapAlloc,

@@ -5,10 +5,31 @@ package obs
 // subsystems import the handle rather than re-registering by name.
 var (
 	// Search path (internal/core via the public Collection API).
+	// Latency is labeled by collection so regressions are attributable
+	// to the workload that causes them (same pattern as
+	// DistShardLatency); unlabeled sums come from aggregating in the
+	// scraper.
 	SearchTotal   = Default().NewCounter("vdbms_search_total", "Completed Collection.Search calls.")
 	SearchErrors  = Default().NewCounter("vdbms_search_errors_total", "Collection.Search calls that returned an error.")
-	SearchLatency = Default().NewHistogram("vdbms_search_latency_seconds", "End-to-end Collection.Search latency.", nil)
+	SearchLatency = Default().NewHistogramVec("vdbms_search_latency_seconds", "End-to-end Collection.Search latency by collection.", "collection", nil)
 	SearchPlans   = Default().NewCounterVec("vdbms_search_plan_total", "Searches by executed plan.", "plan")
+
+	// Stage-level latency decomposition (internal/executor,
+	// internal/core, internal/dist): where each millisecond of a query
+	// goes, independent of tracing. Stages: plan, filter, index_probe,
+	// post_filter, range_scan, topk_merge, shard_fanout,
+	// wal_commit_wait.
+	SearchStageSeconds = Default().NewHistogramVec("vdbms_search_stage_seconds", "Query latency decomposed by pipeline stage.", "stage", nil)
+
+	// Online recall auditing (internal/core + internal/stats): a
+	// reservoir of live queries is periodically replayed against an
+	// exact scan on a pinned snapshot; the gauge is the latest audited
+	// recall@k per collection, the operational answer to "what recall
+	// are we actually serving".
+	RecallObserved     = Default().NewGaugeVec("vdbms_recall_observed", "Observed recall@k from the most recent audit, by collection.", "collection")
+	RecallAudits       = Default().NewCounterVec("vdbms_recall_audit_total", "Recall audit passes by outcome (ok, regression, empty).", "outcome")
+	RecallAuditSamples = Default().NewCounter("vdbms_recall_audit_samples_total", "Reservoir samples replayed by recall audits.")
+	RecallAuditSeconds = Default().NewHistogram("vdbms_recall_audit_seconds", "Wall-clock duration of recall audit passes.", BuildBuckets)
 
 	// Background index builds (internal/core). The state gauge is 1
 	// while a collection's builder goroutine is running, 0 otherwise;
@@ -84,5 +105,8 @@ func init() {
 	// zero instead of the series appearing only after the first trip.
 	for _, to := range []string{"closed", "open", "half-open"} {
 		BreakerTransitions.With(to)
+	}
+	for _, outcome := range []string{"ok", "regression", "empty"} {
+		RecallAudits.With(outcome)
 	}
 }

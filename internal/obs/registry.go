@@ -128,6 +128,56 @@ func (h *Histogram) Buckets() ([]float64, []int64) {
 	return h.bounds, out
 }
 
+// Quantile estimates the q-quantile (q in [0,1]) by linear
+// interpolation inside the bucket holding the target rank — the same
+// estimate Prometheus's histogram_quantile computes server-side. The
+// first bucket interpolates from 0; ranks landing in the +Inf bucket
+// return the largest finite bound (the estimate cannot exceed the
+// histogram's range). Returns NaN on an empty histogram or q outside
+// [0,1].
+func (h *Histogram) Quantile(q float64) float64 {
+	if q < 0 || q > 1 {
+		return math.NaN()
+	}
+	_, counts := h.Buckets()
+	var total int64
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 {
+		return math.NaN()
+	}
+	rank := q * float64(total)
+	cum := int64(0)
+	for i, c := range counts {
+		if c == 0 {
+			continue
+		}
+		if float64(cum+c) >= rank {
+			if i == len(h.bounds) {
+				// +Inf bucket: clamp to the largest finite edge.
+				if len(h.bounds) == 0 {
+					return math.NaN()
+				}
+				return h.bounds[len(h.bounds)-1]
+			}
+			lo := 0.0
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			hi := h.bounds[i]
+			frac := (rank - float64(cum)) / float64(c)
+			if frac < 0 {
+				frac = 0
+			}
+			return lo + (hi-lo)*frac
+		}
+		cum += c
+	}
+	// Unreachable: the loop always crosses rank <= total.
+	return h.bounds[len(h.bounds)-1]
+}
+
 type metricKind int
 
 const (
@@ -478,11 +528,19 @@ func (r *Registry) Snapshot() map[string]any {
 				buckets[formatFloat(b)] = cum
 			}
 			buckets["+Inf"] = cum + counts[len(bounds)]
-			hists[key] = map[string]any{
+			hv := map[string]any{
 				"count":   e.h.Count(),
 				"sum":     e.h.Sum(),
 				"buckets": buckets,
 			}
+			// Interpolated quantiles so /debug/stats answers "what's
+			// p99" without a Prometheus server doing the bucket math.
+			if e.h.Count() > 0 {
+				hv["p50"] = e.h.Quantile(0.50)
+				hv["p95"] = e.h.Quantile(0.95)
+				hv["p99"] = e.h.Quantile(0.99)
+			}
+			hists[key] = hv
 		}
 	}
 	return map[string]any{

@@ -1,0 +1,102 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// SlowLogEntry is one retained slow-query exemplar: identifying
+// context plus the full span tree of the query, kept as an opaque
+// JSON-marshalable value so both the single-node and distributed
+// servers can store their own trace shapes.
+type SlowLogEntry struct {
+	Collection    string    `json:"collection"`
+	K             int       `json:"k,omitempty"`
+	DurationNanos int64     `json:"duration_ns"`
+	When          time.Time `json:"when"`
+	Trace         any       `json:"trace,omitempty"`
+}
+
+// SlowLog retains the span trees of the slowest N queries seen so
+// far — bounded exemplar storage for /debug/slowlog. Offers are
+// mutex-guarded, which is fine because only traced queries reach it
+// (tracing is opt-in per request or forced by the slow-query log),
+// and an offer below the current floor returns after one comparison.
+type SlowLog struct {
+	capacity int
+	mu       sync.Mutex
+	entries  []SlowLogEntry // sorted by DurationNanos descending
+}
+
+// NewSlowLog creates a log retaining the slowest capacity queries
+// (16 when capacity <= 0).
+func NewSlowLog(capacity int) *SlowLog {
+	if capacity <= 0 {
+		capacity = 16
+	}
+	return &SlowLog{capacity: capacity}
+}
+
+var defaultSlowLog = NewSlowLog(0)
+
+// DefaultSlowLog returns the process-wide slow-query exemplar log
+// both server binaries feed and expose.
+func DefaultSlowLog() *SlowLog { return defaultSlowLog }
+
+// Offer inserts the entry if it ranks among the slowest capacity
+// queries retained so far, evicting the fastest retained entry.
+func (l *SlowLog) Offer(e SlowLogEntry) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.entries) >= l.capacity && e.DurationNanos <= l.entries[len(l.entries)-1].DurationNanos {
+		return
+	}
+	i := sort.Search(len(l.entries), func(i int) bool {
+		return l.entries[i].DurationNanos < e.DurationNanos
+	})
+	l.entries = append(l.entries, SlowLogEntry{})
+	copy(l.entries[i+1:], l.entries[i:])
+	l.entries[i] = e
+	if len(l.entries) > l.capacity {
+		l.entries = l.entries[:l.capacity]
+	}
+}
+
+// Entries returns the retained exemplars, slowest first.
+func (l *SlowLog) Entries() []SlowLogEntry {
+	l.mu.Lock()
+	out := make([]SlowLogEntry, len(l.entries))
+	copy(out, l.entries)
+	l.mu.Unlock()
+	return out
+}
+
+// Len returns the number of retained exemplars.
+func (l *SlowLog) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.entries)
+}
+
+// Reset drops every retained exemplar (tests).
+func (l *SlowLog) Reset() {
+	l.mu.Lock()
+	l.entries = nil
+	l.mu.Unlock()
+}
+
+// SlowLogHandler serves the retained exemplars as JSON
+// (GET /debug/slowlog).
+func SlowLogHandler(l *SlowLog) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(map[string]any{"slowest": l.Entries()}); err != nil {
+			HTTPEncodeErrors.Inc()
+		}
+	})
+}

@@ -1,0 +1,117 @@
+package obs
+
+import (
+	"encoding/json"
+	"math"
+	"net/http/httptest"
+	"testing"
+)
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewRegistry().NewHistogram("q", "", []float64{1, 2, 4})
+	if !math.IsNaN(h.Quantile(0.5)) {
+		t.Fatal("empty histogram quantile should be NaN")
+	}
+	// 10 observations in (1,2], 10 in (2,4].
+	for i := 0; i < 10; i++ {
+		h.Observe(1.5)
+		h.Observe(3)
+	}
+	// p50: rank 10 falls at the top of the (1,2] bucket.
+	if got := h.Quantile(0.5); got != 2 {
+		t.Fatalf("p50 = %v, want 2", got)
+	}
+	// p75: rank 15, halfway through the (2,4] bucket -> 3.
+	if got := h.Quantile(0.75); got != 3 {
+		t.Fatalf("p75 = %v, want 3", got)
+	}
+	// p100 is the top edge; quantiles in the first bucket interpolate
+	// from zero.
+	if got := h.Quantile(1); got != 4 {
+		t.Fatalf("p100 = %v, want 4", got)
+	}
+	h.Observe(0.5) // first bucket
+	if got := h.Quantile(0.02); got <= 0 || got > 1 {
+		t.Fatalf("low quantile = %v, want in (0,1]", got)
+	}
+	if !math.IsNaN(h.Quantile(-0.1)) || !math.IsNaN(h.Quantile(1.1)) {
+		t.Fatal("out-of-range q should be NaN")
+	}
+}
+
+func TestHistogramQuantileInfBucketClamps(t *testing.T) {
+	h := NewRegistry().NewHistogram("q", "", []float64{1, 2})
+	h.Observe(50) // lands in +Inf
+	if got := h.Quantile(0.99); got != 2 {
+		t.Fatalf("quantile in +Inf bucket = %v, want clamp to 2", got)
+	}
+}
+
+func TestSnapshotRendersQuantiles(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.NewHistogram("lat", "", []float64{1, 2, 4})
+	for i := 0; i < 100; i++ {
+		h.Observe(1.5)
+	}
+	hists := reg.Snapshot()["histograms"].(map[string]map[string]any)
+	m := hists["lat"]
+	for _, q := range []string{"p50", "p95", "p99"} {
+		v, ok := m[q].(float64)
+		if !ok || v <= 1 || v > 2 {
+			t.Fatalf("%s = %v, want in (1,2]", q, m[q])
+		}
+	}
+}
+
+func TestSlowLogBoundedAndSorted(t *testing.T) {
+	l := NewSlowLog(3)
+	for _, d := range []int64{50, 10, 90, 30, 70} {
+		l.Offer(SlowLogEntry{Collection: "c", DurationNanos: d})
+	}
+	entries := l.Entries()
+	if len(entries) != 3 {
+		t.Fatalf("retained %d entries, want 3", len(entries))
+	}
+	want := []int64{90, 70, 50}
+	for i, e := range entries {
+		if e.DurationNanos != want[i] {
+			t.Fatalf("entry %d duration = %d, want %d (slowest first)", i, e.DurationNanos, want[i])
+		}
+	}
+	// An offer below the retained floor is rejected.
+	l.Offer(SlowLogEntry{DurationNanos: 5})
+	if got := l.Entries(); got[len(got)-1].DurationNanos != 50 {
+		t.Fatalf("floor entry = %d, want 50", got[len(got)-1].DurationNanos)
+	}
+	l.Reset()
+	if l.Len() != 0 {
+		t.Fatalf("reset left %d entries", l.Len())
+	}
+}
+
+func TestSlowLogHandler(t *testing.T) {
+	l := NewSlowLog(4)
+	l.Offer(SlowLogEntry{
+		Collection:    "c",
+		K:             5,
+		DurationNanos: 123,
+		Trace:         map[string]any{"stage": "search"},
+	})
+	rec := httptest.NewRecorder()
+	SlowLogHandler(l).ServeHTTP(rec, httptest.NewRequest("GET", "/debug/slowlog", nil))
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	var body struct {
+		Slowest []SlowLogEntry `json:"slowest"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatal(err)
+	}
+	if len(body.Slowest) != 1 || body.Slowest[0].Collection != "c" || body.Slowest[0].DurationNanos != 123 {
+		t.Fatalf("body = %+v", body.Slowest)
+	}
+	if body.Slowest[0].Trace == nil {
+		t.Fatal("trace dropped from slowlog entry")
+	}
+}

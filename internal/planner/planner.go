@@ -219,6 +219,63 @@ func CostBased(e Env) Plan {
 	return best
 }
 
+// Observed carries statistics measured online by the stats layer
+// (internal/stats): the real probe cost and predicate selectivities
+// of the workload actually being served, as opposed to the static
+// heuristics Env falls back to. It is the planner-side half of the
+// ROADMAP's adaptive query optimization: the "adaptive" policy
+// refines its cost model with these before selecting a plan.
+type Observed struct {
+	// MeanProbeComps is the mean full-vector distance computations per
+	// ANN index probe, measured across served queries. Zero means "no
+	// probes observed yet".
+	MeanProbeComps float64
+	// ProbeCount is how many probes the mean is over.
+	ProbeCount int64
+	// MeanSelectivity is the mean observed selectivity for the query's
+	// predicate columns (a coarse per-column prior). Valid only when
+	// SelObservations > 0.
+	MeanSelectivity float64
+	// SelObservations is the smallest per-column observation count
+	// backing MeanSelectivity.
+	SelObservations int64
+}
+
+// Minimum observation counts before AdaptiveEnv trusts a measured
+// statistic over the static heuristic. Below these the sample is too
+// noisy to beat a defensible default.
+const (
+	MinProbeObservations = 16
+	MinSelObservations   = 32
+)
+
+// AdaptiveEnv refines e with measured statistics: the observed probe
+// cost replaces the sqrt(N) IndexComps heuristic once enough probes
+// back it, and the observed selectivity prior is blended 50/50 with
+// the per-query sampled estimate once enough observations back it
+// (the sampled estimate stays in the mix because the prior conflates
+// different predicate values on the same column). Cost-based
+// selection over the refined env is the "adaptive" policy.
+func AdaptiveEnv(e Env, o Observed) Env {
+	if o.ProbeCount >= MinProbeObservations && o.MeanProbeComps > 0 {
+		e.IndexComps = o.MeanProbeComps
+	}
+	if o.SelObservations >= MinSelObservations {
+		e.Selectivity = (e.Selectivity + clamp01(o.MeanSelectivity)) / 2
+	}
+	return e
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
 func sqrt(x float64) float64 {
 	if x <= 0 {
 		return 0

@@ -1,6 +1,9 @@
 package planner
 
-import "testing"
+import (
+	"math"
+	"testing"
+)
 
 func TestEnumerate(t *testing.T) {
 	if got := Enumerate(false, 0); len(got) != 1 || got[0].Kind != BruteForce {
@@ -140,5 +143,44 @@ func TestProfiles(t *testing.T) {
 	}
 	if _, err := Profile("bogus").Select(e); err == nil {
 		t.Fatal("want unknown-profile error")
+	}
+}
+
+func TestAdaptiveEnv(t *testing.T) {
+	base := Env{N: 100000, K: 10, HasIndex: true, Selectivity: 0.4, IndexComps: 5000}
+
+	// Too few observations: the env is untouched.
+	e := AdaptiveEnv(base, Observed{
+		MeanProbeComps: 900, ProbeCount: MinProbeObservations - 1,
+		MeanSelectivity: 0.9, SelObservations: MinSelObservations - 1,
+	})
+	if e != base {
+		t.Fatalf("under-observed env changed: %+v", e)
+	}
+
+	// Enough probes: the measured cost replaces the heuristic. Enough
+	// selectivity observations: the prior blends 50/50 with the sample.
+	e = AdaptiveEnv(base, Observed{
+		MeanProbeComps: 900, ProbeCount: MinProbeObservations,
+		MeanSelectivity: 0.8, SelObservations: MinSelObservations,
+	})
+	if e.IndexComps != 900 {
+		t.Fatalf("IndexComps = %v, want 900", e.IndexComps)
+	}
+	if want := (0.4 + 0.8) / 2; math.Abs(e.Selectivity-want) > 1e-12 {
+		t.Fatalf("Selectivity = %v, want %v", e.Selectivity, want)
+	}
+
+	// An out-of-range observed selectivity clamps before blending, and
+	// a zero mean probe cost never wipes the heuristic.
+	e = AdaptiveEnv(base, Observed{
+		MeanProbeComps: 0, ProbeCount: 1000,
+		MeanSelectivity: 3, SelObservations: MinSelObservations,
+	})
+	if e.IndexComps != base.IndexComps {
+		t.Fatalf("zero probe cost overwrote IndexComps: %v", e.IndexComps)
+	}
+	if want := (0.4 + 1.0) / 2; e.Selectivity != want {
+		t.Fatalf("clamped blend = %v, want %v", e.Selectivity, want)
 	}
 }

@@ -71,7 +71,7 @@ func searchServer(t *testing.T) (*Server, *dataset.Dataset) {
 func TestMetricsEndpointAfterSearch(t *testing.T) {
 	srv, ds := searchServer(t)
 	before, _ := scrapeMetric(t, srv, "vdbms_search_total")
-	countBefore, _ := scrapeMetric(t, srv, "vdbms_search_latency_seconds_count")
+	countBefore, _ := scrapeMetric(t, srv, `vdbms_search_latency_seconds_count{collection="c"}`)
 
 	for i := 0; i < 3; i++ {
 		rec, _ := doJSON(t, srv, "POST", "/collections/c/search", SearchBody{Vector: ds.Row(i), K: 5})
@@ -87,11 +87,11 @@ func TestMetricsEndpointAfterSearch(t *testing.T) {
 	}
 	// Histogram invariants: _count advanced with the searches and the
 	// +Inf bucket equals _count (every observation lands somewhere).
-	count, ok := scrapeMetric(t, srv, "vdbms_search_latency_seconds_count")
+	count, ok := scrapeMetric(t, srv, `vdbms_search_latency_seconds_count{collection="c"}`)
 	if !ok || count != countBefore+3 {
 		t.Fatalf("latency _count = %v (before %v), want +3", count, countBefore)
 	}
-	inf, ok := scrapeMetric(t, srv, `vdbms_search_latency_seconds_bucket{le="+Inf"}`)
+	inf, ok := scrapeMetric(t, srv, `vdbms_search_latency_seconds_bucket{collection="c",le="+Inf"}`)
 	if !ok || inf != count {
 		t.Fatalf("+Inf bucket = %v, want _count %v", inf, count)
 	}

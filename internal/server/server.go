@@ -74,9 +74,25 @@ func New(db *vdbms.DB, opts ...Option) *Server {
 	s.mux.HandleFunc("/collections/", s.handleCollection)
 	s.mux.HandleFunc("/query", s.handleQuery)
 	s.mux.Handle("/metrics", obs.MetricsHandler(obs.Default()))
-	s.mux.Handle("/debug/stats", obs.StatsHandler(obs.Default()))
+	s.mux.Handle("/debug/stats", obs.StatsHandlerExtras(obs.Default(), s.collectionStats))
+	s.mux.Handle("/debug/slowlog", obs.SlowLogHandler(obs.DefaultSlowLog()))
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	return s
+}
+
+// collectionStats assembles the per-collection online statistics
+// section of /debug/stats (row churn, query shapes, selectivity,
+// probe cost — see DESIGN.md §11).
+func (s *Server) collectionStats() map[string]any {
+	cols := map[string]any{}
+	for _, name := range s.db.Collections() {
+		col, err := s.db.Collection(name)
+		if err != nil {
+			continue
+		}
+		cols[name] = col.Stats()
+	}
+	return map[string]any{"collections": cols}
 }
 
 // handleHealthz reports liveness plus index build state: one line per
@@ -229,6 +245,7 @@ func (s *Server) handleCollection(w http.ResponseWriter, r *http.Request) {
 				"index": kind, "index_covered": covered, "index_dirty": dirty,
 				"index_building": building,
 				"durable":        durable, "wal_lsn": lastLSN, "checkpoint_lsn": ckptLSN,
+				"stats": col.Stats(),
 			})
 		default:
 			writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed", r.Method))
@@ -298,6 +315,17 @@ func (s *Server) handleCollection(w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			writeErr(w, searchErrStatus(err), err)
 			return
+		}
+		if res.Trace != nil {
+			// Traced queries compete for a slot among the slowest
+			// exemplars retained for /debug/slowlog.
+			obs.DefaultSlowLog().Offer(obs.SlowLogEntry{
+				Collection:    name,
+				K:             req.K,
+				DurationNanos: elapsed.Nanoseconds(),
+				When:          start,
+				Trace:         res.Trace,
+			})
 		}
 		if s.slowQuery > 0 && elapsed >= s.slowQuery {
 			obs.SlowQueries.Inc()

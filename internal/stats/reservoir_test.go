@@ -1,0 +1,121 @@
+package stats
+
+import (
+	"math/rand/v2"
+	"sync"
+	"testing"
+)
+
+func TestReservoirFillsToCapacity(t *testing.T) {
+	r := NewReservoir(8)
+	for i := 0; i < 8; i++ {
+		r.Offer(Sample{K: i})
+	}
+	if r.Len() != 8 || r.Seen() != 8 {
+		t.Fatalf("len=%d seen=%d, want 8/8", r.Len(), r.Seen())
+	}
+	// Below capacity every offer is retained in order.
+	for i, s := range r.Snapshot() {
+		if s.K != i {
+			t.Fatalf("slot %d holds K=%d", i, s.K)
+		}
+	}
+	r.Offer(Sample{K: 99})
+	if r.Len() != 8 {
+		t.Fatalf("len grew past capacity: %d", r.Len())
+	}
+	r.Reset()
+	if r.Len() != 0 || r.Seen() != 0 {
+		t.Fatalf("reset left len=%d seen=%d", r.Len(), r.Seen())
+	}
+}
+
+func TestMaybeOfferSkipsRejectedCopies(t *testing.T) {
+	// Inject a random source that always rejects once the reservoir is
+	// full: mk must not run for rejected offers.
+	r := NewReservoirRand(2, func(n int64) int64 { return n - 1 })
+	calls := 0
+	for i := 0; i < 10; i++ {
+		r.MaybeOffer(func() Sample { calls++; return Sample{} })
+	}
+	if calls != 2 {
+		t.Fatalf("mk ran %d times, want 2 (only admitted offers pay the copy)", calls)
+	}
+}
+
+// TestReservoirUniformInclusion checks Algorithm R's defining
+// property: after a stream of N offers through a capacity-C
+// reservoir, every stream position is retained with probability C/N.
+// Aggregating retained positions into deciles over many seeded trials
+// and chi-squared-testing against the uniform expectation catches
+// both biased admission and biased eviction.
+func TestReservoirUniformInclusion(t *testing.T) {
+	const (
+		capacity = 50
+		stream   = 2000
+		trials   = 200
+		buckets  = 10
+	)
+	counts := make([]int64, buckets)
+	for trial := 0; trial < trials; trial++ {
+		rng := rand.New(rand.NewPCG(42, uint64(trial)))
+		r := NewReservoirRand(capacity, rng.Int64N)
+		for i := 0; i < stream; i++ {
+			r.Offer(Sample{K: i})
+		}
+		for _, s := range r.Snapshot() {
+			counts[s.K*buckets/stream]++
+		}
+	}
+	expected := float64(capacity*trials) / buckets
+	var chi2 float64
+	for _, c := range counts {
+		d := float64(c) - expected
+		chi2 += d * d / expected
+	}
+	// 9 degrees of freedom; p=0.001 critical value 27.88. A uniform
+	// sampler fails this with probability 0.1% per seed — and the seeds
+	// are fixed, so the test is deterministic.
+	if chi2 > 27.88 {
+		t.Fatalf("chi-squared = %.2f > 27.88: inclusion not uniform (decile counts %v, expected %.0f each)",
+			chi2, counts, expected)
+	}
+}
+
+// TestReservoirConcurrentOfferSnapshot stresses concurrent offers,
+// snapshots, and resets; meaningful under -race.
+func TestReservoirConcurrentOfferSnapshot(t *testing.T) {
+	r := NewReservoir(32)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				r.Offer(Sample{K: g*2000 + i, Vector: []float32{float32(i)}})
+			}
+		}(g)
+	}
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				for _, s := range r.Snapshot() {
+					if len(s.Vector) != 1 {
+						t.Error("torn sample in snapshot")
+						return
+					}
+				}
+				_ = r.Len()
+			}
+		}()
+	}
+	wg.Wait()
+	if r.Seen() != 16000 {
+		t.Fatalf("seen = %d, want 16000", r.Seen())
+	}
+	if r.Len() != 32 {
+		t.Fatalf("len = %d, want 32", r.Len())
+	}
+}

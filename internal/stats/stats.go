@@ -1,0 +1,429 @@
+// Package stats maintains per-collection online statistics: row
+// counts and churn rates, query-shape distributions (k, ef, nprobe,
+// filter presence), per-attribute filter selectivity histograms fed by
+// sampled query observations, and observed ANN probe cost. It is the
+// measurement substrate of the survey's §2.4 argument that plan
+// enumeration is only as good as the statistics behind it: the
+// adaptive planner (planner.AdaptiveEnv, the "adaptive" policy)
+// consumes these observations in place of static heuristics, and the
+// recall auditor (internal/core) replays the query reservoir
+// (reservoir.go) to measure recall actually served.
+//
+// Hot-path constraint: recording an observation is a handful of atomic
+// adds, mirroring internal/obs — a query must never take a contended
+// lock to be counted. The only mutexes guard the per-column
+// selectivity map (read-locked after first use) and the churn-rate
+// ring (mutation-path only, far off the search hot path).
+package stats
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Dist is a fixed-bucket distribution over small non-negative integer
+// observations (k, ef, nprobe). Bounds are inclusive upper edges;
+// observations above the last edge land in the implicit overflow
+// bucket. Observe is two atomic adds.
+type Dist struct {
+	bounds []int64
+	counts []atomic.Int64 // len(bounds)+1, last is overflow
+	total  atomic.Int64
+	sum    atomic.Int64
+}
+
+// ShapeBounds are the default bucket edges for query-shape
+// distributions, covering the practical k/ef/nprobe range.
+var ShapeBounds = []int64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}
+
+// NewDist creates a distribution with the given inclusive upper
+// edges (ShapeBounds when nil). Edges must be ascending.
+func NewDist(bounds []int64) *Dist {
+	if bounds == nil {
+		bounds = ShapeBounds
+	}
+	bs := make([]int64, len(bounds))
+	copy(bs, bounds)
+	return &Dist{bounds: bs, counts: make([]atomic.Int64, len(bs)+1)}
+}
+
+// Observe records one value.
+func (d *Dist) Observe(v int64) {
+	i := 0
+	for i < len(d.bounds) && v > d.bounds[i] {
+		i++
+	}
+	d.counts[i].Add(1)
+	d.total.Add(1)
+	d.sum.Add(v)
+}
+
+// Count returns the number of observations.
+func (d *Dist) Count() int64 { return d.total.Load() }
+
+// DistSnapshot is the JSON-friendly view of a Dist.
+type DistSnapshot struct {
+	Count   int64           `json:"count"`
+	Mean    float64         `json:"mean"`
+	Buckets map[int64]int64 `json:"buckets,omitempty"` // upper edge -> count; -1 is overflow
+}
+
+// Snapshot materializes the distribution. Zero-count buckets are
+// omitted to keep /debug/stats readable.
+func (d *Dist) Snapshot() DistSnapshot {
+	out := DistSnapshot{Buckets: map[int64]int64{}}
+	out.Count = d.total.Load()
+	if out.Count > 0 {
+		out.Mean = float64(d.sum.Load()) / float64(out.Count)
+	}
+	for i := range d.counts {
+		c := d.counts[i].Load()
+		if c == 0 {
+			continue
+		}
+		edge := int64(-1) // overflow
+		if i < len(d.bounds) {
+			edge = d.bounds[i]
+		}
+		out.Buckets[edge] = c
+	}
+	return out
+}
+
+// selBuckets is the resolution of selectivity histograms: 20 uniform
+// buckets over [0,1].
+const selBuckets = 20
+
+// SelHist is a histogram of observed predicate selectivities in [0,1]
+// for one attribute column.
+type SelHist struct {
+	counts [selBuckets]atomic.Int64
+	total  atomic.Int64
+	sum    atomic.Uint64 // float64 bits of the running sum
+}
+
+// Observe records one selectivity observation (clamped to [0,1]).
+func (h *SelHist) Observe(sel float64) {
+	if sel < 0 {
+		sel = 0
+	}
+	if sel > 1 {
+		sel = 1
+	}
+	i := int(sel * selBuckets)
+	if i >= selBuckets {
+		i = selBuckets - 1
+	}
+	h.counts[i].Add(1)
+	h.total.Add(1)
+	for {
+		old := h.sum.Load()
+		nv := math.Float64frombits(old) + sel
+		if h.sum.CompareAndSwap(old, math.Float64bits(nv)) {
+			break
+		}
+	}
+}
+
+// Mean returns the mean observed selectivity and the observation
+// count (0, 0 when empty).
+func (h *SelHist) Mean() (float64, int64) {
+	n := h.total.Load()
+	if n == 0 {
+		return 0, 0
+	}
+	return math.Float64frombits(h.sum.Load()) / float64(n), n
+}
+
+// SelSnapshot is the JSON-friendly view of a SelHist. Buckets[i]
+// counts observations in [i/20, (i+1)/20).
+type SelSnapshot struct {
+	Count   int64   `json:"count"`
+	Mean    float64 `json:"mean"`
+	Buckets []int64 `json:"buckets"`
+}
+
+// Snapshot materializes the histogram.
+func (h *SelHist) Snapshot() SelSnapshot {
+	mean, n := h.Mean()
+	out := SelSnapshot{Count: n, Mean: mean, Buckets: make([]int64, selBuckets)}
+	for i := range h.counts {
+		out.Buckets[i] = h.counts[i].Load()
+	}
+	return out
+}
+
+// rateWindow is the churn-rate horizon: events are counted in
+// rateSlots buckets of rateSlotDur each, and Rate.PerSecond averages
+// over however much of the window has data.
+const (
+	rateSlotDur = 10 * time.Second
+	rateSlots   = 6
+)
+
+// Rate tracks a windowed event rate (events/second over the last
+// minute). Mark sits on the mutation path, not the search hot path,
+// so a short mutex is fine; now is injectable for tests.
+type Rate struct {
+	mu    sync.Mutex
+	slots [rateSlots]int64
+	epoch [rateSlots]int64 // slot index (unix/rateSlotDur) the count belongs to
+	now   func() time.Time
+}
+
+// NewRate returns a rate tracker using the real clock.
+func NewRate() *Rate { return &Rate{now: time.Now} }
+
+// NewRateClock returns a rate tracker on an injected clock (tests).
+func NewRateClock(now func() time.Time) *Rate { return &Rate{now: now} }
+
+// Mark records n events now.
+func (r *Rate) Mark(n int64) {
+	e := r.now().Unix() / int64(rateSlotDur/time.Second)
+	i := int(e % rateSlots)
+	r.mu.Lock()
+	if r.epoch[i] != e {
+		r.epoch[i], r.slots[i] = e, 0
+	}
+	r.slots[i] += n
+	r.mu.Unlock()
+}
+
+// PerSecond returns the event rate over the trailing window.
+func (r *Rate) PerSecond() float64 {
+	e := r.now().Unix() / int64(rateSlotDur/time.Second)
+	var total int64
+	r.mu.Lock()
+	for i := range r.slots {
+		if e-r.epoch[i] < rateSlots {
+			total += r.slots[i]
+		}
+	}
+	r.mu.Unlock()
+	return float64(total) / (rateSlots * rateSlotDur).Seconds()
+}
+
+// Collection tracks online statistics for one collection. All record
+// methods are safe for concurrent use; the query-side ones are a few
+// atomic adds. Enabled gates query-shape recording and reservoir
+// sampling (the toggle the observability overhead benchmark flips);
+// the mutation counters stay on regardless because they cost nothing
+// and recovery/tests rely on them.
+type Collection struct {
+	name    string
+	enabled atomic.Bool
+
+	inserts, updates, deletes atomic.Int64
+	insertRate, updateRate    *Rate
+	deleteRate, queryRate     *Rate
+
+	queries  atomic.Int64
+	filtered atomic.Int64
+	kDist    *Dist
+	efDist   *Dist
+	nprobe   *Dist
+
+	// ANN probe cost: distance computations per non-exact index probe,
+	// the observed replacement for the planner's sqrt(N) IndexComps
+	// heuristic.
+	probeCount atomic.Int64
+	probeComps atomic.Int64
+
+	selMu sync.RWMutex
+	sel   map[string]*SelHist
+}
+
+// New creates an enabled stats tracker for the named collection.
+func New(name string) *Collection {
+	c := &Collection{
+		name:       name,
+		insertRate: NewRate(),
+		updateRate: NewRate(),
+		deleteRate: NewRate(),
+		queryRate:  NewRate(),
+		kDist:      NewDist(nil),
+		efDist:     NewDist(nil),
+		nprobe:     NewDist(nil),
+		sel:        map[string]*SelHist{},
+	}
+	c.enabled.Store(true)
+	return c
+}
+
+// SetEnabled toggles query-shape recording and reservoir sampling.
+func (c *Collection) SetEnabled(on bool) { c.enabled.Store(on) }
+
+// Enabled reports whether query observation is on.
+func (c *Collection) Enabled() bool { return c.enabled.Load() }
+
+// RecordInsert counts n inserted rows.
+func (c *Collection) RecordInsert(n int64) {
+	c.inserts.Add(n)
+	c.insertRate.Mark(n)
+}
+
+// RecordUpdate counts one in-place vector update.
+func (c *Collection) RecordUpdate() {
+	c.updates.Add(1)
+	c.updateRate.Mark(1)
+}
+
+// RecordDelete counts one deletion.
+func (c *Collection) RecordDelete() {
+	c.deletes.Add(1)
+	c.deleteRate.Mark(1)
+}
+
+// RecordQuery records one search's shape. ef/nprobe zero means "index
+// default" and is recorded as such (bucket 1 counts explicit 1s;
+// zeros land in the first bucket too — the distribution is about the
+// knobs clients actually send).
+func (c *Collection) RecordQuery(k, ef, nprobe int, hasFilter bool) {
+	c.queries.Add(1)
+	c.queryRate.Mark(1)
+	if !c.enabled.Load() {
+		return
+	}
+	if hasFilter {
+		c.filtered.Add(1)
+	}
+	c.kDist.Observe(int64(k))
+	c.efDist.Observe(int64(ef))
+	c.nprobe.Observe(int64(nprobe))
+}
+
+// RecordProbe records one ANN index probe's distance-computation
+// count. Exact (flat) scans are excluded by the caller: the statistic
+// estimates the cost of an index probe, which is what the adaptive
+// cost model needs.
+func (c *Collection) RecordProbe(comps int64) {
+	if !c.enabled.Load() {
+		return
+	}
+	c.probeCount.Add(1)
+	c.probeComps.Add(comps)
+}
+
+// MeanProbeComps returns the mean distance computations per ANN probe
+// and the probe count (0, 0 before the first probe).
+func (c *Collection) MeanProbeComps() (float64, int64) {
+	n := c.probeCount.Load()
+	if n == 0 {
+		return 0, 0
+	}
+	return float64(c.probeComps.Load()) / float64(n), n
+}
+
+// RecordSelectivity records one observed selectivity for column col.
+// Multi-predicate conjunctions record the conjunction's selectivity
+// under each referenced column — a per-column prior, deliberately
+// coarse (DESIGN.md §11).
+func (c *Collection) RecordSelectivity(col string, sel float64) {
+	if !c.enabled.Load() {
+		return
+	}
+	c.selMu.RLock()
+	h := c.sel[col]
+	c.selMu.RUnlock()
+	if h == nil {
+		c.selMu.Lock()
+		if h = c.sel[col]; h == nil {
+			h = &SelHist{}
+			c.sel[col] = h
+		}
+		c.selMu.Unlock()
+	}
+	h.Observe(sel)
+}
+
+// SelectivityPrior returns the mean observed selectivity across the
+// given columns (the coarse per-column prior) and the smallest
+// per-column observation count. ok is false when any column has no
+// observations.
+func (c *Collection) SelectivityPrior(cols []string) (mean float64, minObs int64, ok bool) {
+	if len(cols) == 0 {
+		return 0, 0, false
+	}
+	var sum float64
+	minObs = -1
+	c.selMu.RLock()
+	defer c.selMu.RUnlock()
+	for _, col := range cols {
+		h := c.sel[col]
+		if h == nil {
+			return 0, 0, false
+		}
+		m, n := h.Mean()
+		if n == 0 {
+			return 0, 0, false
+		}
+		sum += m
+		if minObs < 0 || n < minObs {
+			minObs = n
+		}
+	}
+	return sum / float64(len(cols)), minObs, true
+}
+
+// Snapshot is the JSON-friendly view of a collection's statistics,
+// rendered into /debug/stats, collection info, and the public
+// Collection.Stats API. Rows/live/dim are supplied by the caller
+// (they live in the collection's epoch snapshot, not here).
+type Snapshot struct {
+	Rows    int `json:"rows"`
+	Live    int `json:"live"`
+	Deleted int `json:"deleted"`
+	Dim     int `json:"dim"`
+
+	Inserts int64 `json:"inserts"`
+	Updates int64 `json:"updates"`
+	Deletes int64 `json:"deletes"`
+	Queries int64 `json:"queries"`
+
+	InsertsPerSec float64 `json:"inserts_per_sec"`
+	UpdatesPerSec float64 `json:"updates_per_sec"`
+	DeletesPerSec float64 `json:"deletes_per_sec"`
+	QueriesPerSec float64 `json:"queries_per_sec"`
+
+	FilteredFraction float64      `json:"filtered_fraction"`
+	K                DistSnapshot `json:"k"`
+	Ef               DistSnapshot `json:"ef"`
+	NProbe           DistSnapshot `json:"nprobe"`
+
+	ProbeCount     int64   `json:"ann_probes"`
+	MeanProbeComps float64 `json:"ann_probe_mean_comps"`
+
+	Selectivity map[string]SelSnapshot `json:"selectivity,omitempty"`
+}
+
+// Snapshot materializes the statistics alongside the caller-supplied
+// row counts and dimension.
+func (c *Collection) Snapshot(rows, live, dim int) Snapshot {
+	s := Snapshot{
+		Rows: rows, Live: live, Deleted: rows - live, Dim: dim,
+		Inserts: c.inserts.Load(), Updates: c.updates.Load(),
+		Deletes: c.deletes.Load(), Queries: c.queries.Load(),
+		InsertsPerSec: c.insertRate.PerSecond(),
+		UpdatesPerSec: c.updateRate.PerSecond(),
+		DeletesPerSec: c.deleteRate.PerSecond(),
+		QueriesPerSec: c.queryRate.PerSecond(),
+		K:             c.kDist.Snapshot(),
+		Ef:            c.efDist.Snapshot(),
+		NProbe:        c.nprobe.Snapshot(),
+	}
+	if s.Queries > 0 {
+		s.FilteredFraction = float64(c.filtered.Load()) / float64(s.Queries)
+	}
+	s.MeanProbeComps, s.ProbeCount = c.MeanProbeComps()
+	c.selMu.RLock()
+	if len(c.sel) > 0 {
+		s.Selectivity = make(map[string]SelSnapshot, len(c.sel))
+		for col, h := range c.sel {
+			s.Selectivity[col] = h.Snapshot()
+		}
+	}
+	c.selMu.RUnlock()
+	return s
+}

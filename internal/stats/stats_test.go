@@ -1,0 +1,157 @@
+package stats
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestDistBucketsAndMean(t *testing.T) {
+	d := NewDist(nil)
+	for _, v := range []int64{1, 2, 3, 10, 2000} {
+		d.Observe(v)
+	}
+	s := d.Snapshot()
+	if s.Count != 5 {
+		t.Fatalf("count = %d, want 5", s.Count)
+	}
+	if want := float64(1+2+3+10+2000) / 5; s.Mean != want {
+		t.Fatalf("mean = %v, want %v", s.Mean, want)
+	}
+	// 1 -> edge 1; 2 -> edge 2; 3 -> edge 4; 10 -> edge 16; 2000 -> overflow (-1).
+	want := map[int64]int64{1: 1, 2: 1, 4: 1, 16: 1, -1: 1}
+	if len(s.Buckets) != len(want) {
+		t.Fatalf("buckets = %v, want %v", s.Buckets, want)
+	}
+	for edge, n := range want {
+		if s.Buckets[edge] != n {
+			t.Fatalf("bucket %d = %d, want %d (%v)", edge, s.Buckets[edge], n, s.Buckets)
+		}
+	}
+}
+
+func TestSelHistClampAndMean(t *testing.T) {
+	var h SelHist
+	h.Observe(-0.5) // clamps to 0
+	h.Observe(0.5)
+	h.Observe(1.5) // clamps to 1
+	mean, n := h.Mean()
+	if n != 3 {
+		t.Fatalf("count = %d, want 3", n)
+	}
+	if mean != 0.5 {
+		t.Fatalf("mean = %v, want 0.5", mean)
+	}
+	s := h.Snapshot()
+	if s.Buckets[0] != 1 || s.Buckets[10] != 1 || s.Buckets[19] != 1 {
+		t.Fatalf("buckets = %v", s.Buckets)
+	}
+}
+
+func TestRateWindow(t *testing.T) {
+	now := time.Unix(1000, 0)
+	r := NewRateClock(func() time.Time { return now })
+	r.Mark(60)
+	if got := r.PerSecond(); got != 1 {
+		t.Fatalf("rate = %v, want 1 (60 events over a 60s window)", got)
+	}
+	// Far outside the window the events age out.
+	now = now.Add(10 * time.Minute)
+	if got := r.PerSecond(); got != 0 {
+		t.Fatalf("rate after window = %v, want 0", got)
+	}
+}
+
+func TestRecordQueryGating(t *testing.T) {
+	c := New("c")
+	c.RecordQuery(10, 64, 0, true)
+	c.SetEnabled(false)
+	c.RecordQuery(20, 0, 0, false)
+	s := c.Snapshot(0, 0, 0)
+	if s.Queries != 2 {
+		t.Fatalf("queries = %d, want 2 (raw counter stays on)", s.Queries)
+	}
+	if s.K.Count != 1 {
+		t.Fatalf("k observations = %d, want 1 (shape recording gated off)", s.K.Count)
+	}
+	if s.FilteredFraction != 0.5 {
+		t.Fatalf("filtered fraction = %v, want 0.5", s.FilteredFraction)
+	}
+	c.RecordProbe(100)
+	if _, n := c.MeanProbeComps(); n != 0 {
+		t.Fatalf("probe recorded while disabled: n=%d", n)
+	}
+}
+
+func TestSelectivityPrior(t *testing.T) {
+	c := New("c")
+	for i := 0; i < 4; i++ {
+		c.RecordSelectivity("a", 0.2)
+	}
+	c.RecordSelectivity("b", 0.6)
+
+	if _, _, ok := c.SelectivityPrior([]string{"a", "missing"}); ok {
+		t.Fatal("prior over an unobserved column reported ok")
+	}
+	mean, minObs, ok := c.SelectivityPrior([]string{"a", "b"})
+	if !ok {
+		t.Fatal("prior not ok")
+	}
+	if want := (0.2 + 0.6) / 2; mean < want-1e-9 || mean > want+1e-9 {
+		t.Fatalf("prior mean = %v, want %v", mean, want)
+	}
+	if minObs != 1 {
+		t.Fatalf("minObs = %d, want 1 (column b)", minObs)
+	}
+}
+
+func TestCollectionSnapshotCounters(t *testing.T) {
+	c := New("c")
+	c.RecordInsert(3)
+	c.RecordUpdate()
+	c.RecordDelete()
+	s := c.Snapshot(10, 9, 8)
+	if s.Rows != 10 || s.Live != 9 || s.Deleted != 1 || s.Dim != 8 {
+		t.Fatalf("row section = %+v", s)
+	}
+	if s.Inserts != 3 || s.Updates != 1 || s.Deletes != 1 {
+		t.Fatalf("counters = %+v", s)
+	}
+	if s.InsertsPerSec <= 0 {
+		t.Fatalf("insert rate = %v, want > 0", s.InsertsPerSec)
+	}
+}
+
+// TestConcurrentRecording exercises every record path from many
+// goroutines; meaningful under -race.
+func TestConcurrentRecording(t *testing.T) {
+	c := New("c")
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				c.RecordQuery(10, 64, 4, i%2 == 0)
+				c.RecordProbe(100)
+				c.RecordSelectivity("col", 0.3)
+				c.RecordInsert(1)
+				if i%50 == 0 {
+					_ = c.Snapshot(100, 90, 8)
+					_, _, _ = c.SelectivityPrior([]string{"col"})
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	s := c.Snapshot(100, 90, 8)
+	if s.Queries != 4000 || s.Inserts != 4000 {
+		t.Fatalf("queries=%d inserts=%d, want 4000/4000", s.Queries, s.Inserts)
+	}
+	if s.ProbeCount != 4000 || s.MeanProbeComps != 100 {
+		t.Fatalf("probes=%d mean=%v, want 4000/100", s.ProbeCount, s.MeanProbeComps)
+	}
+	if got := s.Selectivity["col"].Count; got != 4000 {
+		t.Fatalf("selectivity observations = %d, want 4000", got)
+	}
+}

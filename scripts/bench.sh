@@ -11,9 +11,13 @@
 # throughput at fsync=always/interval/never vs the no-WAL baseline)
 # and emits {op, ns_per_op, inserts_per_s} to BENCH_wal.json, the
 # acceptance record for the WAL: group commit must keep fsync=always
-# within roughly an order of magnitude of the in-memory path.
+# within roughly an order of magnitude of the in-memory path. Last it
+# runs the observability overhead benchmark (BenchmarkSearchObs —
+# the same search loop with the stats tracker and recall auditor on
+# vs off) and emits {op, ns_per_op, queries_per_s} to BENCH_obs.json;
+# the acceptance bar is "on" within 5% of "off".
 #
-#   scripts/bench.sh [scan-output.json] [concurrent-output.json] [wal-output.json]
+#   scripts/bench.sh [scan-output.json] [concurrent-output.json] [wal-output.json] [obs-output.json]
 #
 # BENCHTIME overrides the per-benchmark iteration budget (default 20x;
 # ci.sh smoke-runs with 1x so a broken harness cannot land unnoticed).
@@ -23,17 +27,20 @@ cd "$(dirname "$0")/.."
 out="${1:-BENCH_scan.json}"
 out_concurrent="${2:-BENCH_concurrent.json}"
 out_wal="${3:-BENCH_wal.json}"
+out_obs="${4:-BENCH_obs.json}"
 benchtime="${BENCHTIME:-20x}"
 
 tmp=$(mktemp)
 tmp2=$(mktemp)
 tmp3=$(mktemp)
-trap 'rm -f "$tmp" "$tmp2" "$tmp3"' EXIT
+tmp4=$(mktemp)
+trap 'rm -f "$tmp" "$tmp2" "$tmp3" "$tmp4"' EXIT
 
 go test -run '^$' -bench BenchmarkFlatScan -benchtime "$benchtime" ./internal/index/ | tee -a "$tmp"
 go test -run '^$' -bench BenchmarkScoreBlock -benchtime "$benchtime" ./internal/vec/ | tee -a "$tmp"
 go test -run '^$' -bench BenchmarkMixedReadWrite -benchtime "$benchtime" ./internal/core/ | tee -a "$tmp2"
 go test -run '^$' -bench BenchmarkWALInsert -benchtime "$benchtime" ./internal/core/ | tee -a "$tmp3"
+go test -run '^$' -bench BenchmarkSearchObs -benchtime "$benchtime" ./internal/core/ | tee -a "$tmp4"
 
 # Benchmark lines look like:
 #   BenchmarkFlatScan/l2/scorer-8  20  7083267 ns/op  7228.30 MB/s  14118004 rows/s
@@ -92,4 +99,23 @@ BEGIN { printf "[\n" }
 END   { printf "\n]\n" }
 ' "$tmp3" > "$out_wal"
 
-echo "wrote $out $out_concurrent $out_wal"
+# Observability overhead lines carry a queries/s custom metric:
+#   BenchmarkSearchObs/on-8  200  86122 ns/op  11611 queries/s
+awk '
+/^Benchmark/ {
+    op = $1
+    sub(/-[0-9]+$/, "", op)
+    ns = ""; qps = ""
+    for (i = 2; i < NF; i++) {
+        if ($(i+1) == "ns/op") ns = $i
+        if ($(i+1) == "queries/s") qps = $i
+    }
+    if (ns == "") next
+    if (n++) printf ",\n"
+    printf "  {\"op\": \"%s\", \"ns_per_op\": %s, \"queries_per_s\": %s}", op, ns, (qps == "" ? "null" : qps)
+}
+BEGIN { printf "[\n" }
+END   { printf "\n]\n" }
+' "$tmp4" > "$out_obs"
+
+echo "wrote $out $out_concurrent $out_wal $out_obs"

@@ -34,6 +34,20 @@ go test -race -count=1 -run 'TestCrashRecoveryKill9|TestRecoverTornTail|TestProp
 # N collectors + Merge == one collector), so the corpus keeps growing.
 go test -run '^$' -fuzz FuzzMergeEquivalence -fuzztime 5s ./internal/topk/
 go test -run '^$' -bench BenchmarkSearch -benchtime 1x ./internal/obs/
-# Smoke the scan + mixed read/write benchmark harnesses and their
-# JSON emitters the same way.
-BENCHTIME=1x scripts/bench.sh "$(mktemp)" "$(mktemp)" "$(mktemp)"
+# Metrics documentation lint: every vdbms_* metric family declared in
+# internal/obs/metrics.go must appear in the README metrics reference
+# table, so the exported surface can never silently outgrow its docs.
+missing=0
+for m in $(grep -o '"vdbms_[a-z_]*"' internal/obs/metrics.go | tr -d '"' | sort -u); do
+    if ! grep -q "$m" README.md; then
+        echo "metric $m is not documented in README.md" >&2
+        missing=1
+    fi
+done
+if [ "$missing" -ne 0 ]; then
+    echo "add the missing metrics to the README metrics reference table" >&2
+    exit 1
+fi
+# Smoke the scan + mixed read/write + WAL + observability benchmark
+# harnesses and their JSON emitters the same way.
+BENCHTIME=1x scripts/bench.sh "$(mktemp)" "$(mktemp)" "$(mktemp)" "$(mktemp)"

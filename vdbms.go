@@ -52,6 +52,10 @@ type DB struct {
 	// each collection owns the subdirectory dir/<name>.
 	dir string
 	dur core.DurabilityOptions
+
+	// audit, when set by DB.EnableRecallAudit, is applied to every
+	// collection created or restored afterwards.
+	audit *AuditOptions
 }
 
 // New creates an empty in-memory database: fast, but nothing survives
@@ -105,10 +109,14 @@ func (db *DB) CreateCollection(name string, schema Schema) (*Collection, error) 
 
 	db.mu.Lock()
 	delete(db.creating, name)
+	audit := db.audit
 	if err == nil {
 		db.collections[name] = col
 	}
 	db.mu.Unlock()
+	if err == nil && audit != nil {
+		col.EnableRecallAudit(*audit)
+	}
 	return col, err
 }
 
