@@ -13,8 +13,10 @@
 // against the snapshot current at audit time, not the one they were
 // served from. Rows deleted or updated in between would bias recall
 // down through no fault of the index, so samples whose served ids are
-// no longer live are skipped as stale; the reservoir continuously
-// refreshes, so churn costs sample count, not correctness.
+// no longer live — and samples stamped before the collection's last
+// in-place vector update (the update epoch) — are skipped as stale;
+// the reservoir continuously refreshes, so churn costs sample count,
+// not correctness.
 package core
 
 import (
@@ -48,10 +50,10 @@ type AuditConfig struct {
 // AuditReport is the result of one audit pass.
 type AuditReport struct {
 	Collection string        `json:"collection"`
-	Outcome    string        `json:"outcome"` // ok, regression, empty
+	Outcome    string        `json:"outcome"` // ok, regression, empty, error
 	Samples    int           `json:"samples"` // replayed (non-stale) samples
-	Stale      int           `json:"stale"`   // skipped: served rows no longer live
-	Recall     float64       `json:"recall"`  // mean recall@k; meaningful when Outcome != "empty"
+	Stale      int           `json:"stale"`   // skipped: served rows deleted or updated since
+	Recall     float64       `json:"recall"`  // mean recall@k; meaningful when Outcome is ok or regression
 	Floor      float64       `json:"floor"`
 	Elapsed    time.Duration `json:"elapsed_ns"`
 }
@@ -74,7 +76,7 @@ func (c *Collection) EnableAudit(cfg AuditConfig) {
 	if cfg.Interval > 0 {
 		stop, done := make(chan struct{}), make(chan struct{})
 		c.auditStop, c.auditDone = stop, done
-		go c.auditLoop(cfg.Interval, stop, done)
+		go c.auditLoop(cfg, stop, done)
 	}
 }
 
@@ -87,6 +89,12 @@ func (c *Collection) DisableAudit() {
 	c.stopAuditLoopLocked()
 }
 
+// stopAuditLoopLocked stops the background loop and waits for it to
+// exit. Waiting while holding auditMu is safe because the loop never
+// touches auditMu: it runs on the config captured at start (auditLoop
+// calls audit directly, never AuditNow), so a tick can finish its
+// pass and reach the stop channel without needing the mutex the
+// caller holds.
 func (c *Collection) stopAuditLoopLocked() {
 	if c.auditStop != nil {
 		close(c.auditStop)
@@ -95,14 +103,23 @@ func (c *Collection) stopAuditLoopLocked() {
 	}
 }
 
-func (c *Collection) auditLoop(interval time.Duration, stop, done chan struct{}) {
+func (c *Collection) auditLoop(cfg AuditConfig, stop, done chan struct{}) {
 	defer close(done)
-	tick := time.NewTicker(interval)
+	tick := time.NewTicker(cfg.Interval)
 	defer tick.Stop()
 	for {
 		select {
 		case <-tick.C:
-			c.AuditNow() // outcome lands in metrics; next tick retries
+			// audit counts the outcome (including "error") in metrics;
+			// log the cause so a persistently failing auditor leaves an
+			// operational trail. The next tick retries.
+			if _, err := c.audit(cfg); err != nil {
+				logf := cfg.Logf
+				if logf == nil {
+					logf = log.Printf
+				}
+				logf("vdbms: recall audit on %q failed: %v", c.name, err)
+			}
 		case <-stop:
 			return
 		}
@@ -127,11 +144,23 @@ func (c *Collection) audit(cfg AuditConfig) (AuditReport, error) {
 	rep := AuditReport{Collection: c.name, Floor: cfg.RecallFloor}
 	samples := c.sampler.Load().Snapshot()
 	s := c.snap.Load()
+	// The update epoch is read after the snapshot pointer: snapshot
+	// publication is monotonic, so every update counted in epoch at
+	// this point is either visible in s or newer than every sample —
+	// either way a sample stamped < epoch is conservatively stale.
+	epoch := c.updateEpoch.Load()
 	exclude := s.exclude()
 
 	var sum float64
 	for _, sm := range samples {
 		if sm.K <= 0 || len(sm.Vector) == 0 {
+			continue
+		}
+		// Served before the last in-place vector update: the rows it
+		// was ranked against have changed under it, so replaying would
+		// bias recall through no fault of the index.
+		if sm.Epoch < epoch {
+			rep.Stale++
 			continue
 		}
 		stale := false
@@ -147,6 +176,8 @@ func (c *Collection) audit(cfg AuditConfig) (AuditReport, error) {
 		}
 		truth, err := s.env.ExactGroundTruth(sm.Vector, sm.K, sm.Preds, exclude)
 		if err != nil {
+			rep.Outcome = "error"
+			obs.RecallAudits.With("error").Inc()
 			return rep, fmt.Errorf("core: audit replay: %w", err)
 		}
 		if len(truth) == 0 {

@@ -1,11 +1,15 @@
 package core
 
 import (
+	"fmt"
 	"math"
+	"strings"
+	"sync"
 	"testing"
 	"time"
 
 	"vdbms/internal/dataset"
+	"vdbms/internal/filter"
 	"vdbms/internal/stats"
 	"vdbms/internal/vec"
 )
@@ -174,6 +178,155 @@ func TestAuditSkipsStaleSamples(t *testing.T) {
 	}
 	if rep.Outcome != "empty" {
 		t.Fatalf("outcome = %q, want empty", rep.Outcome)
+	}
+}
+
+// TestAuditSkipsUpdatedSamples: a sample served before an in-place
+// vector update is skipped as stale (the data it was ranked against
+// has changed), and samples served after the update replay normally.
+func TestAuditSkipsUpdatedSamples(t *testing.T) {
+	ds := dataset.Uniform(400, 4, 43)
+	c, err := NewCollection("upd", Schema{Dim: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < ds.Count; i++ {
+		if _, err := c.Insert(ds.Row(i), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.EnableAudit(AuditConfig{MinSamples: 1})
+	defer c.DisableAudit()
+	if _, _, err := c.Search(Request{Vector: ds.Row(0), K: 3}); err != nil {
+		t.Fatal(err)
+	}
+	// Overwrite a row the sample may not even contain: any in-place
+	// update invalidates earlier samples wholesale.
+	if err := c.UpdateVector(7, ds.Row(8)); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := c.AuditNow()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Stale != 1 || rep.Samples != 0 || rep.Outcome != "empty" {
+		t.Fatalf("post-update audit = %+v, want stale=1 samples=0 empty", rep)
+	}
+	// A query served after the update carries the new epoch and replays.
+	if _, _, err := c.Search(Request{Vector: ds.Row(1), K: 3}); err != nil {
+		t.Fatal(err)
+	}
+	rep, err = c.AuditNow()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Stale != 1 || rep.Samples != 1 || rep.Outcome != "ok" {
+		t.Fatalf("post-update audit #2 = %+v, want stale=1 samples=1 ok", rep)
+	}
+}
+
+// TestAuditErrorOutcome: a pass that fails mid-replay reports the
+// "error" outcome (counted in vdbms_recall_audit_total) instead of
+// silently producing nothing, and the background loop logs the cause.
+func TestAuditErrorOutcome(t *testing.T) {
+	ds := dataset.Uniform(100, 4, 47)
+	c, err := NewCollection("err", Schema{Dim: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < ds.Count; i++ {
+		if _, err := c.Insert(ds.Row(i), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Inject a sample whose predicate references a column the
+	// collection does not have: replay must fail.
+	r := stats.NewReservoirRand(4, func(n int64) int64 { return 0 })
+	r.Offer(stats.Sample{
+		Vector: ds.Row(0),
+		K:      1,
+		Preds:  []filter.Predicate{{Column: "no_such", Op: filter.Eq, Value: filter.IntV(1)}},
+		Served: []int64{0},
+	})
+	c.sampler.Store(r)
+
+	rep, err := c.AuditNow()
+	if err == nil {
+		t.Fatal("audit over a broken sample reported no error")
+	}
+	if rep.Outcome != "error" {
+		t.Fatalf("outcome = %q, want error", rep.Outcome)
+	}
+
+	// The background loop logs failed passes rather than dropping them.
+	var mu sync.Mutex
+	var lines []string
+	c.EnableAudit(AuditConfig{
+		Interval: time.Millisecond,
+		Logf: func(format string, args ...any) {
+			mu.Lock()
+			lines = append(lines, fmt.Sprintf(format, args...))
+			mu.Unlock()
+		},
+	})
+	defer c.DisableAudit()
+	c.sampler.Store(r) // EnableAudit keeps the injected reservoir; re-store for clarity
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		mu.Lock()
+		n := len(lines)
+		mu.Unlock()
+		if n > 0 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(lines) == 0 {
+		t.Fatal("background loop never logged the failing pass")
+	}
+	if !strings.Contains(lines[0], "failed") {
+		t.Fatalf("log line %q does not mention the failure", lines[0])
+	}
+}
+
+// TestAuditDisableNeverDeadlocks: DisableAudit (and reconfiguring
+// EnableAudit) must not deadlock against a background pass in flight.
+// The historical hazard: stopping the loop while holding auditMu when
+// a tick was about to read the config through the same mutex.
+func TestAuditDisableNeverDeadlocks(t *testing.T) {
+	ds := dataset.Uniform(500, 4, 53)
+	c, err := NewCollection("dead", Schema{Dim: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < ds.Count; i++ {
+		if _, err := c.Insert(ds.Row(i), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		c.EnableAudit(AuditConfig{Interval: time.Millisecond, MinSamples: 1})
+		for i := 0; i < 8; i++ {
+			if _, _, err := c.Search(Request{Vector: ds.Row(i), K: 2}); err != nil {
+				return
+			}
+		}
+		// Stop/start repeatedly with ticks firing in between so a pass
+		// is regularly in flight when the loop is torn down.
+		for i := 0; i < 30; i++ {
+			time.Sleep(time.Millisecond)
+			c.EnableAudit(AuditConfig{Interval: time.Millisecond, MinSamples: 1})
+		}
+		c.DisableAudit()
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("EnableAudit/DisableAudit deadlocked against the audit loop")
 	}
 }
 

@@ -136,6 +136,13 @@ type Collection struct {
 	// without an auditor never pay the sample-copy cost.
 	sampling atomic.Bool
 
+	// updateEpoch counts in-place vector updates. Audit samples are
+	// stamped with it at serve time so the auditor can skip samples
+	// served against vector data that has since been overwritten
+	// (audit.go's staleness rule for updates, mirroring the deletion
+	// check).
+	updateEpoch atomic.Uint64
+
 	// Recall auditor state (audit.go), guarded by auditMu.
 	auditMu   sync.Mutex
 	auditStop chan struct{}
@@ -416,6 +423,7 @@ func (c *Collection) applyUpdateLocked(id int64, v []float32) error {
 		return fmt.Errorf("core: %w", err)
 	}
 	c.data, c.scorer = data, sc
+	c.updateEpoch.Add(1)
 	if c.ann != nil {
 		c.dirty++
 	}
@@ -626,6 +634,10 @@ type Result struct {
 // index_probe, ...) additionally record spans under its root.
 func (c *Collection) Search(req Request) ([]Result, planner.Plan, error) {
 	start := time.Now()
+	// Captured before the query runs: an update racing the search gets
+	// a higher epoch, so the sample reads as stale — the conservative
+	// direction for the recall auditor.
+	epoch := c.updateEpoch.Load()
 	res, plan, err := c.search(req)
 	obs.SearchTotal.Inc()
 	c.latency.Observe(time.Since(start).Seconds())
@@ -639,15 +651,16 @@ func (c *Collection) Search(req Request) ([]Result, planner.Plan, error) {
 		// Offer the served query to the audit reservoir. The sample copy
 		// (vector, predicates, result ids) is built only on admission,
 		// which Algorithm R makes vanishingly rare at volume.
-		c.sampler.Load().MaybeOffer(func() stats.Sample { return makeSample(req, res) })
+		c.sampler.Load().MaybeOffer(func() stats.Sample { return makeSample(req, res, epoch) })
 	}
 	return res, plan, err
 }
 
 // makeSample deep-copies the parts of a served query the recall
 // auditor needs to replay it: the vector, predicates, k, and the ids
-// the serving path returned.
-func makeSample(req Request, res []Result) stats.Sample {
+// the serving path returned, stamped with the update epoch current
+// when the query started.
+func makeSample(req Request, res []Result, epoch uint64) stats.Sample {
 	v := make([]float32, len(req.Vector))
 	copy(v, req.Vector)
 	var preds []filter.Predicate
@@ -659,7 +672,7 @@ func makeSample(req Request, res []Result) stats.Sample {
 	for i, r := range res {
 		served[i] = r.ID
 	}
-	return stats.Sample{Vector: v, K: req.K, Preds: preds, Served: served}
+	return stats.Sample{Vector: v, K: req.K, Preds: preds, Served: served, Epoch: epoch}
 }
 
 func (c *Collection) search(req Request) ([]Result, planner.Plan, error) {

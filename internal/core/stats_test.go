@@ -74,6 +74,66 @@ func TestCollectionStatsWiring(t *testing.T) {
 	}
 }
 
+// TestMeasuredSelectivityRecording: the selectivity histograms hold
+// survivor fractions measured during execution — exact for pre-filter
+// bitmaps and exhaustive scans — and the planner's sampled estimate
+// alone never feeds them.
+func TestMeasuredSelectivityRecording(t *testing.T) {
+	ds := dataset.Uniform(2000, 8, 11)
+	c, err := NewCollection("m", Schema{
+		Dim:        8,
+		Attributes: map[string]filter.Kind{"cat": filter.Int64},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < ds.Count; i++ {
+		if _, err := c.Insert(ds.Row(i), map[string]filter.Value{"cat": filter.IntV(int64(i % 10))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	preds := []filter.Predicate{{Column: "cat", Op: filter.Eq, Value: filter.IntV(3)}}
+	const trueSel = 0.1 // cat=3 admits exactly 200 of 2000 rows
+
+	// Pre-filter materializes the bitmap: its cardinality over N is the
+	// exact selectivity and must be recorded as such.
+	if _, _, err := c.Search(Request{Vector: ds.Row(0), K: 5, Preds: preds, Policy: "plan:pre_filter"}); err != nil {
+		t.Fatal(err)
+	}
+	sel := c.Stats().Selectivity["cat"]
+	if sel.Count != 1 || sel.Mean != trueSel {
+		t.Fatalf("after pre_filter: count=%d mean=%v, want 1/%v", sel.Count, sel.Mean, trueSel)
+	}
+
+	// Brute force evaluates the predicate on every live row: the
+	// counted pass rate is exact too.
+	if _, _, err := c.Search(Request{Vector: ds.Row(1), K: 5, Preds: preds, Policy: "plan:brute_force"}); err != nil {
+		t.Fatal(err)
+	}
+	sel = c.Stats().Selectivity["cat"]
+	if sel.Count != 2 || sel.Mean != trueSel {
+		t.Fatalf("after brute_force: count=%d mean=%v, want 2/%v", sel.Count, sel.Mean, trueSel)
+	}
+
+	// Post-filter with a small over-fetch examines too few rows to be a
+	// useful sample and must record nothing.
+	if _, _, err := c.Search(Request{Vector: ds.Row(2), K: 5, Preds: preds, Policy: "plan:post_filter", Alpha: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Stats().Selectivity["cat"].Count; got != 2 {
+		t.Fatalf("post_filter over-fetch of 10 recorded: count=%d, want 2", got)
+	}
+
+	// Planning alone computes only the sampled estimate; it must not
+	// touch the histograms.
+	if _, err := c.snap.Load().env.Plan(5, preds, "cost", nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Stats().Selectivity["cat"].Count; got != 2 {
+		t.Fatalf("Plan() recorded into the histograms: count=%d, want 2", got)
+	}
+}
+
 // TestAdaptivePolicy: once enough probes and selectivity observations
 // accumulate, the "adaptive" policy plans with measured statistics and
 // still returns correct results.

@@ -9,6 +9,7 @@ package executor
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"vdbms/internal/filter"
@@ -125,6 +126,71 @@ func withPred(params index.Params, pred func(id int64) bool) index.Params {
 	return params
 }
 
+// minSelEvals is the minimum per-row predicate evaluations before a
+// scan's measured pass rate is recorded into the selectivity
+// histograms — below it one scan is too small a sample to be a
+// useful prior. It is deliberately low enough that a typical
+// post-filter over-fetch (alpha*k) still records: per-scan noise
+// averages out across the many observations the adaptive planner
+// requires before trusting the prior. Exact measurements (pre-filter
+// bitmap cardinalities) are recorded regardless.
+const minSelEvals = 16
+
+// predCount tallies predicate evaluations during one scan so the
+// measured pass rate (admitted / evaluated) can feed the selectivity
+// histograms afterwards. Counters are atomic because partitioned
+// scans evaluate the filter from multiple workers. The predicate runs
+// after the exclusion mask (withPred composition), so the measurement
+// is over live rows actually examined — exact for exhaustive scans,
+// a query-local sample for pushed-down index traversals.
+type predCount struct{ evaluated, admitted atomic.Int64 }
+
+func (pc *predCount) wrap(pred func(id int64) bool) func(id int64) bool {
+	return func(id int64) bool {
+		pc.evaluated.Add(1)
+		if pred(id) {
+			pc.admitted.Add(1)
+			return true
+		}
+		return false
+	}
+}
+
+// countedPred compiles the predicate filter, wrapped with evaluation
+// counters when stats collection is on. A nil predCount means "do not
+// record" (stats absent or disabled).
+func (e *Env) countedPred(preds []filter.Predicate) (func(id int64) bool, *predCount) {
+	pred := e.Attrs.FilterFunc(preds)
+	if e.Stats == nil || !e.Stats.Enabled() {
+		return pred, nil
+	}
+	pc := &predCount{}
+	return pc.wrap(pred), pc
+}
+
+// recordMeasuredSel feeds one measured selectivity observation
+// (admitted survivors / rows examined) into the per-column histograms.
+func (e *Env) recordMeasuredSel(preds []filter.Predicate, admitted, evaluated int64) {
+	if e.Stats == nil || evaluated <= 0 {
+		return
+	}
+	sel := float64(admitted) / float64(evaluated)
+	for _, p := range preds {
+		e.Stats.RecordSelectivity(p.Column, sel)
+	}
+}
+
+// recordCounted records a counting wrapper's measured pass rate when
+// the scan examined enough rows to be worth keeping.
+func (e *Env) recordCounted(pc *predCount, preds []filter.Predicate) {
+	if pc == nil {
+		return
+	}
+	if n := pc.evaluated.Load(); n >= minSelEvals {
+		e.recordMeasuredSel(preds, pc.admitted.Load(), n)
+	}
+}
+
 // Execute runs a (possibly predicated) top-k query under the given
 // plan. preds may be empty, in which case every plan degenerates to a
 // plain index or flat scan.
@@ -208,12 +274,21 @@ func (e *Env) probe(idx index.Index, q []float32, k int, params index.Params, sp
 }
 
 // bruteForce fuses the predicate into an exhaustive scan (plan A).
+// The scan evaluates the predicate on every live row, so its counted
+// pass rate is an exact selectivity measurement.
 func (e *Env) bruteForce(q []float32, k int, preds []filter.Predicate, opts Options) ([]topk.Result, error) {
 	params := opts.params()
+	var pc *predCount
 	if len(preds) > 0 {
-		params = withPred(params, e.Attrs.FilterFunc(preds))
+		var pred func(id int64) bool
+		pred, pc = e.countedPred(preds)
+		params = withPred(params, pred)
 	}
-	return e.probe(e.Flat, q, k, params, opts.Span)
+	res, err := e.probe(e.Flat, q, k, params, opts.Span)
+	if err == nil {
+		e.recordCounted(pc, preds)
+	}
+	return res, err
 }
 
 // preFilter builds the bitmap and hands it to the index as a
@@ -235,6 +310,10 @@ func (e *Env) preFilter(q []float32, k int, preds []filter.Predicate, opts Optio
 	survivors := bm.Count()
 	fsp.Annotate("survivors", int64(survivors))
 	fsp.End()
+	// The bitmap cardinality over the full table is the predicate's
+	// exact selectivity — the measured observation the adaptive
+	// planner's per-column prior is built from.
+	e.recordMeasuredSel(preds, int64(survivors), int64(e.N))
 	params := opts.params()
 	params.Allow = bm
 	// Small survivor sets are scanned exactly: cheaper than a blocked
@@ -274,37 +353,61 @@ func (e *Env) postFilter(q []float32, k int, preds []filter.Predicate, alpha int
 	psp := opts.Span.Start("post_filter")
 	pstart := time.Now()
 	psp.Annotate("fetched", int64(len(cands)))
+	// Every fetched candidate is evaluated (the cost model already
+	// charges alpha*k attribute checks); only the first k admitted are
+	// kept. Checking the tail keeps the measured pass rate below a
+	// deterministic sample size instead of stopping wherever the k-th
+	// admission happened to land.
 	out := make([]topk.Result, 0, k)
+	var evaluated, admitted int64
 	for _, r := range cands {
 		ok, err := e.Attrs.Matches(preds, int(r.ID))
 		if err != nil {
 			psp.End()
 			return nil, err
 		}
+		evaluated++
 		if ok {
-			out = append(out, r)
-			if len(out) == k {
-				break
+			admitted++
+			if len(out) < k {
+				out = append(out, r)
 			}
 		}
 	}
 	psp.Annotate("kept", int64(len(out)))
 	stagePostFilter.Observe(time.Since(pstart).Seconds())
 	psp.End()
+	// The candidate set is distance-biased, but its measured pass rate
+	// is still a real observation of the predicate on live rows; the
+	// minimum-evaluations bar keeps degenerate over-fetches from
+	// quantizing the histograms to 0-or-1 observations.
+	if evaluated >= minSelEvals {
+		e.recordMeasuredSel(preds, admitted, evaluated)
+	}
 	return out, nil
 }
 
 // singleStage pushes the predicate into the traversal (plan D,
-// visit-first scan).
+// visit-first scan). The counted pass rate over visited rows is a
+// query-local selectivity sample (exact when the fallback is the
+// exhaustive flat scan).
 func (e *Env) singleStage(q []float32, k int, preds []filter.Predicate, opts Options) ([]topk.Result, error) {
 	params := opts.params()
+	var pc *predCount
 	if len(preds) > 0 {
-		params = withPred(params, e.Attrs.FilterFunc(preds))
+		var pred func(id int64) bool
+		pred, pc = e.countedPred(preds)
+		params = withPred(params, pred)
 	}
+	idx := index.Index(e.Flat)
 	if e.ANN != nil {
-		return e.probe(e.ANN, q, k, params, opts.Span)
+		idx = e.ANN
 	}
-	return e.probe(e.Flat, q, k, params, opts.Span)
+	res, err := e.probe(idx, q, k, params, opts.Span)
+	if err == nil {
+		e.recordCounted(pc, preds)
+	}
+	return res, err
 }
 
 func (e *Env) indexOrFlat(q []float32, k int, opts Options) ([]topk.Result, error) {
@@ -324,9 +427,11 @@ func (e *Env) indexOrFlat(q []float32, k int, opts Options) ([]topk.Result, erro
 // The "adaptive" policy is cost-based selection over an environment
 // refined with the collection's online statistics (observed ANN probe
 // cost, per-column selectivity priors — planner.AdaptiveEnv); with no
-// Stats attached it degrades to plain cost-based selection. Sampled
-// selectivities are recorded into Stats under every referenced column
-// regardless of policy, so the histograms fill from live traffic.
+// Stats attached it degrades to plain cost-based selection. The
+// sampled estimate computed here is used for plan choice only; the
+// selectivity histograms are fed measured survivor fractions by the
+// execution paths (bitmap cardinalities, per-row filter pass rates),
+// so the prior stays independent of the estimator it corrects.
 func (e *Env) Plan(k int, preds []filter.Predicate, policy string, span *obs.Span) (planner.Plan, error) {
 	psp := span.Start("plan")
 	start := time.Now()
@@ -341,11 +446,6 @@ func (e *Env) Plan(k int, preds []filter.Predicate, policy string, span *obs.Spa
 		}
 		env.Selectivity = sel
 		psp.Annotate("selectivity_ppm", int64(sel*1e6))
-		if e.Stats != nil {
-			for _, p := range preds {
-				e.Stats.RecordSelectivity(p.Column, sel)
-			}
-		}
 	}
 	var plan planner.Plan
 	switch policy {
@@ -435,6 +535,7 @@ func (e *Env) SearchBatch(p planner.Plan, qs [][]float32, k int, preds []filter.
 // opts.Span and counts against the flat index family.
 func (e *Env) SearchRange(q []float32, radius float32, preds []filter.Predicate, opts Options) ([]topk.Result, error) {
 	params := opts.params()
+	var pc *predCount
 	if len(preds) > 0 {
 		if e.Attrs == nil {
 			return nil, fmt.Errorf("executor: predicates given but no attribute table")
@@ -442,7 +543,9 @@ func (e *Env) SearchRange(q []float32, radius float32, preds []filter.Predicate,
 		if err := e.Attrs.Validate(preds); err != nil {
 			return nil, err
 		}
-		params = withPred(params, e.Attrs.FilterFunc(preds))
+		var pred func(id int64) bool
+		pred, pc = e.countedPred(preds)
+		params = withPred(params, pred)
 	}
 	var st index.SearchStats
 	params.Stats = &st
@@ -455,6 +558,9 @@ func (e *Env) SearchRange(q []float32, radius float32, preds []filter.Predicate,
 	sp.End()
 	obs.IndexProbes.With("flat").Inc()
 	obs.IndexDistanceComps.With("flat").Add(st.DistanceComps)
+	if err == nil {
+		e.recordCounted(pc, preds)
+	}
 	return res, err
 }
 

@@ -27,7 +27,7 @@ var (
 	// recall@k per collection, the operational answer to "what recall
 	// are we actually serving".
 	RecallObserved     = Default().NewGaugeVec("vdbms_recall_observed", "Observed recall@k from the most recent audit, by collection.", "collection")
-	RecallAudits       = Default().NewCounterVec("vdbms_recall_audit_total", "Recall audit passes by outcome (ok, regression, empty).", "outcome")
+	RecallAudits       = Default().NewCounterVec("vdbms_recall_audit_total", "Recall audit passes by outcome (ok, regression, empty, error).", "outcome")
 	RecallAuditSamples = Default().NewCounter("vdbms_recall_audit_samples_total", "Reservoir samples replayed by recall audits.")
 	RecallAuditSeconds = Default().NewHistogram("vdbms_recall_audit_seconds", "Wall-clock duration of recall audit passes.", BuildBuckets)
 
@@ -106,7 +106,7 @@ func init() {
 	for _, to := range []string{"closed", "open", "half-open"} {
 		BreakerTransitions.With(to)
 	}
-	for _, outcome := range []string{"ok", "regression", "empty"} {
+	for _, outcome := range []string{"ok", "regression", "empty", "error"} {
 		RecallAudits.With(outcome)
 	}
 }

@@ -19,6 +19,11 @@ type Sample struct {
 	K      int
 	Preds  []filter.Predicate
 	Served []int64
+	// Epoch is an opaque staleness stamp supplied by the owner (core
+	// stamps its in-place-update epoch): the auditor skips samples
+	// whose stamp predates the collection's current epoch, because the
+	// vector data they were ranked against has been overwritten since.
+	Epoch uint64
 }
 
 // Reservoir is a concurrency-safe uniform reservoir sampler

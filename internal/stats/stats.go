@@ -1,7 +1,9 @@
 // Package stats maintains per-collection online statistics: row
 // counts and churn rates, query-shape distributions (k, ef, nprobe,
 // filter presence), per-attribute filter selectivity histograms fed by
-// sampled query observations, and observed ANN probe cost. It is the
+// measured survivor fractions from executed scans (bitmap
+// cardinalities, per-row filter pass rates — never the planner's
+// sampled estimate), and observed ANN probe cost. It is the
 // measurement substrate of the survey's §2.4 argument that plan
 // enumeration is only as good as the statistics behind it: the
 // adaptive planner (planner.AdaptiveEnv, the "adaptive" policy)
@@ -167,10 +169,12 @@ const (
 // minute). Mark sits on the mutation path, not the search hot path,
 // so a short mutex is fine; now is injectable for tests.
 type Rate struct {
-	mu    sync.Mutex
-	slots [rateSlots]int64
-	epoch [rateSlots]int64 // slot index (unix/rateSlotDur) the count belongs to
-	now   func() time.Time
+	mu      sync.Mutex
+	slots   [rateSlots]int64
+	epoch   [rateSlots]int64 // slot index (unix/rateSlotDur) the count belongs to
+	started bool
+	first   int64 // unix second of the first Mark (warm-up divisor)
+	now     func() time.Time
 }
 
 // NewRate returns a rate tracker using the real clock.
@@ -181,9 +185,13 @@ func NewRateClock(now func() time.Time) *Rate { return &Rate{now: now} }
 
 // Mark records n events now.
 func (r *Rate) Mark(n int64) {
-	e := r.now().Unix() / int64(rateSlotDur/time.Second)
+	t := r.now().Unix()
+	e := t / int64(rateSlotDur/time.Second)
 	i := int(e % rateSlots)
 	r.mu.Lock()
+	if !r.started {
+		r.started, r.first = true, t
+	}
 	if r.epoch[i] != e {
 		r.epoch[i], r.slots[i] = e, 0
 	}
@@ -191,18 +199,29 @@ func (r *Rate) Mark(n int64) {
 	r.mu.Unlock()
 }
 
-// PerSecond returns the event rate over the trailing window.
+// PerSecond returns the event rate over the trailing window. Until the
+// window fills, the divisor is the time elapsed since the first Mark
+// (counting the first marked second as whole), so a fresh tracker
+// reports its true rate instead of diluting it over empty slots.
 func (r *Rate) PerSecond() float64 {
-	e := r.now().Unix() / int64(rateSlotDur/time.Second)
-	var total int64
+	t := r.now().Unix()
+	e := t / int64(rateSlotDur/time.Second)
 	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.started {
+		return 0
+	}
+	var total int64
 	for i := range r.slots {
 		if e-r.epoch[i] < rateSlots {
 			total += r.slots[i]
 		}
 	}
-	r.mu.Unlock()
-	return float64(total) / (rateSlots * rateSlotDur).Seconds()
+	elapsed := float64(t-r.first) + 1
+	if window := (rateSlots * rateSlotDur).Seconds(); elapsed > window {
+		elapsed = window
+	}
+	return float64(total) / elapsed
 }
 
 // Collection tracks online statistics for one collection. All record
@@ -316,7 +335,8 @@ func (c *Collection) MeanProbeComps() (float64, int64) {
 	return float64(c.probeComps.Load()) / float64(n), n
 }
 
-// RecordSelectivity records one observed selectivity for column col.
+// RecordSelectivity records one measured selectivity for column col
+// (a survivor fraction observed during execution, not an estimate).
 // Multi-predicate conjunctions record the conjunction's selectivity
 // under each referenced column — a per-column prior, deliberately
 // coarse (DESIGN.md §11).

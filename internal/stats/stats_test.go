@@ -51,9 +51,33 @@ func TestSelHistClampAndMean(t *testing.T) {
 func TestRateWindow(t *testing.T) {
 	now := time.Unix(1000, 0)
 	r := NewRateClock(func() time.Time { return now })
+	if got := r.PerSecond(); got != 0 {
+		t.Fatalf("rate before any Mark = %v, want 0", got)
+	}
 	r.Mark(60)
-	if got := r.PerSecond(); got != 1 {
-		t.Fatalf("rate = %v, want 1 (60 events over a 60s window)", got)
+	// Warm-up: the divisor is the elapsed portion of the window, not
+	// the full 60s — a burst in the first second reads at full rate.
+	if got := r.PerSecond(); got != 60 {
+		t.Fatalf("rate = %v, want 60 (burst over 1 elapsed second)", got)
+	}
+	// 100 events/s sustained for 10s reads as 100/s mid-warm-up, not
+	// diluted over the empty remainder of the window.
+	for i := 0; i < 9; i++ {
+		now = now.Add(time.Second)
+		r.Mark(100)
+	}
+	if got, want := r.PerSecond(), float64(60+9*100)/10; got != want {
+		t.Fatalf("warm-up rate = %v, want %v", got, want)
+	}
+	// Once the first Mark is a full window in the past, the divisor
+	// caps at the window length.
+	for i := 0; i < 60; i++ {
+		now = now.Add(time.Second)
+		r.Mark(10)
+	}
+	got := r.PerSecond()
+	if got < 9 || got > 11 {
+		t.Fatalf("steady-state rate = %v, want ~10 (600 events over the 60s window)", got)
 	}
 	// Far outside the window the events age out.
 	now = now.Add(10 * time.Minute)

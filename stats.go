@@ -120,7 +120,7 @@ type AuditOptions struct {
 // RecallAudit reports one audit pass.
 type RecallAudit struct {
 	Collection string        `json:"collection"`
-	Outcome    string        `json:"outcome"` // "ok", "regression", or "empty"
+	Outcome    string        `json:"outcome"` // "ok", "regression", "empty", or "error"
 	Samples    int           `json:"samples"`
 	Stale      int           `json:"stale"`
 	Recall     float64       `json:"recall"`
