@@ -26,6 +26,16 @@ type Schema struct {
 	// starts on a background goroutine and installs atomically when
 	// done. Queries never wait for it (see WaitForIndex). Default 0.2.
 	RebuildFraction float64
+	// Quantization is the default vector codec for indexes created on
+	// this collection: "none" (default), "sq8", "pq", or "opq".
+	// Quant-capable index families store codes instead of float32 rows,
+	// scan them with fused kernels, and re-rank the top RerankK
+	// candidates at full precision; families that cannot honor the
+	// codec ignore the default. CreateIndex opts override per index.
+	Quantization string
+	// RerankK is the default approximate candidate count re-scored
+	// exactly per query when Quantization is set; 0 picks max(4k, 32).
+	RerankK int
 }
 
 // Collection is a named vector collection with optional attributes and
@@ -71,6 +81,8 @@ func parseSchema(s Schema) (core.Schema, map[string]string, error) {
 		Metric:          m,
 		Attributes:      attrs,
 		RebuildFraction: s.RebuildFraction,
+		Quantization:    s.Quantization,
+		RerankK:         s.RerankK,
 	}, types, nil
 }
 
@@ -213,6 +225,10 @@ type SearchRequest struct {
 	NProbe int
 	// Alpha is the post-filter over-fetch multiplier (default 4).
 	Alpha int
+	// RerankK overrides the exact re-rank width for quantized index
+	// scans (0 = index default, max(4k, 32)). Larger values trade
+	// latency for recall; ignored by full-precision indexes.
+	RerankK int
 	// Parallelism is the intra-query worker count: exhaustive and
 	// bucket scans partition their work across this many workers,
 	// drawn from a shared process-wide pool. 0 uses every CPU
@@ -293,6 +309,7 @@ func (c *Collection) Search(req SearchRequest) (SearchResult, error) {
 		Ef:           req.Ef,
 		NProbe:       req.NProbe,
 		Alpha:        req.Alpha,
+		RerankK:      req.RerankK,
 		Parallelism:  req.Parallelism,
 		EntityColumn: req.EntityColumn,
 		Aggregator:   agg,
@@ -372,6 +389,7 @@ func (c *Collection) SearchBatch(qs [][]float32, req SearchRequest) ([][]Hit, er
 		Ef:          req.Ef,
 		NProbe:      req.NProbe,
 		Alpha:       req.Alpha,
+		RerankK:     req.RerankK,
 		Parallelism: req.Parallelism,
 	})
 	out := make([][]Hit, len(res))

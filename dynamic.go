@@ -30,6 +30,14 @@ type DynamicConfig struct {
 	// CPU (GOMAXPROCS), 1 searches serially. Results are identical at
 	// every setting.
 	Parallelism int
+	// Quantization stores segment index vectors as codes ("sq8", "pq",
+	// "opq"; "" or "none" disables). Segment searches scan codes and
+	// re-rank the top RerankK candidates at full precision. Only hnsw
+	// segments support it.
+	Quantization string
+	// RerankK is the approximate candidate count re-scored exactly per
+	// segment search when Quantization is set; 0 picks max(4k, 32).
+	RerankK int
 }
 
 // Dynamic is an updatable collection: upserts and deletes are cheap
@@ -56,15 +64,26 @@ func OpenDynamic(cfg DynamicConfig) (*Dynamic, error) {
 	if err != nil {
 		return nil, err
 	}
+	qkind, err := index.ParseQuantKind(cfg.Quantization)
+	if err != nil {
+		return nil, err
+	}
+	spec := index.QuantSpec{Kind: qkind, RerankK: cfg.RerankK}
 	var builder lsm.IndexBuilder
 	switch cfg.SegmentIndex {
 	case "", "hnsw":
 		builder = func(data []float32, n, d int) (index.Index, error) {
-			return hnsw.Build(data, n, d, hnsw.Config{M: 8, Seed: 1, Metric: m})
+			return hnsw.Build(data, n, d, hnsw.Config{M: 8, Seed: 1, Metric: m, Quant: spec})
 		}
 	case "ivfflat":
+		if spec.Enabled() {
+			return nil, fmt.Errorf("vdbms: quantization requires hnsw segments")
+		}
+		// The segment builder must carry the collection metric: an
+		// unconfigured ivf.Config scores lists under L2, silently
+		// mis-ranking cosine and inner-product collections.
 		builder = func(data []float32, n, d int) (index.Index, error) {
-			return ivf.Build(data, n, d, ivf.Config{Seed: 1})
+			return ivf.Build(data, n, d, ivf.Config{Seed: 1, Metric: m})
 		}
 	default:
 		return nil, fmt.Errorf("vdbms: unknown segment index %q", cfg.SegmentIndex)

@@ -1,0 +1,131 @@
+package vdbms
+
+import (
+	"math"
+	"testing"
+
+	"vdbms/internal/dataset"
+	"vdbms/internal/vec"
+)
+
+// TestDynamicIVFFlatCosineRegression pins the metric-blind segment
+// builder bug: OpenDynamic used to build ivfflat segments with an
+// unconfigured ivf.Config, so a cosine collection's sealed segments
+// ranked (and reported distances) under squared L2. With nprobe
+// covering every list the segment probe is an exact partitioned scan,
+// so the merged results must match brute force under cosine exactly.
+func TestDynamicIVFFlatCosineRegression(t *testing.T) {
+	const (
+		n, dim = 320, 16
+		k      = 10
+	)
+	dyn, err := OpenDynamic(DynamicConfig{
+		Dim: dim, Metric: "cosine", MemtableSize: 64,
+		SegmentIndex: "ivfflat", Parallelism: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := dataset.Clustered(n, dim, 4, 0.4, 5)
+	for i := 0; i < n; i++ {
+		if err := dyn.Upsert(int64(i), ds.Row(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := dyn.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if dyn.Segments() == 0 {
+		t.Fatal("expected sealed segments")
+	}
+	cos := vec.Distance(vec.Cosine)
+	for _, q := range ds.Queries(8, 0.05, 9) {
+		// ef doubles as the bucket budget; 256 covers every list of
+		// every segment, so the probe degenerates to an exact scan.
+		got, err := dyn.Search(q, k, 256)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := dyn.inner.SearchExact(q, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("got %d hits, want %d", len(got), len(want))
+		}
+		for i := range got {
+			if got[i].ID != want[i].ID {
+				t.Fatalf("hit %d: id %d, brute-force cosine says %d", i, got[i].ID, want[i].ID)
+			}
+			if d := cos(q, ds.Row(int(got[i].ID))); math.Abs(float64(got[i].Dist-d)) > 1e-5 {
+				t.Fatalf("hit %d: dist %v is not the cosine distance %v", i, got[i].Dist, d)
+			}
+		}
+	}
+}
+
+// TestDynamicQuantizedSegments exercises the compressed segment path:
+// hnsw segments storing sq8 codes, exact re-rank on top.
+func TestDynamicQuantizedSegments(t *testing.T) {
+	const (
+		n, dim = 512, 16
+		k      = 10
+	)
+	dyn, err := OpenDynamic(DynamicConfig{
+		Dim: dim, MemtableSize: 128, Quantization: "sq8", RerankK: 64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := dataset.Clustered(n, dim, 8, 0.4, 6)
+	for i := 0; i < n; i++ {
+		if err := dyn.Upsert(int64(i), ds.Row(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := dyn.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	var recall float64
+	qs := ds.Queries(10, 0.05, 13)
+	for _, q := range qs {
+		got, err := dyn.Search(q, k, 128)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := dyn.inner.SearchExact(q, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		truth := map[int64]struct{}{}
+		for _, h := range want {
+			truth[h.ID] = struct{}{}
+		}
+		hit := 0
+		for _, h := range got {
+			if _, ok := truth[h.ID]; ok {
+				hit++
+			}
+			// Re-ranked hits carry full-precision distances.
+			if d := vec.SquaredL2(q, ds.Row(int(h.ID))); math.Abs(float64(h.Dist-d)) > 1e-4 {
+				t.Fatalf("hit id %d: dist %v, exact %v", h.ID, h.Dist, d)
+			}
+		}
+		recall += float64(hit) / float64(len(want))
+	}
+	if recall/float64(len(qs)) < 0.9 {
+		t.Fatalf("quantized segment recall = %.2f", recall/float64(len(qs)))
+	}
+}
+
+// TestDynamicQuantizationRequiresHNSW: ivfflat segments cannot store
+// codes; asking for both must fail loudly at open, not rank quietly.
+func TestDynamicQuantizationRequiresHNSW(t *testing.T) {
+	_, err := OpenDynamic(DynamicConfig{Dim: 8, SegmentIndex: "ivfflat", Quantization: "sq8"})
+	if err == nil {
+		t.Fatal("ivfflat + quantization should be rejected")
+	}
+	if _, err := OpenDynamic(DynamicConfig{Dim: 8, Quantization: "bogus"}); err == nil {
+		t.Fatal("unknown quantization should be rejected")
+	}
+}

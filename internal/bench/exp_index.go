@@ -133,10 +133,14 @@ func runE4(w io.Writer, scale int) {
 	}
 	sqCodes := make([]byte, ds.Count*ds.Dim)
 	for i := 0; i < ds.Count; i++ {
-		sq.Encode(ds.Row(i), sqCodes[i*ds.Dim:(i+1)*ds.Dim])
+		if _, err := sq.Encode(ds.Row(i), sqCodes[i*ds.Dim:(i+1)*ds.Dim]); err != nil {
+			fmt.Fprintf(w, "E4: %v\n", err)
+			return
+		}
 	}
 	sqRecall := quantRecall(qs, truth, ds.Count, func(q []float32, i int) float32 {
-		return sq.DistanceL2(q, sqCodes[i*ds.Dim:(i+1)*ds.Dim])
+		d, _ := sq.DistanceL2(q, sqCodes[i*ds.Dim:(i+1)*ds.Dim])
+		return d
 	})
 	t.AddRow("SQ8", sq.CompressionRatio(), sq.MSE(ds.Data, ds.Count), sqRecall)
 

@@ -5,6 +5,7 @@ import (
 
 	"vdbms/internal/index"
 	"vdbms/internal/obs"
+	"vdbms/internal/vec"
 )
 
 // Background index maintenance. The engine used to rebuild a stale
@@ -23,9 +24,9 @@ import (
 // the snapshot's previous index (or an exact scan).
 
 // buildTimed runs one index build with duration metrics.
-func buildTimed(kind string, data []float32, n, dim int, opts map[string]int) (index.Index, error) {
+func buildTimed(kind string, data []float32, n, dim int, metric vec.Metric, opts map[string]int) (index.Index, error) {
 	start := time.Now()
-	idx, err := index.Build(kind, data, n, dim, opts)
+	idx, err := index.Build(kind, data, n, dim, metric, opts)
 	secs := time.Since(start).Seconds()
 	obs.IndexBuildSeconds.Observe(secs)
 	obs.IndexBuildLastSecs.Set(secs)
@@ -58,7 +59,7 @@ func (c *Collection) maybeTriggerBuildLocked() {
 // the build runs because inserts only append past it and updates
 // replace the array instead of writing through it.
 func (c *Collection) runBuild(epoch uint64, kind string, opts map[string]int, data []float32, n, dirty int) {
-	idx, err := buildTimed(kind, data, n, c.schema.Dim, opts)
+	idx, err := buildTimed(kind, data, n, c.schema.Dim, c.schema.Metric, opts)
 
 	c.mu.Lock()
 	defer c.mu.Unlock()

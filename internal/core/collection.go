@@ -53,6 +53,16 @@ type Schema struct {
 	// it; default 0.2. Rebuilds never run on the query path — see
 	// builder.go.
 	RebuildFraction float64
+	// Quantization, when set to "sq8"/"pq"/"opq", is the default
+	// compressed-scan codec folded into every CreateIndex call on a
+	// quant-capable family (explicit per-index opts win). ""/"none"
+	// disables it. The merged opts are what get recorded in the
+	// WAL/checkpoint recipe, so quantized indexes survive recovery
+	// unchanged even if the schema default later changes.
+	Quantization string
+	// RerankK is the default exact re-rank width for quantized scans;
+	// 0 selects the per-query default max(4k, 32).
+	RerankK int
 }
 
 // snapshot is one immutable epoch of the collection. Writers build a
@@ -213,6 +223,12 @@ func NewCollection(name string, schema Schema) (*Collection, error) {
 	}
 	if schema.RebuildFraction <= 0 {
 		schema.RebuildFraction = 0.2
+	}
+	if _, err := index.ParseQuantKind(schema.Quantization); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	if schema.RerankK < 0 {
+		return nil, fmt.Errorf("core: rerank_k must be >= 0, got %d", schema.RerankK)
 	}
 	attrs := filter.NewTable()
 	for name, kind := range schema.Attributes {
@@ -515,6 +531,13 @@ func (c *Collection) validIDLocked(id int64) error {
 // trailing (inserts) or stale (updates/deletes); the background
 // builder observes the gap and schedules a catch-up rebuild.
 func (c *Collection) CreateIndex(kind string, opts map[string]int) error {
+	// Fold the collection-level quantization default into the recipe
+	// before anything is pinned or logged: the materialized opts map is
+	// what builds AND what replays.
+	opts, qerr := index.MergeQuantDefaults(kind, opts, c.schema.Quantization, c.schema.RerankK)
+	if qerr != nil {
+		return qerr
+	}
 	c.mu.Lock()
 	if c.n == 0 {
 		c.mu.Unlock()
@@ -530,7 +553,7 @@ func (c *Collection) CreateIndex(kind string, opts map[string]int) error {
 	data, n, dirty := c.data[:c.n*c.schema.Dim], c.n, c.dirty
 	c.mu.Unlock()
 
-	idx, err := buildTimed(kind, data, n, c.schema.Dim, opts)
+	idx, err := buildTimed(kind, data, n, c.schema.Dim, c.schema.Metric, opts)
 
 	c.mu.Lock()
 	if err != nil {
@@ -606,6 +629,9 @@ type Request struct {
 	Ef     int
 	NProbe int
 	Alpha  int
+	// RerankK overrides the exact re-rank width for quantized index
+	// scans on this query; 0 uses the index/schema default.
+	RerankK int
 	// Parallelism is the intra-query worker count for partitioned
 	// scans; 0 uses every CPU, 1 scans serially. Results are identical
 	// at every setting.
@@ -682,7 +708,7 @@ func (c *Collection) search(req Request) ([]Result, planner.Plan, error) {
 		return nil, planner.Plan{}, fmt.Errorf("core: collection %q is empty", c.name)
 	}
 	env := s.env
-	opts := executor.Options{Ef: req.Ef, NProbe: req.NProbe, Parallelism: req.Parallelism, Exclude: s.exclude(), Span: root}
+	opts := executor.Options{Ef: req.Ef, NProbe: req.NProbe, RerankK: req.RerankK, Parallelism: req.Parallelism, Exclude: s.exclude(), Span: root}
 
 	if len(req.Vectors) > 0 {
 		if req.EntityColumn == "" {
@@ -833,7 +859,7 @@ func (c *Collection) SearchBatch(qs [][]float32, req Request) ([][]Result, error
 	if err != nil {
 		return nil, err
 	}
-	opts := executor.Options{Ef: req.Ef, NProbe: req.NProbe, Parallelism: req.Parallelism, Exclude: s.exclude()}
+	opts := executor.Options{Ef: req.Ef, NProbe: req.NProbe, RerankK: req.RerankK, Parallelism: req.Parallelism, Exclude: s.exclude()}
 	res, err := env.SearchBatch(plan, qs, req.K, req.Preds, opts)
 	out := make([][]Result, len(res))
 	for i, rs := range res {

@@ -51,6 +51,11 @@ type fileSnapshot struct {
 	StrColumns map[string][]string
 	IndexKind  string
 	IndexOpts  map[string]int
+	// Quantization/RerankK mirror the schema's compressed-scan
+	// defaults (gob decodes them as zero values from older snapshots,
+	// i.e. disabled).
+	Quantization string
+	RerankK      int
 	// AppliedLSN is the WAL position this snapshot covers (version ≥ 2;
 	// 0 for plain Save files and pre-WAL snapshots).
 	AppliedLSN uint64
@@ -78,6 +83,8 @@ func (c *Collection) fileSnapshotAt(s *snapshot) *fileSnapshot {
 		StrColumns:    map[string][]string{},
 		IndexKind:     s.annKind,
 		IndexOpts:     s.annOpts,
+		Quantization:  c.schema.Quantization,
+		RerankK:       c.schema.RerankK,
 		AppliedLSN:    s.lsn,
 	}
 	if s.del != nil {
@@ -219,6 +226,8 @@ func collectionFromSnapshot(snap *fileSnapshot) (*Collection, error) {
 		Metric:          vec.Metric(snap.Metric),
 		Attributes:      attrs,
 		RebuildFraction: snap.RebuildFrac,
+		Quantization:    snap.Quantization,
+		RerankK:         snap.RerankK,
 	})
 	if err != nil {
 		return nil, err

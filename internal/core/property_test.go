@@ -96,7 +96,13 @@ func (p *propState) mutate(t *testing.T, c *Collection) [][]float32 {
 			{"hnsw", map[string]int{"m": 4 + p.rng.Intn(4)}},
 			{"kdtree", nil},
 		}
+		// kdtree is L2-only and now says so at build time (it used to
+		// rank under squared L2 no matter the schema metric); keep the
+		// draw deterministic and substitute a metric-capable family.
 		r := recipes[p.rng.Intn(len(recipes))]
+		if r.kind == "kdtree" && p.schema.Metric != vec.L2 {
+			r = recipes[0]
+		}
 		if err := c.CreateIndex(r.kind, r.opts); err != nil {
 			t.Fatal(err)
 		}

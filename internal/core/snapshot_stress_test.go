@@ -9,6 +9,7 @@ import (
 	"vdbms/internal/dataset"
 	"vdbms/internal/filter"
 	"vdbms/internal/index"
+	"vdbms/internal/vec"
 )
 
 // These tests pin the three guarantees of the snapshot engine (run
@@ -203,7 +204,7 @@ var (
 
 func registerHoldIndex() {
 	holdOnce.Do(func() {
-		index.Register("testhold", func(data []float32, n, d int, opts map[string]int) (index.Index, error) {
+		index.Register("testhold", func(data []float32, n, d int, metric vec.Metric, opts map[string]int) (index.Index, error) {
 			holdMu.Lock()
 			ch, started := holdCh, holdStarted
 			holdMu.Unlock()

@@ -63,6 +63,8 @@ func encodeSchema(name string, s Schema) []byte {
 	b = appendU32(b, uint32(s.Dim))
 	b = appendU32(b, uint32(s.Metric))
 	b = appendU64(b, math.Float64bits(s.RebuildFraction))
+	b = appendStr(b, s.Quantization)
+	b = appendU32(b, uint32(s.RerankK))
 	cols := make([]string, 0, len(s.Attributes))
 	for c := range s.Attributes {
 		cols = append(cols, c)
@@ -213,6 +215,8 @@ func decodeWALRecord(payload []byte) (walRecord, error) {
 		rec.schema.Dim = int(d.u32())
 		rec.schema.Metric = vec.Metric(d.u32())
 		rec.schema.RebuildFraction = math.Float64frombits(d.u64())
+		rec.schema.Quantization = d.str()
+		rec.schema.RerankK = int(d.u32())
 		n := int(d.u32())
 		rec.schema.Attributes = make(map[string]filter.Kind, n)
 		for i := 0; i < n && d.err == nil; i++ {

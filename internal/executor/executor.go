@@ -98,6 +98,10 @@ type Options struct {
 	// width (GOMAXPROCS), 1 forces serial scans. Results are identical
 	// at every setting.
 	Parallelism int
+	// RerankK overrides the exact re-rank width of quantized index
+	// scans for this query (0 keeps the index's configured default;
+	// ignored by full-precision indexes).
+	RerankK int
 	// Span, when non-nil, is the parent under which execution stages
 	// (filter, index_probe, post_filter) record trace spans. Nil costs
 	// only a pointer check per stage. SearchBatch shares one Options
@@ -107,7 +111,7 @@ type Options struct {
 }
 
 func (o Options) params() index.Params {
-	p := index.Params{Ef: o.Ef, NProbe: o.NProbe, Parallelism: o.Parallelism}
+	p := index.Params{Ef: o.Ef, NProbe: o.NProbe, Parallelism: o.Parallelism, RerankK: o.RerankK}
 	if o.Exclude != nil {
 		excl := o.Exclude
 		p.Filter = func(id int64) bool { return !excl(id) }
@@ -437,6 +441,14 @@ func (e *Env) Plan(k int, preds []filter.Predicate, policy string, span *obs.Spa
 	start := time.Now()
 	env := planner.Env{
 		N: e.N, K: k, HasIndex: e.ANN != nil, Selectivity: 1,
+	}
+	if qi, ok := e.ANN.(index.Quantized); ok && qi.QuantizedScan() {
+		// Quantized candidate generation touches code bytes instead of
+		// float32 rows; discount per-probe cost by the SQ8 ratio (the
+		// most common codec — PQ is cheaper still) so cost-based
+		// selection doesn't abandon a quantized index for a brute-force
+		// scan it would beat.
+		env.QuantRatio = 0.35
 	}
 	if len(preds) > 0 && e.Attrs != nil {
 		sel, err := e.Attrs.EstimateSelectivity(preds, 256)

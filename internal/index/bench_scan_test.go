@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"vdbms/internal/dataset"
+	"vdbms/internal/quant"
 	"vdbms/internal/vec"
 )
 
@@ -50,5 +51,125 @@ func BenchmarkFlatScan(b *testing.B) {
 				b.ReportMetric(rows*float64(b.N)/b.Elapsed().Seconds(), "rows/s")
 			})
 		}
+	}
+}
+
+// BenchmarkQuantScan is the quantization-fused counterpart of
+// BenchmarkFlatScan at the same acceptance scale (100k x 128-d,
+// serial): the float32 block scan vs the sq8 LUT scan and the pq/opq
+// 4-bit fast-scan ADC kernels, each with exact re-rank of the top 100
+// candidates. Alongside rows/s every variant reports its measured
+// recall@10 against the float32 ground truth and its scoring-payload
+// compression ratio, so BENCH_scan.json carries the recall-vs-speed
+// frontier, not just throughput. PQ/OPQ codebooks train on a 20k
+// subsample to keep the setup cost bounded; encoding covers all rows.
+func BenchmarkQuantScan(b *testing.B) {
+	const (
+		k       = 10
+		rerankK = 100
+		train   = 20_000
+	)
+	ds := dataset.Uniform(100_000, 128, 1)
+	qs := ds.Queries(8, 0.1, 3)
+	truth := dataset.GroundTruth(vec.SquaredL2, ds, qs, k)
+	rows := float64(ds.Count)
+
+	sc, err := vec.NewScorer(vec.L2, ds.Data, ds.Count, ds.Dim)
+	if err != nil {
+		b.Fatal(err)
+	}
+	newQuantFlat := func(qsc vec.QuantScorer, spec QuantSpec) *Flat {
+		return &Flat{dim: ds.Dim, n: ds.Count, sc: sc, qsc: qsc, spec: spec}
+	}
+	spec := QuantSpec{RerankK: rerankK}
+	pqCfg := quant.PQConfig{M: 8, Ks: 16, Seed: 1, MaxIter: 10}
+	sub := ds.Data[:train*ds.Dim]
+
+	variants := make([]struct {
+		name string
+		f    *Flat
+	}, 0, 4)
+	float32Flat, err := NewFlatQuant(ds.Data, ds.Count, ds.Dim, vec.L2, QuantSpec{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	variants = append(variants, struct {
+		name string
+		f    *Flat
+	}{"float32", float32Flat})
+
+	sq8Spec := spec
+	sq8Spec.Kind = QuantSQ8
+	sq8Kernel, err := BuildQuantKernel(sq8Spec, vec.L2, ds.Data, ds.Count, ds.Dim)
+	if err != nil {
+		b.Fatal(err)
+	}
+	variants = append(variants, struct {
+		name string
+		f    *Flat
+	}{"sq8", newQuantFlat(sq8Kernel, sq8Spec)})
+
+	pq, err := quant.TrainPQ(sub, train, ds.Dim, pqCfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pqKernel, err := quant.NewPQScorer(pq, ds.Data, ds.Count)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pqSpec := spec
+	pqSpec.Kind = QuantPQ
+	variants = append(variants, struct {
+		name string
+		f    *Flat
+	}{"pq", newQuantFlat(pqKernel, pqSpec)})
+
+	o, err := quant.TrainOPQ(sub, train, ds.Dim, quant.OPQConfig{PQConfig: pqCfg, Iters: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	opqKernel, err := quant.NewOPQScorer(o, ds.Data, ds.Count)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opqSpec := spec
+	opqSpec.Kind = QuantOPQ
+	variants = append(variants, struct {
+		name string
+		f    *Flat
+	}{"opq", newQuantFlat(opqKernel, opqSpec)})
+
+	for _, v := range variants {
+		// Recall and compression are properties of the variant, not the
+		// iteration count: measure once outside the timed loop.
+		var recall float64
+		for i, q := range qs {
+			res, err := v.f.Search(q, k, Params{Parallelism: 1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			recall += dataset.Recall(res, truth[i])
+		}
+		recall /= float64(len(qs))
+		ratio := 1.0
+		if v.f.qsc != nil {
+			ratio = float64(ds.Dim*4) / float64(v.f.qsc.BytesPerRow())
+		}
+		b.Run(v.name, func(b *testing.B) {
+			bytesPerRow := ds.Dim * 4
+			if v.f.qsc != nil {
+				bytesPerRow = v.f.qsc.BytesPerRow()
+			}
+			b.SetBytes(int64(ds.Count) * int64(bytesPerRow))
+			q := qs[0]
+			for i := 0; i < b.N; i++ {
+				if _, err := v.f.Search(q, k, Params{Parallelism: 1}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(rows*float64(b.N)/b.Elapsed().Seconds(), "rows/s")
+			b.ReportMetric(recall, "recall@10")
+			b.ReportMetric(ratio, "x_compression")
+		})
 	}
 }

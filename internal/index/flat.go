@@ -25,6 +25,13 @@ type Flat struct {
 	n     int
 	sc    *vec.Scorer
 	comps atomic.Int64
+	// qsc, when non-nil, is the compressed-scan kernel: Search scans
+	// codes instead of floats, keeps the top rerank_k approximate
+	// candidates, and re-scores them exactly with sc before the final
+	// top-k cut. SearchRange always scans full precision (a radius
+	// compare on approximate distances would drop boundary rows).
+	qsc  vec.QuantScorer
+	spec QuantSpec
 }
 
 // scanBlock is the rows scored per kernel call: large enough to
@@ -55,13 +62,65 @@ func NewFlatScorer(sc *vec.Scorer) (*Flat, error) {
 	return &Flat{dim: sc.Dim(), n: sc.Rows(), sc: sc}, nil
 }
 
-func init() {
-	Register("flat", func(data []float32, n, d int, opts map[string]int) (Index, error) {
-		if len(opts) != 0 {
-			return nil, fmt.Errorf("index: flat takes no options, got %v", opts)
+// NewFlatQuant builds a flat index scoring with the collection metric
+// and, when spec selects a codec, a fused quantized scan with exact
+// re-rank (trained on data at construction).
+func NewFlatQuant(data []float32, n, d int, metric vec.Metric, spec QuantSpec) (*Flat, error) {
+	if d <= 0 || len(data) < n*d {
+		return nil, fmt.Errorf("index: flat data %d shorter than n*d %d", len(data), n*d)
+	}
+	sc, err := vec.NewScorer(metric, data, n, d)
+	if err != nil {
+		return nil, err
+	}
+	f := &Flat{dim: d, n: n, sc: sc, spec: spec}
+	if spec.Enabled() {
+		if f.qsc, err = BuildQuantKernel(spec, metric, data, n, d); err != nil {
+			return nil, err
 		}
-		return NewFlat(data, n, d, nil)
+	}
+	return f, nil
+}
+
+// QuantizedScan implements Quantized.
+func (f *Flat) QuantizedScan() bool { return f.qsc != nil }
+
+func init() {
+	Register("flat", func(data []float32, n, d int, metric vec.Metric, opts map[string]int) (Index, error) {
+		var spec QuantSpec
+		for key, v := range opts {
+			ok, err := spec.ParseOpt(key, v)
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				return nil, fmt.Errorf("index: flat does not take option %q", key)
+			}
+		}
+		return NewFlatQuant(data, n, d, metric, spec)
 	})
+	MarkQuantCapable("flat")
+}
+
+// RerankExact re-scores approximate candidates with a full-precision
+// scorer and returns the exact top k in (dist, id) collector order —
+// the second stage of every compressed scan.
+func RerankExact(sc *vec.Scorer, q []float32, res []topk.Result, k int) []topk.Result {
+	if len(res) == 0 {
+		return res
+	}
+	b := sc.Bind(q)
+	ids := make([]int32, len(res))
+	for i, r := range res {
+		ids[i] = int32(r.ID)
+	}
+	dist := make([]float32, len(res))
+	b.ScoreIDs(ids, dist)
+	c := topk.NewCollector(k)
+	for i, r := range res {
+		c.Push(r.ID, dist[i])
+	}
+	return c.Results()
 }
 
 // Name implements Index.
@@ -110,38 +169,50 @@ func (f *Flat) Search(q []float32, k int, p Params) ([]topk.Result, error) {
 	if len(q) != f.dim {
 		return nil, fmt.Errorf("%w: query %d, index %d", ErrDim, len(q), f.dim)
 	}
-	w := f.workers(p.Parallelism)
-	if w <= 1 {
-		c := topk.NewCollector(k)
-		comps := f.scanRange(q, c, 0, f.n, &p)
-		f.comps.Add(comps)
-		if p.Stats != nil {
-			p.Stats.DistanceComps += comps
-			p.Stats.Partitions++
-		}
-		return c.Results(), nil
+	// A quantized scan collects rerank_k approximate candidates and
+	// re-scores them exactly after the merge; a full-precision scan
+	// collects k finals directly.
+	kk := k
+	if f.qsc != nil {
+		kk = f.spec.ResolveRerankK(p, k, f.n)
 	}
-	obs.ParallelSearches.With("flat").Inc()
-	offs := pool.Split(f.n, w)
-	collectors := make([]*topk.Collector, w)
-	compsBy := make([]int64, w)
-	pool.Default().Run(w, func(i int) {
-		c := topk.NewCollector(k)
-		compsBy[i] = f.scanRange(q, c, offs[i], offs[i+1], &p)
-		collectors[i] = c
-	})
-	merged := collectors[0]
-	comps := compsBy[0]
-	for i := 1; i < w; i++ {
-		merged.Merge(collectors[i])
-		comps += compsBy[i]
+	w := f.workers(p.Parallelism)
+	var merged *topk.Collector
+	var comps int64
+	if w <= 1 {
+		merged = topk.NewCollector(kk)
+		comps = f.scanRange(q, merged, 0, f.n, &p)
+	} else {
+		obs.ParallelSearches.With("flat").Inc()
+		offs := pool.Split(f.n, w)
+		collectors := make([]*topk.Collector, w)
+		compsBy := make([]int64, w)
+		pool.Default().Run(w, func(i int) {
+			c := topk.NewCollector(kk)
+			compsBy[i] = f.scanRange(q, c, offs[i], offs[i+1], &p)
+			collectors[i] = c
+		})
+		merged = collectors[0]
+		comps = compsBy[0]
+		for i := 1; i < w; i++ {
+			merged.Merge(collectors[i])
+			comps += compsBy[i]
+		}
+	}
+	res := merged.Results()
+	if f.qsc != nil {
+		comps += int64(len(res))
+		res = RerankExact(f.sc, q, res, k)
 	}
 	f.comps.Add(comps)
 	if p.Stats != nil {
 		p.Stats.DistanceComps += comps
+		if w < 1 {
+			w = 1
+		}
 		p.Stats.Partitions += int64(w)
 	}
-	return merged.Results(), nil
+	return res, nil
 }
 
 // scanRange scores rows [lo, hi) into c and returns the distance
@@ -151,7 +222,19 @@ func (f *Flat) Search(q []float32, k int, p Params) ([]topk.Result, error) {
 // them through the same kernels, so only admitted rows are scored (and
 // counted) — identical accounting to the per-row path.
 func (f *Flat) scanRange(q []float32, c *topk.Collector, lo, hi int, p *Params) int64 {
-	b := f.sc.Bind(q)
+	// blockScorer is the slice of the Bind contract both the float and
+	// the quantized kernels share; picking the binding here is what
+	// lets every call site below switch by configuration, not code.
+	type blockScorer interface {
+		ScoreBlock(lo, hi int, out []float32)
+		ScoreIDs(ids []int32, out []float32)
+	}
+	var b blockScorer
+	if f.qsc != nil {
+		b = f.qsc.Bind(q)
+	} else {
+		b = f.sc.Bind(q)
+	}
 	dist := make([]float32, scanBlock)
 	comps := int64(0)
 	if !p.Constrained() {

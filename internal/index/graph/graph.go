@@ -30,6 +30,24 @@ type Searcher struct {
 	// build helpers; the caller owns reset). Atomic because concurrent
 	// searches share one Searcher per index.
 	Comps atomic.Int64
+	// Quant, when set, scores traversal candidates on quantized codes
+	// instead of float32 rows: Bind returns a Query backed by the
+	// compressed kernel, so neighbor expansion touches BytesPerRow()
+	// bytes per node instead of 4*Dim. Owners re-rank the final
+	// candidates with Scorer — traversal distances are approximate.
+	// Build-time helpers (DistRows, RobustPrune) keep full precision:
+	// graphs are constructed before codes are attached.
+	Quant vec.QuantScorer
+}
+
+// ScoringBytes reports the resident bytes the traversal scoring path
+// touches per node times n — the numerator of the compression claim
+// (adjacency is identical either way and excluded).
+func (s *Searcher) ScoringBytes(n int) int {
+	if s.Quant != nil {
+		return n * s.Quant.BytesPerRow()
+	}
+	return n * s.Dim * 4
 }
 
 // Row returns vector id.
@@ -64,12 +82,18 @@ func (s *Searcher) DistRows(i, j int32) float32 {
 type Query struct {
 	s  *Searcher
 	b  vec.Bound
+	qb vec.QuantBound   // set when the Searcher scans quantized codes
 	fn vec.DistanceFunc // set when no Scorer: scalar fallback
 	q  []float32
 }
 
-// Bind prepares per-query scoring state for q.
+// Bind prepares per-query scoring state for q. When the Searcher
+// carries a quantized kernel the bound query scores codes (building
+// the per-query LUT here, once per search).
 func (s *Searcher) Bind(q []float32) Query {
+	if s.Quant != nil {
+		return Query{s: s, qb: s.Quant.Bind(q)}
+	}
 	if s.Scorer != nil {
 		return Query{s: s, b: s.Scorer.Bind(q)}
 	}
@@ -79,6 +103,9 @@ func (s *Searcher) Bind(q []float32) Query {
 // Dist returns the distance from the bound query to node id.
 func (bq Query) Dist(id int32) float32 {
 	bq.s.Comps.Add(1)
+	if bq.qb != nil {
+		return bq.qb.ScoreAt(int(id))
+	}
 	if bq.fn != nil {
 		return bq.fn(bq.q, bq.s.Row(id))
 	}

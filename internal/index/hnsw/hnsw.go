@@ -28,6 +28,11 @@ type Config struct {
 	NaiveSelection bool
 	Seed           int64
 	Metric         vec.Metric
+	// Quant, when enabled, stores a compressed copy of the vectors and
+	// scores beam-search candidates on codes; the top rerank_k results
+	// are re-scored with exact float32 distances (see index.QuantSpec).
+	// The graph itself is always built at full precision.
+	Quant index.QuantSpec
 }
 
 // HNSW is the built index.
@@ -71,6 +76,16 @@ func Build(data []float32, n, d int, cfg Config) (*HNSW, error) {
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	for id := 0; id < n; id++ {
 		h.insert(int32(id), rng)
+	}
+	if cfg.Quant.Enabled() {
+		// Attach the quantized kernel only after construction: insertion
+		// quality depends on exact distances, and RobustPrune compares
+		// stored rows pairwise, which codes cannot serve.
+		qsc, err := index.BuildQuantKernel(cfg.Quant, cfg.Metric, data, n, d)
+		if err != nil {
+			return nil, fmt.Errorf("hnsw: %w", err)
+		}
+		h.s.Quant = qsc
 	}
 	return h, nil
 }
@@ -182,6 +197,13 @@ func (h *HNSW) ResetStats() { h.comps.Store(0); h.s.Comps.Store(0) }
 // MaxLayer returns the top layer index.
 func (h *HNSW) MaxLayer() int { return h.maxLv }
 
+// QuantizedScan implements index.Quantized.
+func (h *HNSW) QuantizedScan() bool { return h.s.Quant != nil }
+
+// ScoringBytes reports the resident bytes the traversal scoring path
+// keeps hot (codes when quantized, float32 rows otherwise).
+func (h *HNSW) ScoringBytes() int { return h.s.ScoringBytes(h.n) }
+
 // AvgBaseDegree reports mean degree of the bottom layer.
 func (h *HNSW) AvgBaseDegree() float64 { return graph.AvgDegree(h.layers[0]) }
 
@@ -201,6 +223,15 @@ func (h *HNSW) Search(q []float32, k int, p index.Params) ([]topk.Result, error)
 			ef = 32
 		}
 	}
+	kk := k
+	if h.s.Quant != nil {
+		// Quantized traversal: widen the candidate set to rerank_k and
+		// re-score it exactly below.
+		kk = h.cfg.Quant.ResolveRerankK(p, k, h.n)
+		if ef < kk {
+			ef = kk
+		}
+	}
 	ep := h.entry
 	for l := h.maxLv; l >= 1; l-- {
 		ep, _ = graph.GreedyWalk(h.s, h.layers[l], q, ep)
@@ -208,13 +239,26 @@ func (h *HNSW) Search(q []float32, k int, p index.Params) ([]topk.Result, error)
 			p.Stats.GreedyHops++
 		}
 	}
-	return graph.BeamSearch(h.s, h.layers[0], q, []int32{ep}, k, ef, p), nil
+	res := graph.BeamSearch(h.s, h.layers[0], q, []int32{ep}, kk, ef, p)
+	if h.s.Quant != nil {
+		h.s.Comps.Add(int64(len(res)))
+		if p.Stats != nil {
+			p.Stats.DistanceComps += int64(len(res))
+		}
+		res = index.RerankExact(h.s.Scorer, q, res, k)
+	}
+	return res, nil
 }
 
 func init() {
-	index.Register("hnsw", func(data []float32, n, d int, opts map[string]int) (index.Index, error) {
-		cfg := Config{}
+	index.Register("hnsw", func(data []float32, n, d int, metric vec.Metric, opts map[string]int) (index.Index, error) {
+		cfg := Config{Metric: metric}
 		for k, v := range opts {
+			if used, err := cfg.Quant.ParseOpt(k, v); err != nil {
+				return nil, err
+			} else if used {
+				continue
+			}
 			switch k {
 			case "m":
 				cfg.M = v
@@ -230,4 +274,5 @@ func init() {
 		}
 		return Build(data, n, d, cfg)
 	})
+	index.MarkQuantCapable("hnsw")
 }

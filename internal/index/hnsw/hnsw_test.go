@@ -158,11 +158,70 @@ func TestValidationAndStats(t *testing.T) {
 
 func TestRegistry(t *testing.T) {
 	ds := dataset.Uniform(50, 4, 15)
-	idx, err := index.Build("hnsw", ds.Data, 50, 4, map[string]int{"m": 4, "efc": 16, "naive": 1})
+	idx, err := index.Build("hnsw", ds.Data, 50, 4, vec.L2, map[string]int{"m": 4, "efc": 16, "naive": 1})
 	if err != nil || idx.Name() != "hnsw" {
 		t.Fatalf("%v", err)
 	}
-	if _, err := index.Build("hnsw", ds.Data, 50, 4, map[string]int{"zz": 1}); err == nil {
+	if _, err := index.Build("hnsw", ds.Data, 50, 4, vec.L2, map[string]int{"zz": 1}); err == nil {
 		t.Fatal("want unknown-option error")
+	}
+}
+
+// TestHNSWQuantizedTraversal: sq8-backed neighbor expansion with exact
+// re-rank must shrink the scoring payload >= 4x and keep high recall,
+// and every returned distance is full precision (the re-rank ran).
+func TestHNSWQuantizedTraversal(t *testing.T) {
+	const n, k = 2000, 10
+	ds := dataset.Clustered(n, 16, 8, 0.4, 31)
+	h, err := Build(ds.Data, ds.Count, ds.Dim, Config{
+		M: 12, Seed: 1, Quant: index.QuantSpec{Kind: index.QuantSQ8},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !h.QuantizedScan() {
+		t.Fatal("QuantizedScan() = false")
+	}
+	if ratio := float64(n*ds.Dim*4) / float64(h.ScoringBytes()); ratio < 4 {
+		t.Fatalf("scoring payload compression %.1fx, want >= 4x", ratio)
+	}
+	qs := ds.Queries(20, 0.05, 32)
+	truth := dataset.GroundTruth(vec.SquaredL2, ds, qs, k)
+	var recall float64
+	for i, q := range qs {
+		got, err := h.Search(q, k, index.Params{Ef: 100})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range got {
+			exact := vec.SquaredL2(q, ds.Row(int(r.ID)))
+			if d := float64(r.Dist - exact); d > 1e-4 || d < -1e-4 {
+				t.Fatalf("query %d id %d: dist %v not re-ranked to exact %v", i, r.ID, r.Dist, exact)
+			}
+		}
+		recall += dataset.Recall(got, truth[i])
+	}
+	if recall/float64(len(qs)) < 0.9 {
+		t.Fatalf("quantized hnsw recall = %.3f", recall/float64(len(qs)))
+	}
+}
+
+// TestHNSWQuantRegistryOpts: the registry accepts the quant opt set
+// for hnsw and records honest config errors for bad values.
+func TestHNSWQuantRegistryOpts(t *testing.T) {
+	ds := dataset.Clustered(300, 8, 4, 0.4, 33)
+	idx, err := index.Build("hnsw", ds.Data, 300, 8, vec.L2,
+		map[string]int{"m": 6, "quant": int(index.QuantSQ8), "rerank_k": 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !idx.(*HNSW).QuantizedScan() {
+		t.Fatal("quant opt ignored")
+	}
+	if _, err := index.Build("hnsw", ds.Data, 300, 8, vec.L2, map[string]int{"quant": 99}); err == nil {
+		t.Fatal("quant=99 should be rejected")
+	}
+	if _, err := index.Build("hnsw", ds.Data, 300, 8, vec.Cosine, map[string]int{"quant": int(index.QuantPQ)}); err == nil {
+		t.Fatal("pq under cosine should be rejected (ADC decomposes L2 only)")
 	}
 }

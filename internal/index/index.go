@@ -12,6 +12,7 @@ import (
 
 	"vdbms/internal/bitset"
 	"vdbms/internal/topk"
+	"vdbms/internal/vec"
 )
 
 // Params carries per-query search knobs. Zero values select each
@@ -44,6 +45,12 @@ type Params struct {
 	// Results are identical at every setting: partitions merge through
 	// the id-deterministic top-k collector.
 	Parallelism int
+	// RerankK, for indexes that scan quantized codes, overrides how
+	// many approximate candidates are re-scored with full-precision
+	// distances before the final top-k cut. 0 keeps the index's
+	// configured (or default) re-rank width; it is ignored by
+	// full-precision indexes.
+	RerankK int
 }
 
 // SearchStats collects the work one Search call performed. Backends
@@ -111,9 +118,15 @@ var ErrBadK = errors.New("index: k must be positive")
 var ErrDim = errors.New("index: query dimension mismatch")
 
 // BuildFunc constructs an index over n row-major vectors of dimension
-// d. opts carries index-specific knobs (parsed from the CLI or query
-// language); unknown keys are an error.
-type BuildFunc func(data []float32, n, d int, opts map[string]int) (Index, error)
+// d. metric is the collection's distance metric: families that can
+// honor it must score candidates with it, and families whose
+// structure is inherently tied to one metric must return an error for
+// any other — silently falling back to L2 is the bug class this
+// parameter exists to kill (every registry-built index used to be
+// L2-ranked regardless of the collection metric). opts carries
+// index-specific knobs (parsed from the CLI or query language);
+// unknown keys are an error.
+type BuildFunc func(data []float32, n, d int, metric vec.Metric, opts map[string]int) (Index, error)
 
 var (
 	regMu    sync.RWMutex
@@ -131,15 +144,15 @@ func Register(name string, fn BuildFunc) {
 	registry[name] = fn
 }
 
-// Build constructs a registered index by name.
-func Build(name string, data []float32, n, d int, opts map[string]int) (Index, error) {
+// Build constructs a registered index by name, scoring with metric.
+func Build(name string, data []float32, n, d int, metric vec.Metric, opts map[string]int) (Index, error) {
 	regMu.RLock()
 	fn, ok := registry[name]
 	regMu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("index: unknown index %q (known: %v)", name, Names())
 	}
-	return fn(data, n, d, opts)
+	return fn(data, n, d, metric, opts)
 }
 
 // Registered reports whether an index family is known, letting

@@ -116,17 +116,17 @@ func TestRegistry(t *testing.T) {
 		t.Fatalf("flat not registered: %v", names)
 	}
 	ds := dataset.Uniform(10, 2, 1)
-	idx, err := Build("flat", ds.Data, 10, 2, nil)
+	idx, err := Build("flat", ds.Data, 10, 2, vec.L2, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if idx.Name() != "flat" || idx.Size() != 10 {
 		t.Fatal("registry build wrong")
 	}
-	if _, err := Build("nope", ds.Data, 10, 2, nil); err == nil {
+	if _, err := Build("nope", ds.Data, 10, 2, vec.L2, nil); err == nil {
 		t.Fatal("want unknown-index error")
 	}
-	if _, err := Build("flat", ds.Data, 10, 2, map[string]int{"x": 1}); err == nil {
+	if _, err := Build("flat", ds.Data, 10, 2, vec.L2, map[string]int{"x": 1}); err == nil {
 		t.Fatal("want options error")
 	}
 }

@@ -46,6 +46,16 @@ type Config struct {
 	Residual bool
 	Seed     int64
 	MaxIter  int
+	// Metric is the distance candidates are scored under. The Flat
+	// variant honors any Scorer metric; SQ and ADC codes/LUTs
+	// decompose squared L2 only, so those variants reject any other
+	// metric at build time instead of silently L2-ranking (the bug
+	// this field fixes: Build used to hardcode vec.L2 for everything).
+	Metric vec.Metric
+	// RerankK is how many quantized candidates (SQ/ADC variants) get
+	// exact re-scoring on the retained raw vectors before the top-k
+	// cut; 0 selects the per-query default max(4k, 32).
+	RerankK int
 }
 
 // IVF is the built index.
@@ -58,7 +68,8 @@ type IVF struct {
 	cents   *kmeans.Result
 	lists   [][]int32 // bucket -> member ids
 	sq      *quant.SQ
-	sqCodes []byte // n * dim, SQ variant
+	sqCodes []byte          // n * dim, SQ variant
+	sqk     vec.QuantScorer // decode-free LUT kernel over sqCodes
 	pq      *quant.PQ
 	pqCodes []byte // n * M, ADC variant
 	comps   atomic.Int64
@@ -78,11 +89,15 @@ func Build(data []float32, n, d int, cfg Config) (*IVF, error) {
 	if cfg.MaxIter <= 0 {
 		cfg.MaxIter = 20
 	}
+	if cfg.Variant != Flat && cfg.Metric != vec.L2 {
+		return nil, fmt.Errorf("ivf: %s requires l2 (codes and ADC tables decompose squared L2 only), got metric %v",
+			variantName(cfg.Variant), cfg.Metric)
+	}
 	cents, err := kmeans.Train(data, n, d, kmeans.Config{K: cfg.NList, Seed: cfg.Seed, MaxIter: cfg.MaxIter})
 	if err != nil {
 		return nil, fmt.Errorf("ivf: coarse quantizer: %w", err)
 	}
-	sc, err := vec.NewScorer(vec.L2, data, n, d)
+	sc, err := vec.NewScorer(cfg.Metric, data, n, d)
 	if err != nil {
 		return nil, fmt.Errorf("ivf: %w", err)
 	}
@@ -100,7 +115,12 @@ func Build(data []float32, n, d int, cfg Config) (*IVF, error) {
 		iv.sq = sq
 		iv.sqCodes = make([]byte, n*d)
 		for id := 0; id < n; id++ {
-			sq.Encode(data[id*d:(id+1)*d], iv.sqCodes[id*d:(id+1)*d])
+			if _, err := sq.Encode(data[id*d:(id+1)*d], iv.sqCodes[id*d:(id+1)*d]); err != nil {
+				return nil, err
+			}
+		}
+		if iv.sqk, err = vec.NewSQ8Scorer(vec.L2, sq.Min, sq.Step, iv.sqCodes, n, d); err != nil {
+			return nil, err
 		}
 	case ADC:
 		if cfg.PQM <= 0 {
@@ -149,8 +169,10 @@ func defaultNList(n int) int {
 }
 
 // Name implements index.Index.
-func (iv *IVF) Name() string {
-	switch iv.cfg.Variant {
+func (iv *IVF) Name() string { return variantName(iv.cfg.Variant) }
+
+func variantName(v Variant) string {
+	switch v {
 	case SQ:
 		return "ivfsq"
 	case ADC:
@@ -159,6 +181,10 @@ func (iv *IVF) Name() string {
 		return "ivfflat"
 	}
 }
+
+// QuantizedScan implements index.Quantized: the SQ and ADC variants
+// scan codes and re-rank.
+func (iv *IVF) QuantizedScan() bool { return iv.cfg.Variant != Flat }
 
 // Size implements index.Index.
 func (iv *IVF) Size() int { return iv.n }
@@ -213,41 +239,51 @@ func (iv *IVF) Search(q []float32, k int, p index.Params) ([]topk.Result, error)
 		// One query-relative table serves every list; workers only read it.
 		sharedADC = iv.pq.ADC(q)
 	}
+	// Quantized variants widen the candidate cut to rerank_k and
+	// re-score it exactly on the retained raw vectors after the merge.
+	kk := k
+	if iv.cfg.Variant != Flat {
+		kk = (index.QuantSpec{RerankK: iv.cfg.RerankK}).ResolveRerankK(p, k, iv.n)
+	}
 	lists := iv.cents.NearestN(q, nprobe)
 	w := pool.Default().Effective(p.Parallelism, len(lists))
+	var merged *topk.Collector
+	var comps int64
 	if w <= 1 {
-		c := topk.NewCollector(k)
-		comps := iv.scanLists(q, c, lists, &p, sharedADC)
-		iv.comps.Add(comps)
-		if p.Stats != nil {
-			p.Stats.DistanceComps += comps
-			p.Stats.BucketsProbed += int64(len(lists))
-			p.Stats.Partitions++
+		merged = topk.NewCollector(kk)
+		comps = iv.scanLists(q, merged, lists, &p, sharedADC)
+	} else {
+		obs.ParallelSearches.With(iv.Name()).Inc()
+		offs := pool.Split(len(lists), w)
+		collectors := make([]*topk.Collector, w)
+		compsBy := make([]int64, w)
+		pool.Default().Run(w, func(i int) {
+			c := topk.NewCollector(kk)
+			compsBy[i] = iv.scanLists(q, c, lists[offs[i]:offs[i+1]], &p, sharedADC)
+			collectors[i] = c
+		})
+		merged = collectors[0]
+		comps = compsBy[0]
+		for i := 1; i < w; i++ {
+			merged.Merge(collectors[i])
+			comps += compsBy[i]
 		}
-		return c.Results(), nil
 	}
-	obs.ParallelSearches.With(iv.Name()).Inc()
-	offs := pool.Split(len(lists), w)
-	collectors := make([]*topk.Collector, w)
-	compsBy := make([]int64, w)
-	pool.Default().Run(w, func(i int) {
-		c := topk.NewCollector(k)
-		compsBy[i] = iv.scanLists(q, c, lists[offs[i]:offs[i+1]], &p, sharedADC)
-		collectors[i] = c
-	})
-	merged := collectors[0]
-	comps := compsBy[0]
-	for i := 1; i < w; i++ {
-		merged.Merge(collectors[i])
-		comps += compsBy[i]
+	res := merged.Results()
+	if iv.cfg.Variant != Flat {
+		comps += int64(len(res))
+		res = index.RerankExact(iv.sc, q, res, k)
 	}
 	iv.comps.Add(comps)
 	if p.Stats != nil {
 		p.Stats.DistanceComps += comps
 		p.Stats.BucketsProbed += int64(len(lists))
+		if w < 1 {
+			w = 1
+		}
 		p.Stats.Partitions += int64(w)
 	}
-	return merged.Results(), nil
+	return res, nil
 }
 
 // listScanBlock is the gather-buffer size for Flat-variant list
@@ -262,17 +298,23 @@ var listScanBlock = 256
 // otherwise); the residual variant builds a per-list table locally so
 // concurrent workers never share mutable state.
 func (iv *IVF) scanLists(q []float32, c *topk.Collector, lists []int, p *index.Params, sharedADC *quant.ADCTable) int64 {
-	if iv.cfg.Variant == Flat {
-		return iv.scanListsFlat(q, c, lists, p)
+	switch iv.cfg.Variant {
+	case Flat:
+		return iv.scanListsBlocked(iv.sc.Bind(q), c, lists, p)
+	case SQ:
+		// The decode-free LUT kernel shares the gather-block shape of
+		// the Flat scan: build the d×256 table once per worker, then
+		// every admitted member costs d byte-indexed lookups.
+		return iv.scanListsBlocked(iv.sqk.Bind(q), c, lists, p)
 	}
 	comps := int64(0)
 	adc := sharedADC
 	var resid []float32
-	if iv.cfg.Variant == ADC && iv.cfg.Residual {
+	if iv.cfg.Residual {
 		resid = make([]float32, iv.dim)
 	}
 	for _, list := range lists {
-		if iv.cfg.Variant == ADC && iv.cfg.Residual {
+		if iv.cfg.Residual {
 			cent := iv.cents.Centroid(list)
 			for j := range resid {
 				resid[j] = q[j] - cent[j]
@@ -283,13 +325,7 @@ func (iv *IVF) scanLists(q []float32, c *topk.Collector, lists []int, p *index.P
 			if !p.Admits(int64(id)) {
 				continue
 			}
-			var d float32
-			switch iv.cfg.Variant {
-			case SQ:
-				d = iv.sq.DistanceL2(q, iv.sqCodes[int(id)*iv.dim:(int(id)+1)*iv.dim])
-			case ADC:
-				d = adc.Distance(iv.pqCodes[int(id)*iv.pq.M : (int(id)+1)*iv.pq.M])
-			}
+			d := adc.Distance(iv.pqCodes[int(id)*iv.pq.M : (int(id)+1)*iv.pq.M])
 			comps++
 			c.Push(int64(id), d)
 		}
@@ -297,11 +333,17 @@ func (iv *IVF) scanLists(q []float32, c *topk.Collector, lists []int, p *index.P
 	return comps
 }
 
-// scanListsFlat gathers admitted member ids across the lists and
-// scores them in blocks through the raw-vector scorer. Only admitted
-// rows are scored (and counted), exactly like the per-row path.
-func (iv *IVF) scanListsFlat(q []float32, c *topk.Collector, lists []int, p *index.Params) int64 {
-	b := iv.sc.Bind(q)
+// blockScorer is the shared slice of the Bind contract (float Bound
+// and vec.QuantBound both satisfy it), so the gather-block list scan
+// below serves the Flat and SQ variants with the same code.
+type blockScorer interface {
+	ScoreIDs(ids []int32, out []float32)
+}
+
+// scanListsBlocked gathers admitted member ids across the lists and
+// scores them in blocks through b. Only admitted rows are scored (and
+// counted), exactly like the per-row path.
+func (iv *IVF) scanListsBlocked(b blockScorer, c *topk.Collector, lists []int, p *index.Params) int64 {
 	ids := make([]int32, 0, listScanBlock)
 	dist := make([]float32, listScanBlock)
 	comps := int64(0)
@@ -332,11 +374,13 @@ func init() {
 	index.Register("ivfflat", buildFunc(Flat))
 	index.Register("ivfsq", buildFunc(SQ))
 	index.Register("ivfadc", buildFunc(ADC))
+	index.MarkRerankCapable("ivfsq")
+	index.MarkRerankCapable("ivfadc")
 }
 
 func buildFunc(v Variant) index.BuildFunc {
-	return func(data []float32, n, d int, opts map[string]int) (index.Index, error) {
-		cfg := Config{Variant: v}
+	return func(data []float32, n, d int, metric vec.Metric, opts map[string]int) (index.Index, error) {
+		cfg := Config{Variant: v, Metric: metric}
 		for k, val := range opts {
 			switch k {
 			case "nlist":
@@ -349,6 +393,8 @@ func buildFunc(v Variant) index.BuildFunc {
 				cfg.Residual = val != 0
 			case "seed":
 				cfg.Seed = int64(val)
+			case "rerank_k":
+				cfg.RerankK = val
 			default:
 				return nil, fmt.Errorf("ivf: unknown option %q", k)
 			}

@@ -169,7 +169,7 @@ func TestIVFDefaultNList(t *testing.T) {
 func TestIVFRegistry(t *testing.T) {
 	ds := dataset.Uniform(64, 8, 7)
 	for _, name := range []string{"ivfflat", "ivfsq", "ivfadc"} {
-		idx, err := index.Build(name, ds.Data, 64, 8, map[string]int{"nlist": 4, "m": 2, "ks": 16})
+		idx, err := index.Build(name, ds.Data, 64, 8, vec.L2, map[string]int{"nlist": 4, "m": 2, "ks": 16})
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
@@ -180,7 +180,7 @@ func TestIVFRegistry(t *testing.T) {
 			t.Fatalf("%s search: %v", name, err)
 		}
 	}
-	if _, err := index.Build("ivfflat", ds.Data, 64, 8, map[string]int{"zz": 1}); err == nil {
+	if _, err := index.Build("ivfflat", ds.Data, 64, 8, vec.L2, map[string]int{"zz": 1}); err == nil {
 		t.Fatal("want unknown-option error")
 	}
 }

@@ -367,7 +367,12 @@ func init() {
 		"kdtree": Median, "pcatree": PCA, "pkdtree": PKD, "kdforest": RandomDim,
 	} {
 		m := mode
-		index.Register(name, func(data []float32, n, d int, opts map[string]int) (index.Index, error) {
+		index.Register(name, func(data []float32, n, d int, metric vec.Metric, opts map[string]int) (index.Index, error) {
+			if metric != vec.L2 {
+				// Axis/projection splits bound squared L2 only; any other
+				// metric would silently rank by the wrong distance.
+				return nil, fmt.Errorf("kdtree: metric %v not supported (l2 only)", metric)
+			}
 			cfg := Config{Mode: m}
 			for k, v := range opts {
 				switch k {

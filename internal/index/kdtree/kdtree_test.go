@@ -155,7 +155,7 @@ func TestDuplicatePointsDegenerate(t *testing.T) {
 func TestRegistryNames(t *testing.T) {
 	ds := dataset.Uniform(60, 4, 17)
 	for _, name := range []string{"kdtree", "pcatree", "pkdtree", "kdforest"} {
-		idx, err := index.Build(name, ds.Data, 60, 4, map[string]int{"trees": 2, "leaf": 8})
+		idx, err := index.Build(name, ds.Data, 60, 4, vec.L2, map[string]int{"trees": 2, "leaf": 8})
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
@@ -163,7 +163,7 @@ func TestRegistryNames(t *testing.T) {
 			t.Fatalf("name = %s want %s", idx.Name(), name)
 		}
 	}
-	if _, err := index.Build("kdtree", ds.Data, 60, 4, map[string]int{"zz": 1}); err == nil {
+	if _, err := index.Build("kdtree", ds.Data, 60, 4, vec.L2, map[string]int{"zz": 1}); err == nil {
 		t.Fatal("want unknown-option error")
 	}
 }

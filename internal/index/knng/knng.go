@@ -41,6 +41,8 @@ type Config struct {
 	Delta    float64 // early-stop threshold on update rate; default 0.001
 	Seed     int64
 	NumEntry int // random entry points for Search; default 8
+	// Metric is the distance the graph is built and searched under.
+	Metric vec.Metric
 }
 
 // Graph is the built index.
@@ -87,12 +89,12 @@ func Build(data []float32, n, d int, cfg Config) (*Graph, error) {
 	if cfg.NumEntry <= 0 {
 		cfg.NumEntry = 8
 	}
-	sc, err := vec.NewScorer(vec.L2, data, n, d)
+	sc, err := vec.NewScorer(cfg.Metric, data, n, d)
 	if err != nil {
 		return nil, fmt.Errorf("knng: %w", err)
 	}
 	g := &Graph{cfg: cfg, dim: d, n: n,
-		s: &graph.Searcher{Data: data, Dim: d, Fn: vec.SquaredL2, Scorer: sc}}
+		s: &graph.Searcher{Data: data, Dim: d, Fn: vec.Distance(cfg.Metric), Scorer: sc}}
 	switch cfg.Init {
 	case Exact:
 		g.buildExact()
@@ -299,8 +301,8 @@ func (g *Graph) Search(q []float32, k int, p index.Params) ([]topk.Result, error
 }
 
 func init() {
-	index.Register("knng", func(data []float32, n, d int, opts map[string]int) (index.Index, error) {
-		cfg := Config{}
+	index.Register("knng", func(data []float32, n, d int, metric vec.Metric, opts map[string]int) (index.Index, error) {
+		cfg := Config{Metric: metric}
 		for k, v := range opts {
 			switch k {
 			case "k":

@@ -117,14 +117,14 @@ func TestValidationAndKClamp(t *testing.T) {
 
 func TestRegistry(t *testing.T) {
 	ds := dataset.Uniform(80, 4, 11)
-	idx, err := index.Build("knng", ds.Data, 80, 4, map[string]int{"k": 5, "iters": 5, "treeinit": 1})
+	idx, err := index.Build("knng", ds.Data, 80, 4, vec.L2, map[string]int{"k": 5, "iters": 5, "treeinit": 1})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if idx.Name() != "knng" {
 		t.Fatal("name wrong")
 	}
-	if _, err := index.Build("knng", ds.Data, 80, 4, map[string]int{"zz": 1}); err == nil {
+	if _, err := index.Build("knng", ds.Data, 80, 4, vec.L2, map[string]int{"zz": 1}); err == nil {
 		t.Fatal("want unknown-option error")
 	}
 }

@@ -216,8 +216,24 @@ func (l *LSH) Search(q []float32, k int, p index.Params) ([]topk.Result, error) 
 }
 
 func init() {
-	index.Register("lsh", func(data []float32, n, d int, opts map[string]int) (index.Index, error) {
-		cfg := Config{}
+	index.Register("lsh", func(data []float32, n, d int, metric vec.Metric, opts map[string]int) (index.Index, error) {
+		switch metric {
+		case vec.L2, vec.Cosine:
+		default:
+			// Hyperplane LSH hashes angles and p-stable LSH hashes L2
+			// offsets; candidates re-ranked under any other metric would
+			// be drawn from the wrong buckets, so refuse instead of
+			// returning plausible-but-wrong rankings.
+			return nil, fmt.Errorf("lsh: metric %v not supported (want l2 or cosine)", metric)
+		}
+		cfg := Config{Metric: metric}
+		if metric == vec.L2 {
+			// Direct Build callers who pick Hyperplane under L2 get the
+			// historical cosine re-rank (metricOrL2); an index built from
+			// a collection recipe must honor the collection metric, so L2
+			// defaults to the p-stable family, which hashes L2 offsets.
+			cfg.Family = PStable
+		}
 		for k, v := range opts {
 			switch k {
 			case "l":

@@ -144,14 +144,14 @@ func TestSearchValidationAndPredicates(t *testing.T) {
 
 func TestRegistryBuild(t *testing.T) {
 	ds := dataset.Uniform(50, 4, 19)
-	idx, err := index.Build("lsh", ds.Data, 50, 4, map[string]int{"l": 4, "k": 2, "pstable": 1, "w": 4})
+	idx, err := index.Build("lsh", ds.Data, 50, 4, vec.L2, map[string]int{"l": 4, "k": 2, "pstable": 1, "w": 4})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if idx.Name() != "lsh" || idx.Size() != 50 {
 		t.Fatal("registry metadata wrong")
 	}
-	if _, err := index.Build("lsh", ds.Data, 50, 4, map[string]int{"bogus": 1}); err == nil {
+	if _, err := index.Build("lsh", ds.Data, 50, 4, vec.L2, map[string]int{"bogus": 1}); err == nil {
 		t.Fatal("want unknown-option error")
 	}
 }

@@ -49,6 +49,12 @@ type Config struct {
 	// Trials is the number of FANNG search trials as a multiple of n;
 	// default 8.
 	Trials int
+	// Metric is the distance the graph is built and searched under.
+	Metric vec.Metric
+	// Quant optionally stores a compressed copy of the vectors for
+	// traversal scoring with exact re-rank (see index.QuantSpec). The
+	// graph is always constructed at full precision.
+	Quant index.QuantSpec
 }
 
 // Graph is the built index.
@@ -85,17 +91,17 @@ func Build(data []float32, n, d int, cfg Config) (*Graph, error) {
 	if cfg.Trials <= 0 {
 		cfg.Trials = 8
 	}
-	sc, err := vec.NewScorer(vec.L2, data, n, d)
+	sc, err := vec.NewScorer(cfg.Metric, data, n, d)
 	if err != nil {
 		return nil, fmt.Errorf("nsg: %w", err)
 	}
 	g := &Graph{cfg: cfg, dim: d, n: n,
-		s: &graph.Searcher{Data: data, Dim: d, Fn: vec.SquaredL2, Scorer: sc}}
+		s: &graph.Searcher{Data: data, Dim: d, Fn: vec.Distance(cfg.Metric), Scorer: sc}}
 	g.medoid = g.findMedoid()
 
 	switch cfg.Variant {
 	case NSG:
-		kg, err := knng.Build(data, n, d, knng.Config{K: cfg.KNNGK, Seed: cfg.Seed, MaxIter: 8})
+		kg, err := knng.Build(data, n, d, knng.Config{K: cfg.KNNGK, Seed: cfg.Seed, MaxIter: 8, Metric: cfg.Metric})
 		if err != nil {
 			return nil, fmt.Errorf("nsg: knng init: %w", err)
 		}
@@ -112,6 +118,13 @@ func Build(data []float32, n, d int, cfg Config) (*Graph, error) {
 		return nil, fmt.Errorf("nsg: unknown variant %d", cfg.Variant)
 	}
 	g.connectOrphans()
+	if cfg.Quant.Enabled() {
+		qsc, err := index.BuildQuantKernel(cfg.Quant, cfg.Metric, data, n, d)
+		if err != nil {
+			return nil, fmt.Errorf("nsg: %w", err)
+		}
+		g.s.Quant = qsc
+	}
 	return g, nil
 }
 
@@ -323,6 +336,13 @@ func (g *Graph) Adjacency() graph.Adjacency { return g.adj }
 // AvgDegree reports the mean out-degree.
 func (g *Graph) AvgDegree() float64 { return graph.AvgDegree(g.adj) }
 
+// QuantizedScan implements index.Quantized.
+func (g *Graph) QuantizedScan() bool { return g.s.Quant != nil }
+
+// ScoringBytes reports the resident bytes the traversal scoring path
+// keeps hot (codes when quantized, float32 rows otherwise).
+func (g *Graph) ScoringBytes() int { return g.s.ScoringBytes(g.n) }
+
 // DistanceComps implements index.Stats.
 func (g *Graph) DistanceComps() int64 { return g.comps.Load() + g.s.Comps.Load() }
 
@@ -344,15 +364,35 @@ func (g *Graph) Search(q []float32, k int, p index.Params) ([]topk.Result, error
 			ef = 32
 		}
 	}
-	return graph.BeamSearch(g.s, g.adj, q, []int32{g.medoid}, k, ef, p), nil
+	kk := k
+	if g.s.Quant != nil {
+		kk = g.cfg.Quant.ResolveRerankK(p, k, g.n)
+		if ef < kk {
+			ef = kk
+		}
+	}
+	res := graph.BeamSearch(g.s, g.adj, q, []int32{g.medoid}, kk, ef, p)
+	if g.s.Quant != nil {
+		g.s.Comps.Add(int64(len(res)))
+		if p.Stats != nil {
+			p.Stats.DistanceComps += int64(len(res))
+		}
+		res = index.RerankExact(g.s.Scorer, q, res, k)
+	}
+	return res, nil
 }
 
 func init() {
 	for name, v := range map[string]Variant{"nsg": NSG, "vamana": Vamana, "fanng": FANNG} {
 		variant := v
-		index.Register(name, func(data []float32, n, d int, opts map[string]int) (index.Index, error) {
-			cfg := Config{Variant: variant}
+		index.Register(name, func(data []float32, n, d int, metric vec.Metric, opts map[string]int) (index.Index, error) {
+			cfg := Config{Variant: variant, Metric: metric}
 			for k, val := range opts {
+				if used, err := cfg.Quant.ParseOpt(k, val); err != nil {
+					return nil, err
+				} else if used {
+					continue
+				}
 				switch k {
 				case "r":
 					cfg.R = val
@@ -370,5 +410,6 @@ func init() {
 			}
 			return Build(data, n, d, cfg)
 		})
+		index.MarkQuantCapable(name)
 	}
 }

@@ -123,12 +123,12 @@ func TestValidationAndStats(t *testing.T) {
 func TestRegistry(t *testing.T) {
 	ds := dataset.Uniform(60, 4, 13)
 	for _, name := range []string{"nsg", "vamana"} {
-		idx, err := index.Build(name, ds.Data, 60, 4, map[string]int{"r": 6, "l": 12, "alpha100": 120})
+		idx, err := index.Build(name, ds.Data, 60, 4, vec.L2, map[string]int{"r": 6, "l": 12, "alpha100": 120})
 		if err != nil || idx.Name() != name {
 			t.Fatalf("%s: %v", name, err)
 		}
 	}
-	if _, err := index.Build("nsg", ds.Data, 60, 4, map[string]int{"zz": 1}); err == nil {
+	if _, err := index.Build("nsg", ds.Data, 60, 4, vec.L2, map[string]int{"zz": 1}); err == nil {
 		t.Fatal("want unknown-option error")
 	}
 }
@@ -152,7 +152,7 @@ func TestFANNGRecall(t *testing.T) {
 
 func TestFANNGRegistry(t *testing.T) {
 	ds := dataset.Uniform(60, 4, 23)
-	idx, err := index.Build("fanng", ds.Data, 60, 4, map[string]int{"r": 6, "trials": 6})
+	idx, err := index.Build("fanng", ds.Data, 60, 4, vec.L2, map[string]int{"r": 6, "trials": 6})
 	if err != nil || idx.Name() != "fanng" {
 		t.Fatalf("%v", err)
 	}

@@ -20,6 +20,8 @@ type Config struct {
 	M           int // edges added per insertion; default 12
 	EfConstruct int // beam width during insertion; default 4*M
 	Seed        int64
+	// Metric is the distance the graph is built and searched under.
+	Metric vec.Metric
 }
 
 // NSW is the built index.
@@ -43,12 +45,12 @@ func Build(data []float32, n, d int, cfg Config) (*NSW, error) {
 	if cfg.EfConstruct <= 0 {
 		cfg.EfConstruct = 4 * cfg.M
 	}
-	sc, err := vec.NewScorer(vec.L2, data, n, d)
+	sc, err := vec.NewScorer(cfg.Metric, data, n, d)
 	if err != nil {
 		return nil, fmt.Errorf("nsw: %w", err)
 	}
 	g := &NSW{cfg: cfg, dim: d, n: n,
-		s:   &graph.Searcher{Data: data, Dim: d, Fn: vec.SquaredL2, Scorer: sc},
+		s:   &graph.Searcher{Data: data, Dim: d, Fn: vec.Distance(cfg.Metric), Scorer: sc},
 		adj: make(graph.Adjacency, n),
 	}
 	for id := 1; id < n; id++ {
@@ -99,8 +101,8 @@ func (g *NSW) Search(q []float32, k int, p index.Params) ([]topk.Result, error) 
 }
 
 func init() {
-	index.Register("nsw", func(data []float32, n, d int, opts map[string]int) (index.Index, error) {
-		cfg := Config{}
+	index.Register("nsw", func(data []float32, n, d int, metric vec.Metric, opts map[string]int) (index.Index, error) {
+		cfg := Config{Metric: metric}
 		for k, v := range opts {
 			switch k {
 			case "m":

@@ -95,11 +95,11 @@ func TestSingleNode(t *testing.T) {
 
 func TestRegistry(t *testing.T) {
 	ds := dataset.Uniform(50, 4, 9)
-	idx, err := index.Build("nsw", ds.Data, 50, 4, map[string]int{"m": 4, "efc": 16})
+	idx, err := index.Build("nsw", ds.Data, 50, 4, vec.L2, map[string]int{"m": 4, "efc": 16})
 	if err != nil || idx.Name() != "nsw" {
 		t.Fatalf("%v", err)
 	}
-	if _, err := index.Build("nsw", ds.Data, 50, 4, map[string]int{"zz": 1}); err == nil {
+	if _, err := index.Build("nsw", ds.Data, 50, 4, vec.L2, map[string]int{"zz": 1}); err == nil {
 		t.Fatal("want unknown-option error")
 	}
 }

@@ -1,0 +1,248 @@
+package index
+
+import (
+	"fmt"
+	"sync"
+
+	"vdbms/internal/quant"
+	"vdbms/internal/vec"
+)
+
+// QuantKind selects the compressed-scan codec an index stores beside
+// (or instead of) full-precision rows for candidate generation.
+type QuantKind int
+
+const (
+	// QuantNone scans full-precision float32 rows.
+	QuantNone QuantKind = iota
+	// QuantSQ8 stores one byte per dimension (scalar quantization)
+	// and scans with a per-query d×256 LUT. Supports l2/ip/cosine.
+	QuantSQ8
+	// QuantPQ stores product-quantization codes and scans with a
+	// per-query ADC table (4-bit fast-scan when ks ≤ 16). L2 only.
+	QuantPQ
+	// QuantOPQ is QuantPQ behind a learned rotation. L2 only.
+	QuantOPQ
+)
+
+// String returns the schema-level name ("none", "sq8", "pq", "opq").
+func (k QuantKind) String() string {
+	switch k {
+	case QuantNone:
+		return "none"
+	case QuantSQ8:
+		return "sq8"
+	case QuantPQ:
+		return "pq"
+	case QuantOPQ:
+		return "opq"
+	default:
+		return fmt.Sprintf("quant(%d)", int(k))
+	}
+}
+
+// ParseQuantKind converts a schema-level quantization name. The empty
+// string means none.
+func ParseQuantKind(s string) (QuantKind, error) {
+	switch s {
+	case "", "none":
+		return QuantNone, nil
+	case "sq8":
+		return QuantSQ8, nil
+	case "pq":
+		return QuantPQ, nil
+	case "opq":
+		return QuantOPQ, nil
+	}
+	return 0, fmt.Errorf("index: unknown quantization %q (want none|sq8|pq|opq)", s)
+}
+
+// QuantSpec is the per-index quantization recipe carried through the
+// integer opts map (so it persists in WAL/checkpoint index records
+// exactly like every other build knob). Opt keys: "quant" (QuantKind),
+// "rerank_k", "pqm", "pqks".
+type QuantSpec struct {
+	Kind QuantKind
+	// RerankK is how many approximate candidates get exact
+	// full-precision re-scoring before the top-k cut. 0 selects the
+	// per-query default max(4k, 32).
+	RerankK int
+	// PQM / PQKs configure the product quantizer (subquantizer count
+	// and centroids per subquantizer). Zero selects defaults: M=8
+	// (clamped to a divisor of d), Ks=16 (the 4-bit fast-scan path).
+	PQM, PQKs int
+}
+
+// ParseOpt consumes one opts entry if it is a quantization knob,
+// reporting whether it did. Family opt parsers call this first so the
+// quant keys never collide with their own.
+func (s *QuantSpec) ParseOpt(key string, v int) (bool, error) {
+	switch key {
+	case "quant":
+		if v < int(QuantNone) || v > int(QuantOPQ) {
+			return true, fmt.Errorf("index: quant=%d out of range", v)
+		}
+		s.Kind = QuantKind(v)
+	case "rerank_k":
+		if v < 0 {
+			return true, fmt.Errorf("index: rerank_k=%d must be >= 0", v)
+		}
+		s.RerankK = v
+	case "pqm":
+		s.PQM = v
+	case "pqks":
+		s.PQKs = v
+	default:
+		return false, nil
+	}
+	return true, nil
+}
+
+// Enabled reports whether the spec selects any codec.
+func (s QuantSpec) Enabled() bool { return s.Kind != QuantNone }
+
+// ResolveRerankK returns the effective re-rank width for one query:
+// the per-query override, else the configured width, else max(4k, 32),
+// never below k and never above n.
+func (s QuantSpec) ResolveRerankK(p Params, k, n int) int {
+	rk := p.RerankK
+	if rk <= 0 {
+		rk = s.RerankK
+	}
+	if rk <= 0 {
+		rk = 4 * k
+		if rk < 32 {
+			rk = 32
+		}
+	}
+	if rk < k {
+		rk = k
+	}
+	if rk > n {
+		rk = n
+	}
+	return rk
+}
+
+// BuildQuantKernel trains the codec named by spec on the n row-major
+// vectors and returns the decode-free scan kernel. SQ8 supports
+// l2/ip/cosine; PQ and OPQ decompose squared L2 only and reject other
+// metrics at build time rather than return plausible-but-wrong
+// rankings.
+func BuildQuantKernel(spec QuantSpec, metric vec.Metric, data []float32, n, d int) (vec.QuantScorer, error) {
+	switch spec.Kind {
+	case QuantNone:
+		return nil, nil
+	case QuantSQ8:
+		sq, err := quant.TrainSQ(data, n, d)
+		if err != nil {
+			return nil, err
+		}
+		codes := make([]byte, n*d)
+		for i := 0; i < n; i++ {
+			if _, err := sq.Encode(data[i*d:(i+1)*d], codes[i*d:(i+1)*d]); err != nil {
+				return nil, err
+			}
+		}
+		return vec.NewSQ8Scorer(metric, sq.Min, sq.Step, codes, n, d)
+	case QuantPQ, QuantOPQ:
+		if metric != vec.L2 {
+			return nil, fmt.Errorf("index: %v quantization supports l2 only (ADC tables decompose squared L2), got %v", spec.Kind, metric)
+		}
+		cfg := quant.PQConfig{M: spec.PQM, Ks: spec.PQKs, Seed: 1, MaxIter: 15}
+		if cfg.M == 0 {
+			cfg.M = 8
+			for cfg.M > 1 && d%cfg.M != 0 {
+				cfg.M /= 2
+			}
+		}
+		if cfg.Ks == 0 {
+			cfg.Ks = 16
+		}
+		if spec.Kind == QuantOPQ {
+			o, err := quant.TrainOPQ(data, n, d, quant.OPQConfig{PQConfig: cfg, Iters: 5})
+			if err != nil {
+				return nil, err
+			}
+			return quant.NewOPQScorer(o, data, n)
+		}
+		pq, err := quant.TrainPQ(data, n, d, cfg)
+		if err != nil {
+			return nil, err
+		}
+		return quant.NewPQScorer(pq, data, n)
+	default:
+		return nil, fmt.Errorf("index: unknown quantization kind %v", spec.Kind)
+	}
+}
+
+// Quantized is implemented by indexes whose candidate generation
+// scans quantized codes; the planner uses it to discount index scan
+// cost and attribute the re-rank stage.
+type Quantized interface {
+	// QuantizedScan reports whether this instance actually scans
+	// codes (an index family may support quantization but have it
+	// disabled).
+	QuantizedScan() bool
+}
+
+var (
+	quantCapMu sync.RWMutex
+	// quantCapable families accept the full quant opt set; rerankCapable
+	// families accept only rerank_k (their codes are built-in, e.g.
+	// ivfsq/ivfadc).
+	quantCapable  = map[string]bool{}
+	rerankCapable = map[string]bool{}
+)
+
+// MarkQuantCapable registers (in family init) that kind accepts the
+// "quant"/"rerank_k"/"pqm"/"pqks" opts.
+func MarkQuantCapable(kind string) {
+	quantCapMu.Lock()
+	defer quantCapMu.Unlock()
+	quantCapable[kind] = true
+}
+
+// MarkRerankCapable registers that kind accepts "rerank_k" (it scans
+// codes by construction) but not the codec-selection opts.
+func MarkRerankCapable(kind string) {
+	quantCapMu.Lock()
+	defer quantCapMu.Unlock()
+	rerankCapable[kind] = true
+}
+
+// MergeQuantDefaults folds a collection-level quantization default
+// ("none"|"sq8"|"pq"|"opq" + rerank width) into an explicit opts map
+// for one CreateIndex call, returning the map that should be built
+// from AND recorded in the WAL/checkpoint recipe (so the materialized
+// recipe survives recovery even if the schema default changes).
+// Explicit opts win over schema defaults. Families that cannot scan
+// the requested codec are left untouched — a schema-wide default must
+// not break CreateIndex for, say, a kd-tree.
+func MergeQuantDefaults(kind string, opts map[string]int, quantization string, rerankK int) (map[string]int, error) {
+	qk, err := ParseQuantKind(quantization)
+	if err != nil {
+		return nil, err
+	}
+	quantCapMu.RLock()
+	qCap, rCap := quantCapable[kind], rerankCapable[kind]
+	quantCapMu.RUnlock()
+	if (!qCap && !rCap) || (qk == QuantNone && rerankK == 0) {
+		return opts, nil
+	}
+	merged := make(map[string]int, len(opts)+2)
+	for k, v := range opts {
+		merged[k] = v
+	}
+	if qCap && qk != QuantNone {
+		if _, explicit := merged["quant"]; !explicit {
+			merged["quant"] = int(qk)
+		}
+	}
+	if rerankK > 0 {
+		if _, explicit := merged["rerank_k"]; !explicit {
+			merged["rerank_k"] = rerankK
+		}
+	}
+	return merged, nil
+}

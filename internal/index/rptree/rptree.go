@@ -243,7 +243,11 @@ func (f *Forest) Search(q []float32, k int, p index.Params) ([]topk.Result, erro
 func init() {
 	for name, mode := range map[string]Mode{"rptree": RP, "annoy": Annoy} {
 		m := mode
-		index.Register(name, func(data []float32, n, d int, opts map[string]int) (index.Index, error) {
+		index.Register(name, func(data []float32, n, d int, metric vec.Metric, opts map[string]int) (index.Index, error) {
+			if metric != vec.L2 {
+				// Hyperplane-margin bounds hold for squared L2 only.
+				return nil, fmt.Errorf("rptree: metric %v not supported (l2 only)", metric)
+			}
 			cfg := Config{Mode: m}
 			for k, v := range opts {
 				switch k {

@@ -114,12 +114,12 @@ func TestPredicatesAndValidation(t *testing.T) {
 func TestRegistry(t *testing.T) {
 	ds := dataset.Uniform(60, 4, 11)
 	for _, name := range []string{"rptree", "annoy"} {
-		idx, err := index.Build(name, ds.Data, 60, 4, map[string]int{"trees": 2})
+		idx, err := index.Build(name, ds.Data, 60, 4, vec.L2, map[string]int{"trees": 2})
 		if err != nil || idx.Name() != name {
 			t.Fatalf("%s: %v", name, err)
 		}
 	}
-	if _, err := index.Build("annoy", ds.Data, 60, 4, map[string]int{"zz": 1}); err == nil {
+	if _, err := index.Build("annoy", ds.Data, 60, 4, vec.L2, map[string]int{"zz": 1}); err == nil {
 		t.Fatal("want unknown-option error")
 	}
 }

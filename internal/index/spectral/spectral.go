@@ -222,7 +222,11 @@ func (s *Index) Search(q []float32, k int, p index.Params) ([]topk.Result, error
 }
 
 func init() {
-	index.Register("spectral", func(data []float32, n, d int, opts map[string]int) (index.Index, error) {
+	index.Register("spectral", func(data []float32, n, d int, metric vec.Metric, opts map[string]int) (index.Index, error) {
+		if metric != vec.L2 {
+			// PCA-threshold buckets and the re-rank scan assume squared L2.
+			return nil, fmt.Errorf("spectral: metric %v not supported (l2 only)", metric)
+		}
 		cfg := Config{}
 		for k, v := range opts {
 			switch k {

@@ -108,11 +108,11 @@ func TestValidationAndRegistry(t *testing.T) {
 	if s.DistanceComps() == 0 || s.Size() != 100 || s.Name() != "spectral" {
 		t.Fatal("metadata wrong")
 	}
-	idx, err := index.Build("spectral", ds.Data, 100, 4, map[string]int{"bits": 8, "pcadims": 4})
+	idx, err := index.Build("spectral", ds.Data, 100, 4, vec.L2, map[string]int{"bits": 8, "pcadims": 4})
 	if err != nil || idx.Name() != "spectral" {
 		t.Fatalf("registry: %v", err)
 	}
-	if _, err := index.Build("spectral", ds.Data, 100, 4, map[string]int{"zz": 1}); err == nil {
+	if _, err := index.Build("spectral", ds.Data, 100, 4, vec.L2, map[string]int{"zz": 1}); err == nil {
 		t.Fatal("want unknown-option error")
 	}
 }

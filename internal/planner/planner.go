@@ -93,6 +93,14 @@ type Env struct {
 	AttrCostRatio float64
 	// Alpha for post-filter plans; default 4.
 	Alpha int
+	// QuantRatio, in (0,1), discounts IndexComps when the index scans
+	// quantized codes: one code-LUT comparison reads BytesPerRow bytes
+	// instead of 4*dim and skips the multiply chain, so its cost
+	// relative to a full-precision comparison is well below 1 (the
+	// executor sets ~0.35 for SQ8). 0 (or ≥1) means full precision.
+	// The exact re-rank stage is already counted inside IndexComps by
+	// the indexes' own accounting.
+	QuantRatio float64
 }
 
 func (e Env) normalized() Env {
@@ -108,6 +116,9 @@ func (e Env) normalized() Env {
 			c++
 		}
 		e.IndexComps = 16 * c
+	}
+	if e.QuantRatio > 0 && e.QuantRatio < 1 {
+		e.IndexComps *= e.QuantRatio
 	}
 	if e.Selectivity < 0 {
 		e.Selectivity = 0

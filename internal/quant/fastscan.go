@@ -90,7 +90,10 @@ func (t *ADCTable) Quantize() (*FastTable, error) {
 		if c >= t.Ks {
 			return 0 // codebooks with Ks < 16 never emit these codes
 		}
-		v := (t.Tab[m*t.Ks+c] - mins[m]) * inv
+		// Round to nearest: plain uint16(v) truncation biased every
+		// entry low by up to one LSB, so per-row error grew as M*Scale
+		// instead of M*Scale/2.
+		v := (t.Tab[m*t.Ks+c]-mins[m])*inv + 0.5
 		if v > 255 {
 			v = 255
 		}

@@ -1,0 +1,139 @@
+package quant
+
+import (
+	"fmt"
+
+	"vdbms/internal/vec"
+)
+
+// PQScorer adapts product-quantized codes to the vec.QuantScorer
+// contract so ADC table scans plug into the same gather-block call
+// sites as float32 and SQ8 kernels. Bind builds the per-query M×Ks
+// squared-L2 table once; when Ks ≤ 16 the codes are stored 4-bit
+// packed and every Bind additionally quantizes the table into the
+// pair-fused uint16 FastTable, so the per-row cost drops to one
+// 256-entry lookup per code *byte* (two subquantizers at a time).
+//
+// PQ/OPQ tables decompose squared L2 only, so the kernel reports and
+// supports vec.L2 exclusively; IP/cosine callers must keep
+// full-precision scoring or use the SQ8 kernel.
+type PQScorer struct {
+	pq   *PQ
+	opq  *OPQ // non-nil when queries need rotating first
+	n    int
+	fast bool
+	// codes holds M bytes per row, or (M+1)/2 bytes per row packed
+	// when fast.
+	codes []byte
+}
+
+// NewPQScorer trains nothing: it encodes the n row-major vectors with
+// an already-trained pq and retains only the codes.
+func NewPQScorer(pq *PQ, data []float32, n int) (*PQScorer, error) {
+	if len(data) != n*pq.Dim {
+		return nil, fmt.Errorf("quant: PQ kernel data holds %d floats, want %d", len(data), n*pq.Dim)
+	}
+	s := &PQScorer{pq: pq, n: n, fast: pq.Ks <= 16}
+	unpacked := make([]byte, n*pq.M)
+	for i := 0; i < n; i++ {
+		pq.Encode(data[i*pq.Dim:(i+1)*pq.Dim], unpacked[i*pq.M:(i+1)*pq.M])
+	}
+	if s.fast {
+		packed, err := pq.PackCodes4(unpacked, n)
+		if err != nil {
+			return nil, err
+		}
+		s.codes = packed
+	} else {
+		s.codes = unpacked
+	}
+	return s, nil
+}
+
+// NewOPQScorer rotates the rows with the learned OPQ rotation, encodes
+// them with the inner PQ, and rotates every query at Bind time.
+func NewOPQScorer(o *OPQ, data []float32, n int) (*PQScorer, error) {
+	d := o.PQ.Dim
+	if len(data) != n*d {
+		return nil, fmt.Errorf("quant: OPQ kernel data holds %d floats, want %d", len(data), n*d)
+	}
+	rotated := make([]float32, len(data))
+	rotateAll(o.R, data, rotated, n, d)
+	s, err := NewPQScorer(o.PQ, rotated, n)
+	if err != nil {
+		return nil, err
+	}
+	s.opq = o
+	return s, nil
+}
+
+// Metric implements vec.QuantScorer: ADC tables approximate squared L2.
+func (s *PQScorer) Metric() vec.Metric { return vec.L2 }
+
+// Rows implements vec.QuantScorer.
+func (s *PQScorer) Rows() int { return s.n }
+
+// Dim implements vec.QuantScorer.
+func (s *PQScorer) Dim() int { return s.pq.Dim }
+
+// BytesPerRow implements vec.QuantScorer: the stored code width.
+func (s *PQScorer) BytesPerRow() int {
+	if s.fast {
+		return (s.pq.M + 1) / 2
+	}
+	return s.pq.M
+}
+
+// Bind implements vec.QuantScorer.
+func (s *PQScorer) Bind(q []float32) vec.QuantBound {
+	if s.opq != nil {
+		q = s.opq.Rotate(q)
+	}
+	tab := s.pq.ADC(q)
+	b := &pqBound{s: s, tab: tab}
+	if s.fast {
+		// Quantize only fails for Ks > 16, excluded at construction.
+		b.ft, _ = tab.Quantize()
+	}
+	return b
+}
+
+type pqBound struct {
+	s   *PQScorer
+	tab *ADCTable
+	ft  *FastTable // fast path only
+}
+
+// ScoreAt implements vec.QuantBound.
+func (b *pqBound) ScoreAt(id int) float32 {
+	if ft := b.ft; ft != nil {
+		bytesPer := (ft.M + 1) / 2
+		code := b.s.codes[id*bytesPer : (id+1)*bytesPer]
+		var acc uint32
+		for j, by := range code {
+			acc += uint32(ft.Pairs[j][by])
+		}
+		return ft.Bias + ft.Scale*float32(acc)
+	}
+	m := b.tab.M
+	return b.tab.Distance(b.s.codes[id*m : (id+1)*m])
+}
+
+// ScoreBlock implements vec.QuantBound.
+func (b *pqBound) ScoreBlock(lo, hi int, out []float32) {
+	out = out[:hi-lo]
+	if ft := b.ft; ft != nil {
+		bytesPer := (ft.M + 1) / 2
+		ft.DistanceBatch4(b.s.codes[lo*bytesPer:hi*bytesPer], out)
+		return
+	}
+	m := b.tab.M
+	b.tab.DistanceBatch(b.s.codes[lo*m:hi*m], out)
+}
+
+// ScoreIDs implements vec.QuantBound.
+func (b *pqBound) ScoreIDs(ids []int32, out []float32) {
+	for i, id := range ids {
+		out[i] = b.ScoreAt(int(id))
+	}
+}

@@ -1,0 +1,119 @@
+package quant
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func kernelData(n, d int, seed int64) []float32 {
+	rng := rand.New(rand.NewSource(seed))
+	data := make([]float32, n*d)
+	for i := range data {
+		data[i] = rng.Float32()*2 - 1
+	}
+	return data
+}
+
+// TestPQScorerMatchesADCTable: the kernel is a packaging of the ADC
+// scan, so per-row scores must match the table applied to that row's
+// code — exactly on the plain path, within the FastTable quantization
+// bound on the packed 4-bit path.
+func TestPQScorerMatchesADCTable(t *testing.T) {
+	const n, d = 120, 8
+	data := kernelData(n, d, 3)
+	for _, ks := range []int{16, 32} { // fast path and plain path
+		pq, err := TrainPQ(data, n, d, PQConfig{M: 4, Ks: ks, Seed: 1, MaxIter: 10})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := NewPQScorer(pq, data, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Metric().String() != "l2" {
+			t.Fatalf("ADC kernel must report l2, got %v", s.Metric())
+		}
+		wantBytes := pq.M
+		if ks <= 16 {
+			wantBytes = (pq.M + 1) / 2
+		}
+		if s.BytesPerRow() != wantBytes {
+			t.Fatalf("ks=%d BytesPerRow = %d, want %d", ks, s.BytesPerRow(), wantBytes)
+		}
+		q := data[:d]
+		tab := pq.ADC(q)
+		code := make([]byte, pq.M)
+		b := s.Bind(q)
+		tol := 0.0
+		if ks <= 16 {
+			ft, err := tab.Quantize()
+			if err != nil {
+				t.Fatal(err)
+			}
+			tol = float64(ft.Scale) * float64(pq.M) / 2
+		}
+		blk := make([]float32, n)
+		b.ScoreBlock(0, n, blk)
+		for i := 0; i < n; i++ {
+			pq.Encode(data[i*d:(i+1)*d], code)
+			want := tab.Distance(code)
+			got := b.ScoreAt(i)
+			if math.Abs(float64(got-want)) > tol {
+				t.Fatalf("ks=%d row %d: kernel %v, ADC table %v (tol %v)", ks, i, got, want, tol)
+			}
+			if blk[i] != got {
+				t.Fatalf("ks=%d row %d: ScoreBlock %v != ScoreAt %v", ks, i, blk[i], got)
+			}
+		}
+		ids := []int32{5, 0, int32(n - 1)}
+		out := make([]float32, len(ids))
+		b.ScoreIDs(ids, out)
+		for i, id := range ids {
+			if out[i] != b.ScoreAt(int(id)) {
+				t.Fatalf("ScoreIDs[%d] = %v, ScoreAt(%d) = %v", i, out[i], id, b.ScoreAt(int(id)))
+			}
+		}
+	}
+}
+
+// TestOPQScorerMatchesRotatedADC: the OPQ kernel must equal the plain
+// PQ kernel applied to rotated rows and the rotated query — rotation
+// preserves L2, the codes just fit better.
+func TestOPQScorerMatchesRotatedADC(t *testing.T) {
+	const n, d = 100, 8
+	data := kernelData(n, d, 9)
+	o, err := TrainOPQ(data, n, d, OPQConfig{PQConfig: PQConfig{M: 4, Ks: 16, Seed: 1, MaxIter: 8}, Iters: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewOPQScorer(o, data, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rotated := make([]float32, len(data))
+	rotateAll(o.R, data, rotated, n, d)
+	ref, err := NewPQScorer(o.PQ, rotated, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := data[d : 2*d]
+	b, rb := s.Bind(q), ref.Bind(o.Rotate(q))
+	for i := 0; i < n; i++ {
+		if got, want := b.ScoreAt(i), rb.ScoreAt(i); got != want {
+			t.Fatalf("row %d: OPQ kernel %v, rotated-PQ kernel %v", i, got, want)
+		}
+	}
+}
+
+func TestPQScorerRejectsBadShape(t *testing.T) {
+	const n, d = 40, 8
+	data := kernelData(n, d, 4)
+	pq, err := TrainPQ(data, n, d, PQConfig{M: 4, Ks: 16, Seed: 1, MaxIter: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewPQScorer(pq, data[:n*d-1], n); err == nil {
+		t.Fatal("short data; want error")
+	}
+}

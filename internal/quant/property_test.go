@@ -26,8 +26,12 @@ func TestSQErrorBoundProperty(t *testing.T) {
 		rec := make([]float32, d)
 		for i := 0; i < n; i++ {
 			row := data[i*d : (i+1)*d]
-			code = sq.Encode(row, code)
-			rec = sq.Decode(code, rec)
+			var encErr, decErr error
+			code, encErr = sq.Encode(row, code)
+			rec, decErr = sq.Decode(code, rec)
+			if encErr != nil || decErr != nil {
+				return false
+			}
 			for j := range row {
 				budget := float64(sq.Step[j]) + 1e-4
 				if math.Abs(float64(rec[j]-row[j])) > budget {

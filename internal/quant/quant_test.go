@@ -14,11 +14,17 @@ func TestSQRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	code := sq.Encode(ds.Row(0), nil)
+	code, err := sq.Encode(ds.Row(0), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(code) != 8 {
 		t.Fatalf("code len %d", len(code))
 	}
-	rec := sq.Decode(code, nil)
+	rec, err := sq.Decode(code, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for j := range rec {
 		// 8-bit quantization error is at most one step.
 		if math.Abs(float64(rec[j]-ds.Row(0)[j])) > float64(sq.Step[j])+1e-6 {
@@ -35,7 +41,10 @@ func TestSQClampsOutOfRange(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	code := sq.Encode([]float32{-5, 9}, nil)
+	code, err := sq.Encode([]float32{-5, 9}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if code[0] != 0 || code[1] != 255 {
 		t.Fatalf("clamp failed: %v", code)
 	}
@@ -46,8 +55,14 @@ func TestSQConstantDimension(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	code := sq.Encode([]float32{3, 1.5}, nil)
-	rec := sq.Decode(code, nil)
+	code, err := sq.Encode([]float32{3, 1.5}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := sq.Decode(code, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if rec[0] != 3 {
 		t.Fatalf("constant dim should reconstruct exactly: %v", rec[0])
 	}
@@ -57,9 +72,19 @@ func TestSQDistanceMatchesDecode(t *testing.T) {
 	ds := dataset.Uniform(50, 6, 2)
 	sq, _ := TrainSQ(ds.Data, 50, 6)
 	q := ds.Row(10)
-	code := sq.Encode(ds.Row(20), nil)
-	want := vec.SquaredL2(q, sq.Decode(code, nil))
-	got := sq.DistanceL2(q, code)
+	code, err := sq.Encode(ds.Row(20), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := sq.Decode(code, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := vec.SquaredL2(q, dec)
+	got, err := sq.DistanceL2(q, code)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if math.Abs(float64(got-want)) > 1e-4 {
 		t.Fatalf("DistanceL2 %v vs decode %v", got, want)
 	}
@@ -298,8 +323,10 @@ func TestFastScanMatchesNaiveWithinQuantization(t *testing.T) {
 	fast := make([]float32, n)
 	tab.DistanceBatch(codes, exact)
 	ft.DistanceBatch4(packed, fast)
-	// Max quantization error is M * scale (one LSB per subquantizer).
-	maxErr := float64(ft.Scale) * float64(pq.M)
+	// With round-to-nearest LUT entries the max quantization error is
+	// M * scale / 2 (half an LSB per subquantizer); before the
+	// rounding fix truncation needed the full M * scale budget.
+	maxErr := float64(ft.Scale) * float64(pq.M) / 2
 	for i := 0; i < n; i++ {
 		if math.Abs(float64(fast[i]-exact[i])) > maxErr+1e-4 {
 			t.Fatalf("row %d: fast %v exact %v (budget %v)", i, fast[i], exact[i], maxErr)

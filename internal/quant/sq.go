@@ -45,8 +45,14 @@ func TrainSQ(data []float32, n, d int) (*SQ, error) {
 	return &SQ{Dim: d, Min: minv, Step: step}, nil
 }
 
-// Encode quantizes v into code (allocated if nil).
-func (q *SQ) Encode(v []float32, code []byte) []byte {
+// Encode quantizes v into code (allocated if nil). v must have
+// exactly Dim dimensions: an over-length vector used to panic with
+// index-out-of-range mid-encode and a short one silently produced a
+// zero-padded code that under-scored every comparison.
+func (q *SQ) Encode(v []float32, code []byte) ([]byte, error) {
+	if len(v) != q.Dim {
+		return nil, fmt.Errorf("quant: SQ.Encode vector has %d dims, quantizer has %d", len(v), q.Dim)
+	}
 	if cap(code) < q.Dim {
 		code = make([]byte, q.Dim)
 	}
@@ -64,11 +70,15 @@ func (q *SQ) Encode(v []float32, code []byte) []byte {
 		}
 		code[j] = byte(t + 0.5)
 	}
-	return code
+	return code, nil
 }
 
-// Decode reconstructs an approximation of the original vector.
-func (q *SQ) Decode(code []byte, dst []float32) []float32 {
+// Decode reconstructs an approximation of the original vector. code
+// must hold exactly Dim bytes.
+func (q *SQ) Decode(code []byte, dst []float32) ([]float32, error) {
+	if len(code) != q.Dim {
+		return nil, fmt.Errorf("quant: SQ.Decode code has %d bytes, quantizer has %d dims", len(code), q.Dim)
+	}
 	if cap(dst) < q.Dim {
 		dst = make([]float32, q.Dim)
 	}
@@ -76,18 +86,24 @@ func (q *SQ) Decode(code []byte, dst []float32) []float32 {
 	for j, c := range code {
 		dst[j] = q.Min[j] + float32(c)*q.Step[j]
 	}
-	return dst
+	return dst, nil
 }
 
 // DistanceL2 computes the squared L2 distance between a raw query and
-// a code without materializing the decoded vector.
-func (q *SQ) DistanceL2(query []float32, code []byte) float32 {
+// a code without materializing the decoded vector. Both operands must
+// match the quantizer's Dim: a short query used to panic and a short
+// code silently dropped dimensions from the sum.
+func (q *SQ) DistanceL2(query []float32, code []byte) (float32, error) {
+	if len(query) != q.Dim || len(code) != q.Dim {
+		return 0, fmt.Errorf("quant: SQ.DistanceL2 query %d dims, code %d bytes, quantizer %d dims",
+			len(query), len(code), q.Dim)
+	}
 	var s float32
 	for j, c := range code {
 		d := query[j] - (q.Min[j] + float32(c)*q.Step[j])
 		s += d * d
 	}
-	return s
+	return s, nil
 }
 
 // CompressionRatio returns the size reduction versus float32 storage.
@@ -101,8 +117,8 @@ func (q *SQ) MSE(data []float32, n int) float64 {
 	rec := make([]float32, q.Dim)
 	for i := 0; i < n; i++ {
 		row := data[i*q.Dim : (i+1)*q.Dim]
-		code = q.Encode(row, code)
-		rec = q.Decode(code, rec)
+		code, _ = q.Encode(row, code)
+		rec, _ = q.Decode(code, rec)
 		for j := range row {
 			d := float64(row[j] - rec[j])
 			s += d * d

@@ -211,6 +211,7 @@ type SearchBody struct {
 	Ef           int            `json:"ef,omitempty"`
 	NProbe       int            `json:"nprobe,omitempty"`
 	Alpha        int            `json:"alpha,omitempty"`
+	RerankK      int            `json:"rerank_k,omitempty"`
 	Parallelism  int            `json:"parallelism,omitempty"`
 	EntityColumn string         `json:"entity_column,omitempty"`
 	Aggregator   string         `json:"aggregator,omitempty"`
@@ -307,7 +308,8 @@ func (s *Server) handleCollection(w http.ResponseWriter, r *http.Request) {
 		res, err := col.SearchContext(ctx, vdbms.SearchRequest{
 			Vector: req.Vector, Vectors: req.Vectors, K: req.K,
 			Filters: req.Filters, Policy: req.Policy, Ef: req.Ef,
-			NProbe: req.NProbe, Alpha: req.Alpha, Parallelism: par,
+			NProbe: req.NProbe, Alpha: req.Alpha, RerankK: req.RerankK,
+			Parallelism:  par,
 			EntityColumn: req.EntityColumn, Aggregator: req.Aggregator,
 			Trace: wantTrace || s.slowQuery > 0,
 		})
@@ -363,7 +365,7 @@ func (s *Server) handleCollection(w http.ResponseWriter, r *http.Request) {
 		hits, err := col.SearchBatch(req.Vectors, vdbms.SearchRequest{
 			K: req.K, Filters: req.Filters, Policy: req.Policy,
 			Ef: req.Ef, NProbe: req.NProbe, Alpha: req.Alpha,
-			Parallelism: par,
+			RerankK: req.RerankK, Parallelism: par,
 		})
 		if err != nil && hits == nil {
 			writeErr(w, http.StatusBadRequest, err)

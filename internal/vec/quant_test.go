@@ -1,0 +1,142 @@
+package vec_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"vdbms/internal/quant"
+	"vdbms/internal/vec"
+)
+
+// decode reconstructs row i the way the LUT does, so the reference
+// distances below share the kernel's quantization error and isolate
+// the kernel's *arithmetic* for testing.
+func decodeSQ8(min, step []float32, codes []byte, i, d int) []float32 {
+	out := make([]float32, d)
+	for j, c := range codes[i*d : (i+1)*d] {
+		out[j] = min[j] + float32(c)*step[j]
+	}
+	return out
+}
+
+// TestSQ8KernelMatchesDecodedDistances: for every supported metric the
+// LUT gather must equal the metric computed on the decoded row — the
+// kernel removes the decode, not the math.
+func TestSQ8KernelMatchesDecodedDistances(t *testing.T) {
+	const n, d = 200, 13 // odd dim exercises the gather tail loop
+	rng := rand.New(rand.NewSource(42))
+	data := make([]float32, n*d)
+	for i := range data {
+		data[i] = rng.Float32()*4 - 2
+	}
+	sq, err := quant.TrainSQ(data, n, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	codes := make([]byte, n*d)
+	for i := 0; i < n; i++ {
+		if _, err := sq.Encode(data[i*d:(i+1)*d], codes[i*d:(i+1)*d]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q := make([]float32, d)
+	for j := range q {
+		q[j] = rng.Float32()*4 - 2
+	}
+	for _, m := range []vec.Metric{vec.L2, vec.InnerProduct, vec.Cosine} {
+		s, err := vec.NewSQ8Scorer(m, sq.Min, sq.Step, codes, n, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.BytesPerRow() >= 4*d {
+			t.Fatalf("%s: BytesPerRow %d is not compressed vs %d", m, s.BytesPerRow(), 4*d)
+		}
+		fn := vec.Distance(m)
+		b := s.Bind(q)
+		for i := 0; i < n; i++ {
+			want := fn(q, decodeSQ8(sq.Min, sq.Step, codes, i, d))
+			if got := b.ScoreAt(i); math.Abs(float64(got-want)) > 1e-4 {
+				t.Fatalf("%s row %d: ScoreAt %v, decoded %v", m, i, got, want)
+			}
+		}
+		// Block and gather entry points agree with ScoreAt bit-exactly:
+		// they share the same accumulation order.
+		blk := make([]float32, n)
+		b.ScoreBlock(0, n, blk)
+		ids := make([]int32, n)
+		for i := range ids {
+			ids[i] = int32(n - 1 - i)
+		}
+		gat := make([]float32, n)
+		b.ScoreIDs(ids, gat)
+		for i := 0; i < n; i++ {
+			if blk[i] != b.ScoreAt(i) {
+				t.Fatalf("%s row %d: ScoreBlock %v != ScoreAt %v", m, i, blk[i], b.ScoreAt(i))
+			}
+			if gat[i] != b.ScoreAt(n-1-i) {
+				t.Fatalf("%s gather %d: %v != ScoreAt %v", m, i, gat[i], b.ScoreAt(n-1-i))
+			}
+		}
+	}
+}
+
+// TestSQ8KernelQuantizationError: against the *original* rows the
+// kernel's error is bounded by the codec, not the kernel — spot-check
+// that L2 distances stay within the per-dimension step budget.
+func TestSQ8KernelQuantizationError(t *testing.T) {
+	const n, d = 100, 16
+	rng := rand.New(rand.NewSource(7))
+	data := make([]float32, n*d)
+	for i := range data {
+		data[i] = rng.Float32()
+	}
+	sq, err := quant.TrainSQ(data, n, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	codes := make([]byte, n*d)
+	for i := 0; i < n; i++ {
+		if _, err := sq.Encode(data[i*d:(i+1)*d], codes[i*d:(i+1)*d]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s, err := vec.NewSQ8Scorer(vec.L2, sq.Min, sq.Step, codes, n, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := data[:d]
+	b := s.Bind(q)
+	// Worst case per dimension: |recon - x| <= step/2, so the squared
+	// distance shifts by at most sum over dims of (2*|diff_j|*e + e^2)
+	// with e = step_j/2; bound loosely with the max step.
+	var maxStep float32
+	for _, st := range sq.Step {
+		if st > maxStep {
+			maxStep = st
+		}
+	}
+	for i := 0; i < n; i++ {
+		exact := vec.SquaredL2(q, data[i*d:(i+1)*d])
+		got := b.ScoreAt(i)
+		e := float64(maxStep) / 2
+		slack := float64(d) * (2*math.Sqrt(float64(exact))*e + e*e)
+		if math.Abs(float64(got-exact)) > slack+1e-5 {
+			t.Fatalf("row %d: |%v - %v| exceeds quantization budget %v", i, got, exact, slack)
+		}
+	}
+}
+
+func TestSQ8KernelRejectsBadInputs(t *testing.T) {
+	min, step := []float32{0, 0}, []float32{1, 1}
+	codes := []byte{0, 0, 0, 0}
+	if _, err := vec.NewSQ8Scorer(vec.Hamming, min, step, codes, 2, 2); err == nil {
+		t.Fatal("hamming does not decompose into per-byte terms; want error")
+	}
+	if _, err := vec.NewSQ8Scorer(vec.L2, min, step, codes[:3], 2, 2); err == nil {
+		t.Fatal("short codes; want error")
+	}
+	if _, err := vec.NewSQ8Scorer(vec.L2, min[:1], step, codes, 2, 2); err == nil {
+		t.Fatal("short ranges; want error")
+	}
+}

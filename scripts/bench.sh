@@ -1,8 +1,12 @@
 #!/usr/bin/env bash
 # Scan/search benchmark runner: runs the scoring-engine benchmarks
-# (BenchmarkFlatScan in internal/index, BenchmarkScoreBlock in
-# internal/vec) and emits a JSON array of {op, ns_per_op, rows_per_s}
-# for the acceptance record in BENCH_scan.json. Also runs the mixed
+# (BenchmarkFlatScan and BenchmarkQuantScan in internal/index,
+# BenchmarkScoreBlock in internal/vec) and emits a JSON array of
+# {op, ns_per_op, rows_per_s, recall_at_10, compression_x} for the
+# acceptance record in BENCH_scan.json — the quantized variants
+# (sq8/pq/opq vs float32) carry measured recall@10 and compression
+# ratio, so the file records the recall-vs-speed frontier; rows
+# without a quantized kernel report null for both. Also runs the mixed
 # read/write benchmark (BenchmarkMixedReadWrite in internal/core —
 # searches racing inserts/updates/deletes) and emits {op, ns_per_op,
 # queries_per_s} to BENCH_concurrent.json, the acceptance record for
@@ -37,6 +41,7 @@ tmp4=$(mktemp)
 trap 'rm -f "$tmp" "$tmp2" "$tmp3" "$tmp4"' EXIT
 
 go test -run '^$' -bench BenchmarkFlatScan -benchtime "$benchtime" ./internal/index/ | tee -a "$tmp"
+go test -run '^$' -bench BenchmarkQuantScan -benchtime "$benchtime" ./internal/index/ | tee -a "$tmp"
 go test -run '^$' -bench BenchmarkScoreBlock -benchtime "$benchtime" ./internal/vec/ | tee -a "$tmp"
 go test -run '^$' -bench BenchmarkMixedReadWrite -benchtime "$benchtime" ./internal/core/ | tee -a "$tmp2"
 go test -run '^$' -bench BenchmarkWALInsert -benchtime "$benchtime" ./internal/core/ | tee -a "$tmp3"
@@ -44,18 +49,22 @@ go test -run '^$' -bench BenchmarkSearchObs -benchtime "$benchtime" ./internal/c
 
 # Benchmark lines look like:
 #   BenchmarkFlatScan/l2/scorer-8  20  7083267 ns/op  7228.30 MB/s  14118004 rows/s
+#   BenchmarkQuantScan/sq8-8  20  7466134 ns/op  1714 MB/s  1.000 recall@10  13395205 rows/s  4.000 x_compression
 awk '
 /^Benchmark/ {
     op = $1
     sub(/-[0-9]+$/, "", op)
-    ns = ""; rows = ""
+    ns = ""; rows = ""; recall = ""; comp = ""
     for (i = 2; i < NF; i++) {
         if ($(i+1) == "ns/op") ns = $i
         if ($(i+1) == "rows/s") rows = $i
+        if ($(i+1) == "recall@10") recall = $i
+        if ($(i+1) == "x_compression") comp = $i
     }
     if (ns == "") next
     if (n++) printf ",\n"
-    printf "  {\"op\": \"%s\", \"ns_per_op\": %s, \"rows_per_s\": %s}", op, ns, (rows == "" ? "null" : rows)
+    printf "  {\"op\": \"%s\", \"ns_per_op\": %s, \"rows_per_s\": %s, \"recall_at_10\": %s, \"compression_x\": %s}", \
+        op, ns, (rows == "" ? "null" : rows), (recall == "" ? "null" : recall), (comp == "" ? "null" : comp)
 }
 BEGIN { printf "[\n" }
 END   { printf "\n]\n" }

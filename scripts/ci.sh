@@ -49,5 +49,22 @@ if [ "$missing" -ne 0 ]; then
     exit 1
 fi
 # Smoke the scan + mixed read/write + WAL + observability benchmark
-# harnesses and their JSON emitters the same way.
-BENCHTIME=1x scripts/bench.sh "$(mktemp)" "$(mktemp)" "$(mktemp)" "$(mktemp)"
+# harnesses and their JSON emitters the same way. The scan output is
+# kept: it carries the quantized-scan recall floor checked below.
+scan_smoke=$(mktemp)
+BENCHTIME=1x scripts/bench.sh "$scan_smoke" "$(mktemp)" "$(mktemp)" "$(mktemp)"
+# Quantized-scan recall floor: the sq8 compressed scan with exact
+# re-rank must keep recall@10 >= 0.95 at the acceptance scale
+# (recall is measured outside the timed loop, so a 1x smoke run
+# reports the same number as a full run). A codec or re-rank
+# regression fails CI here, not in a dashboard later.
+awk -F'"recall_at_10": ' '
+/"op": "BenchmarkQuantScan\/sq8"/ {
+    split($2, a, ","); recall = a[1]; found = 1
+    if (recall == "null" || recall + 0 < 0.95) {
+        printf "sq8 quantized scan recall@10 = %s, want >= 0.95\n", recall > "/dev/stderr"
+        exit 1
+    }
+}
+END { if (!found) { print "BenchmarkQuantScan/sq8 missing from scan bench output" > "/dev/stderr"; exit 1 } }
+' "$scan_smoke"
