@@ -34,6 +34,14 @@
 // interval and the observed recall@k exported as vdbms_recall_observed
 // (with -recall-floor, passes below the floor are logged as
 // regressions).
+// -mem-budget bounds the process's accounted memory (0 inherits
+// GOMEMLIMIT, -1 disables management): over the budget the server
+// walks a degradation ladder — drop rebuildable caches at 80%, evict
+// the coldest collections' float columns to mmap-backed spill files at
+// 90% (searches stay byte-identical; the kernel pages vectors in on
+// demand), and past 100% shed work-carrying requests with 503 +
+// Retry-After instead of dying. /debug/stats reports the ladder stage
+// and per-collection tier under "memory".
 // -pprof-addr serves net/http/pprof on a second listener (off by
 // default so profiling endpoints never ride the public port). On
 // SIGINT/SIGTERM the server stops accepting, drains in-flight requests
@@ -49,6 +57,7 @@ import (
 	_ "net/http/pprof" // registers /debug/pprof on DefaultServeMux, served only on -pprof-addr
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
@@ -68,6 +77,8 @@ func main() {
 	checkpointInterval := flag.Duration("checkpoint-interval", 30*time.Second, "background checkpoint period (0 = only checkpoint on shutdown)")
 	auditInterval := flag.Duration("audit-interval", 0, "online recall audit period for every collection (0 = off)")
 	recallFloor := flag.Float64("recall-floor", 0, "log a regression when an audit observes recall below this (0 = never)")
+	memBudget := flag.Int64("mem-budget", 0, "process memory budget in bytes; over it the server drops caches, evicts cold collections to mmap, then sheds with 503 (0 = inherit GOMEMLIMIT; -1 = off)")
+	spillDir := flag.String("spill-dir", "", "directory for mmap-tier spill files (default: <data-dir>/.spill, or the OS temp dir when in-memory)")
 	flag.Parse()
 
 	if *pprofAddr != "" {
@@ -104,12 +115,36 @@ func main() {
 		})
 		log.Printf("recall auditing every %v (floor %.3f)", *auditInterval, *recallFloor)
 	}
+	opts := []server.Option{
+		server.WithQueryTimeout(*queryTimeout),
+		server.WithSlowQueryLog(*slowQuery),
+		server.WithParallelism(*parallelism),
+	}
+	if *memBudget >= 0 {
+		dir := *spillDir
+		if dir == "" {
+			if *dataDir != "" {
+				dir = filepath.Join(*dataDir, ".spill")
+			} else {
+				dir = filepath.Join(os.TempDir(), "vdbms-spill")
+			}
+		}
+		mgr, err := db.EnableMemoryBudget(*memBudget, dir)
+		if err != nil {
+			log.Fatalf("enabling memory budget: %v", err)
+		}
+		opts = append(opts, server.WithMemoryManager(mgr))
+		if b := mgr.Budget(); b >= 1<<20 {
+			log.Printf("memory budget %d MiB (spill dir %s)", b>>20, dir)
+		} else if b > 0 {
+			log.Printf("memory budget %d bytes (spill dir %s)", b, dir)
+		} else {
+			log.Printf("memory accounting on, no budget (set -mem-budget or GOMEMLIMIT); spill dir %s", dir)
+		}
+	}
 	srv := &http.Server{
-		Addr: *addr,
-		Handler: server.New(db,
-			server.WithQueryTimeout(*queryTimeout),
-			server.WithSlowQueryLog(*slowQuery),
-			server.WithParallelism(*parallelism)),
+		Addr:              *addr,
+		Handler:           server.New(db, opts...),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 

@@ -116,7 +116,13 @@ func (db *DB) Close() error {
 	for _, c := range db.collections {
 		cols = append(cols, c)
 	}
+	mem := db.mem
 	db.mu.Unlock()
+	if mem != nil {
+		// Stop the budget actor first: its evict pass must not call into
+		// collections that are tearing down their mappings.
+		mem.Close()
+	}
 	var errs []error
 	for _, c := range cols {
 		if err := c.inner.Close(); err != nil {

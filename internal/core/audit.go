@@ -143,6 +143,11 @@ func (c *Collection) audit(cfg AuditConfig) (AuditReport, error) {
 	start := time.Now()
 	rep := AuditReport{Collection: c.name, Floor: cfg.RecallFloor}
 	samples := c.sampler.Load().Snapshot()
+	// Pin as a reader: the exact replays below scan the snapshot's
+	// column, so in-place update patching must be fenced out for the
+	// whole pass (updates fall back to copy-on-write meanwhile).
+	c.beginRead()
+	defer c.endRead()
 	s := c.snap.Load()
 	// The update epoch is read after the snapshot pointer: snapshot
 	// publication is monotonic, so every update counted in epoch at

@@ -56,8 +56,9 @@ func (c *Collection) maybeTriggerBuildLocked() {
 
 // runBuild is the builder goroutine body. Its inputs were pinned under
 // mu by maybeTriggerBuildLocked; the data prefix stays immutable while
-// the build runs because inserts only append past it and updates
-// replace the array instead of writing through it.
+// the build runs because inserts only append past it and updates fall
+// back to copy-on-write whenever a build is in flight (tryPatchLocked
+// refuses to patch while c.building is set).
 func (c *Collection) runBuild(epoch uint64, kind string, opts map[string]int, data []float32, n, dirty int) {
 	idx, err := buildTimed(kind, data, n, c.schema.Dim, c.schema.Metric, opts)
 

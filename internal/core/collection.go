@@ -15,6 +15,7 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -23,9 +24,11 @@ import (
 	"vdbms/internal/executor"
 	"vdbms/internal/filter"
 	"vdbms/internal/index"
+	"vdbms/internal/memory"
 	"vdbms/internal/obs"
 	"vdbms/internal/planner"
 	"vdbms/internal/stats"
+	"vdbms/internal/storage"
 	"vdbms/internal/topk"
 	"vdbms/internal/vec"
 	"vdbms/internal/wal"
@@ -71,10 +74,13 @@ type Schema struct {
 // and run their whole query against that epoch without taking any
 // lock. Nothing reachable from a published snapshot is ever mutated:
 //
-//   - env wraps a scorer view pinned at rows (the data prefix is
-//     immutable because inserts only append and in-place updates copy
-//     the array first) and an attribute-table view pinned at the same
-//     row count (columns are append-only).
+//   - env wraps a scorer view pinned at rows (inserts only append, and
+//     vector updates either copy the array first or patch a row only
+//     while the reader/patcher handshake proves no query is scanning —
+//     so a reader never observes a torn row; a patched row is simply
+//     the documented read-committed visibility of updates) and an
+//     attribute-table view pinned at the same row count (columns are
+//     append-only).
 //   - del is a copy-on-write deletion mask; Delete clones the bitset
 //     before setting a bit, so a reader's mask never changes mid-scan.
 //   - ann/annN describe the installed ANN index and the rows it was
@@ -211,6 +217,58 @@ type Collection struct {
 	ckptLSN  uint64 // LSN covered by the latest checkpoint
 	ckptStop chan struct{}
 	ckptDone chan struct{}
+
+	// Reader/patcher handshake for in-place vector updates. Queries pin
+	// the epoch they read by incrementing active around the snapshot
+	// load; an updater that finds no active reader patches the row in
+	// place instead of cloning the whole column (applyUpdateLocked). The
+	// two counters form a store-load protocol: the writer publishes
+	// patching=1 then checks active, the reader publishes active+1 then
+	// checks patching. Sequential consistency of sync/atomic guarantees
+	// one of the two observes the other, so either the writer falls back
+	// to copy-on-write or the reader waits out the short patch — a torn
+	// read is impossible (DESIGN.md §13).
+	active   atomic.Int64
+	patching atomic.Int64
+	// dataPins counts off-lock readers of c.data that bypass the
+	// active/patching handshake (CreateIndex builds pin the column by
+	// reference). Guarded by mu; while non-zero, updates must copy.
+	dataPins int
+
+	// Memory tier (memtier.go). acct is the budget-manager account, nil
+	// for unmanaged collections. mapped is non-nil while c.data aliases
+	// an mmap-backed column file; maps retains every mapping ever handed
+	// to a snapshot so retired epochs stay valid until Close unmaps
+	// them. spillDir hosts the (unlinked) column spill files; evictSeq
+	// makes each spill file name unique — reusing a path would truncate
+	// an inode that old mappings still read.
+	acct     atomic.Pointer[memory.Account]
+	mapped   *storage.MmapStore
+	maps     []*storage.MmapStore
+	spillDir string
+	evictSeq int
+	// lastAdvise dedupes executor access-pattern hints so steady-state
+	// queries against a mapped column pay an atomic load, not a madvise
+	// syscall, per query. 0 = unset; otherwise 1+AccessPattern.
+	lastAdvise atomic.Int32
+}
+
+// beginRead pins the caller as an active reader: until the matching
+// endRead, no in-place vector patch can start, and one already started
+// is waited out. Pairs with endRead; the window must cover the snapshot
+// load and every read through it.
+func (c *Collection) beginRead() {
+	c.active.Add(1)
+	for c.patching.Load() != 0 {
+		// A patch is in flight; it is a single row copy plus one cached-
+		// state refresh, so spin-yield rather than park.
+		runtime.Gosched()
+	}
+}
+
+// endRead releases the reader pin taken by beginRead.
+func (c *Collection) endRead() {
+	c.active.Add(-1)
 }
 
 // NewCollection creates an empty collection.
@@ -277,6 +335,10 @@ func (c *Collection) publishLocked() {
 	// Hand the executor the shared stats tracker before the env becomes
 	// visible to readers — after the Store it is immutable by contract.
 	env.Stats = c.stats
+	if c.mapped != nil {
+		env.Advise = c.adviseHook(c.mapped)
+	}
+	c.accountLocked()
 	c.snap.Store(&snapshot{
 		rows:    c.n,
 		nDel:    c.nDel,
@@ -383,8 +445,14 @@ func (c *Collection) applyInsertLocked(v []float32, attrs map[string]filter.Valu
 	}
 	// Appending is snapshot-safe without copying: published views pin
 	// their row count, so they never read past the old prefix, and a
-	// reallocating append leaves their backing array untouched.
+	// reallocating append leaves their backing array untouched. When the
+	// column lives in the mmap tier the append reallocates to heap
+	// (mapped slices have cap == len), which is exactly promotion — the
+	// mapping is read-only, so writes must land on the heap copy.
 	c.data = append(c.data, v...)
+	if c.mapped != nil {
+		c.promotedLocked("insert")
+	}
 	id := int64(c.n)
 	c.n++
 	c.scorer.Extend(c.data, c.n)
@@ -426,19 +494,31 @@ func (c *Collection) UpdateVector(id int64, v []float32) error {
 
 // applyUpdateLocked is the memory-state half of UpdateVector, shared
 // with WAL replay. Caller holds mu and has validated id.
+//
+// Fast path: when no reader is pinned (and nothing else aliases the
+// column), the row is patched in place — O(d) instead of the O(n·d)
+// full-column clone. Slow path: copy-on-write exactly as before, taken
+// whenever a concurrent query, a pinned index build, or the mmap tier
+// could observe the mutation. BenchmarkUpdateInPlace measures the gap.
 func (c *Collection) applyUpdateLocked(id int64, v []float32) error {
-	// Copy-on-write: published snapshots score the current array
-	// lock-free, so an in-place write would tear a concurrent scan.
-	// Copy the prefix, patch the row, and stand up a fresh scorer.
-	d := c.schema.Dim
-	data := make([]float32, c.n*d, c.n*d)
-	copy(data, c.data[:c.n*d])
-	copy(data[int(id)*d:(int(id)+1)*d], v)
-	sc, err := vec.NewScorer(c.schema.Metric, data, c.n, d)
-	if err != nil {
-		return fmt.Errorf("core: %w", err)
+	if !c.tryPatchLocked(id, v) {
+		// Copy-on-write: a published snapshot is being read lock-free
+		// right now (or the column is pinned/mapped), so an in-place
+		// write could tear a concurrent scan. Copy the prefix, patch the
+		// row, and stand up a fresh scorer.
+		d := c.schema.Dim
+		data := make([]float32, c.n*d, c.n*d)
+		copy(data, c.data[:c.n*d])
+		copy(data[int(id)*d:(int(id)+1)*d], v)
+		sc, err := vec.NewScorer(c.schema.Metric, data, c.n, d)
+		if err != nil {
+			return fmt.Errorf("core: %w", err)
+		}
+		c.data, c.scorer = data, sc
+		if c.mapped != nil {
+			c.promotedLocked("update")
+		}
 	}
-	c.data, c.scorer = data, sc
 	c.updateEpoch.Add(1)
 	if c.ann != nil {
 		c.dirty++
@@ -446,6 +526,31 @@ func (c *Collection) applyUpdateLocked(id int64, v []float32) error {
 	c.publishLocked()
 	c.maybeTriggerBuildLocked()
 	return nil
+}
+
+// tryPatchLocked attempts the in-place row patch. Caller holds mu (so
+// there is exactly one potential patcher). It refuses when the column
+// is mmap-backed (the mapping is read-only), when an off-lock build
+// has pinned the column by reference, or when any reader is active;
+// otherwise it raises the patching flag, re-checks for readers (the
+// store-load handshake with beginRead), writes the row, refreshes the
+// scorer's cached per-row state, and lowers the flag.
+func (c *Collection) tryPatchLocked(id int64, v []float32) bool {
+	if c.mapped != nil || c.building || c.dataPins != 0 {
+		return false
+	}
+	c.patching.Store(1)
+	if c.active.Load() != 0 {
+		c.patching.Store(0)
+		return false
+	}
+	// No reader holds a pin, and any that arrives now spins on the
+	// patching flag until we lower it: the window is exclusively ours.
+	d := c.schema.Dim
+	copy(c.data[int(id)*d:(int(id)+1)*d], v)
+	c.scorer.Refresh(int(id))
+	c.patching.Store(0)
+	return true
 }
 
 // Delete hides a row from all future queries. Snapshots already loaded
@@ -495,6 +600,8 @@ func (c *Collection) applyDeleteLocked(id int64) {
 // Get returns the vector and attributes for a live id, read from the
 // current snapshot without locking.
 func (c *Collection) Get(id int64) ([]float32, map[string]filter.Value, error) {
+	c.beginRead()
+	defer c.endRead()
 	s := c.snap.Load()
 	if id < 0 || id >= int64(s.rows) {
 		return nil, nil, fmt.Errorf("core: id %d out of range [0,%d)", id, s.rows)
@@ -551,11 +658,16 @@ func (c *Collection) CreateIndex(kind string, opts map[string]int) error {
 	prevKind, prevOpts := c.annKind, c.annOpts
 	c.annKind, c.annOpts = kind, opts
 	data, n, dirty := c.data[:c.n*c.schema.Dim], c.n, c.dirty
+	// Pin the column by reference: the build reads it off-lock, so
+	// in-place update patching must stay disabled until it finishes
+	// (updates copy-on-write instead; the build's input stays frozen).
+	c.dataPins++
 	c.mu.Unlock()
 
 	idx, err := buildTimed(kind, data, n, c.schema.Dim, c.schema.Metric, opts)
 
 	c.mu.Lock()
+	c.dataPins--
 	if err != nil {
 		obs.IndexBuildsTotal.With("failed").Inc()
 		if c.buildEpoch == epoch {
@@ -664,7 +776,10 @@ func (c *Collection) Search(req Request) ([]Result, planner.Plan, error) {
 	// a higher epoch, so the sample reads as stale — the conservative
 	// direction for the recall auditor.
 	epoch := c.updateEpoch.Load()
+	c.beginRead()
 	res, plan, err := c.search(req)
+	c.endRead()
+	c.touchAccount()
 	obs.SearchTotal.Inc()
 	c.latency.Observe(time.Since(start).Seconds())
 	if err != nil {
@@ -820,7 +935,10 @@ func (c *Collection) multiVector(s *snapshot, req Request, opts executor.Options
 // are skipped before scoring instead of being filtered afterwards.
 func (c *Collection) SearchRange(q []float32, radius float32, preds []filter.Predicate) ([]Result, error) {
 	start := time.Now()
+	c.beginRead()
 	res, err := c.searchRange(q, radius, preds)
+	c.endRead()
+	c.touchAccount()
 	obs.SearchTotal.Inc()
 	c.latency.Observe(time.Since(start).Seconds())
 	if err != nil {
@@ -847,6 +965,9 @@ func (c *Collection) searchRange(q []float32, radius float32, preds []filter.Pre
 // returned alongside an error naming each failing query's index (a
 // failed slot is nil).
 func (c *Collection) SearchBatch(qs [][]float32, req Request) ([][]Result, error) {
+	c.beginRead()
+	defer c.endRead()
+	defer c.touchAccount()
 	s := c.snap.Load()
 	env := s.env
 	var plan planner.Plan
@@ -874,9 +995,20 @@ func (c *Collection) SearchBatch(qs [][]float32, req Request) ([][]Result, error
 // OpenIterator starts incremental paging over the collection. The
 // iterator is pinned to the snapshot current at open time: rows
 // inserted, updated, or deleted afterwards do not affect its pages.
+// The pin also counts as an active reader until the iterator is
+// garbage-collected, so in-place update patching is suppressed (every
+// update copies) while pages may still be fetched.
 func (c *Collection) OpenIterator(q []float32, preds []filter.Predicate, ef int) (*executor.Iterator, error) {
+	c.beginRead()
 	s := c.snap.Load()
-	return s.env.NewIterator(q, preds, executor.Options{Ef: ef, Exclude: s.exclude()})
+	it, err := s.env.NewIterator(q, preds, executor.Options{Ef: ef, Exclude: s.exclude()})
+	if err != nil {
+		c.endRead()
+		return nil, err
+	}
+	// The iterator has no Close; release the reader pin when it dies.
+	runtime.SetFinalizer(it, func(*executor.Iterator) { c.endRead() })
+	return it, nil
 }
 
 func convert(rs []topk.Result) []Result {

@@ -180,15 +180,25 @@ func recover1(dir string, opts DurabilityOptions) (*Collection, error) {
 	}
 	var c *Collection
 	if ckptPath != "" {
-		snap, err := readSnapshotFile(ckptPath)
+		// A v3 checkpoint doubles as an mmap source: the column section
+		// is mapped in place and the recovered collection starts in the
+		// mmap tier — recovery of a large collection costs metadata and
+		// WAL replay, not an O(n·d) heap materialization.
+		snap, m, err := openSnapshotFile(ckptPath)
 		if err != nil {
 			return nil, fmt.Errorf("core: reading checkpoint: %w", err)
 		}
 		if snap.AppliedLSN != ckptLSN {
+			if m != nil {
+				m.Close()
+			}
 			return nil, fmt.Errorf("core: checkpoint %s covers LSN %d, name says %d", filepath.Base(ckptPath), snap.AppliedLSN, ckptLSN)
 		}
-		c, err = collectionFromSnapshot(snap)
+		c, err = collectionFromSnapshot(snap, m)
 		if err != nil {
+			if m != nil {
+				m.Close()
+			}
 			return nil, err
 		}
 		c.replaying = true
@@ -299,20 +309,6 @@ func (c *Collection) applyWALRecord(rec walRecord) error {
 		return nil
 	}
 	return fmt.Errorf("core: unknown WAL op %d", rec.op)
-}
-
-// readSnapshotFile loads one checkpoint (or Save) file.
-func readSnapshotFile(path string) (*fileSnapshot, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	snap, err := decodeSnapshot(f)
-	if err != nil {
-		return nil, err
-	}
-	return snap, nil
 }
 
 // latestCheckpoint returns the newest checkpoint in dir ("" when none
@@ -437,18 +433,24 @@ func (c *Collection) startCheckpointer() {
 
 // Close shuts the durable machinery down cleanly: stop the background
 // checkpointer, wait out any index build, write a final checkpoint (so
-// the next recovery replays nothing), and close the log. Idempotent;
-// a nil-WAL (in-memory) collection closes as a no-op.
+// the next recovery replays nothing), close the log, and unmap any
+// mmap-tier column mappings. Idempotent; a nil-WAL (in-memory)
+// collection only releases its mappings. After Close the collection
+// must not be used — retired snapshots may reference unmapped memory.
 func (c *Collection) Close() error {
 	c.DisableAudit() // in-memory collections need this too; idempotent
 	c.mu.Lock()
-	if c.wal == nil || c.closed {
+	if c.closed {
 		c.mu.Unlock()
 		return nil
 	}
 	c.closed = true
+	durable := c.wal != nil
 	c.mu.Unlock()
 
+	if !durable {
+		return c.closeMaps()
+	}
 	if c.ckptStop != nil {
 		close(c.ckptStop)
 		<-c.ckptDone
@@ -456,10 +458,14 @@ func (c *Collection) Close() error {
 	c.WaitForIndex()
 	cerr := c.Checkpoint()
 	werr := c.wal.log.Close()
+	merr := c.closeMaps()
 	if cerr != nil {
 		return cerr
 	}
-	return werr
+	if werr != nil {
+		return werr
+	}
+	return merr
 }
 
 // DurabilityStatus reports whether the collection is durable, the LSN

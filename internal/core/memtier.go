@@ -1,0 +1,339 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"vdbms/internal/executor"
+	"vdbms/internal/index"
+	"vdbms/internal/memory"
+	"vdbms/internal/storage"
+)
+
+// Memory-tiered serving (DESIGN.md §13). A collection attached to the
+// process budget manager push-accounts its resident bytes after every
+// published epoch and exposes three remediation hooks:
+//
+//   - drop caches: release the entity-map cache (rung 1),
+//   - evict: move the float32 column to an mmap-backed spill file and
+//     rebind the scorer and (Remappable) index onto the mapping, so
+//     the heap copy becomes garbage and the kernel pages vectors in on
+//     demand (rung 2; quantized codes stay heap-hot),
+//   - promote: copy the column back to heap when pressure clears.
+//
+// The eviction protocol never mutates anything a published snapshot
+// can see: the column is written out from a pinned reader window,
+// the swap happens under mu with a staleness re-check, and retired
+// mappings are kept alive until Close because old epochs may still
+// score through them. Spill files are unlinked immediately after
+// mapping — the mapping keeps the inode alive, the namespace stays
+// clean, and a crashed process leaks no disk space. Each eviction
+// writes a fresh uniquely-named file: reusing a path would truncate an
+// inode an older mapping still reads.
+
+// AttachMemory registers the collection with the budget manager and
+// enables tier management. spillDir hosts the (transient, unlinked)
+// eviction column files; it is created if missing.
+func (c *Collection) AttachMemory(m *memory.Manager, spillDir string) error {
+	if spillDir == "" {
+		return fmt.Errorf("core: AttachMemory needs a spill directory")
+	}
+	if err := os.MkdirAll(spillDir, 0o755); err != nil {
+		return err
+	}
+	a := m.Register(c.name)
+	a.OnDropCaches(c.dropCaches)
+	a.OnEvict(c.EvictToMmap)
+	a.OnPromote(c.PromoteToHeap)
+	c.mu.Lock()
+	c.spillDir = spillDir
+	c.acct.Store(a)
+	if c.mapped != nil {
+		// Recovered straight into the mmap tier (checkpoint-backed
+		// column): tell the manager so it skips the eviction rung.
+		a.SetEvicted(true)
+	}
+	c.accountLocked()
+	c.mu.Unlock()
+	return nil
+}
+
+// DetachMemory unregisters the collection from its budget manager.
+// The column stays in whatever tier it currently occupies.
+func (c *Collection) DetachMemory(m *memory.Manager) {
+	c.mu.Lock()
+	c.acct.Store(nil)
+	c.mu.Unlock()
+	m.Unregister(c.name)
+}
+
+// touchAccount stamps the account's logical clock — the coldness
+// signal the eviction rung sorts by. Called from query paths, off-mu.
+func (c *Collection) touchAccount() {
+	if a := c.acct.Load(); a != nil {
+		a.Touch()
+	}
+}
+
+// accountLocked pushes the collection's resident bytes to its account.
+// Called with mu held from publishLocked, so accounting tracks every
+// epoch transition (insert growth, COW clones, evictions, index
+// installs) without a sampling loop.
+func (c *Collection) accountLocked() {
+	a := c.acct.Load()
+	if a == nil {
+		return
+	}
+	var vecBytes int64
+	if c.mapped == nil {
+		vecBytes = int64(cap(c.data)) * 4
+	}
+	a.Set(memory.CatVectors, vecBytes)
+	structure, codes := indexMemoryBytes(c.ann)
+	a.Set(memory.CatIndex, structure)
+	a.Set(memory.CatQuantCodes, codes)
+	if c.wal != nil {
+		a.Set(memory.CatWALBuffers, c.wal.log.BufferedBytes())
+	}
+}
+
+// indexMemoryBytes reports an index's accountable heap bytes; families
+// that do not implement index.MemoryFootprint account as zero (their
+// data references are still covered by the vectors category).
+func indexMemoryBytes(idx index.Index) (structure, codes int64) {
+	if idx == nil {
+		return 0, 0
+	}
+	if f, ok := idx.(index.MemoryFootprint); ok {
+		return f.MemoryBytes()
+	}
+	return 0, 0
+}
+
+// adviseHook builds the executor's access-pattern hook for one mapped
+// column: the planner's chosen plan tells the kernel whether the query
+// will stream the whole column (enlarge readahead, drop behind) or
+// probe random rows (fault only the touched pages). Repeated hints
+// dedupe on lastAdvise, so the syscall is paid only when the workload's
+// plan mix actually changes.
+func (c *Collection) adviseHook(m *storage.MmapStore) func(executor.AccessPattern) {
+	return func(p executor.AccessPattern) {
+		want := int32(p) + 1 // 0 means "no hint issued yet"
+		if c.lastAdvise.Load() == want || c.lastAdvise.Swap(want) == want {
+			return
+		}
+		if p == executor.AdviseSequential {
+			m.AdviseSequential()
+		} else {
+			m.AdviseRandom()
+		}
+	}
+}
+
+// dropCaches is the DropCaches-rung hook: release per-collection
+// derived caches that can be rebuilt on demand.
+func (c *Collection) dropCaches() {
+	c.entMu.Lock()
+	c.entCache = map[string]entityEntry{}
+	c.entMu.Unlock()
+}
+
+// Tier reports which tier the float column currently occupies.
+func (c *Collection) Tier() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.mapped != nil {
+		return "mmap"
+	}
+	return "heap"
+}
+
+// EvictToMmap moves the float32 column to an mmap-backed spill file:
+// search results are byte-identical (the mapping holds exactly the
+// bytes the heap column held) but the pages are reclaimable by the
+// kernel, so the collection's accounted vector bytes drop to zero.
+// Quantized codes, the graph structure, and attribute columns stay on
+// heap. Fails (leaving the heap tier intact) when the platform lacks
+// mmap, when the installed index cannot rebind to a new column, or
+// when a concurrent write lands mid-protocol.
+func (c *Collection) EvictToMmap() error {
+	if !storage.MmapSupported() {
+		return fmt.Errorf("core: mmap tier unsupported on this platform")
+	}
+
+	// Phase 1 (under mu): pin the column and capture the staleness
+	// witnesses. dataPins disables in-place patching so the pinned
+	// prefix cannot change underneath the file write; COW updates and
+	// inserts are caught by the epoch/row re-check in phase 3.
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return fmt.Errorf("core: collection %q is closed", c.name)
+	}
+	if c.acct.Load() == nil || c.spillDir == "" {
+		c.mu.Unlock()
+		return fmt.Errorf("core: collection %q is not memory-managed", c.name)
+	}
+	if c.mapped != nil {
+		c.mu.Unlock()
+		return nil // already in the mmap tier
+	}
+	if c.n == 0 {
+		c.mu.Unlock()
+		return fmt.Errorf("core: nothing to evict")
+	}
+	if c.building {
+		c.mu.Unlock()
+		return fmt.Errorf("core: index build in flight; retry")
+	}
+	if c.ann != nil {
+		if _, ok := c.ann.(index.Remappable); !ok {
+			// A non-remappable index keeps scoring the heap column, so
+			// eviction would free nothing. Refuse; the manager moves on.
+			c.mu.Unlock()
+			return fmt.Errorf("core: index %q pins the heap column", c.ann.Name())
+		}
+	}
+	n, d := c.n, c.schema.Dim
+	epoch0 := c.updateEpoch.Load()
+	data := c.data[:n*d]
+	c.evictSeq++
+	path := filepath.Join(c.spillDir, fmt.Sprintf("%s-%08d.col", c.name, c.evictSeq))
+	c.dataPins++
+	c.mu.Unlock()
+
+	// Phase 2 (off-lock): write and map the column, then unlink. The
+	// write is O(n·d) disk I/O and must not stall writers — they only
+	// lose the in-place-patch fast path while the pin is held.
+	m, err := func() (*storage.MmapStore, error) {
+		if err := storage.WriteColumnFile(path, data, n, d); err != nil {
+			return nil, err
+		}
+		m, err := storage.OpenColumn(path)
+		// Unlink immediately: the mapping keeps the inode alive, and a
+		// crash leaks no spill files.
+		os.Remove(path)
+		if err != nil {
+			return nil, err
+		}
+		m.AdviseRandom()
+		return m, nil
+	}()
+	c.mu.Lock()
+	c.dataPins--
+	if err != nil {
+		c.mu.Unlock()
+		return fmt.Errorf("core: evicting %q: %w", c.name, err)
+	}
+
+	// Phase 3 (under mu): re-check that the column we spilled is still
+	// the current one, then swap every pointer in one epoch.
+	if c.closed || c.n != n || c.updateEpoch.Load() != epoch0 || c.mapped != nil || c.building {
+		c.mu.Unlock()
+		m.Close() // never published; unmapping is safe
+		return fmt.Errorf("core: eviction raced a write; retry")
+	}
+	c.mapped = m
+	c.maps = append(c.maps, m)
+	c.data = m.Raw()
+	c.lastAdvise.Store(0) // fresh mapping, no hint issued yet
+	// Same row count: the scorer just repoints its data pointer; cached
+	// per-row state (norms) is content-derived and stays valid.
+	c.scorer.Extend(c.data, c.n)
+	if c.ann != nil {
+		if r, ok := c.ann.(index.Remappable); ok {
+			if idx2, ok2 := r.Remap(c.data); ok2 {
+				c.ann = idx2
+			}
+		}
+	}
+	if a := c.acct.Load(); a != nil {
+		a.SetEvicted(true)
+	}
+	c.publishLocked()
+	c.mu.Unlock()
+	return nil
+}
+
+// PromoteToHeap copies an evicted column back to heap and rebinds the
+// scorer and index onto the copy. The retired mapping stays alive (in
+// c.maps) for snapshots already holding it and is advised away.
+func (c *Collection) PromoteToHeap() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.mapped == nil || c.closed {
+		return nil
+	}
+	n, d := c.n, c.schema.Dim
+	heapCol := make([]float32, n*d)
+	copy(heapCol, c.data[:n*d])
+	c.data = heapCol
+	c.retireMappingLocked()
+	c.scorer.Extend(c.data, c.n)
+	if c.ann != nil {
+		if r, ok := c.ann.(index.Remappable); ok {
+			if idx2, ok2 := r.Remap(c.data); ok2 {
+				c.ann = idx2
+			}
+		}
+	}
+	c.publishLocked()
+	return nil
+}
+
+// promotedLocked finalizes a write-path promotion: the caller already
+// replaced c.data with a heap copy (a reallocating append, or a COW
+// clone), so only the tier bookkeeping and index rebind remain.
+func (c *Collection) promotedLocked(reason string) {
+	_ = reason
+	c.retireMappingLocked()
+	if c.ann != nil {
+		if r, ok := c.ann.(index.Remappable); ok {
+			if idx2, ok2 := r.Remap(c.data); ok2 {
+				c.ann = idx2
+			}
+		}
+	}
+	if a := c.acct.Load(); a != nil {
+		a.CountPromotion()
+	}
+	// The caller's mutation path publishes; accounting rides along.
+}
+
+// retireMappingLocked detaches the active mapping without unmapping it
+// (published snapshots may still read through it until Close) and
+// hints the kernel its pages are reclaimable.
+func (c *Collection) retireMappingLocked() {
+	if c.mapped == nil {
+		return
+	}
+	c.mapped.AdviseDontNeed()
+	c.mapped = nil
+	c.lastAdvise.Store(0)
+	if a := c.acct.Load(); a != nil {
+		a.SetEvicted(false)
+	}
+}
+
+// closeMaps unmaps every column mapping the collection ever served
+// from. Only safe once no reader can hold a snapshot — Close calls it
+// after the WAL and checkpointer are down.
+func (c *Collection) closeMaps() error {
+	c.mu.Lock()
+	maps := c.maps
+	c.maps, c.mapped = nil, nil
+	if len(maps) > 0 {
+		// c.data may alias the last mapping; leave the collection with
+		// no column rather than a faulting one.
+		c.data = nil
+	}
+	c.mu.Unlock()
+	var first error
+	for _, m := range maps {
+		if err := m.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

@@ -1,0 +1,552 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"vdbms/internal/dataset"
+	"vdbms/internal/filter"
+	"vdbms/internal/memory"
+	"vdbms/internal/storage"
+	"vdbms/internal/vec"
+)
+
+// attachTestManager puts c under a fresh (unbudgeted) manager so tier
+// moves can be driven directly. The manager's actor is stopped — tests
+// drive everything synchronously.
+func attachTestManager(t *testing.T, c *Collection) *memory.Manager {
+	t.Helper()
+	m := memory.New(0)
+	m.Close()
+	if err := c.AttachMemory(m, t.TempDir()); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func sameResults(t *testing.T, want, got []Result, label string) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%s: %d results, want %d", label, len(got), len(want))
+	}
+	for i := range want {
+		if want[i].ID != got[i].ID || want[i].Dist != got[i].Dist {
+			t.Fatalf("%s: result %d = (%d, %v), want (%d, %v)",
+				label, i, got[i].ID, got[i].Dist, want[i].ID, want[i].Dist)
+		}
+	}
+}
+
+// TestEvictByteEquivalence is the tier-correctness property test: for
+// every metric × quantization combination, search / range / batch
+// answers from the mmap tier are byte-identical to the heap tier — the
+// mapping holds exactly the bytes the heap column held, and scorers
+// bind to it through the same zero-copy surface.
+func TestEvictByteEquivalence(t *testing.T) {
+	if !storage.MmapSupported() {
+		t.Skip("no mmap on this platform")
+	}
+	const n, d, k = 240, 16, 7
+	metrics := []vec.Metric{vec.L2, vec.InnerProduct, vec.Cosine}
+	quants := []string{"", "sq8", "pq"}
+	for _, metric := range metrics {
+		for _, quant := range quants {
+			if quant == "pq" && metric != vec.L2 {
+				continue // pq's ADC tables decompose squared L2 only
+			}
+			t.Run(fmt.Sprintf("metric=%v/quant=%q", metric, quant), func(t *testing.T) {
+				schema := Schema{
+					Dim:          d,
+					Metric:       metric,
+					Attributes:   map[string]filter.Kind{"g": filter.Int64},
+					Quantization: quant,
+					RerankK:      32,
+				}
+				c, err := NewCollection("tier", schema)
+				if err != nil {
+					t.Fatal(err)
+				}
+				ds := dataset.Clustered(n+8, d, 5, 0.3, 42)
+				for i := 0; i < n; i++ {
+					if _, err := c.Insert(ds.Row(i), map[string]filter.Value{"g": filter.IntV(int64(i % 4))}); err != nil {
+						t.Fatal(err)
+					}
+				}
+				if err := c.CreateIndex("hnsw", map[string]int{"m": 8}); err != nil {
+					t.Fatal(err)
+				}
+				c.WaitForIndex()
+				attachTestManager(t, c)
+
+				preds := []filter.Predicate{{Column: "g", Op: filter.Lt, Value: filter.IntV(3)}}
+				queries := [][]float32{ds.Row(n), ds.Row(n + 1), ds.Row(n + 2)}
+				type answers struct {
+					plain, filtered []Result
+					rng             []Result
+					batch           [][]Result
+				}
+				collect := func() answers {
+					var a answers
+					var err error
+					if a.plain, _, err = c.Search(Request{Vector: queries[0], K: k, Ef: 64}); err != nil {
+						t.Fatal(err)
+					}
+					if a.filtered, _, err = c.Search(Request{Vector: queries[1], K: k, Ef: 64, Preds: preds}); err != nil {
+						t.Fatal(err)
+					}
+					if a.rng, err = c.SearchRange(queries[2], 8.5, nil); err != nil {
+						t.Fatal(err)
+					}
+					if a.batch, err = c.SearchBatch(queries, Request{K: k, Ef: 64}); err != nil {
+						t.Fatal(err)
+					}
+					return a
+				}
+
+				heap := collect()
+				if tier := c.Tier(); tier != "heap" {
+					t.Fatalf("pre-evict tier %q", tier)
+				}
+				if err := c.EvictToMmap(); err != nil {
+					t.Fatal(err)
+				}
+				if tier := c.Tier(); tier != "mmap" {
+					t.Fatalf("post-evict tier %q", tier)
+				}
+				mapped := collect()
+				sameResults(t, heap.plain, mapped.plain, "plain")
+				sameResults(t, heap.filtered, mapped.filtered, "filtered")
+				sameResults(t, heap.rng, mapped.rng, "range")
+				for i := range heap.batch {
+					sameResults(t, heap.batch[i], mapped.batch[i], fmt.Sprintf("batch[%d]", i))
+				}
+
+				if err := c.PromoteToHeap(); err != nil {
+					t.Fatal(err)
+				}
+				if tier := c.Tier(); tier != "heap" {
+					t.Fatalf("post-promote tier %q", tier)
+				}
+				promoted := collect()
+				sameResults(t, heap.plain, promoted.plain, "promoted plain")
+				if err := c.Close(); err != nil {
+					t.Fatal(err)
+				}
+			})
+		}
+	}
+}
+
+// TestEvictAccounting checks the budget account's view of tier moves:
+// vector bytes drop to zero on eviction (the column is kernel-paged,
+// not heap), come back on promotion, and the evicted bit follows the
+// owner's tier.
+func TestEvictAccounting(t *testing.T) {
+	if !storage.MmapSupported() {
+		t.Skip("no mmap on this platform")
+	}
+	c, err := NewCollection("acct", Schema{Dim: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if _, err := c.Insert(make([]float32, 8), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m := attachTestManager(t, c)
+	a := m.Accounts()[0]
+	if got := a.Get(memory.CatVectors); got < 100*8*4 {
+		t.Fatalf("heap-tier vector bytes %d, want >= %d", got, 100*8*4)
+	}
+	if err := c.EvictToMmap(); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Get(memory.CatVectors); got != 0 {
+		t.Fatalf("mmap-tier vector bytes %d, want 0", got)
+	}
+	if !a.Evicted() {
+		t.Fatal("account not marked evicted")
+	}
+	if err := c.PromoteToHeap(); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Get(memory.CatVectors); got < 100*8*4 {
+		t.Fatalf("promoted vector bytes %d, want >= %d", got, 100*8*4)
+	}
+	if a.Evicted() {
+		t.Fatal("account still marked evicted after promote")
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWritePathPromotion: mutating an evicted collection promotes it
+// transparently — an insert reallocates to heap, an update lands on a
+// COW heap copy — and the results reflect the write.
+func TestWritePathPromotion(t *testing.T) {
+	if !storage.MmapSupported() {
+		t.Skip("no mmap on this platform")
+	}
+	const d = 8
+	ds := dataset.Clustered(64, d, 3, 0.4, 7)
+	t.Run("insert", func(t *testing.T) {
+		c, _ := NewCollection("ins", Schema{Dim: d})
+		for i := 0; i < 32; i++ {
+			c.Insert(ds.Row(i), nil) //nolint:errcheck
+		}
+		attachTestManager(t, c)
+		if err := c.EvictToMmap(); err != nil {
+			t.Fatal(err)
+		}
+		id, err := c.Insert(ds.Row(32), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tier := c.Tier(); tier != "heap" {
+			t.Fatalf("tier after insert %q, want heap (write-path promotion)", tier)
+		}
+		v, _, err := c.Get(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameVec(t, ds.Row(32), v)
+		if err := c.Close(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	t.Run("update", func(t *testing.T) {
+		c, _ := NewCollection("upd", Schema{Dim: d})
+		for i := 0; i < 32; i++ {
+			c.Insert(ds.Row(i), nil) //nolint:errcheck
+		}
+		attachTestManager(t, c)
+		if err := c.EvictToMmap(); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.UpdateVector(3, ds.Row(40)); err != nil {
+			t.Fatal(err)
+		}
+		if tier := c.Tier(); tier != "heap" {
+			t.Fatalf("tier after update %q, want heap (write-path promotion)", tier)
+		}
+		v, _, err := c.Get(3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameVec(t, ds.Row(40), v)
+		if err := c.Close(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	t.Run("delete-stays-mapped", func(t *testing.T) {
+		// Deletes only touch the tombstone bitset — no reason to leave
+		// the mmap tier.
+		c, _ := NewCollection("del", Schema{Dim: d})
+		for i := 0; i < 32; i++ {
+			c.Insert(ds.Row(i), nil) //nolint:errcheck
+		}
+		attachTestManager(t, c)
+		if err := c.EvictToMmap(); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Delete(5); err != nil {
+			t.Fatal(err)
+		}
+		if tier := c.Tier(); tier != "mmap" {
+			t.Fatalf("tier after delete %q, want mmap", tier)
+		}
+		res, _, err := c.Search(Request{Vector: ds.Row(5), K: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range res {
+			if r.ID == 5 {
+				t.Fatal("deleted row served from mmap tier")
+			}
+		}
+		if err := c.Close(); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func sameVec(t *testing.T, want, got []float32) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("len %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("element %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestEvictRefusals covers the cases where eviction must decline and
+// leave the heap tier intact.
+func TestEvictRefusals(t *testing.T) {
+	if !storage.MmapSupported() {
+		t.Skip("no mmap on this platform")
+	}
+	t.Run("unmanaged", func(t *testing.T) {
+		c, _ := NewCollection("x", Schema{Dim: 4})
+		c.Insert(make([]float32, 4), nil) //nolint:errcheck
+		if err := c.EvictToMmap(); err == nil {
+			t.Fatal("evicting an unmanaged collection succeeded")
+		}
+	})
+	t.Run("empty", func(t *testing.T) {
+		c, _ := NewCollection("x", Schema{Dim: 4})
+		attachTestManager(t, c)
+		if err := c.EvictToMmap(); err == nil {
+			t.Fatal("evicting an empty collection succeeded")
+		}
+	})
+	t.Run("non-remappable-index", func(t *testing.T) {
+		ds := dataset.Clustered(64, 8, 3, 0.4, 3)
+		c, _ := NewCollection("x", Schema{Dim: 8})
+		for i := 0; i < 64; i++ {
+			c.Insert(ds.Row(i), nil) //nolint:errcheck
+		}
+		if err := c.CreateIndex("ivfflat", map[string]int{"nlist": 4}); err != nil {
+			t.Fatal(err)
+		}
+		c.WaitForIndex()
+		attachTestManager(t, c)
+		if err := c.EvictToMmap(); err == nil {
+			t.Fatal("evicting under a non-remappable index succeeded")
+		}
+		if tier := c.Tier(); tier != "heap" {
+			t.Fatalf("tier %q after refused eviction", tier)
+		}
+	})
+	t.Run("double-evict-is-noop", func(t *testing.T) {
+		ds := dataset.Clustered(32, 8, 2, 0.4, 3)
+		c, _ := NewCollection("x", Schema{Dim: 8})
+		for i := 0; i < 32; i++ {
+			c.Insert(ds.Row(i), nil) //nolint:errcheck
+		}
+		attachTestManager(t, c)
+		if err := c.EvictToMmap(); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.EvictToMmap(); err != nil {
+			t.Fatalf("second eviction: %v", err)
+		}
+		if err := c.Close(); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// TestRecoverMapsCheckpoint: a checkpoint file doubles as the mmap
+// source — recovery starts the collection in the mmap tier, serving
+// byte-identical results, and the first write promotes it.
+func TestRecoverMapsCheckpoint(t *testing.T) {
+	if !storage.MmapSupported() {
+		t.Skip("no mmap on this platform")
+	}
+	dir := t.TempDir()
+	const n, d, k = 120, 12, 5
+	ds := dataset.Clustered(n+2, d, 4, 0.3, 11)
+	opts := DurabilityOptions{CheckpointInterval: 0}
+	c, err := CreateDurable(dir, "ckpt", Schema{Dim: d}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if _, err := c.Insert(ds.Row(i), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, _, err := c.Search(Request{Vector: ds.Row(n), K: k})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil { // writes the final checkpoint
+		t.Fatal(err)
+	}
+
+	r, err := Recover(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tier := r.Tier(); tier != "mmap" {
+		t.Fatalf("recovered tier %q, want mmap (checkpoint-backed column)", tier)
+	}
+	got, _, err := r.Search(Request{Vector: ds.Row(n), K: k})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResults(t, want, got, "recovered")
+
+	// Recovered-mapped collections report their tier to the manager.
+	m := memory.New(0)
+	m.Close()
+	if err := r.AttachMemory(m, t.TempDir()); err != nil {
+		t.Fatal(err)
+	}
+	if !m.Accounts()[0].Evicted() {
+		t.Fatal("recovered mmap-tier collection not marked evicted")
+	}
+
+	// First write promotes; results reflect it.
+	if _, err := r.Insert(ds.Row(n+1), nil); err != nil {
+		t.Fatal(err)
+	}
+	if tier := r.Tier(); tier != "heap" {
+		t.Fatalf("tier after post-recovery insert %q, want heap", tier)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRecoverMappedThenReplay: WAL records past the checkpoint replay
+// onto a collection whose column starts mmap-backed; the update path
+// promotes to heap via COW and converges to the logged state.
+func TestRecoverMappedThenReplay(t *testing.T) {
+	if !storage.MmapSupported() {
+		t.Skip("no mmap on this platform")
+	}
+	dir := t.TempDir()
+	const n, d = 60, 8
+	ds := dataset.Clustered(n+4, d, 3, 0.4, 13)
+	opts := DurabilityOptions{CheckpointInterval: 0}
+	c, err := CreateDurable(dir, "replay", Schema{Dim: d}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if _, err := c.Insert(ds.Row(i), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	// Mutations past the checkpoint live only in the WAL.
+	if err := c.UpdateVector(7, ds.Row(n)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Insert(ds.Row(n+1), nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Delete(3); err != nil {
+		t.Fatal(err)
+	}
+	// Close would write a fresh checkpoint covering everything; kill the
+	// WAL binding instead so recovery must replay onto the mapped column.
+	c.wal.log.Close() //nolint:errcheck
+
+	r, err := Recover(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close() //nolint:errcheck
+	if tier := r.Tier(); tier != "heap" {
+		t.Fatalf("tier %q after replaying an update, want heap (COW promotion)", tier)
+	}
+	v, _, err := r.Get(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameVec(t, ds.Row(n), v)
+	if _, _, err := r.Get(3); err == nil {
+		t.Fatal("deleted row resurrected")
+	}
+	if got := r.Len(); got != n {
+		t.Fatalf("len %d, want %d", got, n)
+	}
+}
+
+// TestEvictConcurrentWithQueriesAndWrites races tier moves against the
+// full query/write surface under -race.
+func TestEvictConcurrentWithQueriesAndWrites(t *testing.T) {
+	if !storage.MmapSupported() {
+		t.Skip("no mmap on this platform")
+	}
+	const d = 8
+	ds := dataset.Clustered(256, d, 4, 0.4, 5)
+	c, _ := NewCollection("race", Schema{Dim: d})
+	for i := 0; i < 128; i++ {
+		c.Insert(ds.Row(i), nil) //nolint:errcheck
+	}
+	attachTestManager(t, c)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 40; i++ {
+			c.EvictToMmap()   //nolint:errcheck
+			c.PromoteToHeap() //nolint:errcheck
+		}
+	}()
+	for i := 0; done != nil; i++ {
+		select {
+		case <-done:
+			done = nil
+		default:
+		}
+		switch i % 3 {
+		case 0:
+			c.Search(Request{Vector: ds.Row(i % 256), K: 3}) //nolint:errcheck
+		case 1:
+			c.UpdateVector(int64(i%64), ds.Row((i+1)%256)) //nolint:errcheck
+		case 2:
+			c.Insert(ds.Row(i%256), nil) //nolint:errcheck
+		}
+	}
+	res, _, err := c.Search(Request{Vector: ds.Row(0), K: 5})
+	if err != nil || len(res) == 0 {
+		t.Fatalf("post-race search: %v (%d results)", err, len(res))
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_ = time.Now
+}
+
+// BenchmarkUpdateInPlace measures the satellite-1 fix: with no pinned
+// snapshot reader, an update patches one row in place (O(d)) instead
+// of cloning the whole column (O(n·d)).
+func BenchmarkUpdateInPlace(b *testing.B) {
+	const n, d = 50000, 128
+	c, _ := NewCollection("b", Schema{Dim: d})
+	ds := dataset.Clustered(n, d, 8, 0.3, 1)
+	for i := 0; i < n; i++ {
+		c.Insert(ds.Row(i), nil) //nolint:errcheck
+	}
+	v := ds.Row(1)
+	b.SetBytes(int64(d * 4))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.UpdateVector(int64(i%n), v); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkUpdateCOW is the same workload with a reader permanently
+// pinned, forcing every update down the O(n·d) copy-on-write path —
+// the before picture of the satellite-1 fix.
+func BenchmarkUpdateCOW(b *testing.B) {
+	const n, d = 50000, 128
+	c, _ := NewCollection("b", Schema{Dim: d})
+	ds := dataset.Clustered(n, d, 8, 0.3, 1)
+	for i := 0; i < n; i++ {
+		c.Insert(ds.Row(i), nil) //nolint:errcheck
+	}
+	c.beginRead() // pinned reader: tryPatchLocked must refuse
+	defer c.endRead()
+	v := ds.Row(1)
+	b.SetBytes(int64(d * 4))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.UpdateVector(int64(i%n), v); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

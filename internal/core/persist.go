@@ -2,6 +2,8 @@ package core
 
 import (
 	"bufio"
+	"bytes"
+	"encoding/binary"
 	"encoding/gob"
 	"fmt"
 	"io"
@@ -11,6 +13,7 @@ import (
 	"vdbms/internal/bitset"
 	"vdbms/internal/filter"
 	"vdbms/internal/index"
+	"vdbms/internal/storage"
 	"vdbms/internal/vec"
 	"vdbms/internal/wal"
 )
@@ -61,13 +64,30 @@ type fileSnapshot struct {
 	AppliedLSN uint64
 }
 
-const snapshotVersion = 2
+// Snapshot container formats:
+//
+//	v1/v2  one gob value holding everything, Data inline.
+//	v3     a 16-byte preamble (magic, column offset), the gob metadata
+//	       with Data omitted, zero padding to a page boundary, then the
+//	       float column as a storage column-file image. The column
+//	       lands page-aligned, so a checkpoint doubles as an mmap
+//	       source: recovery maps it in place instead of materializing
+//	       the vectors on the heap (storage.OpenColumnSection).
+//
+// Readers accept all three; writers emit v3.
+const (
+	snapshotVersion = 3
+	snapshotMagic   = uint32(0x56534e33) // "3NSV"
+	preambleSize    = 16
+)
 
-// fileSnapshotAt serializes one pinned epoch snapshot. Everything it
-// reads is immutable: the data prefix (inserts append, updates copy),
-// the deletion mask (copy-on-write), and the attribute view (append-
-// only columns behind a pinned row count).
+// fileSnapshotAt serializes one pinned epoch snapshot. The data copy
+// happens inside a reader pin so an in-place update patch cannot land
+// mid-copy; everything else it reads is immutable (the deletion mask
+// is copy-on-write, the attribute view pins its row count).
 func (c *Collection) fileSnapshotAt(s *snapshot) *fileSnapshot {
+	c.beginRead()
+	defer c.endRead()
 	d := c.schema.Dim
 	snap := &fileSnapshot{
 		FormatVersion: snapshotVersion,
@@ -118,13 +138,35 @@ func (c *Collection) Save(path string) error {
 }
 
 // writeSnapshotFile is the shared atomic write-rename-sync sequence
-// for Save files and checkpoints.
+// for Save files and checkpoints, emitting the v3 container: metadata
+// gob first, the float column page-aligned at the tail.
 func writeSnapshotFile(path string, snap *fileSnapshot) error {
+	column := snap.Data
+	snap.Data = nil // the column travels in its own section
+	defer func() { snap.Data = column }()
+	var meta bytes.Buffer
+	if err := gob.NewEncoder(&meta).Encode(snap); err != nil {
+		return fmt.Errorf("core: encoding snapshot: %w", err)
+	}
+	columnOff := int64(preambleSize + meta.Len())
+	if rem := columnOff % storage.ColumnHeaderSize; rem != 0 {
+		columnOff += storage.ColumnHeaderSize - rem
+	}
 	return atomicWriteFile(path, func(w io.Writer) error {
-		if err := gob.NewEncoder(w).Encode(snap); err != nil {
-			return fmt.Errorf("core: encoding snapshot: %w", err)
+		var pre [preambleSize]byte
+		binary.LittleEndian.PutUint32(pre[0:], snapshotMagic)
+		binary.LittleEndian.PutUint64(pre[8:], uint64(columnOff))
+		if _, err := w.Write(pre[:]); err != nil {
+			return err
 		}
-		return nil
+		if _, err := w.Write(meta.Bytes()); err != nil {
+			return err
+		}
+		pad := make([]byte, columnOff-int64(preambleSize+meta.Len()))
+		if _, err := w.Write(pad); err != nil {
+			return err
+		}
+		return storage.WriteColumnSection(w, column, snap.N, snap.Dim)
 	})
 }
 
@@ -175,7 +217,7 @@ func Load(path string) (*Collection, error) {
 		return nil, err
 	}
 	defer f.Close()
-	c, err := loadFrom(bufio.NewReader(f))
+	c, err := loadFrom(f)
 	if err != nil {
 		return nil, err
 	}
@@ -190,19 +232,128 @@ func loadFrom(r io.Reader) (*Collection, error) {
 	if err != nil {
 		return nil, err
 	}
-	return collectionFromSnapshot(snap)
+	return collectionFromSnapshot(snap, nil)
 }
 
-// decodeSnapshot reads and version-checks one serialized snapshot.
+// decodeSnapshot reads and version-checks one serialized snapshot from
+// a stream, materializing the v3 column section on the heap. Legacy
+// v1/v2 files (a bare gob value) are detected by the missing magic.
 func decodeSnapshot(r io.Reader) (*fileSnapshot, error) {
+	br := bufio.NewReader(r)
+	head, err := br.Peek(4)
+	if err != nil || binary.LittleEndian.Uint32(head) != snapshotMagic {
+		return decodeLegacySnapshot(br)
+	}
+	var pre [preambleSize]byte
+	if _, err := io.ReadFull(br, pre[:]); err != nil {
+		return nil, fmt.Errorf("core: snapshot preamble: %w", err)
+	}
+	columnOff := int64(binary.LittleEndian.Uint64(pre[8:]))
+	if columnOff < preambleSize {
+		return nil, fmt.Errorf("core: snapshot column offset %d corrupt", columnOff)
+	}
+	snap, consumed, err := decodeSnapshotMeta(br)
+	if err != nil {
+		return nil, err
+	}
+	if skip := columnOff - preambleSize - consumed; skip > 0 {
+		if _, err := io.CopyN(io.Discard, br, skip); err != nil {
+			return nil, fmt.Errorf("core: snapshot padding: %w", err)
+		}
+	}
+	flat, n, dim, err := storage.ReadColumnSection(br)
+	if err != nil {
+		return nil, fmt.Errorf("core: snapshot column: %w", err)
+	}
+	if n != snap.N || dim != snap.Dim {
+		return nil, fmt.Errorf("core: snapshot column is %d×%d, metadata says %d×%d", n, dim, snap.N, snap.Dim)
+	}
+	snap.Data = flat
+	return snap, nil
+}
+
+// decodeLegacySnapshot decodes a v1/v2 file: one gob value, Data
+// inline.
+func decodeLegacySnapshot(r io.Reader) (*fileSnapshot, error) {
 	var snap fileSnapshot
-	if err := gob.NewDecoder(bufio.NewReader(r)).Decode(&snap); err != nil {
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
 		return nil, fmt.Errorf("core: decoding snapshot: %w", err)
 	}
 	if snap.FormatVersion < 1 || snap.FormatVersion > snapshotVersion {
 		return nil, fmt.Errorf("core: snapshot version %d, supported ≤ %d", snap.FormatVersion, snapshotVersion)
 	}
 	return &snap, nil
+}
+
+// countingReader counts consumed bytes and exposes ReadByte so gob
+// reads exactly the encoded messages (a gob.Decoder wraps readers
+// without ReadByte in its own bufio, over-reading past the value).
+type countingReader struct {
+	br *bufio.Reader
+	n  int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.br.Read(p)
+	c.n += int64(n)
+	return n, err
+}
+
+func (c *countingReader) ReadByte() (byte, error) {
+	b, err := c.br.ReadByte()
+	if err == nil {
+		c.n++
+	}
+	return b, err
+}
+
+// decodeSnapshotMeta decodes the v3 metadata gob, reporting how many
+// bytes of the stream it consumed (needed to skip the alignment pad).
+func decodeSnapshotMeta(br *bufio.Reader) (*fileSnapshot, int64, error) {
+	cr := &countingReader{br: br}
+	var snap fileSnapshot
+	if err := gob.NewDecoder(cr).Decode(&snap); err != nil {
+		return nil, 0, fmt.Errorf("core: decoding snapshot metadata: %w", err)
+	}
+	if snap.FormatVersion < 3 || snap.FormatVersion > snapshotVersion {
+		return nil, 0, fmt.Errorf("core: snapshot version %d in v3 container, supported ≤ %d", snap.FormatVersion, snapshotVersion)
+	}
+	return &snap, cr.n, nil
+}
+
+// openSnapshotFile loads one checkpoint or Save file from disk. For a
+// v3 file on an mmap-capable platform it returns the metadata plus a
+// live mapping of the column section (snap.Data stays nil); otherwise
+// the column is materialized on the heap and the mapping is nil.
+func openSnapshotFile(path string) (*fileSnapshot, *storage.MmapStore, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	var pre [preambleSize]byte
+	if _, err := io.ReadFull(f, pre[:]); err != nil || binary.LittleEndian.Uint32(pre[0:]) != snapshotMagic || !storage.MmapSupported() {
+		// Legacy container, tiny file, or no mmap: stream the whole file.
+		if _, err := f.Seek(0, io.SeekStart); err != nil {
+			return nil, nil, err
+		}
+		snap, err := decodeSnapshot(f)
+		return snap, nil, err
+	}
+	columnOff := int64(binary.LittleEndian.Uint64(pre[8:]))
+	snap, _, err := decodeSnapshotMeta(bufio.NewReader(io.NewSectionReader(f, preambleSize, columnOff-preambleSize)))
+	if err != nil {
+		return nil, nil, err
+	}
+	m, err := storage.OpenColumnSection(path, columnOff)
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: mapping snapshot column: %w", err)
+	}
+	if m.Count() != snap.N || m.Dim() != snap.Dim {
+		m.Close()
+		return nil, nil, fmt.Errorf("core: snapshot column is %d×%d, metadata says %d×%d", m.Count(), m.Dim(), snap.N, snap.Dim)
+	}
+	return snap, m, nil
 }
 
 // collectionFromSnapshot restores a collection in bulk: columns are
@@ -213,9 +364,20 @@ func decodeSnapshot(r io.Reader) (*fileSnapshot, error) {
 // incrementally are checked once up front. The recorded index recipe
 // is installed but NOT built — callers decide when (Load builds
 // immediately; Recover defers until after WAL replay).
-func collectionFromSnapshot(snap *fileSnapshot) (*Collection, error) {
-	if snap.N < 0 || len(snap.Data) != snap.N*snap.Dim {
-		return nil, fmt.Errorf("core: snapshot has %d vector floats, want %d rows × %d dim", len(snap.Data), snap.N, snap.Dim)
+//
+// When m is non-nil the collection adopts the mapped column as its
+// float store (snap.Data is ignored) and starts life in the mmap tier:
+// the checkpoint file itself serves the vectors, the heap never holds
+// a copy, and the first write-path mutation promotes transparently.
+// The collection takes ownership of m — it is closed with the
+// collection — and on any restore error the caller keeps ownership.
+func collectionFromSnapshot(snap *fileSnapshot, m *storage.MmapStore) (*Collection, error) {
+	column := snap.Data
+	if m != nil {
+		column = m.Raw()
+	}
+	if snap.N < 0 || len(column) != snap.N*snap.Dim {
+		return nil, fmt.Errorf("core: snapshot has %d vector floats, want %d rows × %d dim", len(column), snap.N, snap.Dim)
 	}
 	attrs := map[string]filter.Kind{}
 	for name, k := range snap.AttrKinds {
@@ -235,11 +397,15 @@ func collectionFromSnapshot(snap *fileSnapshot) (*Collection, error) {
 	if err := c.attrs.BulkRestore(snap.N, snap.IntColumns, snap.FltColumns, snap.StrColumns); err != nil {
 		return nil, fmt.Errorf("core: restoring attributes: %w", err)
 	}
-	sc, err := vec.NewScorer(c.schema.Metric, snap.Data, snap.N, snap.Dim)
+	sc, err := vec.NewScorer(c.schema.Metric, column, snap.N, snap.Dim)
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
-	c.data, c.n, c.scorer = snap.Data, snap.N, sc
+	c.data, c.n, c.scorer = column, snap.N, sc
+	if m != nil {
+		c.mapped = m
+		c.maps = append(c.maps, m)
+	}
 	if len(snap.Deleted) > 0 {
 		del := bitset.New(c.n)
 		for _, id := range snap.Deleted {

@@ -53,6 +53,31 @@ type Env struct {
 	// the stats.Collection itself is concurrency-safe and shared
 	// across epochs. Nil costs one pointer check per site.
 	Stats *stats.Collection
+	// Advise, when non-nil, receives the access pattern the chosen plan
+	// is about to drive over Data — AdviseSequential for exhaustive
+	// scans (brute force, pre-filter allowlists, range scans),
+	// AdviseRandom for index traversals. Collections whose column is
+	// mmap-backed forward it to madvise so the kernel sizes readahead to
+	// the plan; heap-backed collections leave it nil. Must be safe for
+	// concurrent calls and cheap when the pattern is unchanged.
+	Advise func(pattern AccessPattern)
+}
+
+// AccessPattern is the plan-level access hint fed to Env.Advise.
+type AccessPattern int
+
+const (
+	// AdviseSequential marks a full-column pass (flat scans).
+	AdviseSequential AccessPattern = iota
+	// AdviseRandom marks point lookups driven by an index traversal.
+	AdviseRandom
+)
+
+// advise forwards the plan's access pattern to the owner's hook.
+func (e *Env) advise(p AccessPattern) {
+	if e.Advise != nil {
+		e.Advise(p)
+	}
 }
 
 // NewEnv wires an environment, building the Flat index. Canonical vec
@@ -215,12 +240,16 @@ func (e *Env) Execute(p planner.Plan, q []float32, k int, preds []filter.Predica
 	}
 	switch p.Kind {
 	case planner.BruteForce:
+		e.advise(AdviseSequential)
 		return e.bruteForce(q, k, preds, opts)
 	case planner.PreFilter:
+		e.advise(AdviseSequential)
 		return e.preFilter(q, k, preds, opts)
 	case planner.PostFilter:
+		e.advise(AdviseRandom)
 		return e.postFilter(q, k, preds, p.Alpha, opts)
 	case planner.SingleStage:
+		e.advise(AdviseRandom)
 		return e.singleStage(q, k, preds, opts)
 	default:
 		return nil, fmt.Errorf("executor: unknown plan %v", p.Kind)
@@ -546,6 +575,7 @@ func (e *Env) SearchBatch(p planner.Plan, qs [][]float32, k int, preds []filter.
 // before scoring — and the scan records a "range_scan" span under
 // opts.Span and counts against the flat index family.
 func (e *Env) SearchRange(q []float32, radius float32, preds []filter.Predicate, opts Options) ([]topk.Result, error) {
+	e.advise(AdviseSequential)
 	params := opts.params()
 	var pc *predCount
 	if len(preds) > 0 {
@@ -583,6 +613,7 @@ func (e *Env) SearchRange(q []float32, radius float32, preds []filter.Predicate,
 // without the audit inflating the very serving statistics it is
 // meant to validate. exclude mirrors Options.Exclude (deletion mask).
 func (e *Env) ExactGroundTruth(q []float32, k int, preds []filter.Predicate, exclude func(id int64) bool) ([]topk.Result, error) {
+	e.advise(AdviseSequential)
 	params := Options{Exclude: exclude}.params()
 	if len(preds) > 0 {
 		if e.Attrs == nil {

@@ -15,6 +15,22 @@ import (
 // Adjacency is a mutable out-neighbor list per node.
 type Adjacency [][]int32
 
+// Neighbors implements the read side of Neighborhoods.
+func (a Adjacency) Neighbors(id int32) []int32 { return a[id] }
+
+// Len implements Neighborhoods.
+func (a Adjacency) Len() int { return len(a) }
+
+// Neighborhoods is read-only access to a graph's out-edges, satisfied
+// by both the mutable Adjacency (construction) and the frozen Slab
+// (serving). Traversals take this interface so a built index can swap
+// its per-node slices for one flat allocation without touching the
+// search code.
+type Neighborhoods interface {
+	Neighbors(id int32) []int32
+	Len() int
+}
+
 // Searcher bundles what beam search needs: the vectors and distance.
 type Searcher struct {
 	Data []float32
@@ -121,7 +137,7 @@ func (bq Query) Dist(id int32) float32 {
 // Predicate handling implements visit-first scan (Section 2.3(2)):
 // blocked nodes are still *traversed* (otherwise a selective filter
 // disconnects the graph) but never enter the result set.
-func BeamSearch(s *Searcher, adj Adjacency, q []float32, entries []int32, k, ef int, p index.Params) []topk.Result {
+func BeamSearch(s *Searcher, adj Neighborhoods, q []float32, entries []int32, k, ef int, p index.Params) []topk.Result {
 	if ef < k {
 		ef = k
 	}
@@ -150,7 +166,7 @@ func BeamSearch(s *Searcher, adj Adjacency, q []float32, entries []int32, k, ef 
 		if beam.Full() && cur.Dist > beam.Worst() {
 			break
 		}
-		for _, nb := range adj[cur.ID] {
+		for _, nb := range adj.Neighbors(int32(cur.ID)) {
 			if _, dup := visited[nb]; dup {
 				continue
 			}
@@ -181,13 +197,13 @@ func BeamSearch(s *Searcher, adj Adjacency, q []float32, entries []int32, k, ef 
 // GreedyWalk performs pure greedy descent (beam width 1) from entry,
 // returning the local minimum reached. Used by HNSW's upper layers and
 // by monotonic-path probing during MSN construction.
-func GreedyWalk(s *Searcher, adj Adjacency, q []float32, entry int32) (int32, float32) {
+func GreedyWalk(s *Searcher, adj Neighborhoods, q []float32, entry int32) (int32, float32) {
 	bq := s.Bind(q)
 	cur := entry
 	curD := bq.Dist(cur)
 	for {
 		improved := false
-		for _, nb := range adj[cur] {
+		for _, nb := range adj.Neighbors(cur) {
 			if d := bq.Dist(nb); d < curD {
 				cur, curD = nb, d
 				improved = true
@@ -246,13 +262,21 @@ func TopKClosest(cands []topk.Result, k int, skip int32) []int32 {
 }
 
 // AvgDegree reports the mean out-degree, an index-size proxy for E6.
-func AvgDegree(adj Adjacency) float64 {
-	if len(adj) == 0 {
+func AvgDegree(adj Neighborhoods) float64 {
+	if adj == nil {
+		return 0
+	}
+	n := adj.Len()
+	if n == 0 {
 		return 0
 	}
 	total := 0
-	for _, nbrs := range adj {
-		total += len(nbrs)
+	if s, ok := adj.(*Slab); ok {
+		total = s.Edges()
+	} else {
+		for i := 0; i < n; i++ {
+			total += len(adj.Neighbors(int32(i)))
+		}
 	}
-	return float64(total) / float64(len(adj))
+	return float64(total) / float64(n)
 }

@@ -1,0 +1,82 @@
+package graph
+
+// Slab is frozen adjacency: every neighbor list packed into one flat
+// []int32 with a prefix-sum offset table. A 10M-node graph stored as
+// Adjacency carries 10M slice headers (240 MB of pointers the GC must
+// scan every cycle, plus per-list allocator slack); the slab is two
+// pointerless allocations the GC skips entirely. Offsets are uint32 —
+// enough for 4B edges — with a guard in Freeze for the absurd case.
+type Slab struct {
+	flat []int32
+	off  []uint32 // len n+1; neighbors of id are flat[off[id]:off[id+1]]
+}
+
+// Freeze packs adj into a Slab. If the edge count overflows uint32
+// offsets it returns the original Adjacency unchanged (still a valid
+// Neighborhoods) — correctness never depends on the packing.
+func Freeze(adj Adjacency) Neighborhoods {
+	total := 0
+	for _, nbrs := range adj {
+		total += len(nbrs)
+	}
+	if uint64(total) > uint64(^uint32(0)) {
+		return adj
+	}
+	s := &Slab{
+		flat: make([]int32, 0, total),
+		off:  make([]uint32, len(adj)+1),
+	}
+	for i, nbrs := range adj {
+		s.flat = append(s.flat, nbrs...)
+		s.off[i+1] = uint32(len(s.flat))
+	}
+	return s
+}
+
+// Neighbors implements Neighborhoods.
+func (s *Slab) Neighbors(id int32) []int32 {
+	return s.flat[s.off[id]:s.off[id+1]]
+}
+
+// Len implements Neighborhoods.
+func (s *Slab) Len() int { return len(s.off) - 1 }
+
+// Edges returns the total edge count.
+func (s *Slab) Edges() int { return len(s.flat) }
+
+// Bytes is the resident size of the slab (memory accounting).
+func (s *Slab) Bytes() int { return len(s.flat)*4 + len(s.off)*4 }
+
+// Unfreeze materializes a mutable Adjacency copy (export paths that
+// predate the slab, e.g. the DiskANN layout writer).
+func (s *Slab) Unfreeze() Adjacency {
+	adj := make(Adjacency, s.Len())
+	for i := range adj {
+		nbrs := s.Neighbors(int32(i))
+		adj[i] = append([]int32(nil), nbrs...)
+	}
+	return adj
+}
+
+// NeighborhoodBytes estimates the resident bytes of any Neighborhoods
+// implementation: exact for slabs, header+payload for slice-of-slice.
+func NeighborhoodBytes(nh Neighborhoods) int {
+	switch g := nh.(type) {
+	case *Slab:
+		return g.Bytes()
+	case Adjacency:
+		total := len(g) * 24 // slice headers
+		for _, nbrs := range g {
+			total += cap(nbrs) * 4
+		}
+		return total
+	case nil:
+		return 0
+	default:
+		total := 0
+		for i := 0; i < nh.Len(); i++ {
+			total += 24 + len(nh.Neighbors(int32(i)))*4
+		}
+		return total
+	}
+}

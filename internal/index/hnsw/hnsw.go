@@ -41,8 +41,13 @@ type HNSW struct {
 	dim    int
 	n      int
 	s      *graph.Searcher
-	layers []graph.Adjacency // layers[l][id] = out-neighbors at layer l
-	nodeLv []int8            // top layer of each node
+	layers []graph.Adjacency // construction-time mutable adjacency
+	// frozen is the serving adjacency: after Build the per-node slices
+	// of every layer are packed into slabs (two pointerless allocations
+	// per layer), so a 10M-node graph stops carrying 10M slice headers
+	// the GC rescans every cycle.
+	frozen []graph.Neighborhoods
+	nodeLv []int8 // top layer of each node
 	entry  int32
 	maxLv  int
 	ml     float64
@@ -77,6 +82,11 @@ func Build(data []float32, n, d int, cfg Config) (*HNSW, error) {
 	for id := 0; id < n; id++ {
 		h.insert(int32(id), rng)
 	}
+	h.frozen = make([]graph.Neighborhoods, len(h.layers))
+	for l, adj := range h.layers {
+		h.frozen[l] = graph.Freeze(adj)
+	}
+	h.layers = nil // construction slices die here; serving uses slabs
 	if cfg.Quant.Enabled() {
 		// Attach the quantized kernel only after construction: insertion
 		// quality depends on exact distances, and RobustPrune compares
@@ -205,7 +215,42 @@ func (h *HNSW) QuantizedScan() bool { return h.s.Quant != nil }
 func (h *HNSW) ScoringBytes() int { return h.s.ScoringBytes(h.n) }
 
 // AvgBaseDegree reports mean degree of the bottom layer.
-func (h *HNSW) AvgBaseDegree() float64 { return graph.AvgDegree(h.layers[0]) }
+func (h *HNSW) AvgBaseDegree() float64 { return graph.AvgDegree(h.frozen[0]) }
+
+// MemoryBytes implements index.MemoryFootprint: the slab-packed layer
+// adjacency plus per-node levels, and the quantized code block.
+func (h *HNSW) MemoryBytes() (structure, codes int64) {
+	for _, l := range h.frozen {
+		structure += int64(graph.NeighborhoodBytes(l))
+	}
+	structure += int64(len(h.nodeLv))
+	if h.s.Quant != nil {
+		codes = int64(h.s.Quant.BytesPerRow()) * int64(h.n)
+	}
+	return structure, codes
+}
+
+// Remap implements index.Remappable: a shallow clone searching data
+// instead of the column the index was built over. The frozen layers,
+// node levels, and quantized codes are immutable and shared; only the
+// Searcher (and its scorer's data pointer) is fresh.
+func (h *HNSW) Remap(data []float32) (index.Index, bool) {
+	if len(data) < h.n*h.dim {
+		return nil, false
+	}
+	sc := h.s.Scorer.View()
+	sc.Extend(data, h.n)
+	h2 := &HNSW{
+		cfg: h.cfg, dim: h.dim, n: h.n,
+		s:      &graph.Searcher{Data: data, Dim: h.dim, Fn: h.s.Fn, Scorer: sc, Quant: h.s.Quant},
+		frozen: h.frozen,
+		nodeLv: h.nodeLv,
+		entry:  h.entry,
+		maxLv:  h.maxLv,
+		ml:     h.ml,
+	}
+	return h2, true
+}
 
 // Search implements index.Index: greedy descent through the upper
 // layers, then beam search with width p.Ef on layer 0.
@@ -234,12 +279,12 @@ func (h *HNSW) Search(q []float32, k int, p index.Params) ([]topk.Result, error)
 	}
 	ep := h.entry
 	for l := h.maxLv; l >= 1; l-- {
-		ep, _ = graph.GreedyWalk(h.s, h.layers[l], q, ep)
+		ep, _ = graph.GreedyWalk(h.s, h.frozen[l], q, ep)
 		if p.Stats != nil {
 			p.Stats.GreedyHops++
 		}
 	}
-	res := graph.BeamSearch(h.s, h.layers[0], q, []int32{ep}, kk, ef, p)
+	res := graph.BeamSearch(h.s, h.frozen[0], q, []int32{ep}, kk, ef, p)
 	if h.s.Quant != nil {
 		h.s.Comps.Add(int64(len(res)))
 		if p.Stats != nil {

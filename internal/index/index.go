@@ -100,6 +100,28 @@ type Index interface {
 	Search(q []float32, k int, p Params) ([]topk.Result, error)
 }
 
+// Remappable is implemented by indexes that can rebind themselves to
+// a different backing column holding byte-identical vector content —
+// the memory tier uses it to move a collection's float column between
+// heap and mmap without rebuilding the index. Remap returns a shallow
+// clone sharing the (immutable) graph structure and quantized codes
+// but scoring against data; ok is false when the index cannot rebind
+// (the caller then keeps the original, which pins the old column).
+// Implementations must not mutate the receiver: published snapshots
+// may still be searching it.
+type Remappable interface {
+	Remap(data []float32) (idx Index, ok bool)
+}
+
+// MemoryFootprint is implemented by indexes that can report their
+// resident heap bytes for budget accounting: structure covers the
+// graph/tree/bucket machinery, codes covers quantized code blocks
+// (accounted separately because the eviction rung keeps codes hot
+// while float columns move to the mmap tier).
+type MemoryFootprint interface {
+	MemoryBytes() (structure, codes int64)
+}
+
 // Stats is implemented by indexes that track per-search work counters
 // used by the cost model and the experiments.
 type Stats interface {

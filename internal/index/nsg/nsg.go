@@ -59,11 +59,14 @@ type Config struct {
 
 // Graph is the built index.
 type Graph struct {
-	cfg    Config
-	dim    int
-	n      int
-	s      *graph.Searcher
-	adj    graph.Adjacency
+	cfg Config
+	dim int
+	n   int
+	s   *graph.Searcher
+	adj graph.Adjacency // construction-time mutable adjacency
+	// frozen is the serving adjacency, slab-packed after construction
+	// so per-node slice headers stop dominating GC work at scale.
+	frozen graph.Neighborhoods
 	medoid int32
 	comps  atomic.Int64
 }
@@ -118,6 +121,8 @@ func Build(data []float32, n, d int, cfg Config) (*Graph, error) {
 		return nil, fmt.Errorf("nsg: unknown variant %d", cfg.Variant)
 	}
 	g.connectOrphans()
+	g.frozen = graph.Freeze(g.adj)
+	g.adj = nil // construction slices die here; serving uses the slab
 	if cfg.Quant.Enabled() {
 		qsc, err := index.BuildQuantKernel(cfg.Quant, cfg.Metric, data, n, d)
 		if err != nil {
@@ -330,11 +335,47 @@ func (g *Graph) Size() int { return g.n }
 func (g *Graph) Medoid() int32 { return g.medoid }
 
 // Adjacency exposes the out-neighbor lists (the DiskANN layout writer
-// consumes them).
-func (g *Graph) Adjacency() graph.Adjacency { return g.adj }
+// consumes them). After construction the graph lives in a slab, so
+// this materializes a mutable copy — export paths only.
+func (g *Graph) Adjacency() graph.Adjacency {
+	if g.adj != nil {
+		return g.adj
+	}
+	if s, ok := g.frozen.(*graph.Slab); ok {
+		return s.Unfreeze()
+	}
+	return g.frozen.(graph.Adjacency)
+}
 
 // AvgDegree reports the mean out-degree.
-func (g *Graph) AvgDegree() float64 { return graph.AvgDegree(g.adj) }
+func (g *Graph) AvgDegree() float64 { return graph.AvgDegree(g.frozen) }
+
+// MemoryBytes implements index.MemoryFootprint.
+func (g *Graph) MemoryBytes() (structure, codes int64) {
+	structure = int64(graph.NeighborhoodBytes(g.frozen))
+	if g.s.Quant != nil {
+		codes = int64(g.s.Quant.BytesPerRow()) * int64(g.n)
+	}
+	return structure, codes
+}
+
+// Remap implements index.Remappable: a shallow clone searching data
+// instead of the column the index was built over. The frozen graph
+// and quantized codes are shared; only the Searcher is fresh.
+func (g *Graph) Remap(data []float32) (index.Index, bool) {
+	if len(data) < g.n*g.dim {
+		return nil, false
+	}
+	sc := g.s.Scorer.View()
+	sc.Extend(data, g.n)
+	g2 := &Graph{
+		cfg: g.cfg, dim: g.dim, n: g.n,
+		s:      &graph.Searcher{Data: data, Dim: g.dim, Fn: g.s.Fn, Scorer: sc, Quant: g.s.Quant},
+		frozen: g.frozen,
+		medoid: g.medoid,
+	}
+	return g2, true
+}
 
 // QuantizedScan implements index.Quantized.
 func (g *Graph) QuantizedScan() bool { return g.s.Quant != nil }
@@ -371,7 +412,7 @@ func (g *Graph) Search(q []float32, k int, p index.Params) ([]topk.Result, error
 			ef = kk
 		}
 	}
-	res := graph.BeamSearch(g.s, g.adj, q, []int32{g.medoid}, kk, ef, p)
+	res := graph.BeamSearch(g.s, g.frozen, q, []int32{g.medoid}, kk, ef, p)
 	if g.s.Quant != nil {
 		g.s.Comps.Add(int64(len(res)))
 		if p.Stats != nil {

@@ -26,12 +26,14 @@ type Config struct {
 
 // NSW is the built index.
 type NSW struct {
-	cfg   Config
-	dim   int
-	n     int
-	s     *graph.Searcher
-	adj   graph.Adjacency
-	comps atomic.Int64
+	cfg Config
+	dim int
+	n   int
+	s   *graph.Searcher
+	adj graph.Adjacency // construction-time mutable adjacency
+	// frozen is the serving adjacency, slab-packed after construction.
+	frozen graph.Neighborhoods
+	comps  atomic.Int64
 }
 
 // Build inserts all vectors in order.
@@ -62,6 +64,8 @@ func Build(data []float32, n, d int, cfg Config) (*NSW, error) {
 			g.adj[nb] = append(g.adj[nb], int32(id)) // undirected
 		}
 	}
+	g.frozen = graph.Freeze(g.adj)
+	g.adj = nil // construction slices die here; serving uses the slab
 	return g, nil
 }
 
@@ -79,7 +83,28 @@ func (g *NSW) ResetStats() { g.comps.Store(0); g.s.Comps.Store(0) }
 
 // AvgDegree reports mean degree (flat NSW exhibits the degree
 // explosion HNSW's layering avoids; E6 reports it).
-func (g *NSW) AvgDegree() float64 { return graph.AvgDegree(g.adj) }
+func (g *NSW) AvgDegree() float64 { return graph.AvgDegree(g.frozen) }
+
+// MemoryBytes implements index.MemoryFootprint.
+func (g *NSW) MemoryBytes() (structure, codes int64) {
+	return int64(graph.NeighborhoodBytes(g.frozen)), 0
+}
+
+// Remap implements index.Remappable: a shallow clone searching data
+// instead of the column the index was built over.
+func (g *NSW) Remap(data []float32) (index.Index, bool) {
+	if len(data) < g.n*g.dim {
+		return nil, false
+	}
+	sc := g.s.Scorer.View()
+	sc.Extend(data, g.n)
+	g2 := &NSW{
+		cfg: g.cfg, dim: g.dim, n: g.n,
+		s:      &graph.Searcher{Data: data, Dim: g.dim, Fn: g.s.Fn, Scorer: sc},
+		frozen: g.frozen,
+	}
+	return g2, true
+}
 
 // Search implements index.Index: beam search from node 0 (the oldest
 // node, whose early long-range edges serve as the entry hub).
@@ -97,7 +122,7 @@ func (g *NSW) Search(q []float32, k int, p index.Params) ([]topk.Result, error) 
 			ef = 32
 		}
 	}
-	return graph.BeamSearch(g.s, g.adj, q, []int32{0}, k, ef, p), nil
+	return graph.BeamSearch(g.s, g.frozen, q, []int32{0}, k, ef, p), nil
 }
 
 func init() {

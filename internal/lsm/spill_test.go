@@ -1,0 +1,201 @@
+package lsm
+
+import (
+	"os"
+	"testing"
+
+	"vdbms/internal/dataset"
+	"vdbms/internal/storage"
+)
+
+// TestSpillDirSegmentsMapped: with SpillDir configured, sealed segments
+// serve their float columns from mmap-backed spill files — and answers
+// match a heap-only collection bit for bit.
+func TestSpillDirSegmentsMapped(t *testing.T) {
+	if !storage.MmapSupported() {
+		t.Skip("no mmap on this platform")
+	}
+	dir := t.TempDir()
+	spilled, err := New(Config{Dim: 8, MemtableSize: 50, MaxSegments: 100, SpillDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer spilled.Close() //nolint:errcheck
+	heap := newSmall(t, 50)
+
+	ds := dataset.Clustered(300, 8, 4, 0.4, 9)
+	for i := 0; i < 300; i++ {
+		if err := spilled.Upsert(int64(i), ds.Row(i)); err != nil {
+			t.Fatal(err)
+		}
+		if err := heap.Upsert(int64(i), ds.Row(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if spilled.Segments() == 0 {
+		t.Fatal("no segments sealed")
+	}
+	if got := spilled.MappedSegments(); got != spilled.Segments() {
+		t.Fatalf("%d of %d segments mapped, want all", got, spilled.Segments())
+	}
+	// Spill files are unlinked once mapped: the directory stays empty.
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 0 {
+		t.Fatalf("%d files linger in the spill dir, want 0 (unlink-after-map)", len(ents))
+	}
+
+	for qi := 0; qi < 10; qi++ {
+		q := ds.Row(qi * 29)
+		a, err := spilled.Search(q, 5, 64, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := heap.Search(q, 5, 64, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a) != len(b) {
+			t.Fatalf("query %d: %d vs %d results", qi, len(a), len(b))
+		}
+		for i := range a {
+			if a[i].ID != b[i].ID || a[i].Dist != b[i].Dist {
+				t.Fatalf("query %d result %d: (%d, %v) vs (%d, %v)",
+					qi, i, a[i].ID, a[i].Dist, b[i].ID, b[i].Dist)
+			}
+		}
+		ea, err := spilled.SearchExact(q, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eb, err := heap.SearchExact(q, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range ea {
+			if ea[i].ID != eb[i].ID || ea[i].Dist != eb[i].Dist {
+				t.Fatalf("exact query %d result %d differs across tiers", qi, i)
+			}
+		}
+	}
+}
+
+// TestSpillSurvivesCompaction: compaction merges mapped segments into a
+// new mapped segment; retired mappings are closed; reads stay correct.
+func TestSpillSurvivesCompaction(t *testing.T) {
+	if !storage.MmapSupported() {
+		t.Skip("no mmap on this platform")
+	}
+	c, err := New(Config{Dim: 8, MemtableSize: 25, MaxSegments: 100, SpillDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close() //nolint:errcheck
+	ds := dataset.Clustered(200, 8, 4, 0.4, 21)
+	for i := 0; i < 200; i++ {
+		if err := c.Upsert(int64(i), ds.Row(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Kill some rows so compaction actually rewrites.
+	for i := 0; i < 200; i += 3 {
+		c.Delete(int64(i))
+	}
+	if err := c.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Segments() != 1 {
+		t.Fatalf("segments after compact = %d", c.Segments())
+	}
+	if got := c.MappedSegments(); got != 1 {
+		t.Fatalf("mapped segments after compact = %d, want 1", got)
+	}
+	for i := 0; i < 200; i++ {
+		v, ok := c.Get(int64(i))
+		if i%3 == 0 {
+			if ok {
+				t.Fatalf("deleted id %d visible after compaction", i)
+			}
+			continue
+		}
+		if !ok {
+			t.Fatalf("id %d lost in compaction", i)
+		}
+		want := ds.Row(i)
+		for j := range want {
+			if v[j] != want[j] {
+				t.Fatalf("id %d element %d = %v, want %v", i, j, v[j], want[j])
+			}
+		}
+	}
+}
+
+// TestSpillAllDeadCompaction: compacting segments down to zero live
+// rows must close their mappings and leave no segments.
+func TestSpillAllDeadCompaction(t *testing.T) {
+	if !storage.MmapSupported() {
+		t.Skip("no mmap on this platform")
+	}
+	c, err := New(Config{Dim: 8, MemtableSize: 10, MaxSegments: 100, SpillDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close() //nolint:errcheck
+	ds := dataset.Clustered(40, 8, 2, 0.4, 4)
+	for i := 0; i < 40; i++ {
+		if err := c.Upsert(int64(i), ds.Row(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 40; i++ {
+		c.Delete(int64(i))
+	}
+	if err := c.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Segments() != 0 || c.MappedSegments() != 0 {
+		t.Fatalf("segments=%d mapped=%d after all-dead compaction", c.Segments(), c.MappedSegments())
+	}
+	if c.Len() != 0 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+}
+
+// TestSpillDirUnusable: a SpillDir that cannot host files degrades to
+// heap segments silently — correctness over tiering.
+func TestSpillDirUnusable(t *testing.T) {
+	file := t.TempDir() + "/occupied"
+	if err := os.WriteFile(file, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(Config{Dim: 8, MemtableSize: 10, SpillDir: file + "/sub"}); err == nil {
+		t.Fatal("New accepted a spill dir under a regular file")
+	}
+}
+
+func TestSpillClose(t *testing.T) {
+	if !storage.MmapSupported() {
+		t.Skip("no mmap on this platform")
+	}
+	c, err := New(Config{Dim: 8, MemtableSize: 20, SpillDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := dataset.Clustered(100, 8, 4, 0.4, 2)
+	for i := 0; i < 100; i++ {
+		if err := c.Upsert(int64(i), ds.Row(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.MappedSegments() == 0 {
+		t.Fatal("nothing mapped before close")
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatalf("double close: %v", err)
+	}
+}

@@ -92,6 +92,24 @@ var (
 	CheckpointLastLSN = Default().NewGauge("vdbms_checkpoint_last_lsn", "LSN covered by the most recent checkpoint.")
 	CheckpointBytes   = Default().NewGauge("vdbms_checkpoint_last_bytes", "Size of the most recent checkpoint file.")
 
+	// Memory tier (internal/memory + internal/core + internal/server).
+	// Resident bytes are push-accounted by owners (vector columns,
+	// index structures, quantized codes, WAL buffers, page caches), so
+	// the gauges reflect what the engine believes it holds; RSS and
+	// major faults are sampled from /proc as the ground-truth check —
+	// a page-fault-rate proxy for how hard the mmap tier is working.
+	MemBudgetBytes   = Default().NewGauge("vdbms_mem_budget_bytes", "Configured process memory budget in bytes (0 = unlimited).")
+	MemResidentBytes = Default().NewGauge("vdbms_mem_resident_bytes", "Accounted resident bytes across all collections.")
+	MemCategoryBytes = Default().NewGaugeVec("vdbms_mem_category_bytes", "Accounted resident bytes by category (vectors, index, quant_codes, wal_buffers, page_cache).", "category")
+	MemStage         = Default().NewGauge("vdbms_mem_stage", "Degradation ladder position (0=normal 1=drop_caches 2=evict 3=shed).")
+	MemStageChanges  = Default().NewCounterVec("vdbms_mem_stage_transitions_total", "Degradation ladder transitions by destination stage.", "to")
+	MemEvictions     = Default().NewCounter("vdbms_mem_evictions_total", "Collection float columns evicted to the mmap tier.")
+	MemPromotions    = Default().NewCounter("vdbms_mem_promotions_total", "Collection float columns promoted from mmap back to heap.")
+	MemCacheDrops    = Default().NewCounter("vdbms_mem_cache_drops_total", "Cache-drop sweeps performed by the budget manager.")
+	MemShedTotal     = Default().NewCounter("vdbms_mem_shed_total", "Requests shed with 503 because the ladder reached the shed stage.")
+	MemRSSBytes      = Default().NewGauge("vdbms_mem_rss_bytes", "Process resident set size sampled from /proc/self/statm.")
+	MemMajorFaults   = Default().NewGauge("vdbms_mem_major_faults_total", "Cumulative process major page faults sampled from /proc/self/stat.")
+
 	// HTTP layer (internal/server).
 	HTTPRequests     = Default().NewCounterVec("vdbms_http_requests_total", "HTTP requests by endpoint.", "path")
 	HTTPEncodeErrors = Default().NewCounter("vdbms_http_encode_errors_total", "Response bodies that failed to JSON-encode mid-write.")
@@ -108,5 +126,11 @@ func init() {
 	}
 	for _, outcome := range []string{"ok", "regression", "empty", "error"} {
 		RecallAudits.With(outcome)
+	}
+	for _, to := range []string{"normal", "drop_caches", "evict", "shed"} {
+		MemStageChanges.With(to)
+	}
+	for _, cat := range []string{"vectors", "index", "quant_codes", "wal_buffers", "page_cache"} {
+		MemCategoryBytes.With(cat)
 	}
 }

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"vdbms"
+	"vdbms/internal/memory"
 	"vdbms/internal/obs"
 	"vdbms/internal/vql"
 )
@@ -32,6 +33,7 @@ type Server struct {
 	slowQuery    time.Duration
 	parallelism  int
 	logf         func(format string, args ...any)
+	mem          *memory.Manager
 }
 
 // Option configures a Server.
@@ -64,6 +66,18 @@ func WithLogf(f func(format string, args ...any)) Option {
 	return func(s *Server) { s.logf = f }
 }
 
+// WithMemoryManager wires the process memory budget manager into the
+// serving path: while the manager sits at the Shed rung, work-carrying
+// requests (searches, inserts, queries) are refused with 503 and a
+// Retry-After header instead of growing the heap until the kernel
+// kills the process. Introspection endpoints (/metrics, /healthz,
+// /debug/*) never shed — an operator diagnosing the pressure needs
+// them most exactly then. The manager's status is also surfaced under
+// "memory" in /debug/stats.
+func WithMemoryManager(m *memory.Manager) Option {
+	return func(s *Server) { s.mem = m }
+}
+
 // New builds the handler set around db.
 func New(db *vdbms.DB, opts ...Option) *Server {
 	s := &Server{db: db, mux: http.NewServeMux(), logf: log.Printf}
@@ -92,7 +106,24 @@ func (s *Server) collectionStats() map[string]any {
 		}
 		cols[name] = col.Stats()
 	}
-	return map[string]any{"collections": cols}
+	out := map[string]any{"collections": cols}
+	if s.mem != nil {
+		out["memory"] = s.mem.Status()
+	}
+	return out
+}
+
+// shed refuses one work-carrying request while the budget manager sits
+// at the Shed rung, reporting true after writing the 503. The shed is
+// counted only here — where a request is actually refused.
+func (s *Server) shed(w http.ResponseWriter) bool {
+	if s.mem == nil || !s.mem.ShouldShed() {
+		return false
+	}
+	s.mem.CountShed()
+	w.Header().Set("Retry-After", fmt.Sprintf("%d", int(s.mem.RetryAfter.Seconds()+0.5)))
+	writeErr(w, http.StatusServiceUnavailable, fmt.Errorf("server over memory budget; retry"))
+	return true
 }
 
 // handleHealthz reports liveness plus index build state: one line per
@@ -262,6 +293,12 @@ func (s *Server) handleCollection(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed", r.Method))
 		return
 	}
+	// Every POST action below carries real work (inserts grow the heap,
+	// searches and index builds allocate); refuse them all while over
+	// budget rather than distinguishing — the client retry is uniform.
+	if s.shed(w) {
+		return
+	}
 	switch parts[1] {
 	case "vectors":
 		var req InsertRequest
@@ -390,6 +427,9 @@ type QueryRequest struct {
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed", r.Method))
+		return
+	}
+	if s.shed(w) {
 		return
 	}
 	var req QueryRequest

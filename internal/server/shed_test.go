@@ -1,0 +1,128 @@
+package server
+
+import (
+	"net/http"
+	"strconv"
+	"strings"
+	"testing"
+
+	"vdbms"
+	"vdbms/internal/memory"
+)
+
+// shedServer builds a server whose budget manager sits at the Shed
+// rung: a stopped manager (no actor) with a phantom account holding
+// more bytes than the budget.
+func shedServer(t *testing.T) (*Server, *memory.Manager) {
+	t.Helper()
+	db := vdbms.New()
+	col, err := db.CreateCollection("docs", vdbms.Schema{Dim: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := col.Insert([]float32{1, 0, 0, 0}, nil); err != nil {
+		t.Fatal(err)
+	}
+	m := memory.New(1 << 20)
+	m.Close()
+	m.Register("phantom").Set(memory.CatVectors, 2<<20)
+	if m.Stage() != memory.StageShed {
+		t.Fatalf("stage %v, want shed", m.Stage())
+	}
+	return New(db, WithMemoryManager(m)), m
+}
+
+func TestShedRefusesWork(t *testing.T) {
+	srv, m := shedServer(t)
+	workPaths := []struct {
+		path string
+		body any
+	}{
+		{"/collections/docs/vectors", map[string]any{"vector": []float32{0, 1, 0, 0}}},
+		{"/collections/docs/index", map[string]any{"kind": "hnsw"}},
+		{"/collections/docs/search", map[string]any{"vector": []float32{1, 0, 0, 0}, "k": 1}},
+		{"/collections/docs/batch", map[string]any{"vectors": [][]float32{{1, 0, 0, 0}}, "k": 1}},
+		{"/query", map[string]any{"query": "SELECT 1 FROM docs NEAR [1,0,0,0]"}},
+	}
+	for _, w := range workPaths {
+		rec, _ := doJSON(t, srv, "POST", w.path, w.body)
+		if rec.Code != http.StatusServiceUnavailable {
+			t.Fatalf("POST %s = %d, want 503 at shed stage", w.path, rec.Code)
+		}
+		ra := rec.Header().Get("Retry-After")
+		if secs, err := strconv.Atoi(ra); err != nil || secs < 1 {
+			t.Fatalf("POST %s Retry-After = %q, want a positive integer", w.path, ra)
+		}
+	}
+	if got := m.Sheds.Load(); got != int64(len(workPaths)) {
+		t.Fatalf("shed counter %d, want %d", got, len(workPaths))
+	}
+
+	// Introspection must keep answering — operators debug through it.
+	for _, path := range []string{"/healthz", "/metrics", "/debug/stats", "/collections", "/collections/docs"} {
+		rec, _ := doJSON(t, srv, "GET", path, nil)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("GET %s = %d at shed stage, want 200", path, rec.Code)
+		}
+	}
+	// Collection management (create/drop) is control-plane, not
+	// work-carrying: dropping a collection is how an operator sheds load.
+	rec, _ := doJSON(t, srv, "DELETE", "/collections/docs", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("DELETE at shed stage = %d, want 200", rec.Code)
+	}
+}
+
+func TestShedClearsWithPressure(t *testing.T) {
+	srv, m := shedServer(t)
+	m.Register("phantom").Set(memory.CatVectors, 0)
+	m.Step() // re-evaluate the rung after the release
+	if m.Stage() != memory.StageNormal {
+		t.Fatalf("stage %v after pressure cleared, want normal", m.Stage())
+	}
+	rec, _ := doJSON(t, srv, "POST", "/collections/docs/search",
+		map[string]any{"vector": []float32{1, 0, 0, 0}, "k": 1})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("search after pressure cleared = %d, want 200", rec.Code)
+	}
+	if got := m.Sheds.Load(); got != 0 {
+		t.Fatalf("shed counter %d after zero refusals, want 0", got)
+	}
+}
+
+func TestDebugStatsReportsMemory(t *testing.T) {
+	srv, _ := shedServer(t)
+	rec, out := doJSON(t, srv, "GET", "/debug/stats", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/debug/stats = %d", rec.Code)
+	}
+	mem, ok := out["memory"].(map[string]any)
+	if !ok {
+		t.Fatalf("/debug/stats has no memory block: %v", out)
+	}
+	if mem["stage"] != "shed" {
+		t.Fatalf("stage = %v, want shed", mem["stage"])
+	}
+	if mem["budget_bytes"].(float64) != 1<<20 {
+		t.Fatalf("budget_bytes = %v", mem["budget_bytes"])
+	}
+}
+
+func TestMemMetricsExposed(t *testing.T) {
+	srv, _ := shedServer(t)
+	// Refuse one request so the shed counter is nonzero.
+	doJSON(t, srv, "POST", "/collections/docs/search",
+		map[string]any{"vector": []float32{1, 0, 0, 0}, "k": 1})
+	rec, _ := doJSON(t, srv, "GET", "/metrics", nil)
+	body := rec.Body.String()
+	for _, metric := range []string{
+		"vdbms_mem_budget_bytes",
+		"vdbms_mem_resident_bytes",
+		"vdbms_mem_stage",
+		"vdbms_mem_shed_total",
+	} {
+		if !strings.Contains(body, metric) {
+			t.Fatalf("/metrics missing %s", metric)
+		}
+	}
+}

@@ -1,0 +1,305 @@
+// Memory-tiered column storage: a page-aligned float32 column file
+// served through mmap. The mapping is PROT_READ, so the kernel page
+// cache owns residency — a collection evicted to the mmap tier costs
+// ~0 heap, faults pages in on first touch, and can be reclaimed by the
+// kernel under global memory pressure without the process noticing.
+// Raw()/RowView return zero-copy views with the exact same layout as
+// MemStore, so vec.Scorer and vec.QuantScorer bind to a mapped column
+// unchanged and scores are bit-identical to the heap tier.
+//
+// Column files are NATIVE-ENDIAN (the float payload is written by
+// reinterpreting the []float32 — that is what makes the read side
+// zero-copy). A sentinel in the header rejects files written on a
+// foreign-endian machine. The paged little-endian DiskStore remains
+// the portable interchange format; column files are a serving-tier
+// cache plus the checkpoint column section.
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"unsafe"
+)
+
+const (
+	columnMagic   = uint32(0x4c4f4356) // "VCOL"
+	columnVersion = uint32(1)
+	// ColumnHeaderSize pads the header to one page so the float column
+	// starts page-aligned in the mapping (madvise operates on pages,
+	// and an aligned column keeps rows from straddling an extra page).
+	ColumnHeaderSize = 4096
+	// endianSentinel is written through the same unsafe reinterpret as
+	// the payload; a reader on a foreign-endian machine sees it
+	// byte-swapped and refuses the file.
+	endianSentinel = uint32(0x00c0ffee)
+)
+
+// f32Bytes reinterprets a float32 slice as bytes without copying.
+func f32Bytes(f []float32) []byte {
+	if len(f) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*byte)(unsafe.Pointer(&f[0])), len(f)*4)
+}
+
+// bytesF32 reinterprets a 4-byte-aligned byte slice as float32s.
+func bytesF32(b []byte) []float32 {
+	if len(b) < 4 {
+		return nil
+	}
+	if uintptr(unsafe.Pointer(&b[0]))%4 != 0 {
+		panic("storage: column data not 4-byte aligned")
+	}
+	return unsafe.Slice((*float32)(unsafe.Pointer(&b[0])), len(b)/4)
+}
+
+// WriteColumnSection writes the column-file image (page-sized header
+// plus raw native-endian payload) to w. It is the whole of a column
+// file and the tail section of v3 snapshot files — callers embedding
+// it must place it at a page-aligned offset so the payload stays
+// page-aligned in a mapping.
+func WriteColumnSection(w io.Writer, flat []float32, n, dim int) error {
+	if dim <= 0 || n < 0 || len(flat) < n*dim {
+		return fmt.Errorf("storage: bad column shape n=%d dim=%d len=%d", n, dim, len(flat))
+	}
+	hdr := make([]byte, ColumnHeaderSize)
+	binary.LittleEndian.PutUint32(hdr[0:], columnMagic)
+	binary.LittleEndian.PutUint32(hdr[4:], columnVersion)
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(dim))
+	binary.LittleEndian.PutUint64(hdr[16:], uint64(n))
+	*(*uint32)(unsafe.Pointer(&hdr[12])) = endianSentinel // native order
+	if _, err := w.Write(hdr); err != nil {
+		return err
+	}
+	_, err := w.Write(f32Bytes(flat[:n*dim]))
+	return err
+}
+
+// ReadColumnSection reads a column-file image from r onto the heap —
+// the portable path for snapshot streams and platforms without mmap.
+func ReadColumnSection(r io.Reader) (flat []float32, n, dim int, err error) {
+	hdr := make([]byte, ColumnHeaderSize)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return nil, 0, 0, fmt.Errorf("storage: column header: %w", err)
+	}
+	n, dim, err = parseColumnHeader(hdr, "stream")
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	flat = make([]float32, n*dim)
+	if _, err := io.ReadFull(r, f32Bytes(flat)); err != nil {
+		return nil, 0, 0, fmt.Errorf("storage: column payload: %w", err)
+	}
+	return flat, n, dim, nil
+}
+
+// parseColumnHeader validates the fixed column header fields.
+func parseColumnHeader(hdr []byte, name string) (n, dim int, err error) {
+	if binary.LittleEndian.Uint32(hdr[0:]) != columnMagic {
+		return 0, 0, fmt.Errorf("storage: %s is not a column file", name)
+	}
+	if v := binary.LittleEndian.Uint32(hdr[4:]); v != columnVersion {
+		return 0, 0, fmt.Errorf("storage: column version %d not supported", v)
+	}
+	if *(*uint32)(unsafe.Pointer(&hdr[12])) != endianSentinel {
+		return 0, 0, fmt.Errorf("storage: %s written on a foreign-endian machine", name)
+	}
+	dim = int(binary.LittleEndian.Uint32(hdr[8:]))
+	n = int(binary.LittleEndian.Uint64(hdr[16:]))
+	if dim <= 0 || n < 0 {
+		return 0, 0, fmt.Errorf("storage: column header corrupt (dim=%d n=%d)", dim, n)
+	}
+	return n, dim, nil
+}
+
+// WriteColumnFile writes rows [0, n) of the row-major matrix flat
+// (dim floats per row) as a column file at path. The payload is the
+// raw native-endian float bytes, so writing is a single copy.
+func WriteColumnFile(path string, flat []float32, n, dim int) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := WriteColumnSection(f, flat, n, dim); err != nil {
+		return err
+	}
+	return f.Sync()
+}
+
+// MmapStore serves a float32 column from a read-only file mapping.
+// It implements VectorStore and mirrors MemStore's zero-copy surface
+// (Raw, RowView). The mapping must stay alive for as long as any
+// published snapshot references Raw() — owners call Close only when
+// the collection itself is torn down, never on eviction/promotion.
+type MmapStore struct {
+	raw  []byte    // whole mapping (page-aligned base)
+	data []float32 // column view into raw
+	dim  int
+	n    int
+	path string
+}
+
+// OpenColumn maps a file written by WriteColumnFile.
+func OpenColumn(path string) (*MmapStore, error) {
+	return OpenColumnSection(path, 0)
+}
+
+// OpenColumnSection validates a column-file image embedded at offset
+// within path (offset 0 for standalone column files; a page-aligned
+// offset for the column section of v3 snapshot files) and maps its
+// payload.
+func OpenColumnSection(path string, offset int64) (*MmapStore, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	hdr := make([]byte, 32)
+	if _, err := f.ReadAt(hdr, offset); err != nil {
+		return nil, fmt.Errorf("storage: column header: %w", err)
+	}
+	n, dim, err := parseColumnHeader(hdr, path)
+	if err != nil {
+		return nil, err
+	}
+	return OpenColumnAt(path, offset+ColumnHeaderSize, n, dim)
+}
+
+// OpenColumnAt maps the file at path and exposes the n×dim float32
+// column starting at the given byte offset (which must be 4-byte
+// aligned). This is how checkpoint files double as mmap sources: the
+// checkpoint writer pads its metadata section so the column lands on
+// a page boundary, and recovery maps the column in place instead of
+// materializing it on the heap.
+func OpenColumnAt(path string, offset int64, n, dim int) (*MmapStore, error) {
+	if dim <= 0 || n < 0 || offset < 0 || offset%4 != 0 {
+		return nil, fmt.Errorf("storage: bad column geometry off=%d n=%d dim=%d", offset, n, dim)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	// The fd can be closed once mapped: the mapping keeps the inode
+	// alive even if the file is later unlinked (checkpoint rotation).
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	need := offset + int64(n)*int64(dim)*4
+	if fi.Size() < need {
+		return nil, fmt.Errorf("storage: column file %s truncated: %d < %d bytes", path, fi.Size(), need)
+	}
+	raw, err := mmapFile(f, int(fi.Size()))
+	if err != nil {
+		return nil, fmt.Errorf("storage: mmap %s: %w", path, err)
+	}
+	m := &MmapStore{
+		raw:  raw,
+		data: bytesF32(raw[offset:need]),
+		dim:  dim,
+		n:    n,
+		path: path,
+	}
+	return m, nil
+}
+
+// Dim implements VectorStore.
+func (m *MmapStore) Dim() int { return m.dim }
+
+// Count implements VectorStore.
+func (m *MmapStore) Count() int { return m.n }
+
+// Path returns the backing file path.
+func (m *MmapStore) Path() string { return m.path }
+
+// Mapped reports whether the store is a real file mapping (Linux) as
+// opposed to the portable heap-buffer fallback.
+func (m *MmapStore) Mapped() bool { return mmapSupported }
+
+// MmapSupported reports whether this platform serves column files
+// through real memory mappings. When false, OpenColumn materializes
+// the column on heap — correct, but an "eviction" to that tier would
+// free nothing, so callers should refuse to evict.
+func MmapSupported() bool { return mmapSupported }
+
+// SizeBytes is the length of the mapping — the bytes that leave the
+// heap when a column is evicted to this tier.
+func (m *MmapStore) SizeBytes() int { return len(m.raw) }
+
+// Vector implements VectorStore, copying row id into dst.
+func (m *MmapStore) Vector(id int, dst []float32) []float32 {
+	if id < 0 || id >= m.n {
+		panic(fmt.Sprintf("storage: id %d out of range [0,%d)", id, m.n))
+	}
+	if cap(dst) < m.dim {
+		dst = make([]float32, m.dim)
+	}
+	dst = dst[:m.dim]
+	copy(dst, m.data[id*m.dim:(id+1)*m.dim])
+	return dst
+}
+
+// Raw returns the whole column as a zero-copy view — the same
+// contract as MemStore.Raw, so scorers bind to it directly. Callers
+// must not mutate it (the mapping is read-only; writes fault).
+func (m *MmapStore) Raw() []float32 { return m.data[:m.n*m.dim] }
+
+// RowView returns a zero-copy view of one row.
+func (m *MmapStore) RowView(id int) []float32 {
+	return m.data[id*m.dim : (id+1)*m.dim]
+}
+
+// columnRegion returns the page-aligned slice of the mapping covering
+// the float column, which is what madvise needs.
+func (m *MmapStore) columnRegion() []byte {
+	if len(m.raw) == 0 || len(m.data) == 0 {
+		return nil
+	}
+	start := uintptr(unsafe.Pointer(&m.data[0])) - uintptr(unsafe.Pointer(&m.raw[0]))
+	start &^= 4095 // align down to the page holding the first row
+	return m.raw[start:]
+}
+
+// AdviseSequential hints an upcoming sequential pass (flat scans):
+// the kernel enlarges readahead and drops pages behind the scan.
+func (m *MmapStore) AdviseSequential() error {
+	return madviseRegion(m.columnRegion(), adviseSequential)
+}
+
+// AdviseRandom hints random point accesses (graph traversal probes):
+// disables readahead so each probe faults only its own page.
+func (m *MmapStore) AdviseRandom() error {
+	return madviseRegion(m.columnRegion(), adviseRandom)
+}
+
+// AdviseNormal restores default kernel readahead behavior.
+func (m *MmapStore) AdviseNormal() error {
+	return madviseRegion(m.columnRegion(), adviseNormal)
+}
+
+// AdviseWillNeed asynchronously pre-faults the column (promotion
+// warm-up before a collection returns to the hot tier).
+func (m *MmapStore) AdviseWillNeed() error {
+	return madviseRegion(m.columnRegion(), adviseWillNeed)
+}
+
+// AdviseDontNeed drops resident pages for the column, returning them
+// to the kernel. The mapping stays valid — the next access faults the
+// page back in from the file. This is the "cold" lever of the memory
+// budget ladder and what the bench harness uses to measure cold-tier
+// latency deterministically.
+func (m *MmapStore) AdviseDontNeed() error {
+	return madviseRegion(m.columnRegion(), adviseDontNeed)
+}
+
+// Close unmaps the column. Unsafe while any snapshot still references
+// Raw()/RowView results; owners must quiesce readers first.
+func (m *MmapStore) Close() error {
+	raw := m.raw
+	m.raw, m.data = nil, nil
+	return munmap(raw)
+}

@@ -13,6 +13,7 @@ import (
 	"math"
 	"os"
 	"sync"
+	"sync/atomic"
 )
 
 // VectorStore is the read interface shared by the memory and disk
@@ -125,18 +126,35 @@ type IOStats struct {
 //	header: magic, dim, count, pageSize, vectorsPerPage
 //	pages:  fixed-size pages each holding vectorsPerPage vectors
 //
-// Reads go through an LRU page cache; every miss increments
-// Stats.Reads so experiments can report I/Os per query.
+// Reads go through a sharded LRU page cache; every miss increments
+// Stats.Reads so experiments can report I/Os per query. The cache is
+// sharded by page number and the counters are atomic, so concurrent
+// searches from the worker pool no longer convoy on one mutex: hits
+// in different shards proceed in parallel and misses overlap their
+// pread (os.File.ReadAt is concurrency-safe) outside any lock.
 type DiskStore struct {
-	mu       sync.Mutex
-	f        *os.File
-	dim      int
-	count    int
-	pageSize int
-	perPage  int
-	cache    *pageCache
-	stats    IOStats
+	f         *os.File
+	dim       int
+	count     int
+	pageSize  int
+	perPage   int
+	shards    []cacheShard // nil when caching is disabled
+	reads     atomic.Int64
+	cacheHits atomic.Int64
+	writes    atomic.Int64
 }
+
+// cacheShard is one lock-striped slice of the page cache. Padding
+// keeps neighboring shard locks off one cache line.
+type cacheShard struct {
+	mu    sync.Mutex
+	cache *pageCache
+	_     [40]byte
+}
+
+// diskCacheShards is the lock-stripe count (power of two so shard
+// selection is a mask).
+const diskCacheShards = 8
 
 const diskMagic = uint32(0x5644424d) // "VDBM"
 
@@ -217,7 +235,18 @@ func OpenDiskStore(path string, cachePages int) (*DiskStore, error) {
 		perPage:  int(binary.LittleEndian.Uint32(hdr[16:])),
 	}
 	if cachePages > 0 {
-		ds.cache = newPageCache(cachePages)
+		nShards := diskCacheShards
+		if cachePages < nShards {
+			nShards = 1
+		}
+		perShard := cachePages / nShards
+		if perShard < 1 {
+			perShard = 1
+		}
+		ds.shards = make([]cacheShard, nShards)
+		for i := range ds.shards {
+			ds.shards[i].cache = newPageCache(perShard)
+		}
 	}
 	return ds, nil
 }
@@ -231,18 +260,32 @@ func (ds *DiskStore) Dim() int { return ds.dim }
 // Count implements VectorStore.
 func (ds *DiskStore) Count() int { return ds.count }
 
-// Stats returns a snapshot of I/O counters.
+// Stats returns a snapshot of I/O counters. Lock-free: the counters
+// are atomics, so hot readers never block behind a Stats poll.
 func (ds *DiskStore) Stats() IOStats {
-	ds.mu.Lock()
-	defer ds.mu.Unlock()
-	return ds.stats
+	return IOStats{
+		Reads:     ds.reads.Load(),
+		CacheHits: ds.cacheHits.Load(),
+		Writes:    ds.writes.Load(),
+	}
 }
 
 // ResetStats zeroes the I/O counters.
 func (ds *DiskStore) ResetStats() {
-	ds.mu.Lock()
-	defer ds.mu.Unlock()
-	ds.stats = IOStats{}
+	ds.reads.Store(0)
+	ds.cacheHits.Store(0)
+	ds.writes.Store(0)
+}
+
+// DropCache empties the page cache, releasing its buffers to the GC —
+// the first rung of the memory budget manager's degradation ladder.
+func (ds *DiskStore) DropCache() {
+	for i := range ds.shards {
+		sh := &ds.shards[i]
+		sh.mu.Lock()
+		sh.cache = newPageCache(sh.cache.cap)
+		sh.mu.Unlock()
+	}
 }
 
 // PageOf returns the page number holding vector id. Exposed so disk
@@ -301,22 +344,30 @@ func (ds *DiskStore) ReadBlock(lo, hi int, dst []float32) []float32 {
 }
 
 func (ds *DiskStore) readPage(pno int) []byte {
-	ds.mu.Lock()
-	defer ds.mu.Unlock()
-	if ds.cache != nil {
-		if p, ok := ds.cache.get(pno); ok {
-			ds.stats.CacheHits++
+	var sh *cacheShard
+	if ds.shards != nil {
+		sh = &ds.shards[pno&(len(ds.shards)-1)]
+		sh.mu.Lock()
+		if p, ok := sh.cache.get(pno); ok {
+			sh.mu.Unlock()
+			ds.cacheHits.Add(1)
 			return p
 		}
+		sh.mu.Unlock()
 	}
+	// Miss path: pread outside any lock. Two racing readers of the
+	// same page may both fetch it; last put wins and both reads count,
+	// which matches what the disk actually did.
 	buf := make([]byte, ds.pageSize)
 	off := int64(headerSize) + int64(pno)*int64(ds.pageSize)
 	if _, err := ds.f.ReadAt(buf, off); err != nil {
 		panic(fmt.Sprintf("storage: page %d read failed: %v", pno, err))
 	}
-	ds.stats.Reads++
-	if ds.cache != nil {
-		ds.cache.put(pno, buf)
+	ds.reads.Add(1)
+	if sh != nil {
+		sh.mu.Lock()
+		sh.cache.put(pno, buf)
+		sh.mu.Unlock()
 	}
 	return buf
 }

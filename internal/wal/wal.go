@@ -494,6 +494,15 @@ func (l *Log) RemoveObsolete(upTo uint64) (removed int, err error) {
 
 // Close flushes pending appends, syncs, and closes the active segment.
 // Further appends fail.
+// BufferedBytes reports the capacity of the framed-record buffer
+// sitting between appenders and the committer goroutine — the WAL's
+// heap-resident write buffer, accounted by the memory budget manager.
+func (l *Log) BufferedBytes() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return int64(cap(l.pending))
+}
+
 func (l *Log) Close() error {
 	l.mu.Lock()
 	if l.closed {

@@ -1,0 +1,72 @@
+package vdbms
+
+import (
+	"fmt"
+
+	"vdbms/internal/memory"
+)
+
+// EnableMemoryBudget puts the database under a process-wide memory
+// budget (DESIGN.md §13). Every current and future collection registers
+// an account with the returned manager and push-accounts its resident
+// bytes (vectors, index structure, quantized codes, WAL buffers); when
+// the accounted total crosses the budget the manager walks a
+// graceful-degradation ladder — drop rebuildable caches, evict the
+// coldest collections' float columns to mmap-backed storage under
+// spillDir, and finally shed load — instead of letting the kernel
+// OOM-kill the process.
+//
+// budgetBytes 0 inherits GOMEMLIMIT when one is set; with neither, the
+// ladder stays at Normal and only the accounting/observability runs.
+// Call once, before serving traffic; the manager is owned by the DB
+// and stopped by Close.
+func (db *DB) EnableMemoryBudget(budgetBytes int64, spillDir string) (*memory.Manager, error) {
+	if spillDir == "" {
+		return nil, fmt.Errorf("vdbms: memory budget needs a spill directory")
+	}
+	if budgetBytes == 0 {
+		budgetBytes = memory.DefaultBudget()
+	}
+	db.mu.Lock()
+	if db.mem != nil {
+		m := db.mem
+		db.mu.Unlock()
+		return m, fmt.Errorf("vdbms: memory budget already enabled")
+	}
+	m := memory.New(budgetBytes)
+	db.mem = m
+	db.memSpill = spillDir
+	cols := make([]*Collection, 0, len(db.collections))
+	for _, c := range db.collections {
+		cols = append(cols, c)
+	}
+	db.mu.Unlock()
+	for _, c := range cols {
+		if err := c.inner.AttachMemory(m, spillDir); err != nil {
+			return m, fmt.Errorf("vdbms: attaching %q to memory budget: %w", c.Name(), err)
+		}
+	}
+	return m, nil
+}
+
+// MemoryManager returns the budget manager installed by
+// EnableMemoryBudget, or nil.
+func (db *DB) MemoryManager() *memory.Manager {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.mem
+}
+
+// Tier reports which tier the collection's float column currently
+// occupies: "heap" (resident) or "mmap" (kernel-paged, evicted or
+// recovered straight from a checkpoint mapping).
+func (c *Collection) Tier() string { return c.inner.Tier() }
+
+// EvictToMmap moves the collection's float column to the mmap tier
+// now, without waiting for memory pressure. Search results are
+// byte-identical; the pages become kernel-reclaimable. Requires the
+// collection to be under a memory budget (EnableMemoryBudget).
+func (c *Collection) EvictToMmap() error { return c.inner.EvictToMmap() }
+
+// PromoteToHeap copies an evicted column back to the heap tier.
+func (c *Collection) PromoteToHeap() error { return c.inner.PromoteToHeap() }

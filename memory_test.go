@@ -1,0 +1,120 @@
+package vdbms
+
+import (
+	"testing"
+	"time"
+
+	"vdbms/internal/dataset"
+	"vdbms/internal/memory"
+	"vdbms/internal/storage"
+)
+
+// TestBoundedMemoryLadderSmoke is the CI gate for memory-tiered
+// serving: a database held to a budget far smaller than its data must
+// walk the degradation ladder — evict its column to the mmap tier —
+// rather than grow without bound, and keep answering correctly from
+// the mapped column.
+func TestBoundedMemoryLadderSmoke(t *testing.T) {
+	if !storage.MmapSupported() {
+		t.Skip("no mmap on this platform")
+	}
+	db := New()
+	defer db.Close()       //nolint:errcheck
+	const budget = 1 << 20 // 1 MiB — the data below is ~2 MiB of floats
+	mgr, err := db.EnableMemoryBudget(budget, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.MemoryManager() != mgr {
+		t.Fatal("MemoryManager does not return the enabled manager")
+	}
+	if _, err := db.EnableMemoryBudget(budget, t.TempDir()); err == nil {
+		t.Fatal("second EnableMemoryBudget succeeded")
+	}
+
+	const n, d = 8192, 64 // 8192 × 64 × 4 B = 2 MiB
+	col, err := db.CreateCollection("v", Schema{Dim: d})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := dataset.Clustered(n+1, d, 8, 0.3, 1)
+	for i := 0; i < n; i++ {
+		if _, err := col.Insert(ds.Row(i), nil); err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+	}
+
+	// The inserts pushed resident past the budget; the manager's actor
+	// must evict the collection's column to mmap and bring the ladder
+	// back down. Escalation kicks the actor immediately, so this
+	// converges well under the deadline.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if mgr.Evictions.Load() >= 1 && col.Tier() == "mmap" && mgr.Stage() == memory.StageNormal {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("ladder never converged: stage=%v evictions=%d tier=%s resident=%d budget=%d",
+				mgr.Stage(), mgr.Evictions.Load(), col.Tier(), mgr.Resident(), budget)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if got := mgr.Resident(); got >= budget {
+		t.Fatalf("resident %d after eviction, want < %d", got, budget)
+	}
+
+	// Queries keep answering, correctly, from the mapped column.
+	res, err := col.Search(SearchRequest{Vector: ds.Row(5), K: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Hits) != 1 || res.Hits[0].ID != 5 {
+		t.Fatalf("mmap-tier search = %+v, want exact self-match id 5", res.Hits)
+	}
+
+	// Writes still land: the write path promotes to heap, which pushes
+	// the process back over budget — the actor evicts again rather than
+	// letting residency run away.
+	if _, err := col.Insert(ds.Row(n), nil); err != nil {
+		t.Fatalf("insert after eviction: %v", err)
+	}
+	deadline = time.Now().Add(10 * time.Second)
+	for mgr.Evictions.Load() < 2 || col.Tier() != "mmap" {
+		if time.Now().After(deadline) {
+			t.Fatalf("re-eviction never happened: stage=%v evictions=%d tier=%s",
+				mgr.Stage(), mgr.Evictions.Load(), col.Tier())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if got := mgr.Promotions.Load(); got < 1 {
+		t.Fatalf("promotions %d after a write to an evicted collection, want >= 1", got)
+	}
+	if col.Len() != n+1 {
+		t.Fatalf("len %d, want %d", col.Len(), n+1)
+	}
+}
+
+// TestMemoryBudgetAttachesLateCollections: collections created after
+// EnableMemoryBudget are managed from birth.
+func TestMemoryBudgetAttachesLateCollections(t *testing.T) {
+	db := New()
+	defer db.Close() //nolint:errcheck
+	mgr, err := db.EnableMemoryBudget(1<<30, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	col, err := db.CreateCollection("late", Schema{Dim: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := col.Insert(make([]float32, 8), nil); err != nil {
+		t.Fatal(err)
+	}
+	accounts := mgr.Accounts()
+	if len(accounts) != 1 || accounts[0].Name() != "late" {
+		t.Fatalf("accounts = %v, want [late]", accounts)
+	}
+	if accounts[0].Resident() == 0 {
+		t.Fatal("late-created collection accounts zero resident bytes")
+	}
+}

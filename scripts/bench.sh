@@ -19,9 +19,15 @@
 # runs the observability overhead benchmark (BenchmarkSearchObs —
 # the same search loop with the stats tracker and recall auditor on
 # vs off) and emits {op, ns_per_op, queries_per_s} to BENCH_obs.json;
-# the acceptance bar is "on" within 5% of "off".
+# the acceptance bar is "on" within 5% of "off". The memory-tier
+# benchmark (BenchmarkMemTierSearch — the same brute-force search
+# against a heap column vs the mmap tier) emits {op, ns_per_op,
+# queries_per_s, heap_mib, rss_mib} to BENCH_mem.json, the acceptance
+# record for memory-tiered serving: the mmap rows must show the
+# column's bytes off the Go heap. Set VDBMS_BENCH_LARGE=1 to add the
+# 1M×128-d point (512 MiB of vectors; too big for CI smoke).
 #
-#   scripts/bench.sh [scan-output.json] [concurrent-output.json] [wal-output.json] [obs-output.json]
+#   scripts/bench.sh [scan-output.json] [concurrent-output.json] [wal-output.json] [obs-output.json] [mem-output.json]
 #
 # BENCHTIME overrides the per-benchmark iteration budget (default 20x;
 # ci.sh smoke-runs with 1x so a broken harness cannot land unnoticed).
@@ -32,13 +38,15 @@ out="${1:-BENCH_scan.json}"
 out_concurrent="${2:-BENCH_concurrent.json}"
 out_wal="${3:-BENCH_wal.json}"
 out_obs="${4:-BENCH_obs.json}"
+out_mem="${5:-BENCH_mem.json}"
 benchtime="${BENCHTIME:-20x}"
 
 tmp=$(mktemp)
 tmp2=$(mktemp)
 tmp3=$(mktemp)
 tmp4=$(mktemp)
-trap 'rm -f "$tmp" "$tmp2" "$tmp3" "$tmp4"' EXIT
+tmp5=$(mktemp)
+trap 'rm -f "$tmp" "$tmp2" "$tmp3" "$tmp4" "$tmp5"' EXIT
 
 go test -run '^$' -bench BenchmarkFlatScan -benchtime "$benchtime" ./internal/index/ | tee -a "$tmp"
 go test -run '^$' -bench BenchmarkQuantScan -benchtime "$benchtime" ./internal/index/ | tee -a "$tmp"
@@ -46,6 +54,7 @@ go test -run '^$' -bench BenchmarkScoreBlock -benchtime "$benchtime" ./internal/
 go test -run '^$' -bench BenchmarkMixedReadWrite -benchtime "$benchtime" ./internal/core/ | tee -a "$tmp2"
 go test -run '^$' -bench BenchmarkWALInsert -benchtime "$benchtime" ./internal/core/ | tee -a "$tmp3"
 go test -run '^$' -bench BenchmarkSearchObs -benchtime "$benchtime" ./internal/core/ | tee -a "$tmp4"
+go test -run '^$' -bench BenchmarkMemTierSearch -benchtime "$benchtime" ./internal/core/ | tee -a "$tmp5"
 
 # Benchmark lines look like:
 #   BenchmarkFlatScan/l2/scorer-8  20  7083267 ns/op  7228.30 MB/s  14118004 rows/s
@@ -127,4 +136,26 @@ BEGIN { printf "[\n" }
 END   { printf "\n]\n" }
 ' "$tmp4" > "$out_obs"
 
-echo "wrote $out $out_concurrent $out_wal $out_obs"
+# Memory-tier lines carry queries/s plus heap/RSS footprint metrics:
+#   BenchmarkMemTierSearch/n=100000/mmap-8  90  12477624 ns/op  49.78 heap_MiB  80.14 queries/s  290.0 rss_MiB
+awk '
+/^Benchmark/ {
+    op = $1
+    sub(/-[0-9]+$/, "", op)
+    ns = ""; qps = ""; heap = ""; rss = ""
+    for (i = 2; i < NF; i++) {
+        if ($(i+1) == "ns/op") ns = $i
+        if ($(i+1) == "queries/s") qps = $i
+        if ($(i+1) == "heap_MiB") heap = $i
+        if ($(i+1) == "rss_MiB") rss = $i
+    }
+    if (ns == "") next
+    if (n++) printf ",\n"
+    printf "  {\"op\": \"%s\", \"ns_per_op\": %s, \"queries_per_s\": %s, \"heap_mib\": %s, \"rss_mib\": %s}", \
+        op, ns, (qps == "" ? "null" : qps), (heap == "" ? "null" : heap), (rss == "" ? "null" : rss)
+}
+BEGIN { printf "[\n" }
+END   { printf "\n]\n" }
+' "$tmp5" > "$out_mem"
+
+echo "wrote $out $out_concurrent $out_wal $out_obs $out_mem"

@@ -30,6 +30,14 @@ GOMAXPROCS=1 go test ./...
 # inside the full suite above; running them again under -race with a
 # dedicated -count=1 keeps the gate explicit and cache-proof.
 go test -race -count=1 -run 'TestCrashRecoveryKill9|TestRecoverTornTail|TestPropertyCheckpointRecoverEquivalence' ./internal/core/
+# Bounded-memory smoke under the race detector: a database held to a
+# budget far smaller than its data must walk the degradation ladder
+# (evict its float column to the mmap tier, keep answering correctly,
+# shed work-carrying requests with 503 past the budget) instead of
+# growing without bound. Gates the memory-tiered serving path the same
+# way the kill -9 harness gates the WAL.
+go test -race -count=1 -run 'TestBoundedMemoryLadderSmoke' .
+go test -race -count=1 -run 'TestShedRefusesWork|TestEvictByteEquivalence' ./internal/server/ ./internal/core/
 # Fuzz smoke for the top-k split/merge metamorphic oracle (split across
 # N collectors + Merge == one collector), so the corpus keeps growing.
 go test -run '^$' -fuzz FuzzMergeEquivalence -fuzztime 5s ./internal/topk/
@@ -48,11 +56,11 @@ if [ "$missing" -ne 0 ]; then
     echo "add the missing metrics to the README metrics reference table" >&2
     exit 1
 fi
-# Smoke the scan + mixed read/write + WAL + observability benchmark
-# harnesses and their JSON emitters the same way. The scan output is
+# Smoke the scan + mixed read/write + WAL + observability + memory-tier
+# benchmark harnesses and their JSON emitters the same way. The scan output is
 # kept: it carries the quantized-scan recall floor checked below.
 scan_smoke=$(mktemp)
-BENCHTIME=1x scripts/bench.sh "$scan_smoke" "$(mktemp)" "$(mktemp)" "$(mktemp)"
+BENCHTIME=1x scripts/bench.sh "$scan_smoke" "$(mktemp)" "$(mktemp)" "$(mktemp)" "$(mktemp)"
 # Quantized-scan recall floor: the sq8 compressed scan with exact
 # re-rank must keep recall@10 >= 0.95 at the acceptance scale
 # (recall is measured outside the timed loop, so a 1x smoke run

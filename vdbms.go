@@ -36,6 +36,7 @@ import (
 	"sync"
 
 	"vdbms/internal/core"
+	"vdbms/internal/memory"
 )
 
 // DB is a registry of named collections. The zero value is not usable;
@@ -56,6 +57,11 @@ type DB struct {
 	// audit, when set by DB.EnableRecallAudit, is applied to every
 	// collection created or restored afterwards.
 	audit *AuditOptions
+
+	// mem/memSpill, when set by DB.EnableMemoryBudget, put every current
+	// and future collection under the process memory budget.
+	mem      *memory.Manager
+	memSpill string
 }
 
 // New creates an empty in-memory database: fast, but nothing survives
@@ -110,12 +116,20 @@ func (db *DB) CreateCollection(name string, schema Schema) (*Collection, error) 
 	db.mu.Lock()
 	delete(db.creating, name)
 	audit := db.audit
+	mem, memSpill := db.mem, db.memSpill
 	if err == nil {
 		db.collections[name] = col
 	}
 	db.mu.Unlock()
 	if err == nil && audit != nil {
 		col.EnableRecallAudit(*audit)
+	}
+	if err == nil && mem != nil {
+		if aerr := col.inner.AttachMemory(mem, memSpill); aerr != nil {
+			// The collection still works, just unmanaged; surface the
+			// attach failure rather than dropping a usable collection.
+			return col, fmt.Errorf("vdbms: attaching %q to memory budget: %w", name, aerr)
+		}
 	}
 	return col, err
 }
