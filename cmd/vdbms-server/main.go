@@ -34,6 +34,16 @@
 // interval and the observed recall@k exported as vdbms_recall_observed
 // (with -recall-floor, passes below the floor are logged as
 // regressions).
+// -tune-interval enables recall-SLO auto-tuning on every collection:
+// each pass replays sampled queries across a ladder of Ef/NProbe
+// values to learn the recall-vs-cost frontier, and queries carrying a
+// recall target (-target-recall sets the default; "target_recall" in
+// the search body overrides per query) run with the cheapest
+// parameters the frontier proves meet it. -tune-reselect additionally
+// lets the tuner rebuild an index the workload has drifted away from;
+// rebuilds run in the background and install atomically. Every search
+// response reports the executed plan and resolved parameters in the
+// X-Vdbms-Plan header.
 // -mem-budget bounds the process's accounted memory (0 inherits
 // GOMEMLIMIT, -1 disables management): over the budget the server
 // walks a degradation ladder — drop rebuildable caches at 80%, evict
@@ -77,6 +87,9 @@ func main() {
 	checkpointInterval := flag.Duration("checkpoint-interval", 30*time.Second, "background checkpoint period (0 = only checkpoint on shutdown)")
 	auditInterval := flag.Duration("audit-interval", 0, "online recall audit period for every collection (0 = off)")
 	recallFloor := flag.Float64("recall-floor", 0, "log a regression when an audit observes recall below this (0 = never)")
+	tuneInterval := flag.Duration("tune-interval", 0, "recall-SLO auto-tuning period for every collection (0 = off)")
+	targetRecall := flag.Float64("target-recall", 0, "default recall target queries are tuned to meet (0 = none; per-query target_recall overrides)")
+	tuneReselect := flag.Bool("tune-reselect", false, "allow the auto-tuner to rebuild an index the workload has drifted away from (background, non-blocking)")
 	memBudget := flag.Int64("mem-budget", 0, "process memory budget in bytes; over it the server drops caches, evicts cold collections to mmap, then sheds with 503 (0 = inherit GOMEMLIMIT; -1 = off)")
 	spillDir := flag.String("spill-dir", "", "directory for mmap-tier spill files (default: <data-dir>/.spill, or the OS temp dir when in-memory)")
 	flag.Parse()
@@ -114,6 +127,15 @@ func main() {
 			RecallFloor: *recallFloor,
 		})
 		log.Printf("recall auditing every %v (floor %.3f)", *auditInterval, *recallFloor)
+	}
+	if *tuneInterval > 0 || *targetRecall > 0 {
+		db.EnableAutoTune(vdbms.TuneOptions{
+			Interval:     *tuneInterval,
+			TargetRecall: *targetRecall,
+			Reselect:     *tuneReselect,
+		})
+		log.Printf("auto-tuning every %v (target recall %.3f, reselect %v)",
+			*tuneInterval, *targetRecall, *tuneReselect)
 	}
 	opts := []server.Option{
 		server.WithQueryTimeout(*queryTimeout),

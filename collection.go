@@ -225,6 +225,13 @@ type SearchRequest struct {
 	NProbe int
 	// Alpha is the post-filter over-fetch multiplier (default 4).
 	Alpha int
+	// TargetRecall, in (0,1], asks the auto-tuner to pick the cheapest
+	// Ef/NProbe its measured frontier proves meets this recall for the
+	// query's k (EnableAutoTune). Explicit Ef/NProbe win over it; while
+	// the frontier is cold the safe default (ladder maximum) is used.
+	// Zero falls back to the collection's default target, if one is
+	// set (SetTargetRecall).
+	TargetRecall float64
 	// RerankK overrides the exact re-rank width for quantized index
 	// scans (0 = index default, max(4k, 32)). Larger values trade
 	// latency for recall; ignored by full-precision indexes.
@@ -278,6 +285,15 @@ type SearchResult struct {
 	// Plan is the executed plan name ("brute_force", "pre_filter",
 	// "post_filter", or "single_stage").
 	Plan string
+	// Ef and NProbe are the search parameters the query actually ran
+	// with after knob resolution (0 = the index's built-in default was
+	// used for that knob).
+	Ef     int
+	NProbe int
+	// ParamSource says where those parameters came from: "explicit",
+	// "tuned", "safe_default", "collection_default", or
+	// "index_default".
+	ParamSource string
 	// Trace is the span tree of this query, present only when
 	// SearchRequest.Trace was set.
 	Trace *TraceSpan `json:"Trace,omitempty"`
@@ -300,7 +316,7 @@ func (c *Collection) Search(req SearchRequest) (SearchResult, error) {
 	if req.Trace {
 		tr = obs.NewTrace("search")
 	}
-	res, plan, err := c.inner.Search(core.Request{
+	res, dec, err := c.inner.Search(core.Request{
 		Vector:       req.Vector,
 		Vectors:      req.Vectors,
 		K:            req.K,
@@ -308,6 +324,7 @@ func (c *Collection) Search(req SearchRequest) (SearchResult, error) {
 		Policy:       req.Policy,
 		Ef:           req.Ef,
 		NProbe:       req.NProbe,
+		TargetRecall: req.TargetRecall,
 		Alpha:        req.Alpha,
 		RerankK:      req.RerankK,
 		Parallelism:  req.Parallelism,
@@ -319,7 +336,13 @@ func (c *Collection) Search(req SearchRequest) (SearchResult, error) {
 	if err != nil {
 		return SearchResult{}, err
 	}
-	out := SearchResult{Hits: convertHits(res), Plan: plan.Kind.String()}
+	out := SearchResult{
+		Hits:        convertHits(res),
+		Plan:        dec.Plan.Kind.String(),
+		Ef:          dec.Ef,
+		NProbe:      dec.NProbe,
+		ParamSource: dec.ParamSource,
+	}
 	if rep := tr.Finish(); rep != nil {
 		span := convertSpan(*rep)
 		out.Trace = &span
@@ -383,14 +406,15 @@ func (c *Collection) SearchBatch(qs [][]float32, req SearchRequest) ([][]Hit, er
 		return nil, err
 	}
 	res, batchErr := c.inner.SearchBatch(qs, core.Request{
-		K:           req.K,
-		Preds:       preds,
-		Policy:      req.Policy,
-		Ef:          req.Ef,
-		NProbe:      req.NProbe,
-		Alpha:       req.Alpha,
-		RerankK:     req.RerankK,
-		Parallelism: req.Parallelism,
+		K:            req.K,
+		Preds:        preds,
+		Policy:       req.Policy,
+		Ef:           req.Ef,
+		NProbe:       req.NProbe,
+		TargetRecall: req.TargetRecall,
+		Alpha:        req.Alpha,
+		RerankK:      req.RerankK,
+		Parallelism:  req.Parallelism,
 	})
 	out := make([][]Hit, len(res))
 	for i, rs := range res {
@@ -570,10 +594,13 @@ func (db *DB) RestoreCollection(path string) (*Collection, error) {
 		return nil, fmt.Errorf("vdbms: collection %q already exists", col.Name())
 	}
 	db.collections[col.Name()] = col
-	audit := db.audit
+	audit, tune := db.audit, db.tune
 	db.mu.Unlock()
 	if audit != nil {
 		col.EnableRecallAudit(*audit)
+	}
+	if tune != nil {
+		col.EnableAutoTune(*tune)
 	}
 	return col, nil
 }

@@ -72,7 +72,8 @@ func (c *Collection) EnableAudit(cfg AuditConfig) {
 	}
 	c.auditCfg = cfg
 	c.stopAuditLoopLocked()
-	c.sampling.Store(true)
+	c.samplingAudit.Store(true)
+	c.refreshSampling()
 	if cfg.Interval > 0 {
 		stop, done := make(chan struct{}), make(chan struct{})
 		c.auditStop, c.auditDone = stop, done
@@ -80,12 +81,15 @@ func (c *Collection) EnableAudit(cfg AuditConfig) {
 	}
 }
 
-// DisableAudit stops the background loop and query sampling. The
-// reservoir keeps its contents so AuditNow can still replay them.
+// DisableAudit stops the background loop and the auditor's interest
+// in query sampling (the auto-tuner's interest, if any, keeps sampling
+// on). The reservoir keeps its contents so AuditNow can still replay
+// them.
 func (c *Collection) DisableAudit() {
 	c.auditMu.Lock()
 	defer c.auditMu.Unlock()
-	c.sampling.Store(false)
+	c.samplingAudit.Store(false)
+	c.refreshSampling()
 	c.stopAuditLoopLocked()
 }
 

@@ -15,6 +15,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -30,6 +31,7 @@ import (
 	"vdbms/internal/stats"
 	"vdbms/internal/storage"
 	"vdbms/internal/topk"
+	"vdbms/internal/tuner"
 	"vdbms/internal/vec"
 	"vdbms/internal/wal"
 
@@ -148,9 +150,13 @@ type Collection struct {
 	latency *obs.Histogram
 
 	// sampling gates reservoir admission: queries are offered to the
-	// sampler only while a recall auditor wants them, so collections
-	// without an auditor never pay the sample-copy cost.
-	sampling atomic.Bool
+	// sampler only while a recall auditor or the auto-tuner wants
+	// them, so collections without either never pay the sample-copy
+	// cost. samplingAudit/samplingTune record who wants samples;
+	// sampling is their OR, the single hot-path gate.
+	sampling      atomic.Bool
+	samplingAudit atomic.Bool
+	samplingTune  atomic.Bool
 
 	// updateEpoch counts in-place vector updates. Audit samples are
 	// stamped with it at serve time so the auditor can skip samples
@@ -164,6 +170,31 @@ type Collection struct {
 	auditStop chan struct{}
 	auditDone chan struct{}
 	auditCfg  AuditConfig
+
+	// Auto-tuner state (tune.go), guarded by tuneMu. frontiers holds
+	// one recall-vs-cost frontier per index kind ever tuned on this
+	// collection; curFrontier publishes the frontier for the currently
+	// installed kind so knob resolution on the query path is one
+	// atomic load (resolution re-validates the kind against the
+	// snapshot before trusting it). targetRecall is the collection
+	// default recall SLO (float64 bits; 0 = none); defEf/defNProbe are
+	// the collection-level search-parameter defaults (SetSearchDefaults).
+	tuneMu    sync.Mutex
+	tuneStop  chan struct{}
+	tuneDone  chan struct{}
+	tuneCfg   TuneConfig
+	frontiers map[string]*tuner.Frontier
+	// reselect decision debouncing (tune.go): a drift decision must
+	// repeat on consecutive passes before it fires, and passes after a
+	// fire are cooled down. Guarded by tuneMu.
+	lastDrift     string
+	driftStreak   int
+	driftCooldown int
+
+	curFrontier  atomic.Pointer[tuner.Frontier]
+	targetRecall atomic.Uint64
+	defEf        atomic.Int64
+	defNProbe    atomic.Int64
 
 	// snap is the published epoch every query reads.
 	snap atomic.Pointer[snapshot]
@@ -690,6 +721,11 @@ func (c *Collection) CreateIndex(kind string, opts map[string]int) error {
 	c.publishLocked()
 	c.maybeTriggerBuildLocked()
 	c.mu.Unlock()
+	// Recall measured against whatever previously answered under these
+	// kinds no longer describes the new index (mu released first:
+	// tuneMu and mu are never held together).
+	c.resetFrontier(prevKind)
+	c.resetFrontier(kind)
 	if lerr != nil {
 		return lerr
 	}
@@ -713,10 +749,12 @@ func (c *Collection) DropIndex() {
 	c.mu.Lock()
 	commit, _ := c.logLocked(func() []byte { return encodeDropIndex() })
 	c.buildEpoch++
+	prevKind := c.annKind
 	c.ann, c.annKind, c.annOpts = nil, "", nil
 	c.annN, c.dirty = 0, 0
 	c.publishLocked()
 	c.mu.Unlock()
+	c.resetFrontier(prevKind)
 	// A drop that fails to commit costs at most a spurious rebuild on
 	// recovery; the sticky WAL error surfaces on the next mutation.
 	commit.Wait()
@@ -741,6 +779,11 @@ type Request struct {
 	Ef     int
 	NProbe int
 	Alpha  int
+	// TargetRecall, in (0,1], asks the auto-tuner to resolve Ef/NProbe
+	// to the cheapest values whose observed recall meets it (tune.go).
+	// Zero falls back to the collection's default target (if any).
+	// Explicit Ef/NProbe win over any target.
+	TargetRecall float64
 	// RerankK overrides the exact re-rank width for quantized index
 	// scans on this query; 0 uses the index/schema default.
 	RerankK int
@@ -765,28 +808,61 @@ type Result struct {
 	Dist float32
 }
 
-// Search executes the request and reports the plan used. The whole
-// query runs against one snapshot loaded at entry — it never blocks on
-// writers or index builds. Every call is counted and timed in the obs
-// registry; when req.Trace is set the pipeline stages (plan, filter,
-// index_probe, ...) additionally record spans under its root.
-func (c *Collection) Search(req Request) ([]Result, planner.Plan, error) {
+// Parameter-source labels: where a query's resolved Ef/NProbe came
+// from, in resolution priority order. Exported per query in Decision,
+// the root trace span, and vdbms_plan_param_source_total.
+const (
+	// SourceExplicit: the request carried Ef or NProbe itself.
+	SourceExplicit = "explicit"
+	// SourceTuned: a recall target was resolved against a trusted
+	// frontier point.
+	SourceTuned = "tuned"
+	// SourceSafeDefault: a recall target was requested but the
+	// frontier is cold/stale/under-observed — the ladder maximum is
+	// used so the SLO is not missed while the tuner warms up.
+	SourceSafeDefault = "safe_default"
+	// SourceCollectionDefault: no target; the collection-level
+	// defaults (SetSearchDefaults) applied.
+	SourceCollectionDefault = "collection_default"
+	// SourceIndexDefault: nothing set anywhere; the index's own
+	// built-in default applies (zeros pass through).
+	SourceIndexDefault = "index_default"
+)
+
+// Decision describes how one search was resolved: the chosen plan,
+// the index search parameters actually used (zero means "the index's
+// built-in default"), and which layer supplied them.
+type Decision struct {
+	Plan        planner.Plan
+	Ef          int
+	NProbe      int
+	ParamSource string
+}
+
+// Search executes the request and reports the planning decision. The
+// whole query runs against one snapshot loaded at entry — it never
+// blocks on writers or index builds. Every call is counted and timed
+// in the obs registry; when req.Trace is set the pipeline stages
+// (plan, filter, index_probe, ...) additionally record spans under its
+// root, and the root span carries the resolved plan and parameters.
+func (c *Collection) Search(req Request) ([]Result, Decision, error) {
 	start := time.Now()
 	// Captured before the query runs: an update racing the search gets
 	// a higher epoch, so the sample reads as stale — the conservative
 	// direction for the recall auditor.
 	epoch := c.updateEpoch.Load()
 	c.beginRead()
-	res, plan, err := c.search(req)
+	res, dec, err := c.search(req)
 	c.endRead()
 	c.touchAccount()
 	obs.SearchTotal.Inc()
 	c.latency.Observe(time.Since(start).Seconds())
 	if err != nil {
 		obs.SearchErrors.Inc()
-		return res, plan, err
+		return res, dec, err
 	}
-	obs.SearchPlans.With(plan.Kind.String()).Inc()
+	obs.SearchPlans.With(dec.Plan.Kind.String()).Inc()
+	obs.PlanParamSource.With(dec.ParamSource).Inc()
 	c.stats.RecordQuery(req.K, req.Ef, req.NProbe, len(req.Preds) > 0)
 	if len(req.Vectors) == 0 && len(req.Vector) > 0 && c.sampling.Load() {
 		// Offer the served query to the audit reservoir. The sample copy
@@ -794,7 +870,7 @@ func (c *Collection) Search(req Request) ([]Result, planner.Plan, error) {
 		// which Algorithm R makes vanishingly rare at volume.
 		c.sampler.Load().MaybeOffer(func() stats.Sample { return makeSample(req, res, epoch) })
 	}
-	return res, plan, err
+	return res, dec, err
 }
 
 // makeSample deep-copies the parts of a served query the recall
@@ -816,18 +892,61 @@ func makeSample(req Request, res []Result, epoch uint64) stats.Sample {
 	return stats.Sample{Vector: v, K: req.K, Preds: preds, Served: served, Epoch: epoch}
 }
 
-func (c *Collection) search(req Request) ([]Result, planner.Plan, error) {
+// resolveKnobs resolves the search parameters for one query against
+// the layered precedence: explicit per-query knobs beat a recall
+// target (per-query, else collection default) resolved through the
+// tuner's frontier, which beats the collection-level defaults, which
+// beat the index's built-in defaults (zeros pass through untouched).
+// An explicit Ef or NProbe pins BOTH values: mixing an explicit knob
+// with tuned values would silently retune the knob the caller set.
+func (c *Collection) resolveKnobs(req Request, s *snapshot) (ef, nprobe int, source string) {
+	if req.Ef > 0 || req.NProbe > 0 {
+		return req.Ef, req.NProbe, SourceExplicit
+	}
+	target := req.TargetRecall
+	if target <= 0 {
+		target = math.Float64frombits(c.targetRecall.Load())
+	}
+	if target > 0 && s.ann != nil {
+		knob := tuner.KnobFor(s.annKind)
+		param, src := 0, SourceSafeDefault
+		if fr := c.curFrontier.Load(); fr != nil && fr.Kind() == s.annKind {
+			p, trusted := fr.Resolve(target, req.K)
+			param = p
+			if trusted {
+				src = SourceTuned
+			}
+		} else {
+			// Target requested but no frontier for this kind yet: the
+			// ladder maximum is the not-yet-warmed-up safe default.
+			l := tuner.Ladder(knob)
+			param = l[len(l)-1]
+		}
+		if knob == tuner.KnobNProbe {
+			return 0, param, src
+		}
+		return param, 0, src
+	}
+	if de, dn := c.defEf.Load(), c.defNProbe.Load(); de > 0 || dn > 0 {
+		return int(de), int(dn), SourceCollectionDefault
+	}
+	return 0, 0, SourceIndexDefault
+}
+
+func (c *Collection) search(req Request) ([]Result, Decision, error) {
 	root := req.Trace.Root()
 	s := c.snap.Load()
 	if s.rows == 0 {
-		return nil, planner.Plan{}, fmt.Errorf("core: collection %q is empty", c.name)
+		return nil, Decision{ParamSource: SourceIndexDefault}, fmt.Errorf("core: collection %q is empty", c.name)
 	}
 	env := s.env
-	opts := executor.Options{Ef: req.Ef, NProbe: req.NProbe, RerankK: req.RerankK, Parallelism: req.Parallelism, Exclude: s.exclude(), Span: root}
+	ef, nprobe, source := c.resolveKnobs(req, s)
+	dec := Decision{Ef: ef, NProbe: nprobe, ParamSource: source}
+	opts := executor.Options{Ef: ef, NProbe: nprobe, RerankK: req.RerankK, Parallelism: req.Parallelism, Exclude: s.exclude(), Span: root}
 
 	if len(req.Vectors) > 0 {
 		if req.EntityColumn == "" {
-			return nil, planner.Plan{}, fmt.Errorf("core: multi-vector query needs EntityColumn")
+			return nil, dec, fmt.Errorf("core: multi-vector query needs EntityColumn")
 		}
 		msp := root.Start("multi_vector")
 		msp.Annotate("query_vectors", int64(len(req.Vectors)))
@@ -835,25 +954,44 @@ func (c *Collection) search(req Request) ([]Result, planner.Plan, error) {
 		mvOpts.Span = msp
 		res, err := c.multiVector(s, req, mvOpts)
 		msp.End()
-		return res, planner.Plan{Kind: planner.SingleStage}, err
+		dec.Plan = planner.Plan{Kind: planner.SingleStage}
+		c.tagDecision(root, dec)
+		return res, dec, err
 	}
 
 	var res []topk.Result
-	var plan planner.Plan
 	var err error
 	if len(req.Policy) > 5 && req.Policy[:5] == "plan:" {
-		plan, err = parsePlan(req.Policy[5:], req.Alpha)
+		dec.Plan, err = parsePlan(req.Policy[5:], req.Alpha)
 		if err != nil {
-			return nil, planner.Plan{}, err
+			return nil, dec, err
 		}
-		res, err = env.Execute(plan, req.Vector, req.K, req.Preds, opts)
+		res, err = env.Execute(dec.Plan, req.Vector, req.K, req.Preds, opts)
 	} else {
-		res, plan, err = env.Search(req.Vector, req.K, req.Preds, opts, req.Policy)
+		res, dec.Plan, err = env.Search(req.Vector, req.K, req.Preds, opts, req.Policy)
 	}
 	if err != nil {
-		return nil, planner.Plan{}, err
+		return nil, dec, err
 	}
-	return convert(res), plan, nil
+	c.tagDecision(root, dec)
+	return convert(res), dec, nil
+}
+
+// tagDecision records the resolved plan and parameters on the query's
+// root span, so a mis-planned query is debuggable straight from the
+// slowlog.
+func (c *Collection) tagDecision(root *obs.Span, dec Decision) {
+	if root == nil {
+		return
+	}
+	root.Tag("plan", dec.Plan.Kind.String())
+	root.Tag("param_source", dec.ParamSource)
+	if dec.Ef > 0 {
+		root.Annotate("ef", int64(dec.Ef))
+	}
+	if dec.NProbe > 0 {
+		root.Annotate("nprobe", int64(dec.NProbe))
+	}
 }
 
 func parsePlan(name string, alpha int) (planner.Plan, error) {
@@ -980,7 +1118,11 @@ func (c *Collection) SearchBatch(qs [][]float32, req Request) ([][]Result, error
 	if err != nil {
 		return nil, err
 	}
-	opts := executor.Options{Ef: req.Ef, NProbe: req.NProbe, RerankK: req.RerankK, Parallelism: req.Parallelism, Exclude: s.exclude()}
+	// Knob resolution is shared with Search: a batch without explicit
+	// Ef/NProbe resolves through the recall target and collection
+	// defaults exactly once for the whole batch.
+	ef, nprobe, _ := c.resolveKnobs(req, s)
+	opts := executor.Options{Ef: ef, NProbe: nprobe, RerankK: req.RerankK, Parallelism: req.Parallelism, Exclude: s.exclude()}
 	res, err := env.SearchBatch(plan, qs, req.K, req.Preds, opts)
 	out := make([][]Result, len(res))
 	for i, rs := range res {

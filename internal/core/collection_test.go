@@ -118,7 +118,7 @@ func TestSearchPlansAndPolicy(t *testing.T) {
 			t.Fatalf("%q: %v", policy, err)
 		}
 		if len(res) == 0 {
-			t.Fatalf("%q (plan %v): empty", policy, plan.Kind)
+			t.Fatalf("%q (plan %v): empty", policy, plan.Plan.Kind)
 		}
 		for _, r := range res {
 			if r.ID%10 >= 5 {
@@ -240,7 +240,7 @@ func TestPlanForcedBruteForceMatchesExact(t *testing.T) {
 		t.Fatal(err)
 	}
 	res, plan, err := c.Search(Request{Vector: ds.Row(42), K: 1, Policy: "plan:brute_force"})
-	if err != nil || plan.Kind != planner.BruteForce {
+	if err != nil || plan.Plan.Kind != planner.BruteForce {
 		t.Fatalf("%v %v", plan, err)
 	}
 	if res[0].ID != 42 || res[0].Dist != 0 {

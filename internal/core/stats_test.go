@@ -178,7 +178,7 @@ func TestAdaptivePolicy(t *testing.T) {
 			t.Fatalf("hit %d violates cat=1", r.ID)
 		}
 	}
-	if plan.Kind.String() == "" {
+	if plan.Plan.Kind.String() == "" {
 		t.Fatal("no plan reported")
 	}
 }

@@ -268,13 +268,25 @@ func (e *Env) probe(idx index.Index, q []float32, k int, params index.Params, sp
 	sp := span.Start("index_probe")
 	start := time.Now()
 	res, err := idx.Search(q, k, params)
-	stageProbe.Observe(time.Since(start).Seconds())
+	elapsed := time.Since(start)
+	stageProbe.Observe(elapsed.Seconds())
 	sp.End()
 	name := idx.Name()
-	if e.Stats != nil && idx == e.ANN {
-		// Observed probe cost feeds the adaptive cost model; exact
-		// scans are excluded — their cost is already exactly N.
-		e.Stats.RecordProbe(st.DistanceComps)
+	if e.Stats != nil {
+		if idx == e.ANN {
+			// Observed probe cost feeds the adaptive cost model; exact
+			// scans are excluded — their cost is already exactly N.
+			e.Stats.RecordProbe(st.DistanceComps)
+			quant := false
+			if qi, ok := idx.(index.Quantized); ok && qi.QuantizedScan() {
+				quant = true
+			}
+			e.Stats.RecordCompCost(elapsed.Nanoseconds(), st.DistanceComps, quant)
+		} else {
+			// Flat probes are the full-precision ns-per-comp baseline
+			// the calibrated cost ratios are measured against.
+			e.Stats.RecordCompCost(elapsed.Nanoseconds(), st.DistanceComps, false)
+		}
 	}
 	sp.Tag("index", name)
 	sp.Annotate("k", int64(k))
@@ -335,10 +347,16 @@ func (e *Env) preFilter(q []float32, k int, preds []filter.Predicate, opts Optio
 	fsp := opts.Span.Start("filter")
 	fstart := time.Now()
 	bm, err := e.Attrs.Bitmap(preds)
-	stageFilter.Observe(time.Since(fstart).Seconds())
+	felapsed := time.Since(fstart)
+	stageFilter.Observe(felapsed.Seconds())
 	if err != nil {
 		fsp.End()
 		return nil, err
+	}
+	if e.Stats != nil {
+		// A bitmap build evaluates the predicate on every row: the
+		// cleanest per-eval timing for the calibrated attr-cost ratio.
+		e.Stats.RecordAttrCost(felapsed.Nanoseconds(), int64(e.N))
 	}
 	survivors := bm.Count()
 	fsp.Annotate("survivors", int64(survivors))
@@ -528,7 +546,27 @@ func (e *Env) observed(preds []filter.Predicate) planner.Observed {
 			o.MeanSelectivity, o.SelObservations = mean, n
 		}
 	}
+	// Timing calibration: ratios are only meaningful against a measured
+	// full-precision baseline, and trust is gated by the smaller of the
+	// two scan counts behind each ratio.
+	if cal := e.Stats.Calibration(); cal.NsPerComp > 0 {
+		if cal.NsPerAttrEval > 0 {
+			o.AttrCostRatio = cal.NsPerAttrEval / cal.NsPerComp
+			o.AttrObservations = min64(cal.CompScans, cal.AttrScans)
+		}
+		if cal.NsPerQuantComp > 0 {
+			o.QuantRatio = cal.NsPerQuantComp / cal.NsPerComp
+			o.QuantObservations = min64(cal.CompScans, cal.QuantScans)
+		}
+	}
 	return o
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
 }
 
 // Search plans and executes in one step using the given selection
@@ -604,6 +642,39 @@ func (e *Env) SearchRange(q []float32, radius float32, preds []filter.Predicate,
 		e.recordCounted(pc, preds)
 	}
 	return res, err
+}
+
+// ReplayANN answers a (k, preds) query with one ANN index probe at
+// explicitly pinned search parameters (ef for graph/tree families,
+// nprobe for partition families), bypassing plan selection AND the
+// serving-path metrics — no probe counters, no stage histograms, no
+// stats observations. The recall tuner uses it to replay sampled
+// queries at every candidate parameter value against the exact ground
+// truth on a pinned snapshot: the returned SearchStats carries the
+// probe's distance-computation cost, which together with the recall
+// against ExactGroundTruth forms one point on the recall-vs-cost
+// frontier. Predicates are pushed down as a traversal filter (the
+// visit-first shape), so the replay measures the index's filtered
+// behavior without depending on the plan the serving path happened to
+// pick. exclude mirrors Options.Exclude (deletion mask).
+func (e *Env) ReplayANN(q []float32, k, ef, nprobe int, preds []filter.Predicate, exclude func(id int64) bool) ([]topk.Result, index.SearchStats, error) {
+	var st index.SearchStats
+	if e.ANN == nil {
+		return nil, st, fmt.Errorf("executor: replay requires an ANN index")
+	}
+	params := Options{Exclude: exclude, Ef: ef, NProbe: nprobe}.params()
+	if len(preds) > 0 {
+		if e.Attrs == nil {
+			return nil, st, fmt.Errorf("executor: predicates given but no attribute table")
+		}
+		if err := e.Attrs.Validate(preds); err != nil {
+			return nil, st, err
+		}
+		params = withPred(params, e.Attrs.FilterFunc(preds))
+	}
+	params.Stats = &st
+	res, err := e.ANN.Search(q, k, params)
+	return res, st, err
 }
 
 // ExactGroundTruth answers a (k, preds) query with the exhaustive

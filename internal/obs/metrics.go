@@ -110,6 +110,30 @@ var (
 	MemRSSBytes      = Default().NewGauge("vdbms_mem_rss_bytes", "Process resident set size sampled from /proc/self/statm.")
 	MemMajorFaults   = Default().NewGauge("vdbms_mem_major_faults_total", "Cumulative process major page faults sampled from /proc/self/stat.")
 
+	// Adaptive query optimization (internal/core tune.go + planner).
+	// The param-source counter decomposes every search by where its
+	// Ef/NProbe came from (explicit, tuned, safe_default,
+	// collection_default, index_default) — the observability spine of
+	// the feedback loop: "tuned" rising and "safe_default" falling is
+	// the tuner converging. Reselect counts drift-triggered index
+	// re-selection decisions handed to the background builder (the
+	// build outcome itself lands in vdbms_index_build_total).
+	PlanParamSource = Default().NewCounterVec("vdbms_plan_param_source_total", "Searches by the layer that resolved their Ef/NProbe search parameters.", "source")
+	PlanReselects   = Default().NewCounterVec("vdbms_plan_reselect_total", "Drift-triggered index re-selection decisions by kind (build_graph, strengthen, partition).", "decision")
+
+	// Recall-SLO tuner passes (internal/core tune.go): each pass
+	// replays reservoir samples at every candidate parameter value
+	// against exact ground truth and refreshes the recall-vs-cost
+	// frontier. The gauges track, per collection, the parameter the
+	// dominant k-bucket currently resolves to and the best trusted
+	// recall on its frontier (sagging below the target while tuning is
+	// exhausted is the drift detector's rebuild signal).
+	TunePasses         = Default().NewCounterVec("vdbms_tune_passes_total", "Auto-tune passes by outcome (ok, empty, no_index, error).", "outcome")
+	TuneSamples        = Default().NewCounter("vdbms_tune_samples_total", "Reservoir samples replayed by auto-tune passes.")
+	TuneSeconds        = Default().NewHistogram("vdbms_tune_pass_seconds", "Wall-clock duration of auto-tune passes.", BuildBuckets)
+	TuneResolvedParam  = Default().NewGaugeVec("vdbms_tune_resolved_param", "Search parameter (ef or nprobe) the tuner currently resolves for the collection's dominant k.", "collection")
+	TuneFrontierRecall = Default().NewGaugeVec("vdbms_tune_frontier_recall", "Best trusted recall on the collection's recall-vs-cost frontier at the dominant k.", "collection")
+
 	// HTTP layer (internal/server).
 	HTTPRequests     = Default().NewCounterVec("vdbms_http_requests_total", "HTTP requests by endpoint.", "path")
 	HTTPEncodeErrors = Default().NewCounter("vdbms_http_encode_errors_total", "Response bodies that failed to JSON-encode mid-write.")
@@ -132,5 +156,14 @@ func init() {
 	}
 	for _, cat := range []string{"vectors", "index", "quant_codes", "wal_buffers", "page_cache"} {
 		MemCategoryBytes.With(cat)
+	}
+	for _, src := range []string{"explicit", "tuned", "safe_default", "collection_default", "index_default"} {
+		PlanParamSource.With(src)
+	}
+	for _, d := range []string{"build_graph", "strengthen", "partition"} {
+		PlanReselects.With(d)
+	}
+	for _, outcome := range []string{"ok", "empty", "no_index", "error"} {
+		TunePasses.With(outcome)
 	}
 }

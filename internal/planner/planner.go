@@ -97,10 +97,19 @@ type Env struct {
 	// quantized codes: one code-LUT comparison reads BytesPerRow bytes
 	// instead of 4*dim and skips the multiply chain, so its cost
 	// relative to a full-precision comparison is well below 1 (the
-	// executor sets ~0.35 for SQ8). 0 (or ≥1) means full precision.
-	// The exact re-rank stage is already counted inside IndexComps by
-	// the indexes' own accounting.
+	// executor sets ~0.35 for SQ8, or the measured ratio once
+	// calibration has observed enough scans). 0 (or ≥1) means full
+	// precision. The exact re-rank stage is already counted inside
+	// IndexComps by the indexes' own accounting.
 	QuantRatio float64
+	// ShortfallSelectivity is the pessimistic selectivity the
+	// post-filter shortfall gate judges with. Cost ranking may use a
+	// blended or calibrated Selectivity, but admitting a post-filter
+	// plan is a correctness decision (a (c,k)-search must return k
+	// results when they exist), so the gate must never get more
+	// optimistic than the rawest estimate available. Zero means "use
+	// Selectivity".
+	ShortfallSelectivity float64
 }
 
 func (e Env) normalized() Env {
@@ -125,6 +134,9 @@ func (e Env) normalized() Env {
 	}
 	if e.Selectivity > 1 {
 		e.Selectivity = 1
+	}
+	if e.ShortfallSelectivity <= 0 || e.ShortfallSelectivity > 1 {
+		e.ShortfallSelectivity = e.Selectivity
 	}
 	return e
 }
@@ -220,7 +232,7 @@ func CostBased(e Env) Plan {
 	best := Plan{Kind: BruteForce}
 	bestCost := Cost(best, e)
 	for _, p := range Enumerate(e.HasIndex, e.Alpha)[1:] {
-		if p.Kind == PostFilter && ShortfallRisk(p.Alpha, e.K, e.Selectivity) > 0.1 {
+		if p.Kind == PostFilter && ShortfallRisk(p.Alpha, e.K, e.ShortfallSelectivity) > 0.1 {
 			continue
 		}
 		if c := Cost(p, e); c < bestCost {
@@ -250,6 +262,18 @@ type Observed struct {
 	// SelObservations is the smallest per-column observation count
 	// backing MeanSelectivity.
 	SelObservations int64
+	// AttrCostRatio is the measured cost of one attribute predicate
+	// evaluation relative to one full-precision distance computation
+	// (ns per eval / ns per comp), replacing the static 0.3 once
+	// AttrObservations backs it.
+	AttrCostRatio    float64
+	AttrObservations int64
+	// QuantRatio is the measured cost of one quantized-code comparison
+	// relative to one full-precision comparison, replacing the static
+	// ~0.35 discount once QuantObservations backs it. Only meaningful
+	// in (0,1).
+	QuantRatio        float64
+	QuantObservations int64
 }
 
 // Minimum observation counts before AdaptiveEnv trusts a measured
@@ -258,21 +282,51 @@ type Observed struct {
 const (
 	MinProbeObservations = 16
 	MinSelObservations   = 32
+	// MinCostObservations gates the timing-derived ratios
+	// (AttrCostRatio, QuantRatio): each observation is already an
+	// average over a whole scan, so fewer are needed.
+	MinCostObservations = 8
 )
 
 // AdaptiveEnv refines e with measured statistics: the observed probe
 // cost replaces the sqrt(N) IndexComps heuristic once enough probes
-// back it, and the observed selectivity prior is blended 50/50 with
-// the per-query sampled estimate once enough observations back it
-// (the sampled estimate stays in the mix because the prior conflates
-// different predicate values on the same column). Cost-based
+// back it, the observed selectivity prior is blended 50/50 with the
+// per-query sampled estimate once enough observations back it (the
+// sampled estimate stays in the mix because the prior conflates
+// different predicate values on the same column), and the timing-
+// calibrated cost ratios (attribute eval vs distance comp, quantized
+// vs full-precision comp) replace their static defaults. Cost-based
 // selection over the refined env is the "adaptive" policy.
+//
+// Calibration is deliberately barred from the post-filter shortfall
+// gate: ShortfallSelectivity is pinned to the most pessimistic (lowest)
+// selectivity estimate in hand, so refinement can reorder plans by
+// cost but can never talk CostBased into a shortfall-prone post-filter
+// that the uncalibrated model would have rejected.
 func AdaptiveEnv(e Env, o Observed) Env {
 	if o.ProbeCount >= MinProbeObservations && o.MeanProbeComps > 0 {
 		e.IndexComps = o.MeanProbeComps
 	}
 	if o.SelObservations >= MinSelObservations {
-		e.Selectivity = (e.Selectivity + clamp01(o.MeanSelectivity)) / 2
+		prior := clamp01(o.MeanSelectivity)
+		pessimistic := e.Selectivity
+		if prior < pessimistic {
+			pessimistic = prior
+		}
+		e.Selectivity = (e.Selectivity + prior) / 2
+		if e.ShortfallSelectivity <= 0 || pessimistic < e.ShortfallSelectivity {
+			e.ShortfallSelectivity = pessimistic
+		}
+	}
+	if o.AttrObservations >= MinCostObservations && o.AttrCostRatio > 0 {
+		e.AttrCostRatio = o.AttrCostRatio
+	}
+	if o.QuantObservations >= MinCostObservations && o.QuantRatio > 0 && o.QuantRatio < 1 {
+		// Only meaningful when the env says the index scans quantized
+		// codes at all; replacing a zero ratio would invent a discount.
+		if e.QuantRatio > 0 {
+			e.QuantRatio = o.QuantRatio
+		}
 	}
 	return e
 }

@@ -184,3 +184,122 @@ func TestAdaptiveEnv(t *testing.T) {
 		t.Fatalf("clamped blend = %v, want %v", e.Selectivity, want)
 	}
 }
+
+// ProfileADBV crossover sweep: with selectivity rising from needle to
+// permissive at fixed size, the cost-based optimizer must walk the
+// paper's regimes — pre-filter while survivors are few, never a
+// shortfall-prone post-filter, post-filter once the predicate passes
+// nearly everything.
+func TestProfileADBVSelectivitySweep(t *testing.T) {
+	base := Env{N: 200000, K: 10, HasIndex: true, IndexComps: 3000, Alpha: 4}
+	wins := map[float64]Kind{}
+	for _, sel := range []float64{0.0005, 0.005, 0.05, 0.3, 0.6, 0.95} {
+		e := base
+		e.Selectivity = sel
+		p, err := ProfileADBV.Select(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wins[sel] = p.Kind
+		if p.Kind == PostFilter && ShortfallRisk(p.Alpha, e.K, sel) > 0.1 {
+			t.Fatalf("sel=%v: adbv picked shortfall-prone post-filter", sel)
+		}
+	}
+	// At needle selectivity both scan plans cost n*attr + survivors;
+	// either is correct, an index-first plan is not.
+	if wins[0.0005] != PreFilter && wins[0.0005] != BruteForce {
+		t.Fatalf("needle selectivity -> %v, want an exact-scan plan", wins[0.0005])
+	}
+	if wins[0.95] != PostFilter {
+		t.Fatalf("permissive selectivity -> %v, want post_filter", wins[0.95])
+	}
+}
+
+// ProfileMilvus size sweep at fixed selectivity: tiny collections are
+// cheapest brute-forced / pre-filtered (the index costs more than the
+// scan), large ones must use the index.
+func TestProfileMilvusSizeSweep(t *testing.T) {
+	for _, tc := range []struct {
+		n        int
+		comps    float64
+		wantScan bool // brute force or pre-filter exact scan
+	}{
+		{n: 200, comps: 180, wantScan: true},
+		{n: 1000000, comps: 4000, wantScan: false},
+	} {
+		e := Env{N: tc.n, K: 10, HasIndex: true, Selectivity: 0.5, IndexComps: tc.comps, Alpha: 4}
+		p, err := ProfileMilvus.Select(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		isScan := p.Kind == BruteForce || p.Kind == PreFilter
+		if isScan != tc.wantScan {
+			t.Fatalf("n=%d -> %v (scan=%v), want scan=%v", tc.n, p.Kind, isScan, tc.wantScan)
+		}
+	}
+}
+
+// Regression: no calibration input — however flattering to the index
+// path — may make CostBased pick a post-filter whose shortfall risk
+// the uncalibrated model rejects. The gate judges on the pessimistic
+// raw selectivity, not the calibrated blend.
+func TestCalibrationNeverAdmitsShortfallPostFilter(t *testing.T) {
+	base := Env{N: 100000, K: 10, HasIndex: true, Selectivity: 0.001, IndexComps: 2000, Alpha: 4}
+	// Adversarial calibration: dirt-cheap index probes, near-free
+	// attribute checks, a selectivity prior that claims the predicate
+	// passes everything.
+	obs := Observed{
+		MeanProbeComps: 10, ProbeCount: 1 << 20,
+		MeanSelectivity: 1.0, SelObservations: 1 << 20,
+		AttrCostRatio: 1e-6, AttrObservations: 1 << 20,
+		QuantRatio: 0.01, QuantObservations: 1 << 20,
+	}
+	e := AdaptiveEnv(base, obs)
+	if risk := ShortfallRisk(4, e.K, base.Selectivity); risk <= 0.1 {
+		t.Fatalf("test premise broken: raw risk = %v", risk)
+	}
+	if p := CostBased(e); p.Kind == PostFilter {
+		t.Fatal("calibrated env admitted a shortfall-prone post-filter")
+	}
+	// Same sweep across every raw selectivity in the risky band.
+	for _, sel := range []float64{0.0001, 0.001, 0.01, 0.02} {
+		b := base
+		b.Selectivity = sel
+		if ShortfallRisk(4, b.K, sel) <= 0.1 {
+			continue
+		}
+		if p := CostBased(AdaptiveEnv(b, obs)); p.Kind == PostFilter {
+			t.Fatalf("sel=%v: calibration admitted shortfall-prone post-filter", sel)
+		}
+	}
+}
+
+// Calibrated cost ratios replace their static defaults only once
+// enough scans back them, and a bogus quantized ratio can never invent
+// a discount for a full-precision index.
+func TestAdaptiveEnvCalibratedRatios(t *testing.T) {
+	base := Env{N: 100000, K: 10, HasIndex: true, Selectivity: 0.4, IndexComps: 5000, QuantRatio: 0.35}
+	e := AdaptiveEnv(base, Observed{
+		AttrCostRatio: 0.05, AttrObservations: MinCostObservations,
+		QuantRatio: 0.2, QuantObservations: MinCostObservations,
+	})
+	if e.AttrCostRatio != 0.05 || e.QuantRatio != 0.2 {
+		t.Fatalf("calibrated ratios not applied: %+v", e)
+	}
+	// Under-observed: untouched.
+	e = AdaptiveEnv(base, Observed{
+		AttrCostRatio: 0.05, AttrObservations: MinCostObservations - 1,
+		QuantRatio: 0.2, QuantObservations: MinCostObservations - 1,
+	})
+	if e.AttrCostRatio != base.AttrCostRatio || e.QuantRatio != base.QuantRatio {
+		t.Fatalf("under-observed ratios applied: %+v", e)
+	}
+	// Full-precision index (QuantRatio 0): measured quant ratio must
+	// not fabricate a discount.
+	fp := base
+	fp.QuantRatio = 0
+	e = AdaptiveEnv(fp, Observed{QuantRatio: 0.2, QuantObservations: 1 << 20})
+	if e.QuantRatio != 0 {
+		t.Fatalf("quant discount invented for full-precision index: %v", e.QuantRatio)
+	}
+}

@@ -25,6 +25,12 @@ import (
 // return the query's span tree in the response Trace field.
 const TraceHeader = "X-Vdbms-Trace"
 
+// PlanHeader is set on every search response; it reports the plan the
+// optimizer executed and the resolved search parameters, e.g.
+// "pre_filter;ef=64;nprobe=0;source=tuned". One header read answers
+// "what did the planner do" without asking for a full trace.
+const PlanHeader = "X-Vdbms-Plan"
+
 // Server wraps a DB with HTTP handlers.
 type Server struct {
 	db           *vdbms.DB
@@ -241,6 +247,7 @@ type SearchBody struct {
 	Policy       string         `json:"policy,omitempty"`
 	Ef           int            `json:"ef,omitempty"`
 	NProbe       int            `json:"nprobe,omitempty"`
+	TargetRecall float64        `json:"target_recall,omitempty"`
 	Alpha        int            `json:"alpha,omitempty"`
 	RerankK      int            `json:"rerank_k,omitempty"`
 	Parallelism  int            `json:"parallelism,omitempty"`
@@ -345,7 +352,8 @@ func (s *Server) handleCollection(w http.ResponseWriter, r *http.Request) {
 		res, err := col.SearchContext(ctx, vdbms.SearchRequest{
 			Vector: req.Vector, Vectors: req.Vectors, K: req.K,
 			Filters: req.Filters, Policy: req.Policy, Ef: req.Ef,
-			NProbe: req.NProbe, Alpha: req.Alpha, RerankK: req.RerankK,
+			NProbe: req.NProbe, TargetRecall: req.TargetRecall,
+			Alpha: req.Alpha, RerankK: req.RerankK,
 			Parallelism:  par,
 			EntityColumn: req.EntityColumn, Aggregator: req.Aggregator,
 			Trace: wantTrace || s.slowQuery > 0,
@@ -355,6 +363,8 @@ func (s *Server) handleCollection(w http.ResponseWriter, r *http.Request) {
 			writeErr(w, searchErrStatus(err), err)
 			return
 		}
+		w.Header().Set(PlanHeader, fmt.Sprintf("%s;ef=%d;nprobe=%d;source=%s",
+			res.Plan, res.Ef, res.NProbe, res.ParamSource))
 		if res.Trace != nil {
 			// Traced queries compete for a slot among the slowest
 			// exemplars retained for /debug/slowlog.
@@ -401,8 +411,8 @@ func (s *Server) handleCollection(w http.ResponseWriter, r *http.Request) {
 		}
 		hits, err := col.SearchBatch(req.Vectors, vdbms.SearchRequest{
 			K: req.K, Filters: req.Filters, Policy: req.Policy,
-			Ef: req.Ef, NProbe: req.NProbe, Alpha: req.Alpha,
-			RerankK: req.RerankK, Parallelism: par,
+			Ef: req.Ef, NProbe: req.NProbe, TargetRecall: req.TargetRecall,
+			Alpha: req.Alpha, RerankK: req.RerankK, Parallelism: par,
 		})
 		if err != nil && hits == nil {
 			writeErr(w, http.StatusBadRequest, err)

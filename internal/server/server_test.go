@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"testing"
 	"time"
 
@@ -284,5 +285,78 @@ func TestSearchQueryTimeout(t *testing.T) {
 	rec, out = doJSON(t, srv, "POST", "/collections/c/search", SearchBody{Vector: ds.Row(0), K: 3})
 	if rec.Code != http.StatusOK || len(out["Hits"].([]any)) != 3 {
 		t.Fatalf("search under budget: %d %v", rec.Code, out)
+	}
+}
+
+// TestPlanHeaderAndKnobPropagation is the end-to-end audit of search
+// parameter propagation: a knob set in the HTTP body must arrive at
+// the index probe unchanged, an unset knob must stay unset at every
+// layer (never dropped to a different default mid-stack), and the
+// X-Vdbms-Plan response header must report exactly what ran. The
+// layers crossed: JSON body -> vdbms.SearchRequest -> core.Request ->
+// resolveKnobs -> executor.Options -> index.Params.
+func TestPlanHeaderAndKnobPropagation(t *testing.T) {
+	srv := New(vdbms.New())
+	rec, _ := doJSON(t, srv, "POST", "/collections", CreateCollectionRequest{
+		Name: "tuned", Schema: vdbms.Schema{Dim: 4},
+	})
+	if rec.Code != http.StatusCreated {
+		t.Fatalf("create: %d %s", rec.Code, rec.Body)
+	}
+	ds := dataset.Clustered(400, 4, 3, 0.3, 5)
+	for i := 0; i < 400; i++ {
+		rec, _ = doJSON(t, srv, "POST", "/collections/tuned/vectors", InsertRequest{Vector: ds.Row(i)})
+		if rec.Code != http.StatusCreated {
+			t.Fatalf("insert %d: %d %s", i, rec.Code, rec.Body)
+		}
+	}
+	rec, _ = doJSON(t, srv, "POST", "/collections/tuned/index", IndexRequest{Kind: "hnsw", Opts: map[string]int{"m": 8}})
+	if rec.Code != http.StatusCreated {
+		t.Fatalf("index: %d %s", rec.Code, rec.Body)
+	}
+
+	search := func(body SearchBody) (*httptest.ResponseRecorder, string) {
+		t.Helper()
+		body.Vector, body.K = ds.Row(0), 5
+		rec, _ := doJSON(t, srv, "POST", "/collections/tuned/search", body)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("search %+v: %d %s", body, rec.Code, rec.Body)
+		}
+		h := rec.Header().Get(PlanHeader)
+		if h == "" {
+			t.Fatalf("search %+v: no %s header", body, PlanHeader)
+		}
+		return rec, h
+	}
+
+	// Explicit ef survives the whole stack and is reported verbatim.
+	if _, h := search(SearchBody{Ef: 64}); !strings.HasSuffix(h, ";ef=64;nprobe=0;source=explicit") {
+		t.Fatalf("explicit ef header: %q", h)
+	}
+	// An explicit nprobe alone leaves ef unset (0) — the zero must not
+	// be backfilled from any other layer.
+	if _, h := search(SearchBody{NProbe: 2}); !strings.HasSuffix(h, ";ef=0;nprobe=2;source=explicit") {
+		t.Fatalf("explicit nprobe header: %q", h)
+	}
+	// A recall target with a cold tuner resolves to the safe default:
+	// the ef ladder maximum.
+	if _, h := search(SearchBody{TargetRecall: 0.9}); !strings.HasSuffix(h, ";ef=512;nprobe=0;source=safe_default") {
+		t.Fatalf("target header: %q", h)
+	}
+	// Nothing set: zeros pass through to the index's own defaults.
+	if _, h := search(SearchBody{}); !strings.HasSuffix(h, ";ef=0;nprobe=0;source=index_default") {
+		t.Fatalf("default header: %q", h)
+	}
+	// The header names the executed plan, matching the body's Plan.
+	rec, h := search(SearchBody{Ef: 32})
+	var res vdbms.SearchResult
+	if err := json.Unmarshal(rec.Body.Bytes(), &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Plan == "" || !strings.HasPrefix(h, res.Plan+";") {
+		t.Fatalf("header %q does not lead with body plan %q", h, res.Plan)
+	}
+	if res.Ef != 32 || res.ParamSource != "explicit" {
+		t.Fatalf("body decision: %+v", res)
 	}
 }

@@ -250,6 +250,23 @@ type Collection struct {
 	probeCount atomic.Int64
 	probeComps atomic.Int64
 
+	// Timing calibration: cumulative wall nanoseconds and unit counts
+	// for each cost class the planner's linear model weighs, fed by
+	// the executor's stage timers. Ratios of the per-unit costs
+	// replace the model's static constants (AttrCostRatio, QuantRatio)
+	// once enough scans back them. Scan counts — not unit counts —
+	// gate trust, because one scan contributes one (already averaged)
+	// timing observation however many rows it touched.
+	fullCompNanos  atomic.Int64 // full-precision distance comps
+	fullComps      atomic.Int64
+	fullScans      atomic.Int64
+	quantCompNanos atomic.Int64 // quantized-code comparisons
+	quantComps     atomic.Int64
+	quantScans     atomic.Int64
+	attrNanos      atomic.Int64 // attribute predicate evaluations
+	attrEvals      atomic.Int64
+	attrScans      atomic.Int64
+
 	selMu sync.RWMutex
 	sel   map[string]*SelHist
 }
@@ -335,6 +352,70 @@ func (c *Collection) MeanProbeComps() (float64, int64) {
 	return float64(c.probeComps.Load()) / float64(n), n
 }
 
+// RecordCompCost records the wall time of one scan's distance
+// computations: nanos spent performing comps comparisons, quantized
+// when the scan compared compressed codes instead of full-precision
+// vectors. Fed by the executor's probe-stage timer (ANN probes) and
+// exact-scan timer (flat probes, the cleanest full-precision
+// baseline).
+func (c *Collection) RecordCompCost(nanos, comps int64, quantized bool) {
+	if !c.enabled.Load() || nanos <= 0 || comps <= 0 {
+		return
+	}
+	if quantized {
+		c.quantCompNanos.Add(nanos)
+		c.quantComps.Add(comps)
+		c.quantScans.Add(1)
+	} else {
+		c.fullCompNanos.Add(nanos)
+		c.fullComps.Add(comps)
+		c.fullScans.Add(1)
+	}
+}
+
+// RecordAttrCost records the wall time of one scan's attribute
+// predicate work: nanos spent performing evals predicate evaluations
+// (a bitmap build evaluates every live row once).
+func (c *Collection) RecordAttrCost(nanos, evals int64) {
+	if !c.enabled.Load() || nanos <= 0 || evals <= 0 {
+		return
+	}
+	c.attrNanos.Add(nanos)
+	c.attrEvals.Add(evals)
+	c.attrScans.Add(1)
+}
+
+// Calibration is the measured per-unit cost of each class in the
+// planner's linear model, with the scan counts backing each estimate.
+type Calibration struct {
+	NsPerComp      float64 `json:"ns_per_comp"`       // full-precision distance comp
+	NsPerQuantComp float64 `json:"ns_per_quant_comp"` // quantized-code comparison
+	NsPerAttrEval  float64 `json:"ns_per_attr_eval"`  // attribute predicate evaluation
+	CompScans      int64   `json:"comp_scans"`
+	QuantScans     int64   `json:"quant_scans"`
+	AttrScans      int64   `json:"attr_scans"`
+}
+
+// Calibration returns the current per-unit cost estimates. Zero-count
+// classes report a zero cost; consumers gate on the scan counts.
+func (c *Collection) Calibration() Calibration {
+	cal := Calibration{
+		CompScans:  c.fullScans.Load(),
+		QuantScans: c.quantScans.Load(),
+		AttrScans:  c.attrScans.Load(),
+	}
+	if n := c.fullComps.Load(); n > 0 {
+		cal.NsPerComp = float64(c.fullCompNanos.Load()) / float64(n)
+	}
+	if n := c.quantComps.Load(); n > 0 {
+		cal.NsPerQuantComp = float64(c.quantCompNanos.Load()) / float64(n)
+	}
+	if n := c.attrEvals.Load(); n > 0 {
+		cal.NsPerAttrEval = float64(c.attrNanos.Load()) / float64(n)
+	}
+	return cal
+}
+
 // RecordSelectivity records one measured selectivity for column col
 // (a survivor fraction observed during execution, not an estimate).
 // Multi-predicate conjunctions record the conjunction's selectivity
@@ -415,6 +496,8 @@ type Snapshot struct {
 	ProbeCount     int64   `json:"ann_probes"`
 	MeanProbeComps float64 `json:"ann_probe_mean_comps"`
 
+	Calibration Calibration `json:"calibration"`
+
 	Selectivity map[string]SelSnapshot `json:"selectivity,omitempty"`
 }
 
@@ -437,6 +520,7 @@ func (c *Collection) Snapshot(rows, live, dim int) Snapshot {
 		s.FilteredFraction = float64(c.filtered.Load()) / float64(s.Queries)
 	}
 	s.MeanProbeComps, s.ProbeCount = c.MeanProbeComps()
+	s.Calibration = c.Calibration()
 	c.selMu.RLock()
 	if len(c.sel) > 0 {
 		s.Selectivity = make(map[string]SelSnapshot, len(c.sel))

@@ -179,3 +179,47 @@ func TestConcurrentRecording(t *testing.T) {
 		t.Fatalf("selectivity observations = %d, want 4000", got)
 	}
 }
+
+func TestCalibration(t *testing.T) {
+	c := New("cal")
+	if cal := c.Calibration(); cal.NsPerComp != 0 || cal.CompScans != 0 {
+		t.Fatalf("fresh calibration = %+v", cal)
+	}
+	// 10 full-precision scans at 100ns/comp, 4 quantized at 30ns/comp,
+	// 6 attr scans at 20ns/eval.
+	for i := 0; i < 10; i++ {
+		c.RecordCompCost(100_000, 1000, false)
+	}
+	for i := 0; i < 4; i++ {
+		c.RecordCompCost(30_000, 1000, true)
+	}
+	for i := 0; i < 6; i++ {
+		c.RecordAttrCost(20_000, 1000)
+	}
+	cal := c.Calibration()
+	if cal.NsPerComp != 100 || cal.NsPerQuantComp != 30 || cal.NsPerAttrEval != 20 {
+		t.Fatalf("calibration costs = %+v", cal)
+	}
+	if cal.CompScans != 10 || cal.QuantScans != 4 || cal.AttrScans != 6 {
+		t.Fatalf("calibration scan counts = %+v", cal)
+	}
+	// Garbage observations are dropped, not folded in.
+	c.RecordCompCost(-5, 1000, false)
+	c.RecordCompCost(100, 0, false)
+	c.RecordAttrCost(0, 10)
+	if got := c.Calibration(); got != cal {
+		t.Fatalf("garbage observation changed calibration: %+v", got)
+	}
+	// Disabled tracker records nothing.
+	c.SetEnabled(false)
+	c.RecordCompCost(100_000, 1000, false)
+	c.RecordAttrCost(100_000, 1000)
+	if got := c.Calibration(); got != cal {
+		t.Fatalf("disabled tracker recorded calibration: %+v", got)
+	}
+	// Snapshot carries the calibration through.
+	c.SetEnabled(true)
+	if s := c.Snapshot(0, 0, 0); s.Calibration != cal {
+		t.Fatalf("snapshot calibration = %+v, want %+v", s.Calibration, cal)
+	}
+}

@@ -25,9 +25,16 @@
 # queries_per_s, heap_mib, rss_mib} to BENCH_mem.json, the acceptance
 # record for memory-tiered serving: the mmap rows must show the
 # column's bytes off the Go heap. Set VDBMS_BENCH_LARGE=1 to add the
-# 1M×128-d point (512 MiB of vectors; too big for CI smoke).
+# 1M×128-d point (512 MiB of vectors; too big for CI smoke). Last of
+# all it runs the adaptive-planning benchmark (BenchmarkPlanTuned —
+# a 100k×128-d set behind a coarse IVF index, serving with the tuned
+# frontier's cheapest parameter vs the static worst-case a caller
+# without a frontier must pin) and emits {op, ns_per_op, queries_per_s,
+# recall_at_10} to BENCH_plan.json, the acceptance record for the
+# recall-SLO tuner: the tuned row must match the static row's recall
+# while beating its throughput.
 #
-#   scripts/bench.sh [scan-output.json] [concurrent-output.json] [wal-output.json] [obs-output.json] [mem-output.json]
+#   scripts/bench.sh [scan-output.json] [concurrent-output.json] [wal-output.json] [obs-output.json] [mem-output.json] [plan-output.json]
 #
 # BENCHTIME overrides the per-benchmark iteration budget (default 20x;
 # ci.sh smoke-runs with 1x so a broken harness cannot land unnoticed).
@@ -39,6 +46,7 @@ out_concurrent="${2:-BENCH_concurrent.json}"
 out_wal="${3:-BENCH_wal.json}"
 out_obs="${4:-BENCH_obs.json}"
 out_mem="${5:-BENCH_mem.json}"
+out_plan="${6:-BENCH_plan.json}"
 benchtime="${BENCHTIME:-20x}"
 
 tmp=$(mktemp)
@@ -46,7 +54,8 @@ tmp2=$(mktemp)
 tmp3=$(mktemp)
 tmp4=$(mktemp)
 tmp5=$(mktemp)
-trap 'rm -f "$tmp" "$tmp2" "$tmp3" "$tmp4" "$tmp5"' EXIT
+tmp6=$(mktemp)
+trap 'rm -f "$tmp" "$tmp2" "$tmp3" "$tmp4" "$tmp5" "$tmp6"' EXIT
 
 go test -run '^$' -bench BenchmarkFlatScan -benchtime "$benchtime" ./internal/index/ | tee -a "$tmp"
 go test -run '^$' -bench BenchmarkQuantScan -benchtime "$benchtime" ./internal/index/ | tee -a "$tmp"
@@ -55,6 +64,7 @@ go test -run '^$' -bench BenchmarkMixedReadWrite -benchtime "$benchtime" ./inter
 go test -run '^$' -bench BenchmarkWALInsert -benchtime "$benchtime" ./internal/core/ | tee -a "$tmp3"
 go test -run '^$' -bench BenchmarkSearchObs -benchtime "$benchtime" ./internal/core/ | tee -a "$tmp4"
 go test -run '^$' -bench BenchmarkMemTierSearch -benchtime "$benchtime" ./internal/core/ | tee -a "$tmp5"
+go test -run '^$' -bench BenchmarkPlanTuned -benchtime "$benchtime" -timeout 30m ./internal/core/ | tee -a "$tmp6"
 
 # Benchmark lines look like:
 #   BenchmarkFlatScan/l2/scorer-8  20  7083267 ns/op  7228.30 MB/s  14118004 rows/s
@@ -158,4 +168,25 @@ BEGIN { printf "[\n" }
 END   { printf "\n]\n" }
 ' "$tmp5" > "$out_mem"
 
-echo "wrote $out $out_concurrent $out_wal $out_obs $out_mem"
+# Adaptive-planning lines carry queries/s and the measured recall@10:
+#   BenchmarkPlanTuned/tuned-8  200  418739 ns/op  2388 queries/s  0.950 recall@10
+awk '
+/^Benchmark/ {
+    op = $1
+    sub(/-[0-9]+$/, "", op)
+    ns = ""; qps = ""; recall = ""
+    for (i = 2; i < NF; i++) {
+        if ($(i+1) == "ns/op") ns = $i
+        if ($(i+1) == "queries/s") qps = $i
+        if ($(i+1) == "recall@10") recall = $i
+    }
+    if (ns == "") next
+    if (n++) printf ",\n"
+    printf "  {\"op\": \"%s\", \"ns_per_op\": %s, \"queries_per_s\": %s, \"recall_at_10\": %s}", \
+        op, ns, (qps == "" ? "null" : qps), (recall == "" ? "null" : recall)
+}
+BEGIN { printf "[\n" }
+END   { printf "\n]\n" }
+' "$tmp6" > "$out_plan"
+
+echo "wrote $out $out_concurrent $out_wal $out_obs $out_mem $out_plan"

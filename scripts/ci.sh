@@ -38,6 +38,23 @@ go test -race -count=1 -run 'TestCrashRecoveryKill9|TestRecoverTornTail|TestProp
 # way the kill -9 harness gates the WAL.
 go test -race -count=1 -run 'TestBoundedMemoryLadderSmoke' .
 go test -race -count=1 -run 'TestShedRefusesWork|TestEvictByteEquivalence' ./internal/server/ ./internal/core/
+# Adaptive query optimization gates. The tuner must converge on a
+# degraded index (coarse IVF, target_recall=0.95 -> a trusted frontier
+# resolving a parameter cheaper than the ladder maximum that still
+# meets the target), and drift re-selection must swap index recipes
+# through the background builder without blocking concurrent searches
+# — both pinned under -race because the tuner, builder, and readers
+# share the collection.
+go test -race -count=1 -run 'TestTunerConvergesDegradedIndex|TestDriftBuildGraphReselect|TestDriftDebounceAndCooldown|TestKnobResolutionPrecedence' ./internal/core/
+# Knob propagation end to end: HTTP body -> SearchRequest -> executor
+# options -> index params, layered overrides, and the X-Vdbms-Plan
+# response header that reports the executed plan + resolved knobs.
+go test -race -count=1 -run 'TestPlanHeaderAndKnobPropagation' ./internal/server/
+# Adaptive planning overhead: resolving knobs through the tuned
+# frontier must cost <= 5% versus pinning the same parameter
+# statically. A timing gate, so it runs without -race (the race
+# detector's ~10x slowdown would drown the 5% signal).
+go test -count=1 -run 'TestAdaptivePlanningOverhead' ./internal/core/
 # Fuzz smoke for the top-k split/merge metamorphic oracle (split across
 # N collectors + Merge == one collector), so the corpus keeps growing.
 go test -run '^$' -fuzz FuzzMergeEquivalence -fuzztime 5s ./internal/topk/
@@ -57,10 +74,12 @@ if [ "$missing" -ne 0 ]; then
     exit 1
 fi
 # Smoke the scan + mixed read/write + WAL + observability + memory-tier
-# benchmark harnesses and their JSON emitters the same way. The scan output is
-# kept: it carries the quantized-scan recall floor checked below.
+# + adaptive-planning benchmark harnesses and their JSON emitters the
+# same way. The scan and plan outputs are kept: they carry the recall
+# floors checked below.
 scan_smoke=$(mktemp)
-BENCHTIME=1x scripts/bench.sh "$scan_smoke" "$(mktemp)" "$(mktemp)" "$(mktemp)" "$(mktemp)"
+plan_smoke=$(mktemp)
+BENCHTIME=1x scripts/bench.sh "$scan_smoke" "$(mktemp)" "$(mktemp)" "$(mktemp)" "$(mktemp)" "$plan_smoke"
 # Quantized-scan recall floor: the sq8 compressed scan with exact
 # re-rank must keep recall@10 >= 0.95 at the acceptance scale
 # (recall is measured outside the timed loop, so a 1x smoke run
@@ -76,3 +95,19 @@ awk -F'"recall_at_10": ' '
 }
 END { if (!found) { print "BenchmarkQuantScan/sq8 missing from scan bench output" > "/dev/stderr"; exit 1 } }
 ' "$scan_smoke"
+# Tuned-serving recall floor: within the smoke budget the tuner must
+# have converged to the 0.95 target — the tuned benchmark variant
+# (which carries only a recall target and serves at whatever parameter
+# the frontier resolved) must measure recall@10 >= 0.95 against exact
+# ground truth. Recall is measured outside the timed loop, so the 1x
+# smoke reports the same number as a full run.
+awk -F'"recall_at_10": ' '
+/"op": "BenchmarkPlanTuned\/tuned"/ {
+    split($2, a, "}"); recall = a[1]; found = 1
+    if (recall == "null" || recall + 0 < 0.95) {
+        printf "tuned serving recall@10 = %s, want >= 0.95\n", recall > "/dev/stderr"
+        exit 1
+    }
+}
+END { if (!found) { print "BenchmarkPlanTuned/tuned missing from plan bench output" > "/dev/stderr"; exit 1 } }
+' "$plan_smoke"

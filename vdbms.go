@@ -55,8 +55,10 @@ type DB struct {
 	dur core.DurabilityOptions
 
 	// audit, when set by DB.EnableRecallAudit, is applied to every
-	// collection created or restored afterwards.
+	// collection created or restored afterwards; tune likewise for
+	// DB.EnableAutoTune.
 	audit *AuditOptions
+	tune  *TuneOptions
 
 	// mem/memSpill, when set by DB.EnableMemoryBudget, put every current
 	// and future collection under the process memory budget.
@@ -115,7 +117,7 @@ func (db *DB) CreateCollection(name string, schema Schema) (*Collection, error) 
 
 	db.mu.Lock()
 	delete(db.creating, name)
-	audit := db.audit
+	audit, tune := db.audit, db.tune
 	mem, memSpill := db.mem, db.memSpill
 	if err == nil {
 		db.collections[name] = col
@@ -123,6 +125,9 @@ func (db *DB) CreateCollection(name string, schema Schema) (*Collection, error) 
 	db.mu.Unlock()
 	if err == nil && audit != nil {
 		col.EnableRecallAudit(*audit)
+	}
+	if err == nil && tune != nil {
+		col.EnableAutoTune(*tune)
 	}
 	if err == nil && mem != nil {
 		if aerr := col.inner.AttachMemory(mem, memSpill); aerr != nil {
